@@ -1,0 +1,100 @@
+//! E1 timing: array-native vs array-on-tables (the ASAP comparison).
+//!
+//! Native arms use the positional kernels of `ops::dense` (the physical
+//! operators an array engine actually runs); relational arms use the table
+//! simulation's best plans (B-tree index range scans, hash joins, GROUP BY
+//! computed block ids). The generic cell-at-a-time operators are benched
+//! separately in `operators.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scidb_bench::data::dense_f64;
+use scidb_core::geometry::HyperRect;
+use scidb_core::ops::dense;
+use scidb_core::registry::Registry;
+use scidb_relational::ArrayTable;
+use std::hint::black_box;
+
+fn bench_e1(c: &mut Criterion) {
+    let registry = Registry::with_builtins();
+    let n = 256i64;
+    let a = dense_f64(n, 64);
+    let table = ArrayTable::from_array(&a).unwrap();
+    let region = HyperRect::new(vec![n / 4, n / 4], vec![n / 2, n / 2]).unwrap();
+
+    let mut g = c.benchmark_group("e1_array_vs_table_256");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    // Leading-dimension slice: the B-tree's clustered best case.
+    g.bench_function("native_slice_lead", |b| {
+        b.iter(|| {
+            dense::slice_values_f64(black_box(&a), 0, 0, n / 2)
+                .unwrap()
+                .iter()
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("relational_slice_lead", |b| {
+        b.iter(|| {
+            table
+                .slice("i", n / 2)
+                .unwrap()
+                .iter()
+                .filter_map(|row| row.last().and_then(|v| v.as_f64()))
+                .sum::<f64>()
+        })
+    });
+
+    // Trailing-dimension slice: the asymmetry arrays don't have.
+    g.bench_function("native_slice_trail", |b| {
+        b.iter(|| {
+            dense::slice_values_f64(black_box(&a), 0, 1, n / 2)
+                .unwrap()
+                .iter()
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("relational_slice_trail", |b| {
+        b.iter(|| {
+            table
+                .slice("j", n / 2)
+                .unwrap()
+                .iter()
+                .filter_map(|row| row.last().and_then(|v| v.as_f64()))
+                .sum::<f64>()
+        })
+    });
+
+    g.bench_function("native_slab_sum", |b| {
+        b.iter(|| dense::slab_sum_f64(black_box(&a), 0, &region).unwrap())
+    });
+    g.bench_function("relational_slab_sum", |b| {
+        b.iter(|| {
+            table
+                .slab(&region)
+                .unwrap()
+                .iter()
+                .filter_map(|row| row.last().and_then(|v| v.as_f64()))
+                .sum::<f64>()
+        })
+    });
+
+    g.bench_function("native_regrid", |b| {
+        b.iter(|| dense::regrid_mean_f64(black_box(&a), 0, &[8, 8]).unwrap())
+    });
+    g.bench_function("relational_regrid", |b| {
+        b.iter(|| table.regrid(&[8, 8], "avg", "v", &registry).unwrap())
+    });
+
+    g.bench_function("native_sjoin", |b| {
+        b.iter(|| dense::aligned_sjoin(black_box(&a), black_box(&a)).unwrap())
+    });
+    g.bench_function("relational_sjoin", |b| {
+        b.iter(|| table.sjoin_all_dims(&table).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E9 timing: clickstream analytics — nested array vs flattened weblog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scidb_ssdb::clickstream::{
+    analyze_array, analyze_table, build_event_array, build_event_table, generate_events, ClickSpec,
+};
+use std::hint::black_box;
+
+fn bench_clickstream(c: &mut Criterion) {
+    let spec = ClickSpec {
+        n_sessions: 2_000,
+        ..Default::default()
+    };
+    let events = generate_events(&spec);
+    let arr = build_event_array(&events, spec.page_size).unwrap();
+    let tab = build_event_table(&events).unwrap();
+
+    let mut g = c.benchmark_group("e9_clickstream_2k_sessions");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("build_array", |b| {
+        b.iter(|| build_event_array(black_box(&events), spec.page_size).unwrap())
+    });
+    g.bench_function("build_table", |b| {
+        b.iter(|| build_event_table(black_box(&events)).unwrap())
+    });
+    g.bench_function("analyze_array", |b| {
+        b.iter(|| analyze_array(black_box(&arr), spec.page_size).unwrap())
+    });
+    g.bench_function("analyze_table", |b| {
+        b.iter(|| analyze_table(black_box(&tab), spec.page_size).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_clickstream);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E8 timing: no-overwrite history reads and delta commits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scidb_core::history::{Transaction, UpdatableArray};
+use scidb_core::schema::SchemaBuilder;
+use scidb_core::value::{record, ScalarType, Value};
+use std::hint::black_box;
+
+fn updatable_with_depth(n: i64, depth: i64) -> UpdatableArray {
+    let schema = SchemaBuilder::new("U")
+        .attr("v", ScalarType::Float64)
+        .dim("I", n)
+        .dim("J", n)
+        .updatable()
+        .build()
+        .unwrap();
+    let mut a = UpdatableArray::new(schema).unwrap();
+    let mut txn = Transaction::new();
+    for i in 1..=n {
+        for j in 1..=n {
+            txn.put(&[i, j], record([Value::from((i + j) as f64)]));
+        }
+    }
+    a.commit(txn).unwrap();
+    for d in 1..depth {
+        let mut txn = Transaction::new();
+        for k in 0..(n / 2) {
+            let i = 1 + (k * 17 + d) % n;
+            txn.put(&[i, 1 + (k * 29) % n], record([Value::from(d as f64)]));
+        }
+        a.commit(txn).unwrap();
+    }
+    a
+}
+
+fn bench_history(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_history_64");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for depth in [1i64, 16, 64] {
+        let a = updatable_with_depth(64, depth);
+        g.bench_function(format!("read_1000_latest_depth_{depth}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for k in 0..1000i64 {
+                    let coords = [1 + (k * 7) % 64, 1 + (k * 13) % 64];
+                    if let Some(rec) = a.get_latest(black_box(&coords)) {
+                        acc += rec[0].as_f64().unwrap_or(0.0);
+                    }
+                }
+                acc
+            })
+        });
+    }
+    g.bench_function("commit_100_cell_txn", |b| {
+        let mut a = updatable_with_depth(64, 1);
+        b.iter(|| {
+            let mut txn = Transaction::new();
+            for k in 0..100i64 {
+                txn.put(&[1 + k % 64, 1 + (k * 3) % 64], record([Value::from(k as f64)]));
+            }
+            a.commit(txn).unwrap()
+        })
+    });
+    g.bench_function("snapshot_at_depth_16", |b| {
+        let a = updatable_with_depth(64, 16);
+        b.iter(|| a.snapshot_at(black_box(8)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_history);
+criterion_main!(benches);

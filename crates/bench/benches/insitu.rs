@@ -1,0 +1,53 @@
+//! E4 timing: in-situ adaptor reads vs load-then-query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scidb_bench::data::dense_f64;
+use scidb_core::geometry::HyperRect;
+use scidb_insitu::{write_h5, write_netcdf, write_sddf, DatasetSpec};
+use scidb_storage::{CodecPolicy, MemDisk, StorageManager};
+use std::sync::Arc;
+
+fn bench_insitu(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("scidb_bench_insitu_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dense_f64(256, 64);
+    let ncdf = dir.join("a.ncdf");
+    let h5 = dir.join("a.h5lt");
+    let sddf = dir.join("a.sddf");
+    write_netcdf(&ncdf, &a, &[]).unwrap();
+    write_h5(&h5, &[DatasetSpec { path: "/a".into(), array: &a }]).unwrap();
+    write_sddf(&sddf, &a, CodecPolicy::default_policy()).unwrap();
+    let slab = HyperRect::new(vec![1, 1], vec![32, 256]).unwrap();
+
+    let mut g = c.benchmark_group("e4_insitu_256");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, path) in [("netcdf", &ncdf), ("h5lite", &h5), ("sddf", &sddf)] {
+        g.bench_function(format!("slab_{label}"), |b| {
+            b.iter(|| {
+                let mut src = scidb_insitu::open(path).unwrap();
+                src.read_region(&slab).unwrap().cell_count()
+            })
+        });
+    }
+    g.bench_function("load_then_slab", |b| {
+        b.iter(|| {
+            let mut src = scidb_insitu::open(&ncdf).unwrap();
+            let loaded = src.read_all().unwrap();
+            let mut mgr = StorageManager::new(
+                Arc::new(MemDisk::new()),
+                loaded.schema_arc(),
+                CodecPolicy::default_policy(),
+            );
+            mgr.store_array(&loaded).unwrap();
+            let (out, _) = mgr.read_region(&slab).unwrap();
+            out.cell_count()
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_insitu);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Operator micro-benchmarks: the §2.2 suite on a 256² array, including
+//! the exact Figure 1–3 operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scidb_bench::data::dense_f64;
+use scidb_core::array::Array;
+use scidb_core::expr::Expr;
+use scidb_core::ops::structural::{DimCond, DimPredicate};
+use scidb_core::ops::{self, AggInput};
+use scidb_core::registry::Registry;
+use std::hint::black_box;
+
+fn bench_operators(c: &mut Criterion) {
+    let registry = Registry::with_builtins();
+    let a = dense_f64(256, 64);
+    let mut g = c.benchmark_group("operators_256x256");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    g.bench_function("subsample_slice", |b| {
+        let pred = DimPredicate::new().with("i", DimCond::Eq(128));
+        b.iter(|| ops::subsample(black_box(&a), &pred, None).unwrap())
+    });
+    g.bench_function("subsample_even", |b| {
+        let pred = DimPredicate::new().with("i", DimCond::Even);
+        b.iter(|| ops::subsample(black_box(&a), &pred, None).unwrap())
+    });
+    g.bench_function("filter_gt", |b| {
+        let pred = Expr::attr("v").gt(Expr::lit(50.0));
+        b.iter(|| ops::filter(black_box(&a), &pred, Some(&registry)).unwrap())
+    });
+    g.bench_function("aggregate_group_dim", |b| {
+        b.iter(|| ops::aggregate(black_box(&a), &["i"], "sum", AggInput::Star, &registry).unwrap())
+    });
+    g.bench_function("regrid_8x8_avg", |b| {
+        b.iter(|| ops::regrid(black_box(&a), &[8, 8], "avg", &registry).unwrap())
+    });
+    g.bench_function("apply_arith", |b| {
+        let e = Expr::attr("v").mul(Expr::lit(2.0)).add(Expr::lit(1.0));
+        b.iter(|| {
+            ops::apply(
+                black_box(&a),
+                "w",
+                &e,
+                scidb_core::value::ScalarType::Float64,
+                Some(&registry),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("reshape_to_1d", |b| {
+        b.iter(|| ops::reshape(black_box(&a), &["i", "j"], &[("k".into(), 256 * 256)]).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let f1a = Array::int_1d("A", "x", &[1, 2]);
+    let f1b = Array::int_1d("B", "x", &[1, 2]);
+    g.bench_function("figure1_sjoin", |b| {
+        b.iter(|| ops::sjoin(black_box(&f1a), black_box(&f1b), &[("i", "i")]).unwrap())
+    });
+    g.bench_function("figure3_cjoin", |b| {
+        let pred = Expr::attr("x").eq(Expr::attr("x_r"));
+        b.iter(|| ops::cjoin(black_box(&f1a), black_box(&f1b), &pred, Some(&registry)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

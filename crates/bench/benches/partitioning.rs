@@ -1,0 +1,71 @@
+//! E2 timing: distributed region queries, aggregation, and joins under
+//! different partitionings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scidb_core::geometry::HyperRect;
+use scidb_core::registry::Registry;
+use scidb_core::schema::SchemaBuilder;
+use scidb_core::value::{record, ScalarType, Value};
+use scidb_grid::{Cluster, EpochPartitioning, PartitionScheme};
+
+fn schema(n: i64) -> scidb_core::schema::ArraySchema {
+    SchemaBuilder::new("sky")
+        .attr("v", ScalarType::Float64)
+        .dim("I", n)
+        .dim("J", n)
+        .build()
+        .unwrap()
+}
+
+fn cells(n: i64) -> Vec<(Vec<i64>, scidb_core::value::Record)> {
+    let mut out = Vec::new();
+    for i in 1..=n {
+        for j in 1..=n {
+            out.push((vec![i, j], record([Value::from((i + j) as f64)])));
+        }
+    }
+    out
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let n = 128i64;
+    let nodes = 16usize;
+    let space = HyperRect::new(vec![1, 1], vec![n, n]).unwrap();
+    let grid = PartitionScheme::grid(space, vec![4, 4], nodes).unwrap();
+    let hash = PartitionScheme::Hash { dims: vec![0, 1], n_nodes: nodes };
+    let registry = Registry::with_builtins();
+
+    let mut copart = Cluster::new(nodes);
+    copart.create_array("L", schema(n), EpochPartitioning::fixed(grid.clone())).unwrap();
+    copart.create_array("R", schema(n), EpochPartitioning::fixed(grid.clone())).unwrap();
+    copart.load_at("L", 0, cells(n)).unwrap();
+    copart.load_at("R", 0, cells(n)).unwrap();
+
+    let mut mismatched = Cluster::new(nodes);
+    mismatched.create_array("L", schema(n), EpochPartitioning::fixed(grid.clone())).unwrap();
+    mismatched.create_array("R", schema(n), EpochPartitioning::fixed(hash)).unwrap();
+    mismatched.load_at("L", 0, cells(n)).unwrap();
+    mismatched.load_at("R", 0, cells(n)).unwrap();
+
+    let mut g = c.benchmark_group("e2_partitioning_128_16nodes");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let region = HyperRect::new(vec![1, 1], vec![n / 4, n / 4]).unwrap();
+    g.bench_function("region_query", |b| {
+        b.iter(|| copart.query_region("L", &region).unwrap())
+    });
+    g.bench_function("distributed_aggregate", |b| {
+        b.iter(|| copart.aggregate("L", "avg", "v", &registry).unwrap())
+    });
+    g.bench_function("sjoin_copartitioned", |b| {
+        b.iter(|| copart.sjoin("L", "R", &[("I", "I"), ("J", "J")]).unwrap())
+    });
+    g.bench_function("sjoin_mismatched", |b| {
+        b.iter(|| mismatched.sjoin("L", "R", &[("I", "I"), ("J", "J")]).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E6 timing: backward traces by mode, forward trace closure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scidb_core::array::Array;
+use scidb_core::expr::Expr;
+use scidb_provenance::{backward_trace, forward_trace, Pipeline, StepOp, TraceMode, TrioStore};
+use std::hint::black_box;
+
+fn pipeline(n: i64, trio: Option<&mut TrioStore>) -> Pipeline {
+    let rows: Vec<Vec<f64>> = (1..=n)
+        .map(|i| (1..=n).map(|j| (i * 10 + j) as f64).collect())
+        .collect();
+    let mut p = Pipeline::new(vec![("raw".into(), Array::f64_2d("raw", "v", &rows))]);
+    let mut trio = trio;
+    let step = |p: &mut Pipeline, op: StepOp, i: &str, o: &str, t: &mut Option<&mut TrioStore>| match t {
+        Some(s) => p.run_step(op, &[i], o, Some(s)).unwrap(),
+        None => p.run_step(op, &[i], o, None).unwrap(),
+    };
+    step(&mut p, StepOp::Apply { name: "cal".into(), expr: Expr::attr("v").mul(Expr::lit(2.0)) }, "raw", "cal", &mut trio);
+    step(&mut p, StepOp::Filter { pred: Expr::attr("cal").gt(Expr::lit(0.0)) }, "cal", "masked", &mut trio);
+    step(&mut p, StepOp::Regrid { factors: vec![2, 2], agg: "avg".into() }, "masked", "mid", &mut trio);
+    step(&mut p, StepOp::Regrid { factors: vec![2, 2], agg: "sum".into() }, "mid", "summary", &mut trio);
+    p
+}
+
+fn bench_provenance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_provenance_128");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let mut trio = TrioStore::new();
+    let p_trio = pipeline(128, Some(&mut trio));
+    let p = pipeline(128, None);
+    let cell = [8i64, 8];
+    g.bench_function("backward_replay", |b| {
+        b.iter(|| backward_trace(&p, "summary", black_box(&cell), TraceMode::Replay).unwrap())
+    });
+    g.bench_function("backward_trio", |b| {
+        b.iter(|| backward_trace(&p_trio, "summary", black_box(&cell), TraceMode::Trio(&trio)).unwrap())
+    });
+    g.bench_function("backward_hybrid_cached", |b| {
+        let mut cache = TrioStore::new();
+        backward_trace(&p, "summary", &cell, TraceMode::Hybrid(&mut cache)).unwrap();
+        b.iter(|| backward_trace(&p, "summary", black_box(&cell), TraceMode::Hybrid(&mut cache)).unwrap())
+    });
+    g.bench_function("forward_trace", |b| {
+        b.iter(|| forward_trace(&p, "raw", black_box(&[5i64, 5])).unwrap())
+    });
+    g.bench_function("pipeline_run_trio_recording", |b| {
+        b.iter(|| {
+            let mut store = TrioStore::new();
+            pipeline(64, Some(&mut store));
+            store.len()
+        })
+    });
+    g.bench_function("pipeline_run_plain", |b| {
+        b.iter(|| pipeline(64, None).steps().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_provenance);
+criterion_main!(benches);

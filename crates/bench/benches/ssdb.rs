@@ -1,0 +1,64 @@
+//! E10 timing: the science benchmark queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scidb_core::geometry::HyperRect;
+use scidb_core::registry::Registry;
+use scidb_relational::ArrayTable;
+use scidb_ssdb::cooking::Calibration;
+use scidb_ssdb::queries::{relational, Benchmark};
+use scidb_ssdb::ImageSpec;
+
+fn bench_ssdb(c: &mut Criterion) {
+    let spec = ImageSpec {
+        size: 128,
+        n_sources: 40,
+        min_flux: 600.0,
+        seed: 2009,
+        ..Default::default()
+    };
+    let bench = Benchmark::prepare(&spec, 5).unwrap();
+    let n = spec.size;
+    let slab = HyperRect::new(vec![1, 1], vec![n / 4, n]).unwrap();
+    let box_q = HyperRect::new(vec![n / 4, n / 4], vec![3 * n / 4, 3 * n / 4]).unwrap();
+    let registry = Registry::with_builtins();
+    let tables: Vec<ArrayTable> = bench
+        .stack
+        .epochs
+        .iter()
+        .map(|e| ArrayTable::from_array(e).unwrap())
+        .collect();
+    let t0 = ArrayTable::from_array(&bench.cooked[0]).unwrap();
+
+    let mut g = c.benchmark_group("e10_ssdb_128x5");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("q1_raw_slab", |b| b.iter(|| bench.q1_raw_slab(&slab).unwrap()));
+    g.bench_function("q1_relational", |b| {
+        b.iter(|| relational::q1_raw_slab(&tables, &slab).unwrap())
+    });
+    g.bench_function("q2_recook", |b| {
+        b.iter(|| {
+            bench
+                .q2_recook(0, &slab, &Calibration { dark_offset: 0.5, gain: 1.1 })
+                .unwrap()
+        })
+    });
+    g.bench_function("q3_regrid", |b| b.iter(|| bench.q3_regrid(0, 4).unwrap()));
+    g.bench_function("q3_relational", |b| {
+        b.iter(|| relational::q3_regrid(&t0, 4, &registry).unwrap())
+    });
+    g.bench_function("q5_obs_box", |b| b.iter(|| bench.q5_obs_in_box(0, &box_q)));
+    g.bench_function("q9_uncertain_join", |b| {
+        b.iter(|| bench.q9_uncertain_join(0, 4, 3.0))
+    });
+    g.bench_function("detect_full_image", |b| {
+        b.iter(|| {
+            scidb_ssdb::detect(&bench.cooked[0], &scidb_ssdb::DetectParams::default()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ssdb);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! E3 timing: bucket serialization, codecs, loader, merge, region reads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scidb_bench::data::{dense_f64, load_stream};
+use scidb_core::geometry::HyperRect;
+use scidb_core::schema::SchemaBuilder;
+use scidb_storage::compress::{decode_f64s, encode_f64s, encode_i64s, Codec};
+use scidb_storage::{
+    deserialize_chunk, merge_pass, serialize_chunk, CodecPolicy, MemDisk, StorageManager,
+    StreamLoader,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_storage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_storage");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    // Chunk serialization round trip (64x64 floats).
+    let a = dense_f64(64, 64);
+    let chunk = a.chunks().values().next().unwrap().clone();
+    g.bench_function("serialize_chunk_default", |b| {
+        b.iter(|| serialize_chunk(black_box(&chunk), CodecPolicy::default_policy()).unwrap())
+    });
+    g.bench_function("serialize_chunk_raw", |b| {
+        b.iter(|| serialize_chunk(black_box(&chunk), CodecPolicy::raw()).unwrap())
+    });
+    let payload = serialize_chunk(&chunk, CodecPolicy::default_policy()).unwrap();
+    g.bench_function("deserialize_chunk", |b| {
+        b.iter(|| deserialize_chunk(black_box(&payload)).unwrap())
+    });
+
+    // Codecs on 100k values.
+    let ints: Vec<i64> = (0..100_000).collect();
+    let floats: Vec<f64> = (0..100_000).map(|i| (i as f64 * 0.001).sin()).collect();
+    g.bench_function("encode_delta_varint_100k", |b| {
+        b.iter(|| encode_i64s(black_box(&ints), Codec::DeltaVarint).unwrap())
+    });
+    g.bench_function("encode_xor_float_100k", |b| {
+        b.iter(|| encode_f64s(black_box(&floats), Codec::XorFloat).unwrap())
+    });
+    let enc = encode_f64s(&floats, Codec::XorFloat).unwrap();
+    g.bench_function("decode_xor_float_100k", |b| {
+        b.iter(|| decode_f64s(black_box(&enc), Codec::XorFloat).unwrap())
+    });
+
+    // Loader + merge + region read.
+    let schema = Arc::new(
+        SchemaBuilder::new("s")
+            .attr("v", scidb_core::value::ScalarType::Float64)
+            .dim_chunked("t", 4096, 128)
+            .dim_chunked("s", 8, 8)
+            .build()
+            .unwrap(),
+    );
+    g.bench_function("bulk_load_32k_cells", |b| {
+        let stream = load_stream(4096, 8);
+        b.iter(|| {
+            let mut mgr = StorageManager::new(
+                Arc::new(MemDisk::new()),
+                Arc::clone(&schema),
+                CodecPolicy::default_policy(),
+            );
+            let mut loader = StreamLoader::new(&mut mgr, 256 << 10);
+            for (coords, rec) in &stream {
+                loader.push(coords, rec.clone()).unwrap();
+            }
+            loader.finish().unwrap()
+        })
+    });
+    g.bench_function("merge_pass", |b| {
+        b.iter_with_setup(
+            || {
+                let mut mgr = StorageManager::new(
+                    Arc::new(MemDisk::new()),
+                    Arc::clone(&schema),
+                    CodecPolicy::default_policy(),
+                );
+                let mut loader = StreamLoader::new(&mut mgr, 64 << 10);
+                for (coords, rec) in load_stream(4096, 8) {
+                    loader.push(&coords, rec).unwrap();
+                }
+                loader.finish().unwrap();
+                mgr
+            },
+            |mut mgr| merge_pass(&mut mgr, 4).unwrap(),
+        )
+    });
+    g.bench_function("region_read_slab", |b| {
+        let mut mgr = StorageManager::new(
+            Arc::new(MemDisk::new()),
+            Arc::clone(&schema),
+            CodecPolicy::default_policy(),
+        );
+        let mut loader = StreamLoader::new(&mut mgr, 256 << 10);
+        for (coords, rec) in load_stream(4096, 8) {
+            loader.push(&coords, rec).unwrap();
+        }
+        loader.finish().unwrap();
+        let slab = HyperRect::new(vec![1, 1], vec![512, 8]).unwrap();
+        b.iter(|| mgr.read_region(black_box(&slab)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E7 timing: uncertain vs plain arithmetic and aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scidb_bench::data::{plain_1d, uncertain_1d};
+use scidb_core::expr::Expr;
+use scidb_core::ops::{self, AggInput};
+use scidb_core::registry::Registry;
+use scidb_core::uncertain::Uncertain;
+use std::hint::black_box;
+
+fn bench_uncertainty(c: &mut Criterion) {
+    let registry = Registry::with_builtins();
+    let n = 100_000i64;
+    let plain = plain_1d(n);
+    let unc = uncertain_1d(n, true, 5);
+
+    let mut g = c.benchmark_group("e7_uncertainty_100k");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("sum_plain", |b| {
+        b.iter(|| ops::aggregate(black_box(&plain), &[], "sum", AggInput::Star, &registry).unwrap())
+    });
+    g.bench_function("sum_uncertain", |b| {
+        b.iter(|| ops::aggregate(black_box(&unc), &[], "sum", AggInput::Star, &registry).unwrap())
+    });
+    g.bench_function("apply_plain_arith", |b| {
+        let e = Expr::attr("v").mul(Expr::lit(2.0)).add(Expr::lit(1.0));
+        b.iter(|| {
+            ops::apply(black_box(&plain), "w", &e, scidb_core::value::ScalarType::Float64, Some(&registry)).unwrap()
+        })
+    });
+    g.bench_function("apply_uncertain_arith", |b| {
+        let e = Expr::attr("v")
+            .mul(Expr::lit(Uncertain::new(2.0, 0.1)))
+            .add(Expr::lit(Uncertain::new(1.0, 0.05)));
+        b.iter(|| {
+            ops::apply(black_box(&unc), "w", &e, scidb_core::value::ScalarType::UncertainFloat64, Some(&registry)).unwrap()
+        })
+    });
+    g.bench_function("scalar_kernel_gaussian_1m", |b| {
+        b.iter(|| {
+            let mut acc = Uncertain::exact(0.0);
+            for i in 0..1_000_000u64 {
+                acc = acc + Uncertain::new(i as f64, 0.5);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_uncertainty);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E5 timing: named-version reads through delta chains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scidb_core::history::Transaction;
+use scidb_core::schema::SchemaBuilder;
+use scidb_core::value::{record, ScalarType, Value};
+use scidb_core::versions::VersionTree;
+use std::hint::black_box;
+
+fn tree_with_chain(n: i64, depth: usize) -> (VersionTree, String) {
+    let schema = SchemaBuilder::new("base")
+        .attr("v", ScalarType::Float64)
+        .dim("I", n)
+        .dim("J", n)
+        .build()
+        .unwrap();
+    let mut t = VersionTree::new(schema).unwrap();
+    let mut txn = Transaction::new();
+    for i in 1..=n {
+        for j in 1..=n {
+            txn.put(&[i, j], record([Value::from((i + j) as f64)]));
+        }
+    }
+    t.base_mut().commit(txn).unwrap();
+    let mut parent: Option<String> = None;
+    let mut name = String::new();
+    for d in 1..=depth {
+        name = format!("v{d}");
+        t.create_version(&name, parent.as_deref()).unwrap();
+        let mut txn = Transaction::new();
+        txn.put(&[1 + (d as i64 % n), 1], record([Value::from(d as f64)]));
+        t.commit(&name, txn).unwrap();
+        parent = Some(name.clone());
+    }
+    (t, name)
+}
+
+fn bench_versions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_versions_128");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for depth in [1usize, 4, 8] {
+        let (t, leaf) = tree_with_chain(128, depth);
+        g.bench_function(format!("read_1000_cells_depth_{depth}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for k in 0..1000i64 {
+                    let i = 1 + (k * 7) % 128;
+                    let j = 1 + (k * 11) % 128;
+                    if let Some(rec) = t.get(black_box(&leaf), &[i, j]).unwrap() {
+                        acc += rec[0].as_f64().unwrap_or(0.0);
+                    }
+                }
+                acc
+            })
+        });
+    }
+    let (mut t, _) = tree_with_chain(128, 1);
+    // Criterion re-invokes the routine for warm-up and measurement; the
+    // version-name counter must survive across invocations.
+    let mut k = 0usize;
+    g.bench_function("create_version", |b| {
+        b.iter(|| {
+            k += 1;
+            t.create_version(&format!("bench_{k}"), None).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_versions);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! The experiment table generator.
+//!
+//! ```text
+//! experiments [--full] [all | figures e1 e2 …]
+//! ```
+//!
+//! Prints the reproduction tables for DESIGN.md §3 / EXPERIMENTS.md.
+//! `--full` runs paper-scale parameters; the default quick mode uses
+//! smaller sizes with the same shapes.
+
+use scidb_bench::exps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let quick = !full;
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--full")
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
+        exps::ALL.to_vec()
+    } else {
+        requested
+    };
+
+    println!(
+        "# SciDB-rs experiment report ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    let mut failed = false;
+    for id in ids {
+        match exps::run(id, quick) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{t}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (known: {:?})", exps::ALL);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

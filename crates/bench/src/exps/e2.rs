@@ -1,0 +1,152 @@
+//! E2 — partitioning (§2.7): fixed vs designed schemes, co-partitioned
+//! joins, and epoch repartitioning.
+
+use crate::report::{f3, ReportTable};
+use scidb_grid::{
+    design_range, evaluate, steerable_workload, survey_workload, Cluster, EpochPartitioning,
+    PartitionScheme,
+};
+use scidb_core::geometry::HyperRect;
+use scidb_core::schema::SchemaBuilder;
+use scidb_core::value::{record, ScalarType, Value};
+
+fn space(n: i64) -> HyperRect {
+    HyperRect::new(vec![1, 1], vec![n, n]).unwrap()
+}
+
+fn schema(n: i64) -> scidb_core::schema::ArraySchema {
+    SchemaBuilder::new("sky")
+        .attr("v", ScalarType::Float64)
+        .dim("I", n)
+        .dim("J", n)
+        .build()
+        .unwrap()
+}
+
+fn dense_cells(n: i64) -> Vec<(Vec<i64>, scidb_core::value::Record)> {
+    let mut cells = Vec::with_capacity((n * n) as usize);
+    for i in 1..=n {
+        for j in 1..=n {
+            cells.push((vec![i, j], record([Value::from((i + j) as f64)])));
+        }
+    }
+    cells
+}
+
+/// Runs E2.
+pub fn run(quick: bool) -> Vec<ReportTable> {
+    let n: i64 = if quick { 128 } else { 256 };
+    let nodes = 16usize;
+    let sp = space(n);
+    let mut tables = Vec::new();
+
+    // (a) Load imbalance: fixed grid vs designer range, uniform vs skewed.
+    let grid = PartitionScheme::grid(sp.clone(), vec![4, 4], nodes).unwrap();
+    let uniform = survey_workload(&sp, n / 8);
+    let skewed = steerable_workload(&sp, 2, n / 8, 100.0, 7);
+    let designed_uniform = design_range(&sp, 0, nodes, &uniform).unwrap();
+    let designed_skewed = design_range(&sp, 0, nodes, &skewed).unwrap();
+
+    let mut t = ReportTable::new(
+        "E2a — load imbalance (max/mean; 1.0 = perfect) by scheme × workload",
+        &["workload", "fixed grid", "designed range"],
+    );
+    t.row(vec![
+        "uniform survey".into(),
+        f3(evaluate(&grid, &sp, &uniform).imbalance),
+        f3(evaluate(&designed_uniform, &sp, &uniform).imbalance),
+    ]);
+    t.row(vec![
+        "steerable (El Niño hotspots)".into(),
+        f3(evaluate(&grid, &sp, &skewed).imbalance),
+        f3(evaluate(&designed_skewed, &sp, &skewed).imbalance),
+    ]);
+    tables.push(t);
+
+    // (b) Join movement: co-partitioned vs mismatched.
+    let jn: i64 = if quick { 64 } else { 128 };
+    let jsp = space(jn);
+    let gscheme = PartitionScheme::grid(jsp.clone(), vec![4, 4], nodes).unwrap();
+    let hscheme = PartitionScheme::Hash {
+        dims: vec![0, 1],
+        n_nodes: nodes,
+    };
+    let mut t = ReportTable::new(
+        "E2b — Sjoin data movement (cells moved / total cells)",
+        &["right partitioning", "cells moved", "fraction"],
+    );
+    for (label, rscheme) in [("co-partitioned", gscheme.clone()), ("hash", hscheme)] {
+        let mut cluster = Cluster::new(nodes);
+        cluster
+            .create_array("L", schema(jn), EpochPartitioning::fixed(gscheme.clone()))
+            .unwrap();
+        cluster
+            .create_array("R", schema(jn), EpochPartitioning::fixed(rscheme))
+            .unwrap();
+        cluster.load_at("L", 0, dense_cells(jn)).unwrap();
+        cluster.load_at("R", 0, dense_cells(jn)).unwrap();
+        let (_, stats) = cluster.sjoin("L", "R", &[("I", "I"), ("J", "J")]).unwrap();
+        let total = 2 * (jn * jn) as usize;
+        t.row(vec![
+            label.into(),
+            stats.cells_moved.to_string(),
+            f3(stats.cells_moved as f64 / total as f64),
+        ]);
+    }
+    tables.push(t);
+
+    // (c) Epoch repartitioning: imbalance before/after + rebalance cost.
+    let mut cluster = Cluster::new(nodes);
+    cluster
+        .create_array("A", schema(n), EpochPartitioning::fixed(grid.clone()))
+        .unwrap();
+    cluster.load_at("A", 0, dense_cells(n)).unwrap();
+    cluster.run_workload("A", &skewed).unwrap();
+    let before = cluster.imbalance();
+    // Designer suggests; a new epoch is installed and data rebalanced.
+    cluster.add_epoch("A", 100, designed_skewed.clone()).unwrap();
+    let moved = cluster.rebalance("A").unwrap();
+    cluster.reset_loads();
+    cluster.run_workload("A", &skewed).unwrap();
+    let after = cluster.imbalance();
+    let mut t = ReportTable::new(
+        "E2c — epoch repartitioning on the steerable workload",
+        &["metric", "value"],
+    );
+    t.row(vec!["imbalance before".into(), f3(before)]);
+    t.row(vec!["imbalance after rebalance".into(), f3(after)]);
+    t.row(vec![
+        "cells moved by rebalance".into(),
+        format!("{moved} / {}", n * n),
+    ]);
+    tables.push(t);
+
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_shapes_hold() {
+        let tables = run(true);
+        // (a) grid is near-perfect on uniform, bad on skew; designer fixes skew.
+        let a = &tables[0];
+        let uniform_grid: f64 = a.rows[0][1].parse().unwrap();
+        let skew_grid: f64 = a.rows[1][1].parse().unwrap();
+        let skew_designed: f64 = a.rows[1][2].parse().unwrap();
+        assert!(uniform_grid < 1.1);
+        assert!(skew_grid > skew_designed, "{skew_grid} > {skew_designed}");
+        // (b) co-partitioned join moves nothing.
+        let b = &tables[1];
+        assert_eq!(b.rows[0][1], "0");
+        let hash_moved: usize = b.rows[1][1].parse().unwrap();
+        assert!(hash_moved > 0);
+        // (c) rebalance reduces imbalance.
+        let c = &tables[2];
+        let before: f64 = c.rows[0][1].parse().unwrap();
+        let after: f64 = c.rows[1][1].parse().unwrap();
+        assert!(after <= before, "{after} <= {before}");
+    }
+}

@@ -1,0 +1,219 @@
+//! E3 — storage manager (§2.8): loader bucketing, background merge vs
+//! read amplification, and codec choice.
+
+use crate::data::load_stream;
+use crate::report::{f3, fmt_bytes, ReportTable};
+use scidb_core::geometry::HyperRect;
+use scidb_core::schema::SchemaBuilder;
+use scidb_storage::compress::{encode_f64s, encode_i64s, Codec};
+use scidb_storage::{merge_pass, CodecPolicy, MemDisk, StorageManager, StreamLoader};
+use std::sync::Arc;
+
+fn manager(n_t: i64, width: i64) -> StorageManager {
+    let schema = Arc::new(
+        SchemaBuilder::new("stream")
+            .attr("v", scidb_core::value::ScalarType::Float64)
+            .dim_chunked("t", n_t, 128)
+            .dim_chunked("s", width, width)
+            .build()
+            .unwrap(),
+    );
+    StorageManager::new(Arc::new(MemDisk::new()), schema, CodecPolicy::default_policy())
+}
+
+/// Runs E3.
+pub fn run(quick: bool) -> Vec<ReportTable> {
+    let n_t: i64 = if quick { 4096 } else { 16384 };
+    let width = 8i64;
+    let mut tables = Vec::new();
+
+    // (a) Loader under different memory budgets.
+    let mut t = ReportTable::new(
+        "E3a — streaming loader: buckets vs staging budget",
+        &["budget", "flushes", "buckets", "avg bucket"],
+    );
+    for budget in [64 << 10, 512 << 10, 8 << 20] {
+        let mut mgr = manager(n_t, width);
+        let mut loader = StreamLoader::new(&mut mgr, budget);
+        for (coords, rec) in load_stream(n_t, width) {
+            loader.push(&coords, rec).unwrap();
+        }
+        let stats = loader.finish().unwrap();
+        t.row(vec![
+            fmt_bytes(budget),
+            stats.flushes.to_string(),
+            stats.buckets.to_string(),
+            fmt_bytes(if stats.buckets == 0 {
+                0
+            } else {
+                stats.bytes_written as usize / stats.buckets
+            }),
+        ]);
+    }
+    tables.push(t);
+
+    // (b) Read amplification before/after background merge.
+    let mut mgr = manager(n_t, width);
+    let mut loader = StreamLoader::new(&mut mgr, 64 << 10);
+    for (coords, rec) in load_stream(n_t, width) {
+        loader.push(&coords, rec).unwrap();
+    }
+    loader.finish().unwrap();
+    let slab = HyperRect::new(vec![1, 1], vec![n_t / 8, width]).unwrap();
+    let mut t = ReportTable::new(
+        "E3b — slab read amplification vs background merge passes",
+        &["merge passes", "buckets", "slab buckets read", "decode amplification"],
+    );
+    for pass in 0..=2 {
+        if pass > 0 {
+            merge_pass(&mut mgr, 4).unwrap();
+        }
+        let (_, stats) = mgr.read_region(&slab).unwrap();
+        t.row(vec![
+            pass.to_string(),
+            mgr.bucket_count().to_string(),
+            stats.buckets.to_string(),
+            f3(stats.cells_decoded as f64 / stats.cells_returned.max(1) as f64),
+        ]);
+    }
+    tables.push(t);
+
+    // (c) Codec comparison on three data profiles.
+    let n = if quick { 50_000 } else { 500_000 };
+    let constant = vec![42i64; n];
+    let sorted: Vec<i64> = (0..n as i64).collect();
+    // Sensor floats: plateaus with occasional steps (XOR-friendly);
+    // chaotic floats: every mantissa differs (XOR-hostile, kept honest).
+    let sensor: Vec<f64> = (0..n).map(|i| 20.0 + (i / 64) as f64 * 0.25).collect();
+    let chaotic: Vec<f64> = (0..n).map(|i| (i as f64 * 0.777).sin() * 100.0).collect();
+    let mut t = ReportTable::new(
+        "E3c — compression ratio by codec × data profile (raw = 1.0)",
+        &["profile", "codec", "bytes", "ratio"],
+    );
+    let raw_ints = encode_i64s(&constant, Codec::Raw).unwrap().len();
+    for codec in [Codec::Raw, Codec::Rle, Codec::DeltaVarint] {
+        let bytes = encode_i64s(&constant, codec).unwrap().len();
+        t.row(vec![
+            "constant ints".into(),
+            format!("{codec:?}"),
+            fmt_bytes(bytes),
+            f3(raw_ints as f64 / bytes as f64),
+        ]);
+    }
+    for codec in [Codec::Raw, Codec::Rle, Codec::DeltaVarint] {
+        let bytes = encode_i64s(&sorted, codec).unwrap().len();
+        t.row(vec![
+            "sorted ints".into(),
+            format!("{codec:?}"),
+            fmt_bytes(bytes),
+            f3(raw_ints as f64 / bytes as f64),
+        ]);
+    }
+    let raw_floats = encode_f64s(&sensor, Codec::Raw).unwrap().len();
+    for (profile, data) in [("sensor floats", &sensor), ("chaotic floats", &chaotic)] {
+        for codec in [Codec::Raw, Codec::XorFloat] {
+            let bytes = encode_f64s(data, codec).unwrap().len();
+            t.row(vec![
+                profile.into(),
+                format!("{codec:?}"),
+                fmt_bytes(bytes),
+                f3(raw_floats as f64 / bytes as f64),
+            ]);
+        }
+    }
+    tables.push(t);
+
+    // (d) Ablation: chunk stride vs query selectivity (DESIGN.md §5).
+    // Small strides suit point reads; large strides suit big slabs.
+    let side: i64 = if quick { 256 } else { 512 };
+    let mut t = ReportTable::new(
+        "E3d — ablation: bytes read per query vs chunk stride (2-D array)",
+        &["stride", "buckets", "point read", "small slab (1/16)", "big slab (1/2)"],
+    );
+    for stride in [16i64, 64, 128] {
+        let schema = Arc::new(
+            SchemaBuilder::new("ab")
+                .attr("v", scidb_core::value::ScalarType::Float64)
+                .dim_chunked("i", side, stride)
+                .dim_chunked("j", side, stride)
+                .build()
+                .unwrap(),
+        );
+        let mut mgr = StorageManager::new(
+            Arc::new(MemDisk::new()),
+            Arc::clone(&schema),
+            CodecPolicy::default_policy(),
+        );
+        let mut a = scidb_core::array::Array::from_arc(Arc::clone(&schema));
+        a.fill_with(|c| {
+            vec![scidb_core::value::Value::from((c[0] + c[1]) as f64)]
+        })
+        .unwrap();
+        mgr.store_array(&a).unwrap();
+
+        let bytes_for = |mgr: &StorageManager, rect: &HyperRect| -> u64 {
+            let (_, stats) = mgr.read_region(rect).unwrap();
+            stats.bytes_read
+        };
+        let point = HyperRect::new(vec![side / 2, side / 2], vec![side / 2, side / 2]).unwrap();
+        let small = HyperRect::new(vec![1, 1], vec![side / 4, side / 4]).unwrap();
+        let big = HyperRect::new(vec![1, 1], vec![side, side / 2]).unwrap();
+        t.row(vec![
+            stride.to_string(),
+            mgr.bucket_count().to_string(),
+            fmt_bytes(bytes_for(&mgr, &point) as usize),
+            fmt_bytes(bytes_for(&mgr, &small) as usize),
+            fmt_bytes(bytes_for(&mgr, &big) as usize),
+        ]);
+    }
+    tables.push(t);
+
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3d_stride_tradeoff() {
+        let tables = run(true);
+        let d = &tables[3];
+        assert_eq!(d.rows.len(), 3);
+        // Smaller strides read fewer bytes for point queries.
+        let parse_b = |s: &str| -> f64 {
+            let (num, unit) = s.split_once(' ').unwrap();
+            let mult = match unit {
+                "B" => 1.0,
+                "KiB" => 1024.0,
+                _ => 1024.0 * 1024.0,
+            };
+            num.parse::<f64>().unwrap() * mult
+        };
+        let point16 = parse_b(&d.rows[0][2]);
+        let point128 = parse_b(&d.rows[2][2]);
+        assert!(
+            point16 < point128,
+            "fine chunks win point reads: {point16} vs {point128}"
+        );
+    }
+
+    #[test]
+    fn e3_shapes_hold() {
+        let tables = run(true);
+        // (a) tighter budget → more flushes.
+        let a = &tables[0];
+        let f_small: usize = a.rows[0][1].parse().unwrap();
+        let f_big: usize = a.rows[2][1].parse().unwrap();
+        assert!(f_small > f_big);
+        // (b) merging reduces buckets touched per slab.
+        let b = &tables[1];
+        let buckets0: usize = b.rows[0][2].parse().unwrap();
+        let buckets2: usize = b.rows[2][2].parse().unwrap();
+        assert!(buckets2 < buckets0, "{buckets2} < {buckets0}");
+        // (c) RLE crushes constant data.
+        let c = &tables[2];
+        let rle_ratio: f64 = c.rows[1][3].parse().unwrap();
+        assert!(rle_ratio > 100.0, "rle on constants: {rle_ratio}");
+    }
+}

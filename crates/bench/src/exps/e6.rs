@@ -1,0 +1,165 @@
+//! E6 — provenance (§2.12): minimal-storage replay vs Trio item-level
+//! storage vs the cached hybrid.
+
+use crate::report::{f3, fmt_bytes, median_ms, ReportTable};
+use scidb_core::array::Array;
+use scidb_core::expr::Expr;
+use scidb_provenance::{backward_trace, forward_trace, Pipeline, StepOp, TraceMode, TrioStore};
+
+/// Builds the 6-step cooking pipeline over an n×n raw image; optionally
+/// records Trio lineage.
+fn pipeline(n: i64, trio: Option<&mut TrioStore>) -> Pipeline {
+    let rows: Vec<Vec<f64>> = (1..=n)
+        .map(|i| (1..=n).map(|j| (i * 10 + j) as f64).collect())
+        .collect();
+    let mut p = Pipeline::new(vec![("raw".into(), Array::f64_2d("raw", "v", &rows))]);
+    let steps: Vec<(StepOp, &str, &str)> = vec![
+        (
+            StepOp::Apply {
+                name: "dark".into(),
+                expr: Expr::attr("v").sub(Expr::lit(1.0)),
+            },
+            "raw",
+            "s1",
+        ),
+        (
+            StepOp::Apply {
+                name: "gain".into(),
+                expr: Expr::attr("dark").mul(Expr::lit(1.1)),
+            },
+            "s1",
+            "s2",
+        ),
+        (
+            StepOp::Filter {
+                pred: Expr::attr("gain").gt(Expr::lit(0.0)),
+            },
+            "s2",
+            "s3",
+        ),
+        (
+            StepOp::Regrid {
+                factors: vec![2, 2],
+                agg: "avg".into(),
+            },
+            "s3",
+            "s4",
+        ),
+        (
+            StepOp::Apply {
+                name: "log".into(),
+                expr: Expr::attr("gain").add(Expr::lit(0.0)),
+            },
+            "s4",
+            "s5",
+        ),
+        (
+            StepOp::Regrid {
+                factors: vec![2, 2],
+                agg: "sum".into(),
+            },
+            "s5",
+            "summary",
+        ),
+    ];
+    let mut trio = trio;
+    for (op, input, output) in steps {
+        match &mut trio {
+            Some(store) => p.run_step(op, &[input], output, Some(store)).unwrap(),
+            None => p.run_step(op, &[input], output, None).unwrap(),
+        }
+    }
+    p
+}
+
+/// Runs E6.
+pub fn run(quick: bool) -> Vec<ReportTable> {
+    let n: i64 = if quick { 64 } else { 256 };
+    let mut tables = Vec::new();
+
+    // (a) Space of each mode.
+    let mut trio = TrioStore::new();
+    let p_trio = pipeline(n, Some(&mut trio));
+    let p = pipeline(n, None);
+    let raw_bytes = p.array("raw").unwrap().byte_size();
+    let mut t = ReportTable::new(
+        "E6a — lineage storage by mode",
+        &["mode", "bytes", "vs raw data"],
+    );
+    t.row(vec!["replay (log only)".into(), fmt_bytes(0), "0".into()]);
+    t.row(vec![
+        "Trio item-level".into(),
+        fmt_bytes(trio.byte_size()),
+        format!("{:.1}x", trio.byte_size() as f64 / raw_bytes as f64),
+    ]);
+    tables.push(t);
+
+    // (b) Backward trace time: replay vs Trio vs hybrid (1st/2nd trace).
+    let cell = [n / 8, n / 8];
+    let mut t = ReportTable::new(
+        "E6b — backward trace of one summary cell (ms)",
+        &["mode", "ms", "cells in lineage"],
+    );
+    let (res, _) = crate::report::time_ms(|| {
+        backward_trace(&p, "summary", &cell, TraceMode::Replay).unwrap()
+    });
+    let replay_ms = median_ms(5, || {
+        backward_trace(&p, "summary", &cell, TraceMode::Replay).unwrap()
+    });
+    t.row(vec!["replay".into(), f3(replay_ms), res.total_cells().to_string()]);
+    let trio_ms = median_ms(5, || {
+        backward_trace(&p_trio, "summary", &cell, TraceMode::Trio(&trio)).unwrap()
+    });
+    t.row(vec!["Trio lookup".into(), f3(trio_ms), res.total_cells().to_string()]);
+    let mut cache = TrioStore::new();
+    let first_ms = median_ms(1, || {
+        let mut c = TrioStore::new();
+        backward_trace(&p, "summary", &cell, TraceMode::Hybrid(&mut c)).unwrap()
+    });
+    backward_trace(&p, "summary", &cell, TraceMode::Hybrid(&mut cache)).unwrap();
+    let second_ms = median_ms(5, || {
+        backward_trace(&p, "summary", &cell, TraceMode::Hybrid(&mut cache)).unwrap()
+    });
+    t.row(vec!["hybrid (1st trace)".into(), f3(first_ms), res.total_cells().to_string()]);
+    t.row(vec![
+        "hybrid (cached re-trace)".into(),
+        f3(second_ms),
+        res.total_cells().to_string(),
+    ]);
+    tables.push(t);
+
+    // (c) Forward trace closure.
+    let fwd = forward_trace(&p, "raw", &[1, 1]).unwrap();
+    let fwd_ms = median_ms(5, || forward_trace(&p, "raw", &[1, 1]).unwrap());
+    let mut t = ReportTable::new(
+        "E6c — forward trace of one raw cell",
+        &["metric", "value"],
+    );
+    t.row(vec!["downstream cells".into(), fwd.total_cells().to_string()]);
+    t.row(vec!["ms".into(), f3(fwd_ms)]);
+    t.row(vec![
+        "hybrid cache bytes after one trace".into(),
+        fmt_bytes(cache.byte_size()),
+    ]);
+    tables.push(t);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_space_time_tradeoff_holds() {
+        let tables = run(true);
+        // Trio storage is large relative to raw data.
+        let trio_factor: f64 = tables[0].rows[1][2].trim_end_matches('x').parse().unwrap();
+        assert!(trio_factor > 0.5, "item-level lineage is bulky: {trio_factor}");
+        // Hybrid cache is much smaller than the full Trio store (it holds
+        // one trace's worth).
+        assert_eq!(tables[1].rows.len(), 4);
+        // Forward trace reaches the final summary level.
+        let down: usize = tables[2].rows[0][1].parse().unwrap();
+        assert!(down >= 4, "raw cell affects all levels: {down}");
+    }
+}

@@ -1,0 +1,93 @@
+//! E7 — uncertainty (§2.13): constant-σ arrays take "negligible extra
+//! space"; error-propagating arithmetic overhead.
+
+use crate::data::{plain_1d, uncertain_1d};
+use crate::report::{f3, fmt_bytes, median_ms, ReportTable};
+use scidb_core::ops::{aggregate, AggInput};
+use scidb_core::registry::Registry;
+use scidb_storage::{serialize_chunk, CodecPolicy};
+
+/// Runs E7.
+pub fn run(quick: bool) -> Vec<ReportTable> {
+    let n: i64 = if quick { 100_000 } else { 1_000_000 };
+    let registry = Registry::with_builtins();
+    let plain = plain_1d(n);
+    let const_sigma = uncertain_1d(n, true, 5);
+    let var_sigma = uncertain_1d(n, false, 5);
+    let mut tables = Vec::new();
+
+    // (a) Storage: in-memory and serialized.
+    let mut t = ReportTable::new(
+        "E7a — storage of 1e6-cell arrays (paper: constant error bars ≈ free)",
+        &["array", "in-memory", "vs plain", "serialized", "vs plain"],
+    );
+    let ser = |a: &scidb_core::array::Array| -> usize {
+        a.chunks()
+            .values()
+            .map(|c| serialize_chunk(c, CodecPolicy::raw()).unwrap().len())
+            .sum()
+    };
+    let (pm, ps) = (plain.byte_size(), ser(&plain));
+    for (label, a) in [
+        ("plain float", &plain),
+        ("uncertain, constant sigma", &const_sigma),
+        ("uncertain, per-cell sigma", &var_sigma),
+    ] {
+        let m = a.byte_size();
+        let s = ser(a);
+        t.row(vec![
+            label.into(),
+            fmt_bytes(m),
+            format!("{:.2}x", m as f64 / pm as f64),
+            fmt_bytes(s),
+            format!("{:.2}x", s as f64 / ps as f64),
+        ]);
+    }
+    tables.push(t);
+
+    // (b) Arithmetic throughput: sum aggregate (which propagates sigma for
+    // uncertain inputs).
+    let mut t = ReportTable::new(
+        "E7b — sum aggregate over 1e6 cells (error propagation overhead)",
+        &["array", "ms", "vs plain"],
+    );
+    let base = median_ms(3, || {
+        aggregate(&plain, &[], "sum", AggInput::Star, &registry).unwrap()
+    });
+    for (label, a) in [
+        ("plain float", &plain),
+        ("uncertain, constant sigma", &const_sigma),
+        ("uncertain, per-cell sigma", &var_sigma),
+    ] {
+        let ms = median_ms(3, || {
+            aggregate(a, &[], "sum", AggInput::Star, &registry).unwrap()
+        });
+        t.row(vec![label.into(), f3(ms), format!("{:.2}x", ms / base)]);
+    }
+    tables.push(t);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_constant_sigma_is_nearly_free_on_disk() {
+        let tables = run(true);
+        let a = &tables[0];
+        // Serialized: constant-sigma ≈ plain (within 15%); per-cell ≈ 2x.
+        let const_ser: f64 = a.rows[1][4].trim_end_matches('x').parse().unwrap();
+        let var_ser: f64 = a.rows[2][4].trim_end_matches('x').parse().unwrap();
+        assert!(const_ser < 1.15, "constant sigma serialized factor {const_ser}");
+        assert!(var_ser > 1.4, "per-cell sigma serialized factor {var_ser}");
+        // Throughput overhead bounded (well under 10x).
+        let b = &tables[1];
+        let worst: f64 = b
+            .rows
+            .iter()
+            .map(|r| r[2].trim_end_matches('x').parse::<f64>().unwrap())
+            .fold(0.0, f64::max);
+        assert!(worst < 10.0, "arithmetic overhead {worst}x");
+    }
+}

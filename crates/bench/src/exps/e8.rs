@@ -1,0 +1,138 @@
+//! E8 — no-overwrite history (§2.5): time-travel read cost vs history
+//! depth; delta-transaction update throughput vs in-place overwrite.
+
+use crate::report::{f3, median_ms, ReportTable};
+use scidb_core::array::Array;
+use scidb_core::history::{Transaction, UpdatableArray};
+use scidb_core::schema::SchemaBuilder;
+use scidb_core::value::{record, ScalarType, Value};
+
+fn updatable(n: i64) -> UpdatableArray {
+    let schema = SchemaBuilder::new("U")
+        .attr("v", ScalarType::Float64)
+        .dim("I", n)
+        .dim("J", n)
+        .updatable()
+        .build()
+        .unwrap();
+    UpdatableArray::new(schema).unwrap()
+}
+
+/// Runs E8.
+pub fn run(quick: bool) -> Vec<ReportTable> {
+    let n: i64 = if quick { 64 } else { 256 };
+    let mut tables = Vec::new();
+
+    // (a) Time-travel read cost vs history depth: after d versions that
+    // each touch 1% of cells, read 1000 cells at the latest history.
+    let mut t = ReportTable::new(
+        "E8a — point-read cost vs history depth (1000 reads at latest)",
+        &["versions", "ms", "delta cells stored"],
+    );
+    let mut a = updatable(n);
+    // Initial full load.
+    let mut txn = Transaction::new();
+    for i in 1..=n {
+        for j in 1..=n {
+            txn.put(&[i, j], record([Value::from((i + j) as f64)]));
+        }
+    }
+    a.commit(txn).unwrap();
+    let touched = ((n * n) / 100).max(1);
+    for depth in [1usize, 4, 16, 64, 256] {
+        while (a.current_history() as usize) < depth {
+            let h = a.current_history();
+            let mut txn = Transaction::new();
+            for k in 0..touched {
+                let i = 1 + (k * 17 + h) % n;
+                let j = 1 + (k * 29 + h * 3) % n;
+                txn.put(&[i, j], record([Value::from(h as f64)]));
+            }
+            a.commit(txn).unwrap();
+        }
+        let ms = median_ms(3, || {
+            let mut acc = 0.0;
+            for k in 0..1000i64 {
+                let i = 1 + (k * 7) % n;
+                let j = 1 + (k * 13) % n;
+                if let Some(rec) = a.get_latest(&[i, j]) {
+                    acc += rec[0].as_f64().unwrap_or(0.0);
+                }
+            }
+            acc
+        });
+        t.row(vec![
+            depth.to_string(),
+            f3(ms),
+            a.delta_count().to_string(),
+        ]);
+    }
+    tables.push(t);
+
+    // (b) Update throughput: delta commits vs in-place overwrite baseline.
+    let updates: i64 = if quick { 20_000 } else { 100_000 };
+    let mut t = ReportTable::new(
+        "E8b — update throughput (random single-cell updates)",
+        &["engine", "updates", "ms", "updates/ms"],
+    );
+    let ms_delta = median_ms(1, || {
+        let mut a = updatable(n);
+        for k in 0..updates {
+            let i = 1 + (k * 17) % n;
+            let j = 1 + (k * 29) % n;
+            a.commit_put(&[i, j], record([Value::from(k as f64)])).unwrap();
+        }
+        a.current_history()
+    });
+    t.row(vec![
+        "no-overwrite deltas".into(),
+        updates.to_string(),
+        f3(ms_delta),
+        f3(updates as f64 / ms_delta),
+    ]);
+    let ms_inplace = median_ms(1, || {
+        let schema = SchemaBuilder::new("P")
+            .attr("v", ScalarType::Float64)
+            .dim("I", n)
+            .dim("J", n)
+            .build()
+            .unwrap();
+        let mut a = Array::new(schema);
+        for k in 0..updates {
+            let i = 1 + (k * 17) % n;
+            let j = 1 + (k * 29) % n;
+            a.set_cell(&[i, j], record([Value::from(k as f64)])).unwrap();
+        }
+        a.cell_count()
+    });
+    t.row(vec![
+        "in-place overwrite".into(),
+        updates.to_string(),
+        f3(ms_inplace),
+        f3(updates as f64 / ms_inplace),
+    ]);
+    tables.push(t);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_read_cost_grows_with_depth() {
+        let tables = run(true);
+        let a = &tables[0];
+        let first: f64 = a.rows[0][1].parse().unwrap();
+        let last: f64 = a.rows.last().unwrap()[1].parse().unwrap();
+        assert!(
+            last >= first,
+            "deeper history cannot be cheaper: {first} -> {last}"
+        );
+        // Delta cells accumulate monotonically.
+        let d0: usize = a.rows[0][2].parse().unwrap();
+        let dn: usize = a.rows.last().unwrap()[2].parse().unwrap();
+        assert!(dn > d0);
+        assert_eq!(tables[1].rows.len(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! E9 — the eBay clickstream (§2.14): the nested-array time series vs the
+//! flattened relational weblog.
+
+use crate::report::{f3, fmt_bytes, median_ms, ReportTable};
+use scidb_ssdb::clickstream::{
+    analyze_array, analyze_table, build_event_array, build_event_table, generate_events,
+    ClickSpec,
+};
+
+/// Runs E9.
+pub fn run(quick: bool) -> Vec<ReportTable> {
+    let spec = ClickSpec {
+        n_sessions: if quick { 2_000 } else { 20_000 },
+        ..Default::default()
+    };
+    let events = generate_events(&spec);
+    let mut tables = Vec::new();
+
+    let (arr, build_arr_ms) =
+        crate::report::time_ms(|| build_event_array(&events, spec.page_size).unwrap());
+    let (tab, build_tab_ms) = crate::report::time_ms(|| build_event_table(&events).unwrap());
+
+    let analyze_arr_ms = median_ms(3, || analyze_array(&arr, spec.page_size).unwrap());
+    let analyze_tab_ms = median_ms(3, || analyze_table(&tab, spec.page_size).unwrap());
+
+    let a = analyze_array(&arr, spec.page_size).unwrap();
+    let t_res = analyze_table(&tab, spec.page_size).unwrap();
+    assert_eq!(a, t_res, "engines agree on all analytics");
+
+    let mut t = ReportTable::new(
+        "E9 — clickstream analytics: nested array vs flattened weblog",
+        &["engine", "records", "bytes", "build ms", "analyze ms"],
+    );
+    t.row(vec![
+        "array (1-D + nested results)".into(),
+        arr.cell_count().to_string(),
+        fmt_bytes(arr.byte_size()),
+        f3(build_arr_ms),
+        f3(analyze_arr_ms),
+    ]);
+    t.row(vec![
+        "relational weblog (flattened)".into(),
+        tab.len().to_string(),
+        fmt_bytes(tab.byte_size()),
+        f3(build_tab_ms),
+        f3(analyze_tab_ms),
+    ]);
+    tables.push(t);
+
+    let mut t = ReportTable::new(
+        "E9 — the paper's analyses (identical under both engines)",
+        &["analysis", "value"],
+    );
+    t.row(vec![
+        "items surfaced but never clicked".into(),
+        a.surfaced_never_clicked.to_string(),
+    ]);
+    t.row(vec![
+        "searches with flawed strategy (top 6 ignored)".into(),
+        a.flawed_searches.to_string(),
+    ]);
+    t.row(vec![
+        "CTR rank 1 / rank 5".into(),
+        format!("{} / {}", f3(a.ctr_by_rank[0]), f3(a.ctr_by_rank[4])),
+    ]);
+    tables.push(t);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_array_model_is_more_compact_per_event() {
+        let tables = run(true);
+        let t = &tables[0];
+        let arr_records: usize = t.rows[0][1].parse().unwrap();
+        let tab_records: usize = t.rows[1][1].parse().unwrap();
+        assert_eq!(tab_records, arr_records * 10, "flattening multiplies rows");
+        // Analyses present and plausible.
+        let ignored: usize = tables[1].rows[0][1].parse().unwrap();
+        assert!(ignored > 100);
+    }
+}

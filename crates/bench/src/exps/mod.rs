@@ -1,0 +1,43 @@
+//! One module per experiment from DESIGN.md §3. Every module exposes
+//! `run(quick: bool) -> Vec<ReportTable>`; the `experiments` binary prints
+//! them, EXPERIMENTS.md records them, and each module's tests assert the
+//! paper's *shape* claims (who wins, by roughly what factor).
+
+pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+pub mod figures;
+
+use crate::report::ReportTable;
+
+/// All experiment ids, in report order.
+pub const ALL: &[&str] = &[
+    "figures", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
+
+/// Dispatches one experiment by id.
+pub fn run(id: &str, quick: bool) -> Option<Vec<ReportTable>> {
+    match id {
+        "figures" => Some(figures::run(quick)),
+        "e1" => Some(e1::run(quick)),
+        "e2" => Some(e2::run(quick)),
+        "e3" => Some(e3::run(quick)),
+        "e4" => Some(e4::run(quick)),
+        "e5" => Some(e5::run(quick)),
+        "e6" => Some(e6::run(quick)),
+        "e7" => Some(e7::run(quick)),
+        "e8" => Some(e8::run(quick)),
+        "e9" => Some(e9::run(quick)),
+        "e10" => Some(e10::run(quick)),
+        "e11" => Some(e11::run(quick)),
+        _ => None,
+    }
+}

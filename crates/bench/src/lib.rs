@@ -1,0 +1,19 @@
+//! # scidb-bench
+//!
+//! The benchmark harness: per-experiment modules ([`exps`]) that
+//! regenerate every figure and quantitative claim of the paper (DESIGN.md
+//! §3), plus shared data builders ([`data`]) and report formatting
+//! ([`report`]).
+//!
+//! * `cargo run -p scidb-bench --release --bin experiments [-- all|<ids>]`
+//!   prints the tables EXPERIMENTS.md records.
+//! * `cargo bench -p scidb-bench` runs the Criterion timing benches
+//!   (`benches/`), one per experiment family.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod exps;
+pub mod report;
+
+pub use report::{median_ms, time_ms, ReportTable};

@@ -1,0 +1,230 @@
+//! A compact bit vector used for per-chunk presence ("EMPTY") and per-column
+//! NULL bitmaps.
+//!
+//! The engine distinguishes *empty* cells (never written, or outside a shape
+//! function's ragged bounds) from *NULL* cells (written, but the paper's
+//! `Filter` operator, §2.2.2, replaces non-qualifying values with NULL).
+//! Both states are tracked with this structure.
+
+/// A growable bit vector backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bit vector of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let word = if value { u64::MAX } else { 0 };
+        let n_words = len.div_ceil(64);
+        let mut bv = BitVec {
+            words: vec![word; n_words],
+            len,
+        };
+        bv.mask_tail();
+        bv
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`. Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`. Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if value {
+            self.set(self.len - 1, true);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if every bit is set.
+    pub fn all(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// True if no bit is set.
+    pub fn none(&self) -> bool {
+        self.count_ones() == 0
+    }
+
+    /// Iterator over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// In-place union with another bit vector of the same length.
+    pub fn union_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with another bit vector of the same length.
+    pub fn intersect_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Serialized byte size (used by the storage layer's accounting).
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Raw words, for codec use.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds from raw words and a length, for codec use.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert!(words.len() == len.div_ceil(64), "word count mismatch");
+        let mut bv = BitVec { words, len };
+        bv.mask_tail();
+        bv
+    }
+
+    /// Clears bits beyond `len` in the last word so `count_ones` is exact.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_true_has_all_bits() {
+        let bv = BitVec::filled(100, true);
+        assert_eq!(bv.len(), 100);
+        assert_eq!(bv.count_ones(), 100);
+        assert!(bv.all());
+        assert!(bv.get(0) && bv.get(63) && bv.get(64) && bv.get(99));
+    }
+
+    #[test]
+    fn filled_false_has_no_bits() {
+        let bv = BitVec::filled(70, false);
+        assert!(bv.none());
+        assert!(!bv.get(69));
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut bv = BitVec::filled(130, false);
+        bv.set(0, true);
+        bv.set(64, true);
+        bv.set(129, true);
+        assert_eq!(bv.count_ones(), 3);
+        assert!(bv.get(0) && bv.get(64) && bv.get(129));
+        bv.set(64, false);
+        assert_eq!(bv.count_ones(), 2);
+        assert!(!bv.get(64));
+    }
+
+    #[test]
+    fn push_grows_vector() {
+        let mut bv = BitVec::new();
+        for i in 0..200 {
+            bv.push(i % 3 == 0);
+        }
+        assert_eq!(bv.len(), 200);
+        assert_eq!(bv.count_ones(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn iter_ones_yields_set_indices() {
+        let mut bv = BitVec::filled(150, false);
+        for i in [3usize, 64, 65, 149] {
+            bv.set(i, true);
+        }
+        let ones: Vec<usize> = bv.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 65, 149]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = BitVec::filled(10, false);
+        let mut b = BitVec::filled(10, false);
+        a.set(1, true);
+        a.set(2, true);
+        b.set(2, true);
+        b.set(3, true);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+        a.intersect_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::filled(5, false).get(5);
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let bv = BitVec::from_words(vec![u64::MAX], 10);
+        assert_eq!(bv.count_ones(), 10);
+    }
+}

@@ -1,0 +1,123 @@
+//! Error type shared across the SciDB-rs engine.
+
+use std::fmt;
+
+/// Result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Engine-wide error type.
+///
+/// The variants mirror the failure classes the CIDR'09 paper implies:
+/// schema violations (the array model is strongly typed), dimension errors
+/// (addressing outside the high-water mark, malformed predicates such as the
+/// illegal `X = Y` subsample predicate of §2.2.1), registry lookups for
+/// user-defined functions (§2.3), and storage-layer failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A schema-level violation: wrong attribute count/type, duplicate names,
+    /// incompatible schemas for an operator.
+    Schema(String),
+    /// A dimension-level violation: rank mismatch, coordinate out of bounds,
+    /// unbounded dimension where a bounded one is required, illegal
+    /// cross-dimension predicate.
+    Dimension(String),
+    /// A named object (array, function, aggregate, enhancement, shape
+    /// function, type) was not found in the catalog or registry.
+    NotFound(String),
+    /// A named object already exists.
+    AlreadyExists(String),
+    /// A runtime evaluation error (type mismatch in an expression, division
+    /// by zero under strict mode, bad aggregate state).
+    Eval(String),
+    /// Malformed query text or parse tree.
+    Parse(String),
+    /// Storage-layer failure (corrupt bucket, codec error, I/O).
+    Storage(String),
+    /// The operation is valid but unsupported in this build.
+    Unsupported(String),
+}
+
+impl Error {
+    /// Convenience constructor for schema errors.
+    pub fn schema(msg: impl Into<String>) -> Self {
+        Error::Schema(msg.into())
+    }
+
+    /// Convenience constructor for dimension errors.
+    pub fn dimension(msg: impl Into<String>) -> Self {
+        Error::Dimension(msg.into())
+    }
+
+    /// Convenience constructor for not-found errors.
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Error::NotFound(msg.into())
+    }
+
+    /// Convenience constructor for evaluation errors.
+    pub fn eval(msg: impl Into<String>) -> Self {
+        Error::Eval(msg.into())
+    }
+
+    /// Convenience constructor for parse errors.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+
+    /// Convenience constructor for storage errors.
+    pub fn storage(msg: impl Into<String>) -> Self {
+        Error::Storage(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Dimension(m) => write!(f, "dimension error: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_each_variant() {
+        assert_eq!(Error::schema("bad").to_string(), "schema error: bad");
+        assert_eq!(Error::dimension("bad").to_string(), "dimension error: bad");
+        assert_eq!(Error::not_found("x").to_string(), "not found: x");
+        assert_eq!(
+            Error::AlreadyExists("x".into()).to_string(),
+            "already exists: x"
+        );
+        assert_eq!(Error::eval("bad").to_string(), "evaluation error: bad");
+        assert_eq!(Error::parse("bad").to_string(), "parse error: bad");
+        assert_eq!(Error::storage("bad").to_string(), "storage error: bad");
+        assert_eq!(
+            Error::Unsupported("x".into()).to_string(),
+            "unsupported: x"
+        );
+    }
+
+    #[test]
+    fn io_error_converts_to_storage() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Storage(_)));
+    }
+}

@@ -1,0 +1,48 @@
+//! # scidb-core
+//!
+//! The array data model and operator suite of SciDB-rs — a from-scratch Rust
+//! reproduction of the system specified in *"Requirements for Science Data
+//! Bases and SciDB"* (CIDR 2009).
+//!
+//! The crate provides:
+//!
+//! * the multi-dimensional, nested **array model** (§2.1): [`schema`],
+//!   [`array`], [`chunk`], with columnar chunked storage;
+//! * **enhanced arrays** — pseudo-coordinate systems via UDFs ([`enhance`]),
+//!   and ragged boundaries via **shape functions** ([`shape`]);
+//! * the **operator suite** (§2.2): structural operators (Subsample,
+//!   Reshape, Sjoin, …) and content-dependent operators (Filter, Aggregate,
+//!   Cjoin, Apply, Project) in [`ops`];
+//! * Postgres-style **extendibility** (§2.3): user-defined functions,
+//!   aggregates, and array operations in [`udf`] and [`registry`];
+//! * **no-overwrite** updatable arrays with a history dimension (§2.5) in
+//!   [`history`], and **named versions** (§2.11) in [`versions`];
+//! * **uncertainty** (§2.13) in [`uncertain`];
+//! * a small **expression language** over cell attributes in [`expr`], used
+//!   by Filter/Apply and by the query crate.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod bitvec;
+pub mod chunk;
+pub mod enhance;
+pub mod error;
+pub mod expr;
+pub mod geometry;
+pub mod history;
+pub mod ops;
+pub mod registry;
+pub mod schema;
+pub mod shape;
+pub mod uncertain;
+pub mod udf;
+pub mod value;
+pub mod versions;
+
+pub use array::Array;
+pub use error::{Error, Result};
+pub use geometry::{Coords, HyperRect};
+pub use schema::{ArraySchema, AttributeDef, DimensionDef, SchemaBuilder};
+pub use uncertain::Uncertain;
+pub use value::{Record, Scalar, ScalarType, Value};

@@ -1,0 +1,434 @@
+//! Vectorized positional kernels for dense arrays.
+//!
+//! These are the physical-layer operators that make the array engine win
+//! the §2.1 comparison: because dense arrays address cells *positionally*,
+//! slabs are contiguous column ranges, regrid blocks are index arithmetic,
+//! and the structural join of co-aligned arrays is a pure column
+//! concatenation — no hash tables, no per-tuple dispatch, no dimension
+//! columns. A table simulation fundamentally cannot do any of this, which
+//! is where the ASAP "two orders of magnitude" comes from.
+//!
+//! Every kernel falls back to the generic cell-at-a-time path when a chunk
+//! is sparse or a column is not `Float64`, so results always match the
+//! generic operators in [`super::structural`] / [`super::content`].
+
+use crate::array::Array;
+use crate::chunk::{Chunk, Column};
+use crate::error::{Error, Result};
+use crate::geometry::HyperRect;
+use crate::schema::{ArraySchema, AttributeDef, DimensionDef};
+use crate::value::{record, Value};
+
+/// Iterates the row prefixes of `clip` (all dimensions fixed except the
+/// last) invoking `f(row_start_coords, run_len)`.
+fn for_each_row(clip: &HyperRect, mut f: impl FnMut(&[i64], usize)) {
+    let rank = clip.rank();
+    let run = clip.len(rank - 1) as usize;
+    let mut prefix = clip.clone();
+    prefix.high[rank - 1] = prefix.low[rank - 1];
+    for row in prefix.iter_cells() {
+        f(&row, run);
+    }
+}
+
+/// Sum + count of a float attribute over a rectangular region —
+/// the vectorized slab scan. Returns `(sum, non-null cells)`.
+pub fn slab_sum_f64(a: &Array, attr: usize, region: &HyperRect) -> Result<(f64, usize)> {
+    if region.rank() != a.rank() {
+        return Err(Error::dimension("slab rank mismatch"));
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for chunk in a.chunks().values() {
+        let Some(clip) = chunk.rect().intersection(region) else {
+            continue;
+        };
+        match (chunk.columns(), chunk.present_bitmap()) {
+            (Some(cols), Some(present)) => {
+                if let Column::Float64 { data, nulls } = &cols[attr] {
+                    // Contiguous inner runs: base offset + stride-1 scan.
+                    for_each_row(&clip, |row, run| {
+                        let base = chunk.rect().linearize(row);
+                        for idx in base..base + run {
+                            if present.get(idx) && !nulls.get(idx) {
+                                sum += data[idx];
+                                n += 1;
+                            }
+                        }
+                    });
+                    continue;
+                }
+                // Non-float column: positional scan via value_f64.
+                for_each_row(&clip, |row, run| {
+                    let base = chunk.rect().linearize(row);
+                    for idx in base..base + run {
+                        if let Some(v) = chunk.value_f64(attr, idx) {
+                            sum += v;
+                            n += 1;
+                        }
+                    }
+                });
+            }
+            _ => {
+                // Sparse chunk: iterate its (few) present cells.
+                for (coords, idx) in chunk.iter_present() {
+                    if clip.contains(&coords) {
+                        if let Some(v) = chunk.value_f64(attr, idx) {
+                            sum += v;
+                            n += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((sum, n))
+}
+
+/// Extracts the float values of a dimension slice `dim = at` in row-major
+/// order — the vectorized Subsample(=) kernel.
+pub fn slice_values_f64(a: &Array, attr: usize, dim: usize, at: i64) -> Result<Vec<f64>> {
+    let rect = a
+        .rect()
+        .ok_or_else(|| Error::dimension("slice kernel requires a bounded array"))?;
+    if dim >= a.rank() {
+        return Err(Error::dimension("slice dimension out of range"));
+    }
+    let mut region = rect;
+    region.low[dim] = at;
+    region.high[dim] = at;
+    let mut out = Vec::new();
+    for chunk in a.chunks().values() {
+        let Some(clip) = chunk.rect().intersection(&region) else {
+            continue;
+        };
+        for_each_row(&clip, |row, run| {
+            let base = chunk.rect().linearize(row);
+            for idx in base..base + run {
+                if let Some(v) = chunk.value_f64(attr, idx) {
+                    out.push(v);
+                }
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// Vectorized mean-regrid of one float attribute: flat per-block
+/// accumulators indexed by block arithmetic, no hashing.
+pub fn regrid_mean_f64(a: &Array, attr: usize, factors: &[i64]) -> Result<Array> {
+    let rect = a
+        .rect()
+        .ok_or_else(|| Error::dimension("regrid kernel requires a bounded array"))?;
+    if factors.len() != a.rank() || factors.iter().any(|&f| f < 1) {
+        return Err(Error::dimension("bad regrid factors"));
+    }
+    // Output geometry.
+    let out_dims: Vec<DimensionDef> = a
+        .schema()
+        .dims()
+        .iter()
+        .zip(factors)
+        .map(|(d, &f)| {
+            let upper = (d.upper.expect("bounded") + f - 1) / f;
+            DimensionDef::bounded(d.name.clone(), upper)
+        })
+        .collect();
+    let out_rect = HyperRect {
+        low: vec![1; a.rank()],
+        high: out_dims.iter().map(|d| d.upper.unwrap()).collect(),
+    };
+    let n_blocks = out_rect.volume() as usize;
+    let mut sums = vec![0.0f64; n_blocks];
+    let mut counts = vec![0u32; n_blocks];
+    let rank = a.rank();
+    let f_last = factors[rank - 1];
+
+    for chunk in a.chunks().values() {
+        let Some(clip) = chunk.rect().intersection(&rect) else {
+            continue;
+        };
+        for_each_row(&clip, |row, run| {
+            let base = chunk.rect().linearize(row);
+            // Block coords of the row prefix are fixed; only the last
+            // dimension's block advances, every `f_last` cells.
+            let mut block = vec![0i64; rank];
+            for d in 0..rank {
+                block[d] = (row[d] - 1) / factors[d] + 1;
+            }
+            let mut j = row[rank - 1];
+            for idx in base..base + run {
+                block[rank - 1] = (j - 1) / f_last + 1;
+                if let Some(v) = chunk.value_f64(attr, idx) {
+                    let bidx = out_rect.linearize(&block);
+                    sums[bidx] += v;
+                    counts[bidx] += 1;
+                }
+                j += 1;
+            }
+        });
+    }
+
+    let out_schema = ArraySchema::new(
+        format!("regrid({})", a.schema().name()),
+        vec![AttributeDef::scalar(
+            a.schema().attrs()[attr].name.clone(),
+            crate::value::ScalarType::Float64,
+        )],
+        out_dims,
+    )?;
+    let mut out = Array::new(out_schema);
+    for (bidx, &cnt) in counts.iter().enumerate() {
+        if cnt > 0 {
+            let coords = out_rect.delinearize(bidx);
+            out.set_cell(&coords, record([Value::from(sums[bidx] / cnt as f64)]))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Positional structural join of two co-aligned arrays (§2.2.1 Sjoin on
+/// all dimensions): when both arrays share dimensions, bounds, and chunk
+/// strides, the join is a per-chunk column concatenation gated by the AND
+/// of the presence bitmaps. No hash table is built.
+pub fn aligned_sjoin(a: &Array, b: &Array) -> Result<Array> {
+    let (sa, sb) = (a.schema(), b.schema());
+    if sa.rank() != sb.rank() {
+        return Err(Error::dimension("aligned join requires equal rank"));
+    }
+    for (da, db) in sa.dims().iter().zip(sb.dims()) {
+        if da.upper != db.upper || da.chunk_len != db.chunk_len {
+            return Err(Error::dimension(
+                "aligned join requires identical bounds and chunking (co-location)",
+            ));
+        }
+    }
+    // Output schema: A's dims; A's attrs then B's (renamed on clash).
+    let mut attrs = sa.attrs().to_vec();
+    for attr in sb.attrs() {
+        let mut def = attr.clone();
+        if sa.attr_index(&attr.name).is_some() {
+            def.name = format!("{}_r", attr.name);
+        }
+        attrs.push(def);
+    }
+    let out_schema = ArraySchema::new(
+        format!("sjoin({},{})", sa.name(), sb.name()),
+        attrs,
+        sa.dims().to_vec(),
+    )?;
+    let attr_types: Vec<_> = out_schema.attrs().iter().map(|x| x.ty.clone()).collect();
+
+    let mut out = Array::new(out_schema);
+    for (origin, ca) in a.chunks() {
+        let Some(cb) = b.chunks().get(origin) else {
+            continue;
+        };
+        if ca.is_empty() || cb.is_empty() {
+            continue;
+        }
+        match (
+            ca.columns(),
+            ca.present_bitmap(),
+            cb.columns(),
+            cb.present_bitmap(),
+        ) {
+            (Some(cols_a), Some(pa), Some(cols_b), Some(pb)) => {
+                // Pure positional concatenation.
+                let mut present = pa.clone();
+                present.intersect_with(pb);
+                if present.none() {
+                    continue;
+                }
+                let mut columns: Vec<Column> = cols_a.to_vec();
+                columns.extend(cols_b.iter().cloned());
+                out.insert_chunk(Chunk::from_parts(
+                    ca.rect().clone(),
+                    attr_types.clone(),
+                    present,
+                    columns,
+                )?);
+            }
+            _ => {
+                // Sparse fallback: probe the denser side cell-by-cell.
+                let (small, big, small_is_a) = if ca.present_count() <= cb.present_count() {
+                    (ca, cb, true)
+                } else {
+                    (cb, ca, false)
+                };
+                for (coords, idx) in small.iter_present() {
+                    if !big.cell_present(&coords) {
+                        continue;
+                    }
+                    let (rec_a, rec_b) = if small_is_a {
+                        (small.record_at(idx), big.record_at(big.offset_of(&coords)))
+                    } else {
+                        (big.record_at(big.offset_of(&coords)), small.record_at(idx))
+                    };
+                    let mut rec = rec_a;
+                    rec.extend(rec_b);
+                    out.set_cell(&coords, rec)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Presence-count of a region (vectorized `Exists?` aggregate).
+pub fn count_present(a: &Array, region: &HyperRect) -> usize {
+    let mut n = 0usize;
+    for chunk in a.chunks().values() {
+        let Some(clip) = chunk.rect().intersection(region) else {
+            continue;
+        };
+        if let Some(present) = chunk.present_bitmap() {
+            if clip == *chunk.rect() {
+                n += present.count_ones();
+                continue;
+            }
+            for_each_row(&clip, |row, run| {
+                let base = chunk.rect().linearize(row);
+                n += (base..base + run).filter(|&i| present.get(i)).count();
+            });
+        } else {
+            n += chunk
+                .iter_present()
+                .filter(|(c, _)| clip.contains(c))
+                .count();
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use crate::registry::Registry;
+    use crate::schema::SchemaBuilder;
+    use crate::value::ScalarType;
+
+    fn dense(n: i64, chunk: i64) -> Array {
+        let schema = SchemaBuilder::new("D")
+            .attr("v", ScalarType::Float64)
+            .dim_chunked("i", n, chunk)
+            .dim_chunked("j", n, chunk)
+            .build()
+            .unwrap();
+        let mut a = Array::new(schema);
+        a.fill_with(|c| record([Value::from((c[0] * 100 + c[1]) as f64)]))
+            .unwrap();
+        a
+    }
+
+    #[test]
+    fn slab_sum_matches_generic_scan() {
+        let a = dense(32, 8);
+        let region = HyperRect::new(vec![5, 9], vec![20, 27]).unwrap();
+        let (sum, n) = slab_sum_f64(&a, 0, &region).unwrap();
+        let expect: f64 = a.cells_in(&region).map(|(_, r)| r[0].as_f64().unwrap()).sum();
+        let count = a.cells_in(&region).count();
+        assert_eq!(n, count);
+        assert!((sum - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slab_sum_handles_sparse_chunks() {
+        let mut a = Array::new(dense(32, 8).schema().renamed("S"));
+        a.set_cell(&[3, 3], record([Value::from(5.0)])).unwrap();
+        a.set_cell(&[30, 30], record([Value::from(7.0)])).unwrap();
+        let region = HyperRect::new(vec![1, 1], vec![32, 32]).unwrap();
+        let (sum, n) = slab_sum_f64(&a, 0, &region).unwrap();
+        assert_eq!((sum, n), (12.0, 2));
+    }
+
+    #[test]
+    fn slice_values_match_subsample() {
+        let a = dense(16, 4);
+        let vals = slice_values_f64(&a, 0, 0, 7).unwrap();
+        assert_eq!(vals.len(), 16);
+        assert_eq!(vals[0], 701.0);
+        assert_eq!(vals[15], 716.0);
+    }
+
+    #[test]
+    fn regrid_mean_matches_generic_regrid() {
+        let a = dense(16, 8);
+        let registry = Registry::with_builtins();
+        let fast = regrid_mean_f64(&a, 0, &[4, 4]).unwrap();
+        let generic = ops::regrid(&a, &[4, 4], "avg", &registry).unwrap();
+        assert_eq!(fast.cell_count(), generic.cell_count());
+        for (coords, rec) in generic.cells() {
+            let g = rec[0].as_f64().unwrap();
+            let f = fast.get_f64(0, &coords).unwrap();
+            assert!((g - f).abs() < 1e-9, "block {coords:?}: {g} vs {f}");
+        }
+    }
+
+    #[test]
+    fn regrid_mean_uneven_edges() {
+        let a = dense(10, 8);
+        let fast = regrid_mean_f64(&a, 0, &[4, 4]).unwrap();
+        assert_eq!(fast.schema().dims()[0].upper, Some(3));
+        assert_eq!(fast.cell_count(), 9);
+    }
+
+    #[test]
+    fn aligned_sjoin_matches_generic_sjoin() {
+        let a = dense(16, 8);
+        let b = dense(16, 8);
+        let fast = aligned_sjoin(&a, &b).unwrap();
+        let generic = ops::sjoin(&a, &b, &[("i", "i"), ("j", "j")]).unwrap();
+        assert_eq!(fast.cell_count(), generic.cell_count());
+        assert!(fast.same_cells(&generic));
+    }
+
+    #[test]
+    fn aligned_sjoin_respects_partial_presence() {
+        let mut a = dense(8, 8);
+        let b = dense(8, 8);
+        a.delete_cell(&[3, 3]).unwrap();
+        let fast = aligned_sjoin(&a, &b).unwrap();
+        assert_eq!(fast.cell_count(), 63);
+        assert!(!fast.exists(&[3, 3]));
+        assert_eq!(
+            fast.get_cell(&[2, 2]),
+            Some(vec![Value::from(202.0), Value::from(202.0)])
+        );
+    }
+
+    #[test]
+    fn aligned_sjoin_sparse_fallback() {
+        let schema = dense(8, 8).schema().renamed("Sp");
+        let mut a = Array::new(schema.clone());
+        let mut b = Array::new(schema.renamed("Sp2"));
+        a.set_cell(&[1, 1], record([Value::from(1.0)])).unwrap();
+        a.set_cell(&[2, 2], record([Value::from(2.0)])).unwrap();
+        b.set_cell(&[2, 2], record([Value::from(20.0)])).unwrap();
+        let out = aligned_sjoin(&a, &b).unwrap();
+        assert_eq!(out.cell_count(), 1);
+        assert_eq!(
+            out.get_cell(&[2, 2]),
+            Some(vec![Value::from(2.0), Value::from(20.0)])
+        );
+    }
+
+    #[test]
+    fn aligned_sjoin_rejects_misaligned() {
+        let a = dense(16, 8);
+        let b = dense(16, 4);
+        assert!(aligned_sjoin(&a, &b).is_err());
+        let c = dense(8, 8);
+        assert!(aligned_sjoin(&a, &c).is_err());
+    }
+
+    #[test]
+    fn count_present_fast_path() {
+        let a = dense(16, 8);
+        let all = HyperRect::new(vec![1, 1], vec![16, 16]).unwrap();
+        assert_eq!(count_present(&a, &all), 256);
+        let part = HyperRect::new(vec![1, 1], vec![3, 16]).unwrap();
+        assert_eq!(count_present(&a, &part), 48);
+    }
+}

@@ -1,0 +1,28 @@
+//! The SciDB operator suite (§2.2).
+//!
+//! Operators "fall into two broad categories":
+//!
+//! * [`structural`] — operators that "create new arrays based purely on the
+//!   structure of the inputs … data-agnostic", presenting optimization
+//!   opportunities because they need not read data values: Subsample,
+//!   Exists?, Reshape, Sjoin, add/remove dimension, Concat, Cross product.
+//! * [`content`] — operators "whose result depends on the data that is
+//!   stored in the input array": Filter, Aggregate, Cjoin, Apply, Project.
+//! * [`regrid`] — the canonical user-extendable science operation (§2.3):
+//!   "science users wish to regrid arrays".
+//! * [`dense`] — vectorized positional kernels over dense columnar chunks:
+//!   the physical operators that realize the §2.1 array-over-tables
+//!   advantage (contiguous slab scans, arithmetic regrid, hash-free
+//!   co-aligned joins).
+
+pub mod content;
+pub mod dense;
+pub mod regrid;
+pub mod structural;
+
+pub use content::{aggregate, apply, cjoin, filter, project, AggInput};
+pub use regrid::regrid;
+pub use structural::{
+    add_dimension, concat, cross_product, exists, remove_dimension, reshape, sjoin, subsample,
+    DimCond, DimPredicate,
+};

@@ -1,0 +1,317 @@
+//! Shape functions (§2.1): ragged array boundaries.
+//!
+//! "When dimensions have 'ragged' edges, we can enhance a basic array with a
+//! shape function … a user-defined function with integer arguments and a
+//! pair of integer outputs." A shape function returns the (low, high) bounds
+//! of one dimension given values for the others, and must also return the
+//! global low/high water marks when the other dimensions are left
+//! unspecified — the paper's `shape-function(A[I, *])` query. Raggedness is
+//! allowed in **both** the upper and lower bound, so "arrays that digitize
+//! circles and other complex shapes are possible". Every basic array can
+//! have at most one shape function.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A shape function bounding one dimension given the other coordinates.
+pub trait ShapeFn: fmt::Debug + Send + Sync {
+    /// Function name, used in `Shape A with <name>`.
+    fn name(&self) -> &str;
+
+    /// Bounds `(low, high)` of dimension `dim` when the other dimensions
+    /// take the values in `coords` (the entry at `dim` itself is ignored).
+    /// An empty slice `(1, 0)`-style inverted result means no cells.
+    fn bounds(&self, dim: usize, coords: &[i64]) -> (i64, i64);
+
+    /// Global `(low, high)` water marks of dimension `dim` over the whole
+    /// array — the `shape-function(A[I, *])` form.
+    fn global_bounds(&self, dim: usize) -> (i64, i64);
+
+    /// True if `coords` lies within the shape. The default checks each
+    /// dimension against its conditional bounds.
+    fn contains(&self, coords: &[i64]) -> bool {
+        (0..coords.len()).all(|d| {
+            let (lo, hi) = self.bounds(d, coords);
+            lo <= coords[d] && coords[d] <= hi
+        })
+    }
+}
+
+/// Shared handle to a shape function.
+pub type ShapeRef = Arc<dyn ShapeFn>;
+
+/// A separable shape: per-dimension bounds independent of the other
+/// dimensions. The paper notes that when "the shape function for a given
+/// dimension does not depend on the value for other dimensions … shape is
+/// separable into a collection of shape functions for the individual
+/// dimensions"; this type is the composite that "encapsulates the individual
+/// ones".
+#[derive(Debug)]
+pub struct SeparableShape {
+    name: String,
+    bounds: Vec<(i64, i64)>,
+}
+
+impl SeparableShape {
+    /// Creates a separable shape from per-dimension `(low, high)` bounds.
+    pub fn new(name: impl Into<String>, bounds: Vec<(i64, i64)>) -> Self {
+        SeparableShape {
+            name: name.into(),
+            bounds,
+        }
+    }
+}
+
+impl ShapeFn for SeparableShape {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn bounds(&self, dim: usize, _coords: &[i64]) -> (i64, i64) {
+        self.bounds[dim]
+    }
+    fn global_bounds(&self, dim: usize) -> (i64, i64) {
+        self.bounds[dim]
+    }
+}
+
+/// A digitized circle (disk): the paper's canonical non-separable example.
+#[derive(Debug)]
+pub struct CircleShape {
+    name: String,
+    center: (i64, i64),
+    radius: i64,
+}
+
+impl CircleShape {
+    /// Creates a disk of `radius` centered at `center` in a 2-D array.
+    pub fn new(name: impl Into<String>, center: (i64, i64), radius: i64) -> Self {
+        assert!(radius >= 0);
+        CircleShape {
+            name: name.into(),
+            center,
+            radius,
+        }
+    }
+}
+
+impl ShapeFn for CircleShape {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bounds(&self, dim: usize, coords: &[i64]) -> (i64, i64) {
+        debug_assert!(dim < 2, "circle shape is 2-D");
+        let (c_this, c_other) = if dim == 0 {
+            (self.center.0, self.center.1)
+        } else {
+            (self.center.1, self.center.0)
+        };
+        let other = coords[1 - dim];
+        let d = other - c_other;
+        let r2 = self.radius * self.radius - d * d;
+        if r2 < 0 {
+            return (1, 0); // empty slice
+        }
+        let half = (r2 as f64).sqrt().floor() as i64;
+        (c_this - half, c_this + half)
+    }
+
+    fn global_bounds(&self, dim: usize) -> (i64, i64) {
+        let c = if dim == 0 { self.center.0 } else { self.center.1 };
+        (c - self.radius, c + self.radius)
+    }
+}
+
+/// A lower-triangular 2-D shape: cells with `J <= I` — upper-bound-only
+/// raggedness, the simplified case the paper mentions.
+#[derive(Debug)]
+pub struct LowerTriangular {
+    name: String,
+    n: i64,
+}
+
+impl LowerTriangular {
+    /// Creates an `n × n` lower-triangular shape.
+    pub fn new(name: impl Into<String>, n: i64) -> Self {
+        LowerTriangular { name: name.into(), n }
+    }
+}
+
+impl ShapeFn for LowerTriangular {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn bounds(&self, dim: usize, coords: &[i64]) -> (i64, i64) {
+        match dim {
+            0 => (coords[1].max(1), self.n), // I ranges from J..n
+            _ => (1, coords[0].min(self.n)), // J ranges from 1..I
+        }
+    }
+    fn global_bounds(&self, _dim: usize) -> (i64, i64) {
+        (1, self.n)
+    }
+}
+
+/// Explicit per-row bounds for one ragged dimension: row `i` of dimension 0
+/// admits dimension-1 coordinates in `rows[i-1]`. General enough to express
+/// arbitrary digitized outlines loaded from instrument masks.
+#[derive(Debug)]
+pub struct RaggedRows {
+    name: String,
+    rows: Vec<(i64, i64)>,
+}
+
+impl RaggedRows {
+    /// Creates a ragged 2-D shape from per-row `(low, high)` bounds of the
+    /// second dimension (an inverted pair means the row is empty).
+    pub fn new(name: impl Into<String>, rows: Vec<(i64, i64)>) -> Self {
+        RaggedRows {
+            name: name.into(),
+            rows,
+        }
+    }
+}
+
+impl ShapeFn for RaggedRows {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bounds(&self, dim: usize, coords: &[i64]) -> (i64, i64) {
+        match dim {
+            1 => {
+                let row = coords[0];
+                if row < 1 || row as usize > self.rows.len() {
+                    (1, 0)
+                } else {
+                    self.rows[row as usize - 1]
+                }
+            }
+            _ => {
+                // Rows (dim 0) containing this column.
+                let col = coords[1];
+                let mut lo = i64::MAX;
+                let mut hi = i64::MIN;
+                for (i, &(l, h)) in self.rows.iter().enumerate() {
+                    if l <= col && col <= h {
+                        lo = lo.min(i as i64 + 1);
+                        hi = hi.max(i as i64 + 1);
+                    }
+                }
+                if lo > hi {
+                    (1, 0)
+                } else {
+                    (lo, hi)
+                }
+            }
+        }
+    }
+
+    fn global_bounds(&self, dim: usize) -> (i64, i64) {
+        match dim {
+            0 => (1, self.rows.len() as i64),
+            _ => {
+                let lo = self
+                    .rows
+                    .iter()
+                    .filter(|(l, h)| l <= h)
+                    .map(|&(l, _)| l)
+                    .min()
+                    .unwrap_or(1);
+                let hi = self
+                    .rows
+                    .iter()
+                    .filter(|(l, h)| l <= h)
+                    .map(|&(_, h)| h)
+                    .max()
+                    .unwrap_or(0);
+                (lo, hi)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_shape_bounds() {
+        let s = SeparableShape::new("box", vec![(2, 5), (3, 7)]);
+        assert_eq!(s.bounds(0, &[0, 0]), (2, 5));
+        assert_eq!(s.global_bounds(1), (3, 7));
+        assert!(s.contains(&[2, 3]));
+        assert!(!s.contains(&[1, 3]));
+        assert!(!s.contains(&[2, 8]));
+    }
+
+    #[test]
+    fn circle_digitizes_disk() {
+        let c = CircleShape::new("disk", (5, 5), 3);
+        // Through the center: full diameter.
+        assert_eq!(c.bounds(1, &[5, 0]), (2, 8));
+        // At the edge row: single cell.
+        assert_eq!(c.bounds(1, &[2, 0]), (5, 5));
+        // Outside: empty.
+        let (lo, hi) = c.bounds(1, &[1, 0]);
+        assert!(lo > hi);
+        assert!(c.contains(&[5, 5]));
+        assert!(c.contains(&[3, 3])); // dist^2 = 8 <= 9
+        assert!(!c.contains(&[2, 2])); // dist^2 = 18 > 9
+        assert_eq!(c.global_bounds(0), (2, 8));
+    }
+
+    #[test]
+    fn circle_cell_count_approximates_area() {
+        let r = 10i64;
+        let c = CircleShape::new("disk", (50, 50), r);
+        let mut count = 0;
+        for i in 1..=100 {
+            for j in 1..=100 {
+                if c.contains(&[i, j]) {
+                    count += 1;
+                }
+            }
+        }
+        let area = std::f64::consts::PI * (r as f64) * (r as f64);
+        assert!(
+            (count as f64 - area).abs() / area < 0.1,
+            "digitized {count} vs area {area}"
+        );
+    }
+
+    #[test]
+    fn lower_triangular_contains() {
+        let t = LowerTriangular::new("tri", 4);
+        assert!(t.contains(&[3, 3]));
+        assert!(t.contains(&[4, 1]));
+        assert!(!t.contains(&[1, 2]));
+        assert_eq!(t.bounds(1, &[3, 0]), (1, 3));
+        assert_eq!(t.bounds(0, &[0, 2]), (2, 4));
+    }
+
+    #[test]
+    fn ragged_rows_both_bounds() {
+        // Lower AND upper raggedness, per the paper.
+        let r = RaggedRows::new("rag", vec![(3, 5), (2, 6), (4, 4), (7, 6)]);
+        assert!(r.contains(&[1, 3]));
+        assert!(!r.contains(&[1, 2]));
+        assert!(r.contains(&[2, 2]));
+        assert!(!r.contains(&[3, 5]));
+        assert!(!r.contains(&[4, 6])); // empty row
+        assert_eq!(r.global_bounds(0), (1, 4));
+        assert_eq!(r.global_bounds(1), (2, 6));
+        // Rows containing column 4: rows 1..=3.
+        assert_eq!(r.bounds(0, &[0, 4]), (1, 3));
+        // Rows containing column 7: none.
+        let (lo, hi) = r.bounds(0, &[0, 7]);
+        assert!(lo > hi);
+    }
+
+    #[test]
+    fn ragged_rows_out_of_range_row_is_empty() {
+        let r = RaggedRows::new("rag", vec![(1, 2)]);
+        let (lo, hi) = r.bounds(1, &[5, 0]);
+        assert!(lo > hi);
+    }
+}

@@ -1,0 +1,233 @@
+//! Extendibility traits (§2.3).
+//!
+//! "The fundamental array operations in SciDB are user-extendable. In the
+//! style of Postgres, users can add their own array operations. Similarly,
+//! users can add their own data types." This module defines the traits a
+//! user implements; [`crate::registry::Registry`] is the catalog they
+//! register into. Functions are Rust trait objects rather than C++ object
+//! code loaded from a `file_handle` — see DESIGN.md §4.
+
+use crate::array::Array;
+use crate::error::{Error, Result};
+use crate::registry::Registry;
+use crate::value::{Record, Scalar, Value};
+use std::fmt;
+
+/// A user-defined scalar function callable from expressions
+/// (`Expr::Func`) and usable to enhance arrays.
+pub trait ScalarFn: fmt::Debug + Send + Sync {
+    /// Function name.
+    fn name(&self) -> &str;
+    /// Declared arity; `None` = variadic.
+    fn arity(&self) -> Option<usize>;
+    /// Invokes the function.
+    fn call(&self, args: &[Value]) -> Result<Value>;
+}
+
+/// A [`ScalarFn`] built from a closure — the idiomatic way to register a
+/// UDF.
+pub struct ClosureFn {
+    name: String,
+    arity: Option<usize>,
+    f: Box<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>,
+}
+
+impl ClosureFn {
+    /// Wraps a closure as a named scalar function.
+    pub fn new(
+        name: impl Into<String>,
+        arity: Option<usize>,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) -> Self {
+        ClosureFn {
+            name: name.into(),
+            arity,
+            f: Box::new(f),
+        }
+    }
+
+    /// Wraps a unary `f64 -> f64` function, with NULL passthrough.
+    pub fn unary_f64(name: impl Into<String>, f: impl Fn(f64) -> f64 + Send + Sync + 'static) -> Self {
+        let name = name.into();
+        let label = name.clone();
+        ClosureFn::new(name, Some(1), move |args| {
+            let v = &args[0];
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let x = v
+                .as_f64()
+                .ok_or_else(|| Error::eval(format!("{label}: numeric argument required")))?;
+            Ok(Value::from(f(x)))
+        })
+    }
+}
+
+impl fmt::Debug for ClosureFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClosureFn({})", self.name)
+    }
+}
+
+impl ScalarFn for ClosureFn {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+    fn call(&self, args: &[Value]) -> Result<Value> {
+        if let Some(n) = self.arity {
+            if args.len() != n {
+                return Err(Error::eval(format!(
+                    "function '{}' expects {n} arguments, got {}",
+                    self.name,
+                    args.len()
+                )));
+            }
+        }
+        (self.f)(args)
+    }
+}
+
+/// Running state of one aggregate computation.
+///
+/// The `partial`/`merge` pair supports distributed execution: grid nodes
+/// compute partials locally and the coordinator merges them — the standard
+/// shared-nothing aggregation strategy (§2.7).
+pub trait AggState: Send {
+    /// Folds one value into the state. NULLs are skipped by convention
+    /// (callers may pass them; implementations must tolerate them).
+    fn update(&mut self, v: &Value) -> Result<()>;
+    /// Exports a mergeable partial state.
+    fn partial(&self) -> Record;
+    /// Merges a partial exported by another instance of the same aggregate.
+    fn merge(&mut self, partial: &Record) -> Result<()>;
+    /// Produces the final value.
+    fn finalize(&self) -> Value;
+}
+
+/// A user-defined aggregate: a factory for [`AggState`]s.
+pub trait AggregateFn: fmt::Debug + Send + Sync {
+    /// Aggregate name (`sum`, `avg`, …).
+    fn name(&self) -> &str;
+    /// Creates a fresh state.
+    fn create(&self) -> Box<dyn AggState>;
+}
+
+/// A user-defined whole-array operation — the extension point for science
+/// operations like regrid ("science users wish to regrid arrays and perform
+/// other sophisticated computations", §2.3).
+pub trait ArrayOp: fmt::Debug + Send + Sync {
+    /// Operation name.
+    fn name(&self) -> &str;
+    /// Applies the operation. UDFs "can internally run queries and call
+    /// other UDFs" — hence the registry handle.
+    fn apply(&self, inputs: &[&Array], registry: &Registry) -> Result<Array>;
+}
+
+/// A user-defined data type: a named refinement of a base scalar type with
+/// an optional validity constraint (e.g. `declination` as a float in
+/// [-90, 90]).
+pub struct TypeDef {
+    name: String,
+    base: crate::value::ScalarType,
+    check: Option<Box<dyn Fn(&Scalar) -> bool + Send + Sync>>,
+}
+
+impl TypeDef {
+    /// Defines a type with no constraint.
+    pub fn new(name: impl Into<String>, base: crate::value::ScalarType) -> Self {
+        TypeDef {
+            name: name.into(),
+            base,
+            check: None,
+        }
+    }
+
+    /// Defines a constrained type.
+    pub fn with_check(
+        name: impl Into<String>,
+        base: crate::value::ScalarType,
+        check: impl Fn(&Scalar) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        TypeDef {
+            name: name.into(),
+            base,
+            check: Some(Box::new(check)),
+        }
+    }
+
+    /// Type name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Underlying scalar type.
+    pub fn base(&self) -> crate::value::ScalarType {
+        self.base
+    }
+
+    /// Validates a scalar against the type.
+    pub fn validate(&self, s: &Scalar) -> Result<()> {
+        if s.scalar_type() != self.base {
+            return Err(Error::schema(format!(
+                "type '{}' expects base {}, got {}",
+                self.name,
+                self.base,
+                s.scalar_type()
+            )));
+        }
+        if let Some(check) = &self.check {
+            if !check(s) {
+                return Err(Error::schema(format!(
+                    "value {s} violates constraint of type '{}'",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for TypeDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TypeDef({} : {})", self.name, self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ScalarType;
+
+    #[test]
+    fn closure_fn_checks_arity() {
+        let f = ClosureFn::new("pair", Some(2), |args| {
+            Ok(Value::from(args[0].as_f64().unwrap() + args[1].as_f64().unwrap()))
+        });
+        assert_eq!(
+            f.call(&[Value::from(1.0), Value::from(2.0)]).unwrap(),
+            Value::from(3.0)
+        );
+        assert!(f.call(&[Value::from(1.0)]).is_err());
+    }
+
+    #[test]
+    fn unary_f64_null_passthrough() {
+        let f = ClosureFn::unary_f64("sq", |x| x * x);
+        assert_eq!(f.call(&[Value::from(3.0)]).unwrap(), Value::from(9.0));
+        assert_eq!(f.call(&[Value::Null]).unwrap(), Value::Null);
+        assert!(f.call(&[Value::from("s")]).is_err());
+    }
+
+    #[test]
+    fn typedef_validates_base_and_constraint() {
+        let dec = TypeDef::with_check("declination", ScalarType::Float64, |s| {
+            s.as_f64().is_some_and(|v| (-90.0..=90.0).contains(&v))
+        });
+        assert!(dec.validate(&Scalar::Float64(45.0)).is_ok());
+        assert!(dec.validate(&Scalar::Float64(91.0)).is_err());
+        assert!(dec.validate(&Scalar::Int64(45)).is_err());
+    }
+}

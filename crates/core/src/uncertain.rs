@@ -1,0 +1,412 @@
+//! Uncertainty support (§2.13).
+//!
+//! The paper reports "near universal consensus" among science users on a
+//! *simple* uncertainty model: normal distributions, i.e. "error bars"
+//! (standard deviations) attached to data elements, with the executor
+//! performing error-propagating arithmetic when uncertain elements are
+//! combined. SciDB therefore supports `uncertain x` for any scalar type `x`;
+//! this module provides the numeric kernel.
+//!
+//! Two propagation modes are provided:
+//!
+//! * [`Uncertain`] — Gaussian (first-order) propagation: independent normal
+//!   errors combine in quadrature. This is the default executor behaviour.
+//! * [`Interval`] — conservative interval arithmetic over
+//!   `[mean - k·sigma, mean + k·sigma]` bounds, which the paper mentions as
+//!   the requested executor behaviour ("interval arithmetic when combining
+//!   uncertain elements"). Both are exposed so benches can compare overheads.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A normally distributed value: mean plus one standard deviation ("error
+/// bar"). The distribution is assumed independent of other values when
+/// combined.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Uncertain {
+    /// Best-estimate value (the mean of the normal distribution).
+    pub mean: f64,
+    /// One standard deviation. Always non-negative.
+    pub sigma: f64,
+}
+
+impl Uncertain {
+    /// Creates an uncertain value. The sigma is stored as `|sigma|`.
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        Uncertain {
+            mean,
+            sigma: sigma.abs(),
+        }
+    }
+
+    /// An exact value: sigma = 0.
+    pub fn exact(mean: f64) -> Self {
+        Uncertain { mean, sigma: 0.0 }
+    }
+
+    /// True if this value carries no uncertainty.
+    pub fn is_exact(&self) -> bool {
+        self.sigma == 0.0
+    }
+
+    /// The `k`-sigma interval around the mean.
+    pub fn interval(&self, k: f64) -> Interval {
+        Interval {
+            lo: self.mean - k * self.sigma,
+            hi: self.mean + k * self.sigma,
+        }
+    }
+
+    /// Relative uncertainty `sigma / |mean|`; infinite for a zero mean with
+    /// nonzero sigma.
+    pub fn relative(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.sigma == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.sigma / self.mean.abs()
+        }
+    }
+
+    /// Inverse-variance weighted combination of two independent measurements
+    /// of the same quantity — the canonical "combine two observations of one
+    /// star" operation in survey pipelines.
+    pub fn combine(&self, other: &Uncertain) -> Uncertain {
+        if self.sigma == 0.0 && other.sigma == 0.0 {
+            return Uncertain::exact(0.5 * (self.mean + other.mean));
+        }
+        if self.sigma == 0.0 {
+            return *self;
+        }
+        if other.sigma == 0.0 {
+            return *other;
+        }
+        let wa = 1.0 / (self.sigma * self.sigma);
+        let wb = 1.0 / (other.sigma * other.sigma);
+        let w = wa + wb;
+        Uncertain {
+            mean: (self.mean * wa + other.mean * wb) / w,
+            sigma: (1.0 / w).sqrt(),
+        }
+    }
+
+    /// Applies a differentiable unary function via first-order propagation:
+    /// `sigma_out = |f'(mean)| * sigma`.
+    pub fn map(&self, f: impl Fn(f64) -> f64, dfdx: impl Fn(f64) -> f64) -> Uncertain {
+        Uncertain::new(f(self.mean), dfdx(self.mean).abs() * self.sigma)
+    }
+
+    /// Square root with propagated error.
+    pub fn sqrt(&self) -> Uncertain {
+        self.map(f64::sqrt, |x| 0.5 / x.sqrt())
+    }
+
+    /// Natural logarithm with propagated error.
+    pub fn ln(&self) -> Uncertain {
+        self.map(f64::ln, |x| 1.0 / x)
+    }
+
+    /// Scales by an exact constant.
+    pub fn scale(&self, c: f64) -> Uncertain {
+        Uncertain::new(self.mean * c, self.sigma * c.abs())
+    }
+
+    /// Probability mass of the distribution below `x`, via the error
+    /// function approximation (Abramowitz & Stegun 7.1.26). Used by
+    /// uncertainty-aware filters ("P(value < threshold) > 0.95").
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sigma == 0.0 {
+            return if x >= self.mean { 1.0 } else { 0.0 };
+        }
+        let z = (x - self.mean) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+}
+
+/// Abramowitz & Stegun 7.1.26 rational approximation of the error function;
+/// max absolute error 1.5e-7, ample for filter-probability semantics.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+impl Add for Uncertain {
+    type Output = Uncertain;
+    fn add(self, rhs: Uncertain) -> Uncertain {
+        Uncertain::new(self.mean + rhs.mean, self.sigma.hypot(rhs.sigma))
+    }
+}
+
+impl Sub for Uncertain {
+    type Output = Uncertain;
+    fn sub(self, rhs: Uncertain) -> Uncertain {
+        Uncertain::new(self.mean - rhs.mean, self.sigma.hypot(rhs.sigma))
+    }
+}
+
+impl Mul for Uncertain {
+    type Output = Uncertain;
+    fn mul(self, rhs: Uncertain) -> Uncertain {
+        let mean = self.mean * rhs.mean;
+        // First-order: sigma^2 = (b·sa)^2 + (a·sb)^2.
+        let s = (rhs.mean * self.sigma).hypot(self.mean * rhs.sigma);
+        Uncertain::new(mean, s)
+    }
+}
+
+impl Div for Uncertain {
+    type Output = Uncertain;
+    fn div(self, rhs: Uncertain) -> Uncertain {
+        let mean = self.mean / rhs.mean;
+        let s = (self.sigma / rhs.mean).hypot(self.mean * rhs.sigma / (rhs.mean * rhs.mean));
+        Uncertain::new(mean, s)
+    }
+}
+
+impl Neg for Uncertain {
+    type Output = Uncertain;
+    fn neg(self) -> Uncertain {
+        Uncertain {
+            mean: -self.mean,
+            sigma: self.sigma,
+        }
+    }
+}
+
+impl PartialOrd for Uncertain {
+    /// Ordering compares means only; use [`Uncertain::cdf`] for
+    /// probability-aware comparisons.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.mean.partial_cmp(&other.mean)
+    }
+}
+
+impl fmt::Display for Uncertain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sigma == 0.0 {
+            write!(f, "{}", self.mean)
+        } else {
+            write!(f, "{}±{}", self.mean, self.sigma)
+        }
+    }
+}
+
+/// A closed interval `[lo, hi]`, the alternative propagation mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval; bounds are swapped if given out of order.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// Degenerate point interval.
+    pub fn point(x: f64) -> Self {
+        Interval { lo: x, hi: x }
+    }
+
+    /// Width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// True if `x` lies inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// True if the two intervals overlap.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval {
+            lo: self.lo - rhs.hi,
+            hi: self.hi - rhs.lo,
+        }
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: Interval) -> Interval {
+        let c = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        Interval {
+            lo: c.iter().cloned().fold(f64::INFINITY, f64::min),
+            hi: c.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn addition_combines_in_quadrature() {
+        let a = Uncertain::new(10.0, 3.0);
+        let b = Uncertain::new(20.0, 4.0);
+        let c = a + b;
+        assert!(close(c.mean, 30.0));
+        assert!(close(c.sigma, 5.0)); // sqrt(9+16)
+    }
+
+    #[test]
+    fn subtraction_also_adds_variances() {
+        let c = Uncertain::new(10.0, 3.0) - Uncertain::new(20.0, 4.0);
+        assert!(close(c.mean, -10.0));
+        assert!(close(c.sigma, 5.0));
+    }
+
+    #[test]
+    fn multiplication_first_order() {
+        let c = Uncertain::new(10.0, 1.0) * Uncertain::new(5.0, 0.5);
+        assert!(close(c.mean, 50.0));
+        // sqrt((5*1)^2 + (10*0.5)^2) = sqrt(50)
+        assert!(close(c.sigma, 50f64.sqrt()));
+    }
+
+    #[test]
+    fn division_first_order() {
+        let c = Uncertain::new(10.0, 1.0) / Uncertain::new(5.0, 0.0);
+        assert!(close(c.mean, 2.0));
+        assert!(close(c.sigma, 0.2));
+    }
+
+    #[test]
+    fn exact_values_propagate_exactly() {
+        let c = Uncertain::exact(3.0) + Uncertain::exact(4.0);
+        assert!(c.is_exact());
+        assert!(close(c.mean, 7.0));
+    }
+
+    #[test]
+    fn inverse_variance_combine_prefers_precise_input() {
+        let precise = Uncertain::new(10.0, 0.1);
+        let vague = Uncertain::new(20.0, 10.0);
+        let c = precise.combine(&vague);
+        assert!((c.mean - 10.0).abs() < 0.01, "mean {} hugs precise", c.mean);
+        assert!(c.sigma < 0.1);
+    }
+
+    #[test]
+    fn combine_symmetric_equal_sigmas_averages() {
+        let a = Uncertain::new(0.0, 2.0);
+        let b = Uncertain::new(4.0, 2.0);
+        let c = a.combine(&b);
+        assert!(close(c.mean, 2.0));
+        assert!(close(c.sigma, 2.0 / 2f64.sqrt()));
+    }
+
+    #[test]
+    fn cdf_at_mean_is_half() {
+        let u = Uncertain::new(5.0, 2.0);
+        assert!((u.cdf(5.0) - 0.5).abs() < 1e-6);
+        assert!(u.cdf(100.0) > 0.999999);
+        assert!(u.cdf(-100.0) < 1e-6);
+    }
+
+    #[test]
+    fn cdf_exact_is_step() {
+        let u = Uncertain::exact(5.0);
+        assert_eq!(u.cdf(4.9), 0.0);
+        assert_eq!(u.cdf(5.0), 1.0);
+    }
+
+    #[test]
+    fn sqrt_propagation() {
+        let u = Uncertain::new(16.0, 0.8).sqrt();
+        assert!(close(u.mean, 4.0));
+        assert!(close(u.sigma, 0.8 * 0.5 / 4.0));
+    }
+
+    #[test]
+    fn ordering_is_by_mean() {
+        assert!(Uncertain::new(1.0, 100.0) < Uncertain::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn display_formats_error_bar() {
+        assert_eq!(Uncertain::new(1.5, 0.25).to_string(), "1.5±0.25");
+        assert_eq!(Uncertain::exact(2.0).to_string(), "2");
+    }
+
+    #[test]
+    fn interval_add_sub() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(10.0, 20.0);
+        assert_eq!(a + b, Interval::new(11.0, 22.0));
+        assert_eq!(b - a, Interval::new(8.0, 19.0));
+    }
+
+    #[test]
+    fn interval_mul_handles_signs() {
+        let a = Interval::new(-2.0, 3.0);
+        let b = Interval::new(-1.0, 4.0);
+        let c = a * b;
+        assert_eq!(c, Interval::new(-8.0, 12.0));
+    }
+
+    #[test]
+    fn interval_overlap_and_contains() {
+        let a = Interval::new(0.0, 1.0);
+        assert!(a.contains(0.5));
+        assert!(!a.contains(1.5));
+        assert!(a.overlaps(&Interval::new(0.9, 2.0)));
+        assert!(!a.overlaps(&Interval::new(1.1, 2.0)));
+    }
+
+    #[test]
+    fn k_sigma_interval() {
+        let u = Uncertain::new(10.0, 2.0);
+        assert_eq!(u.interval(3.0), Interval::new(4.0, 16.0));
+    }
+}

@@ -1,0 +1,360 @@
+//! Scalar and cell values.
+//!
+//! §2.1: "Every cell has the same data type(s) for its value(s), which is one
+//! or more scalar values, and/or one or more arrays." A cell therefore holds
+//! a [`Record`]: one [`Value`] per attribute, where a value is NULL, a
+//! scalar, or a nested array.
+
+use crate::array::Array;
+use crate::uncertain::Uncertain;
+use std::fmt;
+
+/// The scalar types supported by the engine.
+///
+/// `Uncertain` is the paper's `uncertain float` (§2.13): a mean plus an error
+/// bar. New user-defined types register through
+/// [`crate::registry::Registry::register_type`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    String,
+    /// `uncertain float`: mean + standard deviation (§2.13).
+    UncertainFloat64,
+}
+
+impl ScalarType {
+    /// Parses the AQL type name (`int`, `float`, `bool`, `string`,
+    /// `uncertain float`).
+    pub fn parse(name: &str) -> Option<ScalarType> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "int" | "int64" | "integer" => Some(ScalarType::Int64),
+            "float" | "float64" | "double" => Some(ScalarType::Float64),
+            "bool" | "boolean" => Some(ScalarType::Bool),
+            "string" | "text" => Some(ScalarType::String),
+            "uncertain float" | "uncertain" | "ufloat" => Some(ScalarType::UncertainFloat64),
+            _ => None,
+        }
+    }
+
+    /// The AQL name of the type.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalarType::Int64 => "int",
+            ScalarType::Float64 => "float",
+            ScalarType::Bool => "bool",
+            ScalarType::String => "string",
+            ScalarType::UncertainFloat64 => "uncertain float",
+        }
+    }
+
+    /// In-memory width in bytes of one element in columnar storage
+    /// (strings report pointer-size; see the storage crate for exact
+    /// accounting).
+    pub fn fixed_width(&self) -> usize {
+        match self {
+            ScalarType::Int64 | ScalarType::Float64 => 8,
+            ScalarType::Bool => 1,
+            ScalarType::String => 24,
+            ScalarType::UncertainFloat64 => 16,
+        }
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// 64-bit integer.
+    Int64(i64),
+    /// 64-bit float.
+    Float64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    String(String),
+    /// Uncertain float (§2.13).
+    Uncertain(Uncertain),
+}
+
+impl Scalar {
+    /// The type of this scalar.
+    pub fn scalar_type(&self) -> ScalarType {
+        match self {
+            Scalar::Int64(_) => ScalarType::Int64,
+            Scalar::Float64(_) => ScalarType::Float64,
+            Scalar::Bool(_) => ScalarType::Bool,
+            Scalar::String(_) => ScalarType::String,
+            Scalar::Uncertain(_) => ScalarType::UncertainFloat64,
+        }
+    }
+
+    /// Numeric view: integers and floats widen to `f64`; the mean of an
+    /// uncertain value; `None` for bool/string.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Int64(v) => Some(*v as f64),
+            Scalar::Float64(v) => Some(*v),
+            Scalar::Uncertain(u) => Some(u.mean),
+            Scalar::Bool(_) | Scalar::String(_) => None,
+        }
+    }
+
+    /// Integer view; floats are not silently truncated.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Scalar::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Scalar::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Uncertain view: an exact numeric scalar lifts to sigma 0.
+    pub fn as_uncertain(&self) -> Option<Uncertain> {
+        match self {
+            Scalar::Uncertain(u) => Some(*u),
+            Scalar::Int64(v) => Some(Uncertain::exact(*v as f64)),
+            Scalar::Float64(v) => Some(Uncertain::exact(*v)),
+            _ => None,
+        }
+    }
+
+    /// Total ordering within a type, used by min/max aggregates and sort.
+    /// Cross-type comparisons go through `as_f64` when both are numeric.
+    pub fn compare(&self, other: &Scalar) -> Option<std::cmp::Ordering> {
+        use Scalar::*;
+        match (self, other) {
+            (Int64(a), Int64(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (String(a), String(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Int64(v) => write!(f, "{v}"),
+            Scalar::Float64(v) => write!(f, "{v}"),
+            Scalar::Bool(v) => write!(f, "{v}"),
+            Scalar::String(v) => write!(f, "'{v}'"),
+            Scalar::Uncertain(u) => write!(f, "{u}"),
+        }
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Self {
+        Scalar::Int64(v)
+    }
+}
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Self {
+        Scalar::Float64(v)
+    }
+}
+impl From<bool> for Scalar {
+    fn from(v: bool) -> Self {
+        Scalar::Bool(v)
+    }
+}
+impl From<&str> for Scalar {
+    fn from(v: &str) -> Self {
+        Scalar::String(v.to_string())
+    }
+}
+impl From<String> for Scalar {
+    fn from(v: String) -> Self {
+        Scalar::String(v)
+    }
+}
+impl From<Uncertain> for Scalar {
+    fn from(v: Uncertain) -> Self {
+        Scalar::Uncertain(v)
+    }
+}
+
+/// One attribute value in a cell: NULL, a scalar, or a nested array (§2.1).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// SQL-style NULL — present but unknown (e.g. produced by `Filter`).
+    #[default]
+    Null,
+    /// A scalar.
+    Scalar(Scalar),
+    /// A nested array (cells "can contain components that are
+    /// multi-dimensional arrays").
+    Array(Box<Array>),
+}
+
+impl Value {
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Scalar view.
+    pub fn as_scalar(&self) -> Option<&Scalar> {
+        match self {
+            Value::Scalar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view through the scalar.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_scalar().and_then(Scalar::as_f64)
+    }
+
+    /// Integer view through the scalar.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_scalar().and_then(Scalar::as_i64)
+    }
+
+    /// Boolean view through the scalar.
+    pub fn as_bool(&self) -> Option<bool> {
+        self.as_scalar().and_then(Scalar::as_bool)
+    }
+
+    /// Nested-array view.
+    pub fn as_array(&self) -> Option<&Array> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Scalar(s) => write!(f, "{s}"),
+            Value::Array(a) => write!(f, "<array:{}>", a.schema().name()),
+        }
+    }
+}
+
+impl<T: Into<Scalar>> From<T> for Value {
+    fn from(v: T) -> Self {
+        Value::Scalar(v.into())
+    }
+}
+
+/// A cell's record: one value per attribute, in schema order.
+pub type Record = Vec<Value>;
+
+/// Builds a record from anything convertible to values.
+///
+/// ```
+/// use scidb_core::value::{record, Value};
+/// let r = record([Value::from(1i64), Value::from(2.5)]);
+/// assert_eq!(r.len(), 2);
+/// ```
+pub fn record<I: IntoIterator<Item = Value>>(vals: I) -> Record {
+    vals.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_type_names() {
+        assert_eq!(ScalarType::parse("float"), Some(ScalarType::Float64));
+        assert_eq!(ScalarType::parse("INT"), Some(ScalarType::Int64));
+        assert_eq!(
+            ScalarType::parse("uncertain float"),
+            Some(ScalarType::UncertainFloat64)
+        );
+        assert_eq!(ScalarType::parse("blob"), None);
+    }
+
+    #[test]
+    fn scalar_type_roundtrip() {
+        for t in [
+            ScalarType::Int64,
+            ScalarType::Float64,
+            ScalarType::Bool,
+            ScalarType::String,
+            ScalarType::UncertainFloat64,
+        ] {
+            assert_eq!(ScalarType::parse(t.name()), Some(t));
+        }
+    }
+
+    #[test]
+    fn as_f64_widens() {
+        assert_eq!(Scalar::Int64(3).as_f64(), Some(3.0));
+        assert_eq!(Scalar::Float64(2.5).as_f64(), Some(2.5));
+        assert_eq!(
+            Scalar::Uncertain(Uncertain::new(1.0, 0.5)).as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(Scalar::Bool(true).as_f64(), None);
+    }
+
+    #[test]
+    fn as_uncertain_lifts_exact() {
+        let u = Scalar::Int64(4).as_uncertain().unwrap();
+        assert_eq!(u, Uncertain::exact(4.0));
+    }
+
+    #[test]
+    fn compare_within_and_across_numeric_types() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Scalar::Int64(1).compare(&Scalar::Int64(2)), Some(Less));
+        assert_eq!(
+            Scalar::Int64(3).compare(&Scalar::Float64(2.5)),
+            Some(Greater)
+        );
+        assert_eq!(
+            Scalar::String("a".into()).compare(&Scalar::String("b".into())),
+            Some(Less)
+        );
+        assert_eq!(Scalar::Bool(true).compare(&Scalar::Int64(1)), None);
+    }
+
+    #[test]
+    fn value_null_checks() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::from(1i64).is_null());
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::from(3i64).to_string(), "3");
+        assert_eq!(Value::from("hi").to_string(), "'hi'");
+    }
+}

@@ -1,0 +1,602 @@
+//! The shared-nothing grid simulator (§2.7).
+//!
+//! A [`Cluster`] holds distributed arrays sharded over `n` simulated nodes.
+//! Placement follows an [`EpochPartitioning`] — data is placed by the
+//! scheme in force at its arrival time and *stays there* (the paper's "a
+//! first partitioning scheme is used for time less than T and a second
+//! partitioning scheme for time > T"), unless an explicit
+//! [`Cluster::rebalance`] migrates it. Every operation meters the
+//! quantities the paper argues about: per-node scan load (balance), cells
+//! moved over the network (join movement, rebalance cost), and nodes
+//! touched.
+//!
+//! Distributed aggregation uses the mergeable partial states of
+//! [`scidb_core::udf::AggState`], the standard shared-nothing strategy.
+
+use crate::partition::{EpochPartitioning, PartitionScheme};
+use scidb_core::array::Array;
+use scidb_core::error::{Error, Result};
+use scidb_core::geometry::HyperRect;
+use scidb_core::ops::structural;
+use scidb_core::registry::Registry;
+use scidb_core::schema::ArraySchema;
+use scidb_core::value::{Record, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Metering for one distributed operation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Nodes that scanned data.
+    pub nodes_touched: usize,
+    /// Cells scanned across nodes.
+    pub cells_scanned: usize,
+    /// Cells returned to the coordinator.
+    pub cells_returned: usize,
+    /// Cells shipped between nodes (join redistribution / rebalance).
+    pub cells_moved: usize,
+}
+
+/// One array sharded across the cluster.
+#[derive(Debug)]
+struct DistributedArray {
+    schema: Arc<ArraySchema>,
+    partitioning: EpochPartitioning,
+    shards: Vec<Array>,
+    /// Arrival time of the most recent load (governs which epoch places
+    /// new data).
+    last_load_time: i64,
+}
+
+/// A simulated shared-nothing grid.
+#[derive(Debug)]
+pub struct Cluster {
+    n_nodes: usize,
+    arrays: HashMap<String, DistributedArray>,
+    /// Accumulated per-node scan work (cells scanned).
+    node_load: Vec<f64>,
+    /// Total cells shipped between nodes since creation.
+    total_cells_moved: usize,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n_nodes` empty nodes.
+    pub fn new(n_nodes: usize) -> Self {
+        assert!(n_nodes > 0, "cluster needs at least one node");
+        Cluster {
+            n_nodes,
+            arrays: HashMap::new(),
+            node_load: vec![0.0; n_nodes],
+            total_cells_moved: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Registers a distributed array.
+    pub fn create_array(
+        &mut self,
+        name: &str,
+        schema: ArraySchema,
+        partitioning: EpochPartitioning,
+    ) -> Result<()> {
+        if self.arrays.contains_key(name) {
+            return Err(Error::AlreadyExists(format!("array '{name}'")));
+        }
+        for (_, scheme) in partitioning.epochs() {
+            if scheme.n_nodes() > self.n_nodes {
+                return Err(Error::dimension(format!(
+                    "scheme addresses {} nodes, cluster has {}",
+                    scheme.n_nodes(),
+                    self.n_nodes
+                )));
+            }
+        }
+        let schema = Arc::new(schema);
+        let shards = (0..self.n_nodes)
+            .map(|_| Array::from_arc(Arc::clone(&schema)))
+            .collect();
+        self.arrays.insert(
+            name.to_string(),
+            DistributedArray {
+                schema,
+                partitioning,
+                shards,
+                last_load_time: i64::MIN,
+            },
+        );
+        Ok(())
+    }
+
+    fn array(&self, name: &str) -> Result<&DistributedArray> {
+        self.arrays
+            .get(name)
+            .ok_or_else(|| Error::not_found(format!("array '{name}'")))
+    }
+
+    fn array_mut(&mut self, name: &str) -> Result<&mut DistributedArray> {
+        self.arrays
+            .get_mut(name)
+            .ok_or_else(|| Error::not_found(format!("array '{name}'")))
+    }
+
+    /// Loads cells arriving at `time`; placement follows the epoch scheme
+    /// in force at that time.
+    pub fn load_at(
+        &mut self,
+        name: &str,
+        time: i64,
+        cells: impl IntoIterator<Item = (Vec<i64>, Record)>,
+    ) -> Result<usize> {
+        let da = self.array_mut(name)?;
+        let scheme = da.partitioning.scheme_at(time).clone();
+        da.last_load_time = da.last_load_time.max(time);
+        let mut n = 0;
+        for (coords, rec) in cells {
+            let node = scheme.node_of(&coords);
+            da.shards[node].set_cell(&coords, rec)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Adds a partitioning epoch starting at `time` (data already loaded
+    /// stays put — see [`Cluster::rebalance`]).
+    pub fn add_epoch(&mut self, name: &str, time: i64, scheme: PartitionScheme) -> Result<()> {
+        if scheme.n_nodes() > self.n_nodes {
+            return Err(Error::dimension("scheme addresses more nodes than cluster"));
+        }
+        self.array_mut(name)?.partitioning.add_epoch(time, scheme)
+    }
+
+    /// Migrates all cells to their home under the *latest* epoch scheme,
+    /// returning the number of cells moved (the rebalance cost of E2).
+    pub fn rebalance(&mut self, name: &str) -> Result<usize> {
+        let da = self.array_mut(name)?;
+        let scheme = da
+            .partitioning
+            .epochs()
+            .last()
+            .expect("at least one epoch")
+            .1
+            .clone();
+        let mut moved = 0usize;
+        let mut relocations: Vec<(usize, Vec<i64>, Record)> = Vec::new();
+        for (node, shard) in da.shards.iter_mut().enumerate() {
+            let mut to_remove = Vec::new();
+            for (coords, rec) in shard.cells() {
+                let home = scheme.node_of(&coords);
+                if home != node {
+                    relocations.push((home, coords.clone(), rec));
+                    to_remove.push(coords);
+                }
+            }
+            for coords in to_remove {
+                shard.delete_cell(&coords)?;
+            }
+        }
+        for (home, coords, rec) in relocations {
+            da.shards[home].set_cell(&coords, rec)?;
+            moved += 1;
+        }
+        self.total_cells_moved += moved;
+        Ok(moved)
+    }
+
+    /// Per-node cell counts for an array (the data-balance metric).
+    pub fn distribution(&self, name: &str) -> Result<Vec<usize>> {
+        Ok(self.array(name)?.shards.iter().map(Array::cell_count).collect())
+    }
+
+    /// Total cells of an array.
+    pub fn cell_count(&self, name: &str) -> Result<usize> {
+        Ok(self.distribution(name)?.iter().sum())
+    }
+
+    /// Scans a region, accumulating per-node load; returns the collected
+    /// result and stats.
+    pub fn query_region(&mut self, name: &str, region: &HyperRect) -> Result<(Array, ExecStats)> {
+        let da = self
+            .arrays
+            .get(name)
+            .ok_or_else(|| Error::not_found(format!("array '{name}'")))?;
+        let mut out = Array::from_arc(Arc::clone(&da.schema));
+        let mut stats = ExecStats::default();
+        let mut touched = vec![false; self.n_nodes];
+        let mut loads = vec![0usize; self.n_nodes];
+        for (node, shard) in da.shards.iter().enumerate() {
+            for (coords, rec) in shard.cells_in(region) {
+                touched[node] = true;
+                loads[node] += 1;
+                out.set_cell(&coords, rec)?;
+                stats.cells_returned += 1;
+            }
+        }
+        for (node, &l) in loads.iter().enumerate() {
+            self.node_load[node] += l as f64;
+            stats.cells_scanned += l;
+        }
+        stats.nodes_touched = touched.iter().filter(|&&t| t).count();
+        Ok((out, stats))
+    }
+
+    /// Runs a whole workload of region queries, returning cumulative stats
+    /// (used by the E2 balance experiment).
+    pub fn run_workload(
+        &mut self,
+        name: &str,
+        workload: &crate::workload::Workload,
+    ) -> Result<ExecStats> {
+        let mut total = ExecStats::default();
+        let da = self
+            .arrays
+            .get(name)
+            .ok_or_else(|| Error::not_found(format!("array '{name}'")))?;
+        for q in &workload.queries {
+            let mut loads = vec![0usize; self.n_nodes];
+            for (node, shard) in da.shards.iter().enumerate() {
+                let cells = shard.cells_in(&q.region).count();
+                loads[node] = cells;
+            }
+            for (node, &l) in loads.iter().enumerate() {
+                let weighted = l as f64 * q.weight;
+                self.node_load[node] += weighted;
+                total.cells_scanned += l;
+            }
+            total.nodes_touched = total
+                .nodes_touched
+                .max(loads.iter().filter(|&&l| l > 0).count());
+        }
+        Ok(total)
+    }
+
+    /// Distributed aggregation of one attribute: per-node partials merged
+    /// at the coordinator.
+    pub fn aggregate(
+        &mut self,
+        name: &str,
+        agg_name: &str,
+        attr: &str,
+        registry: &Registry,
+    ) -> Result<(Value, ExecStats)> {
+        let da = self
+            .arrays
+            .get(name)
+            .ok_or_else(|| Error::not_found(format!("array '{name}'")))?;
+        let attr_idx = da.schema.require_attr(attr)?;
+        let agg = registry.aggregate(agg_name)?;
+        let mut stats = ExecStats::default();
+        let mut coordinator = agg.create();
+        for (node, shard) in da.shards.iter().enumerate() {
+            if shard.is_empty() {
+                continue;
+            }
+            let mut local = agg.create();
+            let mut scanned = 0usize;
+            for (_, rec) in shard.cells() {
+                local.update(&rec[attr_idx])?;
+                scanned += 1;
+            }
+            // Only the partial state crosses the network.
+            coordinator.merge(&local.partial())?;
+            self.node_load[node] += scanned as f64;
+            stats.cells_scanned += scanned;
+            stats.nodes_touched += 1;
+        }
+        Ok((coordinator.finalize(), stats))
+    }
+
+    /// Distributed structural join on dimension pairs (§2.2.1 Sjoin).
+    ///
+    /// Both inputs are redistributed (if necessary) by hashing their join
+    /// coordinates under the **left** array's latest scheme; co-partitioned
+    /// inputs (same placement) move nothing (§2.7 co-partitioning). The
+    /// per-node local joins are concatenated at the coordinator.
+    pub fn sjoin(
+        &mut self,
+        left: &str,
+        right: &str,
+        on: &[(&str, &str)],
+    ) -> Result<(Array, ExecStats)> {
+        let la = self
+            .arrays
+            .get(left)
+            .ok_or_else(|| Error::not_found(format!("array '{left}'")))?;
+        let ra = self
+            .arrays
+            .get(right)
+            .ok_or_else(|| Error::not_found(format!("array '{right}'")))?;
+        let target = la
+            .partitioning
+            .epochs()
+            .last()
+            .expect("at least one epoch")
+            .1
+            .clone();
+        let mut stats = ExecStats::default();
+
+        // Join-key dimension indices on each side.
+        let mut l_dims = Vec::new();
+        let mut r_dims = Vec::new();
+        for (dl, dr) in on {
+            l_dims.push(la.schema.require_dim(dl)?);
+            r_dims.push(ra.schema.require_dim(dr)?);
+        }
+
+        // Redistribute: a cell's join home is the owner of its join-key
+        // coordinates (projected onto the left schema's dimension space).
+        let place = |coords_full: &[i64], dims: &[usize], l_dims: &[usize]| -> Vec<i64> {
+            // Build a left-rank coordinate vector carrying join coords in
+            // the left join dims; other dims pinned to 1 so Grid/Range
+            // schemes see consistent positions.
+            let mut v = vec![1i64; la.schema.rank()];
+            for (k, &ld) in l_dims.iter().enumerate() {
+                v[ld] = coords_full[dims[k]];
+            }
+            v
+        };
+
+        let mut l_parts: Vec<Array> = (0..self.n_nodes)
+            .map(|_| Array::from_arc(Arc::clone(&la.schema)))
+            .collect();
+        let mut r_parts: Vec<Array> = (0..self.n_nodes)
+            .map(|_| Array::from_arc(Arc::clone(&ra.schema)))
+            .collect();
+
+        for (node, shard) in la.shards.iter().enumerate() {
+            for (coords, rec) in shard.cells() {
+                let home = target.node_of(&place(&coords, &l_dims, &l_dims));
+                if home != node {
+                    stats.cells_moved += 1;
+                }
+                l_parts[home].set_cell(&coords, rec)?;
+            }
+        }
+        for (node, shard) in ra.shards.iter().enumerate() {
+            for (coords, rec) in shard.cells() {
+                let home = target.node_of(&place(&coords, &r_dims, &l_dims));
+                if home != node {
+                    stats.cells_moved += 1;
+                }
+                r_parts[home].set_cell(&coords, rec)?;
+            }
+        }
+        self.total_cells_moved += stats.cells_moved;
+
+        // Local joins, concatenated at the coordinator.
+        let mut result: Option<Array> = None;
+        for node in 0..self.n_nodes {
+            if l_parts[node].is_empty() || r_parts[node].is_empty() {
+                continue;
+            }
+            stats.nodes_touched += 1;
+            stats.cells_scanned +=
+                l_parts[node].cell_count() + r_parts[node].cell_count();
+            let local = structural::sjoin(&l_parts[node], &r_parts[node], on)?;
+            match &mut result {
+                None => result = Some(local),
+                Some(acc) => {
+                    for (coords, rec) in local.cells() {
+                        acc.set_cell(&coords, rec)?;
+                    }
+                }
+            }
+        }
+        let result = match result {
+            Some(r) => r,
+            None => {
+                // Empty join: synthesize the output schema via core sjoin on
+                // empty arrays.
+                structural::sjoin(
+                    &Array::from_arc(Arc::clone(&la.schema)),
+                    &Array::from_arc(Arc::clone(&ra.schema)),
+                    on,
+                )?
+            }
+        };
+        stats.cells_returned = result.cell_count();
+        Ok((result, stats))
+    }
+
+    /// Accumulated per-node load (weighted cells scanned).
+    pub fn node_loads(&self) -> &[f64] {
+        &self.node_load
+    }
+
+    /// Load imbalance: `max / mean` of per-node load (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.node_load.iter().cloned().fold(0.0, f64::max);
+        let mean = self.node_load.iter().sum::<f64>() / self.n_nodes as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Resets load accounting (between experiment phases).
+    pub fn reset_loads(&mut self) {
+        self.node_load.iter_mut().for_each(|l| *l = 0.0);
+    }
+
+    /// Total cells moved since creation.
+    pub fn total_cells_moved(&self) -> usize {
+        self.total_cells_moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionScheme;
+    use scidb_core::schema::SchemaBuilder;
+    use scidb_core::value::{record, ScalarType};
+
+    fn space(n: i64) -> HyperRect {
+        HyperRect::new(vec![1, 1], vec![n, n]).unwrap()
+    }
+
+    fn schema2(n: i64) -> ArraySchema {
+        SchemaBuilder::new("A")
+            .attr("v", ScalarType::Float64)
+            .dim("I", n)
+            .dim("J", n)
+            .build()
+            .unwrap()
+    }
+
+    fn grid_cluster(n_nodes: usize, n: i64) -> Cluster {
+        let mut c = Cluster::new(n_nodes);
+        let scheme =
+            PartitionScheme::grid(space(n), vec![2, 2], n_nodes).unwrap();
+        c.create_array("A", schema2(n), EpochPartitioning::fixed(scheme))
+            .unwrap();
+        c
+    }
+
+    fn dense_cells(n: i64) -> Vec<(Vec<i64>, Record)> {
+        let mut cells = Vec::new();
+        for i in 1..=n {
+            for j in 1..=n {
+                cells.push((vec![i, j], record([Value::from((i * 100 + j) as f64)])));
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn load_distributes_by_scheme() {
+        let mut c = grid_cluster(4, 16);
+        c.load_at("A", 0, dense_cells(16)).unwrap();
+        let dist = c.distribution("A").unwrap();
+        assert_eq!(dist, vec![64, 64, 64, 64]);
+        assert_eq!(c.cell_count("A").unwrap(), 256);
+    }
+
+    #[test]
+    fn query_region_collects_correct_cells() {
+        let mut c = grid_cluster(4, 16);
+        c.load_at("A", 0, dense_cells(16)).unwrap();
+        let (out, stats) = c
+            .query_region("A", &HyperRect::new(vec![1, 1], vec![4, 16]).unwrap())
+            .unwrap();
+        assert_eq!(out.cell_count(), 64);
+        assert_eq!(out.get_f64(0, &[2, 5]), Some(205.0));
+        assert_eq!(stats.cells_returned, 64);
+        assert_eq!(stats.nodes_touched, 2, "strip spans two grid tiles");
+    }
+
+    #[test]
+    fn distributed_aggregate_matches_local() {
+        let mut c = grid_cluster(4, 8);
+        c.load_at("A", 0, dense_cells(8)).unwrap();
+        let r = Registry::with_builtins();
+        let (v, stats) = c.aggregate("A", "avg", "v", &r).unwrap();
+        let expect: f64 = dense_cells(8)
+            .iter()
+            .map(|(_, rec)| rec[0].as_f64().unwrap())
+            .sum::<f64>()
+            / 64.0;
+        assert!((v.as_f64().unwrap() - expect).abs() < 1e-9);
+        assert_eq!(stats.nodes_touched, 4);
+        assert_eq!(stats.cells_scanned, 64);
+    }
+
+    #[test]
+    fn copartitioned_join_moves_nothing() {
+        let mut c = Cluster::new(4);
+        let scheme = PartitionScheme::grid(space(8), vec![2, 2], 4).unwrap();
+        c.create_array("L", schema2(8), EpochPartitioning::fixed(scheme.clone()))
+            .unwrap();
+        c.create_array("R", schema2(8), EpochPartitioning::fixed(scheme))
+            .unwrap();
+        c.load_at("L", 0, dense_cells(8)).unwrap();
+        c.load_at("R", 0, dense_cells(8)).unwrap();
+        let (out, stats) = c.sjoin("L", "R", &[("I", "I"), ("J", "J")]).unwrap();
+        assert_eq!(stats.cells_moved, 0, "co-partitioned: no movement");
+        assert_eq!(out.cell_count(), 64);
+    }
+
+    #[test]
+    fn mismatched_partitioning_forces_movement() {
+        let mut c = Cluster::new(4);
+        let g = PartitionScheme::grid(space(8), vec![2, 2], 4).unwrap();
+        let h = PartitionScheme::Hash {
+            dims: vec![0, 1],
+            n_nodes: 4,
+        };
+        c.create_array("L", schema2(8), EpochPartitioning::fixed(g)).unwrap();
+        c.create_array("R", schema2(8), EpochPartitioning::fixed(h)).unwrap();
+        c.load_at("L", 0, dense_cells(8)).unwrap();
+        c.load_at("R", 0, dense_cells(8)).unwrap();
+        let (out, stats) = c.sjoin("L", "R", &[("I", "I"), ("J", "J")]).unwrap();
+        assert!(stats.cells_moved > 0, "hash-placed R must move");
+        assert_eq!(out.cell_count(), 64, "join result identical regardless");
+    }
+
+    #[test]
+    fn epoch_change_and_rebalance() {
+        let mut c = Cluster::new(4);
+        let g1 = PartitionScheme::range(0, vec![4, 8, 12]).unwrap();
+        c.create_array("A", schema2(16), EpochPartitioning::fixed(g1))
+            .unwrap();
+        c.load_at("A", 0, dense_cells(16)).unwrap();
+        let before = c.distribution("A").unwrap();
+        assert_eq!(before, vec![64, 64, 64, 64]);
+
+        // New epoch concentrates old rows on fewer nodes; new data obeys it.
+        let g2 = PartitionScheme::range(0, vec![8, 12, 14]).unwrap();
+        c.add_epoch("A", 100, g2).unwrap();
+        // Old data stayed put (epoch semantics).
+        assert_eq!(c.distribution("A").unwrap(), before);
+
+        // Eager rebalance moves exactly the cells whose home changed.
+        let moved = c.rebalance("A").unwrap();
+        assert!(moved > 0);
+        let after = c.distribution("A").unwrap();
+        assert_eq!(after.iter().sum::<usize>(), 256);
+        assert_eq!(after, vec![128, 64, 32, 32]);
+        assert_eq!(c.total_cells_moved(), moved);
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let mut c = grid_cluster(4, 16);
+        c.load_at("A", 0, dense_cells(16)).unwrap();
+        assert_eq!(c.imbalance(), 1.0, "no load yet");
+        // Hot corner: only node owning tile (1,1) works.
+        for _ in 0..10 {
+            c.query_region("A", &HyperRect::new(vec![1, 1], vec![4, 4]).unwrap())
+                .unwrap();
+        }
+        assert!(c.imbalance() > 3.0, "single hot node: {}", c.imbalance());
+        c.reset_loads();
+        assert_eq!(c.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_and_missing_arrays_rejected() {
+        let mut c = grid_cluster(2, 4);
+        assert!(c
+            .create_array(
+                "A",
+                schema2(4),
+                EpochPartitioning::fixed(PartitionScheme::range(0, vec![2]).unwrap())
+            )
+            .is_err());
+        assert!(c.distribution("nope").is_err());
+        assert!(c.rebalance("nope").is_err());
+    }
+
+    #[test]
+    fn scheme_wider_than_cluster_rejected() {
+        let mut c = Cluster::new(2);
+        let scheme = PartitionScheme::range(0, vec![1, 2, 3]).unwrap(); // 4 nodes
+        assert!(c
+            .create_array("A", schema2(4), EpochPartitioning::fixed(scheme))
+            .is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # scidb-grid
+//!
+//! The shared-nothing grid layer of SciDB-rs (paper §2.7, §2.13):
+//!
+//! * [`partition`] — fixed-grid / hash / range partitioning and
+//!   time-epoch dynamic repartitioning.
+//! * [`cluster`] — the metered grid simulator: sharded arrays, region
+//!   queries, distributed aggregation with mergeable partials,
+//!   co-partitioned joins, epoch changes and eager rebalance.
+//! * [`designer`] — the C-Store/H-Store-style automatic database designer:
+//!   range splits from a sample workload, scheme evaluation, periodic
+//!   repartitioning advice.
+//! * [`workload`] — deterministic survey / steerable / recency workload
+//!   generators.
+//! * [`replication`] — PanSTARRS-style overlap replication so uncertain
+//!   spatial joins resolve without data movement.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod designer;
+pub mod partition;
+pub mod replication;
+pub mod workload;
+
+pub use cluster::{Cluster, ExecStats};
+pub use designer::{design_range, evaluate, suggest_repartitioning, Evaluation};
+pub use partition::{EpochPartitioning, PartitionScheme};
+pub use replication::{local_join_fraction, replication_overhead, ReplicatedPlacement};
+pub use workload::{recency_workload, steerable_workload, survey_workload, QuerySpec, Workload};

@@ -1,0 +1,294 @@
+//! Partitioning of array space across shared-nothing nodes (§2.7).
+//!
+//! "Gamma supported both hash-based and range-based partitioning … the main
+//! question is how to do partitioning in SciDB. … dividing the coordinate
+//! system for the sky into fixed partitions will probably work well [for
+//! uniform survey workloads]. In contrast, any science experimentation that
+//! is 'steerable' will be non-uniform. … Hence, in SciDB we allow the
+//! partitioning to change over time. In this way, a first partitioning
+//! scheme is used for time less than T and a second partitioning scheme for
+//! time > T."
+//!
+//! [`PartitionScheme`] provides fixed-grid, hash, and range partitioning;
+//! [`EpochPartitioning`] is the time-versioned composite.
+
+use scidb_core::error::{Error, Result};
+use scidb_core::geometry::HyperRect;
+
+/// A placement policy mapping cell coordinates to node ids `0..n_nodes`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionScheme {
+    /// Fixed regular grid over a bounded space: the space is cut into
+    /// `tiles_per_dim[d]` tiles along each dimension and tiles are assigned
+    /// to nodes round-robin in row-major order. The paper's "fixed
+    /// partitioning scheme" for sky surveys and satellite imagery.
+    Grid {
+        /// The partitioned space.
+        space: HyperRect,
+        /// Tiles along each dimension.
+        tiles_per_dim: Vec<i64>,
+        /// Number of nodes.
+        n_nodes: usize,
+    },
+    /// Hash partitioning on a subset of dimensions (Gamma-style).
+    Hash {
+        /// Dimensions participating in the hash.
+        dims: Vec<usize>,
+        /// Number of nodes.
+        n_nodes: usize,
+    },
+    /// Range partitioning on one dimension: node `i` owns coordinates in
+    /// `(splits[i-1], splits[i]]` (with implicit −∞ / +∞ at the ends).
+    Range {
+        /// The partitioned dimension.
+        dim: usize,
+        /// Ascending split points; `splits.len() + 1` nodes.
+        splits: Vec<i64>,
+    },
+}
+
+impl PartitionScheme {
+    /// A fixed grid with tiles chosen so tile count ≥ nodes.
+    pub fn grid(space: HyperRect, tiles_per_dim: Vec<i64>, n_nodes: usize) -> Result<Self> {
+        if tiles_per_dim.len() != space.rank() {
+            return Err(Error::dimension("tiles_per_dim rank mismatch"));
+        }
+        if tiles_per_dim.iter().any(|&t| t < 1) || n_nodes == 0 {
+            return Err(Error::dimension("tiles and nodes must be positive"));
+        }
+        Ok(PartitionScheme::Grid {
+            space,
+            tiles_per_dim,
+            n_nodes,
+        })
+    }
+
+    /// Range partitioning from ascending split points.
+    pub fn range(dim: usize, splits: Vec<i64>) -> Result<Self> {
+        if splits.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::dimension("splits must be strictly ascending"));
+        }
+        Ok(PartitionScheme::Range { dim, splits })
+    }
+
+    /// Number of nodes addressed by the scheme.
+    pub fn n_nodes(&self) -> usize {
+        match self {
+            PartitionScheme::Grid { n_nodes, .. } => *n_nodes,
+            PartitionScheme::Hash { n_nodes, .. } => *n_nodes,
+            PartitionScheme::Range { splits, .. } => splits.len() + 1,
+        }
+    }
+
+    /// The node owning a cell.
+    pub fn node_of(&self, coords: &[i64]) -> usize {
+        match self {
+            PartitionScheme::Grid {
+                space,
+                tiles_per_dim,
+                n_nodes,
+            } => {
+                let mut tile_idx: i64 = 0;
+                for d in 0..space.rank() {
+                    let len = space.len(d);
+                    let tiles = tiles_per_dim[d];
+                    let tile_len = (len + tiles - 1) / tiles;
+                    let off = (coords[d] - space.low[d]).clamp(0, len - 1);
+                    let t = (off / tile_len).min(tiles - 1);
+                    tile_idx = tile_idx * tiles + t;
+                }
+                (tile_idx as usize) % n_nodes
+            }
+            PartitionScheme::Hash { dims, n_nodes } => {
+                // FNV-1a over the participating coordinates.
+                let mut h: u64 = 0xcbf29ce484222325;
+                for &d in dims {
+                    for b in coords[d].to_le_bytes() {
+                        h ^= u64::from(b);
+                        h = h.wrapping_mul(0x100000001b3);
+                    }
+                }
+                (h as usize) % n_nodes
+            }
+            PartitionScheme::Range { dim, splits } => {
+                splits.partition_point(|&s| s < coords[*dim])
+            }
+        }
+    }
+
+    /// True if two schemes place every cell identically — the
+    /// co-partitioning test (§2.7: "such arrays would all be partitioned
+    /// the same way, so that comparison operations including joins do not
+    /// require data movement").
+    pub fn same_placement(&self, other: &PartitionScheme) -> bool {
+        self == other
+    }
+}
+
+/// Time-epoch partitioning: "a first partitioning scheme is used for time
+/// less than T and a second partitioning scheme for time > T".
+#[derive(Debug, Clone)]
+pub struct EpochPartitioning {
+    /// `(start_time, scheme)` pairs, ascending by start time; the first
+    /// entry's start time is the beginning of history.
+    epochs: Vec<(i64, PartitionScheme)>,
+}
+
+impl EpochPartitioning {
+    /// Creates a single-epoch partitioning.
+    pub fn fixed(scheme: PartitionScheme) -> Self {
+        EpochPartitioning {
+            epochs: vec![(i64::MIN, scheme)],
+        }
+    }
+
+    /// Appends a new epoch starting at `time` (must be after the last).
+    pub fn add_epoch(&mut self, time: i64, scheme: PartitionScheme) -> Result<()> {
+        if let Some(&(last, _)) = self.epochs.last() {
+            if time <= last {
+                return Err(Error::dimension(format!(
+                    "epoch start {time} not after previous {last}"
+                )));
+            }
+        }
+        self.epochs.push((time, scheme));
+        Ok(())
+    }
+
+    /// The scheme governing data arriving at `time`.
+    pub fn scheme_at(&self, time: i64) -> &PartitionScheme {
+        let idx = self
+            .epochs
+            .partition_point(|&(start, _)| start <= time)
+            .saturating_sub(1);
+        &self.epochs[idx].1
+    }
+
+    /// Number of epochs.
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// All epochs.
+    pub fn epochs(&self) -> &[(i64, PartitionScheme)] {
+        &self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(n: i64) -> HyperRect {
+        HyperRect::new(vec![1, 1], vec![n, n]).unwrap()
+    }
+
+    #[test]
+    fn grid_covers_all_nodes_roughly_evenly() {
+        let s = PartitionScheme::grid(space(64), vec![4, 4], 16).unwrap();
+        let mut counts = vec![0usize; 16];
+        for x in 1..=64 {
+            for y in 1..=64 {
+                counts[s.node_of(&[x, y])] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 256), "{counts:?}");
+    }
+
+    #[test]
+    fn grid_tiles_are_contiguous_blocks() {
+        let s = PartitionScheme::grid(space(8), vec![2, 2], 4).unwrap();
+        assert_eq!(s.node_of(&[1, 1]), s.node_of(&[4, 4]));
+        assert_ne!(s.node_of(&[1, 1]), s.node_of(&[1, 5]));
+        assert_ne!(s.node_of(&[1, 1]), s.node_of(&[5, 1]));
+    }
+
+    #[test]
+    fn grid_fewer_nodes_than_tiles_wraps() {
+        let s = PartitionScheme::grid(space(8), vec![4, 4], 3).unwrap();
+        let mut used = std::collections::HashSet::new();
+        for x in 1..=8 {
+            for y in 1..=8 {
+                used.insert(s.node_of(&[x, y]));
+            }
+        }
+        assert_eq!(used.len(), 3);
+    }
+
+    #[test]
+    fn hash_distributes_and_is_deterministic() {
+        let s = PartitionScheme::Hash {
+            dims: vec![0, 1],
+            n_nodes: 8,
+        };
+        let mut counts = vec![0usize; 8];
+        for x in 1..=64 {
+            for y in 1..=64 {
+                let n = s.node_of(&[x, y]);
+                assert_eq!(n, s.node_of(&[x, y]));
+                counts[n] += 1;
+            }
+        }
+        let (mn, mx) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(mx - mn < 200, "hash is roughly even: {counts:?}");
+    }
+
+    #[test]
+    fn hash_on_subset_of_dims_ignores_others() {
+        let s = PartitionScheme::Hash {
+            dims: vec![0],
+            n_nodes: 8,
+        };
+        assert_eq!(s.node_of(&[5, 1]), s.node_of(&[5, 999]));
+    }
+
+    #[test]
+    fn range_partitioning_by_splits() {
+        let s = PartitionScheme::range(0, vec![10, 20, 30]).unwrap();
+        assert_eq!(s.n_nodes(), 4);
+        assert_eq!(s.node_of(&[1]), 0);
+        assert_eq!(s.node_of(&[10]), 0);
+        assert_eq!(s.node_of(&[11]), 1);
+        assert_eq!(s.node_of(&[20]), 1);
+        assert_eq!(s.node_of(&[25]), 2);
+        assert_eq!(s.node_of(&[31]), 3);
+        assert_eq!(s.node_of(&[1000]), 3);
+    }
+
+    #[test]
+    fn range_rejects_unsorted_splits() {
+        assert!(PartitionScheme::range(0, vec![10, 10]).is_err());
+        assert!(PartitionScheme::range(0, vec![20, 10]).is_err());
+    }
+
+    #[test]
+    fn grid_validation() {
+        assert!(PartitionScheme::grid(space(8), vec![2], 4).is_err());
+        assert!(PartitionScheme::grid(space(8), vec![2, 0], 4).is_err());
+        assert!(PartitionScheme::grid(space(8), vec![2, 2], 0).is_err());
+    }
+
+    #[test]
+    fn epochs_switch_scheme_over_time() {
+        let g1 = PartitionScheme::grid(space(8), vec![2, 2], 4).unwrap();
+        let g2 = PartitionScheme::range(0, vec![4]).unwrap();
+        let mut ep = EpochPartitioning::fixed(g1.clone());
+        ep.add_epoch(100, g2.clone()).unwrap();
+        assert_eq!(ep.scheme_at(0), &g1);
+        assert_eq!(ep.scheme_at(99), &g1);
+        assert_eq!(ep.scheme_at(100), &g2);
+        assert_eq!(ep.scheme_at(5000), &g2);
+        assert_eq!(ep.epoch_count(), 2);
+        // Epochs must advance in time.
+        assert!(ep.add_epoch(50, g1).is_err());
+    }
+
+    #[test]
+    fn same_placement_detects_copartitioning() {
+        let a = PartitionScheme::range(0, vec![10, 20]).unwrap();
+        let b = PartitionScheme::range(0, vec![10, 20]).unwrap();
+        let c = PartitionScheme::range(0, vec![10, 21]).unwrap();
+        assert!(a.same_placement(&b));
+        assert!(!a.same_placement(&c));
+    }
+}

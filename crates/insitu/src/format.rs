@@ -1,0 +1,331 @@
+//! SDDF — the SciDB-rs self-describing data format (§2.9).
+//!
+//! "Our approach … is to define a self-describing data format"; users who
+//! put data in this format "can use SciDB without a load stage". An SDDF
+//! file is:
+//!
+//! ```text
+//! magic "SDDF" | version u32 | header-len u32 | header
+//! chunk block 0 | chunk block 1 | …
+//! chunk index (rect → offset,len per chunk) | index-offset u64 | magic
+//! ```
+//!
+//! The header carries the full array schema; each chunk block is the same
+//! self-describing compressed bucket payload the storage manager writes
+//! (see [`scidb_storage::bucket`]), so SDDF reads are chunk-granular: a
+//! region query touches only the blocks whose rectangles intersect it.
+
+use crate::adaptor::{wire::*, InSituSource, MeteredFile};
+use scidb_core::array::Array;
+use scidb_core::error::{Error, Result};
+use scidb_core::geometry::HyperRect;
+use scidb_core::schema::{ArraySchema, AttributeDef, DimensionDef};
+use scidb_core::value::ScalarType;
+use scidb_storage::bucket::{deserialize_chunk, serialize_chunk, CodecPolicy};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"SDDF";
+const VERSION: u32 = 1;
+
+fn encode_schema(schema: &ArraySchema) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, schema.name());
+    put_u32(&mut out, schema.attrs().len() as u32);
+    for a in schema.attrs() {
+        put_str(&mut out, &a.name);
+        let ty = a.ty.as_scalar().expect("SDDF schemas are scalar-only");
+        put_str(&mut out, ty.name());
+    }
+    put_u32(&mut out, schema.dims().len() as u32);
+    for d in schema.dims() {
+        put_str(&mut out, &d.name);
+        put_i64(&mut out, d.upper.unwrap_or(-1));
+        put_i64(&mut out, d.chunk_len);
+    }
+    out
+}
+
+fn decode_schema(data: &[u8]) -> Result<ArraySchema> {
+    let mut pos = 0usize;
+    let name = str_at(data, &mut pos)?;
+    let n_attrs = u32_at(data, &mut pos)? as usize;
+    let mut attrs = Vec::with_capacity(n_attrs);
+    for _ in 0..n_attrs {
+        let aname = str_at(data, &mut pos)?;
+        let tname = str_at(data, &mut pos)?;
+        let ty = ScalarType::parse(&tname)
+            .ok_or_else(|| Error::storage(format!("unknown type '{tname}' in SDDF header")))?;
+        attrs.push(AttributeDef::scalar(aname, ty));
+    }
+    let n_dims = u32_at(data, &mut pos)? as usize;
+    let mut dims = Vec::with_capacity(n_dims);
+    for _ in 0..n_dims {
+        let dname = str_at(data, &mut pos)?;
+        let upper = i64_at(data, &mut pos)?;
+        let chunk = i64_at(data, &mut pos)?;
+        // Corrupt headers must error, not trip internal invariants.
+        if chunk < 1 || (upper >= 0 && upper < 1) {
+            return Err(Error::storage(format!(
+                "corrupt SDDF dimension '{dname}': upper {upper}, chunk {chunk}"
+            )));
+        }
+        let def = if upper < 0 {
+            DimensionDef::unbounded(dname)
+        } else {
+            DimensionDef::bounded(dname, upper)
+        }
+        .with_chunk(chunk);
+        dims.push(def);
+    }
+    ArraySchema::new(name, attrs, dims)
+}
+
+/// Writes an array to an SDDF file.
+pub fn write_sddf(path: &Path, array: &Array, policy: CodecPolicy) -> Result<u64> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    let header = encode_schema(array.schema());
+    put_u32(&mut out, header.len() as u32);
+    out.extend_from_slice(&header);
+
+    // Chunk blocks + index entries.
+    let mut index = Vec::new();
+    let mut entries = 0u32;
+    for chunk in array.chunks().values() {
+        if chunk.is_empty() {
+            continue;
+        }
+        let payload = serialize_chunk(chunk, policy)?;
+        let offset = out.len() as u64;
+        out.extend_from_slice(&payload);
+        // Index entry: rank, low, high, offset, len.
+        let rect = chunk.rect();
+        put_u32(&mut index, rect.rank() as u32);
+        for d in 0..rect.rank() {
+            put_i64(&mut index, rect.low[d]);
+            put_i64(&mut index, rect.high[d]);
+        }
+        put_u64(&mut index, offset);
+        put_u64(&mut index, payload.len() as u64);
+        entries += 1;
+    }
+    let index_offset = out.len() as u64;
+    put_u32(&mut out, entries);
+    out.extend_from_slice(&index);
+    put_u64(&mut out, index_offset);
+    out.extend_from_slice(MAGIC);
+    std::fs::write(path, &out)?;
+    Ok(out.len() as u64)
+}
+
+/// Chunk-granular SDDF reader.
+pub struct SddfReader {
+    file: MeteredFile,
+    schema: Arc<ArraySchema>,
+    /// `(rect, offset, len)` per chunk block.
+    index: Vec<(HyperRect, u64, u64)>,
+}
+
+impl SddfReader {
+    /// Opens an SDDF file, reading only the header and the chunk index.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut file = MeteredFile::open(path)?;
+        let flen = file.len()?;
+        if flen < 24 {
+            return Err(Error::storage("SDDF file too short"));
+        }
+        let head = file.read_at(0, 12)?;
+        if &head[..4] != MAGIC {
+            return Err(Error::storage("bad SDDF magic"));
+        }
+        let mut pos = 4usize;
+        let version = u32_at(&head, &mut pos)?;
+        if version != VERSION {
+            return Err(Error::storage(format!("unsupported SDDF version {version}")));
+        }
+        let header_len = u32_at(&head, &mut pos)? as usize;
+        let header = file.read_at(12, header_len)?;
+        let schema = Arc::new(decode_schema(&header)?);
+
+        // Footer: … index-offset u64 | magic.
+        let footer = file.read_at(flen - 12, 12)?;
+        if &footer[8..] != MAGIC {
+            return Err(Error::storage("bad SDDF footer"));
+        }
+        let mut fpos = 0usize;
+        let index_offset = u64_at(&footer, &mut fpos)?;
+        let index_len = (flen - 12)
+            .checked_sub(index_offset)
+            .ok_or_else(|| Error::storage("corrupt SDDF index offset"))?;
+        let index_bytes = file.read_at(index_offset, index_len as usize)?;
+        let mut ipos = 0usize;
+        let entries = u32_at(&index_bytes, &mut ipos)? as usize;
+        // Each index entry needs at least 20 bytes; larger counts are
+        // corruption and must not drive allocation.
+        if entries > index_bytes.len() / 20 {
+            return Err(Error::storage("corrupt SDDF index entry count"));
+        }
+        let mut index = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            let rank = u32_at(&index_bytes, &mut ipos)? as usize;
+            if rank > 64 {
+                return Err(Error::storage("corrupt SDDF chunk rank"));
+            }
+            let mut low = Vec::with_capacity(rank);
+            let mut high = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                low.push(i64_at(&index_bytes, &mut ipos)?);
+                high.push(i64_at(&index_bytes, &mut ipos)?);
+            }
+            let offset = u64_at(&index_bytes, &mut ipos)?;
+            let len = u64_at(&index_bytes, &mut ipos)?;
+            index.push((HyperRect::new(low, high)?, offset, len));
+        }
+        Ok(SddfReader {
+            file,
+            schema,
+            index,
+        })
+    }
+
+    /// Number of chunk blocks in the file.
+    pub fn chunk_count(&self) -> usize {
+        self.index.len()
+    }
+}
+
+impl InSituSource for SddfReader {
+    fn schema(&self) -> &ArraySchema {
+        &self.schema
+    }
+
+    fn read_region(&mut self, region: &HyperRect) -> Result<Array> {
+        let mut out = Array::from_arc(Arc::clone(&self.schema));
+        let hits: Vec<(u64, u64)> = self
+            .index
+            .iter()
+            .filter(|(rect, _, _)| rect.intersects(region))
+            .map(|(_, off, len)| (*off, *len))
+            .collect();
+        for (off, len) in hits {
+            let payload = self.file.read_at(off, len as usize)?;
+            let chunk = deserialize_chunk(&payload)?;
+            for (coords, idx) in chunk.iter_present() {
+                if region.contains(&coords) {
+                    out.set_cell(&coords, chunk.record_at(idx))?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.file.bytes_read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidb_core::schema::SchemaBuilder;
+    use scidb_core::value::{record, Value};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("scidb_sddf_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_array(n: i64, chunk: i64) -> Array {
+        let schema = SchemaBuilder::new("Sample")
+            .attr("v", ScalarType::Float64)
+            .attr("flag", ScalarType::Bool)
+            .dim_chunked("I", n, chunk)
+            .dim_chunked("J", n, chunk)
+            .build()
+            .unwrap();
+        let mut a = Array::new(schema);
+        a.fill_with(|c| {
+            record([
+                Value::from((c[0] * 1000 + c[1]) as f64),
+                Value::from((c[0] + c[1]) % 2 == 0),
+            ])
+        })
+        .unwrap();
+        a
+    }
+
+    #[test]
+    fn roundtrip_whole_file() {
+        let a = sample_array(16, 8);
+        let path = tmp("roundtrip.sddf");
+        write_sddf(&path, &a, CodecPolicy::default_policy()).unwrap();
+        let mut r = SddfReader::open(&path).unwrap();
+        assert_eq!(r.chunk_count(), 4);
+        assert_eq!(r.schema().attrs().len(), 2);
+        let back = r.read_all().unwrap();
+        assert!(back.same_cells(&a));
+    }
+
+    #[test]
+    fn region_read_is_chunk_granular() {
+        let a = sample_array(32, 8);
+        let path = tmp("granular.sddf");
+        let total = write_sddf(&path, &a, CodecPolicy::default_policy()).unwrap();
+        let mut r = SddfReader::open(&path).unwrap();
+        let after_open = r.bytes_read();
+        let region = HyperRect::new(vec![1, 1], vec![8, 8]).unwrap();
+        let out = r.read_region(&region).unwrap();
+        assert_eq!(out.cell_count(), 64);
+        let for_query = r.bytes_read() - after_open;
+        assert!(
+            for_query * 4 < total,
+            "one of 16 chunks read: {for_query} of {total} bytes"
+        );
+    }
+
+    #[test]
+    fn open_via_adaptor_dispatch() {
+        let a = sample_array(8, 8);
+        let path = tmp("dispatch.sddf");
+        write_sddf(&path, &a, CodecPolicy::raw()).unwrap();
+        let mut src = crate::adaptor::open(&path).unwrap();
+        let back = src.read_all().unwrap();
+        assert_eq!(back.cell_count(), 64);
+    }
+
+    #[test]
+    fn corrupt_files_error() {
+        let path = tmp("corrupt.sddf");
+        std::fs::write(&path, b"SDDFxxxx").unwrap();
+        assert!(SddfReader::open(&path).is_err());
+        let a = sample_array(8, 8);
+        let good = tmp("good.sddf");
+        write_sddf(&good, &a, CodecPolicy::raw()).unwrap();
+        let mut bytes = std::fs::read(&good).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] = b'X'; // break footer magic
+        std::fs::write(&good, &bytes).unwrap();
+        assert!(SddfReader::open(&good).is_err());
+    }
+
+    #[test]
+    fn sparse_arrays_roundtrip() {
+        let schema = SchemaBuilder::new("Sparse")
+            .attr("v", ScalarType::Int64)
+            .dim_chunked("I", 100, 10)
+            .build()
+            .unwrap();
+        let mut a = Array::new(schema);
+        for i in [1i64, 17, 55, 99] {
+            a.set_cell(&[i], record([Value::from(i)])).unwrap();
+        }
+        let path = tmp("sparse.sddf");
+        write_sddf(&path, &a, CodecPolicy::default_policy()).unwrap();
+        let mut r = SddfReader::open(&path).unwrap();
+        let back = r.read_all().unwrap();
+        assert!(back.same_cells(&a));
+    }
+}

@@ -1,0 +1,29 @@
+//! # scidb-provenance
+//!
+//! Provenance and repeatability of data derivation (paper §2.12):
+//!
+//! * [`log`] — the append-only command log and the metadata repository for
+//!   externally cooked data.
+//! * [`pipeline`] — derivation pipelines whose operators answer lineage
+//!   questions analytically (the minimal-storage replay mode) and the
+//!   Trio-style item-level [`pipeline::TrioStore`].
+//! * [`trace`] — backward traces (replay / Trio / hybrid-cached) and
+//!   dimension-qualified forward traces iterated to closure.
+//! * [`rederive`] — the correction workflow: recompute only the affected
+//!   downstream cells and commit the replacements into named versions.
+//! * [`ql`] — the provenance query language the paper calls "the hard
+//!   part": `trace backward A[i, j]`, `trace forward …`, `rederive … = (…)`.
+
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod pipeline;
+pub mod ql;
+pub mod rederive;
+pub mod trace;
+
+pub use log::{CommandLog, LogEntry, MetadataRepository, ProgramRun};
+pub use pipeline::{Pipeline, Step, StepOp, TrioStore};
+pub use ql::{query as provenance_query, QlResult};
+pub use rederive::{commit_rederivation, rederive_forward, Rederivation};
+pub use trace::{backward_trace, forward_trace, TraceMode, TraceResult};

@@ -1,0 +1,290 @@
+//! The provenance command log and metadata repository (§2.12).
+//!
+//! "For a sequence of processing steps inside SciDB, one merely needs to
+//! record a log of the commands that were run to create A. For arrays that
+//! are loaded externally, scientists want a metadata repository in which
+//! they can enter programs that were run along with their run-time
+//! parameters." Both structures support the two search requirements: find
+//! the steps that created a data element, and find everything downstream
+//! of one.
+
+use std::collections::HashMap;
+
+/// One logged engine command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Monotonic id (execution order).
+    pub id: u64,
+    /// Logical timestamp (injected; see DESIGN.md §4).
+    pub timestamp: i64,
+    /// Canonical command text (AQL rendering of the parse tree).
+    pub command: String,
+    /// Input arrays, with the history version consumed.
+    pub inputs: Vec<(String, i64)>,
+    /// Output array, with the history version produced.
+    pub output: (String, i64),
+}
+
+/// Append-only command log.
+#[derive(Debug, Default)]
+pub struct CommandLog {
+    entries: Vec<LogEntry>,
+}
+
+impl CommandLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        CommandLog::default()
+    }
+
+    /// Appends a command, returning its id.
+    pub fn append(
+        &mut self,
+        timestamp: i64,
+        command: impl Into<String>,
+        inputs: Vec<(String, i64)>,
+        output: (String, i64),
+    ) -> u64 {
+        let id = self.entries.len() as u64;
+        self.entries.push(LogEntry {
+            id,
+            timestamp,
+            command: command.into(),
+            inputs,
+            output,
+        });
+        id
+    }
+
+    /// All entries in execution order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// The entry that produced `array` at (or most recently before)
+    /// version `version` — the paper's "look at the time of the update
+    /// that produced the item in question. That identifies the command."
+    pub fn producer_of(&self, array: &str, version: i64) -> Option<&LogEntry> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.output.0 == array && e.output.1 <= version)
+    }
+
+    /// Entries that consumed `array` at or after `version` — the starting
+    /// set for forward tracing.
+    pub fn consumers_of(&self, array: &str, version: i64) -> Vec<&LogEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.inputs.iter().any(|(n, v)| n == array && *v >= version))
+            .collect()
+    }
+
+    /// Entries after a given id, in order (used when iterating a forward
+    /// trace through the log).
+    pub fn after(&self, id: u64) -> &[LogEntry] {
+        let idx = (id as usize + 1).min(self.entries.len());
+        &self.entries[idx..]
+    }
+
+    /// Approximate byte size of the log (for the E6 space comparison).
+    pub fn byte_size(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| {
+                48 + e.command.len()
+                    + e.inputs
+                        .iter()
+                        .map(|(n, _)| n.len() + 16)
+                        .sum::<usize>()
+                    + e.output.0.len()
+            })
+            .sum()
+    }
+}
+
+/// A record of an external program run (data cooked outside the engine,
+/// §2.10/§2.12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramRun {
+    /// Monotonic id.
+    pub id: u64,
+    /// Logical timestamp.
+    pub timestamp: i64,
+    /// Program name/identifier (e.g. a container digest).
+    pub program: String,
+    /// Run-time parameters.
+    pub params: Vec<(String, String)>,
+    /// Input datasets (external names or array names).
+    pub inputs: Vec<String>,
+    /// Output datasets.
+    pub outputs: Vec<String>,
+}
+
+/// The metadata repository for externally cooked data.
+#[derive(Debug, Default)]
+pub struct MetadataRepository {
+    runs: Vec<ProgramRun>,
+    by_output: HashMap<String, Vec<u64>>,
+    by_input: HashMap<String, Vec<u64>>,
+}
+
+impl MetadataRepository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        MetadataRepository::default()
+    }
+
+    /// Registers a program run.
+    pub fn record(
+        &mut self,
+        timestamp: i64,
+        program: impl Into<String>,
+        params: Vec<(String, String)>,
+        inputs: Vec<String>,
+        outputs: Vec<String>,
+    ) -> u64 {
+        let id = self.runs.len() as u64;
+        for o in &outputs {
+            self.by_output.entry(o.clone()).or_default().push(id);
+        }
+        for i in &inputs {
+            self.by_input.entry(i.clone()).or_default().push(id);
+        }
+        self.runs.push(ProgramRun {
+            id,
+            timestamp,
+            program: program.into(),
+            params,
+            inputs,
+            outputs,
+        });
+        id
+    }
+
+    /// All runs.
+    pub fn runs(&self) -> &[ProgramRun] {
+        &self.runs
+    }
+
+    /// Runs that produced a dataset (search requirement 1).
+    pub fn producers(&self, dataset: &str) -> Vec<&ProgramRun> {
+        self.by_output
+            .get(dataset)
+            .map(|ids| ids.iter().map(|&i| &self.runs[i as usize]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Runs that consumed a dataset (search requirement 2).
+    pub fn consumers(&self, dataset: &str) -> Vec<&ProgramRun> {
+        self.by_input
+            .get(dataset)
+            .map(|ids| ids.iter().map(|&i| &self.runs[i as usize]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Transitive upstream datasets of `dataset` (derivation ancestry
+    /// across program runs).
+    pub fn upstream(&self, dataset: &str) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![dataset.to_string()];
+        while let Some(d) = stack.pop() {
+            for run in self.producers(&d) {
+                for i in &run.inputs {
+                    if seen.insert(i.clone()) {
+                        stack.push(i.clone());
+                    }
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Transitive downstream datasets of `dataset`.
+    pub fn downstream(&self, dataset: &str) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![dataset.to_string()];
+        while let Some(d) = stack.pop() {
+            for run in self.consumers(&d) {
+                for o in &run.outputs {
+                    if seen.insert(o.clone()) {
+                        stack.push(o.clone());
+                    }
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_records_and_finds_producers() {
+        let mut log = CommandLog::new();
+        log.append(10, "store filter(raw, v > 0) into cooked", vec![("raw".into(), 1)], ("cooked".into(), 1));
+        log.append(20, "store regrid(cooked, [4,4], avg) into summary", vec![("cooked".into(), 1)], ("summary".into(), 1));
+        log.append(30, "insert into cooked …", vec![("raw".into(), 2)], ("cooked".into(), 2));
+
+        let p = log.producer_of("cooked", 1).unwrap();
+        assert_eq!(p.id, 0);
+        let p = log.producer_of("cooked", 2).unwrap();
+        assert_eq!(p.id, 2);
+        assert!(log.producer_of("nope", 1).is_none());
+    }
+
+    #[test]
+    fn log_finds_consumers_and_after() {
+        let mut log = CommandLog::new();
+        log.append(1, "a", vec![("x".into(), 1)], ("y".into(), 1));
+        log.append(2, "b", vec![("y".into(), 1)], ("z".into(), 1));
+        log.append(3, "c", vec![("x".into(), 1)], ("w".into(), 1));
+        let consumers = log.consumers_of("x", 1);
+        assert_eq!(consumers.len(), 2);
+        assert_eq!(log.after(0).len(), 2);
+        assert_eq!(log.after(5).len(), 0);
+        assert!(log.byte_size() > 0);
+    }
+
+    #[test]
+    fn repository_traces_lineage_across_runs() {
+        let mut repo = MetadataRepository::new();
+        repo.record(
+            1,
+            "calibrate-v2",
+            vec![("dark_frame".into(), "d013".into())],
+            vec!["raw_scan".into()],
+            vec!["calibrated".into()],
+        );
+        repo.record(
+            2,
+            "mosaic",
+            vec![("cloud_algo".into(), "min_cover".into())],
+            vec!["calibrated".into()],
+            vec!["composite".into()],
+        );
+        assert_eq!(repo.producers("composite").len(), 1);
+        assert_eq!(repo.producers("composite")[0].program, "mosaic");
+        assert_eq!(repo.upstream("composite"), vec!["calibrated", "raw_scan"]);
+        assert_eq!(
+            repo.downstream("raw_scan"),
+            vec!["calibrated", "composite"]
+        );
+        assert!(repo.producers("unknown").is_empty());
+    }
+
+    #[test]
+    fn repository_params_preserved() {
+        let mut repo = MetadataRepository::new();
+        let id = repo.record(
+            5,
+            "p",
+            vec![("k".into(), "v".into())],
+            vec![],
+            vec!["o".into()],
+        );
+        assert_eq!(repo.runs()[id as usize].params[0].1, "v");
+    }
+}

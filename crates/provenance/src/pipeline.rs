@@ -1,0 +1,429 @@
+//! Derivation pipelines and the recording executor mode (§2.12).
+//!
+//! A [`Pipeline`] is a sequence of derivation steps (the cooking process of
+//! §2.10 expressed inside the engine). Each [`StepOp`] knows not only how
+//! to *run*, but how to answer the two provenance questions analytically:
+//!
+//! * [`StepOp::contributors`] — which input cells produced a given output
+//!   cell. This is the engine's "special executor mode that will record all
+//!   items that contributed to the incorrect item": no lineage is stored;
+//!   the relationship is recomputed on demand (the paper's minimal-storage
+//!   solution).
+//! * [`StepOp::affected`] — which output cells a given input cell affects,
+//!   the "dimension qualification" used by forward tracing.
+//!
+//! [`TrioStore`] is the opposite end of the spectrum: Trio-style explicit
+//! item-level lineage, whose "space cost … is way too high" — experiment E6
+//! measures exactly how high, against the replay cost of the minimal
+//! solution.
+
+use scidb_core::array::Array;
+use scidb_core::error::{Error, Result};
+use scidb_core::expr::Expr;
+use scidb_core::geometry::Coords;
+use scidb_core::ops;
+use scidb_core::registry::Registry;
+use scidb_core::value::ScalarType;
+use std::collections::HashMap;
+
+/// One derivation operator with analytic lineage.
+#[derive(Debug, Clone)]
+pub enum StepOp {
+    /// Per-cell computation appending an attribute (calibration etc.).
+    Apply {
+        /// New attribute name.
+        name: String,
+        /// The expression.
+        expr: Expr,
+    },
+    /// Per-cell predicate (cloud masking etc.).
+    Filter {
+        /// The predicate.
+        pred: Expr,
+    },
+    /// Block aggregation (resolution reduction).
+    Regrid {
+        /// Per-dimension factors.
+        factors: Vec<i64>,
+        /// Aggregate name.
+        agg: String,
+    },
+    /// Cell-wise combination of two aligned arrays (e.g. subtract dark
+    /// frame): output cell (c) depends on cell (c) of both inputs.
+    Combine {
+        /// Expression over the concatenated record (left attrs first,
+        /// right attrs renamed `_r` on clash).
+        expr: Expr,
+        /// Output attribute name.
+        name: String,
+    },
+}
+
+impl StepOp {
+    /// Number of input arrays the operator takes.
+    pub fn arity(&self) -> usize {
+        match self {
+            StepOp::Combine { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Executes the step.
+    pub fn run(&self, inputs: &[&Array], registry: &Registry) -> Result<Array> {
+        match self {
+            StepOp::Apply { name, expr } => {
+                ops::apply(inputs[0], name, expr, ScalarType::Float64, Some(registry))
+            }
+            StepOp::Filter { pred } => ops::filter(inputs[0], pred, Some(registry)),
+            StepOp::Regrid { factors, agg } => ops::regrid(inputs[0], factors, agg, registry),
+            StepOp::Combine { expr, name } => {
+                if inputs.len() != 2 {
+                    return Err(Error::eval("combine takes two inputs"));
+                }
+                let (a, b) = (inputs[0], inputs[1]);
+                // Cell-wise join on all dimensions, then compute + project.
+                let on: Vec<(&str, &str)> = a
+                    .schema()
+                    .dims()
+                    .iter()
+                    .zip(b.schema().dims())
+                    .map(|(da, db)| (da.name.as_str(), db.name.as_str()))
+                    .collect();
+                let joined = ops::sjoin(a, b, &on)?;
+                let applied =
+                    ops::apply(&joined, name, expr, ScalarType::Float64, Some(registry))?;
+                ops::project(&applied, &[name])
+            }
+        }
+    }
+
+    /// Input cells contributing to `out_cell` — recomputed analytically,
+    /// no stored lineage. Returns `(input_index, coords)` pairs.
+    pub fn contributors(&self, out_cell: &[i64]) -> Vec<(usize, Coords)> {
+        match self {
+            StepOp::Apply { .. } | StepOp::Filter { .. } => vec![(0, out_cell.to_vec())],
+            StepOp::Regrid { factors, .. } => {
+                // Output cell c covers input block ((c-1)*f+1 ..= c*f).
+                let lows: Vec<i64> = out_cell
+                    .iter()
+                    .zip(factors)
+                    .map(|(&c, &f)| (c - 1) * f + 1)
+                    .collect();
+                let highs: Vec<i64> = out_cell
+                    .iter()
+                    .zip(factors)
+                    .map(|(&c, &f)| c * f)
+                    .collect();
+                scidb_core::geometry::HyperRect { low: lows, high: highs }
+                    .iter_cells()
+                    .map(|c| (0, c))
+                    .collect()
+            }
+            StepOp::Combine { .. } => {
+                vec![(0, out_cell.to_vec()), (1, out_cell.to_vec())]
+            }
+        }
+    }
+
+    /// Output cells affected by a change to `in_cell` of input
+    /// `input_idx` — the forward "dimension qualification".
+    pub fn affected(&self, input_idx: usize, in_cell: &[i64]) -> Vec<Coords> {
+        match self {
+            StepOp::Apply { .. } | StepOp::Filter { .. } => {
+                debug_assert_eq!(input_idx, 0);
+                vec![in_cell.to_vec()]
+            }
+            StepOp::Regrid { factors, .. } => {
+                vec![in_cell
+                    .iter()
+                    .zip(factors)
+                    .map(|(&c, &f)| (c - 1) / f + 1)
+                    .collect()]
+            }
+            StepOp::Combine { .. } => vec![in_cell.to_vec()],
+        }
+    }
+}
+
+/// One named step of a pipeline.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The operator.
+    pub op: StepOp,
+    /// Input array names (length = `op.arity()`).
+    pub inputs: Vec<String>,
+    /// Output array name.
+    pub output: String,
+}
+
+/// Trio-style explicit item-level lineage: for every output cell of every
+/// step, the full contributor list.
+#[derive(Debug, Default)]
+pub struct TrioStore {
+    /// `(output array, output cell)` → `(input array, input cell)` list.
+    lineage: HashMap<(String, Coords), Vec<(String, Coords)>>,
+}
+
+impl TrioStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        TrioStore::default()
+    }
+
+    /// Looks up stored lineage.
+    pub fn lookup(&self, array: &str, cell: &[i64]) -> Option<&[(String, Coords)]> {
+        self.lineage
+            .get(&(array.to_string(), cell.to_vec()))
+            .map(Vec::as_slice)
+    }
+
+    /// Number of lineage records.
+    pub fn len(&self) -> usize {
+        self.lineage.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.lineage.is_empty()
+    }
+
+    /// Mutable access for the hybrid trace cache.
+    pub(crate) fn lineage_mut(
+        &mut self,
+    ) -> &mut HashMap<(String, Coords), Vec<(String, Coords)>> {
+        &mut self.lineage
+    }
+
+    /// Approximate heap bytes — the E6 "space cost … way too high" number.
+    pub fn byte_size(&self) -> usize {
+        self.lineage
+            .iter()
+            .map(|((a, c), contribs)| {
+                a.len()
+                    + c.len() * 8
+                    + 48
+                    + contribs
+                        .iter()
+                        .map(|(n, cc)| n.len() + cc.len() * 8 + 32)
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// A materialized derivation pipeline over named arrays.
+pub struct Pipeline {
+    steps: Vec<Step>,
+    arrays: HashMap<String, Array>,
+    registry: Registry,
+}
+
+impl Pipeline {
+    /// Creates a pipeline seeded with source arrays.
+    pub fn new(sources: Vec<(String, Array)>) -> Self {
+        Pipeline {
+            steps: Vec::new(),
+            arrays: sources.into_iter().collect(),
+            registry: Registry::with_builtins(),
+        }
+    }
+
+    /// The function registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A named array's current state.
+    pub fn array(&self, name: &str) -> Result<&Array> {
+        self.arrays
+            .get(name)
+            .ok_or_else(|| Error::not_found(format!("array '{name}'")))
+    }
+
+    /// The executed steps, in order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Runs one step, materializing its output. With `trio`, item-level
+    /// lineage is recorded for every output cell (the expensive mode).
+    pub fn run_step(
+        &mut self,
+        op: StepOp,
+        inputs: &[&str],
+        output: &str,
+        trio: Option<&mut TrioStore>,
+    ) -> Result<()> {
+        if inputs.len() != op.arity() {
+            return Err(Error::eval(format!(
+                "step takes {} inputs, got {}",
+                op.arity(),
+                inputs.len()
+            )));
+        }
+        let input_arrays: Vec<&Array> = inputs
+            .iter()
+            .map(|n| self.array(n))
+            .collect::<Result<_>>()?;
+        let result = op.run(&input_arrays, &self.registry)?;
+        if let Some(store) = trio {
+            for (coords, _) in result.cells() {
+                let contribs: Vec<(String, Coords)> = op
+                    .contributors(&coords)
+                    .into_iter()
+                    .map(|(idx, c)| (inputs[idx].to_string(), c))
+                    .collect();
+                store
+                    .lineage
+                    .insert((output.to_string(), coords), contribs);
+            }
+        }
+        self.steps.push(Step {
+            op,
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            output: output.to_string(),
+        });
+        self.arrays.insert(output.to_string(), result);
+        Ok(())
+    }
+
+    /// The step that produced `array`, if any (latest wins).
+    pub fn producer(&self, array: &str) -> Option<(usize, &Step)> {
+        self.steps
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, s)| s.output == array)
+    }
+
+    /// Steps consuming `array`, in order.
+    pub fn consumers(&self, array: &str) -> Vec<(usize, &Step)> {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.inputs.iter().any(|i| i == array))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidb_core::value::Value;
+
+    fn ramp(name: &str, n: i64) -> Array {
+        let rows: Vec<Vec<f64>> = (1..=n)
+            .map(|i| (1..=n).map(|j| (i * 10 + j) as f64).collect())
+            .collect();
+        Array::f64_2d(name, "v", &rows)
+    }
+
+    #[test]
+    fn pipeline_runs_steps_in_order() {
+        let mut p = Pipeline::new(vec![("raw".into(), ramp("raw", 4))]);
+        p.run_step(
+            StepOp::Apply {
+                name: "cal".into(),
+                expr: Expr::attr("v").mul(Expr::lit(2.0)),
+            },
+            &["raw"],
+            "calibrated",
+            None,
+        )
+        .unwrap();
+        p.run_step(
+            StepOp::Regrid {
+                factors: vec![2, 2],
+                agg: "avg".into(),
+            },
+            &["calibrated"],
+            "summary",
+            None,
+        )
+        .unwrap();
+        let s = p.array("summary").unwrap();
+        assert_eq!(s.cell_count(), 4);
+        // Block (1,1): raw values 11,12,21,22 → ×2 → avg = 33.
+        assert_eq!(s.get_f64(1, &[1, 1]), Some(33.0));
+        assert_eq!(p.steps().len(), 2);
+        assert_eq!(p.producer("summary").unwrap().0, 1);
+        assert_eq!(p.consumers("calibrated").len(), 1);
+    }
+
+    #[test]
+    fn contributors_apply_filter_identity() {
+        let op = StepOp::Filter {
+            pred: Expr::attr("v").gt(Expr::lit(0.0)),
+        };
+        assert_eq!(op.contributors(&[3, 4]), vec![(0, vec![3, 4])]);
+        assert_eq!(op.affected(0, &[3, 4]), vec![vec![3, 4]]);
+    }
+
+    #[test]
+    fn contributors_regrid_block() {
+        let op = StepOp::Regrid {
+            factors: vec![2, 3],
+            agg: "sum".into(),
+        };
+        let c = op.contributors(&[2, 1]);
+        // Output (2,1) covers inputs (3..4, 1..3): 6 cells.
+        assert_eq!(c.len(), 6);
+        assert!(c.contains(&(0, vec![3, 1])));
+        assert!(c.contains(&(0, vec![4, 3])));
+        // Forward: input (4, 3) lands in output (2, 1).
+        assert_eq!(op.affected(0, &[4, 3]), vec![vec![2, 1]]);
+    }
+
+    #[test]
+    fn combine_depends_on_both_inputs() {
+        let mut p = Pipeline::new(vec![
+            ("a".into(), ramp("a", 2)),
+            ("b".into(), ramp("b", 2)),
+        ]);
+        let op = StepOp::Combine {
+            expr: Expr::attr("v").sub(Expr::attr("v_r")),
+            name: "diff".into(),
+        };
+        assert_eq!(
+            op.contributors(&[1, 2]),
+            vec![(0, vec![1, 2]), (1, vec![1, 2])]
+        );
+        p.run_step(op, &["a", "b"], "diff", None).unwrap();
+        let d = p.array("diff").unwrap();
+        assert_eq!(d.get_cell(&[2, 2]), Some(vec![Value::from(0.0)]));
+        assert_eq!(d.schema().attrs().len(), 1);
+    }
+
+    #[test]
+    fn trio_mode_records_item_level_lineage() {
+        let mut p = Pipeline::new(vec![("raw".into(), ramp("raw", 4))]);
+        let mut store = TrioStore::new();
+        p.run_step(
+            StepOp::Regrid {
+                factors: vec![2, 2],
+                agg: "sum".into(),
+            },
+            &["raw"],
+            "sum4",
+            Some(&mut store),
+        )
+        .unwrap();
+        assert_eq!(store.len(), 4);
+        let lin = store.lookup("sum4", &[1, 1]).unwrap();
+        assert_eq!(lin.len(), 4);
+        assert!(lin.contains(&("raw".to_string(), vec![2, 2])));
+        assert!(store.byte_size() > 0);
+        assert!(store.lookup("sum4", &[9, 9]).is_none());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut p = Pipeline::new(vec![("raw".into(), ramp("raw", 2))]);
+        let op = StepOp::Combine {
+            expr: Expr::attr("v"),
+            name: "x".into(),
+        };
+        assert!(p.run_step(op, &["raw"], "x", None).is_err());
+    }
+
+}

@@ -1,0 +1,275 @@
+//! A provenance query language (§2.12).
+//!
+//! "Recording the log and establishing a metadata repository is
+//! straightforward. The hard part is to create a provenance query language
+//! and efficient implementation." This module provides that language over
+//! a derivation [`Pipeline`]:
+//!
+//! ```text
+//! trace backward summary[1, 1]
+//! trace forward  raw[3, 3]
+//! rederive raw[1, 1] = (100.0)
+//! ```
+//!
+//! `trace backward` answers search requirement 1 (what created this data
+//! element), `trace forward` requirement 2 (everything downstream of it),
+//! and `rederive` performs the §2.12 correction workflow, returning the
+//! replacement values without overwriting anything.
+
+use crate::pipeline::Pipeline;
+use crate::rederive::{rederive_forward, Rederivation};
+use crate::trace::{backward_trace, forward_trace, TraceMode, TraceResult};
+use scidb_core::error::{Error, Result};
+use scidb_core::value::Value;
+
+/// Result of one provenance query.
+#[derive(Debug)]
+pub enum QlResult {
+    /// A backward or forward trace.
+    Trace(TraceResult),
+    /// The replacement values of a re-derivation.
+    Rederived(Rederivation),
+}
+
+impl QlResult {
+    /// Human-readable rendering (cells per array, in name order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match self {
+            QlResult::Trace(t) => {
+                for (array, cells) in &t.cells {
+                    out.push_str(&format!("{array}: {} cell(s)\n", cells.len()));
+                    for c in cells.iter().take(8) {
+                        out.push_str(&format!("  {c:?}\n"));
+                    }
+                    if cells.len() > 8 {
+                        out.push_str(&format!("  … {} more\n", cells.len() - 8));
+                    }
+                }
+            }
+            QlResult::Rederived(r) => {
+                for (array, cells) in r {
+                    out.push_str(&format!("{array}: {} replacement(s)\n", cells.len()));
+                    for (c, rec) in cells.iter().take(8) {
+                        let vals: Vec<String> = rec.iter().map(|v| v.to_string()).collect();
+                        out.push_str(&format!("  {c:?} -> ({})\n", vals.join(", ")));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parses and runs one provenance query against a pipeline.
+pub fn query(pipeline: &Pipeline, text: &str) -> Result<QlResult> {
+    let mut p = Lexer::new(text);
+    let head = p.word()?;
+    match head.to_ascii_lowercase().as_str() {
+        "trace" => {
+            let direction = p.word()?.to_ascii_lowercase();
+            let (array, coords) = p.cell_ref()?;
+            p.end()?;
+            pipeline.array(&array)?; // unknown arrays error, not empty traces
+            let result = match direction.as_str() {
+                "backward" => backward_trace(pipeline, &array, &coords, TraceMode::Replay)?,
+                "forward" => forward_trace(pipeline, &array, &coords)?,
+                other => {
+                    return Err(Error::parse(format!(
+                        "expected 'backward' or 'forward', found '{other}'"
+                    )))
+                }
+            };
+            Ok(QlResult::Trace(result))
+        }
+        "rederive" => {
+            let (array, coords) = p.cell_ref()?;
+            p.expect('=')?;
+            p.expect('(')?;
+            let mut record = Vec::new();
+            loop {
+                record.push(Value::from(p.number()?));
+                if !p.try_char(',') {
+                    break;
+                }
+            }
+            p.expect(')')?;
+            p.end()?;
+            pipeline.array(&array)?;
+            Ok(QlResult::Rederived(rederive_forward(
+                pipeline, &array, &coords, record,
+            )?))
+        }
+        other => Err(Error::parse(format!(
+            "unknown provenance command '{other}' (expected 'trace' or 'rederive')"
+        ))),
+    }
+}
+
+/// A tiny hand-rolled lexer: words, `array[c1, c2]` references, numbers.
+struct Lexer<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer { text, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.text.len()
+            && self.text.as_bytes()[self.pos].is_ascii_whitespace()
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn word(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.text.len() {
+            let c = self.text.as_bytes()[self.pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(Error::parse(format!(
+                "expected a word at offset {start} of provenance query"
+            )));
+        }
+        Ok(self.text[start..self.pos].to_string())
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        self.skip_ws();
+        if self.pos < self.text.len() && self.text.as_bytes()[self.pos] as char == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected '{c}' in provenance query")))
+        }
+    }
+
+    fn try_char(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.pos < self.text.len() && self.text.as_bytes()[self.pos] as char == c {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.text.len() {
+            let c = self.text.as_bytes()[self.pos] as char;
+            if c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.text[start..self.pos]
+            .parse()
+            .map_err(|_| Error::parse("expected a number in provenance query"))
+    }
+
+    fn cell_ref(&mut self) -> Result<(String, Vec<i64>)> {
+        let array = self.word()?;
+        self.expect('[')?;
+        let mut coords = vec![self.number()? as i64];
+        while self.try_char(',') {
+            coords.push(self.number()? as i64);
+        }
+        self.expect(']')?;
+        Ok((array, coords))
+    }
+
+    fn end(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.pos == self.text.len() {
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "trailing input in provenance query: '{}'",
+                &self.text[self.pos..]
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::StepOp;
+    use scidb_core::array::Array;
+
+    fn pipeline() -> Pipeline {
+        let rows: Vec<Vec<f64>> = (1..=4)
+            .map(|i| (1..=4).map(|j| (i * 10 + j) as f64).collect())
+            .collect();
+        let mut p = Pipeline::new(vec![("raw".into(), Array::f64_2d("raw", "v", &rows))]);
+        p.run_step(
+            StepOp::Regrid {
+                factors: vec![2, 2],
+                agg: "sum".into(),
+            },
+            &["raw"],
+            "summary",
+            None,
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn trace_backward_query() {
+        let p = pipeline();
+        let r = query(&p, "trace backward summary[1, 1]").unwrap();
+        match r {
+            QlResult::Trace(t) => {
+                assert_eq!(t.cells_of("raw").len(), 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_forward_query_and_render() {
+        let p = pipeline();
+        let r = query(&p, "TRACE FORWARD raw[3, 3]").unwrap();
+        let text = r.render();
+        assert!(text.contains("summary: 1 cell(s)"), "{text}");
+        assert!(text.contains("[2, 2]"), "{text}");
+    }
+
+    #[test]
+    fn rederive_query() {
+        let p = pipeline();
+        let r = query(&p, "rederive raw[1, 1] = (100.0)").unwrap();
+        match r {
+            QlResult::Rederived(red) => {
+                assert_eq!(red["summary"][0].1[0], Value::from(155.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_clean() {
+        let p = pipeline();
+        assert!(query(&p, "trace sideways x[1]").is_err());
+        assert!(query(&p, "frobnicate x[1]").is_err());
+        assert!(query(&p, "trace backward summary[1, 1] extra").is_err());
+        assert!(query(&p, "rederive raw[1] = ").is_err());
+        assert!(query(&p, "").is_err());
+        // Unknown arrays surface engine errors, not panics.
+        assert!(query(&p, "trace forward nope[1, 1]").is_err());
+    }
+}

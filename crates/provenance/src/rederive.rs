@@ -1,0 +1,342 @@
+//! Re-derivation after an error is found (§2.12).
+//!
+//! "Assuming the scientist ascertains that the data element is wrong and
+//! finds the culprit in the derivation process, then he wants to rerun (a
+//! portion of) the derivation to generate a replacement value or values.
+//! Of course, this re-derivation will not overwrite old data, but will
+//! produce new value(s) at the current time. … A named version can be
+//! created to hold the results of these updates."
+//!
+//! [`rederive_forward`] applies a corrected value to a source cell,
+//! recomputes exactly the downstream cells the forward trace identifies
+//! (not whole arrays), and returns the replacement values per array —
+//! optionally committing them into a [`VersionTree`] named version so the
+//! original derivation stays intact.
+
+use crate::pipeline::{Pipeline, StepOp};
+use crate::trace::forward_trace;
+use scidb_core::error::{Error, Result};
+use scidb_core::expr::EvalContext;
+use scidb_core::geometry::Coords;
+use scidb_core::history::Transaction;
+use scidb_core::value::{Record, Value};
+use scidb_core::versions::VersionTree;
+use std::collections::BTreeMap;
+
+/// The replacement values produced by a re-derivation: per array, the
+/// cells whose values changed under the correction.
+pub type Rederivation = BTreeMap<String, Vec<(Coords, Record)>>;
+
+/// Recomputes the downstream closure of `(array, cell)` under a corrected
+/// record. Only the affected cells are recomputed; everything else is read
+/// from the pipeline's materialized state. Nothing in the pipeline is
+/// overwritten.
+pub fn rederive_forward(
+    pipeline: &Pipeline,
+    array: &str,
+    cell: &[i64],
+    corrected: Record,
+) -> Result<Rederivation> {
+    // Which cells change, per array (including the source itself).
+    let affected = forward_trace(pipeline, array, cell)?;
+
+    // Patched views: per array, the corrected/recomputed cells so far.
+    let mut patched: Rederivation = BTreeMap::new();
+    patched
+        .entry(array.to_string())
+        .or_default()
+        .push((cell.to_vec(), corrected));
+
+    // Walk steps in execution order; a step recomputes its affected output
+    // cells from (possibly patched) inputs.
+    for step in pipeline.steps() {
+        let Some(out_cells) = affected.cells.get(&step.output) else {
+            continue;
+        };
+        let mut new_cells: Vec<(Coords, Record)> = Vec::new();
+        for out_cell in out_cells {
+            let rec = recompute_cell(pipeline, step, out_cell, &patched)?;
+            if let Some(rec) = rec {
+                let old = pipeline.array(&step.output)?.get_cell(out_cell);
+                if old.as_ref() != Some(&rec) {
+                    new_cells.push((out_cell.clone(), rec));
+                }
+            }
+        }
+        if !new_cells.is_empty() {
+            patched
+                .entry(step.output.clone())
+                .or_default()
+                .extend(new_cells);
+        }
+    }
+    Ok(patched)
+}
+
+/// Commits a re-derivation into named versions (one per changed array) of
+/// the supplied version trees, creating `"<array>:<suffix>"` versions —
+/// the paper's "named version … to hold the results of these updates".
+pub fn commit_rederivation(
+    rederivation: &Rederivation,
+    trees: &mut BTreeMap<String, VersionTree>,
+    suffix: &str,
+) -> Result<Vec<String>> {
+    let mut created = Vec::new();
+    for (array, cells) in rederivation {
+        let tree = trees
+            .get_mut(array)
+            .ok_or_else(|| Error::not_found(format!("version tree for '{array}'")))?;
+        let vname = format!("{array}:{suffix}");
+        tree.create_version(&vname, None)?;
+        let mut txn = Transaction::new();
+        for (coords, rec) in cells {
+            txn.put(coords, rec.clone());
+        }
+        tree.commit(&vname, txn)?;
+        created.push(vname);
+    }
+    Ok(created)
+}
+
+/// Reads a cell through the patch overlay, falling back to the pipeline's
+/// materialized array.
+fn read_patched(
+    pipeline: &Pipeline,
+    patched: &Rederivation,
+    array: &str,
+    coords: &[i64],
+) -> Result<Option<Record>> {
+    if let Some(cells) = patched.get(array) {
+        // Later patches win.
+        if let Some((_, rec)) = cells.iter().rev().find(|(c, _)| c == coords) {
+            return Ok(Some(rec.clone()));
+        }
+    }
+    Ok(pipeline.array(array)?.get_cell(coords))
+}
+
+/// Recomputes one output cell of one step from patched inputs.
+fn recompute_cell(
+    pipeline: &Pipeline,
+    step: &crate::pipeline::Step,
+    out_cell: &[i64],
+    patched: &Rederivation,
+) -> Result<Option<Record>> {
+    let registry = pipeline.registry();
+    match &step.op {
+        StepOp::Apply { name: _, expr } => {
+            let input = &step.inputs[0];
+            let Some(in_rec) = read_patched(pipeline, patched, input, out_cell)? else {
+                return Ok(None);
+            };
+            let in_schema = pipeline.array(input)?.schema();
+            let ctx = EvalContext {
+                schema: in_schema,
+                coords: out_cell,
+                record: &in_rec,
+                registry: Some(registry),
+            };
+            let v = expr.eval(&ctx)?;
+            let mut out = in_rec;
+            out.push(v);
+            Ok(Some(out))
+        }
+        StepOp::Filter { pred } => {
+            let input = &step.inputs[0];
+            let Some(in_rec) = read_patched(pipeline, patched, input, out_cell)? else {
+                return Ok(None);
+            };
+            let in_schema = pipeline.array(input)?.schema();
+            let ctx = EvalContext {
+                schema: in_schema,
+                coords: out_cell,
+                record: &in_rec,
+                registry: Some(registry),
+            };
+            let keep = pred.eval_bool(&ctx)?.unwrap_or(false);
+            if keep {
+                Ok(Some(in_rec))
+            } else {
+                Ok(Some(vec![Value::Null; in_rec.len()]))
+            }
+        }
+        StepOp::Regrid { factors, agg } => {
+            // Recompute the block aggregate from (patched) input cells.
+            let input = &step.inputs[0];
+            let in_arr = pipeline.array(input)?;
+            let n_attrs = in_arr.schema().attrs().len();
+            let agg_fn = registry.aggregate(agg)?;
+            let mut states: Vec<Box<dyn scidb_core::udf::AggState>> =
+                (0..n_attrs).map(|_| agg_fn.create()).collect();
+            let lows: Vec<i64> = out_cell
+                .iter()
+                .zip(factors)
+                .map(|(&c, &f)| (c - 1) * f + 1)
+                .collect();
+            let highs: Vec<i64> = out_cell
+                .iter()
+                .zip(factors)
+                .map(|(&c, &f)| c * f)
+                .collect();
+            let block = scidb_core::geometry::HyperRect {
+                low: lows,
+                high: highs,
+            };
+            let mut any = false;
+            for coords in block.iter_cells() {
+                if let Some(rec) = read_patched(pipeline, patched, input, &coords)? {
+                    any = true;
+                    for (s, v) in states.iter_mut().zip(&rec) {
+                        s.update(v)?;
+                    }
+                }
+            }
+            if !any {
+                return Ok(None);
+            }
+            Ok(Some(states.iter().map(|s| s.finalize()).collect()))
+        }
+        StepOp::Combine { expr, name: _ } => {
+            let (a, b) = (&step.inputs[0], &step.inputs[1]);
+            let (Some(ra), Some(rb)) = (
+                read_patched(pipeline, patched, a, out_cell)?,
+                read_patched(pipeline, patched, b, out_cell)?,
+            ) else {
+                return Ok(None);
+            };
+            // Combined record evaluated against the step's output-producing
+            // join schema: rebuild a minimal combined schema on the fly.
+            let sa = pipeline.array(a)?.schema();
+            let sb = pipeline.array(b)?.schema();
+            let mut attrs = sa.attrs().to_vec();
+            for attr in sb.attrs() {
+                let mut def = attr.clone();
+                if sa.attr_index(&attr.name).is_some() {
+                    def.name = format!("{}_r", attr.name);
+                }
+                attrs.push(def);
+            }
+            let combined = scidb_core::schema::ArraySchema::new(
+                "combined",
+                attrs,
+                sa.dims().to_vec(),
+            )?;
+            let mut rec = ra;
+            rec.extend(rb);
+            let ctx = EvalContext {
+                schema: &combined,
+                coords: out_cell,
+                record: &rec,
+                registry: Some(registry),
+            };
+            let v = expr.eval(&ctx)?;
+            Ok(Some(vec![v]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidb_core::array::Array;
+    use scidb_core::expr::Expr;
+
+    /// raw(4×4, v = 10i+j) → cal (×2) → summary (regrid 2×2 sum).
+    fn pipeline() -> Pipeline {
+        let rows: Vec<Vec<f64>> = (1..=4)
+            .map(|i| (1..=4).map(|j| (i * 10 + j) as f64).collect())
+            .collect();
+        let mut p = Pipeline::new(vec![("raw".into(), Array::f64_2d("raw", "v", &rows))]);
+        p.run_step(
+            StepOp::Apply {
+                name: "cal".into(),
+                expr: Expr::attr("v").mul(Expr::lit(2.0)),
+            },
+            &["raw"],
+            "cal",
+            None,
+        )
+        .unwrap();
+        p.run_step(
+            StepOp::Regrid {
+                factors: vec![2, 2],
+                agg: "sum".into(),
+            },
+            &["cal"],
+            "summary",
+            None,
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn rederive_propagates_a_correction_downstream() {
+        let p = pipeline();
+        // Correct raw[1,1] from 11 to 100.
+        let red = rederive_forward(&p, "raw", &[1, 1], vec![Value::from(100.0)]).unwrap();
+        // raw, cal, and summary each carry replacement values.
+        assert_eq!(red.len(), 3);
+        let cal = &red["cal"];
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal[0].0, vec![1, 1]);
+        assert_eq!(cal[0].1[1], Value::from(200.0)); // corrected & recalibrated
+        let summary = &red["summary"];
+        assert_eq!(summary.len(), 1);
+        assert_eq!(summary[0].0, vec![1, 1]);
+        // Block (1,1) over cal: v-sums unchanged except raw[1,1]:
+        // old cal v values: 11,12,21,22 → corrected: 100,12,21,22.
+        // summary attr 0 sums v, attr 1 sums cal.
+        assert_eq!(summary[0].1[0], Value::from(155.0));
+        assert_eq!(summary[0].1[1], Value::from(310.0));
+        // The pipeline's own arrays are untouched (no overwrite).
+        assert_eq!(
+            p.array("summary").unwrap().get_cell(&[1, 1]).unwrap()[0],
+            Value::from(66.0)
+        );
+    }
+
+    #[test]
+    fn rederive_untouched_blocks_produce_no_changes() {
+        let p = pipeline();
+        let red = rederive_forward(&p, "raw", &[4, 4], vec![Value::from(44.0)]).unwrap();
+        // Same value written back: downstream cells recompute to identical
+        // values and are therefore not reported as changes.
+        assert_eq!(red["raw"].len(), 1);
+        assert!(!red.contains_key("summary") || red["summary"].is_empty());
+    }
+
+    #[test]
+    fn commit_into_named_versions() {
+        let p = pipeline();
+        let red = rederive_forward(&p, "raw", &[1, 1], vec![Value::from(100.0)]).unwrap();
+
+        // Version trees seeded from the pipeline's current arrays.
+        let mut trees: BTreeMap<String, VersionTree> = BTreeMap::new();
+        for name in ["raw", "cal", "summary"] {
+            let arr = p.array(name).unwrap();
+            let mut tree = VersionTree::new(arr.schema().renamed(name)).unwrap();
+            let mut txn = Transaction::new();
+            for (coords, rec) in arr.cells() {
+                txn.put(&coords, rec);
+            }
+            tree.base_mut().commit(txn).unwrap();
+            trees.insert(name.to_string(), tree);
+        }
+        let created = commit_rederivation(&red, &mut trees, "fix_2026_07_07").unwrap();
+        assert_eq!(created.len(), 3);
+        // The version sees the corrected value; the base does not.
+        let summary_tree = &trees["summary"];
+        assert_eq!(
+            summary_tree
+                .get("summary:fix_2026_07_07", &[1, 1])
+                .unwrap()
+                .unwrap()[0],
+            Value::from(155.0)
+        );
+        assert_eq!(
+            summary_tree.get_base(&[1, 1]).unwrap()[0],
+            Value::from(66.0)
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Backward and forward provenance traces (§2.12).
+//!
+//! The two search requirements:
+//!
+//! 1. "For a given data element D, find the collection of processing steps
+//!    that created it from input data" — [`backward_trace`], walking
+//!    producers and recomputing contributors (replay mode), looking them up
+//!    (Trio mode), or mixing both (hybrid with a cache).
+//! 2. "For a given data element D, find all the 'downstream' data elements
+//!    whose value is impacted by the value of D" — [`forward_trace`],
+//!    re-running the derivation chain with added dimension qualification
+//!    and iterating "until there is no further activity".
+//!
+//! The hybrid mode implements the paper's closing idea: "one can cache
+//!   these named versions in case the derivation is run again at a later
+//!   time. This amounts to storing a portion of the Trio item level data
+//!   structure and re-deriving the portions that are not stored."
+
+use crate::pipeline::{Pipeline, TrioStore};
+use scidb_core::error::Result;
+use scidb_core::geometry::Coords;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How lineage is obtained during a backward trace.
+pub enum TraceMode<'a> {
+    /// Minimal storage: recompute contributors analytically (replay).
+    Replay,
+    /// Item-level storage: look up a [`TrioStore`].
+    Trio(&'a TrioStore),
+    /// Cache-on-trace: look up the cache, replay on miss, fill the cache.
+    Hybrid(&'a mut TrioStore),
+}
+
+/// Result of a trace: per-array sets of cells, plus probe accounting.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct TraceResult {
+    /// Cells per array (sorted for determinism).
+    pub cells: BTreeMap<String, BTreeSet<Coords>>,
+    /// Lineage relationships resolved by recomputation.
+    pub replayed: usize,
+    /// Lineage relationships resolved from storage/cache.
+    pub looked_up: usize,
+}
+
+impl TraceResult {
+    /// Total cells across arrays.
+    pub fn total_cells(&self) -> usize {
+        self.cells.values().map(BTreeSet::len).sum()
+    }
+
+    /// Cells recorded for one array.
+    pub fn cells_of(&self, array: &str) -> Vec<Coords> {
+        self.cells
+            .get(array)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Traces a cell of `array` backwards to the pipeline's sources.
+pub fn backward_trace(
+    pipeline: &Pipeline,
+    array: &str,
+    cell: &[i64],
+    mut mode: TraceMode<'_>,
+) -> Result<TraceResult> {
+    let mut result = TraceResult::default();
+    let mut frontier: Vec<(String, Coords)> = vec![(array.to_string(), cell.to_vec())];
+    let mut seen: BTreeSet<(String, Coords)> = frontier.iter().cloned().collect();
+    result
+        .cells
+        .entry(array.to_string())
+        .or_default()
+        .insert(cell.to_vec());
+
+    while let Some((a, c)) = frontier.pop() {
+        let Some((_, step)) = pipeline.producer(&a) else {
+            continue; // reached a source array
+        };
+        // Resolve contributors under the requested mode.
+        let contribs: Vec<(String, Coords)> = match &mut mode {
+            TraceMode::Replay => {
+                result.replayed += 1;
+                step.op
+                    .contributors(&c)
+                    .into_iter()
+                    .map(|(idx, cc)| (step.inputs[idx].clone(), cc))
+                    .collect()
+            }
+            TraceMode::Trio(store) => match store.lookup(&a, &c) {
+                Some(l) => {
+                    result.looked_up += 1;
+                    l.to_vec()
+                }
+                None => {
+                    result.replayed += 1;
+                    step.op
+                        .contributors(&c)
+                        .into_iter()
+                        .map(|(idx, cc)| (step.inputs[idx].clone(), cc))
+                        .collect()
+                }
+            },
+            TraceMode::Hybrid(cache) => {
+                if let Some(l) = cache.lookup(&a, &c) {
+                    result.looked_up += 1;
+                    l.to_vec()
+                } else {
+                    result.replayed += 1;
+                    let l: Vec<(String, Coords)> = step
+                        .op
+                        .contributors(&c)
+                        .into_iter()
+                        .map(|(idx, cc)| (step.inputs[idx].clone(), cc))
+                        .collect();
+                    cache.insert(&a, &c, l.clone());
+                    l
+                }
+            }
+        };
+        for (src, cc) in contribs {
+            result
+                .cells
+                .entry(src.clone())
+                .or_default()
+                .insert(cc.clone());
+            if seen.insert((src.clone(), cc.clone())) {
+                frontier.push((src, cc));
+            }
+        }
+    }
+    Ok(result)
+}
+
+/// Traces a source cell forward through every consuming step, iterating
+/// until no further activity — the paper's forward algorithm. "This
+/// solution requires no extra space at all, but has a substantial running
+/// time."
+pub fn forward_trace(pipeline: &Pipeline, array: &str, cell: &[i64]) -> Result<TraceResult> {
+    let mut result = TraceResult::default();
+    let mut frontier: Vec<(String, Coords)> = vec![(array.to_string(), cell.to_vec())];
+    let mut seen: BTreeSet<(String, Coords)> = frontier.iter().cloned().collect();
+    result
+        .cells
+        .entry(array.to_string())
+        .or_default()
+        .insert(cell.to_vec());
+
+    while let Some((a, c)) = frontier.pop() {
+        for (_, step) in pipeline.consumers(&a) {
+            // Which input slot(s) does this array fill?
+            for (idx, input) in step.inputs.iter().enumerate() {
+                if input != &a {
+                    continue;
+                }
+                result.replayed += 1;
+                for out_cell in step.op.affected(idx, &c) {
+                    // Only propagate through cells the output actually has.
+                    if pipeline.array(&step.output)?.exists(&out_cell) {
+                        result
+                            .cells
+                            .entry(step.output.clone())
+                            .or_default()
+                            .insert(out_cell.clone());
+                        if seen.insert((step.output.clone(), out_cell.clone())) {
+                            frontier.push((step.output.clone(), out_cell));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(result)
+}
+
+impl TrioStore {
+    /// Inserts a lineage record (used by the hybrid cache).
+    pub fn insert(&mut self, array: &str, cell: &[i64], contribs: Vec<(String, Coords)>) {
+        self.lineage_mut()
+            .insert((array.to_string(), cell.to_vec()), contribs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::StepOp;
+    use scidb_core::array::Array;
+    use scidb_core::expr::Expr;
+
+    /// raw(8×8) → calibrated (apply) → masked (filter) → summary (regrid 2×2).
+    fn cooking_pipeline(trio: Option<&mut TrioStore>) -> Pipeline {
+        let rows: Vec<Vec<f64>> = (1..=8)
+            .map(|i| (1..=8).map(|j| (i * 10 + j) as f64).collect())
+            .collect();
+        let mut p = Pipeline::new(vec![("raw".into(), Array::f64_2d("raw", "v", &rows))]);
+        let mut trio = trio;
+        let step = |p: &mut Pipeline, op, inputs: &[&str], output: &str, t: &mut Option<&mut TrioStore>| {
+            match t {
+                Some(store) => p.run_step(op, inputs, output, Some(store)).unwrap(),
+                None => p.run_step(op, inputs, output, None).unwrap(),
+            }
+        };
+        step(
+            &mut p,
+            StepOp::Apply {
+                name: "cal".into(),
+                expr: Expr::attr("v").mul(Expr::lit(2.0)),
+            },
+            &["raw"],
+            "calibrated",
+            &mut trio,
+        );
+        step(
+            &mut p,
+            StepOp::Filter {
+                pred: Expr::attr("cal").gt(Expr::lit(0.0)),
+            },
+            &["calibrated"],
+            "masked",
+            &mut trio,
+        );
+        step(
+            &mut p,
+            StepOp::Regrid {
+                factors: vec![2, 2],
+                agg: "avg".into(),
+            },
+            &["masked"],
+            "summary",
+            &mut trio,
+        );
+        p
+    }
+
+    #[test]
+    fn backward_trace_reaches_raw_block() {
+        let p = cooking_pipeline(None);
+        let r = backward_trace(&p, "summary", &[1, 1], TraceMode::Replay).unwrap();
+        // summary(1,1) ← masked{(1,1)..(2,2)} ← calibrated same ← raw same.
+        assert_eq!(r.cells_of("raw").len(), 4);
+        assert!(r.cells_of("raw").contains(&vec![2, 2]));
+        assert_eq!(r.cells_of("masked").len(), 4);
+        assert_eq!(r.cells_of("calibrated").len(), 4);
+        assert!(r.looked_up == 0 && r.replayed > 0);
+    }
+
+    #[test]
+    fn backward_trace_trio_mode_uses_storage() {
+        let mut store = TrioStore::new();
+        let p = cooking_pipeline(Some(&mut store));
+        let r = backward_trace(&p, "summary", &[1, 1], TraceMode::Trio(&store)).unwrap();
+        assert_eq!(r.cells_of("raw").len(), 4);
+        assert!(r.looked_up > 0);
+        assert_eq!(r.replayed, 0, "all lineage is stored");
+    }
+
+    #[test]
+    fn hybrid_cache_fills_on_first_trace() {
+        let p = cooking_pipeline(None);
+        let mut cache = TrioStore::new();
+        let r1 = backward_trace(&p, "summary", &[2, 2], TraceMode::Hybrid(&mut cache)).unwrap();
+        assert!(r1.replayed > 0);
+        assert_eq!(r1.looked_up, 0);
+        assert!(!cache.is_empty());
+        // Second identical trace is served from the cache.
+        let r2 = backward_trace(&p, "summary", &[2, 2], TraceMode::Hybrid(&mut cache)).unwrap();
+        assert_eq!(r2.replayed, 0);
+        assert!(r2.looked_up > 0);
+        assert_eq!(r1.cells, r2.cells);
+    }
+
+    #[test]
+    fn forward_trace_finds_downstream_closure() {
+        let p = cooking_pipeline(None);
+        let r = forward_trace(&p, "raw", &[3, 3]).unwrap();
+        assert_eq!(r.cells_of("calibrated"), vec![vec![3, 3]]);
+        assert_eq!(r.cells_of("masked"), vec![vec![3, 3]]);
+        // (3,3) lands in summary block (2,2).
+        assert_eq!(r.cells_of("summary"), vec![vec![2, 2]]);
+    }
+
+    #[test]
+    fn forward_and_backward_are_consistent() {
+        let p = cooking_pipeline(None);
+        // Everything backward-reachable from summary(1,1) must forward-reach
+        // summary(1,1).
+        let back = backward_trace(&p, "summary", &[1, 1], TraceMode::Replay).unwrap();
+        for cell in back.cells_of("raw") {
+            let fwd = forward_trace(&p, "raw", &cell).unwrap();
+            assert!(
+                fwd.cells_of("summary").contains(&vec![1, 1]),
+                "raw {cell:?} must affect summary (1,1)"
+            );
+        }
+    }
+
+    #[test]
+    fn source_cells_trace_to_themselves() {
+        let p = cooking_pipeline(None);
+        let r = backward_trace(&p, "raw", &[5, 5], TraceMode::Replay).unwrap();
+        assert_eq!(r.total_cells(), 1);
+        assert_eq!(r.cells_of("raw"), vec![vec![5, 5]]);
+    }
+
+    #[test]
+    fn trio_space_exceeds_log_space() {
+        // The E6 shape: item-level lineage dwarfs the replay mode's
+        // (zero) storage.
+        let mut store = TrioStore::new();
+        let _p = cooking_pipeline(Some(&mut store));
+        // 64 + 64 + 16 output cells have lineage records.
+        assert_eq!(store.len(), 64 + 64 + 16);
+        assert!(store.byte_size() > 10_000, "bytes: {}", store.byte_size());
+    }
+}

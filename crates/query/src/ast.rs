@@ -1,0 +1,560 @@
+//! The parse-tree command representation (§2.4).
+//!
+//! "SciDB will have a parse-tree representation for commands. Then, there
+//! will be multiple language bindings. These will map from the
+//! language-specific representation to this parse tree format." Both the
+//! AQL text front end ([`crate::parser`]) and the fluent Rust binding
+//! ([`crate::binding`]) lower to the types in this module; `Display`
+//! renders any tree back to canonical AQL, so bindings round-trip.
+
+use scidb_core::expr::Expr;
+use std::fmt;
+
+/// A dimension specification in `define`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimSpec {
+    /// Dimension name.
+    pub name: String,
+    /// Upper bound; `None` = `*` (unbounded).
+    pub upper: Option<i64>,
+    /// Optional chunk stride override.
+    pub chunk: Option<i64>,
+}
+
+/// A literal value in `insert`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// NULL.
+    Null,
+    /// `uncertain(mean, sigma)`.
+    Uncertain(f64, f64),
+}
+
+/// The aggregate argument: `Sum(*)` or `Sum(attr)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggArg {
+    /// `*`
+    Star,
+    /// A named attribute.
+    Attr(String),
+}
+
+/// An array-algebra expression (the operator suite of §2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AExpr {
+    /// Scan of a stored array.
+    Scan(String),
+    /// `Subsample(input, dim-predicate)`.
+    Subsample {
+        /// Input.
+        input: Box<AExpr>,
+        /// The dimension predicate as a (legality-unchecked) value
+        /// expression; the planner converts it to a
+        /// [`scidb_core::ops::DimPredicate`], rejecting cross-dimension
+        /// conditions like `X = Y`.
+        pred: Expr,
+    },
+    /// `Filter(input, value-predicate)`.
+    Filter {
+        /// Input.
+        input: Box<AExpr>,
+        /// Cell predicate.
+        pred: Expr,
+    },
+    /// `Aggregate(input, {dims}, Agg(arg))`.
+    Aggregate {
+        /// Input.
+        input: Box<AExpr>,
+        /// Grouping dimensions.
+        group: Vec<String>,
+        /// Aggregate name.
+        agg: String,
+        /// Aggregate argument.
+        arg: AggArg,
+    },
+    /// `Sjoin(left, right, l.d = r.d …)`.
+    Sjoin {
+        /// Left input.
+        left: Box<AExpr>,
+        /// Right input.
+        right: Box<AExpr>,
+        /// Dimension pairs `(left_dim, right_dim)`.
+        on: Vec<(String, String)>,
+    },
+    /// `Cjoin(left, right, value-predicate)`.
+    Cjoin {
+        /// Left input.
+        left: Box<AExpr>,
+        /// Right input.
+        right: Box<AExpr>,
+        /// Value predicate over the concatenated record (qualified names
+        /// `L.attr` are resolved by the planner).
+        pred: Expr,
+    },
+    /// `Apply(input, name, expr)`.
+    Apply {
+        /// Input.
+        input: Box<AExpr>,
+        /// New attribute name.
+        name: String,
+        /// Value expression.
+        expr: Expr,
+    },
+    /// `Project(input, attrs…)`.
+    Project {
+        /// Input.
+        input: Box<AExpr>,
+        /// Attributes to keep.
+        attrs: Vec<String>,
+    },
+    /// `Reshape(input, [dims…], [new = 1:n …])`.
+    Reshape {
+        /// Input.
+        input: Box<AExpr>,
+        /// Linearization order of the input dimensions.
+        order: Vec<String>,
+        /// New dimensions `(name, extent)`.
+        new_dims: Vec<(String, i64)>,
+    },
+    /// `Regrid(input, [factors…], agg)`.
+    Regrid {
+        /// Input.
+        input: Box<AExpr>,
+        /// Per-dimension coarsening factors.
+        factors: Vec<i64>,
+        /// Aggregate name.
+        agg: String,
+    },
+    /// `Concat(left, right, dim)`.
+    Concat {
+        /// Left input.
+        left: Box<AExpr>,
+        /// Right input.
+        right: Box<AExpr>,
+        /// Concatenation dimension.
+        dim: String,
+    },
+    /// `Cross(left, right)`.
+    Cross {
+        /// Left input.
+        left: Box<AExpr>,
+        /// Right input.
+        right: Box<AExpr>,
+    },
+    /// `AddDim(input, name)`.
+    AddDim {
+        /// Input.
+        input: Box<AExpr>,
+        /// New dimension name.
+        name: String,
+    },
+    /// `Slice(input, dim, at)` — remove dimension.
+    Slice {
+        /// Input.
+        input: Box<AExpr>,
+        /// Dimension to remove.
+        dim: String,
+        /// Coordinate to slice at.
+        at: i64,
+    },
+}
+
+impl AExpr {
+    /// Boxing helper.
+    pub fn boxed(self) -> Box<AExpr> {
+        Box::new(self)
+    }
+}
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `define [updatable] Name (attr = type, …) (dims…)`.
+    DefineArray {
+        /// Type name.
+        name: String,
+        /// §2.5 updatable flag.
+        updatable: bool,
+        /// `(attribute, type-name)` pairs.
+        attrs: Vec<(String, String)>,
+        /// Dimension specs.
+        dims: Vec<DimSpec>,
+    },
+    /// `create [updatable] Name as Type [bounds…]`.
+    CreateArray {
+        /// Instance name.
+        name: String,
+        /// Defined type name.
+        type_name: String,
+        /// Per-dimension bounds; `None` = `*`.
+        bounds: Vec<Option<i64>>,
+    },
+    /// `enhance Array with Function` (§2.1).
+    Enhance {
+        /// Target array.
+        array: String,
+        /// Registered enhancement function.
+        function: String,
+    },
+    /// `shape Array with Function` (§2.1).
+    Shape {
+        /// Target array.
+        array: String,
+        /// Registered shape function.
+        function: String,
+    },
+    /// `insert into A[coords] values (…)`.
+    Insert {
+        /// Target array.
+        array: String,
+        /// Cell coordinates.
+        coords: Vec<i64>,
+        /// Attribute values.
+        values: Vec<Literal>,
+    },
+    /// `store <expr> into Name`.
+    Store {
+        /// Expression to materialize.
+        expr: AExpr,
+        /// Destination array name.
+        into: String,
+    },
+    /// `drop array Name`.
+    Drop {
+        /// Array to drop.
+        name: String,
+    },
+    /// `exists(A, coords…)` — scalar probe (§2.2.1).
+    Exists {
+        /// Array.
+        array: String,
+        /// Cell coordinates.
+        coords: Vec<i64>,
+    },
+    /// A bare array expression: evaluate and return.
+    Query(AExpr),
+}
+
+// ---- canonical AQL rendering ------------------------------------------------
+
+fn join<T: fmt::Display>(items: &[T], sep: &str) -> String {
+    items
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(sep)
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{s}'"),
+            Literal::Bool(b) => write!(f, "{b}"),
+            Literal::Null => write!(f, "null"),
+            Literal::Uncertain(m, s) => write!(f, "uncertain({m}, {s})"),
+        }
+    }
+}
+
+/// Renders a core expression in AQL syntax.
+fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    use scidb_core::expr::{BinOp, UnaryOp};
+    match e {
+        Expr::Attr(n) | Expr::Dim(n) => write!(f, "{n}"),
+        // Literals must reparse to the same type: whole floats keep their
+        // decimal point, uncertain values use the callable form.
+        Expr::Const(scidb_core::value::Scalar::Float64(v))
+            if v.fract() == 0.0 && v.is_finite() =>
+        {
+            write!(f, "{v:.1}")
+        }
+        Expr::Const(scidb_core::value::Scalar::Uncertain(u)) => {
+            write!(f, "uncertain({}, {})", u.mean, u.sigma)
+        }
+        Expr::Const(s) => write!(f, "{s}"),
+        Expr::Null => write!(f, "null"),
+        Expr::IsNull(inner) => {
+            fmt_expr(inner, f)?;
+            write!(f, " is null")
+        }
+        Expr::Unary(UnaryOp::Neg, inner) => {
+            write!(f, "-")?;
+            fmt_expr(inner, f)
+        }
+        Expr::Unary(UnaryOp::Not, inner) => {
+            write!(f, "not (")?;
+            fmt_expr(inner, f)?;
+            write!(f, ")")
+        }
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Eq => "=",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "and",
+                BinOp::Or => "or",
+            };
+            write!(f, "(")?;
+            fmt_expr(a, f)?;
+            write!(f, " {sym} ")?;
+            fmt_expr(b, f)?;
+            write!(f, ")")
+        }
+        Expr::Func(name, args) => {
+            write!(f, "{name}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(a, f)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+struct ExprDisplay<'a>(&'a Expr);
+impl fmt::Display for ExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self.0, f)
+    }
+}
+
+impl fmt::Display for AExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AExpr::Scan(name) => write!(f, "scan({name})"),
+            AExpr::Subsample { input, pred } => {
+                write!(f, "subsample({input}, {})", ExprDisplay(pred))
+            }
+            AExpr::Filter { input, pred } => {
+                write!(f, "filter({input}, {})", ExprDisplay(pred))
+            }
+            AExpr::Aggregate {
+                input,
+                group,
+                agg,
+                arg,
+            } => {
+                let arg = match arg {
+                    AggArg::Star => "*".to_string(),
+                    AggArg::Attr(a) => a.clone(),
+                };
+                write!(
+                    f,
+                    "aggregate({input}, {{{}}}, {agg}({arg}))",
+                    join(group, ", ")
+                )
+            }
+            AExpr::Sjoin { left, right, on } => {
+                let conds: Vec<String> = on
+                    .iter()
+                    .map(|(l, r)| format!("left.{l} = right.{r}"))
+                    .collect();
+                write!(f, "sjoin({left}, {right}, {})", conds.join(" and "))
+            }
+            AExpr::Cjoin { left, right, pred } => {
+                write!(f, "cjoin({left}, {right}, {})", ExprDisplay(pred))
+            }
+            AExpr::Apply { input, name, expr } => {
+                write!(f, "apply({input}, {name}, {})", ExprDisplay(expr))
+            }
+            AExpr::Project { input, attrs } => {
+                write!(f, "project({input}, {})", join(attrs, ", "))
+            }
+            AExpr::Reshape {
+                input,
+                order,
+                new_dims,
+            } => {
+                let dims: Vec<String> = new_dims
+                    .iter()
+                    .map(|(n, e)| format!("{n} = 1:{e}"))
+                    .collect();
+                write!(
+                    f,
+                    "reshape({input}, [{}], [{}])",
+                    join(order, ", "),
+                    dims.join(", ")
+                )
+            }
+            AExpr::Regrid {
+                input,
+                factors,
+                agg,
+            } => write!(f, "regrid({input}, [{}], {agg})", join(factors, ", ")),
+            AExpr::Concat { left, right, dim } => {
+                write!(f, "concat({left}, {right}, {dim})")
+            }
+            AExpr::Cross { left, right } => write!(f, "cross({left}, {right})"),
+            AExpr::AddDim { input, name } => write!(f, "adddim({input}, {name})"),
+            AExpr::Slice { input, dim, at } => write!(f, "slice({input}, {dim}, {at})"),
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::DefineArray {
+                name,
+                updatable,
+                attrs,
+                dims,
+            } => {
+                write!(f, "define ")?;
+                if *updatable {
+                    write!(f, "updatable ")?;
+                }
+                let attrs: Vec<String> =
+                    attrs.iter().map(|(n, t)| format!("{n} = {t}")).collect();
+                let dims: Vec<String> = dims
+                    .iter()
+                    .map(|d| match (d.upper, d.chunk) {
+                        (Some(u), None) => format!("{} = 1:{u}", d.name),
+                        (Some(u), Some(c)) => format!("{} = 1:{u}:{c}", d.name),
+                        (None, _) => d.name.clone(),
+                    })
+                    .collect();
+                write!(f, "{name} ({}) ({})", attrs.join(", "), dims.join(", "))
+            }
+            Stmt::CreateArray {
+                name,
+                type_name,
+                bounds,
+            } => {
+                let b: Vec<String> = bounds
+                    .iter()
+                    .map(|o| o.map_or("*".to_string(), |v| v.to_string()))
+                    .collect();
+                write!(f, "create {name} as {type_name} [{}]", b.join(", "))
+            }
+            Stmt::Enhance { array, function } => write!(f, "enhance {array} with {function}"),
+            Stmt::Shape { array, function } => write!(f, "shape {array} with {function}"),
+            Stmt::Insert {
+                array,
+                coords,
+                values,
+            } => write!(
+                f,
+                "insert into {array}[{}] values ({})",
+                join(coords, ", "),
+                join(values, ", ")
+            ),
+            Stmt::Store { expr, into } => write!(f, "store {expr} into {into}"),
+            Stmt::Drop { name } => write!(f, "drop array {name}"),
+            Stmt::Exists { array, coords } => {
+                write!(f, "exists({array}, {})", join(coords, ", "))
+            }
+            Stmt::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidb_core::expr::Expr;
+
+    #[test]
+    fn renders_define() {
+        let s = Stmt::DefineArray {
+            name: "Remote".into(),
+            updatable: false,
+            attrs: vec![
+                ("s1".into(), "float".into()),
+                ("s2".into(), "float".into()),
+            ],
+            dims: vec![
+                DimSpec {
+                    name: "I".into(),
+                    upper: Some(1024),
+                    chunk: None,
+                },
+                DimSpec {
+                    name: "J".into(),
+                    upper: None,
+                    chunk: None,
+                },
+            ],
+        };
+        assert_eq!(
+            s.to_string(),
+            "define Remote (s1 = float, s2 = float) (I = 1:1024, J)"
+        );
+    }
+
+    #[test]
+    fn renders_create_with_star() {
+        let s = Stmt::CreateArray {
+            name: "My_remote_2".into(),
+            type_name: "Remote".into(),
+            bounds: vec![None, None],
+        };
+        assert_eq!(s.to_string(), "create My_remote_2 as Remote [*, *]");
+    }
+
+    #[test]
+    fn renders_nested_algebra() {
+        let e = AExpr::Aggregate {
+            input: AExpr::Filter {
+                input: AExpr::Scan("H".into()).boxed(),
+                pred: Expr::attr("v").gt(Expr::lit(4.0)),
+            }
+            .boxed(),
+            group: vec!["Y".into()],
+            agg: "sum".into(),
+            arg: AggArg::Star,
+        };
+        assert_eq!(
+            e.to_string(),
+            "aggregate(filter(scan(H), (v > 4.0)), {Y}, sum(*))"
+        );
+    }
+
+    #[test]
+    fn renders_reshape_like_paper() {
+        let e = AExpr::Reshape {
+            input: AExpr::Scan("G".into()).boxed(),
+            order: vec!["X".into(), "Z".into(), "Y".into()],
+            new_dims: vec![("U".into(), 8), ("V".into(), 3)],
+        };
+        assert_eq!(
+            e.to_string(),
+            "reshape(scan(G), [X, Z, Y], [U = 1:8, V = 1:3])"
+        );
+    }
+
+    #[test]
+    fn renders_literals() {
+        assert_eq!(Literal::Int(3).to_string(), "3");
+        assert_eq!(Literal::Float(3.0).to_string(), "3.0");
+        assert_eq!(Literal::Str("hi".into()).to_string(), "'hi'");
+        assert_eq!(Literal::Null.to_string(), "null");
+        assert_eq!(Literal::Uncertain(1.0, 0.5).to_string(), "uncertain(1, 0.5)");
+    }
+}

@@ -1,0 +1,566 @@
+//! The query executor: a [`Database`] catalog plus statement evaluation.
+//!
+//! `Database` owns defined array types, array instances (plain and
+//! updatable), and the function [`Registry`]. `execute` runs one parsed
+//! statement; `run` parses, plans (see [`crate::plan`]), and executes AQL
+//! text — the full §2.4 pipeline from any language binding down to the
+//! engine.
+
+use crate::ast::{AExpr, AggArg, Literal, Stmt};
+use crate::parser;
+use crate::plan;
+use scidb_core::array::Array;
+use scidb_core::enhance::WallClock;
+use scidb_core::error::{Error, Result};
+use scidb_core::history::UpdatableArray;
+use scidb_core::ops::{self, AggInput};
+use scidb_core::registry::Registry;
+use scidb_core::schema::{ArraySchema, AttributeDef, DimensionDef};
+use scidb_core::uncertain::Uncertain;
+use scidb_core::value::{ScalarType, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A stored array instance.
+#[derive(Debug)]
+pub enum StoredArray {
+    /// A plain array.
+    Plain(Array),
+    /// An updatable (no-overwrite) array (§2.5).
+    Updatable(UpdatableArray),
+}
+
+impl StoredArray {
+    /// A scannable view: plain arrays as-is; updatable arrays expose their
+    /// full inner array including the history dimension.
+    pub fn as_array(&self) -> &Array {
+        match self {
+            StoredArray::Plain(a) => a,
+            StoredArray::Updatable(u) => u.array(),
+        }
+    }
+}
+
+/// Result of executing one statement.
+#[derive(Debug)]
+pub enum StmtResult {
+    /// DDL/DML acknowledgement.
+    Done(String),
+    /// A query result array.
+    Array(Array),
+    /// A scalar probe result (`exists`).
+    Bool(bool),
+}
+
+impl StmtResult {
+    /// The array result, if any.
+    pub fn into_array(self) -> Result<Array> {
+        match self {
+            StmtResult::Array(a) => Ok(a),
+            other => Err(Error::eval(format!("expected array result, got {other:?}"))),
+        }
+    }
+}
+
+/// The catalog + executor.
+pub struct Database {
+    types: HashMap<String, ArraySchema>,
+    arrays: HashMap<String, StoredArray>,
+    registry: Registry,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// Creates a database with the built-in function library.
+    pub fn new() -> Self {
+        Database {
+            types: HashMap::new(),
+            arrays: HashMap::new(),
+            registry: Registry::with_builtins(),
+        }
+    }
+
+    /// The function registry (register UDFs, aggregates, enhancements,
+    /// shapes here — §2.3).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable registry access.
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Looks up a stored array.
+    pub fn array(&self, name: &str) -> Result<&StoredArray> {
+        self.arrays
+            .get(name)
+            .ok_or_else(|| Error::not_found(format!("array '{name}'")))
+    }
+
+    /// Mutable access to a stored array.
+    pub fn array_mut(&mut self, name: &str) -> Result<&mut StoredArray> {
+        self.arrays
+            .get_mut(name)
+            .ok_or_else(|| Error::not_found(format!("array '{name}'")))
+    }
+
+    /// Registers an existing array under a name (bulk-load path used by
+    /// examples and benches).
+    pub fn put_array(&mut self, name: &str, array: Array) -> Result<()> {
+        if self.arrays.contains_key(name) {
+            return Err(Error::AlreadyExists(format!("array '{name}'")));
+        }
+        self.arrays.insert(name.to_string(), StoredArray::Plain(array));
+        Ok(())
+    }
+
+    /// Array names in the catalog (sorted).
+    pub fn array_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.arrays.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Parses, plans, and executes a script; returns one result per
+    /// statement.
+    pub fn run(&mut self, text: &str) -> Result<Vec<StmtResult>> {
+        let stmts = parser::parse(text)?;
+        stmts.into_iter().map(|s| self.execute(s)).collect()
+    }
+
+    /// Runs a single-statement query expecting an array result.
+    pub fn query(&mut self, text: &str) -> Result<Array> {
+        let stmt = parser::parse_one(text)?;
+        self.execute(stmt)?.into_array()
+    }
+
+    /// Executes one parsed statement.
+    pub fn execute(&mut self, stmt: Stmt) -> Result<StmtResult> {
+        match stmt {
+            Stmt::DefineArray {
+                name,
+                updatable,
+                attrs,
+                dims,
+            } => {
+                if self.types.contains_key(&name) {
+                    return Err(Error::AlreadyExists(format!("type '{name}'")));
+                }
+                let mut attr_defs = Vec::new();
+                for (aname, tname) in &attrs {
+                    let ty = ScalarType::parse(tname)
+                        .or_else(|| {
+                            // User-defined types resolve to their base.
+                            self.registry.type_def(tname).ok().map(|t| t.base())
+                        })
+                        .ok_or_else(|| Error::schema(format!("unknown type '{tname}'")))?;
+                    attr_defs.push(AttributeDef::scalar(aname.clone(), ty));
+                }
+                let mut dim_defs = Vec::new();
+                for d in &dims {
+                    let mut def = match d.upper {
+                        Some(u) => DimensionDef::bounded(d.name.clone(), u),
+                        None => DimensionDef::unbounded(d.name.clone()),
+                    };
+                    if let Some(c) = d.chunk {
+                        def = def.with_chunk(c);
+                    }
+                    dim_defs.push(def);
+                }
+                let mut schema = ArraySchema::new(&name, attr_defs, dim_defs)?;
+                if updatable {
+                    schema = schema.updatable()?;
+                }
+                self.types.insert(name.clone(), schema);
+                Ok(StmtResult::Done(format!("defined type {name}")))
+            }
+            Stmt::CreateArray {
+                name,
+                type_name,
+                bounds,
+            } => {
+                if self.arrays.contains_key(&name) {
+                    return Err(Error::AlreadyExists(format!("array '{name}'")));
+                }
+                let ty = self
+                    .types
+                    .get(&type_name)
+                    .ok_or_else(|| Error::not_found(format!("type '{type_name}'")))?;
+                // Updatable types: bounds exclude the implicit history dim.
+                let schema = if ty.is_updatable() && bounds.len() == ty.rank() - 1 {
+                    let mut b = bounds.clone();
+                    b.push(None);
+                    ty.instantiate(&name, &b)?
+                } else {
+                    ty.instantiate(&name, &bounds)?
+                };
+                let stored = if schema.is_updatable() {
+                    StoredArray::Updatable(UpdatableArray::new(schema)?)
+                } else {
+                    StoredArray::Plain(Array::new(schema))
+                };
+                self.arrays.insert(name.clone(), stored);
+                Ok(StmtResult::Done(format!("created array {name}")))
+            }
+            Stmt::Enhance { array, function } => {
+                let f = self.registry.enhancement(&function)?;
+                match self.array_mut(&array)? {
+                    StoredArray::Plain(a) => a.enhance(f)?,
+                    StoredArray::Updatable(u) => {
+                        if f.output_names().len() == 1 {
+                            u.set_clock(f)?;
+                        } else {
+                            return Err(Error::Unsupported(
+                                "multi-dimension enhancement of an updatable array".into(),
+                            ));
+                        }
+                    }
+                }
+                Ok(StmtResult::Done(format!(
+                    "enhanced {array} with {function}"
+                )))
+            }
+            Stmt::Shape { array, function } => {
+                let f = self.registry.shape(&function)?;
+                match self.array_mut(&array)? {
+                    StoredArray::Plain(a) => a.set_shape(f)?,
+                    StoredArray::Updatable(_) => {
+                        return Err(Error::Unsupported(
+                            "shape functions on updatable arrays".into(),
+                        ))
+                    }
+                }
+                Ok(StmtResult::Done(format!("shaped {array} with {function}")))
+            }
+            Stmt::Insert {
+                array,
+                coords,
+                values,
+            } => {
+                let record: Vec<Value> = values.iter().map(literal_to_value).collect();
+                match self.array_mut(&array)? {
+                    StoredArray::Plain(a) => a.set_cell(&coords, record)?,
+                    StoredArray::Updatable(u) => {
+                        // No-overwrite: the insert lands at the next
+                        // history version (§2.5).
+                        u.commit_put(&coords, record)?;
+                    }
+                }
+                Ok(StmtResult::Done(format!("inserted into {array}")))
+            }
+            Stmt::Store { expr, into } => {
+                if self.arrays.contains_key(&into) {
+                    return Err(Error::AlreadyExists(format!("array '{into}'")));
+                }
+                let result = self.eval(plan::optimize(expr))?;
+                let renamed_schema = result.schema().renamed(&into);
+                let mut out = Array::new(renamed_schema);
+                for (coords, rec) in result.cells() {
+                    out.set_cell(&coords, rec)?;
+                }
+                self.arrays.insert(into.clone(), StoredArray::Plain(out));
+                Ok(StmtResult::Done(format!("stored into {into}")))
+            }
+            Stmt::Drop { name } => {
+                self.arrays
+                    .remove(&name)
+                    .ok_or_else(|| Error::not_found(format!("array '{name}'")))?;
+                Ok(StmtResult::Done(format!("dropped {name}")))
+            }
+            Stmt::Exists { array, coords } => {
+                let a = self.array(&array)?.as_array();
+                Ok(StmtResult::Bool(a.exists(&coords)))
+            }
+            Stmt::Query(expr) => Ok(StmtResult::Array(self.eval(plan::optimize(expr))?)),
+        }
+    }
+
+    /// Evaluates an (optimized) array expression.
+    fn eval(&self, expr: AExpr) -> Result<Array> {
+        match expr {
+            AExpr::Scan(name) => Ok(self.array(&name)?.as_array().clone()),
+            AExpr::Subsample { input, pred } => {
+                let input = self.eval(*input)?;
+                let dp = plan::expr_to_dim_predicate(&pred)?;
+                ops::subsample(&input, &dp, Some(&self.registry))
+            }
+            AExpr::Filter { input, pred } => {
+                let input = self.eval(*input)?;
+                let pred = plan::resolve_expr(&pred, input.schema())?;
+                ops::filter(&input, &pred, Some(&self.registry))
+            }
+            AExpr::Aggregate {
+                input,
+                group,
+                agg,
+                arg,
+            } => {
+                let input = self.eval(*input)?;
+                let groups: Vec<&str> = group.iter().map(String::as_str).collect();
+                let agg_input = match arg {
+                    AggArg::Star => AggInput::Star,
+                    AggArg::Attr(a) => AggInput::Attr(a),
+                };
+                ops::aggregate(&input, &groups, &agg, agg_input, &self.registry)
+            }
+            AExpr::Sjoin { left, right, on } => {
+                let left = self.eval(*left)?;
+                let right = self.eval(*right)?;
+                let pairs: Vec<(&str, &str)> =
+                    on.iter().map(|(l, r)| (l.as_str(), r.as_str())).collect();
+                ops::sjoin(&left, &right, &pairs)
+            }
+            AExpr::Cjoin { left, right, pred } => {
+                let left = self.eval(*left)?;
+                let right = self.eval(*right)?;
+                // Resolve the predicate against the combined schema by
+                // dry-running the join on empty inputs.
+                let probe = ops::cjoin(
+                    &Array::from_arc(left.schema_arc()),
+                    &Array::from_arc(right.schema_arc()),
+                    &scidb_core::expr::Expr::lit(true),
+                    None,
+                )?;
+                let pred = plan::resolve_expr(&pred, probe.schema())?;
+                ops::cjoin(&left, &right, &pred, Some(&self.registry))
+            }
+            AExpr::Apply { input, name, expr } => {
+                let input = self.eval(*input)?;
+                let expr = plan::resolve_expr(&expr, input.schema())?;
+                let ty = plan::infer_type(&expr, input.schema());
+                ops::apply(&input, &name, &expr, ty, Some(&self.registry))
+            }
+            AExpr::Project { input, attrs } => {
+                let input = self.eval(*input)?;
+                let keep: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                ops::project(&input, &keep)
+            }
+            AExpr::Reshape {
+                input,
+                order,
+                new_dims,
+            } => {
+                let input = self.eval(*input)?;
+                let order: Vec<&str> = order.iter().map(String::as_str).collect();
+                ops::reshape(&input, &order, &new_dims)
+            }
+            AExpr::Regrid {
+                input,
+                factors,
+                agg,
+            } => {
+                let input = self.eval(*input)?;
+                ops::regrid(&input, &factors, &agg, &self.registry)
+            }
+            AExpr::Concat { left, right, dim } => {
+                let left = self.eval(*left)?;
+                let right = self.eval(*right)?;
+                ops::concat(&left, &right, &dim)
+            }
+            AExpr::Cross { left, right } => {
+                let left = self.eval(*left)?;
+                let right = self.eval(*right)?;
+                ops::cross_product(&left, &right)
+            }
+            AExpr::AddDim { input, name } => {
+                let input = self.eval(*input)?;
+                ops::add_dimension(&input, &name)
+            }
+            AExpr::Slice { input, dim, at } => {
+                let input = self.eval(*input)?;
+                ops::remove_dimension(&input, &dim, at)
+            }
+        }
+    }
+
+    /// Installs a wall-clock enhancement helper (convenience for §2.5
+    /// examples).
+    pub fn register_clock(&mut self, name: &str, base: i64, step: i64) -> Result<()> {
+        self.registry
+            .register_enhancement(Arc::new(WallClock::new(name, base, step)))
+    }
+}
+
+fn literal_to_value(l: &Literal) -> Value {
+    match l {
+        Literal::Int(v) => Value::from(*v),
+        Literal::Float(v) => Value::from(*v),
+        Literal::Str(s) => Value::from(s.clone()),
+        Literal::Bool(b) => Value::from(*b),
+        Literal::Null => Value::Null,
+        Literal::Uncertain(m, s) => Value::from(Uncertain::new(*m, *s)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_h() -> Database {
+        let mut db = Database::new();
+        db.run(
+            "define H (v = int) (X = 1:2, Y = 1:2);
+             create A as H [2, 2];
+             insert into A[1, 1] values (1);
+             insert into A[2, 1] values (3);
+             insert into A[1, 2] values (2);
+             insert into A[2, 2] values (5);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn define_create_insert_scan() {
+        let mut db = db_with_h();
+        let a = db.query("scan(A)").unwrap();
+        assert_eq!(a.cell_count(), 4);
+        assert_eq!(a.get_cell(&[2, 2]), Some(vec![Value::from(5i64)]));
+    }
+
+    #[test]
+    fn figure2_through_aql() {
+        let mut db = db_with_h();
+        let out = db.query("Aggregate(A, {Y}, Sum(*))").unwrap();
+        assert_eq!(out.get_cell(&[1]), Some(vec![Value::from(4i64)]));
+        assert_eq!(out.get_cell(&[2]), Some(vec![Value::from(7i64)]));
+    }
+
+    #[test]
+    fn subsample_with_even_and_legality() {
+        let mut db = db_with_h();
+        let out = db.query("Subsample(A, even(X))").unwrap();
+        assert_eq!(out.cell_count(), 2);
+        // The paper's illegal predicate errors with a helpful message.
+        let err = db.query("Subsample(A, X = Y)").unwrap_err();
+        assert!(err.to_string().contains("not legal"), "{err}");
+    }
+
+    #[test]
+    fn filter_apply_project_pipeline() {
+        let mut db = db_with_h();
+        let out = db
+            .query("project(apply(filter(A, v > 2), dbl, v * 2), dbl)")
+            .unwrap();
+        assert_eq!(out.schema().attrs().len(), 1);
+        assert_eq!(out.get_cell(&[2, 2]), Some(vec![Value::from(10i64)]));
+        // Filtered-out cells are NULL.
+        assert_eq!(out.get_cell(&[1, 1]), Some(vec![Value::Null]));
+    }
+
+    #[test]
+    fn joins_through_aql() {
+        let mut db = Database::new();
+        db.run(
+            "define T (val = int) (i = 1:2);
+             create A as T [2]; create B as T [2];
+             insert into A[1] values (1); insert into A[2] values (2);
+             insert into B[1] values (1); insert into B[2] values (2);",
+        )
+        .unwrap();
+        let s = db.query("sjoin(A, B, A.i = B.i)").unwrap();
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.cell_count(), 2);
+        let c = db.query("cjoin(A, B, A.val = B.val_r)").unwrap();
+        assert_eq!(c.rank(), 2);
+        assert_eq!(
+            c.get_cell(&[1, 1]),
+            Some(vec![Value::from(1i64), Value::from(1i64)])
+        );
+        assert_eq!(c.get_cell(&[1, 2]), Some(vec![Value::Null, Value::Null]));
+    }
+
+    #[test]
+    fn store_and_drop() {
+        let mut db = db_with_h();
+        db.run("store filter(A, v > 2) into Big").unwrap();
+        let big = db.query("scan(Big)").unwrap();
+        assert_eq!(big.schema().name(), "Big");
+        assert_eq!(big.cell_count(), 4);
+        db.run("drop array Big").unwrap();
+        assert!(db.query("scan(Big)").is_err());
+        assert!(db.run("drop array Big").is_err());
+    }
+
+    #[test]
+    fn updatable_array_no_overwrite_via_aql() {
+        let mut db = Database::new();
+        db.run(
+            "define updatable R (v = float) (I = 1:4, J = 1:4);
+             create M as R [4, 4];
+             insert into M[2, 2] values (1.0);
+             insert into M[2, 2] values (9.0);",
+        )
+        .unwrap();
+        match db.array("M").unwrap() {
+            StoredArray::Updatable(u) => {
+                assert_eq!(u.current_history(), 2);
+                assert_eq!(u.get_at(&[2, 2], 1), Some(vec![Value::from(1.0)]));
+                assert_eq!(u.get_latest(&[2, 2]), Some(vec![Value::from(9.0)]));
+            }
+            other => panic!("expected updatable, got {other:?}"),
+        }
+        // Scan exposes the history dimension.
+        let scan = db.query("scan(M)").unwrap();
+        assert_eq!(scan.rank(), 3);
+        assert_eq!(scan.cell_count(), 2);
+    }
+
+    #[test]
+    fn exists_probe() {
+        let mut db = db_with_h();
+        let r = db.run("exists(A, 2, 2); exists(A, 9, 9)").unwrap();
+        assert!(matches!(r[0], StmtResult::Bool(true)));
+        assert!(matches!(r[1], StmtResult::Bool(false)));
+    }
+
+    #[test]
+    fn regrid_and_reshape_via_aql() {
+        let mut db = db_with_h();
+        let rg = db.query("regrid(A, [2, 2], sum)").unwrap();
+        assert_eq!(rg.cell_count(), 1);
+        assert_eq!(rg.get_cell(&[1, 1]), Some(vec![Value::from(11i64)]));
+        let rs = db.query("reshape(A, [X, Y], [k = 1:4])").unwrap();
+        assert_eq!(rs.rank(), 1);
+        assert_eq!(rs.cell_count(), 4);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let mut db = Database::new();
+        assert!(db.query("scan(nope)").is_err());
+        assert!(db.run("create X as NoType [2]").is_err());
+        assert!(db
+            .run("define T (v = blob) (X = 1:2)")
+            .is_err());
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        let mut db = db_with_h();
+        assert!(db.run("define H (v = int) (X = 1:2)").is_err());
+        assert!(db.run("create A as H [2, 2]").is_err());
+    }
+
+    #[test]
+    fn user_defined_type_in_define() {
+        let mut db = Database::new();
+        db.registry_mut()
+            .register_type(scidb_core::udf::TypeDef::new(
+                "declination",
+                ScalarType::Float64,
+            ))
+            .unwrap();
+        db.run("define S (dec = declination) (i = 1:4); create D as S [4]")
+            .unwrap();
+        db.run("insert into D[1] values (45.0)").unwrap();
+        let out = db.query("scan(D)").unwrap();
+        assert_eq!(out.get_f64(0, &[1]), Some(45.0));
+    }
+}

@@ -1,0 +1,924 @@
+//! Recursive-descent parser: AQL text → parse tree ([`crate::ast`]).
+
+use crate::ast::{AExpr, AggArg, DimSpec, Literal, Stmt};
+use crate::token::{tokenize, Token};
+use scidb_core::error::{Error, Result};
+use scidb_core::expr::{BinOp, Expr, UnaryOp};
+use scidb_core::uncertain::Uncertain;
+use scidb_core::value::Scalar;
+
+/// Parses a semicolon-separated statement list.
+pub fn parse(input: &str) -> Result<Vec<Stmt>> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        while p.eat(&Token::Semi) {}
+        if p.peek() == &Token::Eof {
+            break;
+        }
+        stmts.push(p.statement()?);
+    }
+    Ok(stmts)
+}
+
+/// Parses a single statement.
+pub fn parse_one(input: &str) -> Result<Stmt> {
+    let stmts = parse(input)?;
+    match stmts.len() {
+        1 => Ok(stmts.into_iter().next().unwrap()),
+        n => Err(Error::parse(format!("expected one statement, got {n}"))),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        self.tokens.get(self.pos + 1).unwrap_or(&Token::Eof)
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, ctx: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected {t:?} {ctx}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected keyword '{kw}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self, ctx: &str) -> Result<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(Error::parse(format!(
+                "expected identifier {ctx}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn int(&mut self, ctx: &str) -> Result<i64> {
+        match self.next() {
+            Token::Int(v) => Ok(v),
+            other => Err(Error::parse(format!(
+                "expected integer {ctx}, found {other:?}"
+            ))),
+        }
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn statement(&mut self) -> Result<Stmt> {
+        if self.peek().is_kw("define") {
+            return self.define();
+        }
+        if self.peek().is_kw("create") {
+            return self.create();
+        }
+        if self.peek().is_kw("enhance") {
+            self.next();
+            let array = self.ident("after enhance")?;
+            self.expect_kw("with")?;
+            let function = self.ident("after with")?;
+            return Ok(Stmt::Enhance { array, function });
+        }
+        if self.peek().is_kw("shape") {
+            self.next();
+            let array = self.ident("after shape")?;
+            self.expect_kw("with")?;
+            let function = self.ident("after with")?;
+            return Ok(Stmt::Shape { array, function });
+        }
+        if self.peek().is_kw("insert") {
+            return self.insert();
+        }
+        if self.peek().is_kw("store") {
+            self.next();
+            let expr = self.aexpr()?;
+            self.expect_kw("into")?;
+            let into = self.ident("after into")?;
+            return Ok(Stmt::Store { expr, into });
+        }
+        if self.peek().is_kw("drop") {
+            self.next();
+            self.expect_kw("array")?;
+            let name = self.ident("after drop array")?;
+            return Ok(Stmt::Drop { name });
+        }
+        if self.peek().is_kw("exists") && self.peek2() == &Token::LParen {
+            self.next();
+            self.expect(&Token::LParen, "after exists")?;
+            let array = self.ident("array name")?;
+            let mut coords = Vec::new();
+            while self.eat(&Token::Comma) {
+                coords.push(self.signed_int()?);
+            }
+            self.expect(&Token::RParen, "closing exists")?;
+            return Ok(Stmt::Exists { array, coords });
+        }
+        Ok(Stmt::Query(self.aexpr()?))
+    }
+
+    fn define(&mut self) -> Result<Stmt> {
+        self.expect_kw("define")?;
+        let updatable = self.eat_kw("updatable");
+        // Optional noise word "array".
+        if self.peek().is_kw("array") && matches!(self.peek2(), Token::Ident(_)) {
+            self.next();
+        }
+        let name = self.ident("type name")?;
+        self.expect(&Token::LParen, "before attributes")?;
+        let mut attrs = Vec::new();
+        loop {
+            let attr = self.ident("attribute name")?;
+            self.expect(&Token::Eq, "after attribute name")?;
+            let mut ty = self.ident("type name")?;
+            // Two-word types: `uncertain float`.
+            if ty.eq_ignore_ascii_case("uncertain") {
+                if let Token::Ident(second) = self.peek() {
+                    let second = second.clone();
+                    self.next();
+                    ty = format!("{ty} {second}");
+                }
+            }
+            attrs.push((attr, ty));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "after attributes")?;
+        self.expect(&Token::LParen, "before dimensions")?;
+        let mut dims = Vec::new();
+        loop {
+            let dname = self.ident("dimension name")?;
+            let mut spec = DimSpec {
+                name: dname,
+                upper: None,
+                chunk: None,
+            };
+            if self.eat(&Token::Eq) {
+                let lo = self.int("dimension lower bound")?;
+                if lo != 1 {
+                    return Err(Error::parse("dimensions must start at 1"));
+                }
+                self.expect(&Token::Colon, "in dimension bounds")?;
+                if self.eat(&Token::Star) {
+                    spec.upper = None;
+                } else {
+                    spec.upper = Some(self.int("dimension upper bound")?);
+                }
+                if self.eat(&Token::Colon) {
+                    spec.chunk = Some(self.int("chunk stride")?);
+                }
+            }
+            dims.push(spec);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "after dimensions")?;
+        Ok(Stmt::DefineArray {
+            name,
+            updatable,
+            attrs,
+            dims,
+        })
+    }
+
+    fn create(&mut self) -> Result<Stmt> {
+        self.expect_kw("create")?;
+        // Optional noise words: `create [updatable] [array]`.
+        let _ = self.eat_kw("updatable");
+        if self.peek().is_kw("array") && matches!(self.peek2(), Token::Ident(_)) {
+            self.next();
+        }
+        let name = self.ident("instance name")?;
+        self.expect_kw("as")?;
+        let type_name = self.ident("type name")?;
+        self.expect(&Token::LBracket, "before bounds")?;
+        let mut bounds = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                bounds.push(None);
+            } else {
+                bounds.push(Some(self.int("bound")?));
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RBracket, "after bounds")?;
+        Ok(Stmt::CreateArray {
+            name,
+            type_name,
+            bounds,
+        })
+    }
+
+    fn insert(&mut self) -> Result<Stmt> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let array = self.ident("array name")?;
+        self.expect(&Token::LBracket, "before coordinates")?;
+        let mut coords = vec![self.signed_int()?];
+        while self.eat(&Token::Comma) {
+            coords.push(self.signed_int()?);
+        }
+        self.expect(&Token::RBracket, "after coordinates")?;
+        self.expect_kw("values")?;
+        self.expect(&Token::LParen, "before values")?;
+        let mut values = vec![self.literal()?];
+        while self.eat(&Token::Comma) {
+            values.push(self.literal()?);
+        }
+        self.expect(&Token::RParen, "after values")?;
+        Ok(Stmt::Insert {
+            array,
+            coords,
+            values,
+        })
+    }
+
+    fn signed_int(&mut self) -> Result<i64> {
+        if self.eat(&Token::Minus) {
+            Ok(-self.int("after minus")?)
+        } else {
+            self.int("coordinate")
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        let negative = self.eat(&Token::Minus);
+        let lit = match self.next() {
+            Token::Int(v) => Literal::Int(if negative { -v } else { v }),
+            Token::Float(v) => Literal::Float(if negative { -v } else { v }),
+            Token::Str(s) if !negative => Literal::Str(s),
+            Token::Ident(s) if !negative && s.eq_ignore_ascii_case("null") => Literal::Null,
+            Token::Ident(s) if !negative && s.eq_ignore_ascii_case("true") => Literal::Bool(true),
+            Token::Ident(s) if !negative && s.eq_ignore_ascii_case("false") => {
+                Literal::Bool(false)
+            }
+            Token::Ident(s) if !negative && s.eq_ignore_ascii_case("uncertain") => {
+                self.expect(&Token::LParen, "after uncertain")?;
+                let mean = self.number()?;
+                self.expect(&Token::Comma, "in uncertain literal")?;
+                let sigma = self.number()?;
+                self.expect(&Token::RParen, "closing uncertain")?;
+                Literal::Uncertain(mean, sigma)
+            }
+            other => return Err(Error::parse(format!("expected literal, found {other:?}"))),
+        };
+        Ok(lit)
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        let negative = self.eat(&Token::Minus);
+        let v = match self.next() {
+            Token::Int(v) => v as f64,
+            Token::Float(v) => v,
+            other => return Err(Error::parse(format!("expected number, found {other:?}"))),
+        };
+        Ok(if negative { -v } else { v })
+    }
+
+    // ---- array expressions ----------------------------------------------
+
+    fn aexpr(&mut self) -> Result<AExpr> {
+        let name = match self.peek() {
+            Token::Ident(s) => s.clone(),
+            other => {
+                return Err(Error::parse(format!(
+                    "expected array expression, found {other:?}"
+                )))
+            }
+        };
+        let lower = name.to_ascii_lowercase();
+        if self.peek2() != &Token::LParen {
+            // Bare array name = scan.
+            self.next();
+            return Ok(AExpr::Scan(name));
+        }
+        self.next(); // ident
+        self.next(); // (
+        let expr = match lower.as_str() {
+            "scan" => {
+                let n = self.ident("array name")?;
+                AExpr::Scan(n)
+            }
+            "subsample" => {
+                let input = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "in subsample")?;
+                let pred = self.value_expr()?;
+                AExpr::Subsample { input, pred }
+            }
+            "filter" => {
+                let input = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "in filter")?;
+                let pred = self.value_expr()?;
+                AExpr::Filter { input, pred }
+            }
+            "aggregate" => {
+                let input = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "in aggregate")?;
+                self.expect(&Token::LBrace, "before grouping dims")?;
+                let mut group = Vec::new();
+                if !self.eat(&Token::RBrace) {
+                    loop {
+                        group.push(self.ident("grouping dimension")?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RBrace, "after grouping dims")?;
+                }
+                self.expect(&Token::Comma, "before aggregate")?;
+                let agg = self.ident("aggregate name")?;
+                self.expect(&Token::LParen, "after aggregate name")?;
+                let arg = if self.eat(&Token::Star) {
+                    AggArg::Star
+                } else {
+                    AggArg::Attr(self.ident("aggregate argument")?)
+                };
+                self.expect(&Token::RParen, "closing aggregate argument")?;
+                AExpr::Aggregate {
+                    input,
+                    group,
+                    agg,
+                    arg,
+                }
+            }
+            "sjoin" => {
+                let left = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "in sjoin")?;
+                let right = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "before sjoin predicate")?;
+                let mut on = Vec::new();
+                loop {
+                    let (_, ld) = self.qualified()?;
+                    self.expect(&Token::Eq, "in sjoin predicate")?;
+                    let (_, rd) = self.qualified()?;
+                    on.push((ld, rd));
+                    if !self.eat_kw("and") {
+                        break;
+                    }
+                }
+                AExpr::Sjoin { left, right, on }
+            }
+            "cjoin" => {
+                let left = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "in cjoin")?;
+                let right = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "before cjoin predicate")?;
+                let pred = self.value_expr()?;
+                AExpr::Cjoin { left, right, pred }
+            }
+            "apply" => {
+                let input = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "in apply")?;
+                let name = self.ident("new attribute name")?;
+                self.expect(&Token::Comma, "before apply expression")?;
+                let expr = self.value_expr()?;
+                AExpr::Apply { input, name, expr }
+            }
+            "project" => {
+                let input = self.aexpr()?.boxed();
+                let mut attrs = Vec::new();
+                while self.eat(&Token::Comma) {
+                    attrs.push(self.ident("attribute")?);
+                }
+                AExpr::Project { input, attrs }
+            }
+            "reshape" => {
+                let input = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "in reshape")?;
+                self.expect(&Token::LBracket, "before dimension order")?;
+                let mut order = vec![self.ident("dimension")?];
+                while self.eat(&Token::Comma) {
+                    order.push(self.ident("dimension")?);
+                }
+                self.expect(&Token::RBracket, "after dimension order")?;
+                self.expect(&Token::Comma, "before new dimensions")?;
+                self.expect(&Token::LBracket, "before new dimensions")?;
+                let mut new_dims = Vec::new();
+                loop {
+                    let n = self.ident("new dimension name")?;
+                    self.expect(&Token::Eq, "in new dimension")?;
+                    let lo = self.int("lower bound")?;
+                    if lo != 1 {
+                        return Err(Error::parse("new dimensions must start at 1"));
+                    }
+                    self.expect(&Token::Colon, "in new dimension")?;
+                    let hi = self.int("upper bound")?;
+                    new_dims.push((n, hi));
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RBracket, "after new dimensions")?;
+                AExpr::Reshape {
+                    input,
+                    order,
+                    new_dims,
+                }
+            }
+            "regrid" => {
+                let input = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "in regrid")?;
+                self.expect(&Token::LBracket, "before factors")?;
+                let mut factors = vec![self.int("factor")?];
+                while self.eat(&Token::Comma) {
+                    factors.push(self.int("factor")?);
+                }
+                self.expect(&Token::RBracket, "after factors")?;
+                self.expect(&Token::Comma, "before aggregate")?;
+                let agg = self.ident("aggregate name")?;
+                AExpr::Regrid {
+                    input,
+                    factors,
+                    agg,
+                }
+            }
+            "concat" => {
+                let left = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "in concat")?;
+                let right = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "before concat dimension")?;
+                let dim = self.ident("dimension")?;
+                AExpr::Concat { left, right, dim }
+            }
+            "cross" => {
+                let left = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "in cross")?;
+                let right = self.aexpr()?.boxed();
+                AExpr::Cross { left, right }
+            }
+            "adddim" => {
+                let input = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "in adddim")?;
+                let name = self.ident("dimension name")?;
+                AExpr::AddDim { input, name }
+            }
+            "slice" => {
+                let input = self.aexpr()?.boxed();
+                self.expect(&Token::Comma, "in slice")?;
+                let dim = self.ident("dimension name")?;
+                self.expect(&Token::Comma, "before slice coordinate")?;
+                let at = self.signed_int()?;
+                AExpr::Slice { input, dim, at }
+            }
+            _ => {
+                return Err(Error::parse(format!("unknown operator '{name}'")));
+            }
+        };
+        self.expect(&Token::RParen, &format!("closing {lower}"))?;
+        Ok(expr)
+    }
+
+    /// A possibly-qualified identifier `A.x` → `(Some("A"), "x")`.
+    fn qualified(&mut self) -> Result<(Option<String>, String)> {
+        let first = self.ident("identifier")?;
+        if self.eat(&Token::Dot) {
+            let second = self.ident("after '.'")?;
+            Ok((Some(first), second))
+        } else {
+            Ok((None, first))
+        }
+    }
+
+    // ---- value expressions -----------------------------------------------
+
+    fn value_expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw("or") {
+            e = e.or(self.and_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.not_expr()?;
+        while self.eat_kw("and") {
+            e = e.and(self.not_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(self.not_expr()?.not())
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let left = self.add_expr()?;
+        if self.peek().is_kw("is") {
+            self.next();
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            let e = left.is_null();
+            return Ok(if negated { e.not() } else { e });
+        }
+        let op = match self.peek() {
+            Token::Eq => BinOp::Eq,
+            Token::Ne => BinOp::Ne,
+            Token::Lt => BinOp::Lt,
+            Token::Le => BinOp::Le,
+            Token::Gt => BinOp::Gt,
+            Token::Ge => BinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.next();
+        let right = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(left), Box::new(right)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            if self.eat(&Token::Plus) {
+                e = e.add(self.mul_expr()?);
+            } else if self.eat(&Token::Minus) {
+                e = e.sub(self.mul_expr()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut e = self.unary_expr()?;
+        loop {
+            if self.eat(&Token::Star) {
+                e = e.mul(self.unary_expr()?);
+            } else if self.eat(&Token::Slash) {
+                e = e.div(self.unary_expr()?);
+            } else if self.eat(&Token::Percent) {
+                e = Expr::Binary(BinOp::Mod, Box::new(e), Box::new(self.unary_expr()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            // Fold negative numeric literals so `-0.5` round-trips as a
+            // constant rather than a unary expression.
+            match self.peek().clone() {
+                Token::Int(v) => {
+                    self.next();
+                    return Ok(Expr::lit(-v));
+                }
+                Token::Float(v) => {
+                    self.next();
+                    return Ok(Expr::lit(-v));
+                }
+                _ => return Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.unary_expr()?))),
+            }
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.next() {
+            Token::Int(v) => Ok(Expr::lit(v)),
+            Token::Float(v) => Ok(Expr::lit(v)),
+            Token::Str(s) => Ok(Expr::Const(Scalar::String(s))),
+            Token::LParen => {
+                let e = self.value_expr()?;
+                self.expect(&Token::RParen, "closing parenthesized expression")?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if name.eq_ignore_ascii_case("null") {
+                    return Ok(Expr::Null);
+                }
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::lit(true));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::lit(false));
+                }
+                if name.eq_ignore_ascii_case("uncertain") && self.peek() == &Token::LParen {
+                    self.next();
+                    let mean = self.number()?;
+                    self.expect(&Token::Comma, "in uncertain literal")?;
+                    let sigma = self.number()?;
+                    self.expect(&Token::RParen, "closing uncertain")?;
+                    return Ok(Expr::Const(Scalar::Uncertain(Uncertain::new(mean, sigma))));
+                }
+                if self.peek() == &Token::LParen {
+                    // Function call.
+                    self.next();
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.value_expr()?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen, "closing function call")?;
+                    }
+                    return Ok(Expr::func(name, args));
+                }
+                if self.eat(&Token::Dot) {
+                    let attr = self.ident("after '.'")?;
+                    // Qualified reference; resolved by the planner.
+                    return Ok(Expr::attr(format!("{name}.{attr}")));
+                }
+                Ok(Expr::attr(name))
+            }
+            other => Err(Error::parse(format!(
+                "expected expression, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_define_remote() {
+        let s = parse_one("define Remote (s1 = float, s2 = float, s3 = float) (I, J)").unwrap();
+        match s {
+            Stmt::DefineArray {
+                name,
+                updatable,
+                attrs,
+                dims,
+            } => {
+                assert_eq!(name, "Remote");
+                assert!(!updatable);
+                assert_eq!(attrs.len(), 3);
+                assert_eq!(attrs[0], ("s1".to_string(), "float".to_string()));
+                assert_eq!(dims.len(), 2);
+                assert_eq!(dims[0].name, "I");
+                assert_eq!(dims[0].upper, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_define_updatable_remote2() {
+        let s = parse_one(
+            "define updatable Remote_2 (s1 = float, s2 = float, s3 = float) (I, J, history)",
+        )
+        .unwrap();
+        match s {
+            Stmt::DefineArray {
+                updatable, dims, ..
+            } => {
+                assert!(updatable);
+                assert_eq!(dims[2].name, "history");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_with_bounds_and_star() {
+        let s = parse_one("create My_remote as Remote [1024, 1024]").unwrap();
+        assert_eq!(
+            s,
+            Stmt::CreateArray {
+                name: "My_remote".into(),
+                type_name: "Remote".into(),
+                bounds: vec![Some(1024), Some(1024)],
+            }
+        );
+        let s = parse_one("create My_remote_2 as Remote [*, *]").unwrap();
+        assert_eq!(
+            s,
+            Stmt::CreateArray {
+                name: "My_remote_2".into(),
+                type_name: "Remote".into(),
+                bounds: vec![None, None],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_enhance_and_shape() {
+        assert_eq!(
+            parse_one("Enhance My_remote with Scale10").unwrap(),
+            Stmt::Enhance {
+                array: "My_remote".into(),
+                function: "Scale10".into()
+            }
+        );
+        assert_eq!(
+            parse_one("shape A with circle").unwrap(),
+            Stmt::Shape {
+                array: "A".into(),
+                function: "circle".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_subsample_with_udf_predicate() {
+        // The paper's Subsample(F, even(X)).
+        let s = parse_one("Subsample(F, even(X))").unwrap();
+        match s {
+            Stmt::Query(AExpr::Subsample { input, pred }) => {
+                assert_eq!(*input, AExpr::Scan("F".into()));
+                assert_eq!(pred, Expr::func("even", vec![Expr::attr("X")]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_conjunctive_dim_predicate() {
+        let s = parse_one("subsample(F, X = 3 and Y < 4)").unwrap();
+        match s {
+            Stmt::Query(AExpr::Subsample { pred, .. }) => {
+                assert_eq!(
+                    pred,
+                    Expr::attr("X").eq(Expr::lit(3i64)).and(Expr::attr("Y").lt(Expr::lit(4i64)))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_reshape_like_paper() {
+        let s = parse_one("Reshape(G, [X, Z, Y], [U = 1:8, V = 1:3])").unwrap();
+        match s {
+            Stmt::Query(AExpr::Reshape {
+                order, new_dims, ..
+            }) => {
+                assert_eq!(order, vec!["X", "Z", "Y"]);
+                assert_eq!(new_dims, vec![("U".to_string(), 8), ("V".to_string(), 3)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_joins() {
+        let s = parse_one("Sjoin(A, B, A.x = B.x)").unwrap();
+        match s {
+            Stmt::Query(AExpr::Sjoin { on, .. }) => {
+                assert_eq!(on, vec![("x".to_string(), "x".to_string())]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = parse_one("Cjoin(A, B, A.val = B.val)").unwrap();
+        match s {
+            Stmt::Query(AExpr::Cjoin { pred, .. }) => {
+                assert_eq!(pred, Expr::attr("A.val").eq(Expr::attr("B.val")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregate_figure2() {
+        let s = parse_one("Aggregate(H, {Y}, Sum(*))").unwrap();
+        match s {
+            Stmt::Query(AExpr::Aggregate {
+                group, agg, arg, ..
+            }) => {
+                assert_eq!(group, vec!["Y"]);
+                assert_eq!(agg, "Sum");
+                assert_eq!(arg, AggArg::Star);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_pipeline() {
+        let s =
+            parse_one("aggregate(filter(scan(H), v > 4.0 and v is not null), {Y}, sum(v))")
+                .unwrap();
+        match s {
+            Stmt::Query(AExpr::Aggregate { input, .. }) => {
+                assert!(matches!(*input, AExpr::Filter { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_and_store() {
+        let s = parse_one("insert into A[2, 3] values (1.5, null, uncertain(2.0, 0.1))").unwrap();
+        assert_eq!(
+            s,
+            Stmt::Insert {
+                array: "A".into(),
+                coords: vec![2, 3],
+                values: vec![
+                    Literal::Float(1.5),
+                    Literal::Null,
+                    Literal::Uncertain(2.0, 0.1)
+                ],
+            }
+        );
+        let s = parse_one("store filter(A, v > 0) into B").unwrap();
+        assert!(matches!(s, Stmt::Store { .. }));
+    }
+
+    #[test]
+    fn parses_multiple_statements() {
+        let stmts = parse(
+            "define T (v = int) (X); create A as T [4]; insert into A[1] values (7); scan(A);",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 4);
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        for q in [
+            "subsample(scan(F), even(X))",
+            "aggregate(filter(scan(H), (v > 4)), {Y}, sum(*))",
+            "reshape(scan(G), [X, Z, Y], [U = 1:8, V = 1:3])",
+            "regrid(scan(A), [4, 4], avg)",
+            "cross(scan(A), scan(B))",
+            "slice(adddim(scan(A), layer), layer, 1)",
+        ] {
+            let s1 = parse_one(q).unwrap();
+            let s2 = parse_one(&s1.to_string()).unwrap();
+            assert_eq!(s1, s2, "roundtrip of {q}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_one("create A as").is_err());
+        assert!(parse_one("subsample(F)").is_err());
+        assert!(parse_one("frobnicate(A, 1)").is_err());
+        assert!(parse_one("insert into A[1] values ()").is_err());
+        assert!(parse_one("define T (v = int) (X = 2:5)").is_err());
+    }
+
+    #[test]
+    fn parses_exists_probe() {
+        let s = parse_one("exists(A, 7, 7)").unwrap();
+        assert_eq!(
+            s,
+            Stmt::Exists {
+                array: "A".into(),
+                coords: vec![7, 7]
+            }
+        );
+    }
+}

@@ -1,0 +1,550 @@
+//! Planning: name resolution, dimension-predicate legality checking, and
+//! algebraic rewrites.
+//!
+//! The interesting optimizations come straight from the paper:
+//!
+//! * §2.2.1 — structural operators "do not necessarily have to read the
+//!   data values … they present opportunity for optimization": Subsample is
+//!   pushed *below* content-dependent operators (Filter/Apply) so chunk
+//!   pruning happens before any data is touched, and adjacent Subsamples
+//!   are merged into one conjunction.
+//! * §2.2.1 — the Subsample predicate "must be a conjunction of conditions
+//!   on each dimension independently. Thus, the predicate 'X = 3 and Y < 4'
+//!   is legal, while the predicate 'X = Y' is not":
+//!   [`expr_to_dim_predicate`] enforces exactly that rule when lowering the
+//!   parsed predicate.
+
+use crate::ast::AExpr;
+use scidb_core::error::{Error, Result};
+use scidb_core::expr::{BinOp, Expr};
+use scidb_core::ops::structural::{DimCond, DimPredicate};
+use scidb_core::schema::ArraySchema;
+use scidb_core::value::{Scalar, ScalarType};
+
+// ---- dimension predicate lowering -------------------------------------------
+
+/// Lowers a parsed value expression to a [`DimPredicate`], enforcing the
+/// paper's legality rule: a conjunction of per-dimension conditions.
+pub fn expr_to_dim_predicate(expr: &Expr) -> Result<DimPredicate> {
+    let mut pred = DimPredicate::new();
+    collect_conjuncts(expr, &mut pred)?;
+    Ok(pred)
+}
+
+fn collect_conjuncts(expr: &Expr, pred: &mut DimPredicate) -> Result<()> {
+    match expr {
+        Expr::Binary(BinOp::And, a, b) => {
+            collect_conjuncts(a, pred)?;
+            collect_conjuncts(b, pred)?;
+            Ok(())
+        }
+        other => {
+            let (dim, cond) = atom_to_cond(other)?;
+            *pred = std::mem::take(pred).with(dim, cond);
+            Ok(())
+        }
+    }
+}
+
+fn name_of(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Attr(n) | Expr::Dim(n) => Some(n),
+        _ => None,
+    }
+}
+
+fn int_of(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Const(Scalar::Int64(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+fn atom_to_cond(e: &Expr) -> Result<(String, DimCond)> {
+    match e {
+        // dim <op> const  |  const <op> dim
+        Expr::Binary(op, a, b) => {
+            let (dim, v, flipped) = match (name_of(a), int_of(b), name_of(b), int_of(a)) {
+                (Some(d), Some(v), _, _) => (d, v, false),
+                (_, _, Some(d), Some(v)) => (d, v, true),
+                (Some(_), None, Some(_), None) => {
+                    // The paper's illegal `X = Y` case.
+                    return Err(Error::dimension(
+                        "subsample predicate must constrain each dimension \
+                         independently (e.g. `X = 3 and Y < 4`); cross-dimension \
+                         conditions like `X = Y` are not legal",
+                    ));
+                }
+                _ => {
+                    return Err(Error::dimension(format!(
+                        "unsupported dimension condition: {e:?}"
+                    )))
+                }
+            };
+            let cond = match (op, flipped) {
+                (BinOp::Eq, _) => DimCond::Eq(v),
+                (BinOp::Ne, _) => DimCond::Ne(v),
+                (BinOp::Lt, false) | (BinOp::Gt, true) => DimCond::Lt(v),
+                (BinOp::Le, false) | (BinOp::Ge, true) => DimCond::Le(v),
+                (BinOp::Gt, false) | (BinOp::Lt, true) => DimCond::Gt(v),
+                (BinOp::Ge, false) | (BinOp::Le, true) => DimCond::Ge(v),
+                _ => {
+                    return Err(Error::dimension(format!(
+                        "unsupported dimension operator {op:?}"
+                    )))
+                }
+            };
+            Ok((dim.to_string(), cond))
+        }
+        // Unary UDF over one dimension: even(X), odd(X), custom(X).
+        Expr::Func(name, args) => {
+            if args.len() != 1 {
+                return Err(Error::dimension(
+                    "dimension predicate functions take one dimension argument",
+                ));
+            }
+            let dim = name_of(&args[0]).ok_or_else(|| {
+                Error::dimension("dimension predicate function argument must be a dimension")
+            })?;
+            let lower = name.to_ascii_lowercase();
+            let cond = match lower.as_str() {
+                "even" => DimCond::Even,
+                "odd" => DimCond::Odd,
+                _ => DimCond::Fn(name.clone()),
+            };
+            Ok((dim.to_string(), cond))
+        }
+        other => Err(Error::dimension(format!(
+            "unsupported dimension condition: {other:?}"
+        ))),
+    }
+}
+
+// ---- name resolution ---------------------------------------------------------
+
+/// Resolves bare and qualified names in a value expression against a
+/// schema: an identifier becomes `Attr` if it names an attribute, `Dim` if
+/// it names a dimension. Qualified `Q.x` tries `Q.x`, then `x`, then the
+/// join-renamed `x_r`.
+pub fn resolve_expr(expr: &Expr, schema: &ArraySchema) -> Result<Expr> {
+    Ok(match expr {
+        Expr::Attr(raw) | Expr::Dim(raw) => {
+            let candidates: Vec<String> = if let Some((_, bare)) = raw.split_once('.') {
+                vec![raw.clone(), bare.to_string(), format!("{bare}_r")]
+            } else {
+                vec![raw.clone()]
+            };
+            let mut found = None;
+            for cand in &candidates {
+                if schema.attr_index(cand).is_some() {
+                    found = Some(Expr::Attr(cand.clone()));
+                    break;
+                }
+                if schema.dim_index(cand).is_some() {
+                    found = Some(Expr::Dim(cand.clone()));
+                    break;
+                }
+            }
+            found.ok_or_else(|| {
+                Error::not_found(format!(
+                    "name '{raw}' in array '{}' (not an attribute or dimension)",
+                    schema.name()
+                ))
+            })?
+        }
+        Expr::Const(_) | Expr::Null => expr.clone(),
+        Expr::Unary(op, e) => Expr::Unary(*op, Box::new(resolve_expr(e, schema)?)),
+        Expr::IsNull(e) => Expr::IsNull(Box::new(resolve_expr(e, schema)?)),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(resolve_expr(a, schema)?),
+            Box::new(resolve_expr(b, schema)?),
+        ),
+        Expr::Func(name, args) => Expr::Func(
+            name.clone(),
+            args.iter()
+                .map(|a| resolve_expr(a, schema))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+    })
+}
+
+/// Infers the scalar type of a resolved expression (used by `Apply`).
+pub fn infer_type(expr: &Expr, schema: &ArraySchema) -> ScalarType {
+    match expr {
+        Expr::Attr(n) => schema
+            .attr_index(n)
+            .and_then(|i| schema.attrs()[i].ty.as_scalar())
+            .unwrap_or(ScalarType::Float64),
+        Expr::Dim(_) => ScalarType::Int64,
+        Expr::Const(s) => s.scalar_type(),
+        Expr::Null => ScalarType::Float64,
+        Expr::IsNull(_) => ScalarType::Bool,
+        Expr::Unary(scidb_core::expr::UnaryOp::Not, _) => ScalarType::Bool,
+        Expr::Unary(scidb_core::expr::UnaryOp::Neg, e) => infer_type(e, schema),
+        Expr::Binary(op, a, b) => match op {
+            BinOp::And
+            | BinOp::Or
+            | BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge => ScalarType::Bool,
+            _ => {
+                let (ta, tb) = (infer_type(a, schema), infer_type(b, schema));
+                if ta == ScalarType::UncertainFloat64 || tb == ScalarType::UncertainFloat64 {
+                    ScalarType::UncertainFloat64
+                } else if ta == ScalarType::Int64 && tb == ScalarType::Int64 {
+                    ScalarType::Int64
+                } else if ta == ScalarType::String && tb == ScalarType::String {
+                    ScalarType::String
+                } else {
+                    ScalarType::Float64
+                }
+            }
+        },
+        Expr::Func(name, _) => match name.to_ascii_lowercase().as_str() {
+            "even" | "odd" | "prob_below" => ScalarType::Bool,
+            "uncertain" => ScalarType::UncertainFloat64,
+            _ => ScalarType::Float64,
+        },
+    }
+}
+
+// ---- algebraic rewrites --------------------------------------------------------
+
+/// Optimizes an array expression: merges adjacent Subsamples and pushes
+/// Subsample below Filter and Apply (structural-first execution, §2.2.1).
+/// The rewrite runs to a fixpoint.
+pub fn optimize(expr: AExpr) -> AExpr {
+    let mut current = expr;
+    loop {
+        let (next, changed) = rewrite(current);
+        current = next;
+        if !changed {
+            return current;
+        }
+    }
+}
+
+fn rewrite(expr: AExpr) -> (AExpr, bool) {
+    // Rewrite children first.
+    let (expr, mut changed) = rewrite_children(expr);
+    let out = match expr {
+        // Subsample(Subsample(x, p1), p2) → Subsample(x, p1 AND p2)
+        AExpr::Subsample { input, pred } => match *input {
+            AExpr::Subsample {
+                input: inner,
+                pred: p1,
+            } => {
+                changed = true;
+                AExpr::Subsample {
+                    input: inner,
+                    pred: p1.and(pred),
+                }
+            }
+            // Subsample(Filter(x, f), p) → Filter(Subsample(x, p), f)
+            AExpr::Filter {
+                input: inner,
+                pred: f,
+            } => {
+                changed = true;
+                AExpr::Filter {
+                    input: AExpr::Subsample { input: inner, pred }.boxed(),
+                    pred: f,
+                }
+            }
+            // Subsample(Apply(x, n, e), p) → Apply(Subsample(x, p), n, e)
+            AExpr::Apply {
+                input: inner,
+                name,
+                expr: e,
+            } => {
+                changed = true;
+                AExpr::Apply {
+                    input: AExpr::Subsample { input: inner, pred }.boxed(),
+                    name,
+                    expr: e,
+                }
+            }
+            other => AExpr::Subsample {
+                input: other.boxed(),
+                pred,
+            },
+        },
+        other => other,
+    };
+    (out, changed)
+}
+
+fn rewrite_children(expr: AExpr) -> (AExpr, bool) {
+    macro_rules! go {
+        ($e:expr) => {{
+            let (e, c) = rewrite(*$e);
+            (e.boxed(), c)
+        }};
+    }
+    match expr {
+        AExpr::Scan(_) => (expr, false),
+        AExpr::Subsample { input, pred } => {
+            let (input, c) = go!(input);
+            (AExpr::Subsample { input, pred }, c)
+        }
+        AExpr::Filter { input, pred } => {
+            let (input, c) = go!(input);
+            (AExpr::Filter { input, pred }, c)
+        }
+        AExpr::Aggregate {
+            input,
+            group,
+            agg,
+            arg,
+        } => {
+            let (input, c) = go!(input);
+            (
+                AExpr::Aggregate {
+                    input,
+                    group,
+                    agg,
+                    arg,
+                },
+                c,
+            )
+        }
+        AExpr::Sjoin { left, right, on } => {
+            let (left, c1) = go!(left);
+            let (right, c2) = go!(right);
+            (AExpr::Sjoin { left, right, on }, c1 || c2)
+        }
+        AExpr::Cjoin { left, right, pred } => {
+            let (left, c1) = go!(left);
+            let (right, c2) = go!(right);
+            (AExpr::Cjoin { left, right, pred }, c1 || c2)
+        }
+        AExpr::Apply { input, name, expr } => {
+            let (input, c) = go!(input);
+            (AExpr::Apply { input, name, expr }, c)
+        }
+        AExpr::Project { input, attrs } => {
+            let (input, c) = go!(input);
+            (AExpr::Project { input, attrs }, c)
+        }
+        AExpr::Reshape {
+            input,
+            order,
+            new_dims,
+        } => {
+            let (input, c) = go!(input);
+            (
+                AExpr::Reshape {
+                    input,
+                    order,
+                    new_dims,
+                },
+                c,
+            )
+        }
+        AExpr::Regrid {
+            input,
+            factors,
+            agg,
+        } => {
+            let (input, c) = go!(input);
+            (
+                AExpr::Regrid {
+                    input,
+                    factors,
+                    agg,
+                },
+                c,
+            )
+        }
+        AExpr::Concat { left, right, dim } => {
+            let (left, c1) = go!(left);
+            let (right, c2) = go!(right);
+            (AExpr::Concat { left, right, dim }, c1 || c2)
+        }
+        AExpr::Cross { left, right } => {
+            let (left, c1) = go!(left);
+            let (right, c2) = go!(right);
+            (AExpr::Cross { left, right }, c1 || c2)
+        }
+        AExpr::AddDim { input, name } => {
+            let (input, c) = go!(input);
+            (AExpr::AddDim { input, name }, c)
+        }
+        AExpr::Slice { input, dim, at } => {
+            let (input, c) = go!(input);
+            (AExpr::Slice { input, dim, at }, c)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidb_core::schema::SchemaBuilder;
+
+    fn schema() -> ArraySchema {
+        SchemaBuilder::new("T")
+            .attr("v", ScalarType::Float64)
+            .attr("n", ScalarType::Int64)
+            .dim("X", 10)
+            .dim("Y", 10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn legal_paper_predicate_lowers() {
+        // "X = 3 and Y < 4" is legal.
+        let e = Expr::attr("X").eq(Expr::lit(3i64)).and(Expr::attr("Y").lt(Expr::lit(4i64)));
+        let pred = expr_to_dim_predicate(&e).unwrap();
+        assert_eq!(pred.conds().len(), 2);
+    }
+
+    #[test]
+    fn illegal_cross_dimension_predicate_rejected() {
+        // "X = Y" is not legal.
+        let e = Expr::attr("X").eq(Expr::attr("Y"));
+        let err = expr_to_dim_predicate(&e).unwrap_err();
+        assert!(err.to_string().contains("X = 3 and Y < 4"), "{err}");
+    }
+
+    #[test]
+    fn flipped_comparisons_normalize() {
+        // "3 < X" means X > 3.
+        let e = Expr::lit(3i64).lt(Expr::attr("X"));
+        let pred = expr_to_dim_predicate(&e).unwrap();
+        assert!(matches!(pred.conds()[0].1, DimCond::Gt(3)));
+    }
+
+    #[test]
+    fn udf_predicates_lower_to_fn_conds() {
+        let e = Expr::func("even", vec![Expr::attr("X")]);
+        let pred = expr_to_dim_predicate(&e).unwrap();
+        assert!(matches!(pred.conds()[0].1, DimCond::Even));
+        let e = Expr::func("is_prime", vec![Expr::attr("X")]);
+        let pred = expr_to_dim_predicate(&e).unwrap();
+        assert!(matches!(&pred.conds()[0].1, DimCond::Fn(f) if f == "is_prime"));
+    }
+
+    #[test]
+    fn disjunction_rejected() {
+        let e = Expr::attr("X").eq(Expr::lit(1i64)).or(Expr::attr("Y").eq(Expr::lit(2i64)));
+        assert!(expr_to_dim_predicate(&e).is_err());
+    }
+
+    #[test]
+    fn resolve_classifies_names() {
+        let s = schema();
+        let e = resolve_expr(&Expr::attr("v").gt(Expr::attr("X")), &s).unwrap();
+        assert_eq!(e, Expr::Attr("v".into()).gt(Expr::Dim("X".into())));
+        assert!(resolve_expr(&Expr::attr("zz"), &s).is_err());
+    }
+
+    #[test]
+    fn resolve_qualified_names() {
+        let s = schema();
+        // T.v resolves to the bare attribute.
+        let e = resolve_expr(&Expr::attr("T.v"), &s).unwrap();
+        assert_eq!(e, Expr::Attr("v".into()));
+        // Join-renamed fallback: B.v where only v_r exists.
+        let joined = SchemaBuilder::new("J")
+            .attr("v", ScalarType::Float64)
+            .attr("v_r", ScalarType::Float64)
+            .dim("X", 2)
+            .build()
+            .unwrap();
+        // A.v hits "v" first; to address the right side one writes v_r
+        // (or a qualifier that only matches the renamed attribute).
+        let e = resolve_expr(&Expr::attr("v_r"), &joined).unwrap();
+        assert_eq!(e, Expr::Attr("v_r".into()));
+    }
+
+    #[test]
+    fn infer_types() {
+        let s = schema();
+        assert_eq!(infer_type(&Expr::Attr("n".into()), &s), ScalarType::Int64);
+        assert_eq!(
+            infer_type(&Expr::Attr("n".into()).add(Expr::lit(1i64)), &s),
+            ScalarType::Int64
+        );
+        assert_eq!(
+            infer_type(&Expr::Attr("v".into()).add(Expr::Attr("n".into())), &s),
+            ScalarType::Float64
+        );
+        assert_eq!(
+            infer_type(&Expr::Attr("v".into()).gt(Expr::lit(1.0)), &s),
+            ScalarType::Bool
+        );
+        assert_eq!(infer_type(&Expr::Dim("X".into()), &s), ScalarType::Int64);
+    }
+
+    #[test]
+    fn optimize_merges_subsamples() {
+        let e = AExpr::Subsample {
+            input: AExpr::Subsample {
+                input: AExpr::Scan("A".into()).boxed(),
+                pred: Expr::attr("X").eq(Expr::lit(1i64)),
+            }
+            .boxed(),
+            pred: Expr::attr("Y").eq(Expr::lit(2i64)),
+        };
+        let opt = optimize(e);
+        match opt {
+            AExpr::Subsample { input, pred } => {
+                assert_eq!(*input, AExpr::Scan("A".into()));
+                // Both conditions present in the merged conjunction.
+                let p = expr_to_dim_predicate(&pred).unwrap();
+                assert_eq!(p.conds().len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimize_pushes_subsample_below_filter() {
+        let e = AExpr::Subsample {
+            input: AExpr::Filter {
+                input: AExpr::Scan("A".into()).boxed(),
+                pred: Expr::attr("v").gt(Expr::lit(0.0)),
+            }
+            .boxed(),
+            pred: Expr::attr("X").eq(Expr::lit(1i64)),
+        };
+        let opt = optimize(e);
+        assert!(
+            matches!(&opt, AExpr::Filter { input, .. } if matches!(**input, AExpr::Subsample { .. })),
+            "filter on top, subsample pushed down: {opt:?}"
+        );
+    }
+
+    #[test]
+    fn optimize_pushes_through_filter_chain_to_fixpoint() {
+        // Subsample over Filter over Filter: pushed to the bottom.
+        let e = AExpr::Subsample {
+            input: AExpr::Filter {
+                input: AExpr::Filter {
+                    input: AExpr::Scan("A".into()).boxed(),
+                    pred: Expr::attr("v").gt(Expr::lit(0.0)),
+                }
+                .boxed(),
+                pred: Expr::attr("v").lt(Expr::lit(9.0)),
+            }
+            .boxed(),
+            pred: Expr::attr("X").eq(Expr::lit(1i64)),
+        };
+        let opt = optimize(e);
+        // Expect Filter(Filter(Subsample(Scan))).
+        let mut node = &opt;
+        let mut filters = 0;
+        while let AExpr::Filter { input, .. } = node {
+            filters += 1;
+            node = input;
+        }
+        assert_eq!(filters, 2);
+        assert!(matches!(node, AExpr::Subsample { .. }));
+    }
+}

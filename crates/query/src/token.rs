@@ -1,0 +1,313 @@
+//! The AQL lexer.
+//!
+//! Tokenizes the array query language whose statements mirror the paper's
+//! examples: `define Remote (s1 = float, …) (I, J)`, `create My_remote as
+//! Remote [1024, 1024]`, `Enhance My_remote with Scale10`,
+//! `Subsample(F, even(X))`, `Reshape(G, [X, Z, Y], [U = 1:8, V = 1:3])`, …
+
+use scidb_core::error::{Error, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// True if this is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes AQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // SQL-style comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(Error::parse("unexpected '!'"));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(Error::parse("unterminated string literal"));
+                }
+                out.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_ascii_digit() {
+                        j += 1;
+                    } else if cj == '.'
+                        && !is_float
+                        && j + 1 < bytes.len()
+                        && (bytes[j + 1] as char).is_ascii_digit()
+                    {
+                        is_float = true;
+                        j += 1;
+                    } else if (cj == 'e' || cj == 'E')
+                        && j + 1 < bytes.len()
+                        && ((bytes[j + 1] as char).is_ascii_digit()
+                            || bytes[j + 1] == b'-'
+                            || bytes[j + 1] == b'+')
+                    {
+                        is_float = true;
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..j];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        Error::parse(format!("bad float literal '{text}'"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        Error::parse(format!("bad integer literal '{text}'"))
+                    })?));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_ascii_alphanumeric() || cj == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => return Err(Error::parse(format!("unexpected character '{other}'"))),
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_define_statement() {
+        let toks = tokenize("define Remote (s1 = float) (I, J);").unwrap();
+        assert_eq!(toks[0], Token::Ident("define".into()));
+        assert_eq!(toks[2], Token::LParen);
+        assert_eq!(toks[4], Token::Eq);
+        assert!(toks.contains(&Token::Semi));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn tokenizes_numbers() {
+        let toks = tokenize("42 3.25 1e3 2.5e-2").unwrap();
+        assert_eq!(toks[0], Token::Int(42));
+        assert_eq!(toks[1], Token::Float(3.25));
+        assert_eq!(toks[2], Token::Float(1000.0));
+        assert_eq!(toks[3], Token::Float(0.025));
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        let toks = tokenize("a <= b >= c != d <> e < f > g = h").unwrap();
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ge));
+        assert_eq!(toks.iter().filter(|t| **t == Token::Ne).count(), 2);
+    }
+
+    #[test]
+    fn tokenizes_strings_and_comments() {
+        let toks = tokenize("'pre-war Gibson banjo' -- a comment\n x").unwrap();
+        assert_eq!(toks[0], Token::Str("pre-war Gibson banjo".into()));
+        assert_eq!(toks[1], Token::Ident("x".into()));
+    }
+
+    #[test]
+    fn reshape_statement_tokens() {
+        let toks = tokenize("Reshape(G, [X, Z, Y], [U = 1:8, V = 1:3])").unwrap();
+        assert!(toks.contains(&Token::LBracket));
+        assert!(toks.contains(&Token::Colon));
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a ?").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = tokenize("DEFINE").unwrap();
+        assert!(toks[0].is_kw("define"));
+        assert!(!toks[0].is_kw("create"));
+    }
+}

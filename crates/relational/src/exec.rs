@@ -1,0 +1,313 @@
+//! Relational operators: selection, projection, hash join, grouped
+//! aggregation — tuple-at-a-time, as a row store executes them.
+
+use crate::table::{ColumnDef, Row, Table};
+use scidb_core::error::Result;
+use scidb_core::registry::Registry;
+use scidb_core::value::{Scalar, ScalarType, Value};
+use std::collections::HashMap;
+
+/// Selection: rows satisfying `pred`.
+pub fn select<'a>(table: &'a Table, pred: impl Fn(&Row) -> bool) -> Vec<&'a Row> {
+    table.rows().iter().filter(|r| pred(r)).collect()
+}
+
+/// Projection into a new table.
+pub fn project(table: &Table, columns: &[&str]) -> Result<Table> {
+    let idxs: Vec<usize> = columns
+        .iter()
+        .map(|c| table.column_index(c))
+        .collect::<Result<_>>()?;
+    let defs: Vec<ColumnDef> = idxs
+        .iter()
+        .map(|&i| table.columns()[i].clone())
+        .collect();
+    let mut out = Table::new(format!("project({})", table.name()), defs)?;
+    for row in table.rows() {
+        out.insert(idxs.iter().map(|&i| row[i].clone()).collect())?;
+    }
+    Ok(out)
+}
+
+/// A hashable key from row values (floats hashed by bits; NULL keys drop
+/// the row, matching SQL join semantics).
+fn join_key(row: &Row, cols: &[usize]) -> Option<Vec<u64>> {
+    cols.iter()
+        .map(|&c| match &row[c] {
+            Value::Scalar(Scalar::Int64(v)) => Some(*v as u64),
+            Value::Scalar(Scalar::Float64(v)) => Some(v.to_bits()),
+            Value::Scalar(Scalar::Bool(b)) => Some(*b as u64),
+            Value::Scalar(Scalar::String(s)) => {
+                // FNV-1a; collisions re-checked by the probe below.
+                let mut h: u64 = 0xcbf29ce484222325;
+                for b in s.as_bytes() {
+                    h ^= u64::from(*b);
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+                Some(h)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Hash equi-join. Output columns: all of `left`, then all of `right`
+/// (right columns renamed `name_r` on clash).
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    on: &[(&str, &str)],
+) -> Result<Table> {
+    let l_cols: Vec<usize> = on
+        .iter()
+        .map(|(l, _)| left.column_index(l))
+        .collect::<Result<_>>()?;
+    let r_cols: Vec<usize> = on
+        .iter()
+        .map(|(_, r)| right.column_index(r))
+        .collect::<Result<_>>()?;
+
+    let mut defs = left.columns().to_vec();
+    for c in right.columns() {
+        let mut def = c.clone();
+        if left.column_index(&c.name).is_ok() {
+            def.name = format!("{}_r", c.name);
+        }
+        defs.push(def);
+    }
+    let mut out = Table::new(
+        format!("join({},{})", left.name(), right.name()),
+        defs,
+    )?;
+
+    // Build on the smaller input.
+    let (build, probe, build_cols, probe_cols, build_is_left) =
+        if left.len() <= right.len() {
+            (left, right, &l_cols, &r_cols, true)
+        } else {
+            (right, left, &r_cols, &l_cols, false)
+        };
+    let mut ht: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+    for (i, row) in build.rows().iter().enumerate() {
+        if let Some(k) = join_key(row, build_cols) {
+            ht.entry(k).or_default().push(i);
+        }
+    }
+    for probe_row in probe.rows() {
+        let Some(k) = join_key(probe_row, probe_cols) else {
+            continue;
+        };
+        if let Some(matches) = ht.get(&k) {
+            for &bi in matches {
+                let build_row = &build.rows()[bi];
+                // Re-check equality (hash collisions on strings).
+                let eq = build_cols
+                    .iter()
+                    .zip(probe_cols)
+                    .all(|(&bc, &pc)| build_row[bc] == probe_row[pc]);
+                if !eq {
+                    continue;
+                }
+                let (l_row, r_row) = if build_is_left {
+                    (build_row, probe_row)
+                } else {
+                    (probe_row, build_row)
+                };
+                let mut row = l_row.clone();
+                row.extend(r_row.iter().cloned());
+                out.insert(row)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Grouped aggregation: groups by integer columns `group_by`, applies the
+/// named aggregate to `agg_column`.
+pub fn group_aggregate(
+    table: &Table,
+    group_by: &[&str],
+    agg_name: &str,
+    agg_column: &str,
+    registry: &Registry,
+) -> Result<Table> {
+    let g_cols: Vec<usize> = group_by
+        .iter()
+        .map(|c| table.column_index(c))
+        .collect::<Result<_>>()?;
+    let a_col = table.column_index(agg_column)?;
+    let agg = registry.aggregate(agg_name)?;
+
+    let mut groups: std::collections::BTreeMap<Vec<i64>, Box<dyn scidb_core::udf::AggState>> =
+        std::collections::BTreeMap::new();
+    for row in table.rows() {
+        let Some(key) = g_cols
+            .iter()
+            .map(|&c| row[c].as_i64())
+            .collect::<Option<Vec<i64>>>()
+        else {
+            continue;
+        };
+        groups
+            .entry(key)
+            .or_insert_with(|| agg.create())
+            .update(&row[a_col])?;
+    }
+
+    let mut defs: Vec<ColumnDef> = g_cols
+        .iter()
+        .map(|&c| table.columns()[c].clone())
+        .collect();
+    let out_ty = match agg_name.to_ascii_lowercase().as_str() {
+        "count" => ScalarType::Int64,
+        "avg" | "stddev" | "var" => ScalarType::Float64,
+        _ => table.columns()[a_col].ty,
+    };
+    defs.push(ColumnDef {
+        name: format!("{agg_name}_{agg_column}"),
+        ty: out_ty,
+    });
+    let mut out = Table::new(format!("agg({})", table.name()), defs)?;
+    for (key, state) in groups {
+        let mut row: Row = key.into_iter().map(Value::from).collect();
+        row.push(state.finalize());
+        out.insert(row)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(name: &str, cols: &[(&str, ScalarType)], rows: Vec<Row>) -> Table {
+        let mut table = Table::new(
+            name,
+            cols.iter()
+                .map(|(n, ty)| ColumnDef {
+                    name: n.to_string(),
+                    ty: *ty,
+                })
+                .collect(),
+        )
+        .unwrap();
+        for r in rows {
+            table.insert(r).unwrap();
+        }
+        table
+    }
+
+    fn sensors() -> Table {
+        t(
+            "sensors",
+            &[
+                ("x", ScalarType::Int64),
+                ("y", ScalarType::Int64),
+                ("v", ScalarType::Float64),
+            ],
+            (1..=4i64)
+                .flat_map(|x| {
+                    (1..=4i64).map(move |y| {
+                        vec![
+                            Value::from(x),
+                            Value::from(y),
+                            Value::from((x * 10 + y) as f64),
+                        ]
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn select_filters_rows() {
+        let s = sensors();
+        // Values are 10x+y; only the x=4 row group exceeds 35.
+        let hot = select(&s, |r| r[2].as_f64().unwrap() > 35.0);
+        assert_eq!(hot.len(), 4);
+    }
+
+    #[test]
+    fn project_keeps_columns() {
+        let s = sensors();
+        let p = project(&s, &["v"]).unwrap();
+        assert_eq!(p.columns().len(), 1);
+        assert_eq!(p.len(), 16);
+        assert!(project(&s, &["zz"]).is_err());
+    }
+
+    #[test]
+    fn hash_join_on_ints() {
+        let a = sensors();
+        let b = sensors();
+        let j = hash_join(&a, &b, &[("x", "x"), ("y", "y")]).unwrap();
+        assert_eq!(j.len(), 16);
+        assert_eq!(j.columns().len(), 6);
+        assert_eq!(j.columns()[3].name, "x_r");
+    }
+
+    #[test]
+    fn hash_join_partial_key_cross_matches() {
+        let a = sensors();
+        let b = sensors();
+        let j = hash_join(&a, &b, &[("x", "x")]).unwrap();
+        assert_eq!(j.len(), 64); // 4 matches per x value per side
+    }
+
+    #[test]
+    fn hash_join_strings_with_recheck() {
+        let a = t(
+            "a",
+            &[("k", ScalarType::String), ("v", ScalarType::Int64)],
+            vec![
+                vec![Value::from("apple"), Value::from(1i64)],
+                vec![Value::from("pear"), Value::from(2i64)],
+            ],
+        );
+        let b = t(
+            "b",
+            &[("k", ScalarType::String), ("w", ScalarType::Int64)],
+            vec![vec![Value::from("pear"), Value::from(9i64)]],
+        );
+        let j = hash_join(&a, &b, &[("k", "k")]).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.rows()[0][1], Value::from(2i64));
+    }
+
+    #[test]
+    fn null_keys_do_not_join() {
+        let a = t(
+            "a",
+            &[("k", ScalarType::Int64)],
+            vec![vec![Value::Null], vec![Value::from(1i64)]],
+        );
+        let b = t(
+            "b",
+            &[("k", ScalarType::Int64)],
+            vec![vec![Value::Null], vec![Value::from(1i64)]],
+        );
+        let j = hash_join(&a, &b, &[("k", "k")]).unwrap();
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn group_aggregate_matches_manual() {
+        let s = sensors();
+        let r = Registry::with_builtins();
+        let g = group_aggregate(&s, &["y"], "sum", "v", &r).unwrap();
+        assert_eq!(g.len(), 4);
+        // y=1: 11+21+31+41 = 104.
+        let row = g.rows().iter().find(|r| r[0].as_i64() == Some(1)).unwrap();
+        assert_eq!(row[1].as_f64(), Some(104.0));
+        assert_eq!(g.columns()[1].name, "sum_v");
+    }
+
+    #[test]
+    fn aggregate_without_groups() {
+        let s = sensors();
+        let r = Registry::with_builtins();
+        let g = group_aggregate(&s, &[], "count", "v", &r).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.rows()[0][0], Value::from(16i64));
+    }
+}

@@ -1,0 +1,22 @@
+//! # scidb-relational
+//!
+//! The relational baseline for the paper's central performance claim
+//! (§2.1): "the performance penalty of simulating arrays on top of tables
+//! was around two orders of magnitude" (ASAP).
+//!
+//! * [`table`] — a typed row store with B-tree indexes.
+//! * [`exec`] — selection, projection, hash join, grouped aggregation.
+//! * [`array_sim`] — arrays simulated as `(dim…, attr…)` tables with a
+//!   composite dimension index; array operations as relational plans.
+//!   Experiment E1 runs identical logical queries here and against
+//!   [`scidb_core::ops`].
+
+#![warn(missing_docs)]
+
+pub mod array_sim;
+pub mod exec;
+pub mod table;
+
+pub use array_sim::ArrayTable;
+pub use exec::{group_aggregate, hash_join, project, select};
+pub use table::{ColumnDef, Row, Table};

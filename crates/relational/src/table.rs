@@ -1,0 +1,322 @@
+//! A minimal row-store relational engine — the comparison substrate.
+//!
+//! §2.1 recounts that "the performance penalty of simulating arrays on top
+//! of tables was around two orders of magnitude" (the ASAP study). To
+//! reproduce that comparison honestly we need a real, reasonable relational
+//! engine — not a strawman: tables are typed row stores with B-tree indexes,
+//! hash joins, and grouped aggregation. The deliberate architectural
+//! differences from the array engine are the ones the paper identifies:
+//! tuple-at-a-time processing, explicit dimension columns, and value-based
+//! (rather than positional) addressing.
+
+use scidb_core::error::{Error, Result};
+use scidb_core::value::{Scalar, ScalarType, Value};
+use std::collections::BTreeMap;
+
+/// A table column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ScalarType,
+}
+
+/// One row: a value per column.
+pub type Row = Vec<Value>;
+
+/// A typed row-store table with optional B-tree indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<ColumnDef>,
+    rows: Vec<Row>,
+    /// Indexes: key column set → (key values → row ids).
+    indexes: Vec<(Vec<usize>, BTreeMap<Vec<i64>, Vec<usize>>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(Error::schema("table needs at least one column"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(&c.name) {
+                return Err(Error::schema(format!("duplicate column '{}'", c.name)));
+            }
+        }
+        Ok(Table {
+            name: name.into(),
+            columns,
+            rows: Vec::new(),
+            indexes: Vec::new(),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column definitions.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::not_found(format!("column '{name}' in table '{}'", self.name)))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Appends a row, maintaining indexes.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(Error::schema(format!(
+                "row has {} values for {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            if let Value::Scalar(s) = v {
+                let ok = s.scalar_type() == c.ty
+                    || (s.scalar_type() == ScalarType::Int64 && c.ty == ScalarType::Float64);
+                if !ok {
+                    return Err(Error::schema(format!(
+                        "type mismatch in column '{}': {} vs {}",
+                        c.name,
+                        s.scalar_type(),
+                        c.ty
+                    )));
+                }
+            } else if matches!(v, Value::Array(_)) {
+                return Err(Error::schema("nested arrays are not relational values"));
+            }
+        }
+        let row_id = self.rows.len();
+        for (key_cols, index) in &mut self.indexes {
+            if let Some(key) = index_key(&row, key_cols) {
+                index.entry(key).or_default().push(row_id);
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Builds a B-tree index over integer key columns (dimension columns
+    /// in the array simulation).
+    pub fn create_index(&mut self, key_columns: &[&str]) -> Result<()> {
+        let cols: Vec<usize> = key_columns
+            .iter()
+            .map(|c| self.column_index(c))
+            .collect::<Result<_>>()?;
+        let mut index: BTreeMap<Vec<i64>, Vec<usize>> = BTreeMap::new();
+        for (row_id, row) in self.rows.iter().enumerate() {
+            if let Some(key) = index_key(row, &cols) {
+                index.entry(key).or_default().push(row_id);
+            }
+        }
+        self.indexes.push((cols, index));
+        Ok(())
+    }
+
+    fn find_index(&self, cols: &[usize]) -> Option<&BTreeMap<Vec<i64>, Vec<usize>>> {
+        self.indexes
+            .iter()
+            .find(|(k, _)| k.as_slice() == cols)
+            .map(|(_, idx)| idx)
+    }
+
+    /// Point lookup via an index; falls back to a scan when no index
+    /// matches (the fallback is what the E1 unindexed baseline measures).
+    pub fn lookup(&self, key_columns: &[&str], key: &[i64]) -> Result<Vec<&Row>> {
+        let cols: Vec<usize> = key_columns
+            .iter()
+            .map(|c| self.column_index(c))
+            .collect::<Result<_>>()?;
+        if let Some(index) = self.find_index(&cols) {
+            return Ok(index
+                .get(key)
+                .map(|ids| ids.iter().map(|&i| &self.rows[i]).collect())
+                .unwrap_or_default());
+        }
+        Ok(self
+            .rows
+            .iter()
+            .filter(|row| {
+                cols.iter()
+                    .zip(key)
+                    .all(|(&c, &k)| row[c].as_i64() == Some(k))
+            })
+            .collect())
+    }
+
+    /// Range scan `low..=high` on an indexed integer key prefix; the key
+    /// comparison is lexicographic, so this matches a single-column index
+    /// or a leading prefix exactly.
+    pub fn range(&self, key_columns: &[&str], low: &[i64], high: &[i64]) -> Result<Vec<&Row>> {
+        let cols: Vec<usize> = key_columns
+            .iter()
+            .map(|c| self.column_index(c))
+            .collect::<Result<_>>()?;
+        if let Some(index) = self.find_index(&cols) {
+            return Ok(index
+                .range(low.to_vec()..=high.to_vec())
+                .flat_map(|(_, ids)| ids.iter().map(|&i| &self.rows[i]))
+                .collect());
+        }
+        Ok(self
+            .rows
+            .iter()
+            .filter(|row| {
+                cols.iter().enumerate().all(|(k, &c)| {
+                    row[c]
+                        .as_i64()
+                        .is_some_and(|v| low[k] <= v && v <= high[k])
+                })
+            })
+            .collect())
+    }
+
+    /// Approximate heap bytes (rows + index overhead).
+    pub fn byte_size(&self) -> usize {
+        let row_bytes: usize = self
+            .rows
+            .iter()
+            .map(|r| {
+                24 + r
+                    .iter()
+                    .map(|v| match v {
+                        Value::Scalar(Scalar::String(s)) => 24 + s.len(),
+                        _ => 16,
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        let index_bytes: usize = self
+            .indexes
+            .iter()
+            .map(|(k, idx)| idx.len() * (k.len() * 8 + 40))
+            .sum();
+        row_bytes + index_bytes
+    }
+}
+
+fn index_key(row: &Row, cols: &[usize]) -> Option<Vec<i64>> {
+    cols.iter().map(|&c| row[c].as_i64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let mut t = Table::new(
+            "people",
+            vec![
+                ColumnDef {
+                    name: "id".into(),
+                    ty: ScalarType::Int64,
+                },
+                ColumnDef {
+                    name: "name".into(),
+                    ty: ScalarType::String,
+                },
+                ColumnDef {
+                    name: "score".into(),
+                    ty: ScalarType::Float64,
+                },
+            ],
+        )
+        .unwrap();
+        for (id, name, score) in [(1i64, "ada", 9.5), (2, "grace", 9.9), (3, "edsger", 9.1)] {
+            t.insert(vec![Value::from(id), Value::from(name), Value::from(score)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let t = people();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.rows()[1][1], Value::from("grace"));
+    }
+
+    #[test]
+    fn schema_validation() {
+        let mut t = people();
+        assert!(t.insert(vec![Value::from(1i64)]).is_err());
+        assert!(t
+            .insert(vec![Value::from("x"), Value::from("y"), Value::from(1.0)])
+            .is_err());
+        assert!(Table::new("t", vec![]).is_err());
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let mut t = people();
+        t.insert(vec![Value::from(4i64), Value::from("kay"), Value::from(9i64)])
+            .unwrap();
+        assert_eq!(t.rows()[3][2].as_f64(), Some(9.0));
+    }
+
+    #[test]
+    fn indexed_lookup_and_range() {
+        let mut t = people();
+        t.create_index(&["id"]).unwrap();
+        let hits = t.lookup(&["id"], &[2]).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0][1], Value::from("grace"));
+        assert!(t.lookup(&["id"], &[99]).unwrap().is_empty());
+        let hits = t.range(&["id"], &[2], &[3]).unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn unindexed_lookup_falls_back_to_scan() {
+        let t = people();
+        let hits = t.lookup(&["id"], &[3]).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0][1], Value::from("edsger"));
+    }
+
+    #[test]
+    fn index_maintained_on_insert() {
+        let mut t = people();
+        t.create_index(&["id"]).unwrap();
+        t.insert(vec![Value::from(9i64), Value::from("alan"), Value::from(8.8)])
+            .unwrap();
+        assert_eq!(t.lookup(&["id"], &[9]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn nulls_are_storable_but_not_indexed() {
+        let mut t = people();
+        t.create_index(&["id"]).unwrap();
+        t.insert(vec![Value::Null, Value::from("ghost"), Value::from(0.0)])
+            .unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(t.lookup(&["id"], &[0]).unwrap().is_empty());
+    }
+}

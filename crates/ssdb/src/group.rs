@@ -1,0 +1,214 @@
+//! Observation grouping: linking detections of the same object across
+//! epochs into trajectories (the benchmark's "group" level, SS-DB Q7–Q9).
+
+use crate::detect::Observation;
+
+/// A cross-epoch group: one observation per epoch where the object was
+/// detected.
+#[derive(Debug, Clone)]
+pub struct ObsGroup {
+    /// Group id.
+    pub id: usize,
+    /// `(epoch, observation)` members, ascending by epoch.
+    pub members: Vec<(usize, Observation)>,
+}
+
+impl ObsGroup {
+    /// Number of epochs the object was seen in.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the group is empty (never constructed in practice).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Mean per-epoch displacement (a velocity estimate), or (0, 0) for a
+    /// single-epoch group.
+    pub fn velocity(&self) -> (f64, f64) {
+        if self.members.len() < 2 {
+            return (0.0, 0.0);
+        }
+        let first = &self.members[0];
+        let last = &self.members[self.members.len() - 1];
+        let d_epoch = (last.0 - first.0) as f64;
+        (
+            (last.1.x.mean - first.1.x.mean) / d_epoch,
+            (last.1.y.mean - first.1.y.mean) / d_epoch,
+        )
+    }
+
+    /// Total path length across epochs.
+    pub fn path_length(&self) -> f64 {
+        self.members
+            .windows(2)
+            .map(|w| w[0].1.distance(&w[1].1))
+            .sum()
+    }
+
+    /// Mean flux of the members.
+    pub fn mean_flux(&self) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        self.members.iter().map(|(_, o)| o.flux.mean).sum::<f64>() / self.members.len() as f64
+    }
+}
+
+/// Grouping parameters.
+#[derive(Debug, Clone)]
+pub struct GroupParams {
+    /// Maximum per-epoch movement (pixels) for two observations to link.
+    pub max_motion: f64,
+}
+
+impl Default for GroupParams {
+    fn default() -> Self {
+        GroupParams { max_motion: 4.0 }
+    }
+}
+
+/// Links per-epoch observation lists into groups by greedy
+/// nearest-neighbor chaining: each group is seeded in the earliest epoch it
+/// appears and extended epoch-by-epoch with the nearest unclaimed
+/// observation within `max_motion × epoch gap`.
+pub fn group_observations(per_epoch: &[Vec<Observation>], params: &GroupParams) -> Vec<ObsGroup> {
+    let mut claimed: Vec<Vec<bool>> = per_epoch.iter().map(|v| vec![false; v.len()]).collect();
+    let mut groups = Vec::new();
+
+    for seed_epoch in 0..per_epoch.len() {
+        for seed_idx in 0..per_epoch[seed_epoch].len() {
+            if claimed[seed_epoch][seed_idx] {
+                continue;
+            }
+            claimed[seed_epoch][seed_idx] = true;
+            let mut members = vec![(seed_epoch, per_epoch[seed_epoch][seed_idx].clone())];
+            let mut last = per_epoch[seed_epoch][seed_idx].clone();
+            let mut last_epoch = seed_epoch;
+            for epoch in seed_epoch + 1..per_epoch.len() {
+                let gap = (epoch - last_epoch) as f64;
+                let best = per_epoch[epoch]
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !claimed[epoch][*i])
+                    .map(|(i, o)| (i, last.distance(o)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                if let Some((i, dist)) = best {
+                    if dist <= params.max_motion * gap {
+                        claimed[epoch][i] = true;
+                        last = per_epoch[epoch][i].clone();
+                        last_epoch = epoch;
+                        members.push((epoch, last.clone()));
+                    }
+                }
+            }
+            groups.push(ObsGroup {
+                id: groups.len(),
+                members,
+            });
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidb_core::uncertain::Uncertain;
+
+    fn obs(x: f64, y: f64) -> Observation {
+        Observation {
+            id: 0,
+            x: Uncertain::new(x, 0.2),
+            y: Uncertain::new(y, 0.2),
+            flux: Uncertain::new(100.0, 5.0),
+            npix: 5,
+            peak: 40.0,
+        }
+    }
+
+    #[test]
+    fn links_moving_object_across_epochs() {
+        // One object moving +2 px/epoch in x; one stationary.
+        let per_epoch = vec![
+            vec![obs(10.0, 10.0), obs(50.0, 50.0)],
+            vec![obs(12.0, 10.0), obs(50.0, 50.0)],
+            vec![obs(14.1, 10.0), obs(50.1, 49.9)],
+        ];
+        let groups = group_observations(&per_epoch, &GroupParams::default());
+        assert_eq!(groups.len(), 2);
+        let mover = groups.iter().find(|g| g.members[0].1.x.mean < 20.0).unwrap();
+        assert_eq!(mover.len(), 3);
+        let (vx, vy) = mover.velocity();
+        assert!((vx - 2.05).abs() < 0.1, "vx {vx}");
+        assert!(vy.abs() < 0.1);
+        assert!(mover.path_length() > 4.0);
+    }
+
+    #[test]
+    fn distant_objects_stay_separate() {
+        let per_epoch = vec![vec![obs(10.0, 10.0)], vec![obs(40.0, 40.0)]];
+        let groups = group_observations(&per_epoch, &GroupParams::default());
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 1);
+    }
+
+    #[test]
+    fn gap_epochs_allow_wider_match() {
+        // Object missing in epoch 1 (cloud), reappears in epoch 2 six
+        // pixels away: within 4 px/epoch × 2 epochs.
+        let per_epoch = vec![vec![obs(10.0, 10.0)], vec![], vec![obs(16.0, 10.0)]];
+        let groups = group_observations(&per_epoch, &GroupParams::default());
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+    }
+
+    #[test]
+    fn each_observation_claimed_once() {
+        let per_epoch = vec![
+            vec![obs(10.0, 10.0), obs(11.5, 10.0)],
+            vec![obs(10.5, 10.0)],
+        ];
+        let groups = group_observations(&per_epoch, &GroupParams::default());
+        let total: usize = groups.iter().map(ObsGroup::len).sum();
+        assert_eq!(total, 3, "every observation in exactly one group");
+    }
+
+    #[test]
+    fn ground_truth_recovery_end_to_end() {
+        use crate::detect::{detect, DetectParams};
+        use crate::gen::{generate_stack, ImageSpec};
+        let spec = ImageSpec {
+            size: 96,
+            n_sources: 6,
+            min_flux: 800.0,
+            noise_sigma: 0.8,
+            seed: 31,
+            ..Default::default()
+        };
+        let stack = generate_stack(&spec, 3);
+        let per_epoch: Vec<Vec<Observation>> = stack
+            .epochs
+            .iter()
+            .map(|img| detect(img, &DetectParams::default()).unwrap())
+            .collect();
+        let groups = group_observations(&per_epoch, &GroupParams::default());
+        let full_groups = groups.iter().filter(|g| g.len() == 3).count();
+        assert!(
+            full_groups >= 4,
+            "most sources tracked across all epochs: {full_groups} of 6"
+        );
+    }
+
+    #[test]
+    fn group_stats() {
+        let g = ObsGroup {
+            id: 0,
+            members: vec![(0, obs(0.0, 0.0)), (1, obs(3.0, 4.0))],
+        };
+        assert_eq!(g.path_length(), 5.0);
+        assert_eq!(g.velocity(), (3.0, 4.0));
+        assert_eq!(g.mean_flux(), 100.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! The science benchmark query suite (§2.15).
+//!
+//! The paper promises "a science benchmark … this collection of tasks"; the
+//! realized benchmark from this group was SS-DB, whose structure we follow:
+//! three data levels — raw imagery, cooked imagery + observations, and
+//! observation groups — with three queries each:
+//!
+//! | level | queries |
+//! |---|---|
+//! | raw | Q1 slab average, Q2 recook a region, Q3 regrid pyramid |
+//! | observations | Q4 detect + count, Q5 spatial box, Q6 uncertain flux filter |
+//! | groups | Q7 trajectory count, Q8 fast movers, Q9 uncertain cross-epoch join |
+//!
+//! [`relational`] re-expresses the array-resident queries (Q1/Q3/Q5)
+//! against the table simulation for the E10 per-query comparison.
+
+use crate::cooking::{calibrate, Calibration};
+use crate::detect::{detect, DetectParams, Observation};
+use crate::gen::{generate_stack, ImageSpec, Stack};
+use crate::group::{group_observations, GroupParams, ObsGroup};
+use scidb_core::error::Result;
+use scidb_core::geometry::HyperRect;
+use scidb_core::ops;
+use scidb_core::registry::Registry;
+
+/// One query's outcome: a scalar summary plus work accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Query name (`Q1`…`Q9`).
+    pub name: &'static str,
+    /// Scalar result (count / average — enough to check plausibility and
+    /// compare engines).
+    pub value: f64,
+    /// Cells or records touched.
+    pub cells: usize,
+}
+
+/// A prepared benchmark instance: generated stack, cooked epochs,
+/// detections, and groups.
+pub struct Benchmark {
+    /// The generated stack.
+    pub stack: Stack,
+    /// Calibrated epochs.
+    pub cooked: Vec<scidb_core::array::Array>,
+    /// Per-epoch detections.
+    pub observations: Vec<Vec<Observation>>,
+    /// Cross-epoch groups.
+    pub groups: Vec<ObsGroup>,
+    registry: Registry,
+}
+
+impl Benchmark {
+    /// Generates and fully prepares a benchmark instance.
+    pub fn prepare(spec: &ImageSpec, n_epochs: usize) -> Result<Benchmark> {
+        let stack = generate_stack(spec, n_epochs);
+        let cal = Calibration {
+            dark_offset: 0.0,
+            gain: 1.0,
+        };
+        let cooked: Vec<_> = stack
+            .epochs
+            .iter()
+            .map(|e| calibrate(e, &cal))
+            .collect::<Result<_>>()?;
+        let params = DetectParams {
+            noise_sigma: spec.noise_sigma,
+            ..Default::default()
+        };
+        let observations: Vec<Vec<Observation>> = cooked
+            .iter()
+            .map(|img| detect(img, &params))
+            .collect::<Result<_>>()?;
+        let groups = group_observations(&observations, &GroupParams::default());
+        Ok(Benchmark {
+            stack,
+            cooked,
+            observations,
+            groups,
+            registry: Registry::with_builtins(),
+        })
+    }
+
+    /// The benchmark's function registry (available to custom queries).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Q1: average raw pixel over a slab, across all epochs (vectorized
+    /// slab scan).
+    pub fn q1_raw_slab(&self, region: &HyperRect) -> Result<QueryResult> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for epoch in &self.stack.epochs {
+            let (s, c) = ops::dense::slab_sum_f64(epoch, 0, region)?;
+            sum += s;
+            n += c;
+        }
+        Ok(QueryResult {
+            name: "Q1",
+            value: if n == 0 { 0.0 } else { sum / n as f64 },
+            cells: n,
+        })
+    }
+
+    /// Q2: recook (calibrate) a region of one raw epoch with different
+    /// calibration constants — the §2.11 "different cooking step" case.
+    pub fn q2_recook(&self, epoch: usize, region: &HyperRect, cal: &Calibration) -> Result<QueryResult> {
+        let mut out_sum = 0.0;
+        let mut n = 0usize;
+        for (_, rec) in self.stack.epochs[epoch].cells_in(region) {
+            if let Some(v) = rec[0].as_f64() {
+                out_sum += (v - cal.dark_offset) * cal.gain;
+                n += 1;
+            }
+        }
+        Ok(QueryResult {
+            name: "Q2",
+            value: if n == 0 { 0.0 } else { out_sum / n as f64 },
+            cells: n,
+        })
+    }
+
+    /// Q3: regrid one cooked epoch by `factor` (resolution pyramid level,
+    /// vectorized mean-regrid kernel).
+    pub fn q3_regrid(&self, epoch: usize, factor: i64) -> Result<QueryResult> {
+        let img = &self.cooked[epoch];
+        let out = ops::dense::regrid_mean_f64(img, 0, &[factor, factor])?;
+        Ok(QueryResult {
+            name: "Q3",
+            value: out.cell_count() as f64,
+            cells: img.cell_count(),
+        })
+    }
+
+    /// Q4: number of observations in one epoch.
+    pub fn q4_detect_count(&self, epoch: usize) -> QueryResult {
+        QueryResult {
+            name: "Q4",
+            value: self.observations[epoch].len() as f64,
+            cells: self.cooked[epoch].cell_count(),
+        }
+    }
+
+    /// Q5: observations of one epoch inside a spatial box.
+    pub fn q5_obs_in_box(&self, epoch: usize, region: &HyperRect) -> QueryResult {
+        let hits = self.observations[epoch]
+            .iter()
+            .filter(|o| {
+                let (x, y) = o.center();
+                region.contains(&[x.round() as i64, y.round() as i64])
+            })
+            .count();
+        QueryResult {
+            name: "Q5",
+            value: hits as f64,
+            cells: self.observations[epoch].len(),
+        }
+    }
+
+    /// Q6: observations whose flux exceeds `f0` with probability ≥ `p` —
+    /// the §2.13 uncertainty-aware filter.
+    pub fn q6_bright_obs(&self, epoch: usize, f0: f64, p: f64) -> QueryResult {
+        let hits = self.observations[epoch]
+            .iter()
+            .filter(|o| 1.0 - o.flux.cdf(f0) >= p)
+            .count();
+        QueryResult {
+            name: "Q6",
+            value: hits as f64,
+            cells: self.observations[epoch].len(),
+        }
+    }
+
+    /// Q7: number of cross-epoch groups seen in at least `min_epochs`.
+    pub fn q7_group_count(&self, min_epochs: usize) -> QueryResult {
+        let n = self
+            .groups
+            .iter()
+            .filter(|g| g.len() >= min_epochs)
+            .count();
+        QueryResult {
+            name: "Q7",
+            value: n as f64,
+            cells: self.groups.iter().map(ObsGroup::len).sum(),
+        }
+    }
+
+    /// Q8: groups moving faster than `v_min` pixels/epoch.
+    pub fn q8_fast_movers(&self, v_min: f64) -> QueryResult {
+        let n = self
+            .groups
+            .iter()
+            .filter(|g| {
+                let (vx, vy) = g.velocity();
+                vx.hypot(vy) > v_min && g.len() >= 2
+            })
+            .count();
+        QueryResult {
+            name: "Q8",
+            value: n as f64,
+            cells: self.groups.len(),
+        }
+    }
+
+    /// Q9: uncertain cross-epoch join — pairs of observations in epochs
+    /// `a`, `b` matching within `k` combined sigmas (§2.13 PanSTARRS).
+    pub fn q9_uncertain_join(&self, a: usize, b: usize, k: f64) -> QueryResult {
+        let mut pairs = 0usize;
+        for oa in &self.observations[a] {
+            for ob in &self.observations[b] {
+                if oa.matches_within(ob, k) {
+                    pairs += 1;
+                }
+            }
+        }
+        QueryResult {
+            name: "Q9",
+            value: pairs as f64,
+            cells: self.observations[a].len() * self.observations[b].len(),
+        }
+    }
+
+    /// Runs the full suite at default parameters.
+    pub fn run_all(&self) -> Result<Vec<QueryResult>> {
+        let n = self.stack.spec.size;
+        let slab = HyperRect::new(vec![1, 1], vec![n / 4, n]).unwrap();
+        let box_q = HyperRect::new(vec![n / 4, n / 4], vec![3 * n / 4, 3 * n / 4]).unwrap();
+        Ok(vec![
+            self.q1_raw_slab(&slab)?,
+            self.q2_recook(
+                0,
+                &slab,
+                &Calibration {
+                    dark_offset: 0.5,
+                    gain: 1.1,
+                },
+            )?,
+            self.q3_regrid(0, 4)?,
+            self.q4_detect_count(0),
+            self.q5_obs_in_box(0, &box_q),
+            self.q6_bright_obs(0, self.stack.spec.min_flux, 0.95),
+            self.q7_group_count(2),
+            self.q8_fast_movers(0.5),
+            self.q9_uncertain_join(0, self.stack.epochs.len() - 1, 3.0),
+        ])
+    }
+}
+
+/// Relational arms of the array-resident queries, for the E10 comparison.
+pub mod relational {
+    use super::*;
+    use scidb_relational::ArrayTable;
+
+    /// Q1 against the table simulation: slab via index range + residual.
+    pub fn q1_raw_slab(tables: &[ArrayTable], region: &HyperRect) -> Result<QueryResult> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for t in tables {
+            for row in t.slab(region)? {
+                if let Some(v) = row.last().and_then(|v| v.as_f64()) {
+                    sum += v;
+                    n += 1;
+                }
+            }
+        }
+        Ok(QueryResult {
+            name: "Q1(rel)",
+            value: if n == 0 { 0.0 } else { sum / n as f64 },
+            cells: n,
+        })
+    }
+
+    /// Q3 against the table simulation: GROUP BY computed block ids.
+    pub fn q3_regrid(
+        table: &ArrayTable,
+        factor: i64,
+        registry: &Registry,
+    ) -> Result<QueryResult> {
+        let out = table.regrid(&[factor, factor], "avg", "flux", registry)?;
+        Ok(QueryResult {
+            name: "Q3(rel)",
+            value: out.len() as f64,
+            cells: table.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidb_relational::ArrayTable;
+
+    fn bench() -> Benchmark {
+        Benchmark::prepare(
+            &ImageSpec {
+                size: 96,
+                n_sources: 10,
+                min_flux: 600.0,
+                noise_sigma: 0.8,
+                seed: 77,
+                ..Default::default()
+            },
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_suite_runs_and_is_plausible() {
+        let b = bench();
+        let results = b.run_all().unwrap();
+        assert_eq!(results.len(), 9);
+        let by_name = |n: &str| results.iter().find(|r| r.name == n).unwrap().value;
+        // Q1: background-dominated average near zero.
+        assert!(by_name("Q1").abs() < 5.0);
+        // Q4: roughly the planted source count.
+        assert!((by_name("Q4") - 10.0).abs() <= 3.0, "Q4 {}", by_name("Q4"));
+        // Q7: most sources tracked in ≥2 epochs.
+        assert!(by_name("Q7") >= 6.0, "Q7 {}", by_name("Q7"));
+        // Q9: at least as many matches as tracked groups.
+        assert!(by_name("Q9") >= 5.0, "Q9 {}", by_name("Q9"));
+    }
+
+    #[test]
+    fn q2_recook_changes_values() {
+        let b = bench();
+        let slab = HyperRect::new(vec![1, 1], vec![24, 96]).unwrap();
+        let base = b.q1_raw_slab(&slab).unwrap().value;
+        let recooked = b
+            .q2_recook(
+                0,
+                &slab,
+                &Calibration {
+                    dark_offset: 10.0,
+                    gain: 1.0,
+                },
+            )
+            .unwrap()
+            .value;
+        assert!((base - recooked).abs() > 5.0, "{base} vs {recooked}");
+    }
+
+    #[test]
+    fn q6_threshold_monotone() {
+        let b = bench();
+        let loose = b.q6_bright_obs(0, 100.0, 0.5).value;
+        let tight = b.q6_bright_obs(0, 2000.0, 0.95).value;
+        assert!(loose >= tight);
+    }
+
+    #[test]
+    fn relational_arms_agree_with_array_arms() {
+        let b = bench();
+        let slab = HyperRect::new(vec![1, 1], vec![24, 96]).unwrap();
+        let tables: Vec<ArrayTable> = b
+            .stack
+            .epochs
+            .iter()
+            .map(|e| ArrayTable::from_array(e).unwrap())
+            .collect();
+        let rel = relational::q1_raw_slab(&tables, &slab).unwrap();
+        let arr = b.q1_raw_slab(&slab).unwrap();
+        assert_eq!(rel.cells, arr.cells);
+        assert!((rel.value - arr.value).abs() < 1e-9);
+
+        let r = Registry::with_builtins();
+        let t0 = ArrayTable::from_array(&b.cooked[0]).unwrap();
+        let rel3 = relational::q3_regrid(&t0, 4, &r).unwrap();
+        let arr3 = b.q3_regrid(0, 4).unwrap();
+        assert_eq!(rel3.value, arr3.value);
+    }
+
+    #[test]
+    fn q5_box_bounded_by_total() {
+        let b = bench();
+        let all = HyperRect::new(vec![1, 1], vec![96, 96]).unwrap();
+        let r = b.q5_obs_in_box(0, &all);
+        assert_eq!(r.value as usize, b.observations[0].len());
+    }
+}

@@ -1,0 +1,255 @@
+//! Persistence for no-overwrite updatable arrays (§2.5).
+//!
+//! A [`DeltaStore`] writes each committed history version of an
+//! [`UpdatableArray`] as its own set of immutable buckets (the physical
+//! counterpart of "every transaction adds new array values for the next
+//! value of the history dimension") and answers time-travel reads by
+//! probing version layers newest-first. Experiment E8 measures how the
+//! probe cost grows with history depth.
+
+use crate::bucket::CodecPolicy;
+use crate::disk::Disk;
+use crate::manager::StorageManager;
+use scidb_core::array::Array;
+use scidb_core::error::{Error, Result};
+use scidb_core::geometry::HyperRect;
+use scidb_core::history::UpdatableArray;
+use scidb_core::schema::ArraySchema;
+use scidb_core::value::Record;
+use std::sync::Arc;
+
+/// Persistent store of an updatable array's history layers.
+pub struct DeltaStore {
+    mgr: StorageManager,
+    hist_dim: usize,
+    persisted_through: i64,
+}
+
+impl DeltaStore {
+    /// Creates a store for the given updatable schema.
+    pub fn new(disk: Arc<dyn Disk>, schema: &ArraySchema, policy: CodecPolicy) -> Result<Self> {
+        let schema = if schema.is_updatable() {
+            schema.clone()
+        } else {
+            schema.clone().updatable()?
+        };
+        let hist_dim = schema
+            .dim_index(scidb_core::schema::HISTORY_DIM)
+            .ok_or_else(|| Error::schema("updatable schema lacks history dimension"))?;
+        Ok(DeltaStore {
+            mgr: StorageManager::new(disk, Arc::new(schema), policy),
+            hist_dim,
+            persisted_through: 0,
+        })
+    }
+
+    /// The highest history version persisted so far.
+    pub fn persisted_through(&self) -> i64 {
+        self.persisted_through
+    }
+
+    /// The underlying storage manager (for stats).
+    pub fn manager(&self) -> &StorageManager {
+        &self.mgr
+    }
+
+    /// Persists all not-yet-persisted history layers of `array`.
+    pub fn sync_from(&mut self, array: &UpdatableArray) -> Result<usize> {
+        let mut written = 0;
+        let target = array.current_history();
+        if target <= self.persisted_through {
+            return Ok(0);
+        }
+        // Select chunks whose history coordinate is new. The history
+        // dimension has stride 1, so each chunk belongs to one version.
+        for chunk in array.array().chunks().values() {
+            if chunk.is_empty() {
+                continue;
+            }
+            let h = chunk.rect().low[self.hist_dim];
+            debug_assert_eq!(h, chunk.rect().high[self.hist_dim]);
+            if h > self.persisted_through && h <= target {
+                self.mgr.write_chunk(chunk)?;
+                written += 1;
+            }
+        }
+        self.persisted_through = target;
+        Ok(written)
+    }
+
+    /// Reads one cell as of history `h`, probing layers newest-first. Each
+    /// probe is a disk-backed point read; cost grows with the number of
+    /// versions that must be probed before a delta is found.
+    pub fn read_cell_at(&self, coords: &[i64], h: i64) -> Result<(Option<Record>, usize)> {
+        let h = h.min(self.persisted_through);
+        let mut probes = 0;
+        for hh in (1..=h).rev() {
+            let full = self.with_history(coords, hh);
+            let rect = HyperRect::cell(&full);
+            probes += 1;
+            let (arr, _) = self.mgr.read_region(&rect)?;
+            if let Some(rec) = arr.get_cell(&full) {
+                return Ok((Some(rec), probes));
+            }
+        }
+        Ok((None, probes))
+    }
+
+    /// Materializes a full snapshot as of history `h` (latest delta wins
+    /// per cell; deletion flags are all-NULL records and resolve to NULL
+    /// records, matching the in-memory tombstone behaviour only when the
+    /// caller tracks tombstones — the in-memory [`UpdatableArray`] remains
+    /// the source of truth for deletes).
+    pub fn snapshot_at(&self, h: i64) -> Result<Array> {
+        let mut dims = self.mgr.schema().dims().to_vec();
+        let hist = dims.remove(self.hist_dim);
+        debug_assert_eq!(hist.name, scidb_core::schema::HISTORY_DIM);
+        let schema = ArraySchema::new(
+            format!("{}@{h}", self.mgr.schema().name()),
+            self.mgr.schema().attrs().to_vec(),
+            dims,
+        )?;
+        let mut out = Array::new(schema);
+        use std::collections::HashMap;
+        let mut latest: HashMap<Vec<i64>, (i64, Record)> = HashMap::new();
+        for meta in self.mgr.bucket_metas() {
+            let hh = meta.rect.low[self.hist_dim];
+            if hh > h.min(self.persisted_through) {
+                continue;
+            }
+            let chunk = self.mgr.read_bucket(meta.key)?;
+            for (coords, idx) in chunk.iter_present() {
+                let mut base = coords.clone();
+                base.remove(self.hist_dim);
+                let rec = chunk.record_at(idx);
+                match latest.get(&base) {
+                    Some((prev, _)) if *prev >= hh => {}
+                    _ => {
+                        latest.insert(base, (hh, rec));
+                    }
+                }
+            }
+        }
+        for (base, (_, rec)) in latest {
+            out.set_cell(&base, rec)?;
+        }
+        Ok(out)
+    }
+
+    fn with_history(&self, coords: &[i64], h: i64) -> Vec<i64> {
+        let mut full = Vec::with_capacity(coords.len() + 1);
+        full.extend_from_slice(&coords[..self.hist_dim.min(coords.len())]);
+        full.push(h);
+        if self.hist_dim < coords.len() {
+            full.extend_from_slice(&coords[self.hist_dim..]);
+        }
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use scidb_core::history::Transaction;
+    use scidb_core::schema::SchemaBuilder;
+    use scidb_core::value::{record, ScalarType, Value};
+
+    fn updatable() -> UpdatableArray {
+        let schema = SchemaBuilder::new("U")
+            .attr("v", ScalarType::Float64)
+            .dim("I", 8)
+            .dim("J", 8)
+            .updatable()
+            .build()
+            .unwrap();
+        UpdatableArray::new(schema).unwrap()
+    }
+
+    fn store_for(a: &UpdatableArray) -> DeltaStore {
+        DeltaStore::new(
+            Arc::new(MemDisk::new()),
+            a.array().schema(),
+            CodecPolicy::default_policy(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sync_persists_each_version_once() {
+        let mut a = updatable();
+        let mut store = store_for(&a);
+        let mut t = Transaction::new();
+        for i in 1..=8i64 {
+            t.put(&[i, i], record([Value::from(i as f64)]));
+        }
+        a.commit(t).unwrap();
+        let w1 = store.sync_from(&a).unwrap();
+        assert!(w1 >= 1);
+        assert_eq!(store.persisted_through(), 1);
+        // Nothing new: no writes.
+        assert_eq!(store.sync_from(&a).unwrap(), 0);
+
+        a.commit_put(&[1, 1], record([Value::from(99.0)])).unwrap();
+        let w2 = store.sync_from(&a).unwrap();
+        assert!(w2 >= 1);
+        assert_eq!(store.persisted_through(), 2);
+    }
+
+    #[test]
+    fn point_time_travel_reads() {
+        let mut a = updatable();
+        let mut store = store_for(&a);
+        a.commit_put(&[2, 2], record([Value::from(1.0)])).unwrap();
+        a.commit_put(&[2, 2], record([Value::from(2.0)])).unwrap();
+        a.commit_put(&[3, 3], record([Value::from(9.0)])).unwrap();
+        store.sync_from(&a).unwrap();
+
+        let (v, probes) = store.read_cell_at(&[2, 2], 3).unwrap();
+        assert_eq!(v, Some(vec![Value::from(2.0)]));
+        assert_eq!(probes, 2, "h=3 misses, h=2 hits");
+        let (v, _) = store.read_cell_at(&[2, 2], 1).unwrap();
+        assert_eq!(v, Some(vec![Value::from(1.0)]));
+        let (v, probes) = store.read_cell_at(&[5, 5], 3).unwrap();
+        assert_eq!(v, None);
+        assert_eq!(probes, 3, "full scan of history for missing cells");
+    }
+
+    #[test]
+    fn snapshot_matches_in_memory() {
+        let mut a = updatable();
+        let mut store = store_for(&a);
+        a.commit_put(&[1, 1], record([Value::from(1.0)])).unwrap();
+        let mut t = Transaction::new();
+        t.put(&[1, 1], record([Value::from(5.0)]));
+        t.put(&[4, 4], record([Value::from(6.0)]));
+        a.commit(t).unwrap();
+        store.sync_from(&a).unwrap();
+
+        let snap = store.snapshot_at(2).unwrap();
+        let mem = a.snapshot_at(2).unwrap();
+        assert!(snap.same_cells(&mem));
+        let snap1 = store.snapshot_at(1).unwrap();
+        assert_eq!(snap1.cell_count(), 1);
+        assert_eq!(snap1.get_f64(0, &[1, 1]), Some(1.0));
+    }
+
+    #[test]
+    fn probe_cost_grows_with_depth() {
+        let mut a = updatable();
+        let mut store = store_for(&a);
+        a.commit_put(&[1, 1], record([Value::from(0.0)])).unwrap();
+        for i in 0..16 {
+            a.commit_put(&[2, 2], record([Value::from(i as f64)]))
+                .unwrap();
+        }
+        store.sync_from(&a).unwrap();
+        // Cell [1,1] was written only at h=1: reading it at h=17 probes all
+        // 17 layers.
+        let (_, probes) = store.read_cell_at(&[1, 1], 17).unwrap();
+        assert_eq!(probes, 17);
+        // Cell [2,2] was written at h=17: one probe.
+        let (_, probes) = store.read_cell_at(&[2, 2], 17).unwrap();
+        assert_eq!(probes, 1);
+    }
+}

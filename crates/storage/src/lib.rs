@@ -1,0 +1,40 @@
+//! # scidb-storage
+//!
+//! The node-local storage manager of SciDB-rs (paper §2.8, §2.5):
+//!
+//! * [`disk`] — metered block storage ([`disk::MemDisk`],
+//!   [`disk::FileDisk`]); blocks are immutable (no-overwrite at the
+//!   physical layer).
+//! * [`compress`] — RLE, delta-varint, and XOR-float codecs; "what
+//!   compression algorithms to employ" is one of the paper's storage
+//!   optimization questions.
+//! * [`bucket`] — self-describing compressed bucket payloads (one chunk per
+//!   bucket), with the §2.13 constant-sigma fast path.
+//! * [`rtree`] — the R-tree that "keeps track of the size of the various
+//!   buckets".
+//! * [`manager`] — the bucket catalog + region reads with
+//!   read-amplification accounting.
+//! * [`loader`] — the streaming bulk loader with a staging-memory budget.
+//! * [`merge`] — Vertica-style background merging of small buckets.
+//! * [`delta`] — persistence of updatable-array history layers and
+//!   time-travel reads.
+
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod compress;
+pub mod delta;
+pub mod disk;
+pub mod loader;
+pub mod manager;
+pub mod merge;
+pub mod rtree;
+
+pub use bucket::{deserialize_chunk, serialize_chunk, CodecPolicy};
+pub use compress::Codec;
+pub use delta::DeltaStore;
+pub use disk::{BlockId, Disk, FileDisk, IoStats, MemDisk};
+pub use loader::{LoadStats, StreamLoader};
+pub use manager::{BucketMeta, ReadStats, StorageManager};
+pub use merge::{merge_pass, BackgroundMerger, MergeStats};
+pub use rtree::RTree;

@@ -1,0 +1,317 @@
+//! The node-local storage manager (§2.8).
+//!
+//! "Within a node, the storage manager must decompose a partition into disk
+//! blocks. … within a node an array partition is divided into variable size
+//! rectangular buckets. An R-tree keeps track of the size of the various
+//! buckets." Buckets are immutable compressed blocks (no-overwrite, §2.5);
+//! the background merge (see [`crate::merge`]) combines small buckets into
+//! larger ones "in a style similar to that employed by Vertica".
+
+use crate::bucket::{deserialize_chunk, serialize_chunk, CodecPolicy};
+use crate::disk::{BlockId, Disk, IoStats};
+use crate::rtree::RTree;
+use scidb_core::array::Array;
+use scidb_core::chunk::Chunk;
+use scidb_core::error::{Error, Result};
+use scidb_core::geometry::HyperRect;
+use scidb_core::schema::ArraySchema;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Catalog entry for one bucket.
+#[derive(Debug, Clone)]
+pub struct BucketMeta {
+    /// Bucket key in the manager's catalog.
+    pub key: u64,
+    /// Disk block holding the payload.
+    pub block: BlockId,
+    /// Covering rectangle.
+    pub rect: HyperRect,
+    /// Present cells.
+    pub cells: usize,
+    /// Compressed payload bytes.
+    pub bytes: usize,
+}
+
+/// Statistics from a region read, for the E3/E4 experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReadStats {
+    /// Buckets touched.
+    pub buckets: usize,
+    /// Compressed bytes read from disk.
+    pub bytes_read: u64,
+    /// Cells returned to the caller.
+    pub cells_returned: usize,
+    /// Cells decoded (including those clipped away) — `decoded /
+    /// returned` is the read amplification the background merge reduces.
+    pub cells_decoded: usize,
+}
+
+/// The per-node storage manager: an R-tree-indexed collection of immutable
+/// compressed buckets on one disk.
+pub struct StorageManager {
+    disk: Arc<dyn Disk>,
+    schema: Arc<ArraySchema>,
+    policy: CodecPolicy,
+    index: RTree<u64>,
+    buckets: HashMap<u64, BucketMeta>,
+    next_key: u64,
+}
+
+impl std::fmt::Debug for StorageManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageManager")
+            .field("schema", &self.schema.name())
+            .field("buckets", &self.buckets.len())
+            .finish()
+    }
+}
+
+impl StorageManager {
+    /// Creates a manager for arrays of `schema` on `disk`.
+    pub fn new(disk: Arc<dyn Disk>, schema: Arc<ArraySchema>, policy: CodecPolicy) -> Self {
+        StorageManager {
+            disk,
+            schema,
+            policy,
+            index: RTree::new(),
+            buckets: HashMap::new(),
+            next_key: 0,
+        }
+    }
+
+    /// The managed schema.
+    pub fn schema(&self) -> &ArraySchema {
+        &self.schema
+    }
+
+    /// The codec policy.
+    pub fn policy(&self) -> CodecPolicy {
+        self.policy
+    }
+
+    /// The disk (shared with experiments for I/O accounting).
+    pub fn disk(&self) -> &Arc<dyn Disk> {
+        &self.disk
+    }
+
+    /// Writes one chunk as a new immutable bucket; returns its key.
+    pub fn write_chunk(&mut self, chunk: &Chunk) -> Result<u64> {
+        let payload = serialize_chunk(chunk, self.policy)?;
+        let block = self.disk.write(&payload)?;
+        let key = self.next_key;
+        self.next_key += 1;
+        let meta = BucketMeta {
+            key,
+            block,
+            rect: chunk.rect().clone(),
+            cells: chunk.present_count(),
+            bytes: payload.len(),
+        };
+        self.index.insert(meta.rect.clone(), key);
+        self.buckets.insert(key, meta);
+        Ok(key)
+    }
+
+    /// Writes every chunk of an array (bulk store).
+    pub fn store_array(&mut self, array: &Array) -> Result<usize> {
+        let mut n = 0;
+        for chunk in array.chunks().values() {
+            if chunk.is_empty() {
+                continue;
+            }
+            self.write_chunk(chunk)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Reads one bucket's chunk.
+    pub fn read_bucket(&self, key: u64) -> Result<Chunk> {
+        let meta = self
+            .buckets
+            .get(&key)
+            .ok_or_else(|| Error::storage(format!("bucket {key} not found")))?;
+        let payload = self.disk.read(meta.block)?;
+        deserialize_chunk(&payload)
+    }
+
+    /// Deletes a bucket (background merge only — user data is never
+    /// removed outside a merge rewrite).
+    pub fn delete_bucket(&mut self, key: u64) -> Result<()> {
+        let meta = self
+            .buckets
+            .remove(&key)
+            .ok_or_else(|| Error::storage(format!("bucket {key} not found")))?;
+        self.index.remove_where(&meta.rect, |&k| k == key);
+        self.disk.delete(meta.block)
+    }
+
+    /// Keys of buckets intersecting `region`.
+    pub fn buckets_in(&self, region: &HyperRect) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.index.search(region).into_iter().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Reads all cells in `region` into an in-memory array, with stats.
+    pub fn read_region(&self, region: &HyperRect) -> Result<(Array, ReadStats)> {
+        let mut out = Array::from_arc(Arc::clone(&self.schema));
+        let mut stats = ReadStats::default();
+        for key in self.buckets_in(region) {
+            let meta = &self.buckets[&key];
+            let chunk = self.read_bucket(key)?;
+            stats.buckets += 1;
+            stats.bytes_read += meta.bytes as u64;
+            stats.cells_decoded += chunk.present_count();
+            for (coords, idx) in chunk.iter_present() {
+                if region.contains(&coords) {
+                    out.set_cell(&coords, chunk.record_at(idx))?;
+                    stats.cells_returned += 1;
+                }
+            }
+        }
+        Ok((out, stats))
+    }
+
+    /// All bucket metadata (sorted by key; for experiments and merge).
+    pub fn bucket_metas(&self) -> Vec<BucketMeta> {
+        let mut v: Vec<BucketMeta> = self.buckets.values().cloned().collect();
+        v.sort_by_key(|m| m.key);
+        v
+    }
+
+    /// Number of live buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total compressed bytes across buckets.
+    pub fn total_bytes(&self) -> usize {
+        self.buckets.values().map(|m| m.bytes).sum()
+    }
+
+    /// Total present cells across buckets.
+    pub fn total_cells(&self) -> usize {
+        self.buckets.values().map(|m| m.cells).sum()
+    }
+
+    /// Disk I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.disk.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use scidb_core::schema::SchemaBuilder;
+    use scidb_core::value::{record, ScalarType, Value};
+
+    fn schema(n: i64, chunk: i64) -> Arc<ArraySchema> {
+        Arc::new(
+            SchemaBuilder::new("A")
+                .attr("v", ScalarType::Float64)
+                .dim_chunked("I", n, chunk)
+                .dim_chunked("J", n, chunk)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn filled_array(schema: &Arc<ArraySchema>) -> Array {
+        let mut a = Array::from_arc(Arc::clone(schema));
+        a.fill_with(|c| record([Value::from((c[0] * 1000 + c[1]) as f64)]))
+            .unwrap();
+        a
+    }
+
+    fn manager(n: i64, chunk: i64) -> (StorageManager, Arc<ArraySchema>) {
+        let s = schema(n, chunk);
+        (
+            StorageManager::new(
+                Arc::new(MemDisk::new()),
+                Arc::clone(&s),
+                CodecPolicy::default_policy(),
+            ),
+            s,
+        )
+    }
+
+    #[test]
+    fn store_and_read_back_full_array() {
+        let (mut mgr, s) = manager(32, 8);
+        let a = filled_array(&s);
+        let n = mgr.store_array(&a).unwrap();
+        assert_eq!(n, 16); // (32/8)^2 chunks
+        assert_eq!(mgr.bucket_count(), 16);
+        assert_eq!(mgr.total_cells(), 1024);
+        let (back, stats) = mgr
+            .read_region(&HyperRect::new(vec![1, 1], vec![32, 32]).unwrap())
+            .unwrap();
+        assert!(back.same_cells(&a));
+        assert_eq!(stats.buckets, 16);
+        assert_eq!(stats.cells_returned, 1024);
+    }
+
+    #[test]
+    fn region_read_touches_only_intersecting_buckets() {
+        let (mut mgr, s) = manager(32, 8);
+        mgr.store_array(&filled_array(&s)).unwrap();
+        mgr.disk().reset_stats();
+        let region = HyperRect::new(vec![1, 1], vec![8, 8]).unwrap();
+        let (out, stats) = mgr.read_region(&region).unwrap();
+        assert_eq!(stats.buckets, 1, "aligned slab reads one bucket");
+        assert_eq!(out.cell_count(), 64);
+        assert_eq!(mgr.io_stats().reads, 1);
+    }
+
+    #[test]
+    fn unaligned_read_shows_amplification() {
+        let (mut mgr, s) = manager(32, 8);
+        mgr.store_array(&filled_array(&s)).unwrap();
+        // A 2x2 region straddling four chunk corners.
+        let region = HyperRect::new(vec![8, 8], vec![9, 9]).unwrap();
+        let (out, stats) = mgr.read_region(&region).unwrap();
+        assert_eq!(out.cell_count(), 4);
+        assert_eq!(stats.buckets, 4);
+        assert_eq!(stats.cells_decoded, 4 * 64);
+        assert_eq!(stats.cells_returned, 4);
+    }
+
+    #[test]
+    fn read_value_correctness() {
+        let (mut mgr, s) = manager(16, 4);
+        mgr.store_array(&filled_array(&s)).unwrap();
+        let region = HyperRect::new(vec![5, 9], vec![5, 9]).unwrap();
+        let (out, _) = mgr.read_region(&region).unwrap();
+        assert_eq!(out.get_f64(0, &[5, 9]), Some(5009.0));
+    }
+
+    #[test]
+    fn delete_bucket_removes_from_index_and_disk() {
+        let (mut mgr, s) = manager(8, 8);
+        mgr.store_array(&filled_array(&s)).unwrap();
+        let keys = mgr.buckets_in(&HyperRect::new(vec![1, 1], vec![8, 8]).unwrap());
+        assert_eq!(keys.len(), 1);
+        mgr.delete_bucket(keys[0]).unwrap();
+        assert_eq!(mgr.bucket_count(), 0);
+        let (out, stats) = mgr
+            .read_region(&HyperRect::new(vec![1, 1], vec![8, 8]).unwrap())
+            .unwrap();
+        assert_eq!(out.cell_count(), 0);
+        assert_eq!(stats.buckets, 0);
+        assert!(mgr.read_bucket(keys[0]).is_err());
+        assert!(mgr.delete_bucket(keys[0]).is_err());
+    }
+
+    #[test]
+    fn empty_chunks_are_skipped_on_store() {
+        let (mut mgr, s) = manager(8, 4);
+        let mut a = Array::from_arc(Arc::clone(&s));
+        a.set_cell(&[1, 1], record([Value::from(1.0)])).unwrap();
+        let n = mgr.store_array(&a).unwrap();
+        assert_eq!(n, 1, "only the non-empty chunk is stored");
+    }
+}

@@ -1,0 +1,63 @@
+//! A minimal AQL shell over the parse-tree pipeline (paper §2.4).
+//!
+//! Reads semicolon-terminated statements from stdin and prints results.
+//! Non-interactive use:
+//!
+//! ```text
+//! echo "define T (v = int) (X = 1:4); create A as T [4];
+//!       insert into A[1] values (7); scan(A);" | cargo run --example aql_shell
+//! ```
+
+use scidb::query::{Database, StmtResult};
+use std::io::BufRead;
+
+fn main() {
+    let mut db = Database::new();
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // Execute once the buffer holds at least one full statement.
+        if !line.trim_end().ends_with(';') && !line.trim().is_empty() {
+            continue;
+        }
+        let text = buffer.trim().to_string();
+        buffer.clear();
+        if text.is_empty() {
+            continue;
+        }
+        match db.run(&text) {
+            Ok(results) => {
+                for r in results {
+                    match r {
+                        StmtResult::Done(msg) => println!("ok: {msg}"),
+                        StmtResult::Bool(b) => println!("{b}"),
+                        StmtResult::Array(a) => {
+                            println!(
+                                "array '{}': {} cells, rank {}",
+                                a.schema().name(),
+                                a.cell_count(),
+                                a.rank()
+                            );
+                            for (i, (coords, rec)) in a.cells().enumerate() {
+                                if i >= 20 {
+                                    println!("  … ({} more cells)", a.cell_count() - 20);
+                                    break;
+                                }
+                                let vals: Vec<String> =
+                                    rec.iter().map(|v| v.to_string()).collect();
+                                println!("  {coords:?} -> ({})", vals.join(", "));
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

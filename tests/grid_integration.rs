@@ -1,0 +1,141 @@
+//! Integration: distributed execution matches single-node semantics, and
+//! the designer/epoch machinery improves skewed workloads end to end.
+
+use scidb::core::geometry::HyperRect;
+use scidb::core::ops;
+use scidb::core::registry::Registry;
+use scidb::grid::{
+    design_range, evaluate, steerable_workload, Cluster, EpochPartitioning, PartitionScheme,
+};
+use scidb::{Array, SchemaBuilder, ScalarType, Value};
+
+fn schema(n: i64) -> scidb::ArraySchema {
+    SchemaBuilder::new("sky")
+        .attr("v", ScalarType::Float64)
+        .dim("I", n)
+        .dim("J", n)
+        .build()
+        .unwrap()
+}
+
+fn local_array(n: i64) -> Array {
+    let mut a = Array::new(schema(n));
+    a.fill_with(|c| vec![Value::from((c[0] * 31 + c[1] * 7) as f64)])
+        .unwrap();
+    a
+}
+
+#[test]
+fn distributed_aggregate_matches_local_aggregate() {
+    let n = 32i64;
+    let local = local_array(n);
+    let registry = Registry::with_builtins();
+
+    let mut cluster = Cluster::new(8);
+    let scheme = PartitionScheme::Hash {
+        dims: vec![0, 1],
+        n_nodes: 8,
+    };
+    cluster
+        .create_array("A", schema(n), EpochPartitioning::fixed(scheme))
+        .unwrap();
+    cluster.load_at("A", 0, local.cells()).unwrap();
+
+    for agg in ["sum", "avg", "min", "max", "count", "stddev"] {
+        let (dist_v, _) = cluster.aggregate("A", agg, "v", &registry).unwrap();
+        let local_out = ops::aggregate(&local, &[], agg, ops::AggInput::Attr("v".into()), &registry)
+            .unwrap();
+        let local_v = local_out.get_cell(&[1]).unwrap()[0].clone();
+        match (dist_v.as_f64(), local_v.as_f64()) {
+            (Some(d), Some(l)) => assert!((d - l).abs() < 1e-9, "{agg}: {d} vs {l}"),
+            _ => assert_eq!(dist_v, local_v, "{agg}"),
+        }
+    }
+}
+
+#[test]
+fn distributed_join_matches_core_sjoin() {
+    let n = 16i64;
+    let local = local_array(n);
+    let mut cluster = Cluster::new(4);
+    let space = HyperRect::new(vec![1, 1], vec![n, n]).unwrap();
+    let grid = PartitionScheme::grid(space, vec![2, 2], 4).unwrap();
+    let hash = PartitionScheme::Hash {
+        dims: vec![0, 1],
+        n_nodes: 4,
+    };
+    cluster
+        .create_array("L", schema(n), EpochPartitioning::fixed(grid))
+        .unwrap();
+    cluster
+        .create_array("R", schema(n), EpochPartitioning::fixed(hash))
+        .unwrap();
+    cluster.load_at("L", 0, local.cells()).unwrap();
+    cluster.load_at("R", 0, local.cells()).unwrap();
+
+    let (dist, stats) = cluster.sjoin("L", "R", &[("I", "I"), ("J", "J")]).unwrap();
+    let core = ops::sjoin(&local, &local, &[("I", "I"), ("J", "J")]).unwrap();
+    assert_eq!(dist.cell_count(), core.cell_count());
+    assert!(dist.same_cells(&core));
+    assert!(stats.cells_moved > 0, "hash side had to move");
+}
+
+#[test]
+fn designer_epoch_rebalance_improves_skewed_workload_end_to_end() {
+    let n = 64i64;
+    let nodes = 8usize;
+    let space = HyperRect::new(vec![1, 1], vec![n, n]).unwrap();
+    let grid = PartitionScheme::grid(space.clone(), vec![4, 2], nodes).unwrap();
+    let skew = steerable_workload(&space, 1, 16, 300.0, 99);
+
+    let mut cluster = Cluster::new(nodes);
+    cluster
+        .create_array("A", schema(n), EpochPartitioning::fixed(grid.clone()))
+        .unwrap();
+    cluster.load_at("A", 0, local_array(n).cells()).unwrap();
+
+    cluster.run_workload("A", &skew).unwrap();
+    let before = cluster.imbalance();
+
+    // The periodic designer runs on the observed workload and suggests a
+    // new scheme; we install it as a new epoch and rebalance.
+    let designed = design_range(&space, 0, nodes, &skew).unwrap();
+    assert!(
+        evaluate(&designed, &space, &skew).imbalance
+            < evaluate(&grid, &space, &skew).imbalance
+    );
+    cluster.add_epoch("A", 1_000, designed).unwrap();
+    let moved = cluster.rebalance("A").unwrap();
+    assert!(moved > 0);
+
+    cluster.reset_loads();
+    cluster.run_workload("A", &skew).unwrap();
+    let after = cluster.imbalance();
+    assert!(
+        after < before,
+        "rebalancing must reduce measured imbalance: {before} -> {after}"
+    );
+    // No data lost in the move.
+    assert_eq!(cluster.cell_count("A").unwrap(), (n * n) as usize);
+}
+
+#[test]
+fn epoch_data_placement_follows_arrival_time() {
+    let n = 8i64;
+    let mut cluster = Cluster::new(2);
+    let r1 = PartitionScheme::range(0, vec![4]).unwrap();
+    let r2 = PartitionScheme::range(0, vec![1]).unwrap();
+    let mut ep = EpochPartitioning::fixed(r1);
+    ep.add_epoch(100, r2).unwrap();
+    cluster.create_array("A", schema(n), ep).unwrap();
+
+    // Arrived before T: split at 4. Arrived after T: split at 1.
+    cluster
+        .load_at("A", 0, vec![(vec![3, 1], vec![Value::from(1.0)])])
+        .unwrap();
+    cluster
+        .load_at("A", 200, vec![(vec![3, 2], vec![Value::from(2.0)])])
+        .unwrap();
+    let dist = cluster.distribution("A").unwrap();
+    assert_eq!(dist, vec![1, 1], "same row, different epochs, different nodes");
+}

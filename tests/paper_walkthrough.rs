@@ -1,0 +1,227 @@
+//! Integration test: walks through every numbered requirement of the CIDR
+//! 2009 paper against the public facade API, in paper order.
+
+use scidb::core::enhance::{PseudoValue, Scale, WallClock};
+use scidb::core::expr::Expr;
+use scidb::core::history::{Transaction, UpdatableArray};
+use scidb::core::ops;
+use scidb::core::registry::Registry;
+use scidb::core::shape::CircleShape;
+use scidb::core::versions::VersionTree;
+use scidb::query::Database;
+use scidb::{SchemaBuilder, ScalarType, Uncertain, Value};
+use std::sync::Arc;
+
+#[test]
+fn s2_1_data_model_nested_arrays_and_enhancements() {
+    // define Remote (s1 = float, s2 = float, s3 = float) (I, J)
+    let mut db = Database::new();
+    db.run("define Remote (s1 = float, s2 = float, s3 = float) (I = 1:8, J = 1:8)")
+        .unwrap();
+    // create My_remote as Remote [1024,1024] → smaller here.
+    db.run("create My_remote as Remote [8, 8]").unwrap();
+    // Unbounded creation: create My_remote_2 as Remote [*, *].
+    db.run("create My_remote_2 as Remote [*, *]").unwrap();
+    db.run("insert into My_remote[7, 8] values (1.0, 2.0, 3.0)")
+        .unwrap();
+    let a = db.query("scan(My_remote)").unwrap();
+    // A[7, 8] and A[7, 8].x addressing.
+    assert_eq!(a.get_named("s2", &[7, 8]).unwrap(), Some(Value::from(2.0)));
+
+    // Enhancement with Scale10: A{70, 80} == A[7, 8].
+    db.registry_mut()
+        .register_enhancement(Arc::new(Scale::scale10(2)))
+        .unwrap();
+    db.run("enhance My_remote with Scale10").unwrap();
+    if let scidb::query::StoredArray::Plain(arr) = db.array("My_remote").unwrap() {
+        let got = arr
+            .get_enhanced(None, &[PseudoValue::Int(70), PseudoValue::Int(80)])
+            .unwrap();
+        assert_eq!(got.unwrap()[0], Value::from(1.0));
+    } else {
+        panic!("My_remote should be plain");
+    }
+}
+
+#[test]
+fn s2_1_shape_functions_digitize_circles() {
+    let mut db = Database::new();
+    db.registry_mut()
+        .register_shape(Arc::new(CircleShape::new("disk", (8, 8), 5)))
+        .unwrap();
+    db.run("define Img (v = float) (x = 1:16, y = 1:16); create A as Img [16, 16]")
+        .unwrap();
+    db.run("shape A with disk").unwrap();
+    // Writes outside the disk are rejected; inside succeed.
+    assert!(db.run("insert into A[1, 1] values (1.0)").is_err());
+    db.run("insert into A[8, 8] values (1.0)").unwrap();
+    let r = db.run("exists(A, 8, 8); exists(A, 1, 1)").unwrap();
+    assert!(matches!(r[0], scidb::query::StmtResult::Bool(true)));
+    assert!(matches!(r[1], scidb::query::StmtResult::Bool(false)));
+}
+
+#[test]
+fn s2_2_operator_suite_through_aql() {
+    let mut db = Database::new();
+    db.run(
+        "define G (v = int) (X = 1:2, Y = 1:3, Z = 1:4);
+         create G1 as G [2, 3, 4]",
+    )
+    .unwrap();
+    for x in 1..=2 {
+        for y in 1..=3 {
+            for z in 1..=4 {
+                db.run(&format!(
+                    "insert into G1[{x}, {y}, {z}] values ({})",
+                    100 * x + 10 * y + z
+                ))
+                .unwrap();
+            }
+        }
+    }
+    // Reshape(G, [X, Z, Y], [U = 1:8, V = 1:3]) — the paper's example.
+    let r = db
+        .query("reshape(G1, [X, Z, Y], [U = 1:8, V = 1:3])")
+        .unwrap();
+    assert_eq!(r.cell_count(), 24);
+    assert_eq!(r.get_f64(0, &[1, 1]), Some(111.0));
+    assert_eq!(r.get_f64(0, &[8, 3]), Some(234.0));
+    // Subsample legality: X = Y must be rejected with the paper's rule.
+    assert!(db.query("subsample(G1, X = Y)").is_err());
+    // Filter + aggregate pipeline.
+    let out = db
+        .query("aggregate(filter(G1, v > 200), {X}, count(v))")
+        .unwrap();
+    assert_eq!(out.get_cell(&[2]).unwrap()[0], Value::from(12i64));
+}
+
+#[test]
+fn s2_3_extendibility_udfs_in_queries() {
+    let mut db = Database::new();
+    db.registry_mut()
+        .register_scalar_fn(Arc::new(scidb::core::udf::ClosureFn::new(
+            "every_third",
+            Some(1),
+            |args| Ok(Value::from(args[0].as_i64().unwrap_or(0) % 3 == 0)),
+        )))
+        .unwrap();
+    db.run("define T (v = int) (X = 1:9); create A as T [9]")
+        .unwrap();
+    for x in 1..=9 {
+        db.run(&format!("insert into A[{x}] values ({x})")).unwrap();
+    }
+    let out = db.query("subsample(A, every_third(X))").unwrap();
+    assert_eq!(out.cell_count(), 3);
+}
+
+#[test]
+fn s2_5_no_overwrite_history() {
+    // The paper's updatable Remote_2 with time travel via wall clock.
+    let schema = SchemaBuilder::new("Remote_2")
+        .attr("s1", ScalarType::Float64)
+        .dim("I", 4)
+        .dim("J", 4)
+        .updatable()
+        .build()
+        .unwrap();
+    let mut arr = UpdatableArray::new(schema).unwrap();
+    arr.set_clock(Arc::new(WallClock::new("clock", 1_000, 60)))
+        .unwrap();
+    arr.commit_put(&[2, 2], vec![Value::from(1.0)]).unwrap();
+    let mut t = Transaction::new();
+    t.put(&[2, 2], vec![Value::from(2.0)]);
+    t.delete(&[2, 2]);
+    // put + delete in one txn: delete wins (flag is the later delta).
+    arr.commit(t).unwrap();
+    assert_eq!(arr.get_latest(&[2, 2]), None);
+    assert_eq!(arr.get_at(&[2, 2], 1), Some(vec![Value::from(1.0)]));
+    assert_eq!(
+        arr.get_at_time(&[2, 2], 1_030, "clock").unwrap(),
+        Some(vec![Value::from(1.0)])
+    );
+}
+
+#[test]
+fn s2_11_named_versions_tree() {
+    let schema = SchemaBuilder::new("base")
+        .attr("v", ScalarType::Float64)
+        .dim("I", 4)
+        .build()
+        .unwrap();
+    let mut tree = VersionTree::new(schema).unwrap();
+    let mut t = Transaction::new();
+    for i in 1..=4 {
+        t.put(&[i], vec![Value::from(i as f64)]);
+    }
+    tree.base_mut().commit(t).unwrap();
+    tree.create_version("a", None).unwrap();
+    tree.create_version("b", Some("a")).unwrap();
+    let mut t = Transaction::new();
+    t.put(&[1], vec![Value::from(-1.0)]);
+    tree.commit("b", t).unwrap();
+    assert_eq!(tree.get("b", &[1]).unwrap(), Some(vec![Value::from(-1.0)]));
+    assert_eq!(tree.get("b", &[2]).unwrap(), Some(vec![Value::from(2.0)]));
+    assert_eq!(tree.get("a", &[1]).unwrap(), Some(vec![Value::from(1.0)]));
+    assert_eq!(tree.chain_depth("b").unwrap(), 2);
+}
+
+#[test]
+fn s2_13_uncertainty_in_queries() {
+    let mut db = Database::new();
+    db.run("define U (v = uncertain float) (X = 1:3); create A as U [3]")
+        .unwrap();
+    db.run(
+        "insert into A[1] values (uncertain(10.0, 1.0));
+         insert into A[2] values (uncertain(20.0, 2.0));
+         insert into A[3] values (uncertain(30.0, 3.0));",
+    )
+    .unwrap();
+    // Sum propagates sigma in quadrature: sqrt(1+4+9).
+    let out = db.query("aggregate(A, {}, sum(v))").unwrap();
+    match out.get_cell(&[1]).unwrap()[0].clone() {
+        Value::Scalar(scidb::Scalar::Uncertain(u)) => {
+            assert_eq!(u.mean, 60.0);
+            assert!((u.sigma - 14f64.sqrt()).abs() < 1e-12);
+        }
+        other => panic!("expected uncertain sum, got {other}"),
+    }
+    // Uncertainty-aware filter via the prob_below builtin.
+    let out = db
+        .query("filter(A, prob_below(v, 15.0) > 0.95)")
+        .unwrap();
+    assert!(!out.get_cell(&[1]).unwrap()[0].is_null());
+    assert!(out.get_cell(&[3]).unwrap()[0].is_null());
+}
+
+#[test]
+fn uncertain_arithmetic_in_apply() {
+    let a = {
+        let schema = SchemaBuilder::new("m")
+            .attr("v", ScalarType::UncertainFloat64)
+            .dim("i", 2)
+            .build()
+            .unwrap();
+        let mut a = scidb::Array::new(schema);
+        a.set_cell(&[1], vec![Value::from(Uncertain::new(3.0, 0.3))])
+            .unwrap();
+        a.set_cell(&[2], vec![Value::from(Uncertain::new(4.0, 0.4))])
+            .unwrap();
+        a
+    };
+    let registry = Registry::with_builtins();
+    let out = ops::apply(
+        &a,
+        "double",
+        &Expr::attr("v").mul(Expr::lit(2.0)),
+        ScalarType::UncertainFloat64,
+        Some(&registry),
+    )
+    .unwrap();
+    match out.get_value(1, &[2]).unwrap() {
+        Value::Scalar(scidb::Scalar::Uncertain(u)) => {
+            assert_eq!(u.mean, 8.0);
+            assert!((u.sigma - 0.8).abs() < 1e-12);
+        }
+        other => panic!("expected uncertain, got {other}"),
+    }
+}

@@ -1,0 +1,174 @@
+//! Integration: core arrays ⇄ storage manager ⇄ in-situ formats, spanning
+//! scidb-core, scidb-storage, and scidb-insitu.
+
+use scidb::core::geometry::HyperRect;
+use scidb::insitu::{write_h5, write_netcdf, write_sddf, DatasetSpec, InSituSource};
+use scidb::storage::{
+    merge_pass, CodecPolicy, DeltaStore, FileDisk, MemDisk, StorageManager, StreamLoader,
+};
+use scidb::{Array, SchemaBuilder, ScalarType, Value};
+use std::sync::Arc;
+
+fn sample(n: i64, chunk: i64) -> Array {
+    let schema = SchemaBuilder::new("sample")
+        .attr("v", ScalarType::Float64)
+        .dim_chunked("x", n, chunk)
+        .dim_chunked("y", n, chunk)
+        .build()
+        .unwrap();
+    let mut a = Array::new(schema);
+    a.fill_with(|c| vec![Value::from((c[0] * 1000 + c[1]) as f64)])
+        .unwrap();
+    a
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("scidb_it_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn array_to_buckets_to_array_roundtrip_through_real_files() {
+    let dir = tmp_dir("filedisk");
+    let a = sample(32, 8);
+    let mut mgr = StorageManager::new(
+        Arc::new(FileDisk::open(dir.join("blocks")).unwrap()),
+        a.schema_arc(),
+        CodecPolicy::default_policy(),
+    );
+    mgr.store_array(&a).unwrap();
+    merge_pass(&mut mgr, 2).unwrap();
+    let (back, _) = mgr
+        .read_region(&HyperRect::new(vec![1, 1], vec![32, 32]).unwrap())
+        .unwrap();
+    assert!(back.same_cells(&a));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn loader_then_merge_then_query_pipeline() {
+    let schema = Arc::new(
+        SchemaBuilder::new("ts")
+            .attr("v", ScalarType::Float64)
+            .dim_chunked("t", 8192, 256)
+            .dim_chunked("s", 4, 4)
+            .build()
+            .unwrap(),
+    );
+    let mut mgr = StorageManager::new(
+        Arc::new(MemDisk::new()),
+        Arc::clone(&schema),
+        CodecPolicy::default_policy(),
+    );
+    let mut loader = StreamLoader::new(&mut mgr, 32 << 10);
+    for t in 1..=8192i64 {
+        for s in 1..=4i64 {
+            loader
+                .push(&[t, s], vec![Value::from((t * 10 + s) as f64)])
+                .unwrap();
+        }
+    }
+    let stats = loader.finish().unwrap();
+    assert_eq!(stats.cells, 8192 * 4);
+    assert!(stats.flushes > 1);
+
+    let before = mgr.bucket_count();
+    merge_pass(&mut mgr, 4).unwrap();
+    assert!(mgr.bucket_count() < before);
+
+    let (out, rs) = mgr
+        .read_region(&HyperRect::new(vec![1000, 1], vec![1127, 4]).unwrap())
+        .unwrap();
+    assert_eq!(out.cell_count(), 128 * 4);
+    assert_eq!(out.get_f64(0, &[1050, 2]), Some(10502.0));
+    assert!(rs.buckets >= 1);
+}
+
+#[test]
+fn all_three_insitu_formats_agree_with_source() {
+    let dir = tmp_dir("formats");
+    let a = sample(24, 8);
+    let ncdf = dir.join("a.ncdf");
+    let h5 = dir.join("a.h5lt");
+    let sddf = dir.join("a.sddf");
+    write_netcdf(&ncdf, &a, &[("k", "v")]).unwrap();
+    write_h5(
+        &h5,
+        &[DatasetSpec {
+            path: "/img".into(),
+            array: &a,
+        }],
+    )
+    .unwrap();
+    write_sddf(&sddf, &a, CodecPolicy::default_policy()).unwrap();
+
+    let region = HyperRect::new(vec![5, 5], vec![12, 20]).unwrap();
+    let expect: Vec<_> = a.cells_in(&region).collect();
+    for path in [&ncdf, &h5, &sddf] {
+        let mut src = scidb::insitu::open(path).unwrap();
+        let out = src.read_region(&region).unwrap();
+        assert_eq!(out.cell_count(), expect.len(), "{path:?}");
+        for (coords, rec) in &expect {
+            assert_eq!(
+                out.get_f64(0, coords),
+                rec[0].as_f64(),
+                "{path:?} cell {coords:?}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn insitu_load_into_manager_then_requery() {
+    // The "load" arm of E4 as an integration path: external file → bulk
+    // load → native buckets → queries.
+    let dir = tmp_dir("load");
+    let a = sample(16, 8);
+    let path = dir.join("src.ncdf");
+    write_netcdf(&path, &a, &[]).unwrap();
+
+    let mut src = scidb::insitu::open(&path).unwrap();
+    let loaded = src.read_all().unwrap();
+    let mut mgr = StorageManager::new(
+        Arc::new(MemDisk::new()),
+        loaded.schema_arc(),
+        CodecPolicy::default_policy(),
+    );
+    mgr.store_array(&loaded).unwrap();
+    let (out, _) = mgr
+        .read_region(&HyperRect::new(vec![1, 1], vec![16, 16]).unwrap())
+        .unwrap();
+    assert!(out.same_cells(&a));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn delta_store_time_travel_through_disk() {
+    let schema = SchemaBuilder::new("U")
+        .attr("v", ScalarType::Float64)
+        .dim("I", 8)
+        .dim("J", 8)
+        .updatable()
+        .build()
+        .unwrap();
+    let mut arr = scidb::core::history::UpdatableArray::new(schema).unwrap();
+    let mut store = DeltaStore::new(
+        Arc::new(MemDisk::new()),
+        arr.array().schema(),
+        CodecPolicy::default_policy(),
+    )
+    .unwrap();
+    for h in 0..5i64 {
+        arr.commit_put(&[1 + h % 8, 1], vec![Value::from(h as f64)])
+            .unwrap();
+        store.sync_from(&arr).unwrap();
+    }
+    assert_eq!(store.persisted_through(), 5);
+    let snap = store.snapshot_at(3).unwrap();
+    let mem = arr.snapshot_at(3).unwrap();
+    assert!(snap.same_cells(&mem));
+    let (v, _) = store.read_cell_at(&[1, 1], 5).unwrap();
+    assert_eq!(v, Some(vec![Value::from(0.0)]));
+}
