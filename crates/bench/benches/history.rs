@@ -58,7 +58,10 @@ fn bench_history(c: &mut Criterion) {
         b.iter(|| {
             let mut txn = Transaction::new();
             for k in 0..100i64 {
-                txn.put(&[1 + k % 64, 1 + (k * 3) % 64], record([Value::from(k as f64)]));
+                txn.put(
+                    &[1 + k % 64, 1 + (k * 3) % 64],
+                    record([Value::from(k as f64)]),
+                );
             }
             a.commit(txn).unwrap()
         })

@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use scidb_bench::data::dense_f64;
 use scidb_core::geometry::HyperRect;
 use scidb_insitu::{write_h5, write_netcdf, write_sddf, DatasetSpec};
-use scidb_storage::{CodecPolicy, MemDisk, StorageManager};
+use scidb_storage::{CodecPolicy, MemDisk, ReadOptions, StorageManager};
 use std::sync::Arc;
 
 fn bench_insitu(c: &mut Criterion) {
@@ -15,7 +15,14 @@ fn bench_insitu(c: &mut Criterion) {
     let h5 = dir.join("a.h5lt");
     let sddf = dir.join("a.sddf");
     write_netcdf(&ncdf, &a, &[]).unwrap();
-    write_h5(&h5, &[DatasetSpec { path: "/a".into(), array: &a }]).unwrap();
+    write_h5(
+        &h5,
+        &[DatasetSpec {
+            path: "/a".into(),
+            array: &a,
+        }],
+    )
+    .unwrap();
     write_sddf(&sddf, &a, CodecPolicy::default_policy()).unwrap();
     let slab = HyperRect::new(vec![1, 1], vec![32, 256]).unwrap();
 
@@ -41,7 +48,7 @@ fn bench_insitu(c: &mut Criterion) {
                 CodecPolicy::default_policy(),
             );
             mgr.store_array(&loaded).unwrap();
-            let (out, _) = mgr.read_region(&slab).unwrap();
+            let (out, _) = mgr.read_region(&slab, ReadOptions::default()).unwrap();
             out.cell_count()
         })
     });

@@ -1,14 +1,17 @@
 //! Operator micro-benchmarks: the §2.2 suite on a 256² array, including
-//! the exact Figure 1–3 operations.
+//! the exact Figure 1–3 operations, plus the serial-vs-parallel comparison
+//! of the chunk-parallel kernels on a 256-chunk array.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use scidb_bench::data::dense_f64;
 use scidb_core::array::Array;
+use scidb_core::exec::ExecContext;
 use scidb_core::expr::Expr;
 use scidb_core::ops::structural::{DimCond, DimPredicate};
 use scidb_core::ops::{self, AggInput};
 use scidb_core::registry::Registry;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_operators(c: &mut Criterion) {
     let registry = Registry::with_builtins();
@@ -70,5 +73,116 @@ fn bench_operators(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_operators);
+/// Chunk-parallel kernels, serial vs machine-sized thread budget, on a
+/// 512² array chunked 32×32 (256 chunks). Results are verified identical
+/// before timing; the printed speedup is the acceptance signal (it needs a
+/// multi-core machine to exceed 1× — thread counts are reported alongside).
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let registry = Registry::with_builtins();
+    let a = dense_f64(512, 32);
+    assert_eq!(a.chunks().len(), 256);
+    let serial = ExecContext::serial();
+    let parallel = ExecContext::new();
+    let pred = Expr::attr("v").gt(Expr::lit(50.0));
+
+    // Identical-results check up front, outside the timed loops.
+    let f_ser = ops::filter_with(&a, &pred, Some(&registry), &serial).unwrap();
+    let f_par = ops::filter_with(&a, &pred, Some(&registry), &parallel).unwrap();
+    assert_eq!(f_ser, f_par, "filter results must not depend on threads");
+    let g_ser = ops::aggregate_with(&a, &["i"], "avg", AggInput::Star, &registry, &serial).unwrap();
+    let g_par =
+        ops::aggregate_with(&a, &["i"], "avg", AggInput::Star, &registry, &parallel).unwrap();
+    assert_eq!(g_ser, g_par, "aggregate results must not depend on threads");
+
+    let mut g = c.benchmark_group("parallel_512x512_256chunks");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("filter_serial", |b| {
+        b.iter(|| ops::filter_with(black_box(&a), &pred, Some(&registry), &serial).unwrap())
+    });
+    g.bench_function("filter_parallel", |b| {
+        b.iter(|| ops::filter_with(black_box(&a), &pred, Some(&registry), &parallel).unwrap())
+    });
+    g.bench_function("aggregate_serial", |b| {
+        b.iter(|| {
+            ops::aggregate_with(
+                black_box(&a),
+                &["i"],
+                "avg",
+                AggInput::Star,
+                &registry,
+                &serial,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("aggregate_parallel", |b| {
+        b.iter(|| {
+            ops::aggregate_with(
+                black_box(&a),
+                &["i"],
+                "avg",
+                AggInput::Star,
+                &registry,
+                &parallel,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+
+    // Drop metrics accumulated during the criterion iterations so the
+    // report below covers only the directly-timed runs.
+    serial.take_metrics();
+    parallel.take_metrics();
+
+    // Direct speedup report (median of 5 runs each).
+    let median = |mut xs: Vec<f64>| {
+        xs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        xs[xs.len() / 2]
+    };
+    let time5 = |f: &dyn Fn()| {
+        median(
+            (0..5)
+                .map(|_| {
+                    let t = Instant::now();
+                    f();
+                    t.elapsed().as_secs_f64()
+                })
+                .collect(),
+        )
+    };
+    let fs = time5(&|| {
+        ops::filter_with(&a, &pred, Some(&registry), &serial).unwrap();
+    });
+    let fp = time5(&|| {
+        ops::filter_with(&a, &pred, Some(&registry), &parallel).unwrap();
+    });
+    let gs = time5(&|| {
+        ops::aggregate_with(&a, &["i"], "avg", AggInput::Star, &registry, &serial).unwrap();
+    });
+    let gp = time5(&|| {
+        ops::aggregate_with(&a, &["i"], "avg", AggInput::Star, &registry, &parallel).unwrap();
+    });
+    println!(
+        "parallel speedup over serial ({} threads, 256 chunks, identical results):",
+        parallel.threads()
+    );
+    println!(
+        "  filter    {:.2}x  ({:.1} ms -> {:.1} ms)",
+        fs / fp,
+        fs * 1e3,
+        fp * 1e3
+    );
+    println!(
+        "  aggregate {:.2}x  ({:.1} ms -> {:.1} ms)",
+        gs / gp,
+        gs * 1e3,
+        gp * 1e3
+    );
+    println!("{}", parallel.metrics().report());
+}
+
+criterion_group!(benches, bench_operators, bench_parallel_speedup);
 criterion_main!(benches);

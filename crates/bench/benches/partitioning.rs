@@ -32,18 +32,29 @@ fn bench_partitioning(c: &mut Criterion) {
     let nodes = 16usize;
     let space = HyperRect::new(vec![1, 1], vec![n, n]).unwrap();
     let grid = PartitionScheme::grid(space, vec![4, 4], nodes).unwrap();
-    let hash = PartitionScheme::Hash { dims: vec![0, 1], n_nodes: nodes };
+    let hash = PartitionScheme::Hash {
+        dims: vec![0, 1],
+        n_nodes: nodes,
+    };
     let registry = Registry::with_builtins();
 
     let mut copart = Cluster::new(nodes);
-    copart.create_array("L", schema(n), EpochPartitioning::fixed(grid.clone())).unwrap();
-    copart.create_array("R", schema(n), EpochPartitioning::fixed(grid.clone())).unwrap();
+    copart
+        .create_array("L", schema(n), EpochPartitioning::fixed(grid.clone()))
+        .unwrap();
+    copart
+        .create_array("R", schema(n), EpochPartitioning::fixed(grid.clone()))
+        .unwrap();
     copart.load_at("L", 0, cells(n)).unwrap();
     copart.load_at("R", 0, cells(n)).unwrap();
 
     let mut mismatched = Cluster::new(nodes);
-    mismatched.create_array("L", schema(n), EpochPartitioning::fixed(grid.clone())).unwrap();
-    mismatched.create_array("R", schema(n), EpochPartitioning::fixed(hash)).unwrap();
+    mismatched
+        .create_array("L", schema(n), EpochPartitioning::fixed(grid.clone()))
+        .unwrap();
+    mismatched
+        .create_array("R", schema(n), EpochPartitioning::fixed(hash))
+        .unwrap();
     mismatched.load_at("L", 0, cells(n)).unwrap();
     mismatched.load_at("R", 0, cells(n)).unwrap();
 
@@ -62,7 +73,11 @@ fn bench_partitioning(c: &mut Criterion) {
         b.iter(|| copart.sjoin("L", "R", &[("I", "I"), ("J", "J")]).unwrap())
     });
     g.bench_function("sjoin_mismatched", |b| {
-        b.iter(|| mismatched.sjoin("L", "R", &[("I", "I"), ("J", "J")]).unwrap())
+        b.iter(|| {
+            mismatched
+                .sjoin("L", "R", &[("I", "I"), ("J", "J")])
+                .unwrap()
+        })
     });
     g.finish();
 }

@@ -12,14 +12,50 @@ fn pipeline(n: i64, trio: Option<&mut TrioStore>) -> Pipeline {
         .collect();
     let mut p = Pipeline::new(vec![("raw".into(), Array::f64_2d("raw", "v", &rows))]);
     let mut trio = trio;
-    let step = |p: &mut Pipeline, op: StepOp, i: &str, o: &str, t: &mut Option<&mut TrioStore>| match t {
-        Some(s) => p.run_step(op, &[i], o, Some(s)).unwrap(),
-        None => p.run_step(op, &[i], o, None).unwrap(),
-    };
-    step(&mut p, StepOp::Apply { name: "cal".into(), expr: Expr::attr("v").mul(Expr::lit(2.0)) }, "raw", "cal", &mut trio);
-    step(&mut p, StepOp::Filter { pred: Expr::attr("cal").gt(Expr::lit(0.0)) }, "cal", "masked", &mut trio);
-    step(&mut p, StepOp::Regrid { factors: vec![2, 2], agg: "avg".into() }, "masked", "mid", &mut trio);
-    step(&mut p, StepOp::Regrid { factors: vec![2, 2], agg: "sum".into() }, "mid", "summary", &mut trio);
+    let step =
+        |p: &mut Pipeline, op: StepOp, i: &str, o: &str, t: &mut Option<&mut TrioStore>| match t {
+            Some(s) => p.run_step(op, &[i], o, Some(s)).unwrap(),
+            None => p.run_step(op, &[i], o, None).unwrap(),
+        };
+    step(
+        &mut p,
+        StepOp::Apply {
+            name: "cal".into(),
+            expr: Expr::attr("v").mul(Expr::lit(2.0)),
+        },
+        "raw",
+        "cal",
+        &mut trio,
+    );
+    step(
+        &mut p,
+        StepOp::Filter {
+            pred: Expr::attr("cal").gt(Expr::lit(0.0)),
+        },
+        "cal",
+        "masked",
+        &mut trio,
+    );
+    step(
+        &mut p,
+        StepOp::Regrid {
+            factors: vec![2, 2],
+            agg: "avg".into(),
+        },
+        "masked",
+        "mid",
+        &mut trio,
+    );
+    step(
+        &mut p,
+        StepOp::Regrid {
+            factors: vec![2, 2],
+            agg: "sum".into(),
+        },
+        "mid",
+        "summary",
+        &mut trio,
+    );
     p
 }
 
@@ -36,12 +72,22 @@ fn bench_provenance(c: &mut Criterion) {
         b.iter(|| backward_trace(&p, "summary", black_box(&cell), TraceMode::Replay).unwrap())
     });
     g.bench_function("backward_trio", |b| {
-        b.iter(|| backward_trace(&p_trio, "summary", black_box(&cell), TraceMode::Trio(&trio)).unwrap())
+        b.iter(|| {
+            backward_trace(&p_trio, "summary", black_box(&cell), TraceMode::Trio(&trio)).unwrap()
+        })
     });
     g.bench_function("backward_hybrid_cached", |b| {
         let mut cache = TrioStore::new();
         backward_trace(&p, "summary", &cell, TraceMode::Hybrid(&mut cache)).unwrap();
-        b.iter(|| backward_trace(&p, "summary", black_box(&cell), TraceMode::Hybrid(&mut cache)).unwrap())
+        b.iter(|| {
+            backward_trace(
+                &p,
+                "summary",
+                black_box(&cell),
+                TraceMode::Hybrid(&mut cache),
+            )
+            .unwrap()
+        })
     });
     g.bench_function("forward_trace", |b| {
         b.iter(|| forward_trace(&p, "raw", black_box(&[5i64, 5])).unwrap())

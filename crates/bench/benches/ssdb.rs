@@ -33,14 +33,23 @@ fn bench_ssdb(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(2));
     g.warm_up_time(std::time::Duration::from_millis(500));
-    g.bench_function("q1_raw_slab", |b| b.iter(|| bench.q1_raw_slab(&slab).unwrap()));
+    g.bench_function("q1_raw_slab", |b| {
+        b.iter(|| bench.q1_raw_slab(&slab).unwrap())
+    });
     g.bench_function("q1_relational", |b| {
         b.iter(|| relational::q1_raw_slab(&tables, &slab).unwrap())
     });
     g.bench_function("q2_recook", |b| {
         b.iter(|| {
             bench
-                .q2_recook(0, &slab, &Calibration { dark_offset: 0.5, gain: 1.1 })
+                .q2_recook(
+                    0,
+                    &slab,
+                    &Calibration {
+                        dark_offset: 0.5,
+                        gain: 1.1,
+                    },
+                )
                 .unwrap()
         })
     });

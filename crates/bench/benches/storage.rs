@@ -6,8 +6,8 @@ use scidb_core::geometry::HyperRect;
 use scidb_core::schema::SchemaBuilder;
 use scidb_storage::compress::{decode_f64s, encode_f64s, encode_i64s, Codec};
 use scidb_storage::{
-    deserialize_chunk, merge_pass, serialize_chunk, CodecPolicy, MemDisk, StorageManager,
-    StreamLoader,
+    deserialize_chunk, merge_pass, serialize_chunk, CodecPolicy, MemDisk, ReadOptions,
+    StorageManager, StreamLoader,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -100,7 +100,10 @@ fn bench_storage(c: &mut Criterion) {
         }
         loader.finish().unwrap();
         let slab = HyperRect::new(vec![1, 1], vec![512, 8]).unwrap();
-        b.iter(|| mgr.read_region(black_box(&slab)).unwrap())
+        b.iter(|| {
+            mgr.read_region(black_box(&slab), ReadOptions::default())
+                .unwrap()
+        })
     });
     g.finish();
 }

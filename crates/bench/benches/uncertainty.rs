@@ -27,7 +27,14 @@ fn bench_uncertainty(c: &mut Criterion) {
     g.bench_function("apply_plain_arith", |b| {
         let e = Expr::attr("v").mul(Expr::lit(2.0)).add(Expr::lit(1.0));
         b.iter(|| {
-            ops::apply(black_box(&plain), "w", &e, scidb_core::value::ScalarType::Float64, Some(&registry)).unwrap()
+            ops::apply(
+                black_box(&plain),
+                "w",
+                &e,
+                scidb_core::value::ScalarType::Float64,
+                Some(&registry),
+            )
+            .unwrap()
         })
     });
     g.bench_function("apply_uncertain_arith", |b| {
@@ -35,7 +42,14 @@ fn bench_uncertainty(c: &mut Criterion) {
             .mul(Expr::lit(Uncertain::new(2.0, 0.1)))
             .add(Expr::lit(Uncertain::new(1.0, 0.05)));
         b.iter(|| {
-            ops::apply(black_box(&unc), "w", &e, scidb_core::value::ScalarType::UncertainFloat64, Some(&registry)).unwrap()
+            ops::apply(
+                black_box(&unc),
+                "w",
+                &e,
+                scidb_core::value::ScalarType::UncertainFloat64,
+                Some(&registry),
+            )
+            .unwrap()
         })
     });
     g.bench_function("scalar_kernel_gaussian_1m", |b| {

@@ -18,7 +18,11 @@ use std::hint::black_box;
 
 /// Runs E1.
 pub fn run(quick: bool) -> Vec<ReportTable> {
-    let sizes: &[i64] = if quick { &[128, 256] } else { &[128, 256, 512, 1024] };
+    let sizes: &[i64] = if quick {
+        &[128, 256]
+    } else {
+        &[128, 256, 512, 1024]
+    };
     let registry = Registry::with_builtins();
     let mut t = ReportTable::new(
         "E1 — array-native vs array-on-tables (ASAP ~100x claim)",
@@ -52,7 +56,9 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
 
         // (b) slab sum: the central 1/4 × 1/4 region.
         let region = HyperRect::new(vec![n / 4, n / 4], vec![n / 2, n / 2]).unwrap();
-        let native = median_ms(reps, || dense::slab_sum_f64(black_box(&a), 0, &region).unwrap());
+        let native = median_ms(reps, || {
+            dense::slab_sum_f64(black_box(&a), 0, &region).unwrap()
+        });
         let rel = median_ms(reps, || {
             table
                 .slab(&region)
@@ -67,7 +73,9 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
         let native = median_ms(reps, || {
             dense::regrid_mean_f64(black_box(&a), 0, &[8, 8]).unwrap()
         });
-        let rel = median_ms(reps, || table.regrid(&[8, 8], "avg", "v", &registry).unwrap());
+        let rel = median_ms(reps, || {
+            table.regrid(&[8, 8], "avg", "v", &registry).unwrap()
+        });
         push(&mut t, n, "regrid 8x8", native, rel);
 
         // (d) structural self-join on all dimensions (co-aligned inputs:
@@ -117,7 +125,11 @@ mod tests {
         // hash). The leading-dimension slice is the B-tree's best case and
         // is allowed to reach parity.
         assert!(speedup("slab") > 5.0, "slab {}", speedup("slab"));
-        assert!(speedup("regrid 8x8") > 2.0, "regrid {}", speedup("regrid 8x8"));
+        assert!(
+            speedup("regrid 8x8") > 2.0,
+            "regrid {}",
+            speedup("regrid 8x8")
+        );
         assert!(
             speedup("slice trail") > 5.0,
             "trailing slice {}",

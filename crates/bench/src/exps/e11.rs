@@ -37,7 +37,11 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
         let placement = ReplicatedPlacement::new(scheme.clone(), margin);
         let local = local_join_fraction(&placement, &pairs);
         let overhead = replication_overhead(&placement, &obs);
-        t.row(vec![margin.to_string(), f3(local), format!("{overhead:.3}x")]);
+        t.row(vec![
+            margin.to_string(),
+            f3(local),
+            format!("{overhead:.3}x"),
+        ]);
     }
     vec![t]
 }
@@ -51,10 +55,7 @@ mod tests {
         let tables = run(true);
         let t = &tables[0];
         let at = |margin: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == margin)
-                .unwrap()[1]
+            t.rows.iter().find(|r| r[0] == margin).unwrap()[1]
                 .parse()
                 .unwrap()
         };
@@ -62,10 +63,7 @@ mod tests {
         assert!(at("3") >= 0.999, "margin = σ_max localizes all joins");
         assert!(at("1") < at("2") || at("1") == 1.0);
         // Overhead stays modest even at 3σ_max.
-        let overhead: f64 = t
-            .rows
-            .last()
-            .unwrap()[2]
+        let overhead: f64 = t.rows.last().unwrap()[2]
             .trim_end_matches('x')
             .parse()
             .unwrap();

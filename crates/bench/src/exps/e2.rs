@@ -2,13 +2,13 @@
 //! joins, and epoch repartitioning.
 
 use crate::report::{f3, ReportTable};
+use scidb_core::geometry::HyperRect;
+use scidb_core::schema::SchemaBuilder;
+use scidb_core::value::{record, ScalarType, Value};
 use scidb_grid::{
     design_range, evaluate, steerable_workload, survey_workload, Cluster, EpochPartitioning,
     PartitionScheme,
 };
-use scidb_core::geometry::HyperRect;
-use scidb_core::schema::SchemaBuilder;
-use scidb_core::value::{record, ScalarType, Value};
 
 fn space(n: i64) -> HyperRect {
     HyperRect::new(vec![1, 1], vec![n, n]).unwrap()
@@ -104,7 +104,9 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
     cluster.run_workload("A", &skewed).unwrap();
     let before = cluster.imbalance();
     // Designer suggests; a new epoch is installed and data rebalanced.
-    cluster.add_epoch("A", 100, designed_skewed.clone()).unwrap();
+    cluster
+        .add_epoch("A", 100, designed_skewed.clone())
+        .unwrap();
     let moved = cluster.rebalance("A").unwrap();
     cluster.reset_loads();
     cluster.run_workload("A", &skewed).unwrap();

@@ -6,7 +6,7 @@ use crate::report::{f3, fmt_bytes, ReportTable};
 use scidb_core::geometry::HyperRect;
 use scidb_core::schema::SchemaBuilder;
 use scidb_storage::compress::{encode_f64s, encode_i64s, Codec};
-use scidb_storage::{merge_pass, CodecPolicy, MemDisk, StorageManager, StreamLoader};
+use scidb_storage::{merge_pass, CodecPolicy, MemDisk, ReadOptions, StorageManager, StreamLoader};
 use std::sync::Arc;
 
 fn manager(n_t: i64, width: i64) -> StorageManager {
@@ -18,7 +18,11 @@ fn manager(n_t: i64, width: i64) -> StorageManager {
             .build()
             .unwrap(),
     );
-    StorageManager::new(Arc::new(MemDisk::new()), schema, CodecPolicy::default_policy())
+    StorageManager::new(
+        Arc::new(MemDisk::new()),
+        schema,
+        CodecPolicy::default_policy(),
+    )
 }
 
 /// Runs E3.
@@ -62,13 +66,18 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
     let slab = HyperRect::new(vec![1, 1], vec![n_t / 8, width]).unwrap();
     let mut t = ReportTable::new(
         "E3b — slab read amplification vs background merge passes",
-        &["merge passes", "buckets", "slab buckets read", "decode amplification"],
+        &[
+            "merge passes",
+            "buckets",
+            "slab buckets read",
+            "decode amplification",
+        ],
     );
     for pass in 0..=2 {
         if pass > 0 {
             merge_pass(&mut mgr, 4).unwrap();
         }
-        let (_, stats) = mgr.read_region(&slab).unwrap();
+        let (_, stats) = mgr.read_region(&slab, ReadOptions::default()).unwrap();
         t.row(vec![
             pass.to_string(),
             mgr.bucket_count().to_string(),
@@ -128,7 +137,13 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
     let side: i64 = if quick { 256 } else { 512 };
     let mut t = ReportTable::new(
         "E3d — ablation: bytes read per query vs chunk stride (2-D array)",
-        &["stride", "buckets", "point read", "small slab (1/16)", "big slab (1/2)"],
+        &[
+            "stride",
+            "buckets",
+            "point read",
+            "small slab (1/16)",
+            "big slab (1/2)",
+        ],
     );
     for stride in [16i64, 64, 128] {
         let schema = Arc::new(
@@ -145,14 +160,12 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
             CodecPolicy::default_policy(),
         );
         let mut a = scidb_core::array::Array::from_arc(Arc::clone(&schema));
-        a.fill_with(|c| {
-            vec![scidb_core::value::Value::from((c[0] + c[1]) as f64)]
-        })
-        .unwrap();
+        a.fill_with(|c| vec![scidb_core::value::Value::from((c[0] + c[1]) as f64)])
+            .unwrap();
         mgr.store_array(&a).unwrap();
 
         let bytes_for = |mgr: &StorageManager, rect: &HyperRect| -> u64 {
-            let (_, stats) = mgr.read_region(rect).unwrap();
+            let (_, stats) = mgr.read_region(rect, ReadOptions::default()).unwrap();
             stats.bytes_read
         };
         let point = HyperRect::new(vec![side / 2, side / 2], vec![side / 2, side / 2]).unwrap();

@@ -5,7 +5,7 @@ use crate::data::dense_f64;
 use crate::report::{f3, fmt_bytes, ReportTable};
 use scidb_core::geometry::HyperRect;
 use scidb_insitu::{write_netcdf, InSituSource, NetcdfReader};
-use scidb_storage::{CodecPolicy, MemDisk, StorageManager};
+use scidb_storage::{CodecPolicy, MemDisk, ReadOptions, StorageManager};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -62,12 +62,18 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
         mgr.store_array(&loaded).unwrap();
         let load_ms = start.elapsed().as_secs_f64() * 1000.0;
         for q in 0..k {
-            let (out, _) = mgr.read_region(&slab(q as i64)).unwrap();
+            let (out, _) = mgr
+                .read_region(&slab(q as i64), ReadOptions::default())
+                .unwrap();
             std::hint::black_box(out.cell_count());
         }
         let load_total_ms = start.elapsed().as_secs_f64() * 1000.0;
 
-        let winner = if insitu_ms < load_total_ms { "in-situ" } else { "load" };
+        let winner = if insitu_ms < load_total_ms {
+            "in-situ"
+        } else {
+            "load"
+        };
         t.row(vec![
             k.to_string(),
             f3(insitu_ms),

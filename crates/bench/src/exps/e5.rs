@@ -34,7 +34,12 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
     // (a) Version space vs fraction modified.
     let mut t = ReportTable::new(
         "E5a — version space: delta vs full copy",
-        &["modified fraction", "delta bytes", "full copy bytes", "ratio"],
+        &[
+            "modified fraction",
+            "delta bytes",
+            "full copy bytes",
+            "ratio",
+        ],
     );
     for frac in [0.001f64, 0.01, 0.1] {
         let mut vt = tree(n);

@@ -100,17 +100,24 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
         "E6b — backward trace of one summary cell (ms)",
         &["mode", "ms", "cells in lineage"],
     );
-    let (res, _) = crate::report::time_ms(|| {
-        backward_trace(&p, "summary", &cell, TraceMode::Replay).unwrap()
-    });
+    let (res, _) =
+        crate::report::time_ms(|| backward_trace(&p, "summary", &cell, TraceMode::Replay).unwrap());
     let replay_ms = median_ms(5, || {
         backward_trace(&p, "summary", &cell, TraceMode::Replay).unwrap()
     });
-    t.row(vec!["replay".into(), f3(replay_ms), res.total_cells().to_string()]);
+    t.row(vec![
+        "replay".into(),
+        f3(replay_ms),
+        res.total_cells().to_string(),
+    ]);
     let trio_ms = median_ms(5, || {
         backward_trace(&p_trio, "summary", &cell, TraceMode::Trio(&trio)).unwrap()
     });
-    t.row(vec!["Trio lookup".into(), f3(trio_ms), res.total_cells().to_string()]);
+    t.row(vec![
+        "Trio lookup".into(),
+        f3(trio_ms),
+        res.total_cells().to_string(),
+    ]);
     let mut cache = TrioStore::new();
     let first_ms = median_ms(1, || {
         let mut c = TrioStore::new();
@@ -120,7 +127,11 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
     let second_ms = median_ms(5, || {
         backward_trace(&p, "summary", &cell, TraceMode::Hybrid(&mut cache)).unwrap()
     });
-    t.row(vec!["hybrid (1st trace)".into(), f3(first_ms), res.total_cells().to_string()]);
+    t.row(vec![
+        "hybrid (1st trace)".into(),
+        f3(first_ms),
+        res.total_cells().to_string(),
+    ]);
     t.row(vec![
         "hybrid (cached re-trace)".into(),
         f3(second_ms),
@@ -131,11 +142,11 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
     // (c) Forward trace closure.
     let fwd = forward_trace(&p, "raw", &[1, 1]).unwrap();
     let fwd_ms = median_ms(5, || forward_trace(&p, "raw", &[1, 1]).unwrap());
-    let mut t = ReportTable::new(
-        "E6c — forward trace of one raw cell",
-        &["metric", "value"],
-    );
-    t.row(vec!["downstream cells".into(), fwd.total_cells().to_string()]);
+    let mut t = ReportTable::new("E6c — forward trace of one raw cell", &["metric", "value"]);
+    t.row(vec![
+        "downstream cells".into(),
+        fwd.total_cells().to_string(),
+    ]);
     t.row(vec!["ms".into(), f3(fwd_ms)]);
     t.row(vec![
         "hybrid cache bytes after one trace".into(),
@@ -154,7 +165,10 @@ mod tests {
         let tables = run(true);
         // Trio storage is large relative to raw data.
         let trio_factor: f64 = tables[0].rows[1][2].trim_end_matches('x').parse().unwrap();
-        assert!(trio_factor > 0.5, "item-level lineage is bulky: {trio_factor}");
+        assert!(
+            trio_factor > 0.5,
+            "item-level lineage is bulky: {trio_factor}"
+        );
         // Hybrid cache is much smaller than the full Trio store (it holds
         // one trace's worth).
         assert_eq!(tables[1].rows.len(), 4);

@@ -79,7 +79,10 @@ mod tests {
         // Serialized: constant-sigma ≈ plain (within 15%); per-cell ≈ 2x.
         let const_ser: f64 = a.rows[1][4].trim_end_matches('x').parse().unwrap();
         let var_ser: f64 = a.rows[2][4].trim_end_matches('x').parse().unwrap();
-        assert!(const_ser < 1.15, "constant sigma serialized factor {const_ser}");
+        assert!(
+            const_ser < 1.15,
+            "constant sigma serialized factor {const_ser}"
+        );
         assert!(var_ser > 1.4, "per-cell sigma serialized factor {var_ser}");
         // Throughput overhead bounded (well under 10x).
         let b = &tables[1];

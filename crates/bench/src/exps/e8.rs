@@ -61,11 +61,7 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
             }
             acc
         });
-        t.row(vec![
-            depth.to_string(),
-            f3(ms),
-            a.delta_count().to_string(),
-        ]);
+        t.row(vec![depth.to_string(), f3(ms), a.delta_count().to_string()]);
     }
     tables.push(t);
 
@@ -80,7 +76,8 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
         for k in 0..updates {
             let i = 1 + (k * 17) % n;
             let j = 1 + (k * 29) % n;
-            a.commit_put(&[i, j], record([Value::from(k as f64)])).unwrap();
+            a.commit_put(&[i, j], record([Value::from(k as f64)]))
+                .unwrap();
         }
         a.current_history()
     });
@@ -101,7 +98,8 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
         for k in 0..updates {
             let i = 1 + (k * 17) % n;
             let j = 1 + (k * 29) % n;
-            a.set_cell(&[i, j], record([Value::from(k as f64)])).unwrap();
+            a.set_cell(&[i, j], record([Value::from(k as f64)]))
+                .unwrap();
         }
         a.cell_count()
     });

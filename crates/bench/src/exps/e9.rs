@@ -3,8 +3,7 @@
 
 use crate::report::{f3, fmt_bytes, median_ms, ReportTable};
 use scidb_ssdb::clickstream::{
-    analyze_array, analyze_table, build_event_array, build_event_table, generate_events,
-    ClickSpec,
+    analyze_array, analyze_table, build_event_array, build_event_table, generate_events, ClickSpec,
 };
 
 /// Runs E9.

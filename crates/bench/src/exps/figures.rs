@@ -52,7 +52,8 @@ pub fn run(_quick: bool) -> Vec<ReportTable> {
         .expect("H schema");
     let mut h = Array::new(schema);
     for (x, y, v) in [(1, 1, 1i64), (2, 1, 3), (1, 2, 2), (2, 2, 5)] {
-        h.set_cell(&[x, y], record([Value::from(v)])).expect("set H");
+        h.set_cell(&[x, y], record([Value::from(v)]))
+            .expect("set H");
     }
     let agg = ops::aggregate(&h, &["Y"], "sum", ops::AggInput::Star, &registry)
         .expect("figure 2 aggregate");

@@ -134,9 +134,10 @@ impl Array {
     /// error — used by readers).
     fn addressable(&self, coords: &[i64]) -> bool {
         coords.len() == self.rank()
-            && coords.iter().zip(self.schema.dims()).all(|(&c, dim)| {
-                c >= 1 && dim.upper.map_or(true, |u| c <= u)
-            })
+            && coords
+                .iter()
+                .zip(self.schema.dims())
+                .all(|(&c, dim)| c >= 1 && dim.upper.map_or(true, |u| c <= u))
     }
 
     // ----- cell access --------------------------------------------------
@@ -152,7 +153,9 @@ impl Array {
     pub fn set_value(&mut self, attr: usize, coords: &[i64], value: Value) -> Result<()> {
         self.validate_coords(coords)?;
         if attr >= self.schema.attrs().len() {
-            return Err(Error::schema(format!("attribute index {attr} out of range")));
+            return Err(Error::schema(format!(
+                "attribute index {attr} out of range"
+            )));
         }
         let chunk = self.ensure_chunk(coords);
         chunk.set_value(attr, coords, &value)
@@ -178,7 +181,8 @@ impl Array {
         if !self.exists(coords) {
             return None;
         }
-        self.chunk_for(coords).and_then(|c| c.get_value(attr, coords))
+        self.chunk_for(coords)
+            .and_then(|c| c.get_value(attr, coords))
     }
 
     /// Reads one attribute (by name) at `coords`; the paper's `A[7, 8].x`.
@@ -552,7 +556,8 @@ mod tests {
             .build()
             .unwrap();
         let mut a = Array::new(schema);
-        a.set_cell(&[1_000_000], record([Value::from(5i64)])).unwrap();
+        a.set_cell(&[1_000_000], record([Value::from(5i64)]))
+            .unwrap();
         assert!(a.exists(&[1_000_000]));
         assert_eq!(a.high_water(0), 1_000_000);
         assert_eq!(a.rect(), None);
@@ -581,7 +586,8 @@ mod tests {
     fn cells_in_region_filters() {
         let mut a = small();
         for i in 1..=8 {
-            a.set_cell(&[i, i], record([Value::from(i as f64)])).unwrap();
+            a.set_cell(&[i, i], record([Value::from(i as f64)]))
+                .unwrap();
         }
         let region = HyperRect::new(vec![2, 2], vec![4, 4]).unwrap();
         let got: Vec<_> = a.cells_in(&region).map(|(c, _)| c).collect();
@@ -650,7 +656,10 @@ mod tests {
         assert!(matches!(err, Error::Dimension(_)));
         // Named resolution works.
         let ok = a
-            .resolve_enhanced(Some("Scale100"), &[PseudoValue::Int(100), PseudoValue::Int(100)])
+            .resolve_enhanced(
+                Some("Scale100"),
+                &[PseudoValue::Int(100), PseudoValue::Int(100)],
+            )
             .unwrap();
         assert_eq!(ok, Some(vec![1, 1]));
     }
@@ -658,7 +667,8 @@ mod tests {
     #[test]
     fn shape_restricts_writes_and_exists() {
         let mut a = small();
-        a.set_shape(Arc::new(LowerTriangular::new("tri", 8))).unwrap();
+        a.set_shape(Arc::new(LowerTriangular::new("tri", 8)))
+            .unwrap();
         assert!(a.set_cell(&[1, 2], record([Value::from(1.0)])).is_err());
         a.set_cell(&[2, 1], record([Value::from(1.0)])).unwrap();
         assert!(a.exists(&[2, 1]));
@@ -668,7 +678,8 @@ mod tests {
     #[test]
     fn only_one_shape_allowed() {
         let mut a = small();
-        a.set_shape(Arc::new(LowerTriangular::new("tri", 8))).unwrap();
+        a.set_shape(Arc::new(LowerTriangular::new("tri", 8)))
+            .unwrap();
         assert!(a
             .set_shape(Arc::new(CircleShape::new("disk", (4, 4), 2)))
             .is_err());
@@ -677,7 +688,8 @@ mod tests {
     #[test]
     fn fill_with_respects_shape() {
         let mut a = small();
-        a.set_shape(Arc::new(LowerTriangular::new("tri", 8))).unwrap();
+        a.set_shape(Arc::new(LowerTriangular::new("tri", 8)))
+            .unwrap();
         a.fill_with(|_| record([Value::from(1.0)])).unwrap();
         assert_eq!(a.cell_count(), 8 * 9 / 2);
     }
@@ -740,6 +752,9 @@ mod tests {
             .unwrap();
         let got = outer.get_cell(&[1]).unwrap();
         assert_eq!(got[0], Value::from("banjo"));
-        assert_eq!(got[1].as_array().unwrap().get_cell(&[2]), inner.get_cell(&[2]));
+        assert_eq!(
+            got[1].as_array().unwrap().get_cell(&[2]),
+            inner.get_cell(&[2])
+        );
     }
 }

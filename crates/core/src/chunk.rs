@@ -536,9 +536,7 @@ impl Chunk {
     /// Reads one attribute at linear offset `idx` (NULL if empty).
     pub fn value_at(&self, attr: usize, idx: usize) -> Value {
         match &self.repr {
-            Repr::Sparse(cells) => cells
-                .get(&idx)
-                .map_or(Value::Null, |rec| rec[attr].clone()),
+            Repr::Sparse(cells) => cells.get(&idx).map_or(Value::Null, |rec| rec[attr].clone()),
             Repr::Dense { columns, .. } => columns[attr].get(idx),
         }
     }
@@ -930,8 +928,7 @@ mod tests {
     #[test]
     fn constant_sigma_byte_size_is_smaller() {
         let mk = |varying: bool| {
-            let mut c =
-                Chunk::new(rect2(), &[AttrType::Scalar(ScalarType::UncertainFloat64)]);
+            let mut c = Chunk::new(rect2(), &[AttrType::Scalar(ScalarType::UncertainFloat64)]);
             for (i, coords) in rect2().iter_cells().enumerate() {
                 let sigma = if varying { i as f64 + 1.0 } else { 0.5 };
                 c.set_record(&coords, &record([Value::from(Uncertain::new(1.0, sigma))]))

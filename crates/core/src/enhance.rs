@@ -131,7 +131,10 @@ impl EnhancementFn for Scale {
     }
     fn forward(&self, basic: &[i64]) -> Result<Vec<PseudoValue>> {
         check_rank(&self.name, self.out_names.len(), basic.len())?;
-        Ok(basic.iter().map(|&c| PseudoValue::Int(c * self.factor)).collect())
+        Ok(basic
+            .iter()
+            .map(|&c| PseudoValue::Int(c * self.factor))
+            .collect())
     }
     fn inverse(&self, pseudo: &[PseudoValue]) -> Result<Option<Vec<i64>>> {
         check_rank(&self.name, self.out_names.len(), pseudo.len())?;
@@ -256,7 +259,11 @@ impl EnhancementFn for Permute {
     }
     fn forward(&self, basic: &[i64]) -> Result<Vec<PseudoValue>> {
         check_rank(&self.name, self.perm.len(), basic.len())?;
-        Ok(self.perm.iter().map(|&p| PseudoValue::Int(basic[p])).collect())
+        Ok(self
+            .perm
+            .iter()
+            .map(|&p| PseudoValue::Int(basic[p]))
+            .collect())
     }
     fn inverse(&self, pseudo: &[PseudoValue]) -> Result<Option<Vec<i64>>> {
         check_rank(&self.name, self.perm.len(), pseudo.len())?;
@@ -485,7 +492,9 @@ impl EnhancementFn for WallClock {
     }
     fn forward(&self, basic: &[i64]) -> Result<Vec<PseudoValue>> {
         check_rank(&self.name, 1, basic.len())?;
-        Ok(vec![PseudoValue::Int(self.base + (basic[0] - 1) * self.step)])
+        Ok(vec![PseudoValue::Int(
+            self.base + (basic[0] - 1) * self.step,
+        )])
     }
     fn inverse(&self, pseudo: &[PseudoValue]) -> Result<Option<Vec<i64>>> {
         check_rank(&self.name, 1, pseudo.len())?;
@@ -514,12 +523,14 @@ mod tests {
             vec![PseudoValue::Int(70), PseudoValue::Int(80)]
         );
         assert_eq!(
-            s.inverse(&[PseudoValue::Int(20), PseudoValue::Int(50)]).unwrap(),
+            s.inverse(&[PseudoValue::Int(20), PseudoValue::Int(50)])
+                .unwrap(),
             Some(vec![2, 5])
         );
         // Off-grid pseudo-coordinates address no cell.
         assert_eq!(
-            s.inverse(&[PseudoValue::Int(21), PseudoValue::Int(50)]).unwrap(),
+            s.inverse(&[PseudoValue::Int(21), PseudoValue::Int(50)])
+                .unwrap(),
             None
         );
     }
@@ -539,7 +550,8 @@ mod tests {
             vec![PseudoValue::Int(101), PseudoValue::Int(5)]
         );
         assert_eq!(
-            t.inverse(&[PseudoValue::Int(101), PseudoValue::Int(5)]).unwrap(),
+            t.inverse(&[PseudoValue::Int(101), PseudoValue::Int(5)])
+                .unwrap(),
             Some(vec![1, 10])
         );
     }
@@ -559,7 +571,8 @@ mod tests {
             vec![PseudoValue::Int(9), PseudoValue::Int(3)]
         );
         assert_eq!(
-            p.inverse(&[PseudoValue::Int(9), PseudoValue::Int(3)]).unwrap(),
+            p.inverse(&[PseudoValue::Int(9), PseudoValue::Int(3)])
+                .unwrap(),
             Some(vec![3, 9])
         );
     }
@@ -573,12 +586,7 @@ mod tests {
     #[test]
     fn irregular_map_matches_paper_example() {
         // "coordinates 16.3, 27.6, 48.2, …"
-        let m = IrregularMap::new(
-            "irr",
-            vec!["pos".into()],
-            vec![vec![16.3, 27.6, 48.2]],
-        )
-        .unwrap();
+        let m = IrregularMap::new("irr", vec!["pos".into()], vec![vec![16.3, 27.6, 48.2]]).unwrap();
         assert_eq!(m.forward(&[1]).unwrap(), vec![PseudoValue::Float(16.3)]);
         assert_eq!(m.forward(&[3]).unwrap(), vec![PseudoValue::Float(48.2)]);
         assert_eq!(
@@ -591,8 +599,7 @@ mod tests {
 
     #[test]
     fn irregular_map_nearest() {
-        let m = IrregularMap::new("irr", vec!["pos".into()], vec![vec![16.3, 27.6, 48.2]])
-            .unwrap();
+        let m = IrregularMap::new("irr", vec!["pos".into()], vec![vec![16.3, 27.6, 48.2]]).unwrap();
         assert_eq!(m.nearest(0, 17.0), Some(1));
         assert_eq!(m.nearest(0, 30.0), Some(2));
         assert_eq!(m.nearest(0, 100.0), Some(3));

@@ -108,15 +108,12 @@ mod tests {
         assert_eq!(Error::eval("bad").to_string(), "evaluation error: bad");
         assert_eq!(Error::parse("bad").to_string(), "parse error: bad");
         assert_eq!(Error::storage("bad").to_string(), "storage error: bad");
-        assert_eq!(
-            Error::Unsupported("x".into()).to_string(),
-            "unsupported: x"
-        );
+        assert_eq!(Error::Unsupported("x".into()).to_string(), "unsupported: x");
     }
 
     #[test]
     fn io_error_converts_to_storage() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk gone");
+        let io = std::io::Error::other("disk gone");
         let e: Error = io.into();
         assert!(matches!(e, Error::Storage(_)));
     }

@@ -1,0 +1,277 @@
+//! The chunk-parallel execution context.
+//!
+//! SciDB's unit of physical storage — the chunk — is also its unit of
+//! parallelism. An [`ExecContext`] carries a thread budget and per-query
+//! metrics through the executor into the operator kernels; chunk-separable
+//! kernels (Subsample, Filter, Apply, Project, Aggregate, Regrid) fan their
+//! chunk lists out over [`par_map`]-style scoped threads and combine the
+//! per-chunk results deterministically, so serial (`threads = 1`) and
+//! parallel runs produce identical arrays.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::error::Result;
+
+/// Metrics for one operator invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpMetrics {
+    /// Operator name (`filter`, `aggregate`, …).
+    pub op: String,
+    /// Input chunks scanned (after structural pruning).
+    pub chunks_scanned: u64,
+    /// Present cells touched.
+    pub cells_touched: u64,
+    /// Wall time of the kernel.
+    pub wall: Duration,
+}
+
+/// Accumulated metrics for the statements run under one context.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// One entry per operator invocation, in execution order.
+    pub ops: Vec<OpMetrics>,
+}
+
+impl QueryMetrics {
+    /// Total chunks scanned across operators.
+    pub fn chunks_scanned(&self) -> u64 {
+        self.ops.iter().map(|o| o.chunks_scanned).sum()
+    }
+
+    /// Total cells touched across operators.
+    pub fn cells_touched(&self) -> u64 {
+        self.ops.iter().map(|o| o.cells_touched).sum()
+    }
+
+    /// Total operator wall time (sum, not elapsed span).
+    pub fn total_wall(&self) -> Duration {
+        self.ops.iter().map(|o| o.wall).sum()
+    }
+
+    /// A compact one-line-per-operator report.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for o in &self.ops {
+            let _ = writeln!(
+                s,
+                "{:<12} chunks={:<6} cells={:<10} wall={:?}",
+                o.op, o.chunks_scanned, o.cells_touched, o.wall
+            );
+        }
+        s
+    }
+}
+
+/// Thread budget + metrics sink threaded from the executor down into the
+/// operator kernels.
+#[derive(Debug)]
+pub struct ExecContext {
+    threads: usize,
+    metrics: Mutex<QueryMetrics>,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext::new()
+    }
+}
+
+impl ExecContext {
+    /// A context sized to the machine (`available_parallelism`).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        ExecContext::with_threads(threads)
+    }
+
+    /// A context with an explicit thread budget (`0` means auto-size).
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        ExecContext {
+            threads,
+            metrics: Mutex::new(QueryMetrics::default()),
+        }
+    }
+
+    /// The single-threaded escape hatch.
+    pub fn serial() -> Self {
+        ExecContext::with_threads(1)
+    }
+
+    /// The thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Records one operator invocation.
+    pub fn record(&self, op: &str, chunks_scanned: u64, cells_touched: u64, wall: Duration) {
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        m.ops.push(OpMetrics {
+            op: op.to_string(),
+            chunks_scanned,
+            cells_touched,
+            wall,
+        });
+    }
+
+    /// Snapshot of the accumulated metrics.
+    pub fn metrics(&self) -> QueryMetrics {
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Drains and returns the accumulated metrics.
+    pub fn take_metrics(&self) -> QueryMetrics {
+        std::mem::take(&mut *self.metrics.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Maps `f` over `items`, in parallel when the budget allows.
+    /// Results are returned in item order regardless of scheduling.
+    pub fn par_map<'a, T, R, F>(&self, items: &'a [T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        par_map_threads(self.threads, items, f)
+    }
+
+    /// Fallible [`par_map`](Self::par_map): returns the first error in
+    /// *item order* (deterministic across thread schedules).
+    pub fn try_par_map<'a, T, R, F>(&self, items: &'a [T], f: F) -> Result<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> Result<R> + Sync,
+    {
+        par_map_threads(self.threads, items, f)
+            .into_iter()
+            .collect()
+    }
+
+    /// Times `f`, recording an [`OpMetrics`] entry on success.
+    pub fn timed<R>(&self, op: &str, f: impl FnOnce() -> Result<(R, u64, u64)>) -> Result<R> {
+        let start = Instant::now();
+        let (out, chunks, cells) = f()?;
+        self.record(op, chunks, cells, start.elapsed());
+        Ok(out)
+    }
+}
+
+/// Order-preserving parallel map over a slice with `threads` workers
+/// pulling items from a shared counter (dynamic load balancing; chunk
+/// workloads are rarely uniform). Falls back to a plain serial loop for
+/// `threads <= 1` or tiny inputs.
+pub fn par_map_threads<'a, T, R, F>(threads: usize, items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next_ref = &next;
+    let mut labelled: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            // A panic in a worker propagates here, matching serial behavior.
+            labelled.extend(h.join().expect("worker panicked"));
+        }
+    });
+    labelled.sort_by_key(|(i, _)| *i);
+    labelled.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 4, 8] {
+            let items: Vec<u64> = (0..100).collect();
+            let out = par_map_threads(threads, &items, |&x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny() {
+        let empty: Vec<u64> = vec![];
+        assert!(par_map_threads(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_threads(4, &[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_par_map_returns_first_error_in_item_order() {
+        let ctx = ExecContext::with_threads(4);
+        let items: Vec<i64> = (0..64).collect();
+        let err = ctx
+            .try_par_map(&items, |&x| {
+                if x % 10 == 3 {
+                    Err(Error::eval(format!("bad item {x}")))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("bad item 3"), "{err}");
+    }
+
+    #[test]
+    fn metrics_accumulate_and_drain() {
+        let ctx = ExecContext::serial();
+        ctx.record("filter", 4, 100, Duration::from_millis(2));
+        ctx.record("aggregate", 4, 100, Duration::from_millis(3));
+        let m = ctx.metrics();
+        assert_eq!(m.ops.len(), 2);
+        assert_eq!(m.chunks_scanned(), 8);
+        assert_eq!(m.cells_touched(), 200);
+        assert_eq!(m.total_wall(), Duration::from_millis(5));
+        assert!(m.report().contains("filter"));
+        let drained = ctx.take_metrics();
+        assert_eq!(drained.ops.len(), 2);
+        assert!(ctx.metrics().ops.is_empty());
+    }
+
+    #[test]
+    fn thread_budget_resolution() {
+        assert_eq!(ExecContext::serial().threads(), 1);
+        assert_eq!(ExecContext::with_threads(3).threads(), 3);
+        assert!(ExecContext::with_threads(0).threads() >= 1);
+        assert!(ExecContext::new().threads() >= 1);
+    }
+}

@@ -476,8 +476,14 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_null() {
-        assert_eq!(eval(&Expr::lit(1i64).div(Expr::lit(0i64)), &rec()), Value::Null);
-        assert_eq!(eval(&Expr::lit(1.0).div(Expr::lit(0.0)), &rec()), Value::Null);
+        assert_eq!(
+            eval(&Expr::lit(1i64).div(Expr::lit(0i64)), &rec()),
+            Value::Null
+        );
+        assert_eq!(
+            eval(&Expr::lit(1.0).div(Expr::lit(0.0)), &rec()),
+            Value::Null
+        );
     }
 
     #[test]
@@ -535,10 +541,7 @@ mod tests {
             record: &r,
             registry: None,
         };
-        assert_eq!(
-            Expr::lit(true).eval_bool(&ctx).unwrap(),
-            Some(true)
-        );
+        assert_eq!(Expr::lit(true).eval_bool(&ctx).unwrap(), Some(true));
         assert_eq!(Expr::Null.eval_bool(&ctx).unwrap(), None);
         assert!(Expr::lit(1i64).eval_bool(&ctx).is_err());
     }

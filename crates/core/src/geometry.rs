@@ -34,9 +34,7 @@ impl HyperRect {
         }
         for (l, h) in low.iter().zip(&high) {
             if l > h {
-                return Err(Error::dimension(format!(
-                    "rect low {l} exceeds high {h}"
-                )));
+                return Err(Error::dimension(format!("rect low {l} exceeds high {h}")));
             }
         }
         Ok(HyperRect { low, high })
@@ -82,7 +80,8 @@ impl HyperRect {
     /// True if two rectangles intersect.
     pub fn intersects(&self, other: &HyperRect) -> bool {
         self.rank() == other.rank()
-            && (0..self.rank()).all(|d| self.low[d] <= other.high[d] && other.low[d] <= self.high[d])
+            && (0..self.rank())
+                .all(|d| self.low[d] <= other.high[d] && other.low[d] <= self.high[d])
     }
 
     /// The intersection, if non-empty.
@@ -284,10 +283,7 @@ mod tests {
     fn iter_cells_in_order() {
         let rect = r(&[1, 1], &[2, 2]);
         let cells: Vec<Coords> = rect.iter_cells().collect();
-        assert_eq!(
-            cells,
-            vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]
-        );
+        assert_eq!(cells, vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]);
     }
 
     #[test]

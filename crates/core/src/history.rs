@@ -248,7 +248,12 @@ impl UpdatableArray {
 
     /// Reads the cell as of wall-clock `time`, resolved through the
     /// attached clock enhancement.
-    pub fn get_at_time(&self, coords: &[i64], time: i64, clock_name: &str) -> Result<Option<Record>> {
+    pub fn get_at_time(
+        &self,
+        coords: &[i64],
+        time: i64,
+        clock_name: &str,
+    ) -> Result<Option<Record>> {
         let clock = self
             .inner
             .enhancement(clock_name)
@@ -323,10 +328,7 @@ mod tests {
         assert_eq!(h, 1);
         assert_eq!(a.current_history(), 1);
         // Direct dimension addressing, as in the paper.
-        assert_eq!(
-            a.array().get_cell(&[2, 2, 1]),
-            Some(vec![Value::from(2.0)])
-        );
+        assert_eq!(a.array().get_cell(&[2, 2, 1]), Some(vec![Value::from(2.0)]));
     }
 
     #[test]
@@ -361,7 +363,7 @@ mod tests {
         let mut a = remote2();
         a.commit_put(&[1, 1], record([Value::from(1.0)])).unwrap(); // h=1
         a.commit_put(&[2, 2], record([Value::from(2.0)])).unwrap(); // h=2
-        // At h=2, cell [1,1] still reads its h=1 value.
+                                                                    // At h=2, cell [1,1] still reads its h=1 value.
         assert_eq!(a.get_at(&[1, 1], 2), Some(vec![Value::from(1.0)]));
     }
 

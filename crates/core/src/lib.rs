@@ -17,6 +17,9 @@
 //!   aggregates, and array operations in [`udf`] and [`registry`];
 //! * **no-overwrite** updatable arrays with a history dimension (§2.5) in
 //!   [`history`], and **named versions** (§2.11) in [`versions`];
+//! * the **chunk-parallel execution context** ([`exec`]): a thread budget
+//!   plus per-query metrics threaded through the executor into the
+//!   chunk-separable operator kernels;
 //! * **uncertainty** (§2.13) in [`uncertain`];
 //! * a small **expression language** over cell attributes in [`expr`], used
 //!   by Filter/Apply and by the query crate.
@@ -28,6 +31,7 @@ pub mod bitvec;
 pub mod chunk;
 pub mod enhance;
 pub mod error;
+pub mod exec;
 pub mod expr;
 pub mod geometry;
 pub mod history;
@@ -35,13 +39,14 @@ pub mod ops;
 pub mod registry;
 pub mod schema;
 pub mod shape;
-pub mod uncertain;
 pub mod udf;
+pub mod uncertain;
 pub mod value;
 pub mod versions;
 
 pub use array::Array;
 pub use error::{Error, Result};
+pub use exec::{ExecContext, OpMetrics, QueryMetrics};
 pub use geometry::{Coords, HyperRect};
 pub use schema::{ArraySchema, AttributeDef, DimensionDef, SchemaBuilder};
 pub use uncertain::Uncertain;

@@ -3,12 +3,15 @@
 //! the input array".
 
 use crate::array::Array;
+use crate::chunk::Chunk;
 use crate::error::{Error, Result};
+use crate::exec::ExecContext;
 use crate::expr::{EvalContext, Expr};
 use crate::registry::Registry;
-use crate::schema::{ArraySchema, AttributeDef, AttrType, DimensionDef};
+use crate::schema::{ArraySchema, AttrType, AttributeDef, DimensionDef};
 use crate::value::{Record, ScalarType, Value};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// `Filter(A, P)` (§2.2.2): "Filter returns an array with the same
 /// dimensions as A. … A(v) will contain A(v) if P(A(v)) evaluates to true,
@@ -17,22 +20,51 @@ use std::collections::BTreeMap;
 /// Present cells that fail the predicate (or for which it is NULL) become
 /// all-NULL records; empty cells stay empty.
 pub fn filter(a: &Array, pred: &Expr, registry: Option<&Registry>) -> Result<Array> {
-    let mut out = Array::from_arc(a.schema_arc());
+    filter_with(a, pred, registry, &ExecContext::serial())
+}
+
+/// [`filter`] under an [`ExecContext`]: the predicate touches each chunk
+/// independently, so chunks are evaluated in parallel up to the context's
+/// thread budget.
+pub fn filter_with(
+    a: &Array,
+    pred: &Expr,
+    registry: Option<&Registry>,
+    ctx: &ExecContext,
+) -> Result<Array> {
+    let start = Instant::now();
     let null_rec: Record = vec![Value::Null; a.schema().attrs().len()];
-    for (coords, rec) in a.cells() {
-        let ctx = EvalContext {
-            schema: a.schema(),
-            coords: &coords,
-            record: &rec,
-            registry,
-        };
-        let keep = pred.eval_bool(&ctx)?.unwrap_or(false);
-        if keep {
-            out.set_cell(&coords, rec)?;
-        } else {
-            out.set_cell(&coords, null_rec.clone())?;
+    let chunks: Vec<&Chunk> = a.chunks().values().collect();
+    let results = ctx.try_par_map(&chunks, |chunk| {
+        let mut oc = Chunk::new(chunk.rect().clone(), chunk.attr_types());
+        let mut cells = 0u64;
+        for (coords, idx) in chunk.iter_present() {
+            cells += 1;
+            let rec = chunk.record_at(idx);
+            let ectx = EvalContext {
+                schema: a.schema(),
+                coords: &coords,
+                record: &rec,
+                registry,
+            };
+            let keep = pred.eval_bool(&ectx)?.unwrap_or(false);
+            if keep {
+                oc.set_record(&coords, &rec)?;
+            } else {
+                oc.set_record(&coords, &null_rec)?;
+            }
+        }
+        Ok((oc, cells))
+    })?;
+    let mut out = Array::from_arc(a.schema_arc());
+    let mut total_cells = 0u64;
+    for (oc, cells) in results {
+        total_cells += cells;
+        if !oc.is_empty() {
+            out.insert_chunk(oc);
         }
     }
+    ctx.record("filter", chunks.len() as u64, total_cells, start.elapsed());
     Ok(out)
 }
 
@@ -60,6 +92,33 @@ pub fn aggregate(
     input: AggInput,
     registry: &Registry,
 ) -> Result<Array> {
+    aggregate_with(
+        a,
+        group_dims,
+        agg_name,
+        input,
+        registry,
+        &ExecContext::serial(),
+    )
+}
+
+/// [`aggregate`] under an [`ExecContext`]: each chunk computes partial
+/// aggregate states independently; the coordinator merges partials in chunk
+/// order via [`crate::udf::AggState::merge`].
+///
+/// The partial/merge structure is used at *every* thread count — parallelism
+/// changes which thread computes a chunk's partial, never how partials are
+/// combined — so serial and parallel runs are bitwise identical even for
+/// floating-point aggregates.
+pub fn aggregate_with(
+    a: &Array,
+    group_dims: &[&str],
+    agg_name: &str,
+    input: AggInput,
+    registry: &Registry,
+    ctx: &ExecContext,
+) -> Result<Array> {
+    let start = Instant::now();
     let schema = a.schema();
     let mut gdims = Vec::with_capacity(group_dims.len());
     for g in group_dims {
@@ -105,25 +164,50 @@ pub fn aggregate(
             AttributeDef::scalar(format!("{}_{}", agg_name, in_attr.name), ty)
         })
         .collect();
-    let out_schema = ArraySchema::new(
-        format!("aggregate({})", schema.name()),
-        out_attrs,
-        out_dims,
-    )?;
+    let out_schema =
+        ArraySchema::new(format!("aggregate({})", schema.name()), out_attrs, out_dims)?;
 
-    // Group states keyed by grouping coordinates.
+    // Per-chunk partial aggregation: each chunk folds its cells into local
+    // states and exports mergeable partials.
+    let chunks: Vec<&Chunk> = a.chunks().values().collect();
+    let mut total_cells = 0u64;
+    let partials = ctx.try_par_map(&chunks, |chunk| {
+        let mut local: BTreeMap<Vec<i64>, Vec<Box<dyn crate::udf::AggState>>> = BTreeMap::new();
+        let mut cells = 0u64;
+        for (coords, idx) in chunk.iter_present() {
+            cells += 1;
+            let rec = chunk.record_at(idx);
+            let key: Vec<i64> = if gdims.is_empty() {
+                vec![1]
+            } else {
+                gdims.iter().map(|&d| coords[d]).collect()
+            };
+            let states = local
+                .entry(key)
+                .or_insert_with(|| attr_idxs.iter().map(|_| agg.create()).collect());
+            for (si, &ai) in attr_idxs.iter().enumerate() {
+                states[si].update(&rec[ai])?;
+            }
+        }
+        let exported: Vec<(Vec<i64>, Vec<Record>)> = local
+            .into_iter()
+            .map(|(k, states)| (k, states.iter().map(|s| s.partial()).collect()))
+            .collect();
+        Ok((exported, cells))
+    })?;
+
+    // Ordered merge: partials are combined in chunk order, which is fixed by
+    // the array's chunk map — never by thread scheduling.
     let mut groups: BTreeMap<Vec<i64>, Vec<Box<dyn crate::udf::AggState>>> = BTreeMap::new();
-    for (coords, rec) in a.cells() {
-        let key: Vec<i64> = if gdims.is_empty() {
-            vec![1]
-        } else {
-            gdims.iter().map(|&d| coords[d]).collect()
-        };
-        let states = groups
-            .entry(key)
-            .or_insert_with(|| attr_idxs.iter().map(|_| agg.create()).collect());
-        for (si, &ai) in attr_idxs.iter().enumerate() {
-            states[si].update(&rec[ai])?;
+    for (exported, cells) in partials {
+        total_cells += cells;
+        for (key, recs) in exported {
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| attr_idxs.iter().map(|_| agg.create()).collect());
+            for (si, prec) in recs.iter().enumerate() {
+                states[si].merge(prec)?;
+            }
         }
     }
 
@@ -132,6 +216,12 @@ pub fn aggregate(
         let rec: Record = states.iter().map(|s| s.finalize()).collect();
         out.set_cell(&key, rec)?;
     }
+    ctx.record(
+        "aggregate",
+        chunks.len() as u64,
+        total_cells,
+        start.elapsed(),
+    );
     Ok(out)
 }
 
@@ -174,8 +264,7 @@ pub fn cjoin(a: &Array, b: &Array, pred: &Expr, registry: Option<&Registry>) -> 
         dims,
     )?;
     let mut out = Array::new(out_schema);
-    let null_rec: Record =
-        vec![Value::Null; a.schema().attrs().len() + b.schema().attrs().len()];
+    let null_rec: Record = vec![Value::Null; a.schema().attrs().len() + b.schema().attrs().len()];
 
     let b_cells: Vec<(Vec<i64>, Record)> = b.cells().collect();
     for (a_coords, a_rec) in a.cells() {
@@ -210,6 +299,27 @@ pub fn apply(
     out_type: ScalarType,
     registry: Option<&Registry>,
 ) -> Result<Array> {
+    apply_with(
+        a,
+        new_attr,
+        expr,
+        out_type,
+        registry,
+        &ExecContext::serial(),
+    )
+}
+
+/// [`apply`] under an [`ExecContext`]: the expression is evaluated per cell
+/// with no cross-cell state, so chunks are computed in parallel.
+pub fn apply_with(
+    a: &Array,
+    new_attr: &str,
+    expr: &Expr,
+    out_type: ScalarType,
+    registry: Option<&Registry>,
+    ctx: &ExecContext,
+) -> Result<Array> {
+    let start = Instant::now();
     if a.schema().attr_index(new_attr).is_some() {
         return Err(Error::AlreadyExists(format!("attribute '{new_attr}'")));
     }
@@ -220,24 +330,48 @@ pub fn apply(
         attrs,
         a.schema().dims().to_vec(),
     )?;
+    let out_types: Vec<AttrType> = out_schema.attrs().iter().map(|at| at.ty.clone()).collect();
+    let chunks: Vec<&Chunk> = a.chunks().values().collect();
+    let results = ctx.try_par_map(&chunks, |chunk| {
+        let mut oc = Chunk::new(chunk.rect().clone(), &out_types);
+        let mut cells = 0u64;
+        for (coords, idx) in chunk.iter_present() {
+            cells += 1;
+            let rec = chunk.record_at(idx);
+            let ectx = EvalContext {
+                schema: a.schema(),
+                coords: &coords,
+                record: &rec,
+                registry,
+            };
+            let v = expr.eval(&ectx)?;
+            let mut new_rec = rec;
+            new_rec.push(v);
+            oc.set_record(&coords, &new_rec)?;
+        }
+        Ok((oc, cells))
+    })?;
     let mut out = Array::new(out_schema);
-    for (coords, rec) in a.cells() {
-        let ctx = EvalContext {
-            schema: a.schema(),
-            coords: &coords,
-            record: &rec,
-            registry,
-        };
-        let v = expr.eval(&ctx)?;
-        let mut new_rec = rec;
-        new_rec.push(v);
-        out.set_cell(&coords, new_rec)?;
+    let mut total_cells = 0u64;
+    for (oc, cells) in results {
+        total_cells += cells;
+        if !oc.is_empty() {
+            out.insert_chunk(oc);
+        }
     }
+    ctx.record("apply", chunks.len() as u64, total_cells, start.elapsed());
     Ok(out)
 }
 
 /// `Project(A, attrs)` (§2.2.2): keeps only the named attributes.
 pub fn project(a: &Array, keep: &[&str]) -> Result<Array> {
+    project_with(a, keep, &ExecContext::serial())
+}
+
+/// [`project`] under an [`ExecContext`]: a pure per-chunk column selection,
+/// computed in parallel.
+pub fn project_with(a: &Array, keep: &[&str], ctx: &ExecContext) -> Result<Array> {
+    let start = Instant::now();
     if keep.is_empty() {
         return Err(Error::schema("project requires at least one attribute"));
     }
@@ -256,11 +390,28 @@ pub fn project(a: &Array, keep: &[&str]) -> Result<Array> {
         attrs,
         a.schema().dims().to_vec(),
     )?;
+    let out_types: Vec<AttrType> = out_schema.attrs().iter().map(|at| at.ty.clone()).collect();
+    let chunks: Vec<&Chunk> = a.chunks().values().collect();
+    let results = ctx.try_par_map(&chunks, |chunk| {
+        let mut oc = Chunk::new(chunk.rect().clone(), &out_types);
+        let mut cells = 0u64;
+        for (coords, idx) in chunk.iter_present() {
+            cells += 1;
+            let rec = chunk.record_at(idx);
+            let new_rec: Record = idxs.iter().map(|&i| rec[i].clone()).collect();
+            oc.set_record(&coords, &new_rec)?;
+        }
+        Ok((oc, cells))
+    })?;
     let mut out = Array::new(out_schema);
-    for (coords, rec) in a.cells() {
-        let new_rec: Record = idxs.iter().map(|&i| rec[i].clone()).collect();
-        out.set_cell(&coords, new_rec)?;
+    let mut total_cells = 0u64;
+    for (oc, cells) in results {
+        total_cells += cells;
+        if !oc.is_empty() {
+            out.insert_chunk(oc);
+        }
     }
+    ctx.record("project", chunks.len() as u64, total_cells, start.elapsed());
     Ok(out)
 }
 
@@ -362,7 +513,7 @@ mod tests {
         let out = cjoin(&a, &b, &pred, None).unwrap();
         assert_eq!(out.rank(), 2); // m + n
         assert_eq!(out.cell_count(), 4); // all combinations present
-        // Matches on the diagonal carry concatenated tuples…
+                                         // Matches on the diagonal carry concatenated tuples…
         assert_eq!(
             out.get_cell(&[1, 1]),
             Some(vec![Value::from(1i64), Value::from(1i64)])

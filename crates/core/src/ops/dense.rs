@@ -327,7 +327,10 @@ mod tests {
         let a = dense(32, 8);
         let region = HyperRect::new(vec![5, 9], vec![20, 27]).unwrap();
         let (sum, n) = slab_sum_f64(&a, 0, &region).unwrap();
-        let expect: f64 = a.cells_in(&region).map(|(_, r)| r[0].as_f64().unwrap()).sum();
+        let expect: f64 = a
+            .cells_in(&region)
+            .map(|(_, r)| r[0].as_f64().unwrap())
+            .sum();
         let count = a.cells_in(&region).count();
         assert_eq!(n, count);
         assert!((sum - expect).abs() < 1e-9);

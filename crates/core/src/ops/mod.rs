@@ -20,9 +20,12 @@ pub mod dense;
 pub mod regrid;
 pub mod structural;
 
-pub use content::{aggregate, apply, cjoin, filter, project, AggInput};
-pub use regrid::regrid;
+pub use content::{
+    aggregate, aggregate_with, apply, apply_with, cjoin, filter, filter_with, project,
+    project_with, AggInput,
+};
+pub use regrid::{regrid, regrid_with};
 pub use structural::{
     add_dimension, concat, cross_product, exists, remove_dimension, reshape, sjoin, subsample,
-    DimCond, DimPredicate,
+    subsample_with, DimCond, DimPredicate,
 };

@@ -18,6 +18,27 @@ use std::collections::BTreeMap;
 /// `ceil(N_d / factors[d])`; input cell `c` lands in output cell
 /// `(c-1)/factor + 1`.
 pub fn regrid(a: &Array, factors: &[i64], agg_name: &str, registry: &Registry) -> Result<Array> {
+    regrid_with(
+        a,
+        factors,
+        agg_name,
+        registry,
+        &crate::exec::ExecContext::serial(),
+    )
+}
+
+/// [`regrid`] under an [`ExecContext`](crate::exec::ExecContext): each chunk
+/// folds its cells into per-block partial aggregate states; partials are
+/// merged in chunk order, so results are identical at every thread count
+/// (see [`crate::ops::content::aggregate_with`] for the merge rule).
+pub fn regrid_with(
+    a: &Array,
+    factors: &[i64],
+    agg_name: &str,
+    registry: &Registry,
+    ctx: &crate::exec::ExecContext,
+) -> Result<Array> {
+    let start = std::time::Instant::now();
     let schema = a.schema();
     if factors.len() != schema.rank() {
         return Err(Error::dimension(format!(
@@ -38,10 +59,7 @@ pub fn regrid(a: &Array, factors: &[i64], agg_name: &str, registry: &Registry) -
         .map(|(d, &f)| {
             let mut def = d.clone();
             def.upper = d.upper.map(|u| (u + f - 1) / f);
-            def.chunk_len = def
-                .chunk_len
-                .min(def.upper.unwrap_or(def.chunk_len))
-                .max(1);
+            def.chunk_len = def.chunk_len.min(def.upper.unwrap_or(def.chunk_len)).max(1);
             def
         })
         .collect();
@@ -71,18 +89,44 @@ pub fn regrid(a: &Array, factors: &[i64], agg_name: &str, registry: &Registry) -
     let out_schema = ArraySchema::new(format!("regrid({})", schema.name()), out_attrs, out_dims)?;
 
     let n_attrs = schema.attrs().len();
-    let mut blocks: BTreeMap<Vec<i64>, Vec<Box<dyn crate::udf::AggState>>> = BTreeMap::new();
-    for (coords, rec) in a.cells() {
-        let key: Vec<i64> = coords
-            .iter()
-            .zip(factors)
-            .map(|(&c, &f)| (c - 1) / f + 1)
+    let chunks: Vec<&crate::chunk::Chunk> = a.chunks().values().collect();
+    let partials = ctx.try_par_map(&chunks, |chunk| {
+        let mut local: BTreeMap<Vec<i64>, Vec<Box<dyn crate::udf::AggState>>> = BTreeMap::new();
+        let mut cells = 0u64;
+        for (coords, idx) in chunk.iter_present() {
+            cells += 1;
+            let rec = chunk.record_at(idx);
+            let key: Vec<i64> = coords
+                .iter()
+                .zip(factors)
+                .map(|(&c, &f)| (c - 1) / f + 1)
+                .collect();
+            let states = local
+                .entry(key)
+                .or_insert_with(|| (0..n_attrs).map(|_| agg.create()).collect());
+            for (s, v) in states.iter_mut().zip(&rec) {
+                s.update(v)?;
+            }
+        }
+        let exported: Vec<(Vec<i64>, Vec<Record>)> = local
+            .into_iter()
+            .map(|(k, states)| (k, states.iter().map(|s| s.partial()).collect()))
             .collect();
-        let states = blocks
-            .entry(key)
-            .or_insert_with(|| (0..n_attrs).map(|_| agg.create()).collect());
-        for (s, v) in states.iter_mut().zip(&rec) {
-            s.update(v)?;
+        Ok((exported, cells))
+    })?;
+
+    // Ordered merge in chunk order — deterministic across thread schedules.
+    let mut blocks: BTreeMap<Vec<i64>, Vec<Box<dyn crate::udf::AggState>>> = BTreeMap::new();
+    let mut total_cells = 0u64;
+    for (exported, cells) in partials {
+        total_cells += cells;
+        for (key, recs) in exported {
+            let states = blocks
+                .entry(key)
+                .or_insert_with(|| (0..n_attrs).map(|_| agg.create()).collect());
+            for (s, prec) in states.iter_mut().zip(&recs) {
+                s.merge(prec)?;
+            }
         }
     }
 
@@ -91,6 +135,7 @@ pub fn regrid(a: &Array, factors: &[i64], agg_name: &str, registry: &Registry) -
         let rec: Record = states.iter().map(|s| s.finalize()).collect();
         out.set_cell(&key, rec)?;
     }
+    ctx.record("regrid", chunks.len() as u64, total_cells, start.elapsed());
     Ok(out)
 }
 

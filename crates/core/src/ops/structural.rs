@@ -160,19 +160,51 @@ impl DimPredicate {
 /// predicate. "The output will always have the same number of dimensions as
 /// the input … the index values are retained."
 pub fn subsample(a: &Array, pred: &DimPredicate, registry: Option<&Registry>) -> Result<Array> {
+    subsample_with(a, pred, registry, &crate::exec::ExecContext::serial())
+}
+
+/// [`subsample`] under an [`ExecContext`](crate::exec::ExecContext):
+/// structural pruning first discards chunks whose rectangle cannot match,
+/// then surviving chunks are filtered cell-by-cell in parallel.
+pub fn subsample_with(
+    a: &Array,
+    pred: &DimPredicate,
+    registry: Option<&Registry>,
+    ctx: &crate::exec::ExecContext,
+) -> Result<Array> {
+    let start = std::time::Instant::now();
     pred.validate(a.schema())?;
-    let mut out = Array::from_arc(a.schema_arc());
-    for chunk in a.chunks().values() {
-        // Structural pruning: skip chunks whose rectangle cannot match.
-        let Some(_narrowed) = pred.narrow_rect(a.schema(), chunk.rect()) else {
-            continue;
-        };
+    // Structural pruning: skip chunks whose rectangle cannot match.
+    let survivors: Vec<&crate::chunk::Chunk> = a
+        .chunks()
+        .values()
+        .filter(|chunk| pred.narrow_rect(a.schema(), chunk.rect()).is_some())
+        .collect();
+    let results = ctx.try_par_map(&survivors, |chunk| {
+        let mut oc = crate::chunk::Chunk::new(chunk.rect().clone(), chunk.attr_types());
+        let mut cells = 0u64;
         for (coords, idx) in chunk.iter_present() {
+            cells += 1;
             if pred.matches(a.schema(), &coords, registry)? {
-                out.set_cell(&coords, chunk.record_at(idx))?;
+                oc.set_record(&coords, &chunk.record_at(idx))?;
             }
         }
+        Ok((oc, cells))
+    })?;
+    let mut out = Array::from_arc(a.schema_arc());
+    let mut total_cells = 0u64;
+    for (oc, cells) in results {
+        total_cells += cells;
+        if !oc.is_empty() {
+            out.insert_chunk(oc);
+        }
     }
+    ctx.record(
+        "subsample",
+        survivors.len() as u64,
+        total_cells,
+        start.elapsed(),
+    );
     Ok(out)
 }
 
@@ -216,7 +248,9 @@ pub fn reshape(a: &Array, order: &[&str], new_dims: &[(String, i64)]) -> Result<
     }
     for (name, n) in new_dims {
         if *n < 1 {
-            return Err(Error::dimension(format!("dimension '{name}' bound {n} < 1")));
+            return Err(Error::dimension(format!(
+                "dimension '{name}' bound {n} < 1"
+            )));
         }
     }
 
@@ -285,7 +319,9 @@ fn join_dims(a: &ArraySchema, b: &ArraySchema, drop_b: &[usize]) -> Vec<Dimensio
 /// cell tuples wherever the JOIN-predicate is true" — Figure 1.
 pub fn sjoin(a: &Array, b: &Array, on: &[(&str, &str)]) -> Result<Array> {
     if on.is_empty() {
-        return Err(Error::dimension("sjoin requires at least one dimension pair"));
+        return Err(Error::dimension(
+            "sjoin requires at least one dimension pair",
+        ));
     }
     let mut a_dims = Vec::new();
     let mut b_dims = Vec::new();
@@ -391,13 +427,7 @@ pub fn concat(a: &Array, b: &Array, dim: &str) -> Result<Array> {
     if a.schema().rank() != b.schema().rank() {
         return Err(Error::dimension("concat requires equal rank"));
     }
-    for (i, (da, dbm)) in a
-        .schema()
-        .dims()
-        .iter()
-        .zip(b.schema().dims())
-        .enumerate()
-    {
+    for (i, (da, dbm)) in a.schema().dims().iter().zip(b.schema().dims()).enumerate() {
         if i != d && da.upper != dbm.upper {
             return Err(Error::dimension(format!(
                 "concat: dimension '{}' bounds differ",
@@ -544,12 +574,7 @@ mod tests {
         let mut g = Array::new(schema);
         g.fill_with(|c| record([Value::from(100 * c[0] + 10 * c[1] + c[2])]))
             .unwrap();
-        let out = reshape(
-            &g,
-            &["X", "Z", "Y"],
-            &[("U".into(), 8), ("V".into(), 3)],
-        )
-        .unwrap();
+        let out = reshape(&g, &["X", "Z", "Y"], &[("U".into(), 8), ("V".into(), 3)]).unwrap();
         assert_eq!(out.rank(), 2);
         assert_eq!(out.cell_count(), 24);
         assert_eq!(out.schema().dims()[0].name, "U");

@@ -30,10 +30,7 @@ macro_rules! register {
     ($map:expr, $kind:literal, $name:expr, $obj:expr) => {{
         let name = $name.to_ascii_lowercase();
         if $map.contains_key(&name) {
-            return Err(Error::AlreadyExists(format!(
-                concat!($kind, " '{}'"),
-                name
-            )));
+            return Err(Error::AlreadyExists(format!(concat!($kind, " '{}'"), name)));
         }
         $map.insert(name, $obj);
         Ok(())
@@ -147,42 +144,50 @@ impl Registry {
         }
         // even/odd over integers — used by the paper's Subsample example
         // `Subsample(F, even(X))`.
-        self.register_scalar_fn(Arc::new(ClosureFn::new("even", Some(1), |args| {
-            match args[0].as_i64() {
+        self.register_scalar_fn(Arc::new(ClosureFn::new(
+            "even",
+            Some(1),
+            |args| match args[0].as_i64() {
                 Some(v) => Ok(Value::from(v % 2 == 0)),
                 None if args[0].is_null() => Ok(Value::Null),
                 None => Err(Error::eval("even: integer argument required")),
-            }
-        })))
+            },
+        )))
         .unwrap();
-        self.register_scalar_fn(Arc::new(ClosureFn::new("odd", Some(1), |args| {
-            match args[0].as_i64() {
+        self.register_scalar_fn(Arc::new(ClosureFn::new(
+            "odd",
+            Some(1),
+            |args| match args[0].as_i64() {
                 Some(v) => Ok(Value::from(v % 2 != 0)),
                 None if args[0].is_null() => Ok(Value::Null),
                 None => Err(Error::eval("odd: integer argument required")),
-            }
-        })))
+            },
+        )))
         .unwrap();
         // Uncertainty accessors (§2.13).
-        self.register_scalar_fn(Arc::new(ClosureFn::new("err", Some(1), |args| {
-            match &args[0] {
+        self.register_scalar_fn(Arc::new(ClosureFn::new(
+            "err",
+            Some(1),
+            |args| match &args[0] {
                 Value::Null => Ok(Value::Null),
                 v => match v.as_scalar().and_then(Scalar::as_uncertain) {
                     Some(u) => Ok(Value::from(u.sigma)),
                     None => Err(Error::eval("err: numeric argument required")),
                 },
-            }
-        })))
+            },
+        )))
         .unwrap();
-        self.register_scalar_fn(Arc::new(ClosureFn::new("mean", Some(1), |args| {
-            match &args[0] {
+        self.register_scalar_fn(Arc::new(ClosureFn::new(
+            "mean",
+            Some(1),
+            |args| match &args[0] {
                 Value::Null => Ok(Value::Null),
                 v => match v.as_f64() {
                     Some(m) => Ok(Value::from(m)),
                     None => Err(Error::eval("mean: numeric argument required")),
                 },
-            }
-        })))
+            },
+        )))
         .unwrap();
         self.register_scalar_fn(Arc::new(ClosureFn::new("uncertain", Some(2), |args| {
             if args[0].is_null() || args[1].is_null() {
@@ -305,7 +310,9 @@ struct SumState {
 
 impl AggState for SumState {
     fn update(&mut self, v: &Value) -> Result<()> {
-        let Some(s) = v.as_scalar() else { return Ok(()) };
+        let Some(s) = v.as_scalar() else {
+            return Ok(());
+        };
         if !self.started {
             self.int_only = matches!(s, Scalar::Int64(_));
             self.started = true;
@@ -476,10 +483,7 @@ impl AggState for ExtremeState {
         Ok(())
     }
     fn partial(&self) -> Record {
-        vec![self
-            .best
-            .clone()
-            .map_or(Value::Null, Value::Scalar)]
+        vec![self.best.clone().map_or(Value::Null, Value::Scalar)]
     }
     fn merge(&mut self, p: &Record) -> Result<()> {
         if let Some(s) = p[0].as_scalar() {
@@ -509,7 +513,15 @@ mod tests {
     #[test]
     fn builtin_scalar_fns_present() {
         let r = Registry::with_builtins();
-        for name in ["abs", "sqrt", "even", "odd", "err", "uncertain", "prob_below"] {
+        for name in [
+            "abs",
+            "sqrt",
+            "even",
+            "odd",
+            "err",
+            "uncertain",
+            "prob_below",
+        ] {
             assert!(r.scalar_fn(name).is_ok(), "missing builtin {name}");
         }
         assert!(r.scalar_fn("nope").is_err());
@@ -591,7 +603,11 @@ mod tests {
 
     #[test]
     fn min_max_strings() {
-        let vals = [Value::from("pear"), Value::from("apple"), Value::from("zuc")];
+        let vals = [
+            Value::from("pear"),
+            Value::from("apple"),
+            Value::from("zuc"),
+        ];
         assert_eq!(run_agg("min", &vals), Value::from("apple"));
         assert_eq!(run_agg("max", &vals), Value::from("zuc"));
     }
@@ -625,10 +641,7 @@ mod tests {
         let r = Registry::with_builtins();
         let f = r.scalar_fn("prob_below").unwrap();
         let p = f
-            .call(&[
-                Value::from(Uncertain::new(0.0, 1.0)),
-                Value::from(0.0),
-            ])
+            .call(&[Value::from(Uncertain::new(0.0, 1.0)), Value::from(0.0)])
             .unwrap();
         assert!((p.as_f64().unwrap() - 0.5).abs() < 1e-6);
     }

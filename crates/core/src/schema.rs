@@ -509,10 +509,12 @@ mod tests {
     #[test]
     fn empty_schema_rejected() {
         assert!(ArraySchema::new("A", vec![], vec![DimensionDef::bounded("I", 1)]).is_err());
-        assert!(
-            ArraySchema::new("A", vec![AttributeDef::scalar("x", ScalarType::Int64)], vec![])
-                .is_err()
-        );
+        assert!(ArraySchema::new(
+            "A",
+            vec![AttributeDef::scalar("x", ScalarType::Int64)],
+            vec![]
+        )
+        .is_err());
     }
 
     #[test]

@@ -117,7 +117,11 @@ impl ShapeFn for CircleShape {
     }
 
     fn global_bounds(&self, dim: usize) -> (i64, i64) {
-        let c = if dim == 0 { self.center.0 } else { self.center.1 };
+        let c = if dim == 0 {
+            self.center.0
+        } else {
+            self.center.1
+        };
         (c - self.radius, c + self.radius)
     }
 }
@@ -133,7 +137,10 @@ pub struct LowerTriangular {
 impl LowerTriangular {
     /// Creates an `n × n` lower-triangular shape.
     pub fn new(name: impl Into<String>, n: i64) -> Self {
-        LowerTriangular { name: name.into(), n }
+        LowerTriangular {
+            name: name.into(),
+            n,
+        }
     }
 }
 

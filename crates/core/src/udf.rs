@@ -47,7 +47,10 @@ impl ClosureFn {
     }
 
     /// Wraps a unary `f64 -> f64` function, with NULL passthrough.
-    pub fn unary_f64(name: impl Into<String>, f: impl Fn(f64) -> f64 + Send + Sync + 'static) -> Self {
+    pub fn unary_f64(
+        name: impl Into<String>,
+        f: impl Fn(f64) -> f64 + Send + Sync + 'static,
+    ) -> Self {
         let name = name.into();
         let label = name.clone();
         ClosureFn::new(name, Some(1), move |args| {
@@ -204,7 +207,9 @@ mod tests {
     #[test]
     fn closure_fn_checks_arity() {
         let f = ClosureFn::new("pair", Some(2), |args| {
-            Ok(Value::from(args[0].as_f64().unwrap() + args[1].as_f64().unwrap()))
+            Ok(Value::from(
+                args[0].as_f64().unwrap() + args[1].as_f64().unwrap(),
+            ))
         });
         assert_eq!(
             f.call(&[Value::from(1.0), Value::from(2.0)]).unwrap(),

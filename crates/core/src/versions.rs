@@ -75,13 +75,12 @@ impl VersionTree {
         }
         let parent_history = match parent {
             None => self.base.current_history(),
-            Some(p) => {
-                self.versions
-                    .get(p)
-                    .ok_or_else(|| Error::not_found(format!("version '{p}'")))?
-                    .delta
-                    .current_history()
-            }
+            Some(p) => self
+                .versions
+                .get(p)
+                .ok_or_else(|| Error::not_found(format!("version '{p}'")))?
+                .delta
+                .current_history(),
         };
         let schema = self
             .base
@@ -335,9 +334,6 @@ mod tests {
         let base = t.base().byte_size();
         // One modified cell out of 64: the delta is far smaller than the
         // base (E5's "essentially no space").
-        assert!(
-            small * 4 < base,
-            "delta {small} bytes vs base {base} bytes"
-        );
+        assert!(small * 4 < base, "delta {small} bytes vs base {base} bytes");
     }
 }

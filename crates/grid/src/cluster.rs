@@ -188,7 +188,12 @@ impl Cluster {
 
     /// Per-node cell counts for an array (the data-balance metric).
     pub fn distribution(&self, name: &str) -> Result<Vec<usize>> {
-        Ok(self.array(name)?.shards.iter().map(Array::cell_count).collect())
+        Ok(self
+            .array(name)?
+            .shards
+            .iter()
+            .map(Array::cell_count)
+            .collect())
     }
 
     /// Total cells of an array.
@@ -373,8 +378,7 @@ impl Cluster {
                 continue;
             }
             stats.nodes_touched += 1;
-            stats.cells_scanned +=
-                l_parts[node].cell_count() + r_parts[node].cell_count();
+            stats.cells_scanned += l_parts[node].cell_count() + r_parts[node].cell_count();
             let local = structural::sjoin(&l_parts[node], &r_parts[node], on)?;
             match &mut result {
                 None => result = Some(local),
@@ -450,8 +454,7 @@ mod tests {
 
     fn grid_cluster(n_nodes: usize, n: i64) -> Cluster {
         let mut c = Cluster::new(n_nodes);
-        let scheme =
-            PartitionScheme::grid(space(n), vec![2, 2], n_nodes).unwrap();
+        let scheme = PartitionScheme::grid(space(n), vec![2, 2], n_nodes).unwrap();
         c.create_array("A", schema2(n), EpochPartitioning::fixed(scheme))
             .unwrap();
         c
@@ -528,8 +531,10 @@ mod tests {
             dims: vec![0, 1],
             n_nodes: 4,
         };
-        c.create_array("L", schema2(8), EpochPartitioning::fixed(g)).unwrap();
-        c.create_array("R", schema2(8), EpochPartitioning::fixed(h)).unwrap();
+        c.create_array("L", schema2(8), EpochPartitioning::fixed(g))
+            .unwrap();
+        c.create_array("R", schema2(8), EpochPartitioning::fixed(h))
+            .unwrap();
         c.load_at("L", 0, dense_cells(8)).unwrap();
         c.load_at("R", 0, dense_cells(8)).unwrap();
         let (out, stats) = c.sjoin("L", "R", &[("I", "I"), ("J", "J")]).unwrap();

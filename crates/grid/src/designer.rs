@@ -202,7 +202,10 @@ mod tests {
         // Hot rows spread across nodes: near-even split of the hot region.
         assert!(eval.imbalance < 1.3, "{scheme:?} {eval:?}");
         if let PartitionScheme::Range { splits, .. } = &scheme {
-            assert!(splits.iter().all(|&s| s <= 10), "splits in hot region: {splits:?}");
+            assert!(
+                splits.iter().all(|&s| s <= 10),
+                "splits in hot region: {splits:?}"
+            );
         } else {
             panic!("expected range scheme");
         }

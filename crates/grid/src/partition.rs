@@ -110,9 +110,7 @@ impl PartitionScheme {
                 }
                 (h as usize) % n_nodes
             }
-            PartitionScheme::Range { dim, splits } => {
-                splits.partition_point(|&s| s < coords[*dim])
-            }
+            PartitionScheme::Range { dim, splits } => splits.partition_point(|&s| s < coords[*dim]),
         }
     }
 

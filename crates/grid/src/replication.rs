@@ -181,7 +181,10 @@ mod tests {
             let y = rng.gen_range(3..=98i64);
             let dx = rng.gen_range(-2..=2i64);
             let dy = rng.gen_range(-2..=2i64);
-            pairs.push((vec![x, y], vec![(x + dx).clamp(1, 100), (y + dy).clamp(1, 100)]));
+            pairs.push((
+                vec![x, y],
+                vec![(x + dx).clamp(1, 100), (y + dy).clamp(1, 100)],
+            ));
         }
         let f0 = local_join_fraction(&ReplicatedPlacement::new(grid4(100), 0), &pairs);
         let f2 = local_join_fraction(&ReplicatedPlacement::new(grid4(100), 2), &pairs);

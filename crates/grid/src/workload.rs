@@ -55,7 +55,10 @@ pub fn survey_workload(space: &HyperRect, tile: i64) -> Workload {
     while x <= space.high[0] {
         let mut y = space.low[1];
         while y <= space.high[1] {
-            let hi = vec![(x + tile - 1).min(space.high[0]), (y + tile - 1).min(space.high[1])];
+            let hi = vec![
+                (x + tile - 1).min(space.high[0]),
+                (y + tile - 1).min(space.high[1]),
+            ];
             queries.push(QuerySpec {
                 region: HyperRect::new(vec![x, y], hi).expect("tile within space"),
                 weight: 1.0,
@@ -156,8 +159,18 @@ mod tests {
         let a = steerable_workload(&space(256), 3, 32, 50.0, 42);
         let b = steerable_workload(&space(256), 3, 32, 50.0, 42);
         assert_eq!(a.queries, b.queries, "same seed, same workload");
-        let hot: f64 = a.queries.iter().filter(|q| q.weight > 1.0).map(|q| q.weight).sum();
-        let cold: f64 = a.queries.iter().filter(|q| q.weight <= 1.0).map(|q| q.weight).sum();
+        let hot: f64 = a
+            .queries
+            .iter()
+            .filter(|q| q.weight > 1.0)
+            .map(|q| q.weight)
+            .sum();
+        let cold: f64 = a
+            .queries
+            .iter()
+            .filter(|q| q.weight <= 1.0)
+            .map(|q| q.weight)
+            .sum();
         assert!(hot > 5.0 * cold, "hotspots dominate: hot={hot} cold={cold}");
     }
 

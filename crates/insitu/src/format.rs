@@ -50,6 +50,11 @@ fn decode_schema(data: &[u8]) -> Result<ArraySchema> {
     let mut pos = 0usize;
     let name = str_at(data, &mut pos)?;
     let n_attrs = u32_at(data, &mut pos)? as usize;
+    // Corrupt counts must error before they drive allocation: each entry
+    // consumes at least 8 bytes of header.
+    if n_attrs > data.len() / 8 {
+        return Err(Error::storage("corrupt SDDF attribute count"));
+    }
     let mut attrs = Vec::with_capacity(n_attrs);
     for _ in 0..n_attrs {
         let aname = str_at(data, &mut pos)?;
@@ -59,6 +64,9 @@ fn decode_schema(data: &[u8]) -> Result<ArraySchema> {
         attrs.push(AttributeDef::scalar(aname, ty));
     }
     let n_dims = u32_at(data, &mut pos)? as usize;
+    if n_dims > data.len() / 20 {
+        return Err(Error::storage("corrupt SDDF dimension count"));
+    }
     let mut dims = Vec::with_capacity(n_dims);
     for _ in 0..n_dims {
         let dname = str_at(data, &mut pos)?;
@@ -143,7 +151,9 @@ impl SddfReader {
         let mut pos = 4usize;
         let version = u32_at(&head, &mut pos)?;
         if version != VERSION {
-            return Err(Error::storage(format!("unsupported SDDF version {version}")));
+            return Err(Error::storage(format!(
+                "unsupported SDDF version {version}"
+            )));
         }
         let header_len = u32_at(&head, &mut pos)? as usize;
         let header = file.read_at(12, header_len)?;

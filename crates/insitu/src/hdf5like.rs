@@ -65,11 +65,7 @@ pub fn write_h5(path: &Path, datasets: &[DatasetSpec<'_>]) -> Result<u64> {
             by_chunk.entry(origin).or_default().push((coords, v));
         }
         for (origin, cells) in by_chunk {
-            let crect = scidb_core::geometry::chunk_rect(
-                &origin,
-                &strides,
-                &ds.array.uppers(),
-            );
+            let crect = scidb_core::geometry::chunk_rect(&origin, &strides, &ds.array.uppers());
             let mut data = vec![f64::NAN; crect.volume() as usize];
             for (coords, v) in cells {
                 data[crect.linearize(&coords)] = v;
@@ -147,7 +143,9 @@ impl H5LiteReader {
         let mut pos = 4usize;
         let version = u32_at(&head, &mut pos)?;
         if version != VERSION {
-            return Err(Error::storage(format!("unsupported H5LT version {version}")));
+            return Err(Error::storage(format!(
+                "unsupported H5LT version {version}"
+            )));
         }
         let root_offset = u64_at(&head, &mut pos)?;
         let flen = file.len()?;

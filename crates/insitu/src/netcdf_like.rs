@@ -78,19 +78,12 @@ pub fn write_netcdf(path: &Path, array: &Array, global_attrs: &[(&str, &str)]) -
                 w.copy_from_slice(&f64::NAN.to_le_bytes());
             }
         }
-        for (coords, idx) in array
-            .cells()
-            .map(|(coords, _)| coords)
-            .map(|c| {
-                let idx = rect.linearize(&c);
-                (c, idx)
-            })
-        {
+        for (coords, idx) in array.cells().map(|(coords, _)| coords).map(|c| {
+            let idx = rect.linearize(&c);
+            (c, idx)
+        }) {
             let bytes = if is_float {
-                array
-                    .get_f64(ai, &coords)
-                    .unwrap_or(f64::NAN)
-                    .to_le_bytes()
+                array.get_f64(ai, &coords).unwrap_or(f64::NAN).to_le_bytes()
             } else {
                 (array
                     .get_value(ai, &coords)
@@ -133,16 +126,31 @@ impl NetcdfReader {
         let mut pos = 4usize;
         let version = u32_at(&head, &mut pos)?;
         if version != VERSION {
-            return Err(Error::storage(format!("unsupported NCDF version {version}")));
+            return Err(Error::storage(format!(
+                "unsupported NCDF version {version}"
+            )));
         }
+        // Corrupt counts must error before they drive allocation: every
+        // list entry consumes at least 12 bytes of header.
         let n_dims = u32_at(&head, &mut pos)? as usize;
+        if n_dims > head.len() / 12 {
+            return Err(Error::storage("corrupt NCDF dimension count"));
+        }
         let mut dims = Vec::with_capacity(n_dims);
         for _ in 0..n_dims {
             let name = str_at(&head, &mut pos)?;
             let len = i64_at(&head, &mut pos)?;
+            if len < 1 {
+                return Err(Error::storage(format!(
+                    "corrupt NCDF dimension '{name}': length {len}"
+                )));
+            }
             dims.push(DimensionDef::bounded(name, len));
         }
         let n_globals = u32_at(&head, &mut pos)? as usize;
+        if n_globals > head.len() / 8 {
+            return Err(Error::storage("corrupt NCDF global attribute count"));
+        }
         let mut globals = Vec::with_capacity(n_globals);
         for _ in 0..n_globals {
             let k = str_at(&head, &mut pos)?;
@@ -150,6 +158,9 @@ impl NetcdfReader {
             globals.push((k, v));
         }
         let n_vars = u32_at(&head, &mut pos)? as usize;
+        if n_vars > head.len() / 16 {
+            return Err(Error::storage("corrupt NCDF variable count"));
+        }
         let mut attrs = Vec::with_capacity(n_vars);
         let mut vars = Vec::with_capacity(n_vars);
         for _ in 0..n_vars {
@@ -169,6 +180,25 @@ impl NetcdfReader {
             low: vec![1; schema.rank()],
             high: schema.dims().iter().map(|d| d.upper.unwrap()).collect(),
         };
+        // Every variable's dense data must fit inside the file; this also
+        // bounds the offset arithmetic in `read_region`.
+        let flen = file.len()?;
+        let volume = rect
+            .high
+            .iter()
+            .try_fold(1u64, |v, &h| v.checked_mul(h as u64))
+            .ok_or_else(|| Error::storage("corrupt NCDF dimensions: volume overflow"))?;
+        for var in &vars {
+            let end = volume
+                .checked_mul(8)
+                .and_then(|bytes| var.offset.checked_add(bytes));
+            if end.map_or(true, |e| e > flen) {
+                return Err(Error::storage(format!(
+                    "corrupt NCDF variable: offset {} + {volume} cells exceeds file size {flen}",
+                    var.offset
+                )));
+            }
+        }
         Ok(NetcdfReader {
             file,
             schema,
@@ -206,7 +236,9 @@ impl InSituSource for NetcdfReader {
             // One read per variable per row.
             let mut var_runs: Vec<Vec<u8>> = Vec::with_capacity(self.vars.len());
             for var in &self.vars {
-                let bytes = self.file.read_at(var.offset + lin as u64 * 8, run_len * 8)?;
+                let bytes = self
+                    .file
+                    .read_at(var.offset + lin as u64 * 8, run_len * 8)?;
                 var_runs.push(bytes);
             }
             for k in 0..run_len {

@@ -93,10 +93,7 @@ impl CommandLog {
             .iter()
             .map(|e| {
                 48 + e.command.len()
-                    + e.inputs
-                        .iter()
-                        .map(|(n, _)| n.len() + 16)
-                        .sum::<usize>()
+                    + e.inputs.iter().map(|(n, _)| n.len() + 16).sum::<usize>()
                     + e.output.0.len()
             })
             .sum()
@@ -224,9 +221,24 @@ mod tests {
     #[test]
     fn log_records_and_finds_producers() {
         let mut log = CommandLog::new();
-        log.append(10, "store filter(raw, v > 0) into cooked", vec![("raw".into(), 1)], ("cooked".into(), 1));
-        log.append(20, "store regrid(cooked, [4,4], avg) into summary", vec![("cooked".into(), 1)], ("summary".into(), 1));
-        log.append(30, "insert into cooked …", vec![("raw".into(), 2)], ("cooked".into(), 2));
+        log.append(
+            10,
+            "store filter(raw, v > 0) into cooked",
+            vec![("raw".into(), 1)],
+            ("cooked".into(), 1),
+        );
+        log.append(
+            20,
+            "store regrid(cooked, [4,4], avg) into summary",
+            vec![("cooked".into(), 1)],
+            ("summary".into(), 1),
+        );
+        log.append(
+            30,
+            "insert into cooked …",
+            vec![("raw".into(), 2)],
+            ("cooked".into(), 2),
+        );
 
         let p = log.producer_of("cooked", 1).unwrap();
         assert_eq!(p.id, 0);
@@ -268,10 +280,7 @@ mod tests {
         assert_eq!(repo.producers("composite").len(), 1);
         assert_eq!(repo.producers("composite")[0].program, "mosaic");
         assert_eq!(repo.upstream("composite"), vec!["calibrated", "raw_scan"]);
-        assert_eq!(
-            repo.downstream("raw_scan"),
-            vec!["calibrated", "composite"]
-        );
+        assert_eq!(repo.downstream("raw_scan"), vec!["calibrated", "composite"]);
         assert!(repo.producers("unknown").is_empty());
     }
 

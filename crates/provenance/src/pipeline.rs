@@ -90,8 +90,7 @@ impl StepOp {
                     .map(|(da, db)| (da.name.as_str(), db.name.as_str()))
                     .collect();
                 let joined = ops::sjoin(a, b, &on)?;
-                let applied =
-                    ops::apply(&joined, name, expr, ScalarType::Float64, Some(registry))?;
+                let applied = ops::apply(&joined, name, expr, ScalarType::Float64, Some(registry))?;
                 ops::project(&applied, &[name])
             }
         }
@@ -109,15 +108,14 @@ impl StepOp {
                     .zip(factors)
                     .map(|(&c, &f)| (c - 1) * f + 1)
                     .collect();
-                let highs: Vec<i64> = out_cell
-                    .iter()
-                    .zip(factors)
-                    .map(|(&c, &f)| c * f)
-                    .collect();
-                scidb_core::geometry::HyperRect { low: lows, high: highs }
-                    .iter_cells()
-                    .map(|c| (0, c))
-                    .collect()
+                let highs: Vec<i64> = out_cell.iter().zip(factors).map(|(&c, &f)| c * f).collect();
+                scidb_core::geometry::HyperRect {
+                    low: lows,
+                    high: highs,
+                }
+                .iter_cells()
+                .map(|c| (0, c))
+                .collect()
             }
             StepOp::Combine { .. } => {
                 vec![(0, out_cell.to_vec()), (1, out_cell.to_vec())]
@@ -188,9 +186,7 @@ impl TrioStore {
     }
 
     /// Mutable access for the hybrid trace cache.
-    pub(crate) fn lineage_mut(
-        &mut self,
-    ) -> &mut HashMap<(String, Coords), Vec<(String, Coords)>> {
+    pub(crate) fn lineage_mut(&mut self) -> &mut HashMap<(String, Coords), Vec<(String, Coords)>> {
         &mut self.lineage
     }
 
@@ -273,9 +269,7 @@ impl Pipeline {
                     .into_iter()
                     .map(|(idx, c)| (inputs[idx].to_string(), c))
                     .collect();
-                store
-                    .lineage
-                    .insert((output.to_string(), coords), contribs);
+                store.lineage.insert((output.to_string(), coords), contribs);
             }
         }
         self.steps.push(Step {
@@ -376,10 +370,7 @@ mod tests {
 
     #[test]
     fn combine_depends_on_both_inputs() {
-        let mut p = Pipeline::new(vec![
-            ("a".into(), ramp("a", 2)),
-            ("b".into(), ramp("b", 2)),
-        ]);
+        let mut p = Pipeline::new(vec![("a".into(), ramp("a", 2)), ("b".into(), ramp("b", 2))]);
         let op = StepOp::Combine {
             expr: Expr::attr("v").sub(Expr::attr("v_r")),
             name: "diff".into(),
@@ -425,5 +416,4 @@ mod tests {
         };
         assert!(p.run_step(op, &["raw"], "x", None).is_err());
     }
-
 }

@@ -118,9 +118,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.text.len()
-            && self.text.as_bytes()[self.pos].is_ascii_whitespace()
-        {
+        while self.pos < self.text.len() && self.text.as_bytes()[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }

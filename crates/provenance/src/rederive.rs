@@ -173,11 +173,7 @@ fn recompute_cell(
                 .zip(factors)
                 .map(|(&c, &f)| (c - 1) * f + 1)
                 .collect();
-            let highs: Vec<i64> = out_cell
-                .iter()
-                .zip(factors)
-                .map(|(&c, &f)| c * f)
-                .collect();
+            let highs: Vec<i64> = out_cell.iter().zip(factors).map(|(&c, &f)| c * f).collect();
             let block = scidb_core::geometry::HyperRect {
                 low: lows,
                 high: highs,
@@ -216,11 +212,8 @@ fn recompute_cell(
                 }
                 attrs.push(def);
             }
-            let combined = scidb_core::schema::ArraySchema::new(
-                "combined",
-                attrs,
-                sa.dims().to_vec(),
-            )?;
+            let combined =
+                scidb_core::schema::ArraySchema::new("combined", attrs, sa.dims().to_vec())?;
             let mut rec = ra;
             rec.extend(rb);
             let ctx = EvalContext {

@@ -195,7 +195,11 @@ mod tests {
             .collect();
         let mut p = Pipeline::new(vec![("raw".into(), Array::f64_2d("raw", "v", &rows))]);
         let mut trio = trio;
-        let step = |p: &mut Pipeline, op, inputs: &[&str], output: &str, t: &mut Option<&mut TrioStore>| {
+        let step = |p: &mut Pipeline,
+                    op,
+                    inputs: &[&str],
+                    output: &str,
+                    t: &mut Option<&mut TrioStore>| {
             match t {
                 Some(store) => p.run_step(op, inputs, output, Some(store)).unwrap(),
                 None => p.run_step(op, inputs, output, None).unwrap(),

@@ -279,9 +279,7 @@ fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         Expr::Attr(n) | Expr::Dim(n) => write!(f, "{n}"),
         // Literals must reparse to the same type: whole floats keep their
         // decimal point, uncertain values use the callable form.
-        Expr::Const(scidb_core::value::Scalar::Float64(v))
-            if v.fract() == 0.0 && v.is_finite() =>
-        {
+        Expr::Const(scidb_core::value::Scalar::Float64(v)) if v.fract() == 0.0 && v.is_finite() => {
             write!(f, "{v:.1}")
         }
         Expr::Const(scidb_core::value::Scalar::Uncertain(u)) => {
@@ -430,8 +428,7 @@ impl fmt::Display for Stmt {
                 if *updatable {
                     write!(f, "updatable ")?;
                 }
-                let attrs: Vec<String> =
-                    attrs.iter().map(|(n, t)| format!("{n} = {t}")).collect();
+                let attrs: Vec<String> = attrs.iter().map(|(n, t)| format!("{n} = {t}")).collect();
                 let dims: Vec<String> = dims
                     .iter()
                     .map(|d| match (d.upper, d.chunk) {
@@ -485,10 +482,7 @@ mod tests {
         let s = Stmt::DefineArray {
             name: "Remote".into(),
             updatable: false,
-            attrs: vec![
-                ("s1".into(), "float".into()),
-                ("s2".into(), "float".into()),
-            ],
+            attrs: vec![("s1".into(), "float".into()), ("s2".into(), "float".into())],
             dims: vec![
                 DimSpec {
                     name: "I".into(),
@@ -555,6 +549,9 @@ mod tests {
         assert_eq!(Literal::Float(3.0).to_string(), "3.0");
         assert_eq!(Literal::Str("hi".into()).to_string(), "'hi'");
         assert_eq!(Literal::Null.to_string(), "null");
-        assert_eq!(Literal::Uncertain(1.0, 0.5).to_string(), "uncertain(1, 0.5)");
+        assert_eq!(
+            Literal::Uncertain(1.0, 0.5).to_string(),
+            "uncertain(1, 0.5)"
+        );
     }
 }

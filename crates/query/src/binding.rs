@@ -106,10 +106,7 @@ impl Q {
         Q(AExpr::Reshape {
             input: self.0.boxed(),
             order: order.iter().map(|s| s.to_string()).collect(),
-            new_dims: new_dims
-                .iter()
-                .map(|(n, e)| (n.to_string(), *e))
-                .collect(),
+            new_dims: new_dims.iter().map(|(n, e)| (n.to_string(), *e)).collect(),
         })
     }
 
@@ -186,8 +183,7 @@ mod tests {
             .filter(Expr::attr("v").gt(Expr::lit(4i64)))
             .aggregate_star(&["Y"], "sum")
             .build();
-        let from_text =
-            parse_one("aggregate(filter(scan(H), v > 4), {Y}, sum(*))").unwrap();
+        let from_text = parse_one("aggregate(filter(scan(H), v > 4), {Y}, sum(*))").unwrap();
         assert_eq!(crate::ast::Stmt::Query(from_rust), from_text);
     }
 

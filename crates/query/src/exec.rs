@@ -1,10 +1,17 @@
 //! The query executor: a [`Database`] catalog plus statement evaluation.
 //!
 //! `Database` owns defined array types, array instances (plain and
-//! updatable), and the function [`Registry`]. `execute` runs one parsed
-//! statement; `run` parses, plans (see [`crate::plan`]), and executes AQL
-//! text — the full §2.4 pipeline from any language binding down to the
-//! engine.
+//! updatable), the function [`Registry`], and an [`ExecContext`] — the
+//! thread budget and metrics sink threaded into every operator kernel.
+//! `execute` runs one parsed statement; `run` parses, plans (see
+//! [`crate::plan`]), and executes AQL text — the full §2.4 pipeline from any
+//! language binding down to the engine.
+//!
+//! Chunk-separable operators (Subsample, Filter, Apply, Project, Aggregate,
+//! Regrid) execute chunk-parallel up to the context's thread budget;
+//! [`Database::with_threads`] (or `with_threads(1)` as the escape hatch)
+//! controls it, and [`Database::metrics`] reports per-operator chunk/cell
+//! counts and wall time for the last `run`/`query`.
 
 use crate::ast::{AExpr, AggArg, Literal, Stmt};
 use crate::parser;
@@ -12,6 +19,7 @@ use crate::plan;
 use scidb_core::array::Array;
 use scidb_core::enhance::WallClock;
 use scidb_core::error::{Error, Result};
+use scidb_core::exec::{ExecContext, QueryMetrics};
 use scidb_core::history::UpdatableArray;
 use scidb_core::ops::{self, AggInput};
 use scidb_core::registry::Registry;
@@ -20,6 +28,7 @@ use scidb_core::uncertain::Uncertain;
 use scidb_core::value::{ScalarType, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A stored array instance.
 #[derive(Debug)]
@@ -53,11 +62,50 @@ pub enum StmtResult {
 }
 
 impl StmtResult {
+    /// The result kind, for error messages and dispatch.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StmtResult::Done(_) => "acknowledgement",
+            StmtResult::Array(_) => "array",
+            StmtResult::Bool(_) => "bool",
+        }
+    }
+
+    /// Borrows the array result, if this is one.
+    pub fn as_array(&self) -> Option<&Array> {
+        match self {
+            StmtResult::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The boolean probe result, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            StmtResult::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The array result, if any.
     pub fn into_array(self) -> Result<Array> {
         match self {
             StmtResult::Array(a) => Ok(a),
-            other => Err(Error::eval(format!("expected array result, got {other:?}"))),
+            other => Err(Error::eval(format!(
+                "expected array result, got {} result",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The DDL/DML acknowledgement message, erroring on any other kind.
+    pub fn expect_done(self) -> Result<String> {
+        match self {
+            StmtResult::Done(msg) => Ok(msg),
+            other => Err(Error::eval(format!(
+                "expected statement acknowledgement, got {} result",
+                other.kind()
+            ))),
         }
     }
 }
@@ -67,6 +115,7 @@ pub struct Database {
     types: HashMap<String, ArraySchema>,
     arrays: HashMap<String, StoredArray>,
     registry: Registry,
+    ctx: ExecContext,
 }
 
 impl Default for Database {
@@ -76,13 +125,45 @@ impl Default for Database {
 }
 
 impl Database {
-    /// Creates a database with the built-in function library.
+    /// Creates a database with the built-in function library and a
+    /// machine-sized thread budget.
     pub fn new() -> Self {
+        Database::with_threads(0)
+    }
+
+    /// Creates a database with an explicit thread budget (`1` forces serial
+    /// execution, `0` auto-sizes to the machine).
+    pub fn with_threads(threads: usize) -> Self {
         Database {
             types: HashMap::new(),
             arrays: HashMap::new(),
             registry: Registry::with_builtins(),
+            ctx: ExecContext::with_threads(threads),
         }
+    }
+
+    /// The execution context statements run under.
+    pub fn exec_context(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    /// Replaces the thread budget (metrics accumulated so far are dropped).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.ctx = ExecContext::with_threads(threads);
+    }
+
+    /// Per-operator metrics for the statements executed since the last
+    /// [`run`](Self::run)/[`query`](Self::query) began.
+    pub fn metrics(&self) -> QueryMetrics {
+        self.ctx.metrics()
+    }
+
+    /// Opens a [`Session`]: a handle that shares this database's
+    /// [`ExecContext`] and accumulates metrics across statements instead of
+    /// resetting them per call.
+    pub fn session(&mut self) -> Session<'_> {
+        self.ctx.take_metrics();
+        Session { db: self }
     }
 
     /// The function registry (register UDFs, aggregates, enhancements,
@@ -116,7 +197,8 @@ impl Database {
         if self.arrays.contains_key(name) {
             return Err(Error::AlreadyExists(format!("array '{name}'")));
         }
-        self.arrays.insert(name.to_string(), StoredArray::Plain(array));
+        self.arrays
+            .insert(name.to_string(), StoredArray::Plain(array));
         Ok(())
     }
 
@@ -128,14 +210,17 @@ impl Database {
     }
 
     /// Parses, plans, and executes a script; returns one result per
-    /// statement.
+    /// statement. Resets [`metrics`](Self::metrics) first.
     pub fn run(&mut self, text: &str) -> Result<Vec<StmtResult>> {
+        self.ctx.take_metrics();
         let stmts = parser::parse(text)?;
         stmts.into_iter().map(|s| self.execute(s)).collect()
     }
 
-    /// Runs a single-statement query expecting an array result.
+    /// Runs a single-statement query expecting an array result. Resets
+    /// [`metrics`](Self::metrics) first.
     pub fn query(&mut self, text: &str) -> Result<Array> {
+        self.ctx.take_metrics();
         let stmt = parser::parse_one(text)?;
         self.execute(stmt)?.into_array()
     }
@@ -288,12 +373,12 @@ impl Database {
             AExpr::Subsample { input, pred } => {
                 let input = self.eval(*input)?;
                 let dp = plan::expr_to_dim_predicate(&pred)?;
-                ops::subsample(&input, &dp, Some(&self.registry))
+                ops::subsample_with(&input, &dp, Some(&self.registry), &self.ctx)
             }
             AExpr::Filter { input, pred } => {
                 let input = self.eval(*input)?;
                 let pred = plan::resolve_expr(&pred, input.schema())?;
-                ops::filter(&input, &pred, Some(&self.registry))
+                ops::filter_with(&input, &pred, Some(&self.registry), &self.ctx)
             }
             AExpr::Aggregate {
                 input,
@@ -307,14 +392,14 @@ impl Database {
                     AggArg::Star => AggInput::Star,
                     AggArg::Attr(a) => AggInput::Attr(a),
                 };
-                ops::aggregate(&input, &groups, &agg, agg_input, &self.registry)
+                ops::aggregate_with(&input, &groups, &agg, agg_input, &self.registry, &self.ctx)
             }
             AExpr::Sjoin { left, right, on } => {
                 let left = self.eval(*left)?;
                 let right = self.eval(*right)?;
                 let pairs: Vec<(&str, &str)> =
                     on.iter().map(|(l, r)| (l.as_str(), r.as_str())).collect();
-                ops::sjoin(&left, &right, &pairs)
+                self.timed_serial("sjoin", &left, || ops::sjoin(&left, &right, &pairs))
             }
             AExpr::Cjoin { left, right, pred } => {
                 let left = self.eval(*left)?;
@@ -328,18 +413,20 @@ impl Database {
                     None,
                 )?;
                 let pred = plan::resolve_expr(&pred, probe.schema())?;
-                ops::cjoin(&left, &right, &pred, Some(&self.registry))
+                self.timed_serial("cjoin", &left, || {
+                    ops::cjoin(&left, &right, &pred, Some(&self.registry))
+                })
             }
             AExpr::Apply { input, name, expr } => {
                 let input = self.eval(*input)?;
                 let expr = plan::resolve_expr(&expr, input.schema())?;
                 let ty = plan::infer_type(&expr, input.schema());
-                ops::apply(&input, &name, &expr, ty, Some(&self.registry))
+                ops::apply_with(&input, &name, &expr, ty, Some(&self.registry), &self.ctx)
             }
             AExpr::Project { input, attrs } => {
                 let input = self.eval(*input)?;
                 let keep: Vec<&str> = attrs.iter().map(String::as_str).collect();
-                ops::project(&input, &keep)
+                ops::project_with(&input, &keep, &self.ctx)
             }
             AExpr::Reshape {
                 input,
@@ -348,7 +435,9 @@ impl Database {
             } => {
                 let input = self.eval(*input)?;
                 let order: Vec<&str> = order.iter().map(String::as_str).collect();
-                ops::reshape(&input, &order, &new_dims)
+                self.timed_serial("reshape", &input, || {
+                    ops::reshape(&input, &order, &new_dims)
+                })
             }
             AExpr::Regrid {
                 input,
@@ -356,27 +445,41 @@ impl Database {
                 agg,
             } => {
                 let input = self.eval(*input)?;
-                ops::regrid(&input, &factors, &agg, &self.registry)
+                ops::regrid_with(&input, &factors, &agg, &self.registry, &self.ctx)
             }
             AExpr::Concat { left, right, dim } => {
                 let left = self.eval(*left)?;
                 let right = self.eval(*right)?;
-                ops::concat(&left, &right, &dim)
+                self.timed_serial("concat", &left, || ops::concat(&left, &right, &dim))
             }
             AExpr::Cross { left, right } => {
                 let left = self.eval(*left)?;
                 let right = self.eval(*right)?;
-                ops::cross_product(&left, &right)
+                self.timed_serial("cross", &left, || ops::cross_product(&left, &right))
             }
             AExpr::AddDim { input, name } => {
                 let input = self.eval(*input)?;
-                ops::add_dimension(&input, &name)
+                self.timed_serial("add_dim", &input, || ops::add_dimension(&input, &name))
             }
             AExpr::Slice { input, dim, at } => {
                 let input = self.eval(*input)?;
-                ops::remove_dimension(&input, &dim, at)
+                self.timed_serial("slice", &input, || ops::remove_dimension(&input, &dim, at))
             }
         }
+    }
+
+    /// Times a serial (non-chunk-parallel) operator and records its metrics
+    /// against the primary input's chunk and cell counts.
+    fn timed_serial<R>(&self, op: &str, input: &Array, f: impl FnOnce() -> Result<R>) -> Result<R> {
+        let start = Instant::now();
+        let out = f()?;
+        self.ctx.record(
+            op,
+            input.chunks().len() as u64,
+            input.cell_count() as u64,
+            start.elapsed(),
+        );
+        Ok(out)
     }
 
     /// Installs a wall-clock enhancement helper (convenience for §2.5
@@ -384,6 +487,49 @@ impl Database {
     pub fn register_clock(&mut self, name: &str, base: i64, step: i64) -> Result<()> {
         self.registry
             .register_enhancement(Arc::new(WallClock::new(name, base, step)))
+    }
+}
+
+/// A statement-execution handle over a [`Database`] that borrows its
+/// [`ExecContext`]. Unlike `Database::run`/`query`, a session accumulates
+/// metrics across all statements it executes; drain them with
+/// [`take_metrics`](Self::take_metrics).
+pub struct Session<'db> {
+    db: &'db mut Database,
+}
+
+impl Session<'_> {
+    /// The shared execution context (thread budget + metrics sink).
+    pub fn ctx(&self) -> &ExecContext {
+        &self.db.ctx
+    }
+
+    /// Parses, plans, and executes a script without resetting metrics.
+    pub fn run(&mut self, text: &str) -> Result<Vec<StmtResult>> {
+        let stmts = parser::parse(text)?;
+        stmts.into_iter().map(|s| self.db.execute(s)).collect()
+    }
+
+    /// Runs a single-statement query expecting an array result, without
+    /// resetting metrics.
+    pub fn query(&mut self, text: &str) -> Result<Array> {
+        let stmt = parser::parse_one(text)?;
+        self.db.execute(stmt)?.into_array()
+    }
+
+    /// Executes one parsed statement.
+    pub fn execute(&mut self, stmt: Stmt) -> Result<StmtResult> {
+        self.db.execute(stmt)
+    }
+
+    /// Snapshot of the metrics accumulated so far in this session.
+    pub fn metrics(&self) -> QueryMetrics {
+        self.db.ctx.metrics()
+    }
+
+    /// Drains and returns the session's accumulated metrics.
+    pub fn take_metrics(&mut self) -> QueryMetrics {
+        self.db.ctx.take_metrics()
     }
 }
 
@@ -536,9 +682,7 @@ mod tests {
         let mut db = Database::new();
         assert!(db.query("scan(nope)").is_err());
         assert!(db.run("create X as NoType [2]").is_err());
-        assert!(db
-            .run("define T (v = blob) (X = 1:2)")
-            .is_err());
+        assert!(db.run("define T (v = blob) (X = 1:2)").is_err());
     }
 
     #[test]
@@ -546,6 +690,98 @@ mod tests {
         let mut db = db_with_h();
         assert!(db.run("define H (v = int) (X = 1:2)").is_err());
         assert!(db.run("create A as H [2, 2]").is_err());
+    }
+
+    #[test]
+    fn stmt_result_typed_accessors() {
+        let mut db = db_with_h();
+        let r = db.run("scan(A)").unwrap().pop().unwrap();
+        assert_eq!(r.kind(), "array");
+        assert!(r.as_bool().is_none());
+        assert_eq!(r.as_array().unwrap().cell_count(), 4);
+        assert!(r.expect_done().is_err());
+
+        let r = db.run("exists(A, 1, 1)").unwrap().pop().unwrap();
+        assert_eq!(r.as_bool(), Some(true));
+        assert!(r.as_array().is_none());
+        assert!(r.into_array().is_err());
+
+        let r = db.run("drop array A").unwrap().pop().unwrap();
+        assert_eq!(r.kind(), "acknowledgement");
+        assert!(r.expect_done().unwrap().contains("dropped"));
+    }
+
+    #[test]
+    fn into_array_error_names_result_kind() {
+        let mut db = db_with_h();
+        let err = db
+            .run("exists(A, 1, 1)")
+            .unwrap()
+            .pop()
+            .unwrap()
+            .into_array()
+            .unwrap_err();
+        assert!(err.to_string().contains("bool result"), "{err}");
+    }
+
+    #[test]
+    fn query_metrics_report_per_operator() {
+        let mut db = db_with_h();
+        db.query("aggregate(filter(A, v > 1), {Y}, sum(*))")
+            .unwrap();
+        let m = db.metrics();
+        let ops: Vec<&str> = m.ops.iter().map(|o| o.op.as_str()).collect();
+        assert_eq!(ops, ["filter", "aggregate"]);
+        assert!(m.ops[0].cells_touched == 4);
+        assert!(m.chunks_scanned() >= 2);
+        // The next query resets the metrics.
+        db.query("scan(A)").unwrap();
+        assert!(db.metrics().ops.is_empty());
+    }
+
+    #[test]
+    fn parallel_database_matches_serial() {
+        let script = "define H (v = int) (X = 1:8, Y = 1:8);
+             create A as H [8, 8];";
+        let mut serial = Database::with_threads(1);
+        let mut parallel = Database::with_threads(4);
+        serial.run(script).unwrap();
+        parallel.run(script).unwrap();
+        for x in 1..=8 {
+            for y in 1..=8 {
+                let ins = format!("insert into A[{x}, {y}] values ({})", x * 10 + y);
+                serial.run(&ins).unwrap();
+                parallel.run(&ins).unwrap();
+            }
+        }
+        for q in [
+            "filter(A, v > 30)",
+            "subsample(A, even(X))",
+            "project(apply(A, w, v * 2), w)",
+            "aggregate(A, {X}, avg(v))",
+            "regrid(A, [2, 2], sum)",
+        ] {
+            let a = serial.query(q).unwrap();
+            let b = parallel.query(q).unwrap();
+            assert_eq!(a, b, "{q} must be identical at any thread count");
+        }
+    }
+
+    #[test]
+    fn session_accumulates_metrics_across_statements() {
+        let mut db = db_with_h();
+        let mut session = db.session();
+        assert!(session.ctx().threads() >= 1);
+        session.query("filter(A, v > 1)").unwrap();
+        session.query("aggregate(A, {Y}, sum(*))").unwrap();
+        let m = session.metrics();
+        let ops: Vec<&str> = m.ops.iter().map(|o| o.op.as_str()).collect();
+        assert_eq!(ops, ["filter", "aggregate"]);
+        // Draining empties the sink; subsequent statements start fresh.
+        assert_eq!(session.take_metrics().ops.len(), 2);
+        assert!(session.metrics().ops.is_empty());
+        let r = session.run("exists(A, 1, 1)").unwrap().pop().unwrap();
+        assert_eq!(r.as_bool(), Some(true));
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub mod token;
 
 pub use ast::{AExpr, AggArg, DimSpec, Literal, Stmt};
 pub use binding::{scan, Q};
-pub use exec::{Database, StmtResult, StoredArray};
+pub use exec::{Database, Session, StmtResult, StoredArray};
 pub use parser::{parse, parse_one};

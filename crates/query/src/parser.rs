@@ -300,9 +300,7 @@ impl Parser {
             Token::Str(s) if !negative => Literal::Str(s),
             Token::Ident(s) if !negative && s.eq_ignore_ascii_case("null") => Literal::Null,
             Token::Ident(s) if !negative && s.eq_ignore_ascii_case("true") => Literal::Bool(true),
-            Token::Ident(s) if !negative && s.eq_ignore_ascii_case("false") => {
-                Literal::Bool(false)
-            }
+            Token::Ident(s) if !negative && s.eq_ignore_ascii_case("false") => Literal::Bool(false),
             Token::Ident(s) if !negative && s.eq_ignore_ascii_case("uncertain") => {
                 self.expect(&Token::LParen, "after uncertain")?;
                 let mean = self.number()?;
@@ -790,7 +788,9 @@ mod tests {
             Stmt::Query(AExpr::Subsample { pred, .. }) => {
                 assert_eq!(
                     pred,
-                    Expr::attr("X").eq(Expr::lit(3i64)).and(Expr::attr("Y").lt(Expr::lit(4i64)))
+                    Expr::attr("X")
+                        .eq(Expr::lit(3i64))
+                        .and(Expr::attr("Y").lt(Expr::lit(4i64)))
                 );
             }
             other => panic!("unexpected {other:?}"),
@@ -846,9 +846,8 @@ mod tests {
 
     #[test]
     fn parses_nested_pipeline() {
-        let s =
-            parse_one("aggregate(filter(scan(H), v > 4.0 and v is not null), {Y}, sum(v))")
-                .unwrap();
+        let s = parse_one("aggregate(filter(scan(H), v > 4.0 and v is not null), {Y}, sum(v))")
+            .unwrap();
         match s {
             Stmt::Query(AExpr::Aggregate { input, .. }) => {
                 assert!(matches!(*input, AExpr::Filter { .. }));

@@ -399,7 +399,9 @@ mod tests {
     #[test]
     fn legal_paper_predicate_lowers() {
         // "X = 3 and Y < 4" is legal.
-        let e = Expr::attr("X").eq(Expr::lit(3i64)).and(Expr::attr("Y").lt(Expr::lit(4i64)));
+        let e = Expr::attr("X")
+            .eq(Expr::lit(3i64))
+            .and(Expr::attr("Y").lt(Expr::lit(4i64)));
         let pred = expr_to_dim_predicate(&e).unwrap();
         assert_eq!(pred.conds().len(), 2);
     }
@@ -432,7 +434,9 @@ mod tests {
 
     #[test]
     fn disjunction_rejected() {
-        let e = Expr::attr("X").eq(Expr::lit(1i64)).or(Expr::attr("Y").eq(Expr::lit(2i64)));
+        let e = Expr::attr("X")
+            .eq(Expr::lit(1i64))
+            .or(Expr::attr("Y").eq(Expr::lit(2i64)));
         assert!(expr_to_dim_predicate(&e).is_err());
     }
 

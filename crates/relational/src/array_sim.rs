@@ -43,10 +43,9 @@ impl ArrayTable {
             })
             .collect();
         for a in schema.attrs() {
-            let ty = a
-                .ty
-                .as_scalar()
-                .ok_or_else(|| Error::Unsupported("nested attrs not simulatable".into()))?;
+            let ty =
+                a.ty.as_scalar()
+                    .ok_or_else(|| Error::Unsupported("nested attrs not simulatable".into()))?;
             cols.push(ColumnDef {
                 name: a.name.clone(),
                 ty,
@@ -204,10 +203,7 @@ impl ArrayTable {
     /// Filter on an attribute predicate (full scan — no index helps).
     pub fn filter(&self, attr: &str, pred: impl Fn(f64) -> bool) -> Result<usize> {
         let col = self.table.column_index(attr)?;
-        Ok(exec::select(&self.table, |row| {
-            row[col].as_f64().is_some_and(&pred)
-        })
-        .len())
+        Ok(exec::select(&self.table, |row| row[col].as_f64().is_some_and(&pred)).len())
     }
 
     /// Storage footprint of the simulation (dimension columns + index are
@@ -236,10 +232,7 @@ mod tests {
         let a = sample(8);
         let t = ArrayTable::from_array(&a).unwrap();
         assert_eq!(t.len(), 64);
-        assert_eq!(
-            t.get_cell(&[3, 4]).unwrap(),
-            Some(vec![Value::from(304.0)])
-        );
+        assert_eq!(t.get_cell(&[3, 4]).unwrap(), Some(vec![Value::from(304.0)]));
         assert_eq!(t.get_cell(&[99, 1]).unwrap(), None);
     }
 
@@ -309,10 +302,7 @@ mod tests {
             None,
         )
         .unwrap();
-        let n_native = native
-            .cells()
-            .filter(|(_, rec)| !rec[0].is_null())
-            .count();
+        let n_native = native.cells().filter(|(_, rec)| !rec[0].is_null()).count();
         assert_eq!(n_rel, n_native);
     }
 

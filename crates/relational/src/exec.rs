@@ -18,10 +18,7 @@ pub fn project(table: &Table, columns: &[&str]) -> Result<Table> {
         .iter()
         .map(|c| table.column_index(c))
         .collect::<Result<_>>()?;
-    let defs: Vec<ColumnDef> = idxs
-        .iter()
-        .map(|&i| table.columns()[i].clone())
-        .collect();
+    let defs: Vec<ColumnDef> = idxs.iter().map(|&i| table.columns()[i].clone()).collect();
     let mut out = Table::new(format!("project({})", table.name()), defs)?;
     for row in table.rows() {
         out.insert(idxs.iter().map(|&i| row[i].clone()).collect())?;
@@ -53,11 +50,7 @@ fn join_key(row: &Row, cols: &[usize]) -> Option<Vec<u64>> {
 
 /// Hash equi-join. Output columns: all of `left`, then all of `right`
 /// (right columns renamed `name_r` on clash).
-pub fn hash_join(
-    left: &Table,
-    right: &Table,
-    on: &[(&str, &str)],
-) -> Result<Table> {
+pub fn hash_join(left: &Table, right: &Table, on: &[(&str, &str)]) -> Result<Table> {
     let l_cols: Vec<usize> = on
         .iter()
         .map(|(l, _)| left.column_index(l))
@@ -75,18 +68,14 @@ pub fn hash_join(
         }
         defs.push(def);
     }
-    let mut out = Table::new(
-        format!("join({},{})", left.name(), right.name()),
-        defs,
-    )?;
+    let mut out = Table::new(format!("join({},{})", left.name(), right.name()), defs)?;
 
     // Build on the smaller input.
-    let (build, probe, build_cols, probe_cols, build_is_left) =
-        if left.len() <= right.len() {
-            (left, right, &l_cols, &r_cols, true)
-        } else {
-            (right, left, &r_cols, &l_cols, false)
-        };
+    let (build, probe, build_cols, probe_cols, build_is_left) = if left.len() <= right.len() {
+        (left, right, &l_cols, &r_cols, true)
+    } else {
+        (right, left, &r_cols, &l_cols, false)
+    };
     let mut ht: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
     for (i, row) in build.rows().iter().enumerate() {
         if let Some(k) = join_key(row, build_cols) {
@@ -154,10 +143,7 @@ pub fn group_aggregate(
             .update(&row[a_col])?;
     }
 
-    let mut defs: Vec<ColumnDef> = g_cols
-        .iter()
-        .map(|&c| table.columns()[c].clone())
-        .collect();
+    let mut defs: Vec<ColumnDef> = g_cols.iter().map(|&c| table.columns()[c].clone()).collect();
     let out_ty = match agg_name.to_ascii_lowercase().as_str() {
         "count" => ScalarType::Int64,
         "avg" | "stddev" | "var" => ScalarType::Float64,

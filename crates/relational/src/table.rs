@@ -189,11 +189,9 @@ impl Table {
             .rows
             .iter()
             .filter(|row| {
-                cols.iter().enumerate().all(|(k, &c)| {
-                    row[c]
-                        .as_i64()
-                        .is_some_and(|v| low[k] <= v && v <= high[k])
-                })
+                cols.iter()
+                    .enumerate()
+                    .all(|(k, &c)| row[c].as_i64().is_some_and(|v| low[k] <= v && v <= high[k]))
             })
             .collect())
     }
@@ -276,8 +274,12 @@ mod tests {
     #[test]
     fn int_widens_to_float_column() {
         let mut t = people();
-        t.insert(vec![Value::from(4i64), Value::from("kay"), Value::from(9i64)])
-            .unwrap();
+        t.insert(vec![
+            Value::from(4i64),
+            Value::from("kay"),
+            Value::from(9i64),
+        ])
+        .unwrap();
         assert_eq!(t.rows()[3][2].as_f64(), Some(9.0));
     }
 
@@ -305,8 +307,12 @@ mod tests {
     fn index_maintained_on_insert() {
         let mut t = people();
         t.create_index(&["id"]).unwrap();
-        t.insert(vec![Value::from(9i64), Value::from("alan"), Value::from(8.8)])
-            .unwrap();
+        t.insert(vec![
+            Value::from(9i64),
+            Value::from("alan"),
+            Value::from(8.8),
+        ])
+        .unwrap();
         assert_eq!(t.lookup(&["id"], &[9]).unwrap().len(), 1);
     }
 

@@ -139,10 +139,7 @@ pub fn build_event_array(events: &[SearchEvent], page_size: usize) -> Result<Arr
     for (i, e) in events.iter().enumerate() {
         let nested = Array::int_1d("results", "item", &e.results);
         let (rank_v, item_v) = match e.clicked_rank {
-            Some(r) => (
-                Value::from(r as i64),
-                Value::from(e.results[r - 1]),
-            ),
+            Some(r) => (Value::from(r as i64), Value::from(e.results[r - 1])),
             None => (Value::Null, Value::Null),
         };
         a.set_cell(

@@ -192,7 +192,8 @@ mod tests {
     #[test]
     fn median_kills_salt_noise() {
         let mut img = flat(5, 10.0);
-        img.set_cell(&[3, 3], record([Value::from(1000.0)])).unwrap();
+        img.set_cell(&[3, 3], record([Value::from(1000.0)]))
+            .unwrap();
         let den = denoise_median3(&img).unwrap();
         assert_eq!(den.get_f64(0, &[3, 3]), Some(10.0));
         // Corners survive with partial neighborhoods.

@@ -103,7 +103,12 @@ pub fn detect(img: &Array, params: &DetectParams) -> Result<Vec<Observation>> {
         while let Some(p) = stack.pop() {
             let v = bright[&p];
             members.push((p, v));
-            for q in [(p.0 - 1, p.1), (p.0 + 1, p.1), (p.0, p.1 - 1), (p.0, p.1 + 1)] {
+            for q in [
+                (p.0 - 1, p.1),
+                (p.0 + 1, p.1),
+                (p.0, p.1 - 1),
+                (p.0, p.1 + 1),
+            ] {
                 if bright.contains_key(&q) && !visited.contains_key(&q) {
                     visited.insert(q, true);
                     stack.push(q);
@@ -262,9 +267,12 @@ mod tests {
             noise_sigma: 2.0,
             ..Default::default()
         };
-        let small = component_to_observation(0, &[((1, 1), 10.0), ((1, 2), 10.0), ((2, 1), 10.0)], &params);
-        let members: Vec<((i64, i64), f64)> =
-            (0..12).map(|k| ((k / 4, k % 4), 10.0)).collect();
+        let small = component_to_observation(
+            0,
+            &[((1, 1), 10.0), ((1, 2), 10.0), ((2, 1), 10.0)],
+            &params,
+        );
+        let members: Vec<((i64, i64), f64)> = (0..12).map(|k| ((k / 4, k % 4), 10.0)).collect();
         let big = component_to_observation(0, &members, &params);
         assert!(big.flux.sigma > small.flux.sigma);
         assert!((small.flux.sigma - 2.0 * 3f64.sqrt()).abs() < 1e-9);

@@ -138,7 +138,10 @@ mod tests {
         ];
         let groups = group_observations(&per_epoch, &GroupParams::default());
         assert_eq!(groups.len(), 2);
-        let mover = groups.iter().find(|g| g.members[0].1.x.mean < 20.0).unwrap();
+        let mover = groups
+            .iter()
+            .find(|g| g.members[0].1.x.mean < 20.0)
+            .unwrap();
         assert_eq!(mover.len(), 3);
         let (vx, vy) = mover.velocity();
         assert!((vx - 2.05).abs() < 0.1, "vx {vx}");

@@ -104,7 +104,12 @@ impl Benchmark {
 
     /// Q2: recook (calibrate) a region of one raw epoch with different
     /// calibration constants — the §2.11 "different cooking step" case.
-    pub fn q2_recook(&self, epoch: usize, region: &HyperRect, cal: &Calibration) -> Result<QueryResult> {
+    pub fn q2_recook(
+        &self,
+        epoch: usize,
+        region: &HyperRect,
+        cal: &Calibration,
+    ) -> Result<QueryResult> {
         let mut out_sum = 0.0;
         let mut n = 0usize;
         for (_, rec) in self.stack.epochs[epoch].cells_in(region) {
@@ -173,11 +178,7 @@ impl Benchmark {
 
     /// Q7: number of cross-epoch groups seen in at least `min_epochs`.
     pub fn q7_group_count(&self, min_epochs: usize) -> QueryResult {
-        let n = self
-            .groups
-            .iter()
-            .filter(|g| g.len() >= min_epochs)
-            .count();
+        let n = self.groups.iter().filter(|g| g.len() >= min_epochs).count();
         QueryResult {
             name: "Q7",
             value: n as f64,
@@ -271,11 +272,7 @@ pub mod relational {
     }
 
     /// Q3 against the table simulation: GROUP BY computed block ids.
-    pub fn q3_regrid(
-        table: &ArrayTable,
-        factor: i64,
-        registry: &Registry,
-    ) -> Result<QueryResult> {
+    pub fn q3_regrid(table: &ArrayTable, factor: i64, registry: &Registry) -> Result<QueryResult> {
         let out = table.regrid(&[factor, factor], "avg", "flux", registry)?;
         Ok(QueryResult {
             name: "Q3(rel)",

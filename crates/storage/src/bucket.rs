@@ -9,7 +9,7 @@
 
 use crate::compress::{
     decode_bytes, decode_f64s, decode_i64s, encode_bytes, encode_f64s, encode_i64s, get_varint,
-    put_varint, zigzag, unzigzag, Codec,
+    put_varint, unzigzag, zigzag, Codec,
 };
 use scidb_core::bitvec::BitVec;
 use scidb_core::chunk::Chunk;
@@ -121,11 +121,7 @@ pub fn serialize_chunk(chunk: &Chunk, policy: CodecPolicy) -> Result<Vec<u8>> {
         for &idx in &offsets {
             nulls.push(chunk.value_at(ai, idx as usize).is_null());
         }
-        let null_bytes: Vec<u8> = nulls
-            .words()
-            .iter()
-            .flat_map(|w| w.to_le_bytes())
-            .collect();
+        let null_bytes: Vec<u8> = nulls.words().iter().flat_map(|w| w.to_le_bytes()).collect();
         out.push(policy.bytes.tag());
         put_section(&mut out, &encode_bytes(&null_bytes, policy.bytes)?);
 
@@ -150,12 +146,7 @@ pub fn serialize_chunk(chunk: &Chunk, policy: CodecPolicy) -> Result<Vec<u8>> {
             AttrType::Scalar(ScalarType::Bool) => {
                 let mut bits = BitVec::new();
                 for &idx in &offsets {
-                    bits.push(
-                        chunk
-                            .value_at(ai, idx as usize)
-                            .as_bool()
-                            .unwrap_or(false),
-                    );
+                    bits.push(chunk.value_at(ai, idx as usize).as_bool().unwrap_or(false));
                 }
                 let bytes: Vec<u8> = bits.words().iter().flat_map(|w| w.to_le_bytes()).collect();
                 out.push(policy.bytes.tag());
@@ -224,7 +215,10 @@ pub fn deserialize_chunk(data: &[u8]) -> Result<Chunk> {
         return Err(Error::storage("bad bucket magic"));
     }
     if data[4] != VERSION {
-        return Err(Error::storage(format!("unsupported bucket version {}", data[4])));
+        return Err(Error::storage(format!(
+            "unsupported bucket version {}",
+            data[4]
+        )));
     }
     let mut pos = 5usize;
 
@@ -281,7 +275,11 @@ pub fn deserialize_chunk(data: &[u8]) -> Result<Chunk> {
                 let vals = decode_i64s(get_section(data, &mut pos)?, codec)?;
                 check_len(vals.len(), n_present)?;
                 for (i, v) in vals.into_iter().enumerate() {
-                    records[i].push(if nulls.get(i) { Value::Null } else { Value::from(v) });
+                    records[i].push(if nulls.get(i) {
+                        Value::Null
+                    } else {
+                        Value::from(v)
+                    });
                 }
             }
             AttrType::Scalar(ScalarType::Float64) => {
@@ -289,7 +287,11 @@ pub fn deserialize_chunk(data: &[u8]) -> Result<Chunk> {
                 let vals = decode_f64s(get_section(data, &mut pos)?, codec)?;
                 check_len(vals.len(), n_present)?;
                 for (i, v) in vals.into_iter().enumerate() {
-                    records[i].push(if nulls.get(i) { Value::Null } else { Value::from(v) });
+                    records[i].push(if nulls.get(i) {
+                        Value::Null
+                    } else {
+                        Value::from(v)
+                    });
                 }
             }
             AttrType::Scalar(ScalarType::Bool) => {
@@ -490,10 +492,7 @@ mod tests {
     #[test]
     fn constant_sigma_serializes_compactly() {
         let mk = |constant: bool| {
-            let mut c = Chunk::new(
-                rect(16),
-                &[AttrType::Scalar(ScalarType::UncertainFloat64)],
-            );
+            let mut c = Chunk::new(rect(16), &[AttrType::Scalar(ScalarType::UncertainFloat64)]);
             for (k, coords) in rect(16).iter_cells().enumerate() {
                 let sigma = if constant { 0.5 } else { 0.1 + k as f64 };
                 c.set_record(
@@ -550,10 +549,7 @@ mod tests {
             .dim("i", 2)
             .build()
             .unwrap();
-        let c = Chunk::new(
-            rect(2),
-            &[AttrType::Nested(std::sync::Arc::new(inner))],
-        );
+        let c = Chunk::new(rect(2), &[AttrType::Nested(std::sync::Arc::new(inner))]);
         assert!(matches!(
             serialize_chunk(&c, CodecPolicy::raw()),
             Err(Error::Unsupported(_))

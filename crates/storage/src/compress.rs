@@ -210,7 +210,11 @@ pub fn encode_f64s(vals: &[f64], codec: Codec) -> Result<Vec<u8>> {
                 let bits = v.to_bits();
                 let x = bits ^ prev;
                 // Trim trailing zero bytes of the XOR.
-                let nz = if x == 0 { 0 } else { 8 - (x.trailing_zeros() / 8) as usize };
+                let nz = if x == 0 {
+                    0
+                } else {
+                    8 - (x.trailing_zeros() / 8) as usize
+                };
                 out.push(nz as u8);
                 out.extend_from_slice(&x.to_be_bytes()[..nz]);
                 prev = bits;
@@ -307,7 +311,8 @@ pub fn decode_bytes(data: &[u8], codec: Codec) -> Result<Vec<u8>> {
             while out.len() < n {
                 let run = *data
                     .get(pos)
-                    .ok_or_else(|| Error::storage("rle truncated"))? as usize;
+                    .ok_or_else(|| Error::storage("rle truncated"))?
+                    as usize;
                 let b = *data
                     .get(pos + 1)
                     .ok_or_else(|| Error::storage("rle truncated"))?;
@@ -407,7 +412,12 @@ mod tests {
         let vals: Vec<i64> = (0..10_000).collect();
         let dv = encode_i64s(&vals, Codec::DeltaVarint).unwrap();
         let raw = encode_i64s(&vals, Codec::Raw).unwrap();
-        assert!(dv.len() * 4 < raw.len(), "dv {} vs raw {}", dv.len(), raw.len());
+        assert!(
+            dv.len() * 4 < raw.len(),
+            "dv {} vs raw {}",
+            dv.len(),
+            raw.len()
+        );
     }
 
     #[test]
@@ -415,7 +425,12 @@ mod tests {
         let vals: Vec<f64> = vec![42.0; 10_000];
         let xor = encode_f64s(&vals, Codec::XorFloat).unwrap();
         let raw = encode_f64s(&vals, Codec::Raw).unwrap();
-        assert!(xor.len() * 4 < raw.len(), "xor {} vs raw {}", xor.len(), raw.len());
+        assert!(
+            xor.len() * 4 < raw.len(),
+            "xor {} vs raw {}",
+            xor.len(),
+            raw.len()
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::bucket::CodecPolicy;
 use crate::disk::Disk;
-use crate::manager::StorageManager;
+use crate::manager::{ReadOptions, StorageManager};
 use scidb_core::array::Array;
 use scidb_core::error::{Error, Result};
 use scidb_core::geometry::HyperRect;
@@ -87,7 +87,7 @@ impl DeltaStore {
             let full = self.with_history(coords, hh);
             let rect = HyperRect::cell(&full);
             probes += 1;
-            let (arr, _) = self.mgr.read_region(&rect)?;
+            let (arr, _) = self.mgr.read_region(&rect, ReadOptions::default())?;
             if let Some(rec) = arr.get_cell(&full) {
                 return Ok((Some(rec), probes));
             }

@@ -35,6 +35,6 @@ pub use compress::Codec;
 pub use delta::DeltaStore;
 pub use disk::{BlockId, Disk, FileDisk, IoStats, MemDisk};
 pub use loader::{LoadStats, StreamLoader};
-pub use manager::{BucketMeta, ReadStats, StorageManager};
+pub use manager::{BucketMeta, ReadOptions, ReadStats, StorageManager};
 pub use merge::{merge_pass, BackgroundMerger, MergeStats};
 pub use rtree::RTree;

@@ -114,6 +114,7 @@ mod tests {
     use super::*;
     use crate::bucket::CodecPolicy;
     use crate::disk::MemDisk;
+    use crate::manager::ReadOptions;
     use scidb_core::geometry::HyperRect;
     use scidb_core::schema::{ArraySchema, SchemaBuilder};
     use scidb_core::value::{record, ScalarType, Value};
@@ -156,7 +157,10 @@ mod tests {
         assert_eq!(mgr.total_cells(), 16_000);
 
         let (out, _) = mgr
-            .read_region(&HyperRect::new(vec![100, 1], vec![100, 4]).unwrap())
+            .read_region(
+                &HyperRect::new(vec![100, 1], vec![100, 4]).unwrap(),
+                ReadOptions::default(),
+            )
             .unwrap();
         assert_eq!(out.cell_count(), 4);
         assert_eq!(out.get_f64(0, &[100, 3]), Some(1003.0));
@@ -201,7 +205,10 @@ mod tests {
         }
         loader.finish().unwrap();
         let (out, _) = mgr
-            .read_region(&HyperRect::new(vec![1, 1], vec![1000, 1]).unwrap())
+            .read_region(
+                &HyperRect::new(vec![1, 1], vec![1000, 1]).unwrap(),
+                ReadOptions::default(),
+            )
             .unwrap();
         assert_eq!(out.cell_count(), 1000);
     }

@@ -13,10 +13,12 @@ use crate::rtree::RTree;
 use scidb_core::array::Array;
 use scidb_core::chunk::Chunk;
 use scidb_core::error::{Error, Result};
+use scidb_core::exec::par_map_threads;
 use scidb_core::geometry::HyperRect;
 use scidb_core::schema::ArraySchema;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Catalog entry for one bucket.
 #[derive(Debug, Clone)]
@@ -33,8 +35,61 @@ pub struct BucketMeta {
     pub bytes: usize,
 }
 
-/// Statistics from a region read, for the E3/E4 experiments.
-#[derive(Debug, Clone, Copy, Default)]
+/// Options controlling a region read.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadOptions {
+    /// Decode intersecting buckets concurrently (assembly stays serial and
+    /// deterministic). Defaults to `true`.
+    pub parallel: bool,
+    /// Thread budget for parallel decode; `0` auto-sizes to the machine.
+    pub threads: usize,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            parallel: true,
+            threads: 0,
+        }
+    }
+}
+
+impl ReadOptions {
+    /// Single-threaded decode — the escape hatch.
+    pub fn serial() -> Self {
+        ReadOptions {
+            parallel: false,
+            threads: 1,
+        }
+    }
+
+    /// Parallel decode with an explicit thread budget (`0` = auto).
+    pub fn parallel_with(threads: usize) -> Self {
+        ReadOptions {
+            parallel: true,
+            threads,
+        }
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Statistics from a region read, for the E3/E4 experiments. Each read
+/// returns its own self-contained stats — including per-bucket decode
+/// timing — so callers no longer need to poll
+/// [`io_stats`](StorageManager::io_stats) around a read.
+#[derive(Debug, Clone, Default)]
 pub struct ReadStats {
     /// Buckets touched.
     pub buckets: usize,
@@ -45,6 +100,23 @@ pub struct ReadStats {
     /// Cells decoded (including those clipped away) — `decoded /
     /// returned` is the read amplification the background merge reduces.
     pub cells_decoded: usize,
+    /// Per-bucket read+decode wall time, in bucket-key order.
+    pub chunk_times: Vec<Duration>,
+    /// Total wall time of the read (decode + assembly).
+    pub elapsed: Duration,
+}
+
+impl ReadStats {
+    /// The slowest single bucket decode.
+    pub fn max_chunk_time(&self) -> Duration {
+        self.chunk_times.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Summed per-bucket decode time (exceeds `elapsed` under parallel
+    /// decode — that surplus is the parallel speedup).
+    pub fn total_chunk_time(&self) -> Duration {
+        self.chunk_times.iter().sum()
+    }
 }
 
 /// The per-node storage manager: an R-tree-indexed collection of immutable
@@ -155,15 +227,28 @@ impl StorageManager {
     }
 
     /// Reads all cells in `region` into an in-memory array, with stats.
-    pub fn read_region(&self, region: &HyperRect) -> Result<(Array, ReadStats)> {
+    ///
+    /// Intersecting buckets are read and decoded concurrently when
+    /// `opts.parallel` (the disk and catalog are only read through `&self`);
+    /// assembly into the output array is serial, in bucket-key order, so the
+    /// result is identical at every thread count.
+    pub fn read_region(&self, region: &HyperRect, opts: ReadOptions) -> Result<(Array, ReadStats)> {
+        let start = Instant::now();
+        let keys = self.buckets_in(region);
+        let decoded = par_map_threads(opts.resolved_threads(), &keys, |&key| {
+            let t = Instant::now();
+            let chunk = self.read_bucket(key)?;
+            Ok::<_, Error>((chunk, t.elapsed()))
+        });
         let mut out = Array::from_arc(Arc::clone(&self.schema));
         let mut stats = ReadStats::default();
-        for key in self.buckets_in(region) {
-            let meta = &self.buckets[&key];
-            let chunk = self.read_bucket(key)?;
+        for (key, res) in keys.iter().zip(decoded) {
+            let (chunk, took) = res?;
+            let meta = &self.buckets[key];
             stats.buckets += 1;
             stats.bytes_read += meta.bytes as u64;
             stats.cells_decoded += chunk.present_count();
+            stats.chunk_times.push(took);
             for (coords, idx) in chunk.iter_present() {
                 if region.contains(&coords) {
                     out.set_cell(&coords, chunk.record_at(idx))?;
@@ -171,6 +256,7 @@ impl StorageManager {
                 }
             }
         }
+        stats.elapsed = start.elapsed();
         Ok((out, stats))
     }
 
@@ -248,7 +334,10 @@ mod tests {
         assert_eq!(mgr.bucket_count(), 16);
         assert_eq!(mgr.total_cells(), 1024);
         let (back, stats) = mgr
-            .read_region(&HyperRect::new(vec![1, 1], vec![32, 32]).unwrap())
+            .read_region(
+                &HyperRect::new(vec![1, 1], vec![32, 32]).unwrap(),
+                ReadOptions::default(),
+            )
             .unwrap();
         assert!(back.same_cells(&a));
         assert_eq!(stats.buckets, 16);
@@ -261,7 +350,7 @@ mod tests {
         mgr.store_array(&filled_array(&s)).unwrap();
         mgr.disk().reset_stats();
         let region = HyperRect::new(vec![1, 1], vec![8, 8]).unwrap();
-        let (out, stats) = mgr.read_region(&region).unwrap();
+        let (out, stats) = mgr.read_region(&region, ReadOptions::default()).unwrap();
         assert_eq!(stats.buckets, 1, "aligned slab reads one bucket");
         assert_eq!(out.cell_count(), 64);
         assert_eq!(mgr.io_stats().reads, 1);
@@ -273,7 +362,7 @@ mod tests {
         mgr.store_array(&filled_array(&s)).unwrap();
         // A 2x2 region straddling four chunk corners.
         let region = HyperRect::new(vec![8, 8], vec![9, 9]).unwrap();
-        let (out, stats) = mgr.read_region(&region).unwrap();
+        let (out, stats) = mgr.read_region(&region, ReadOptions::default()).unwrap();
         assert_eq!(out.cell_count(), 4);
         assert_eq!(stats.buckets, 4);
         assert_eq!(stats.cells_decoded, 4 * 64);
@@ -285,7 +374,7 @@ mod tests {
         let (mut mgr, s) = manager(16, 4);
         mgr.store_array(&filled_array(&s)).unwrap();
         let region = HyperRect::new(vec![5, 9], vec![5, 9]).unwrap();
-        let (out, _) = mgr.read_region(&region).unwrap();
+        let (out, _) = mgr.read_region(&region, ReadOptions::serial()).unwrap();
         assert_eq!(out.get_f64(0, &[5, 9]), Some(5009.0));
     }
 
@@ -298,7 +387,10 @@ mod tests {
         mgr.delete_bucket(keys[0]).unwrap();
         assert_eq!(mgr.bucket_count(), 0);
         let (out, stats) = mgr
-            .read_region(&HyperRect::new(vec![1, 1], vec![8, 8]).unwrap())
+            .read_region(
+                &HyperRect::new(vec![1, 1], vec![8, 8]).unwrap(),
+                ReadOptions::default(),
+            )
             .unwrap();
         assert_eq!(out.cell_count(), 0);
         assert_eq!(stats.buckets, 0);

@@ -159,6 +159,7 @@ mod tests {
     use super::*;
     use crate::bucket::CodecPolicy;
     use crate::disk::MemDisk;
+    use crate::manager::ReadOptions;
     use scidb_core::array::Array;
     use scidb_core::geometry::HyperRect;
     use scidb_core::schema::{ArraySchema, SchemaBuilder};
@@ -194,7 +195,7 @@ mod tests {
         let mut mgr = loaded_manager();
         assert_eq!(mgr.bucket_count(), 64);
         let full = HyperRect::new(vec![1, 1], vec![64, 64]).unwrap();
-        let (before, _) = mgr.read_region(&full).unwrap();
+        let (before, _) = mgr.read_region(&full, ReadOptions::default()).unwrap();
 
         let stats = merge_pass(&mut mgr, 2).unwrap();
         assert_eq!(stats.groups, 16); // 8x8 grid of 2x2 super-tiles
@@ -202,7 +203,7 @@ mod tests {
         assert_eq!(stats.buckets_out, 16);
         assert_eq!(mgr.bucket_count(), 16);
 
-        let (after, _) = mgr.read_region(&full).unwrap();
+        let (after, _) = mgr.read_region(&full, ReadOptions::default()).unwrap();
         assert!(before.same_cells(&after));
     }
 
@@ -210,9 +211,9 @@ mod tests {
     fn merge_reduces_read_amplification_for_slabs() {
         let mut mgr = loaded_manager();
         let slab = HyperRect::new(vec![1, 1], vec![16, 16]).unwrap();
-        let (_, before) = mgr.read_region(&slab).unwrap();
+        let (_, before) = mgr.read_region(&slab, ReadOptions::default()).unwrap();
         merge_pass(&mut mgr, 2).unwrap();
-        let (_, after) = mgr.read_region(&slab).unwrap();
+        let (_, after) = mgr.read_region(&slab, ReadOptions::default()).unwrap();
         assert!(
             after.buckets < before.buckets,
             "slab read touches fewer buckets after merge ({} -> {})",
@@ -259,7 +260,10 @@ mod tests {
         assert_eq!(mgr.lock().bucket_count(), 4);
         // Data intact after concurrent merging.
         let full = HyperRect::new(vec![1, 1], vec![64, 64]).unwrap();
-        let (out, _) = mgr.lock().read_region(&full).unwrap();
+        let (out, _) = mgr
+            .lock()
+            .read_region(&full, ReadOptions::default())
+            .unwrap();
         assert_eq!(out.cell_count(), 64 * 64);
     }
 }

@@ -85,7 +85,10 @@ impl<T: Clone> RTree<T> {
     /// bulk.)
     pub fn remove_where(&mut self, query: &HyperRect, pred: impl Fn(&T) -> bool) -> Vec<T> {
         let mut all: Vec<(HyperRect, T)> = Vec::with_capacity(self.len);
-        Self::drain_node(std::mem::replace(&mut self.root, Node::Leaf(Vec::new())), &mut all);
+        Self::drain_node(
+            std::mem::replace(&mut self.root, Node::Leaf(Vec::new())),
+            &mut all,
+        );
         let mut removed = Vec::new();
         let mut kept = Vec::new();
         for (rect, value) in all {
@@ -208,7 +211,8 @@ impl<T: Clone> RTree<T> {
                     })
                     .expect("inner node has children");
                 children[best].0 = children[best].0.union(&rect);
-                if let Some((r1, n1, r2, n2)) = Self::insert_into(&mut children[best].1, rect, value)
+                if let Some((r1, n1, r2, n2)) =
+                    Self::insert_into(&mut children[best].1, rect, value)
                 {
                     children[best] = (r1, Box::new(n1));
                     children.push((r2, Box::new(n2)));
@@ -239,7 +243,9 @@ fn mbr_inner<T>(entries: &[(HyperRect, Box<Node<T>>)]) -> HyperRect {
 }
 
 /// Guttman's quadratic split over arbitrary entry payloads.
-fn quadratic_split<E>(mut entries: Vec<(HyperRect, E)>) -> (Vec<(HyperRect, E)>, Vec<(HyperRect, E)>) {
+fn quadratic_split<E>(
+    mut entries: Vec<(HyperRect, E)>,
+) -> (Vec<(HyperRect, E)>, Vec<(HyperRect, E)>) {
     // Pick the pair wasting the most area together as seeds.
     let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
     for i in 0..entries.len() {

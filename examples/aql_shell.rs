@@ -49,8 +49,7 @@ fn main() {
                                     println!("  … ({} more cells)", a.cell_count() - 20);
                                     break;
                                 }
-                                let vals: Vec<String> =
-                                    rec.iter().map(|v| v.to_string()).collect();
+                                let vals: Vec<String> = rec.iter().map(|v| v.to_string()).collect();
                                 println!("  {coords:?} -> ({})", vals.join(", "));
                             }
                         }

@@ -8,11 +8,11 @@
 //!
 //! Run with: `cargo run --release --example astronomy`
 
+use scidb::core::geometry::HyperRect;
 use scidb::grid::{
     local_join_fraction, replication_overhead, Cluster, EpochPartitioning, PartitionScheme,
     ReplicatedPlacement,
 };
-use scidb::core::geometry::HyperRect;
 use scidb::ssdb::detect::{detect, DetectParams};
 use scidb::ssdb::gen::{generate_stack, ImageSpec};
 use scidb::ssdb::group::{group_observations, GroupParams};
@@ -52,10 +52,8 @@ fn main() -> scidb::Result<()> {
         dist.iter().min().unwrap(),
         dist.iter().max().unwrap()
     );
-    let (_, stats) = cluster.query_region(
-        "epoch0",
-        &HyperRect::new(vec![1, 1], vec![32, 32]).unwrap(),
-    )?;
+    let (_, stats) =
+        cluster.query_region("epoch0", &HyperRect::new(vec![1, 1], vec![32, 32]).unwrap())?;
     println!(
         "corner-tile query touched {} node(s), scanned {} cells",
         stats.nodes_touched, stats.cells_scanned

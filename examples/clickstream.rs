@@ -11,8 +11,7 @@
 //! Run with: `cargo run --release --example clickstream`
 
 use scidb::ssdb::clickstream::{
-    analyze_array, analyze_table, build_event_array, build_event_table, generate_events,
-    ClickSpec,
+    analyze_array, analyze_table, build_event_array, build_event_table, generate_events, ClickSpec,
 };
 
 fn main() -> scidb::Result<()> {
@@ -56,7 +55,12 @@ fn main() -> scidb::Result<()> {
     );
     println!("click-through rate by rank:");
     for (i, ctr) in a.ctr_by_rank.iter().enumerate() {
-        println!("  rank {:>2}: {:>5.1}%  {}", i + 1, ctr * 100.0, "#".repeat((ctr * 120.0) as usize));
+        println!(
+            "  rank {:>2}: {:>5.1}%  {}",
+            i + 1,
+            ctr * 100.0,
+            "#".repeat((ctr * 120.0) as usize)
+        );
     }
 
     // ---- the relational weblog agrees ---------------------------------------

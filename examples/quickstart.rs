@@ -51,15 +51,24 @@ fn main() -> scidb::Result<()> {
                 scidb::core::enhance::PseudoValue::Int(80),
             ],
         )?;
-        println!("My_remote{{70, 80}}    = {:?} (same cell as [7, 8])", enhanced.unwrap());
+        println!(
+            "My_remote{{70, 80}}    = {:?} (same cell as [7, 8])",
+            enhanced.unwrap()
+        );
     }
 
     // ---- operators through AQL -------------------------------------------
     let sub = db.query("subsample(My_remote, even(I) and J <= 4)")?;
-    println!("\nSubsample(even(I) and J <= 4): {} cells", sub.cell_count());
+    println!(
+        "\nSubsample(even(I) and J <= 4): {} cells",
+        sub.cell_count()
+    );
 
     let agg = db.query("aggregate(My_remote, {I}, avg(s1))")?;
-    println!("Aggregate({{I}}, avg(s1)) row 7: {}", agg.get_cell(&[7]).unwrap()[0]);
+    println!(
+        "Aggregate({{I}}, avg(s1)) row 7: {}",
+        agg.get_cell(&[7]).unwrap()[0]
+    );
 
     let rg = db.query("regrid(My_remote, [4, 4], avg)")?;
     println!("Regrid 4x4: {} blocks", rg.cell_count());

@@ -97,7 +97,8 @@ fn main() -> scidb::Result<()> {
     println!(
         "recooked cell {inside:?}: base={:?} version={:?}",
         tree.get_base(&inside).map(|r| r[0].to_string()),
-        tree.get("overhead_study", &inside)?.map(|r| r[0].to_string()),
+        tree.get("overhead_study", &inside)?
+            .map(|r| r[0].to_string()),
     );
     println!(
         "outside study region [5,5] : identical = {}",

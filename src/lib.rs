@@ -38,6 +38,7 @@ pub use scidb_ssdb as ssdb;
 pub use scidb_storage as storage;
 
 pub use scidb_core::{
-    Array, ArraySchema, Error, Result, Scalar, ScalarType, SchemaBuilder, Uncertain, Value,
+    Array, ArraySchema, Error, ExecContext, OpMetrics, QueryMetrics, Result, Scalar, ScalarType,
+    SchemaBuilder, Uncertain, Value,
 };
-pub use scidb_query::Database;
+pub use scidb_query::{Database, Session};

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use scidb::insitu::{write_h5, write_netcdf, write_sddf, DatasetSpec};
 use scidb::storage::{deserialize_chunk, serialize_chunk, CodecPolicy};
-use scidb::{Array, SchemaBuilder, ScalarType, Value};
+use scidb::{Array, ScalarType, SchemaBuilder, Value};
 
 fn sample(n: i64) -> Array {
     let schema = SchemaBuilder::new("s")
@@ -103,6 +103,54 @@ proptest! {
     }
 }
 
+/// Pinned regressions from `failure_injection.proptest-regressions`: the
+/// shrunk byte-flip cases that once panicked in the h5 and sddf readers.
+#[test]
+fn pinned_insitu_byte_flip_regressions() {
+    for (which, pos_frac, delta) in [
+        (2usize, 0.14042798303070844f64, 128u8),
+        (1, 0.9943464580828132, 1),
+    ] {
+        let dir = tmp_dir(&format!("flip_pin_{which}"));
+        let schema = SchemaBuilder::new("f")
+            .attr("v", ScalarType::Float64)
+            .dim_chunked("x", 8, 8)
+            .dim_chunked("y", 8, 8)
+            .build()
+            .unwrap();
+        let mut a = Array::new(schema);
+        a.fill_with(|c| vec![Value::from((c[0] + c[1]) as f64)])
+            .unwrap();
+        let path = dir.join(format!("flip_{which}.bin"));
+        match which {
+            0 => {
+                write_netcdf(&path, &a, &[]).unwrap();
+            }
+            1 => {
+                write_h5(
+                    &path,
+                    &[DatasetSpec {
+                        path: "/d".into(),
+                        array: &a,
+                    }],
+                )
+                .unwrap();
+            }
+            _ => {
+                write_sddf(&path, &a, CodecPolicy::default_policy()).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = bytes[pos].wrapping_add(delta);
+        std::fs::write(&path, &bytes).unwrap();
+        if let Ok(mut src) = scidb::insitu::open(&path) {
+            let _ = src.read_all();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 #[test]
 fn truncated_insitu_files_error() {
     let dir = tmp_dir("trunc");
@@ -140,5 +188,8 @@ fn engine_errors_do_not_corrupt_state() {
     assert!(db.query("subsample(A, X = Y)").is_err());
     assert!(db.run("create A as T [4]").is_err());
     let after = db.query("scan(A)").unwrap();
-    assert!(before.same_cells(&after), "failed statements must not mutate");
+    assert!(
+        before.same_cells(&after),
+        "failed statements must not mutate"
+    );
 }

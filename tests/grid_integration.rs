@@ -7,7 +7,7 @@ use scidb::core::registry::Registry;
 use scidb::grid::{
     design_range, evaluate, steerable_workload, Cluster, EpochPartitioning, PartitionScheme,
 };
-use scidb::{Array, SchemaBuilder, ScalarType, Value};
+use scidb::{Array, ScalarType, SchemaBuilder, Value};
 
 fn schema(n: i64) -> scidb::ArraySchema {
     SchemaBuilder::new("sky")
@@ -43,8 +43,8 @@ fn distributed_aggregate_matches_local_aggregate() {
 
     for agg in ["sum", "avg", "min", "max", "count", "stddev"] {
         let (dist_v, _) = cluster.aggregate("A", agg, "v", &registry).unwrap();
-        let local_out = ops::aggregate(&local, &[], agg, ops::AggInput::Attr("v".into()), &registry)
-            .unwrap();
+        let local_out =
+            ops::aggregate(&local, &[], agg, ops::AggInput::Attr("v".into()), &registry).unwrap();
         let local_v = local_out.get_cell(&[1]).unwrap()[0].clone();
         match (dist_v.as_f64(), local_v.as_f64()) {
             (Some(d), Some(l)) => assert!((d - l).abs() < 1e-9, "{agg}: {d} vs {l}"),
@@ -101,8 +101,7 @@ fn designer_epoch_rebalance_improves_skewed_workload_end_to_end() {
     // new scheme; we install it as a new epoch and rebalance.
     let designed = design_range(&space, 0, nodes, &skew).unwrap();
     assert!(
-        evaluate(&designed, &space, &skew).imbalance
-            < evaluate(&grid, &space, &skew).imbalance
+        evaluate(&designed, &space, &skew).imbalance < evaluate(&grid, &space, &skew).imbalance
     );
     cluster.add_epoch("A", 1_000, designed).unwrap();
     let moved = cluster.rebalance("A").unwrap();
@@ -137,5 +136,9 @@ fn epoch_data_placement_follows_arrival_time() {
         .load_at("A", 200, vec![(vec![3, 2], vec![Value::from(2.0)])])
         .unwrap();
     let dist = cluster.distribution("A").unwrap();
-    assert_eq!(dist, vec![1, 1], "same row, different epochs, different nodes");
+    assert_eq!(
+        dist,
+        vec![1, 1],
+        "same row, different epochs, different nodes"
+    );
 }

@@ -9,7 +9,7 @@ use scidb::core::registry::Registry;
 use scidb::core::shape::CircleShape;
 use scidb::core::versions::VersionTree;
 use scidb::query::Database;
-use scidb::{SchemaBuilder, ScalarType, Uncertain, Value};
+use scidb::{ScalarType, SchemaBuilder, Uncertain, Value};
 use std::sync::Arc;
 
 #[test]
@@ -186,9 +186,7 @@ fn s2_13_uncertainty_in_queries() {
         other => panic!("expected uncertain sum, got {other}"),
     }
     // Uncertainty-aware filter via the prob_below builtin.
-    let out = db
-        .query("filter(A, prob_below(v, 15.0) > 0.95)")
-        .unwrap();
+    let out = db.query("filter(A, prob_below(v, 15.0) > 0.95)").unwrap();
     assert!(!out.get_cell(&[1]).unwrap()[0].is_null());
     assert!(out.get_cell(&[3]).unwrap()[0].is_null());
 }

@@ -14,7 +14,7 @@ use scidb::storage::compress::{
     decode_bytes, decode_f64s, decode_i64s, encode_bytes, encode_f64s, encode_i64s, Codec,
 };
 use scidb::storage::{deserialize_chunk, serialize_chunk, CodecPolicy};
-use scidb::{Array, SchemaBuilder, ScalarType, Uncertain, Value};
+use scidb::{Array, ScalarType, SchemaBuilder, Uncertain, Value};
 use std::collections::HashMap;
 
 // ---- geometry -----------------------------------------------------------

@@ -41,16 +41,16 @@ fn arb_pipeline() -> impl Strategy<Value = Q> {
     leaf.prop_recursive(4, 16, 2, |inner| {
         prop_oneof![
             // Unary operators.
-            (inner.clone(), 1i64..100).prop_map(|(q, k)| {
-                q.subsample(Expr::attr("X").le(Expr::lit(k)))
-            }),
-            (inner.clone(), -50.0f64..50.0).prop_map(|(q, t)| {
-                q.filter(Expr::attr("v").gt(Expr::lit(t)))
-            }),
-            (inner.clone(), prop::sample::select(vec!["sum", "avg", "count", "min", "max"]))
+            (inner.clone(), 1i64..100)
+                .prop_map(|(q, k)| { q.subsample(Expr::attr("X").le(Expr::lit(k))) }),
+            (inner.clone(), -50.0f64..50.0)
+                .prop_map(|(q, t)| { q.filter(Expr::attr("v").gt(Expr::lit(t))) }),
+            (
+                inner.clone(),
+                prop::sample::select(vec!["sum", "avg", "count", "min", "max"])
+            )
                 .prop_map(|(q, agg)| q.aggregate(&["X"], agg, "v")),
-            (inner.clone(), 1i64..8, 1i64..8)
-                .prop_map(|(q, fi, fj)| q.regrid(&[fi, fj], "avg")),
+            (inner.clone(), 1i64..8, 1i64..8).prop_map(|(q, fi, fj)| q.regrid(&[fi, fj], "avg")),
             (inner.clone()).prop_map(|q| q.apply(
                 "w",
                 Expr::attr("v").mul(Expr::lit(2.0)).add(Expr::lit(1i64)),
@@ -58,16 +58,36 @@ fn arb_pipeline() -> impl Strategy<Value = Q> {
             (inner.clone()).prop_map(|q| q.project(&["v"])),
             (inner.clone()).prop_map(|q| q.add_dim("layer")),
             // Binary operators.
-            (inner.clone(), prop::sample::select(vec!["A", "B"])).prop_map(|(q, name)| {
-                q.sjoin(scan(name), &[("X", "X")])
-            }),
+            (inner.clone(), prop::sample::select(vec!["A", "B"]))
+                .prop_map(|(q, name)| { q.sjoin(scan(name), &[("X", "X")]) }),
             (inner.clone(), prop::sample::select(vec!["A", "B"])).prop_map(|(q, name)| {
                 q.cjoin(scan(name), Expr::attr("v").eq(Expr::attr("v_r")))
             }),
-            (inner, prop::sample::select(vec!["A", "B"]))
-                .prop_map(|(q, name)| q.cross(scan(name))),
+            (inner, prop::sample::select(vec!["A", "B"])).prop_map(|(q, name)| q.cross(scan(name))),
         ]
     })
+}
+
+/// Pinned regressions from `proptest_query.proptest-regressions`: shrunk
+/// pipelines whose canonical AQL once failed to round-trip.
+#[test]
+fn pinned_roundtrip_regressions() {
+    let cases: Vec<Q> = vec![
+        scan("A")
+            .apply(
+                "w",
+                Expr::attr("v").mul(Expr::lit(2.0)).add(Expr::lit(1i64)),
+            )
+            .subsample(Expr::attr("X").le(Expr::lit(1i64)))
+            .subsample(Expr::attr("X").le(Expr::lit(1i64))),
+        scan("A").filter(Expr::attr("v").gt(Expr::lit(-0.8357318137472601))),
+    ];
+    for q in cases {
+        let text = q.to_aql();
+        let reparsed =
+            parse_one(&text).unwrap_or_else(|e| panic!("canonical AQL must parse: {text}\n{e}"));
+        assert_eq!(reparsed, q.into_stmt(), "{}", text);
+    }
 }
 
 proptest! {

@@ -2,11 +2,12 @@
 //! scidb-core, scidb-storage, and scidb-insitu.
 
 use scidb::core::geometry::HyperRect;
-use scidb::insitu::{write_h5, write_netcdf, write_sddf, DatasetSpec, InSituSource};
+use scidb::insitu::{write_h5, write_netcdf, write_sddf, DatasetSpec};
 use scidb::storage::{
-    merge_pass, CodecPolicy, DeltaStore, FileDisk, MemDisk, StorageManager, StreamLoader,
+    merge_pass, CodecPolicy, DeltaStore, FileDisk, MemDisk, ReadOptions, StorageManager,
+    StreamLoader,
 };
-use scidb::{Array, SchemaBuilder, ScalarType, Value};
+use scidb::{Array, ScalarType, SchemaBuilder, Value};
 use std::sync::Arc;
 
 fn sample(n: i64, chunk: i64) -> Array {
@@ -40,7 +41,10 @@ fn array_to_buckets_to_array_roundtrip_through_real_files() {
     mgr.store_array(&a).unwrap();
     merge_pass(&mut mgr, 2).unwrap();
     let (back, _) = mgr
-        .read_region(&HyperRect::new(vec![1, 1], vec![32, 32]).unwrap())
+        .read_region(
+            &HyperRect::new(vec![1, 1], vec![32, 32]).unwrap(),
+            ReadOptions::default(),
+        )
         .unwrap();
     assert!(back.same_cells(&a));
     std::fs::remove_dir_all(&dir).unwrap();
@@ -78,7 +82,10 @@ fn loader_then_merge_then_query_pipeline() {
     assert!(mgr.bucket_count() < before);
 
     let (out, rs) = mgr
-        .read_region(&HyperRect::new(vec![1000, 1], vec![1127, 4]).unwrap())
+        .read_region(
+            &HyperRect::new(vec![1000, 1], vec![1127, 4]).unwrap(),
+            ReadOptions::default(),
+        )
         .unwrap();
     assert_eq!(out.cell_count(), 128 * 4);
     assert_eq!(out.get_f64(0, &[1050, 2]), Some(10502.0));
@@ -138,7 +145,10 @@ fn insitu_load_into_manager_then_requery() {
     );
     mgr.store_array(&loaded).unwrap();
     let (out, _) = mgr
-        .read_region(&HyperRect::new(vec![1, 1], vec![16, 16]).unwrap())
+        .read_region(
+            &HyperRect::new(vec![1, 1], vec![16, 16]).unwrap(),
+            ReadOptions::default(),
+        )
         .unwrap();
     assert!(out.same_cells(&a));
     std::fs::remove_dir_all(&dir).unwrap();
