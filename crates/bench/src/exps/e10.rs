@@ -120,7 +120,7 @@ mod tests {
         assert_eq!(tables[0].rows.len(), 9);
         // Q4 recovers most planted sources.
         let q4: f64 = tables[0].rows[3][1].parse().unwrap();
-        assert!(q4 >= 25.0 && q4 <= 55.0, "Q4 ≈ 40 sources: {q4}");
+        assert!((25.0..=55.0).contains(&q4), "Q4 ≈ 40 sources: {q4}");
         // Comparison table has both queries.
         assert_eq!(tables[1].rows.len(), 2);
     }

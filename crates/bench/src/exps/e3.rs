@@ -47,11 +47,11 @@ pub fn run(quick: bool) -> Vec<ReportTable> {
             fmt_bytes(budget),
             stats.flushes.to_string(),
             stats.buckets.to_string(),
-            fmt_bytes(if stats.buckets == 0 {
-                0
-            } else {
-                stats.bytes_written as usize / stats.buckets
-            }),
+            fmt_bytes(
+                (stats.bytes_written as usize)
+                    .checked_div(stats.buckets)
+                    .unwrap_or(0),
+            ),
         ]);
     }
     tables.push(t);

@@ -137,7 +137,7 @@ impl Array {
             && coords
                 .iter()
                 .zip(self.schema.dims())
-                .all(|(&c, dim)| c >= 1 && dim.upper.map_or(true, |u| c <= u))
+                .all(|(&c, dim)| c >= 1 && dim.upper.is_none_or(|u| c <= u))
     }
 
     // ----- cell access --------------------------------------------------
@@ -432,14 +432,18 @@ impl Array {
 
     /// The chunk containing `coords`, materializing it if needed.
     pub fn ensure_chunk(&mut self, coords: &[i64]) -> &mut Chunk {
+        use std::collections::btree_map::Entry;
         let strides = self.strides();
         let origin = chunk_origin_of(coords, &strides);
-        if !self.chunks.contains_key(&origin) {
-            let rect = chunk_rect(&origin, &strides, &self.uppers());
-            let types: Vec<_> = self.schema.attrs().iter().map(|a| a.ty.clone()).collect();
-            self.chunks.insert(origin.clone(), Chunk::new(rect, &types));
+        let uppers = self.uppers();
+        match self.chunks.entry(origin) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                let rect = chunk_rect(e.key(), &strides, &uppers);
+                let types: Vec<_> = self.schema.attrs().iter().map(|a| a.ty.clone()).collect();
+                e.insert(Chunk::new(rect, &types))
+            }
         }
-        self.chunks.get_mut(&origin).unwrap()
     }
 
     /// Approximate heap footprint in bytes.
@@ -462,25 +466,33 @@ impl Array {
 /// Convenience constructors used pervasively in tests, examples, and the
 /// benchmark harness.
 impl Array {
-    /// Builds a 1-D int array named `name` with dimension `i`, cells
-    /// `1..=values.len()`.
-    pub fn int_1d(name: &str, attr: &str, values: &[i64]) -> Array {
+    /// Fallible form of [`Array::int_1d`]: fails if `name`/`attr` do not
+    /// form a valid schema.
+    pub fn try_int_1d(name: &str, attr: &str, values: &[i64]) -> Result<Array> {
         use crate::schema::SchemaBuilder;
         use crate::value::ScalarType;
         let schema = SchemaBuilder::new(name)
             .attr(attr, ScalarType::Int64)
-            .dim("i", values.len() as i64)
-            .build()
-            .expect("valid 1-D schema");
+            .dim("i", (values.len() as i64).max(1))
+            .build()?;
         let mut a = Array::new(schema);
         for (i, &v) in values.iter().enumerate() {
-            a.set_cell(&[i as i64 + 1], vec![Value::from(v)]).unwrap();
+            a.set_cell(&[i as i64 + 1], vec![Value::from(v)])?;
         }
-        a
+        Ok(a)
     }
 
-    /// Builds a 2-D float array from row-major `rows` (dimensions `i`, `j`).
-    pub fn f64_2d(name: &str, attr: &str, rows: &[Vec<f64>]) -> Array {
+    /// Builds a 1-D int array named `name` with dimension `i`, cells
+    /// `1..=values.len()`. Panics on an invalid schema name; library code
+    /// should use [`Array::try_int_1d`].
+    pub fn int_1d(name: &str, attr: &str, values: &[i64]) -> Array {
+        // lint: allow(panic) — test/bench convenience; try_int_1d is the fallible form
+        Array::try_int_1d(name, attr, values).expect("valid 1-D schema")
+    }
+
+    /// Fallible form of [`Array::f64_2d`]: fails if `name`/`attr` do not
+    /// form a valid schema.
+    pub fn try_f64_2d(name: &str, attr: &str, rows: &[Vec<f64>]) -> Result<Array> {
         use crate::schema::SchemaBuilder;
         use crate::value::ScalarType;
         let n = rows.len() as i64;
@@ -489,16 +501,22 @@ impl Array {
             .attr(attr, ScalarType::Float64)
             .dim("i", n.max(1))
             .dim("j", m.max(1))
-            .build()
-            .expect("valid 2-D schema");
+            .build()?;
         let mut a = Array::new(schema);
         for (i, row) in rows.iter().enumerate() {
             for (j, &v) in row.iter().enumerate() {
-                a.set_cell(&[i as i64 + 1, j as i64 + 1], vec![Value::from(v)])
-                    .unwrap();
+                a.set_cell(&[i as i64 + 1, j as i64 + 1], vec![Value::from(v)])?;
             }
         }
-        a
+        Ok(a)
+    }
+
+    /// Builds a 2-D float array from row-major `rows` (dimensions `i`, `j`).
+    /// Panics on an invalid schema name; library code should use
+    /// [`Array::try_f64_2d`].
+    pub fn f64_2d(name: &str, attr: &str, rows: &[Vec<f64>]) -> Array {
+        // lint: allow(panic) — test/bench convenience; try_f64_2d is the fallible form
+        Array::try_f64_2d(name, attr, rows).expect("valid 2-D schema")
     }
 }
 

@@ -63,7 +63,7 @@ impl BitVec {
 
     /// Appends a bit.
     pub fn push(&mut self, value: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         self.len += 1;

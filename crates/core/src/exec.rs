@@ -206,7 +206,7 @@ where
             }));
         }
         for h in handles {
-            // A panic in a worker propagates here, matching serial behavior.
+            // lint: allow(panic) — re-raises a worker panic so parallel runs fail like serial ones
             labelled.extend(h.join().expect("worker panicked"));
         }
     });

@@ -97,18 +97,22 @@ impl Expr {
         Expr::Func(name.into(), args)
     }
     /// Builder: `self + rhs`.
+    #[allow(clippy::should_implement_trait)] // by-value builder DSL, not arithmetic
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
     }
     /// Builder: `self - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
     }
     /// Builder: `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
     }
     /// Builder: `self / rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Div, Box::new(self), Box::new(rhs))
     }
@@ -145,6 +149,7 @@ impl Expr {
         Expr::Binary(BinOp::Or, Box::new(self), Box::new(rhs))
     }
     /// Builder: `NOT self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Unary(UnaryOp::Not, Box::new(self))
     }

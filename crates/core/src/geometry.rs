@@ -126,8 +126,8 @@ impl HyperRect {
     pub fn linearize(&self, coords: &[i64]) -> usize {
         debug_assert!(self.contains(coords), "{coords:?} outside {self:?}");
         let mut idx: i64 = 0;
-        for d in 0..self.rank() {
-            idx = idx * self.len(d) + (coords[d] - self.low[d]);
+        for (d, (&c, &lo)) in coords.iter().zip(&self.low).enumerate() {
+            idx = idx * self.len(d) + (c - lo);
         }
         idx as usize
     }

@@ -57,13 +57,7 @@ pub fn filter_with(
         Ok((oc, cells))
     })?;
     let mut out = Array::from_arc(a.schema_arc());
-    let mut total_cells = 0u64;
-    for (oc, cells) in results {
-        total_cells += cells;
-        if !oc.is_empty() {
-            out.insert_chunk(oc);
-        }
-    }
+    let total_cells = super::merge_chunk_outputs(&mut out, results);
     ctx.record("filter", chunks.len() as u64, total_cells, start.elapsed());
     Ok(out)
 }
@@ -170,7 +164,6 @@ pub fn aggregate_with(
     // Per-chunk partial aggregation: each chunk folds its cells into local
     // states and exports mergeable partials.
     let chunks: Vec<&Chunk> = a.chunks().values().collect();
-    let mut total_cells = 0u64;
     let partials = ctx.try_par_map(&chunks, |chunk| {
         let mut local: BTreeMap<Vec<i64>, Vec<Box<dyn crate::udf::AggState>>> = BTreeMap::new();
         let mut cells = 0u64;
@@ -189,7 +182,7 @@ pub fn aggregate_with(
                 states[si].update(&rec[ai])?;
             }
         }
-        let exported: Vec<(Vec<i64>, Vec<Record>)> = local
+        let exported: super::AggPartials = local
             .into_iter()
             .map(|(k, states)| (k, states.iter().map(|s| s.partial()).collect()))
             .collect();
@@ -198,18 +191,7 @@ pub fn aggregate_with(
 
     // Ordered merge: partials are combined in chunk order, which is fixed by
     // the array's chunk map — never by thread scheduling.
-    let mut groups: BTreeMap<Vec<i64>, Vec<Box<dyn crate::udf::AggState>>> = BTreeMap::new();
-    for (exported, cells) in partials {
-        total_cells += cells;
-        for (key, recs) in exported {
-            let states = groups
-                .entry(key)
-                .or_insert_with(|| attr_idxs.iter().map(|_| agg.create()).collect());
-            for (si, prec) in recs.iter().enumerate() {
-                states[si].merge(prec)?;
-            }
-        }
-    }
+    let (groups, total_cells) = super::merge_agg_partials(&*agg, attr_idxs.len(), partials)?;
 
     let mut out = Array::new(out_schema);
     for (key, states) in groups {
@@ -352,13 +334,7 @@ pub fn apply_with(
         Ok((oc, cells))
     })?;
     let mut out = Array::new(out_schema);
-    let mut total_cells = 0u64;
-    for (oc, cells) in results {
-        total_cells += cells;
-        if !oc.is_empty() {
-            out.insert_chunk(oc);
-        }
-    }
+    let total_cells = super::merge_chunk_outputs(&mut out, results);
     ctx.record("apply", chunks.len() as u64, total_cells, start.elapsed());
     Ok(out)
 }
@@ -404,13 +380,7 @@ pub fn project_with(a: &Array, keep: &[&str], ctx: &ExecContext) -> Result<Array
         Ok((oc, cells))
     })?;
     let mut out = Array::new(out_schema);
-    let mut total_cells = 0u64;
-    for (oc, cells) in results {
-        total_cells += cells;
-        if !oc.is_empty() {
-            out.insert_chunk(oc);
-        }
-    }
+    let total_cells = super::merge_chunk_outputs(&mut out, results);
     ctx.record("project", chunks.len() as u64, total_cells, start.elapsed());
     Ok(out)
 }

@@ -49,9 +49,10 @@ pub fn slab_sum_f64(a: &Array, attr: usize, region: &HyperRect) -> Result<(f64, 
                     // Contiguous inner runs: base offset + stride-1 scan.
                     for_each_row(&clip, |row, run| {
                         let base = chunk.rect().linearize(row);
-                        for idx in base..base + run {
+                        for (off, &v) in data[base..base + run].iter().enumerate() {
+                            let idx = base + off;
                             if present.get(idx) && !nulls.get(idx) {
-                                sum += data[idx];
+                                sum += v;
                                 n += 1;
                             }
                         }
@@ -156,15 +157,13 @@ pub fn regrid_mean_f64(a: &Array, attr: usize, factors: &[i64]) -> Result<Array>
             for d in 0..rank {
                 block[d] = (row[d] - 1) / factors[d] + 1;
             }
-            let mut j = row[rank - 1];
-            for idx in base..base + run {
+            for (idx, j) in (base..base + run).zip(row[rank - 1]..) {
                 block[rank - 1] = (j - 1) / f_last + 1;
                 if let Some(v) = chunk.value_f64(attr, idx) {
                     let bidx = out_rect.linearize(&block);
                     sums[bidx] += v;
                     counts[bidx] += 1;
                 }
-                j += 1;
             }
         });
     }

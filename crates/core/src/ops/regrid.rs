@@ -108,7 +108,7 @@ pub fn regrid_with(
                 s.update(v)?;
             }
         }
-        let exported: Vec<(Vec<i64>, Vec<Record>)> = local
+        let exported: super::AggPartials = local
             .into_iter()
             .map(|(k, states)| (k, states.iter().map(|s| s.partial()).collect()))
             .collect();
@@ -116,19 +116,7 @@ pub fn regrid_with(
     })?;
 
     // Ordered merge in chunk order — deterministic across thread schedules.
-    let mut blocks: BTreeMap<Vec<i64>, Vec<Box<dyn crate::udf::AggState>>> = BTreeMap::new();
-    let mut total_cells = 0u64;
-    for (exported, cells) in partials {
-        total_cells += cells;
-        for (key, recs) in exported {
-            let states = blocks
-                .entry(key)
-                .or_insert_with(|| (0..n_attrs).map(|_| agg.create()).collect());
-            for (s, prec) in states.iter_mut().zip(&recs) {
-                s.merge(prec)?;
-            }
-        }
-    }
+    let (blocks, total_cells) = super::merge_agg_partials(&*agg, n_attrs, partials)?;
 
     let mut out = Array::new(out_schema);
     for (key, states) in blocks {

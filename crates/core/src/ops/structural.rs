@@ -152,6 +152,7 @@ impl DimPredicate {
             low[d] = nlo;
             high[d] = nhi;
         }
+        // lint: allow(option-api) — an inverted rect means the predicate matches nothing; None is pruning, not an error
         HyperRect::new(low, high).ok()
     }
 }
@@ -192,13 +193,7 @@ pub fn subsample_with(
         Ok((oc, cells))
     })?;
     let mut out = Array::from_arc(a.schema_arc());
-    let mut total_cells = 0u64;
-    for (oc, cells) in results {
-        total_cells += cells;
-        if !oc.is_empty() {
-            out.insert_chunk(oc);
-        }
-    }
+    let total_cells = super::merge_chunk_outputs(&mut out, results);
     ctx.record(
         "subsample",
         survivors.len() as u64,

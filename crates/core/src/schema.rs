@@ -145,6 +145,9 @@ impl ArraySchema {
         dims: Vec<DimensionDef>,
     ) -> Result<Self> {
         let name = name.into();
+        if name.is_empty() {
+            return Err(Error::schema("array name must not be empty"));
+        }
         if attrs.is_empty() {
             return Err(Error::schema(format!("array '{name}' has no attributes")));
         }

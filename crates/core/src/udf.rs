@@ -24,12 +24,15 @@ pub trait ScalarFn: fmt::Debug + Send + Sync {
     fn call(&self, args: &[Value]) -> Result<Value>;
 }
 
+/// Boxed body of a scalar UDF.
+type ScalarBody = Box<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
 /// A [`ScalarFn`] built from a closure — the idiomatic way to register a
 /// UDF.
 pub struct ClosureFn {
     name: String,
     arity: Option<usize>,
-    f: Box<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>,
+    f: ScalarBody,
 }
 
 impl ClosureFn {
@@ -129,13 +132,16 @@ pub trait ArrayOp: fmt::Debug + Send + Sync {
     fn apply(&self, inputs: &[&Array], registry: &Registry) -> Result<Array>;
 }
 
+/// Boxed validity constraint of a user-defined type.
+type CheckFn = Box<dyn Fn(&Scalar) -> bool + Send + Sync>;
+
 /// A user-defined data type: a named refinement of a base scalar type with
 /// an optional validity constraint (e.g. `declination` as a float in
 /// [-90, 90]).
 pub struct TypeDef {
     name: String,
     base: crate::value::ScalarType,
-    check: Option<Box<dyn Fn(&Scalar) -> bool + Send + Sync>>,
+    check: Option<CheckFn>,
 }
 
 impl TypeDef {

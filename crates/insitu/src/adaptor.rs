@@ -81,10 +81,7 @@ impl MeteredFile {
         // Validate against the file size *before* allocating: corrupted
         // headers must error, not drive an unbounded allocation.
         let flen = self.len()?;
-        if offset
-            .checked_add(len as u64)
-            .map_or(true, |end| end > flen)
-        {
+        if offset.checked_add(len as u64).is_none_or(|end| end > flen) {
             return Err(Error::storage(format!(
                 "read of {len} bytes at offset {offset} exceeds file size {flen}"
             )));

@@ -73,7 +73,7 @@ fn decode_schema(data: &[u8]) -> Result<ArraySchema> {
         let upper = i64_at(data, &mut pos)?;
         let chunk = i64_at(data, &mut pos)?;
         // Corrupt headers must error, not trip internal invariants.
-        if chunk < 1 || (upper >= 0 && upper < 1) {
+        if chunk < 1 || (0..1).contains(&upper) {
             return Err(Error::storage(format!(
                 "corrupt SDDF dimension '{dname}': upper {upper}, chunk {chunk}"
             )));

@@ -80,8 +80,8 @@ pub fn write_h5(path: &Path, datasets: &[DatasetSpec<'_>]) -> Result<u64> {
         // Dataset header.
         let header_offset = out.len() as u64;
         put_u32(&mut out, rect.rank() as u32);
-        for d in 0..rect.rank() {
-            put_str(&mut out, &schema.dims()[d].name);
+        for (d, dim) in schema.dims().iter().enumerate().take(rect.rank()) {
+            put_str(&mut out, &dim.name);
             put_i64(&mut out, rect.high[d]);
             put_i64(&mut out, strides[d]);
         }

@@ -192,7 +192,7 @@ impl NetcdfReader {
             let end = volume
                 .checked_mul(8)
                 .and_then(|bytes| var.offset.checked_add(bytes));
-            if end.map_or(true, |e| e > flen) {
+            if end.is_none_or(|e| e > flen) {
                 return Err(Error::storage(format!(
                     "corrupt NCDF variable: offset {} + {volume} cells exceeds file size {flen}",
                     var.offset

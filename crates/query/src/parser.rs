@@ -24,10 +24,11 @@ pub fn parse(input: &str) -> Result<Vec<Stmt>> {
 
 /// Parses a single statement.
 pub fn parse_one(input: &str) -> Result<Stmt> {
-    let stmts = parse(input)?;
-    match stmts.len() {
-        1 => Ok(stmts.into_iter().next().unwrap()),
-        n => Err(Error::parse(format!("expected one statement, got {n}"))),
+    let mut stmts = parse(input)?;
+    let n = stmts.len();
+    match stmts.pop() {
+        Some(stmt) if n == 1 => Ok(stmt),
+        _ => Err(Error::parse(format!("expected one statement, got {n}"))),
     }
 }
 

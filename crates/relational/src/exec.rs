@@ -8,7 +8,7 @@ use scidb_core::value::{Scalar, ScalarType, Value};
 use std::collections::HashMap;
 
 /// Selection: rows satisfying `pred`.
-pub fn select<'a>(table: &'a Table, pred: impl Fn(&Row) -> bool) -> Vec<&'a Row> {
+pub fn select(table: &Table, pred: impl Fn(&Row) -> bool) -> Vec<&Row> {
     table.rows().iter().filter(|r| pred(r)).collect()
 }
 

@@ -25,14 +25,16 @@ pub struct ColumnDef {
 /// One row: a value per column.
 pub type Row = Vec<Value>;
 
+/// One secondary index: key column set → (key values → row ids).
+type Index = (Vec<usize>, BTreeMap<Vec<i64>, Vec<usize>>);
+
 /// A typed row-store table with optional B-tree indexes.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     columns: Vec<ColumnDef>,
     rows: Vec<Row>,
-    /// Indexes: key column set → (key values → row ids).
-    indexes: Vec<(Vec<usize>, BTreeMap<Vec<i64>, Vec<usize>>)>,
+    indexes: Vec<Index>,
 }
 
 impl Table {

@@ -305,8 +305,8 @@ pub fn deserialize_chunk(data: &[u8]) -> Result<Chunk> {
                     .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
                     .collect();
                 let bits = BitVec::from_words(words[..n_present.div_ceil(64)].to_vec(), n_present);
-                for i in 0..n_present {
-                    records[i].push(if nulls.get(i) {
+                for (i, rec) in records.iter_mut().enumerate().take(n_present) {
+                    rec.push(if nulls.get(i) {
                         Value::Null
                     } else {
                         Value::from(bits.get(i))

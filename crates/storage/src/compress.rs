@@ -165,7 +165,7 @@ pub fn decode_i64s(data: &[u8], codec: Codec) -> Result<Vec<i64>> {
                 if out.len() + run > n {
                     return Err(Error::storage("RLE run overflows column"));
                 }
-                out.extend(std::iter::repeat(v).take(run));
+                out.extend(std::iter::repeat_n(v, run));
             }
         }
         Codec::DeltaVarint => {
@@ -317,7 +317,7 @@ pub fn decode_bytes(data: &[u8], codec: Codec) -> Result<Vec<u8>> {
                     .get(pos + 1)
                     .ok_or_else(|| Error::storage("rle truncated"))?;
                 pos += 2;
-                out.extend(std::iter::repeat(b).take(run));
+                out.extend(std::iter::repeat_n(b, run));
             }
             if out.len() != n {
                 return Err(Error::storage("rle length mismatch"));

@@ -234,7 +234,9 @@ impl StorageManager {
     /// result is identical at every thread count.
     pub fn read_region(&self, region: &HyperRect, opts: ReadOptions) -> Result<(Array, ReadStats)> {
         let start = Instant::now();
+        self.check_region(region)?;
         let keys = self.buckets_in(region);
+        // lint: allow(kernel) — bucket I/O fan-out, not an operator kernel; merged serially in bucket-key order below
         let decoded = par_map_threads(opts.resolved_threads(), &keys, |&key| {
             let t = Instant::now();
             let chunk = self.read_bucket(key)?;
@@ -258,6 +260,28 @@ impl StorageManager {
         }
         stats.elapsed = start.elapsed();
         Ok((out, stats))
+    }
+
+    /// Validates a read region against the schema: matching rank, 1-based
+    /// lower bounds, and within the declared extent on bounded dimensions.
+    fn check_region(&self, region: &HyperRect) -> Result<()> {
+        let rank = self.schema.rank();
+        if region.low.len() != rank {
+            return Err(Error::dimension(format!(
+                "read_region rank {} does not match schema rank {rank}",
+                region.low.len()
+            )));
+        }
+        for (d, dim) in self.schema.dims().iter().enumerate() {
+            if region.low[d] < 1 || dim.upper.is_some_and(|u| region.high[d] > u) {
+                let upper = dim.upper.map_or("*".to_string(), |u| u.to_string());
+                return Err(Error::dimension(format!(
+                    "read_region [{}..{}] out of bounds for dimension '{}' (1..{upper})",
+                    region.low[d], region.high[d], dim.name
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// All bucket metadata (sorted by key; for experiments and merge).

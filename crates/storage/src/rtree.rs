@@ -242,10 +242,11 @@ fn mbr_inner<T>(entries: &[(HyperRect, Box<Node<T>>)]) -> HyperRect {
         .fold(entries[0].0.clone(), |acc, (r, _)| acc.union(r))
 }
 
+/// One side of a quadratic split: entries with their bounding rects.
+type SplitSide<E> = Vec<(HyperRect, E)>;
+
 /// Guttman's quadratic split over arbitrary entry payloads.
-fn quadratic_split<E>(
-    mut entries: Vec<(HyperRect, E)>,
-) -> (Vec<(HyperRect, E)>, Vec<(HyperRect, E)>) {
+fn quadratic_split<E>(mut entries: Vec<(HyperRect, E)>) -> (SplitSide<E>, SplitSide<E>) {
     // Pick the pair wasting the most area together as seeds.
     let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
     for i in 0..entries.len() {
@@ -270,12 +271,12 @@ fn quadratic_split<E>(
     while let Some(entry) = entries.pop() {
         let remaining = entries.len();
         // Force assignment to honour minimum fill.
-        if left.len() + remaining + 1 <= MIN_ENTRIES {
+        if left.len() + remaining < MIN_ENTRIES {
             lrect = lrect.union(&entry.0);
             left.push(entry);
             continue;
         }
-        if right.len() + remaining + 1 <= MIN_ENTRIES {
+        if right.len() + remaining < MIN_ENTRIES {
             rrect = rrect.union(&entry.0);
             right.push(entry);
             continue;

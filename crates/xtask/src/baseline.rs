@@ -1,0 +1,245 @@
+//! The baseline ratchet.
+//!
+//! Grandfathered violations are recorded per `(rule, file)` in a committed
+//! tab-separated file. New violations (a count above baseline, or any file
+//! not in the baseline) **fail**; grandfathered ones **warn**; and counts
+//! are monotonically non-increasing — when a file gets cleaner, the run
+//! reports the stale entries and `--update-baseline` ratchets them down.
+
+use crate::rules::{Diagnostic, Rule};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-`(rule, file)` grandfathered violation counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(rule, path) -> allowed count`.
+    pub counts: BTreeMap<(Rule, String), usize>,
+}
+
+/// The verdict for one `(rule, file)` bucket after comparing to baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BucketStatus {
+    /// More violations than the baseline allows: `found > allowed`.
+    New { found: usize, allowed: usize },
+    /// At the baseline: grandfathered, warn only.
+    Grandfathered { found: usize },
+    /// Below the baseline: entry is stale and should be ratcheted down.
+    Stale { found: usize, allowed: usize },
+}
+
+/// Result of comparing a run's diagnostics against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Per-bucket status, sorted by `(rule, path)`.
+    pub buckets: Vec<((Rule, String), BucketStatus)>,
+}
+
+impl Comparison {
+    /// True if any bucket has violations above its baseline.
+    pub fn has_new(&self) -> bool {
+        self.buckets
+            .iter()
+            .any(|(_, s)| matches!(s, BucketStatus::New { .. }))
+    }
+
+    /// True if any baseline entry is higher than the current count.
+    pub fn has_stale(&self) -> bool {
+        self.buckets
+            .iter()
+            .any(|(_, s)| matches!(s, BucketStatus::Stale { .. }))
+    }
+
+    /// Total grandfathered (warned, not failed) violations.
+    pub fn grandfathered(&self) -> usize {
+        self.buckets
+            .iter()
+            .map(|(_, s)| match *s {
+                BucketStatus::Grandfathered { found } => found,
+                BucketStatus::Stale { found, .. } => found,
+                BucketStatus::New { allowed, .. } => allowed,
+            })
+            .sum()
+    }
+}
+
+fn rule_from_code(code: &str) -> Option<Rule> {
+    match code {
+        "R1" => Some(Rule::R1),
+        "R2" => Some(Rule::R2),
+        "R3" => Some(Rule::R3),
+        "R4" => Some(Rule::R4),
+        _ => None,
+    }
+}
+
+impl Baseline {
+    /// Parses the tab-separated baseline format (`rule<TAB>path<TAB>count`,
+    /// `#` comments and blank lines ignored). Unknown rules or malformed
+    /// lines are errors so a corrupted baseline cannot silently pass.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut cols = line.split('\t');
+            let (rule, path, count) = match (cols.next(), cols.next(), cols.next(), cols.next()) {
+                (Some(r), Some(p), Some(c), None) => (r, p, c),
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected rule<TAB>path<TAB>count",
+                        i + 1
+                    ))
+                }
+            };
+            let rule = rule_from_code(rule)
+                .ok_or_else(|| format!("baseline line {}: unknown rule `{rule}`", i + 1))?;
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+            if count == 0 {
+                return Err(format!(
+                    "baseline line {}: zero-count entry should be deleted",
+                    i + 1
+                ));
+            }
+            if counts.insert((rule, path.to_string()), count).is_some() {
+                return Err(format!("baseline line {}: duplicate entry", i + 1));
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Serializes back to the tab-separated format.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# xtask analyze baseline — grandfathered violations per (rule, file).\n\
+             # Counts may only go down; regenerate with `cargo xtask analyze --update-baseline`.\n",
+        );
+        for ((rule, path), count) in &self.counts {
+            let _ = writeln!(out, "{}\t{}\t{}", rule.code(), path, count);
+        }
+        out
+    }
+
+    /// Builds the baseline that exactly covers `diags`.
+    pub fn from_diags(diags: &[Diagnostic]) -> Baseline {
+        let mut counts: BTreeMap<(Rule, String), usize> = BTreeMap::new();
+        for d in diags {
+            *counts.entry((d.rule, d.path.clone())).or_default() += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Compares a run's diagnostics to the baseline.
+    pub fn compare(&self, diags: &[Diagnostic]) -> Comparison {
+        let found = Baseline::from_diags(diags).counts;
+        let mut buckets = Vec::new();
+        let keys: std::collections::BTreeSet<_> =
+            self.counts.keys().chain(found.keys()).cloned().collect();
+        for key in keys {
+            let allowed = self.counts.get(&key).copied().unwrap_or(0);
+            let n = found.get(&key).copied().unwrap_or(0);
+            let status = if n > allowed {
+                BucketStatus::New { found: n, allowed }
+            } else if n == allowed {
+                BucketStatus::Grandfathered { found: n }
+            } else {
+                BucketStatus::Stale { found: n, allowed }
+            };
+            // Clean buckets (0 found, 0 allowed) cannot occur: keys come
+            // from at least one side.
+            buckets.push((key, status));
+        }
+        Comparison { buckets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: Rule, path: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            snippet: String::new(),
+            help: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let b =
+            Baseline::parse("# c\nR1\tcrates/core/src/a.rs\t3\nR3\tcrates/storage/src/d.rs\t1\n")
+                .unwrap();
+        assert_eq!(b.counts.len(), 2);
+        let again = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(b, again);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Baseline::parse("R9\ta\t1\n").is_err());
+        assert!(Baseline::parse("R1\ta\tx\n").is_err());
+        assert!(Baseline::parse("R1\ta\t0\n").is_err());
+        assert!(Baseline::parse("R1 a 1\n").is_err());
+        assert!(Baseline::parse("R1\ta\t1\nR1\ta\t2\n").is_err());
+    }
+
+    #[test]
+    fn compare_classifies_buckets() {
+        let base = Baseline::parse("R1\ta.rs\t2\nR1\tb.rs\t1\n").unwrap();
+        let diags = vec![
+            diag(Rule::R1, "a.rs"),
+            diag(Rule::R1, "a.rs"),
+            diag(Rule::R1, "a.rs"), // one above baseline
+            diag(Rule::R3, "c.rs"), // not in baseline at all
+        ];
+        let cmp = base.compare(&diags);
+        assert!(cmp.has_new());
+        assert!(cmp.has_stale()); // b.rs went to zero
+        let get = |p: &str, r: Rule| {
+            cmp.buckets
+                .iter()
+                .find(|((rr, pp), _)| *rr == r && pp == p)
+                .map(|(_, s)| s.clone())
+                .unwrap()
+        };
+        assert_eq!(
+            get("a.rs", Rule::R1),
+            BucketStatus::New {
+                found: 3,
+                allowed: 2
+            }
+        );
+        assert_eq!(
+            get("b.rs", Rule::R1),
+            BucketStatus::Stale {
+                found: 0,
+                allowed: 1
+            }
+        );
+        assert_eq!(
+            get("c.rs", Rule::R3),
+            BucketStatus::New {
+                found: 1,
+                allowed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn compare_clean_at_baseline() {
+        let base = Baseline::parse("R1\ta.rs\t1\n").unwrap();
+        let cmp = base.compare(&[diag(Rule::R1, "a.rs")]);
+        assert!(!cmp.has_new());
+        assert!(!cmp.has_stale());
+        assert_eq!(cmp.grandfathered(), 1);
+    }
+}

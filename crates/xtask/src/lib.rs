@@ -1,0 +1,179 @@
+//! `cargo xtask analyze` — the SciDB workspace invariant checker.
+//!
+//! A dependency-free static analyzer (no `syn`, no `serde`: the build
+//! environment is hermetic) enforcing the four workspace rules described
+//! in DESIGN.md §"Static analysis":
+//!
+//! * R1 — panic-free library code,
+//! * R2 — the parallel-kernel contract,
+//! * R3 — concurrency containment in `core::exec`,
+//! * R4 — Result-typed public API.
+//!
+//! Violations are compared against the committed baseline
+//! (`crates/xtask/analyze.baseline`): new ones fail, grandfathered ones
+//! warn, and counts only ratchet down.
+
+pub mod baseline;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use baseline::Baseline;
+use report::{classify, render_json, render_summary, render_text, Severity};
+use rules::Workspace;
+use scan::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Workspace-relative location of the committed baseline.
+pub const BASELINE_PATH: &str = "crates/xtask/analyze.baseline";
+
+/// Default location of the JSON report (under `target/`, not committed).
+pub const REPORT_PATH: &str = "target/xtask-analyze.json";
+
+/// CLI options for [`analyze`].
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Rewrite the baseline to exactly cover current violations.
+    pub update_baseline: bool,
+    /// Where to write the JSON report (workspace-relative); `None` uses
+    /// [`REPORT_PATH`].
+    pub json_out: Option<PathBuf>,
+    /// Suppress per-diagnostic text output (summary only).
+    pub quiet: bool,
+}
+
+/// Exit status of an analyze run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// No violations above baseline.
+    Clean,
+    /// New violations found (or the baseline is unreadable).
+    Failed,
+}
+
+fn is_rs(p: &Path) -> bool {
+    p.extension().is_some_and(|e| e == "rs")
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            walk(&path, out)?;
+        } else if is_rs(&path) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Loads every `crates/*/src/**/*.rs` file (the analyzer's own crate
+/// excluded — it is tooling, not library code) plus the serial≡parallel
+/// test file, with paths made workspace-relative.
+pub fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() || entry.file_name() == "xtask" {
+            continue;
+        }
+        let src = entry.path().join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        walk(&src, &mut paths)?;
+        for p in paths {
+            let rel = p.strip_prefix(root).unwrap_or(&p).to_path_buf();
+            let raw = std::fs::read_to_string(&p)?;
+            files.push(SourceFile::new(rel, raw));
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    let parallel_test = std::fs::read_to_string(root.join("tests/proptest_parallel.rs")).ok();
+    Ok(Workspace {
+        files,
+        parallel_test,
+    })
+}
+
+/// Finds the workspace root by walking up from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}
+
+/// Runs the full analysis, printing diagnostics to `out`.
+///
+/// Returns [`Outcome::Failed`] iff there are violations above baseline.
+/// With `update_baseline`, the baseline file is rewritten first and the
+/// run then compares against the fresh baseline (so it always passes, and
+/// the diff shows the ratchet).
+pub fn analyze(
+    root: &Path,
+    opts: &Options,
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<Outcome> {
+    let ws = load_workspace(root)?;
+    let diags = rules::check_all(&ws);
+
+    let baseline_file = root.join(BASELINE_PATH);
+    if opts.update_baseline {
+        let fresh = Baseline::from_diags(&diags);
+        std::fs::write(&baseline_file, fresh.render())?;
+        writeln!(
+            out,
+            "updated {} ({} grandfathered violation(s) across {} bucket(s))",
+            BASELINE_PATH,
+            diags.len(),
+            fresh.counts.len()
+        )?;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_file) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                writeln!(out, "error: {}: {e}", BASELINE_PATH)?;
+                return Ok(Outcome::Failed);
+            }
+        },
+        Err(_) => Baseline::default(),
+    };
+
+    let cmp = baseline.compare(&diags);
+    let classified = classify(&diags, &cmp);
+    let n_err = classified
+        .iter()
+        .filter(|(s, _)| *s == Severity::Error)
+        .count();
+    let n_warn = classified.len() - n_err;
+
+    if !opts.quiet {
+        for (sev, d) in &classified {
+            write!(out, "{}", render_text(*sev, d))?;
+        }
+    }
+    write!(out, "{}", render_summary(&cmp, n_err, n_warn))?;
+
+    let json_path = root.join(opts.json_out.as_deref().unwrap_or(Path::new(REPORT_PATH)));
+    if let Some(parent) = json_path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&json_path, render_json(&classified))?;
+
+    Ok(if n_err > 0 {
+        Outcome::Failed
+    } else {
+        Outcome::Clean
+    })
+}

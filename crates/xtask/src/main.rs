@@ -1,0 +1,79 @@
+//! `cargo xtask` — workspace automation. The one subcommand today is
+//! `analyze`; see `cargo xtask analyze --help`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::{analyze, find_root, Options, Outcome};
+
+const USAGE: &str = "\
+cargo xtask analyze [OPTIONS]
+
+Static analysis of the SciDB workspace invariants (R1-R4; see DESIGN.md).
+New violations fail; baseline-grandfathered ones warn.
+
+Options:
+  --update-baseline   Rewrite crates/xtask/analyze.baseline to cover the
+                      current violations (the ratchet: counts only go down)
+  --json <PATH>       Write the JSON report here (default: target/xtask-analyze.json)
+  --quiet             Summary only, no per-diagnostic output
+  -h, --help          Show this help
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("analyze") => {}
+        Some("-h") | Some("--help") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => {
+            eprintln!("error: unknown subcommand `{other}`\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut opts = Options::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update-baseline" => opts.update_baseline = true,
+            "--quiet" => opts.quiet = true,
+            "--json" => match args.next() {
+                Some(p) => opts.json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot determine working directory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(root) = find_root(&cwd) else {
+        eprintln!("error: not inside the workspace (no Cargo.toml + crates/ found)");
+        return ExitCode::FAILURE;
+    };
+
+    match analyze(&root, &opts, &mut std::io::stdout()) {
+        Ok(Outcome::Clean) => ExitCode::SUCCESS,
+        Ok(Outcome::Failed) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

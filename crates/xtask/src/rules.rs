@@ -1,0 +1,679 @@
+//! The SciDB-specific workspace invariants (R1–R4).
+//!
+//! * **R1** — no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in
+//!   non-test code of the library crates (`core`, `storage`, `query`,
+//!   `grid`, `provenance`). The paper's no-overwrite and provenance layers
+//!   (§2.5–§2.9) hinge on library code that must not panic mid-commit.
+//!   Escape hatch: `// lint: allow(panic) — justification`.
+//! * **R2** — every chunk-parallel kernel must be declared in
+//!   `core::ops::PARALLEL_KERNELS` with a named merge function and appear
+//!   in the serial≡parallel equivalence tests; no parallel fan-out outside
+//!   `core::ops` (escape hatch: `// lint: allow(kernel) — justification`).
+//! * **R3** — no `thread::spawn` or raw `Mutex` outside `core::exec`;
+//!   concurrency goes through `ExecContext`. Escape hatch:
+//!   `// lint: allow(concurrency) — justification`.
+//! * **R4** — public API of `core`/`query` returns `Result` with the crate
+//!   error type; `Option`-swallowed errors (`.ok()` inside a
+//!   `-> Option<…>` function) are violations. Escape hatch:
+//!   `// lint: allow(option-api) — justification`.
+
+use crate::scan::SourceFile;
+use std::fmt;
+use std::path::Path;
+
+/// The rule a diagnostic belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Panic-free library code.
+    R1,
+    /// Parallel-kernel contract.
+    R2,
+    /// Concurrency containment.
+    R3,
+    /// Result-typed public API.
+    R4,
+}
+
+impl Rule {
+    /// The short code used in diagnostics and the baseline file.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+        }
+    }
+
+    /// One-line description.
+    pub fn title(self) -> &'static str {
+        match self {
+            Rule::R1 => "panic-free library code",
+            Rule::R2 => "parallel-kernel contract",
+            Rule::R3 => "concurrency containment",
+            Rule::R4 => "Result-typed public API",
+        }
+    }
+
+    /// The token accepted in `// lint: allow(…)` comments.
+    pub fn allow_token(self) -> &'static str {
+        match self {
+            Rule::R1 => "panic",
+            Rule::R2 => "kernel",
+            Rule::R3 => "concurrency",
+            Rule::R4 => "option-api",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One rule violation, anchored to a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+    /// The offending source line.
+    pub snippet: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+/// A parsed workspace: the library sources plus the serial≡parallel
+/// equivalence test file R2 cross-checks against.
+#[derive(Debug)]
+pub struct Workspace {
+    /// All `crates/*/src/**/*.rs` files (the analyzer's own crate excluded).
+    pub files: Vec<SourceFile>,
+    /// Content of `tests/proptest_parallel.rs`, if present.
+    pub parallel_test: Option<String>,
+}
+
+/// Crates whose non-test code must be panic-free (R1).
+pub const R1_CRATES: &[&str] = &["core", "storage", "query", "grid", "provenance"];
+
+/// Crates whose public API must be Result-typed (R4).
+pub const R4_CRATES: &[&str] = &["core", "query"];
+
+/// The one file allowed to own threads and locks (R3) and to define the
+/// parallel map primitives (R2).
+pub const EXEC_FILE: &str = "crates/core/src/exec.rs";
+
+/// The file declaring the parallel-kernel manifest.
+pub const MANIFEST_FILE: &str = "crates/core/src/ops/mod.rs";
+
+const PANIC_MARKERS: &[(&str, bool, &str)] = &[
+    (".unwrap()", false, "`.unwrap()`"),
+    // `.expect("` rather than `.expect(`: Option/Result::expect takes a
+    // message literal, while e.g. a parser's own `self.expect(&Token…)`
+    // does not. Quotes survive masking (bodies are blanked).
+    (".expect(\"", false, "`.expect()`"),
+    ("panic!", true, "`panic!`"),
+    ("todo!", true, "`todo!`"),
+    ("unimplemented!", true, "`unimplemented!`"),
+];
+
+/// Error types accepted as "the crate error type" in public signatures.
+const CRATE_ERRORS: &[&str] = &[
+    "Error",
+    "crate::Error",
+    "crate::error::Error",
+    "scidb_core::Error",
+    "scidb_core::error::Error",
+];
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/…`).
+pub fn crate_of(path: &Path) -> Option<&str> {
+    let mut parts = path.iter();
+    if parts.next()?.to_str()? != "crates" {
+        return None;
+    }
+    parts.next()?.to_str()
+}
+
+/// Runs every rule over the workspace.
+pub fn check_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    diags.extend(check_r1(ws));
+    diags.extend(check_r2(ws));
+    diags.extend(check_r3(ws));
+    diags.extend(check_r4(ws));
+    diags.sort_by(|a, b| (a.rule, &a.path, a.line, a.col).cmp(&(b.rule, &b.path, b.line, b.col)));
+    diags
+}
+
+/// Emits a diagnostic for a marker hit unless a justified allow comment
+/// covers it; an allow *without* justification is itself a violation.
+fn marker_diag(
+    file: &SourceFile,
+    rule: Rule,
+    off: usize,
+    message: String,
+    help: &str,
+) -> Option<Diagnostic> {
+    let (line, col) = file.line_col(off);
+    match file.allow_for(line, rule.allow_token()) {
+        Some(a) if !a.justification.is_empty() => None,
+        Some(_) => Some(Diagnostic {
+            rule,
+            path: file.path.display().to_string(),
+            line,
+            col,
+            message: format!(
+                "`lint: allow({})` without a justification",
+                rule.allow_token()
+            ),
+            snippet: file.line_text(line).to_string(),
+            help: format!(
+                "write `// lint: allow({}) — <why this is safe>`",
+                rule.allow_token()
+            ),
+        }),
+        None => Some(Diagnostic {
+            rule,
+            path: file.path.display().to_string(),
+            line,
+            col,
+            message,
+            snippet: file.line_text(line).to_string(),
+            help: help.to_string(),
+        }),
+    }
+}
+
+/// R1: panic markers in non-test library code.
+pub fn check_r1(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if !crate_of(&file.path).is_some_and(|c| R1_CRATES.contains(&c)) {
+            continue;
+        }
+        for &(pat, word_start, label) in PANIC_MARKERS {
+            for off in file.find_marker(pat, word_start) {
+                if file.in_test(off) {
+                    continue;
+                }
+                diags.extend(marker_diag(
+                    file,
+                    Rule::R1,
+                    off,
+                    format!("forbidden panic marker {label} in non-test library code"),
+                    "return a typed `Error` with context instead; if the panic is \
+                     provably unreachable, annotate `// lint: allow(panic) — why`",
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// One entry parsed out of `PARALLEL_KERNELS`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Operator name.
+    pub name: String,
+    /// Entry-point function.
+    pub entry: String,
+    /// Merge function.
+    pub merge: String,
+    /// 1-based line of the entry in the manifest file.
+    pub line: usize,
+}
+
+/// Parses the `PARALLEL_KERNELS` manifest from the raw text of
+/// `core/src/ops/mod.rs`.
+pub fn parse_manifest(file: &SourceFile) -> Vec<ManifestEntry> {
+    let Some(start) = file.raw.find("PARALLEL_KERNELS") else {
+        return Vec::new();
+    };
+    let Some(open) = file.raw[start..].find('[').map(|i| start + i) else {
+        return Vec::new();
+    };
+    let end = file.raw[open..]
+        .find("];")
+        .map_or(file.raw.len(), |i| open + i);
+    let body = &file.raw[open..end];
+    let mut entries = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = body[from..].find("KernelSpec") {
+        let at = from + rel;
+        let Some(close) = body[at..].find('}') else {
+            break;
+        };
+        let block = &body[at..at + close];
+        from = at + close;
+        let field = |name: &str| -> Option<String> {
+            let idx = block.find(&format!("{name}:"))?;
+            let rest = &block[idx..];
+            let q1 = rest.find('"')?;
+            let q2 = rest[q1 + 1..].find('"')?;
+            Some(rest[q1 + 1..q1 + 1 + q2].to_string())
+        };
+        if let (Some(name), Some(entry), Some(merge)) =
+            (field("name"), field("entry"), field("merge"))
+        {
+            let (line, _) = file.line_col(open + at);
+            entries.push(ManifestEntry {
+                name,
+                entry,
+                merge,
+                line,
+            });
+        }
+    }
+    entries
+}
+
+/// R2: the parallel-kernel contract.
+pub fn check_r2(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let manifest_file = ws
+        .files
+        .iter()
+        .find(|f| f.path.as_path() == Path::new(MANIFEST_FILE));
+    let entries = manifest_file.map(parse_manifest).unwrap_or_default();
+    if entries.is_empty() {
+        diags.push(Diagnostic {
+            rule: Rule::R2,
+            path: MANIFEST_FILE.to_string(),
+            line: 1,
+            col: 1,
+            message: "missing or empty `PARALLEL_KERNELS` manifest".to_string(),
+            snippet: String::new(),
+            help: "declare every chunk-parallel kernel as a `KernelSpec { name, entry, merge }`"
+                .to_string(),
+        });
+        return diags;
+    }
+
+    // (a) Every `par_map`/`try_par_map` call site must belong to a declared
+    // kernel entry (inside core::ops) or be explicitly annotated (elsewhere).
+    for file in &ws.files {
+        if file.path.as_path() == Path::new(EXEC_FILE) {
+            continue; // the primitives' own definitions and tests
+        }
+        let in_ops = file.path.starts_with("crates/core/src/ops");
+        let mut sites = file.find_marker("par_map(", false);
+        // The raw scoped-thread primitive counts as fan-out too.
+        sites.extend(file.find_marker("par_map_threads(", true));
+        sites.sort_unstable();
+        for off in sites {
+            if file.in_test(off) {
+                continue;
+            }
+            let enclosing = file.enclosing_fn(off);
+            let registered =
+                in_ops && enclosing.is_some_and(|f| entries.iter().any(|e| e.entry == f.name));
+            if registered {
+                continue;
+            }
+            let message = match (in_ops, enclosing) {
+                (true, Some(f)) => format!(
+                    "parallel fan-out in `{}` which is not a registered kernel entry",
+                    f.name
+                ),
+                (true, None) => "parallel fan-out outside any function".to_string(),
+                (false, _) => "parallel fan-out outside core::ops".to_string(),
+            };
+            diags.extend(marker_diag(
+                file,
+                Rule::R2,
+                off,
+                message,
+                "register the kernel in `core::ops::PARALLEL_KERNELS` with a merge \
+                 function and a serial≡parallel test, or annotate \
+                 `// lint: allow(kernel) — why` for non-operator uses",
+            ));
+        }
+    }
+
+    // (b) Every manifest entry must resolve: entry function exists, its file
+    // references the merge function, and the equivalence tests exercise it.
+    for e in &entries {
+        let entry_file = ws.files.iter().find(|f| {
+            f.path.starts_with("crates/core/src/ops") && f.fns().iter().any(|x| x.name == e.entry)
+        });
+        match entry_file {
+            None => diags.push(manifest_diag(
+                e,
+                format!(
+                    "kernel `{}` declares missing entry function `{}`",
+                    e.name, e.entry
+                ),
+            )),
+            Some(f) => {
+                if f.find_marker(&e.merge, true).is_empty() {
+                    diags.push(manifest_diag(
+                        e,
+                        format!(
+                            "kernel `{}` entry file `{}` never references merge function `{}`",
+                            e.name,
+                            f.path.display(),
+                            e.merge
+                        ),
+                    ));
+                }
+            }
+        }
+        match &ws.parallel_test {
+            None => diags.push(manifest_diag(
+                e,
+                "tests/proptest_parallel.rs not found — serial≡parallel equivalence tests \
+                 are required"
+                    .to_string(),
+            )),
+            Some(test) if !test.contains(&e.entry) => diags.push(manifest_diag(
+                e,
+                format!(
+                    "kernel `{}` ({}) is not exercised by tests/proptest_parallel.rs",
+                    e.name, e.entry
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    diags
+}
+
+fn manifest_diag(e: &ManifestEntry, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: Rule::R2,
+        path: MANIFEST_FILE.to_string(),
+        line: e.line,
+        col: 1,
+        message,
+        snippet: format!("KernelSpec {{ name: \"{}\", … }}", e.name),
+        help: "keep `PARALLEL_KERNELS` in sync with the kernels and their tests".to_string(),
+    }
+}
+
+/// R3: threads and locks live in `core::exec` only.
+pub fn check_r3(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if file.path.as_path() == Path::new(EXEC_FILE) {
+            continue;
+        }
+        let mut hits: Vec<(usize, &str)> = Vec::new();
+        for off in file.find_marker("thread::spawn", false) {
+            hits.push((off, "`thread::spawn`"));
+        }
+        for off in file.find_marker("Mutex", true) {
+            // Word-boundary on both sides, so `MutexGuard` is not re-counted.
+            let end = off + "Mutex".len();
+            let next = file.mask.as_bytes().get(end);
+            if next.is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_') {
+                continue;
+            }
+            hits.push((off, "raw `Mutex`"));
+        }
+        for (off, label) in hits {
+            if file.in_test(off) {
+                continue;
+            }
+            diags.extend(marker_diag(
+                file,
+                Rule::R3,
+                off,
+                format!("{label} outside core::exec"),
+                "route concurrency through `ExecContext` (`par_map`/`try_par_map`); \
+                 if this component must own a thread or lock, annotate \
+                 `// lint: allow(concurrency) — why`",
+            ));
+        }
+    }
+    diags
+}
+
+/// R4: Result-typed public API in `core` and `query`.
+pub fn check_r4(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if !crate_of(&file.path).is_some_and(|c| R4_CRATES.contains(&c)) {
+            continue;
+        }
+        for f in file.fns() {
+            if !f.is_pub || file.in_test(f.offset) {
+                continue;
+            }
+            let ret = f.ret.trim();
+            if let Some(err_ty) = foreign_error_type(ret) {
+                diags.extend(marker_diag(
+                    file,
+                    Rule::R4,
+                    f.offset,
+                    format!(
+                        "public `{}` returns `Result` with non-crate error type `{err_ty}`",
+                        f.name
+                    ),
+                    "public APIs of core/query must use the crate `Error` type so callers \
+                     get uniform, typed failures",
+                ));
+            }
+            if ret.starts_with("Option<") {
+                if let Some((lo, hi)) = f.body {
+                    if let Some(rel) = file.mask[lo..hi].find(".ok()") {
+                        diags.extend(marker_diag(
+                            file,
+                            Rule::R4,
+                            lo + rel,
+                            format!(
+                                "public `{}` swallows a `Result` into `Option` via `.ok()`",
+                                f.name
+                            ),
+                            "propagate the error (`-> Result<…>`), or annotate \
+                             `// lint: allow(option-api) — why None is not an error here`",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// If `ret` is a `Result` with an explicit error type that is not the crate
+/// error, returns that type.
+fn foreign_error_type(ret: &str) -> Option<String> {
+    let idx = ret.find("Result<")?;
+    // `io::Result<T>` and friends alias a foreign error outright.
+    let prefix = ret[..idx].trim_end_matches("Result<").trim_end();
+    if prefix.ends_with("io::") {
+        return Some(format!("{}Error", prefix));
+    }
+    let args_start = idx + "Result<".len();
+    let mut depth = 1i32;
+    let mut split = None;
+    let bytes = ret.as_bytes();
+    let mut end = args_start;
+    for (i, &c) in bytes.iter().enumerate().skip(args_start) {
+        match c {
+            b'<' | b'(' | b'[' => depth += 1,
+            b'>' | b')' | b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+            b',' if depth == 1 && split.is_none() => split = Some(i),
+            _ => {}
+        }
+    }
+    let second = ret[split? + 1..end].trim();
+    if CRATE_ERRORS.contains(&second) {
+        None
+    } else {
+        Some(second.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+    use std::path::PathBuf;
+
+    fn ws(files: Vec<(&str, &str)>, parallel_test: Option<&str>) -> Workspace {
+        Workspace {
+            files: files
+                .into_iter()
+                .map(|(p, s)| SourceFile::new(PathBuf::from(p), s.to_string()))
+                .collect(),
+            parallel_test: parallel_test.map(String::from),
+        }
+    }
+
+    #[test]
+    fn r1_flags_markers_outside_tests_only() {
+        let src = "fn a() { x.unwrap(); y.expect(\"m\"); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { z.unwrap(); panic!(); } }\n";
+        let d = check_r1(&ws(vec![("crates/core/src/a.rs", src)], None));
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn r1_ignores_non_library_crates() {
+        let src = "fn a() { x.unwrap(); }\n";
+        let d = check_r1(&ws(vec![("crates/ssdb/src/a.rs", src)], None));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn r1_allow_requires_justification() {
+        let src = "fn a() {\n\
+                   x.unwrap(); // lint: allow(panic) — bound checked above\n\
+                   y.unwrap(); // lint: allow(panic)\n}\n";
+        let d = check_r1(&ws(vec![("crates/query/src/a.rs", src)], None));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("without a justification"), "{d:?}");
+    }
+
+    #[test]
+    fn r4_flags_foreign_errors_and_ok_swallow() {
+        let src = "pub fn bad1() -> Result<u8, String> { Ok(1) }\n\
+                   pub fn good(x: u8) -> Result<u8> { Ok(x) }\n\
+                   pub fn bad2() -> Option<u8> { \"4\".parse::<u8>().ok() }\n\
+                   pub fn fine() -> Option<u8> { None }\n";
+        let d = check_r4(&ws(vec![("crates/core/src/a.rs", src)], None));
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("String"));
+        assert!(d[1].message.contains("swallows"));
+    }
+
+    #[test]
+    fn r3_flags_spawn_and_mutex_but_not_exec() {
+        let src = "use std::sync::Mutex;\nfn go() { std::thread::spawn(|| {}); }\n";
+        let d = check_r3(&ws(
+            vec![
+                ("crates/storage/src/a.rs", src),
+                ("crates/core/src/exec.rs", src),
+            ],
+            None,
+        ));
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.path.contains("storage")));
+    }
+
+    #[test]
+    fn foreign_error_detection() {
+        assert_eq!(foreign_error_type("Result<u8>"), None);
+        assert_eq!(foreign_error_type("Result<Vec<(u8, u8)>>"), None);
+        assert_eq!(foreign_error_type("Result<u8, Error>"), None);
+        assert_eq!(
+            foreign_error_type("Result<u8, String>"),
+            Some("String".to_string())
+        );
+        assert_eq!(
+            foreign_error_type("std::io::Result<u8>"),
+            Some("std::io::Error".to_string())
+        );
+        assert_eq!(foreign_error_type("Option<u8>"), None);
+    }
+
+    const MANIFEST: &str = r#"
+pub struct KernelSpec { pub name: &'static str, pub entry: &'static str, pub merge: &'static str }
+pub const PARALLEL_KERNELS: &[KernelSpec] = &[
+    KernelSpec { name: "filter", entry: "filter_with", merge: "merge_chunk_outputs" },
+];
+"#;
+
+    #[test]
+    fn r2_accepts_registered_kernel() {
+        let content = "pub fn filter_with(ctx: &ExecContext) {\n\
+                       let r = ctx.try_par_map(&chunks, |c| c);\n\
+                       merge_chunk_outputs(&mut out, r);\n}\n";
+        let d = check_r2(&ws(
+            vec![
+                ("crates/core/src/ops/mod.rs", MANIFEST),
+                ("crates/core/src/ops/content.rs", content),
+            ],
+            Some("run filter_with here"),
+        ));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn r2_flags_unregistered_call_site_and_missing_merge() {
+        let content = "pub fn filter_with(ctx: &ExecContext) {\n\
+                       let r = ctx.try_par_map(&chunks, |c| c);\n}\n\
+                       fn rogue(ctx: &ExecContext) { ctx.par_map(&v, |x| x); }\n";
+        let d = check_r2(&ws(
+            vec![
+                ("crates/core/src/ops/mod.rs", MANIFEST),
+                ("crates/core/src/ops/content.rs", content),
+            ],
+            Some("filter_with"),
+        ));
+        let msgs: Vec<&str> = d.iter().map(|x| x.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("rogue")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("merge_chunk_outputs")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn r2_flags_kernel_missing_from_tests_and_fanout_outside_ops() {
+        let content = "pub fn filter_with(ctx: &ExecContext) {\n\
+                       let r = ctx.try_par_map(&chunks, |c| c);\n\
+                       merge_chunk_outputs(&mut out, r);\n}\n";
+        let outside = "pub fn read(ctx: &ExecContext) { ctx.par_map(&v, |x| x); }\n";
+        let d = check_r2(&ws(
+            vec![
+                ("crates/core/src/ops/mod.rs", MANIFEST),
+                ("crates/core/src/ops/content.rs", content),
+                ("crates/storage/src/manager.rs", outside),
+            ],
+            Some("unrelated"),
+        ));
+        let msgs: Vec<&str> = d.iter().map(|x| x.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("not exercised")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("outside core::ops")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn manifest_parse_extracts_entries() {
+        let f = SourceFile::new(PathBuf::from(MANIFEST_FILE), MANIFEST.to_string());
+        let m = parse_manifest(&f);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "filter");
+        assert_eq!(m[0].entry, "filter_with");
+        assert_eq!(m[0].merge, "merge_chunk_outputs");
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end analyzer tests against synthetic workspaces: a seeded
+//! violation must fail, the baseline must grandfather and ratchet, and the
+//! real repository must be clean at its committed baseline.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use xtask::{analyze, Options, Outcome, BASELINE_PATH};
+
+/// A minimal valid manifest so R2 has kernels to check.
+const MANIFEST: &str = r#"
+pub struct KernelSpec {
+    pub name: &'static str,
+    pub entry: &'static str,
+    pub merge: &'static str,
+}
+pub const PARALLEL_KERNELS: &[KernelSpec] = &[
+    KernelSpec { name: "filter", entry: "filter_with", merge: "merge_chunk_outputs" },
+];
+pub fn filter_with() {
+    let r = ctx.try_par_map(&chunks, |c| c);
+    merge_chunk_outputs(&mut out, r);
+}
+"#;
+
+/// Builds a synthetic workspace under `CARGO_TARGET_TMPDIR`.
+fn scaffold(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clean scaffold");
+    }
+    for dir in [
+        "crates/core/src/ops",
+        "crates/query/src",
+        "crates/xtask",
+        "tests",
+    ] {
+        fs::create_dir_all(root.join(dir)).expect("mkdir");
+    }
+    fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write");
+    fs::write(root.join("crates/core/src/ops/mod.rs"), MANIFEST).expect("write");
+    fs::write(
+        root.join("tests/proptest_parallel.rs"),
+        "// exercises filter_with\n",
+    )
+    .expect("write");
+    root
+}
+
+fn run(root: &Path) -> Outcome {
+    let mut out = Vec::new();
+    analyze(root, &Options::default(), &mut out).expect("analyze runs")
+}
+
+#[test]
+fn seeded_unwrap_fails_and_baseline_grandfathers() {
+    let root = scaffold("seeded_unwrap");
+    let victim = root.join("crates/core/src/victim.rs");
+    fs::write(&victim, "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n").expect("write");
+    assert_eq!(run(&root), Outcome::Failed, "seeded unwrap must fail");
+
+    // Grandfather it, then the same run is clean.
+    fs::write(
+        root.join(BASELINE_PATH),
+        "R1\tcrates/core/src/victim.rs\t1\n",
+    )
+    .expect("write baseline");
+    assert_eq!(run(&root), Outcome::Clean, "baselined violation warns only");
+
+    // A second violation in the same file exceeds the baseline count.
+    fs::write(
+        &victim,
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\npub fn g() { panic!(\"no\") }\n",
+    )
+    .expect("write");
+    assert_eq!(
+        run(&root),
+        Outcome::Failed,
+        "count above baseline must fail"
+    );
+}
+
+#[test]
+fn seeded_violations_in_tests_or_with_justified_allow_pass() {
+    let root = scaffold("seeded_allowed");
+    fs::write(
+        root.join("crates/core/src/ok.rs"),
+        "pub fn f(x: Option<u8>) -> u8 {\n\
+         x.unwrap() // lint: allow(panic) — caller checked is_some above\n\
+         }\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n",
+    )
+    .expect("write");
+    assert_eq!(run(&root), Outcome::Clean);
+}
+
+#[test]
+fn seeded_spawn_and_foreign_result_fail() {
+    let root = scaffold("seeded_r3_r4");
+    fs::write(
+        root.join("crates/query/src/bad.rs"),
+        "pub fn go() { std::thread::spawn(|| {}); }\n\
+         pub fn parse() -> Result<u8, String> { Ok(1) }\n",
+    )
+    .expect("write");
+    let mut out = Vec::new();
+    let outcome = analyze(&root, &Options::default(), &mut out).expect("analyze runs");
+    assert_eq!(outcome, Outcome::Failed);
+    let text = String::from_utf8(out).expect("utf8");
+    assert!(text.contains("error[R3]"), "{text}");
+    assert!(text.contains("error[R4]"), "{text}");
+}
+
+#[test]
+fn seeded_unregistered_kernel_fails() {
+    let root = scaffold("seeded_r2");
+    fs::write(
+        root.join("crates/core/src/ops/rogue.rs"),
+        "pub fn rogue_with(ctx: &ExecContext) { ctx.par_map(&v, |x| x); }\n",
+    )
+    .expect("write");
+    let mut out = Vec::new();
+    let outcome = analyze(&root, &Options::default(), &mut out).expect("analyze runs");
+    assert_eq!(outcome, Outcome::Failed);
+    let text = String::from_utf8(out).expect("utf8");
+    assert!(text.contains("not a registered kernel entry"), "{text}");
+}
+
+#[test]
+fn update_baseline_ratchets_and_writes_json_report() {
+    let root = scaffold("seeded_ratchet");
+    let victim = root.join("crates/core/src/victim.rs");
+    fs::write(&victim, "pub fn f() { todo!() }\npub fn g() { todo!() }\n").expect("write");
+
+    let opts = Options {
+        update_baseline: true,
+        ..Options::default()
+    };
+    let mut out = Vec::new();
+    assert_eq!(
+        analyze(&root, &opts, &mut out).expect("analyze runs"),
+        Outcome::Clean,
+        "update-baseline run compares against the fresh baseline"
+    );
+    let baseline = fs::read_to_string(root.join(BASELINE_PATH)).expect("baseline written");
+    assert!(
+        baseline.contains("R1\tcrates/core/src/victim.rs\t2"),
+        "{baseline}"
+    );
+
+    // Fixing one violation makes the baseline stale but still clean.
+    fs::write(&victim, "pub fn f() { todo!() }\n").expect("write");
+    let mut out = Vec::new();
+    assert_eq!(
+        analyze(&root, &Options::default(), &mut out).expect("analyze runs"),
+        Outcome::Clean
+    );
+    let text = String::from_utf8(out).expect("utf8");
+    assert!(text.contains("baseline is stale"), "{text}");
+
+    let report = fs::read_to_string(root.join("target/xtask-analyze.json")).expect("json report");
+    assert!(report.contains("\"tool\":\"xtask-analyze\""), "{report}");
+    assert!(report.contains("\"rule\":\"R1\""), "{report}");
+}
+
+/// The real repository must analyze clean against its committed baseline —
+/// this makes `cargo test` itself enforce R1–R4.
+#[test]
+fn real_workspace_is_clean_at_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let opts = Options {
+        quiet: true,
+        // Keep the default report location free for interactive runs.
+        json_out: Some(PathBuf::from("target/xtask-analyze-test.json")),
+        ..Options::default()
+    };
+    let mut out = Vec::new();
+    let outcome = analyze(root, &opts, &mut out).expect("analyze runs");
+    let text = String::from_utf8_lossy(&out);
+    assert_eq!(
+        outcome,
+        Outcome::Clean,
+        "workspace has new violations:\n{text}"
+    );
+}

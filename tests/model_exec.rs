@@ -1,0 +1,213 @@
+//! Model checking for the order-preserving scoped-thread map in
+//! `scidb_core::exec` (`par_map_threads`).
+//!
+//! `loom`/`shuttle` are unavailable in this hermetic build, so this file
+//! hand-rolls the same idea at the algorithm's natural granularity: the
+//! claim loop's only shared mutation is one `AtomicUsize::fetch_add`, so a
+//! schedule is fully described by *which worker wins each claim*. The model
+//! below exhaustively enumerates every such schedule (DFS over worker
+//! choices, including all claim/termination interleavings) and checks, for
+//! each one, the invariants the executor relies on:
+//!
+//! 1. every item is claimed exactly once (no loss, no duplication),
+//! 2. the merge — concatenate per-worker buffers in join order, then sort
+//!    by claimed index — restores input order bitwise,
+//! 3. all workers terminate (each observes an index past the end).
+//!
+//! A real-thread adversarial stress test then drives the actual
+//! `ExecContext::par_map` with skewed per-item delays to cross-check the
+//! model against the implementation.
+
+use scidb_core::exec::ExecContext;
+
+/// One worker in the modelled claim loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Worker {
+    /// Indices this worker has claimed, in claim order (its local buffer).
+    claimed: Vec<usize>,
+    /// Set once the worker reads an index `>= n` and exits its loop.
+    done: bool,
+}
+
+/// The shared state of the modelled algorithm: `next` is the
+/// `AtomicUsize`; a step is one `fetch_add(1)` by a chosen worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Model {
+    next: usize,
+    n: usize,
+    workers: Vec<Worker>,
+}
+
+impl Model {
+    fn new(n_items: usize, n_workers: usize) -> Model {
+        Model {
+            next: 0,
+            n: n_items,
+            workers: vec![
+                Worker {
+                    claimed: Vec::new(),
+                    done: false
+                };
+                n_workers
+            ],
+        }
+    }
+
+    /// Workers that can still take a step.
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.workers.len())
+            .filter(|&w| !self.workers[w].done)
+            .collect()
+    }
+
+    /// Worker `w` performs one `fetch_add` claim (atomic: read + increment
+    /// are indivisible, which is exactly the guarantee `AtomicUsize` gives
+    /// the real code).
+    fn step(&mut self, w: usize) {
+        let i = self.next;
+        self.next += 1;
+        if i < self.n {
+            self.workers[w].claimed.push(i);
+        } else {
+            self.workers[w].done = true;
+        }
+    }
+
+    /// The executor's merge: per-worker buffers concatenated in join
+    /// order, each item tagged with its claimed index, sorted by index.
+    fn merged(&self) -> Vec<usize> {
+        let mut labelled: Vec<usize> = self
+            .workers
+            .iter()
+            .flat_map(|w| w.claimed.iter().copied())
+            .collect();
+        labelled.sort_unstable();
+        labelled
+    }
+}
+
+/// DFS over every schedule; calls `check` on each terminal state.
+/// Returns the number of distinct complete schedules explored.
+fn explore(model: Model, check: &mut dyn FnMut(&Model)) -> u64 {
+    let runnable = model.runnable();
+    if runnable.is_empty() {
+        check(&model);
+        return 1;
+    }
+    let mut schedules = 0;
+    for w in runnable {
+        let mut next = model.clone();
+        next.step(w);
+        schedules += explore(next, check);
+    }
+    schedules
+}
+
+fn assert_invariants(m: &Model) {
+    // (1) + (2): the merge is exactly 0..n — each index once, in order.
+    let merged = m.merged();
+    assert_eq!(
+        merged,
+        (0..m.n).collect::<Vec<_>>(),
+        "schedule lost or duplicated items: {m:?}"
+    );
+    // (3): every worker saw the end of the range.
+    assert!(
+        m.workers.iter().all(|w| w.done),
+        "non-terminated worker in terminal state: {m:?}"
+    );
+}
+
+#[test]
+fn model_exhaustive_small_schedules() {
+    // All (items, workers) shapes small enough to enumerate exhaustively,
+    // including degenerate ones (zero items, more workers than items).
+    let mut total = 0u64;
+    for n_items in 0..=5 {
+        for n_workers in 1..=4 {
+            let mut seen = 0u64;
+            let explored = explore(Model::new(n_items, n_workers), &mut |m| {
+                assert_invariants(m);
+                seen += 1;
+            });
+            assert_eq!(explored, seen);
+            assert!(explored > 0);
+            total += explored;
+        }
+    }
+    // The point of the test is breadth: thousands of distinct interleavings.
+    assert!(total > 10_000, "explored only {total} schedules");
+}
+
+#[test]
+fn model_single_worker_is_serial() {
+    // One worker admits exactly one schedule: claim 0..n in order.
+    let schedules = explore(Model::new(6, 1), &mut |m| {
+        assert_eq!(m.workers[0].claimed, vec![0, 1, 2, 3, 4, 5]);
+    });
+    assert_eq!(schedules, 1);
+}
+
+#[test]
+fn model_adversarial_prefix_then_check() {
+    // Worst-case skew: worker 0 claims everything before the others run.
+    let mut m = Model::new(5, 3);
+    for _ in 0..5 {
+        m.step(0);
+    }
+    // The stragglers only observe termination.
+    m.step(1);
+    m.step(2);
+    m.step(0);
+    assert_invariants(&m);
+    assert_eq!(m.workers[0].claimed, vec![0, 1, 2, 3, 4]);
+    assert!(m.workers[1].claimed.is_empty());
+}
+
+/// Cross-check against the real implementation: items with adversarial,
+/// position-dependent delays (late items finish first) must still come
+/// back in input order at every thread count.
+#[test]
+fn real_threads_preserve_order_under_skewed_delays() {
+    let items: Vec<u64> = (0..64).collect();
+    for threads in [1, 2, 3, 4, 8] {
+        let ctx = ExecContext::with_threads(threads);
+        let out = ctx.par_map(&items, |&x| {
+            // Earlier items spin longer, so completion order inverts
+            // submission order and the merge must re-sort.
+            let spins = (64 - x) * 500;
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            std::hint::black_box(acc);
+            x * 3 + 1
+        });
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(out, expect, "order broken at threads={threads}");
+    }
+}
+
+/// Errors must also be deterministic: `try_par_map` reports the
+/// first-by-index failure regardless of schedule.
+#[test]
+fn real_threads_first_error_is_by_index_not_by_time() {
+    let items: Vec<u64> = (0..32).collect();
+    for threads in [1, 2, 4, 8] {
+        let ctx = ExecContext::with_threads(threads);
+        let res = ctx.try_par_map(&items, |&x| {
+            if x % 2 == 1 {
+                // Odd items fail; item 1 must win even when item 31's
+                // worker errors first in wall-clock time.
+                Err(scidb_core::Error::eval(format!("item {x} failed")))
+            } else {
+                Ok(x)
+            }
+        });
+        let err = res.expect_err("odd items must fail");
+        assert!(
+            err.to_string().contains("item 1 failed"),
+            "threads={threads}: {err}"
+        );
+    }
+}

@@ -68,7 +68,7 @@ proptest! {
     #[test]
     fn bitvec_matches_model(ops in prop::collection::vec((0usize..200, any::<bool>()), 1..100)) {
         let mut bv = BitVec::filled(200, false);
-        let mut model = vec![false; 200];
+        let mut model = [false; 200];
         for (i, v) in ops {
             bv.set(i, v);
             model[i] = v;
