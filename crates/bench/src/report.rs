@@ -87,6 +87,23 @@ pub fn median_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     times[times.len() / 2]
 }
 
+/// Per-layer self-time totals across `traces` (query / core / storage /
+/// grid), as a report table — the per-experiment trace summary.
+pub fn layer_summary(title: &str, traces: &[scidb_obs::TraceData]) -> ReportTable {
+    use std::collections::BTreeMap;
+    let mut totals: BTreeMap<&'static str, std::time::Duration> = BTreeMap::new();
+    for t in traces {
+        for (layer, d) in t.layer_totals() {
+            *totals.entry(layer).or_default() += d;
+        }
+    }
+    let mut table = ReportTable::new(title, &["layer", "self_ms"]);
+    for (layer, d) in totals {
+        table.row(vec![layer.to_string(), f3(d.as_secs_f64() * 1000.0)]);
+    }
+    table
+}
+
 /// Formats a float with 3 significant-ish decimals.
 pub fn f3(v: f64) -> String {
     if v == 0.0 {
@@ -132,6 +149,24 @@ mod tests {
         assert_eq!(v, 499500);
         assert!(ms >= 0.0);
         assert!(median_ms(3, || 1 + 1) >= 0.0);
+    }
+
+    #[test]
+    fn layer_summary_sums_across_traces() {
+        use scidb_obs::{Trace, LAYER_QUERY, LAYER_STORAGE};
+        let mk = || {
+            let trace = Trace::new();
+            let root = trace.root("statement", LAYER_QUERY);
+            let child = root.child("read_region", LAYER_STORAGE);
+            child.finish();
+            root.finish();
+            trace.finish()
+        };
+        let traces = [mk(), mk()];
+        let t = layer_summary("trace summary", &traces);
+        assert_eq!(t.header, vec!["layer", "self_ms"]);
+        let layers: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(layers, vec!["query", "storage"]);
     }
 
     #[test]

@@ -36,6 +36,36 @@ pub struct QueryMetrics {
 }
 
 impl QueryMetrics {
+    /// Derives metrics from a finished trace: one [`OpMetrics`] per
+    /// `kernel` span event, in execution (sequence) order. This is the
+    /// thin-view direction — the trace is the source of truth and the
+    /// metrics struct is a projection of it.
+    pub fn from_trace(trace: &scidb_obs::TraceData) -> QueryMetrics {
+        let ops = trace
+            .kernel_events()
+            .into_iter()
+            .map(|e| OpMetrics {
+                op: e.op,
+                chunks_scanned: e.chunks,
+                cells_touched: e.cells,
+                wall: e.wall,
+            })
+            .collect();
+        QueryMetrics { ops }
+    }
+
+    /// [`QueryMetrics::from_trace`] over several traces, concatenated in
+    /// trace order (e.g. one trace per statement of a session).
+    pub fn from_traces<'a>(
+        traces: impl IntoIterator<Item = &'a scidb_obs::TraceData>,
+    ) -> QueryMetrics {
+        let mut all = QueryMetrics::default();
+        for t in traces {
+            all.ops.extend(QueryMetrics::from_trace(t).ops);
+        }
+        all
+    }
+
     /// Total chunks scanned across operators.
     pub fn chunks_scanned(&self) -> u64 {
         self.ops.iter().map(|o| o.chunks_scanned).sum()
@@ -72,6 +102,7 @@ impl QueryMetrics {
 pub struct ExecContext {
     threads: usize,
     metrics: Mutex<QueryMetrics>,
+    span: Mutex<Option<scidb_obs::Span>>,
 }
 
 impl Default for ExecContext {
@@ -101,6 +132,7 @@ impl ExecContext {
         ExecContext {
             threads,
             metrics: Mutex::new(QueryMetrics::default()),
+            span: Mutex::new(None),
         }
     }
 
@@ -114,8 +146,29 @@ impl ExecContext {
         self.threads
     }
 
-    /// Records one operator invocation.
+    /// Installs `span` as the current kernel span, returning the previous
+    /// one. While a span is installed, [`record`](Self::record) also
+    /// forwards each operator invocation to it as a `kernel` event, so
+    /// per-kernel timing lands in the enclosing trace. Executors should
+    /// restore the previous span when the kernel call returns.
+    pub fn set_current_span(&self, span: Option<scidb_obs::Span>) -> Option<scidb_obs::Span> {
+        std::mem::replace(
+            &mut *self.span.lock().unwrap_or_else(|e| e.into_inner()),
+            span,
+        )
+    }
+
+    /// The currently installed kernel span, if any.
+    pub fn current_span(&self) -> Option<scidb_obs::Span> {
+        self.span.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Records one operator invocation (and forwards it to the current
+    /// span as a `kernel` event when one is installed).
     pub fn record(&self, op: &str, chunks_scanned: u64, cells_touched: u64, wall: Duration) {
+        if let Some(span) = self.current_span() {
+            span.record_kernel(op, chunks_scanned, cells_touched, wall);
+        }
         let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         m.ops.push(OpMetrics {
             op: op.to_string(),
@@ -265,6 +318,32 @@ mod tests {
         let drained = ctx.take_metrics();
         assert_eq!(drained.ops.len(), 2);
         assert!(ctx.metrics().ops.is_empty());
+    }
+
+    #[test]
+    fn record_forwards_to_current_span_and_metrics_derive_from_trace() {
+        let ctx = ExecContext::serial();
+        let trace = scidb_obs::Trace::new();
+        let root = trace.root("statement", scidb_obs::LAYER_QUERY);
+        let prev = ctx.set_current_span(Some(root.clone()));
+        assert!(prev.is_none());
+        ctx.record("filter", 2, 8, Duration::from_millis(1));
+        ctx.record("aggregate", 2, 8, Duration::from_millis(2));
+        let restored = ctx.set_current_span(None);
+        assert!(restored.is_some());
+        ctx.record("untraced", 1, 1, Duration::from_millis(1));
+        root.finish();
+        let td = trace.finish();
+        let derived = QueryMetrics::from_trace(&td);
+        assert_eq!(derived.ops.len(), 2, "untraced op must not reach the span");
+        assert_eq!(derived.ops[0].op, "filter");
+        assert_eq!(derived.ops[1].op, "aggregate");
+        assert_eq!(derived.cells_touched(), 16);
+        assert_eq!(derived.total_wall(), Duration::from_millis(3));
+        // The context's own sink still saw all three.
+        assert_eq!(ctx.metrics().ops.len(), 3);
+        let both = QueryMetrics::from_traces([&td, &td]);
+        assert_eq!(both.ops.len(), 4);
     }
 
     #[test]

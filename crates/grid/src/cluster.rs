@@ -21,6 +21,7 @@ use scidb_core::ops::structural;
 use scidb_core::registry::Registry;
 use scidb_core::schema::ArraySchema;
 use scidb_core::value::{Record, Value};
+use scidb_obs::{AttrValue, Span, LAYER_GRID};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -57,6 +58,9 @@ pub struct Cluster {
     node_load: Vec<f64>,
     /// Total cells shipped between nodes since creation.
     total_cells_moved: usize,
+    /// Optional telemetry parent: when attached, distributed operations
+    /// open child spans tagged with per-node events.
+    span: Option<Span>,
 }
 
 impl Cluster {
@@ -68,12 +72,47 @@ impl Cluster {
             arrays: HashMap::new(),
             node_load: vec![0.0; n_nodes],
             total_cells_moved: 0,
+            span: None,
         }
     }
 
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
+    }
+
+    /// Attaches a telemetry parent span: subsequent distributed operations
+    /// open `grid.*` child spans under it, each tagged with one `node`
+    /// event per node that did work (so fan-out is attributable per node).
+    pub fn attach_span(&mut self, span: Span) {
+        self.span = Some(span);
+    }
+
+    /// Detaches the telemetry parent (operations stop emitting spans).
+    pub fn detach_span(&mut self) -> Option<Span> {
+        self.span.take()
+    }
+
+    /// Opens a child span for one distributed operation, when attached.
+    fn op_span(&self, name: &str, array: &str) -> Option<Span> {
+        self.span.as_ref().map(|parent| {
+            let s = parent.child(name, LAYER_GRID);
+            s.set_attr("array", array);
+            s
+        })
+    }
+
+    /// Records one node's contribution on an operation span.
+    fn node_event(span: &Option<Span>, node: usize, cells: usize) {
+        if let Some(s) = span {
+            s.add_event(
+                "node",
+                vec![
+                    ("node".to_string(), AttrValue::Uint(node as u64)),
+                    ("cells".to_string(), AttrValue::Uint(cells as u64)),
+                ],
+            );
+        }
     }
 
     /// Registers a distributed array.
@@ -155,6 +194,7 @@ impl Cluster {
     /// Migrates all cells to their home under the *latest* epoch scheme,
     /// returning the number of cells moved (the rebalance cost of E2).
     pub fn rebalance(&mut self, name: &str) -> Result<usize> {
+        let span = self.op_span("grid.rebalance", name);
         let da = self.array_mut(name)?;
         let scheme = da
             .partitioning
@@ -183,6 +223,13 @@ impl Cluster {
             moved += 1;
         }
         self.total_cells_moved += moved;
+        scidb_obs::global()
+            .counter("scidb.grid.cells_moved")
+            .inc(moved as u64);
+        if let Some(s) = &span {
+            s.set_attr("cells_moved", moved);
+            s.finish();
+        }
         Ok(moved)
     }
 
@@ -204,6 +251,7 @@ impl Cluster {
     /// Scans a region, accumulating per-node load; returns the collected
     /// result and stats.
     pub fn query_region(&mut self, name: &str, region: &HyperRect) -> Result<(Array, ExecStats)> {
+        let span = self.op_span("grid.query_region", name);
         let da = self
             .arrays
             .get(name)
@@ -223,8 +271,17 @@ impl Cluster {
         for (node, &l) in loads.iter().enumerate() {
             self.node_load[node] += l as f64;
             stats.cells_scanned += l;
+            if l > 0 {
+                Self::node_event(&span, node, l);
+            }
         }
         stats.nodes_touched = touched.iter().filter(|&&t| t).count();
+        if let Some(s) = &span {
+            s.set_attr("nodes_touched", stats.nodes_touched);
+            s.set_attr("cells_scanned", stats.cells_scanned);
+            s.set_attr("cells_returned", stats.cells_returned);
+            s.finish();
+        }
         Ok((out, stats))
     }
 
@@ -267,6 +324,7 @@ impl Cluster {
         attr: &str,
         registry: &Registry,
     ) -> Result<(Value, ExecStats)> {
+        let span = self.op_span("grid.aggregate", name);
         let da = self
             .arrays
             .get(name)
@@ -290,6 +348,13 @@ impl Cluster {
             self.node_load[node] += scanned as f64;
             stats.cells_scanned += scanned;
             stats.nodes_touched += 1;
+            Self::node_event(&span, node, scanned);
+        }
+        if let Some(s) = &span {
+            s.set_attr("agg", agg_name);
+            s.set_attr("nodes_touched", stats.nodes_touched);
+            s.set_attr("cells_scanned", stats.cells_scanned);
+            s.finish();
         }
         Ok((coordinator.finalize(), stats))
     }
@@ -306,6 +371,7 @@ impl Cluster {
         right: &str,
         on: &[(&str, &str)],
     ) -> Result<(Array, ExecStats)> {
+        let span = self.op_span("grid.sjoin", left);
         let la = self
             .arrays
             .get(left)
@@ -378,7 +444,9 @@ impl Cluster {
                 continue;
             }
             stats.nodes_touched += 1;
-            stats.cells_scanned += l_parts[node].cell_count() + r_parts[node].cell_count();
+            let local_cells = l_parts[node].cell_count() + r_parts[node].cell_count();
+            stats.cells_scanned += local_cells;
+            Self::node_event(&span, node, local_cells);
             let local = structural::sjoin(&l_parts[node], &r_parts[node], on)?;
             match &mut result {
                 None => result = Some(local),
@@ -402,6 +470,16 @@ impl Cluster {
             }
         };
         stats.cells_returned = result.cell_count();
+        scidb_obs::global()
+            .counter("scidb.grid.cells_moved")
+            .inc(stats.cells_moved as u64);
+        if let Some(s) = &span {
+            s.set_attr("right", right);
+            s.set_attr("cells_moved", stats.cells_moved);
+            s.set_attr("nodes_touched", stats.nodes_touched);
+            s.set_attr("cells_returned", stats.cells_returned);
+            s.finish();
+        }
         Ok((result, stats))
     }
 
@@ -580,6 +658,54 @@ mod tests {
         assert!(c.imbalance() > 3.0, "single hot node: {}", c.imbalance());
         c.reset_loads();
         assert_eq!(c.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn attached_span_tags_operations_with_node_ids() {
+        let mut c = grid_cluster(4, 16);
+        c.load_at("A", 0, dense_cells(16)).unwrap();
+        let trace = scidb_obs::Trace::new();
+        let root = trace.root("statement", scidb_obs::LAYER_QUERY);
+        c.attach_span(root.clone());
+        c.query_region("A", &HyperRect::new(vec![1, 1], vec![4, 16]).unwrap())
+            .unwrap();
+        let r = Registry::with_builtins();
+        c.aggregate("A", "sum", "v", &r).unwrap();
+        assert!(c.detach_span().is_some());
+        // Detached: no more spans.
+        c.query_region("A", &HyperRect::new(vec![1, 1], vec![2, 2]).unwrap())
+            .unwrap();
+        root.finish();
+        let td = trace.finish();
+        assert_eq!(td.spans.len(), 3, "root + query_region + aggregate");
+        let qr = &td.spans[1];
+        assert_eq!(qr.name, "grid.query_region");
+        assert_eq!(qr.layer, scidb_obs::LAYER_GRID);
+        assert_eq!(qr.parent, Some(td.spans[0].id));
+        assert_eq!(
+            qr.attr("nodes_touched").and_then(AttrValue::as_u64),
+            Some(2)
+        );
+        let node_ids: Vec<u64> = qr
+            .events
+            .iter()
+            .filter(|e| e.name == "node")
+            .filter_map(|e| {
+                e.attrs
+                    .iter()
+                    .find(|(k, _)| k == "node")
+                    .and_then(|(_, v)| v.as_u64())
+            })
+            .collect();
+        assert_eq!(node_ids.len(), 2, "one event per node that scanned");
+        assert!(node_ids.windows(2).all(|w| w[0] < w[1]), "{node_ids:?}");
+        let agg = &td.spans[2];
+        assert_eq!(agg.name, "grid.aggregate");
+        assert_eq!(
+            agg.events.iter().filter(|e| e.name == "node").count(),
+            4,
+            "all four nodes contribute partials"
+        );
     }
 
     #[test]

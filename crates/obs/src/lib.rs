@@ -1,0 +1,31 @@
+//! `scidb-obs` — the dependency-free telemetry substrate for SciDB-rs.
+//!
+//! The paper's central claim is a performance claim, so every layer of the
+//! engine must be attributable: this crate provides hierarchical [`Span`]s
+//! collected into per-query [`Trace`]s, a process-wide [`Registry`] of
+//! counters/gauges/histograms with snapshot-and-diff semantics, JSON and
+//! Prometheus-style exporters, and a [`SlowLog`] ring of slow-query traces.
+//!
+//! Zero external dependencies, by design: the workspace build is hermetic
+//! (see DESIGN.md §9), telemetry must never be the thing that breaks the
+//! build, and nothing here needs more than `std` atomics and a `Mutex`.
+//! Instrument hot paths (`Counter::inc`, `Histogram::record`) are relaxed
+//! atomic ops with no allocation; span creation allocates a handful of
+//! small structures and takes one short-lived lock per finished span.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod slowlog;
+pub mod span;
+
+pub use metrics::{
+    bucket_index, bucket_upper, global, Counter, Gauge, HistSnapshot, Histogram, MetricValue,
+    Registry, Snapshot,
+};
+pub use slowlog::{SlowEntry, SlowLog};
+pub use span::{
+    AttrValue, EventData, KernelEvent, RenderOptions, Span, SpanData, Stopwatch, Trace, TraceData,
+    LAYER_CORE, LAYER_GRID, LAYER_QUERY, LAYER_STORAGE,
+};

@@ -1,0 +1,500 @@
+//! A process-wide registry of named counters, gauges, and histograms.
+//!
+//! Registration takes a lock and allocates; the hot path (`Counter::inc`,
+//! `Gauge::set`, `Histogram::record`) is a handful of relaxed atomic ops on
+//! pre-allocated storage — no locks, no allocation (asserted by the
+//! counting-allocator test in `tests/hot_path_alloc.rs`). Histograms are
+//! log₂-bucketed and fixed-size: bucket 0 holds the value 0 and bucket
+//! `b ∈ 1..=64` holds `[2^(b-1), 2^b - 1]`.
+//!
+//! [`Registry::snapshot`] captures a point-in-time view with
+//! [`Snapshot::diff`] semantics (counter/histogram deltas, gauge levels),
+//! and exports as JSON or a Prometheus-style text dump.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json;
+
+const HIST_BUCKETS: usize = 65;
+
+/// Log₂ bucket index for `v`: 0 for 0, else the bit length of `v`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`0`, `1`, `3`, `7`, …, `u64::MAX`).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`. Lock-free, allocation-free.
+    pub fn inc(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable level handle.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the level. Lock-free, allocation-free.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative). Lock-free, allocation-free.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistCore {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log₂-bucketed histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Histogram {
+    /// Records one observation. Lock-free, allocation-free.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Hist(Histogram),
+}
+
+/// A named-instrument registry.
+///
+/// Instruments are created on first request and shared thereafter: two calls
+/// to [`Registry::counter`] with the same name return handles to the same
+/// atomic. Requesting a name that is already registered as a *different*
+/// instrument kind returns a detached handle (functional, but not exported)
+/// rather than panicking — the workspace is panic-free (xtask R1).
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, creating it if needed.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let ins = m
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Counter(Arc::new(AtomicU64::new(0)))));
+        match ins {
+            Instrument::Counter(c) => c.clone(),
+            _ => Counter(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// The gauge named `name`, creating it if needed.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let ins = m
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Gauge(Arc::new(AtomicI64::new(0)))));
+        match ins {
+            Instrument::Gauge(g) => g.clone(),
+            _ => Gauge(Arc::new(AtomicI64::new(0))),
+        }
+    }
+
+    /// The histogram named `name`, creating it if needed.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let ins = m.entry(name.to_string()).or_insert_with(|| {
+            Instrument::Hist(Histogram(Arc::new(HistCore {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            })))
+        });
+        match ins {
+            Instrument::Hist(h) => h.clone(),
+            _ => Histogram(Arc::new(HistCore {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut values = BTreeMap::new();
+        for (name, ins) in m.iter() {
+            let v = match ins {
+                Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                Instrument::Hist(h) => {
+                    let buckets = (0..HIST_BUCKETS)
+                        .filter_map(|i| {
+                            let n = h.0.buckets[i].load(Ordering::Relaxed);
+                            (n > 0).then_some((i, n))
+                        })
+                        .collect();
+                    MetricValue::Hist(HistSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets,
+                    })
+                }
+            };
+            values.insert(name.clone(), v);
+        }
+        Snapshot { values }
+    }
+
+    /// Shorthand for `snapshot().to_json()`.
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+
+    /// Shorthand for `snapshot().to_prometheus()`.
+    pub fn to_prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+}
+
+/// The process-wide registry used by the engine crates.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// `(bucket index, observation count)` for non-empty buckets, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// Snapshot of one instrument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value (or delta, after [`Snapshot::diff`]).
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram contents (or delta).
+    Hist(HistSnapshot),
+}
+
+/// A point-in-time view of a [`Registry`], ordered by instrument name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Instrument name → value.
+    pub values: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// The delta from `prev` to `self`: counters and histograms subtract
+    /// (saturating; instruments absent from `prev` count from zero), gauges
+    /// keep their current level (they are levels, not totals).
+    pub fn diff(&self, prev: &Snapshot) -> Snapshot {
+        let mut values = BTreeMap::new();
+        for (name, cur) in &self.values {
+            let v = match (cur, prev.values.get(name)) {
+                (MetricValue::Counter(c), Some(MetricValue::Counter(p))) => {
+                    MetricValue::Counter(c.saturating_sub(*p))
+                }
+                (MetricValue::Hist(c), Some(MetricValue::Hist(p))) => {
+                    let prev_at = |i: usize| {
+                        p.buckets
+                            .iter()
+                            .find(|(bi, _)| *bi == i)
+                            .map_or(0, |(_, n)| *n)
+                    };
+                    let buckets = c
+                        .buckets
+                        .iter()
+                        .filter_map(|(i, n)| {
+                            let d = n.saturating_sub(prev_at(*i));
+                            (d > 0).then_some((*i, d))
+                        })
+                        .collect();
+                    MetricValue::Hist(HistSnapshot {
+                        count: c.count.saturating_sub(p.count),
+                        sum: c.sum.saturating_sub(p.sum),
+                        buckets,
+                    })
+                }
+                _ => cur.clone(),
+            };
+            values.insert(name.clone(), v);
+        }
+        Snapshot { values }
+    }
+
+    /// Serializes as a JSON object keyed by instrument name.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:", json::json_str(name));
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = write!(out, "{{\"type\":\"counter\",\"value\":{c}}}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{g}}}");
+                }
+                MetricValue::Hist(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count, h.sum
+                    );
+                    for (j, (bi, n)) in h.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{{\"le\":{},\"n\":{n}}}", bucket_upper(*bi));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Serializes as Prometheus-style exposition text. Instrument names are
+    /// sanitized (`[^a-zA-Z0-9_:]` → `_`); histogram buckets are cumulative
+    /// with `le` labels and a `+Inf` terminator.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let sanitize = |name: &str| -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        };
+        let mut out = String::new();
+        for (name, v) in &self.values {
+            let n = sanitize(name);
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {n} counter");
+                    let _ = writeln!(out, "{n} {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {n} gauge");
+                    let _ = writeln!(out, "{n} {g}");
+                }
+                MetricValue::Hist(h) => {
+                    let _ = writeln!(out, "# TYPE {n} histogram");
+                    let mut cum = 0u64;
+                    for (bi, cnt) in &h.buckets {
+                        cum += cnt;
+                        let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", bucket_upper(*bi));
+                    }
+                    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+                    let _ = writeln!(out, "{n}_sum {}", h.sum);
+                    let _ = writeln!(out, "{n}_count {}", h.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's bounds round-trip through bucket_index.
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper(i)), i, "upper of bucket {i}");
+            if i >= 1 {
+                let lower = if i == 1 { 1 } else { bucket_upper(i - 1) + 1 };
+                assert_eq!(bucket_index(lower), i, "lower of bucket {i}");
+            }
+        }
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("c");
+        let b = reg.counter("c");
+        a.inc(2);
+        b.inc(3);
+        assert_eq!(a.get(), 5);
+        let g = reg.gauge("g");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(reg.gauge("g").get(), 5);
+        let h = reg.histogram("h");
+        h.record(3);
+        assert_eq!(reg.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn kind_mismatch_yields_detached_handle() {
+        let reg = Registry::new();
+        reg.counter("x").inc(1);
+        let g = reg.gauge("x"); // wrong kind: detached, not exported
+        g.set(99);
+        match reg.snapshot().values.get("x") {
+            Some(MetricValue::Counter(1)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_diff_semantics() {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h");
+        c.inc(10);
+        g.set(4);
+        h.record(1);
+        h.record(100);
+        let before = reg.snapshot();
+        c.inc(5);
+        g.set(-2);
+        h.record(100);
+        let delta = reg.snapshot().diff(&before);
+        assert_eq!(delta.values.get("c"), Some(&MetricValue::Counter(5)));
+        assert_eq!(delta.values.get("g"), Some(&MetricValue::Gauge(-2)));
+        match delta.values.get("h") {
+            Some(MetricValue::Hist(h)) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum, 100);
+                assert_eq!(h.buckets, vec![(bucket_index(100), 1)]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exporters_render_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("scidb.query.statements").inc(3);
+        reg.gauge("pool.size").set(-1);
+        let h = reg.histogram("lat.us");
+        h.record(0);
+        h.record(5);
+        h.record(6);
+        let js = reg.to_json();
+        assert!(
+            js.contains("\"scidb.query.statements\":{\"type\":\"counter\",\"value\":3}"),
+            "{js}"
+        );
+        assert!(
+            js.contains("\"pool.size\":{\"type\":\"gauge\",\"value\":-1}"),
+            "{js}"
+        );
+        assert!(
+            js.contains("\"lat.us\":{\"type\":\"histogram\",\"count\":3,\"sum\":11,"),
+            "{js}"
+        );
+        assert!(js.contains("{\"le\":0,\"n\":1}"), "{js}");
+        assert!(js.contains("{\"le\":7,\"n\":2}"), "{js}");
+        let prom = reg.to_prometheus();
+        assert!(
+            prom.contains("# TYPE scidb_query_statements counter"),
+            "{prom}"
+        );
+        assert!(prom.contains("scidb_query_statements 3"), "{prom}");
+        assert!(prom.contains("# TYPE pool_size gauge"), "{prom}");
+        assert!(prom.contains("lat_us_bucket{le=\"0\"} 1"), "{prom}");
+        assert!(prom.contains("lat_us_bucket{le=\"7\"} 3"), "{prom}");
+        assert!(prom.contains("lat_us_bucket{le=\"+Inf\"} 3"), "{prom}");
+        assert!(prom.contains("lat_us_sum 11"), "{prom}");
+        assert!(prom.contains("lat_us_count 3"), "{prom}");
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let c = global().counter("obs.test.global");
+        let v0 = c.get();
+        global().counter("obs.test.global").inc(2);
+        assert_eq!(c.get(), v0 + 2);
+    }
+}

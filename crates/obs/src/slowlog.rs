@@ -1,0 +1,147 @@
+//! A bounded ring of slow-query traces.
+//!
+//! [`SlowLog::observe`] keeps the full [`TraceData`] of any query whose wall
+//! time meets the threshold; the ring holds the most recent `capacity`
+//! entries and counts evictions, so a long-running process retains the
+//! freshest evidence without unbounded growth.
+
+use std::time::Duration;
+
+use crate::span::TraceData;
+
+/// One retained slow query.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Human-readable label (typically the AQL statement text).
+    pub label: String,
+    /// The query's wall time.
+    pub wall: Duration,
+    /// The full trace.
+    pub trace: TraceData,
+}
+
+/// A ring buffer of slow-query traces with a configurable threshold.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold: Duration,
+    capacity: usize,
+    entries: Vec<SlowEntry>,
+    evicted: u64,
+}
+
+impl SlowLog {
+    /// A log that retains queries with `wall >= threshold`, keeping at most
+    /// `capacity` entries (oldest evicted first). A zero capacity disables
+    /// retention entirely.
+    pub fn new(threshold: Duration, capacity: usize) -> Self {
+        SlowLog {
+            threshold,
+            capacity,
+            entries: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    /// The current threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Changes the threshold for subsequent observations.
+    pub fn set_threshold(&mut self, threshold: Duration) {
+        self.threshold = threshold;
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resizes the ring, evicting oldest entries if it shrinks.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.entries.len() > self.capacity {
+            self.entries.remove(0);
+            self.evicted += 1;
+        }
+    }
+
+    /// Offers a finished query; retains it iff `wall >= threshold` (and the
+    /// capacity is non-zero). Returns whether it was retained.
+    pub fn observe(&mut self, label: &str, wall: Duration, trace: &TraceData) -> bool {
+        if wall < self.threshold || self.capacity == 0 {
+            return false;
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.evicted += 1;
+        }
+        self.entries.push(SlowEntry {
+            label: label.to_string(),
+            wall,
+            trace: trace.clone(),
+        });
+        true
+    }
+
+    /// Retained entries, oldest first.
+    pub fn entries(&self) -> &[SlowEntry] {
+        &self.entries
+    }
+
+    /// Number of entries evicted to make room.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drops all retained entries (the eviction count is kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn threshold_filters_and_ring_evicts() {
+        let mut log = SlowLog::new(ms(10), 2);
+        let td = TraceData::default();
+        assert!(!log.observe("fast", ms(5), &td));
+        assert!(log.observe("slow-1", ms(10), &td));
+        assert!(log.observe("slow-2", ms(20), &td));
+        assert!(log.observe("slow-3", ms(30), &td));
+        let labels: Vec<&str> = log.entries().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, vec!["slow-2", "slow-3"]);
+        assert_eq!(log.evicted(), 1);
+    }
+
+    #[test]
+    fn reconfiguration() {
+        let mut log = SlowLog::new(ms(10), 4);
+        let td = TraceData::default();
+        for i in 0..4 {
+            assert!(log.observe(&format!("q{i}"), ms(10 + i), &td));
+        }
+        log.set_capacity(2);
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.entries()[0].label, "q2");
+        log.set_threshold(ms(100));
+        assert!(!log.observe("now-fast", ms(50), &td));
+        log.clear();
+        assert!(log.entries().is_empty());
+        assert_eq!(log.evicted(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let mut log = SlowLog::new(Duration::ZERO, 0);
+        assert!(!log.observe("q", ms(1), &TraceData::default()));
+        assert!(log.entries().is_empty());
+    }
+}

@@ -1,0 +1,806 @@
+//! Hierarchical spans collected into a per-query [`Trace`].
+//!
+//! A [`Trace`] owns a shared arena of finished spans; [`Span`] handles are
+//! cheap to clone and safe to pass across the scoped worker threads of
+//! `core::exec::par_map`. Each span carries an id, its parent id, a name, a
+//! layer tag, typed key-value attributes, and point-in-time events. Ids are
+//! allocated from a per-trace atomic counter in creation order, so a finished
+//! trace renders deterministically (children sorted by id) even when spans
+//! were finished out of order by parallel workers.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json;
+
+/// Layer tag for query-executor spans (statement + plan nodes).
+pub const LAYER_QUERY: &str = "query";
+/// Layer tag for chunk-parallel kernel work recorded by `core::exec`.
+pub const LAYER_CORE: &str = "core";
+/// Layer tag for storage-manager reads.
+pub const LAYER_STORAGE: &str = "storage";
+/// Layer tag for distributed grid operations.
+pub const LAYER_GRID: &str = "grid";
+
+/// A typed attribute value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (counts, bytes).
+    Uint(u64),
+    /// Floating point.
+    Float(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// String (array names, AQL text).
+    Str(String),
+    /// Duration (rendered only when timings are requested).
+    Dur(Duration),
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Uint(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Uint(v as u64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<Duration> for AttrValue {
+    fn from(v: Duration) -> Self {
+        AttrValue::Dur(v)
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Uint(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => write!(f, "{}", json::json_str(v)),
+            AttrValue::Dur(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl AttrValue {
+    /// The value as `u64` when it is integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            AttrValue::Uint(v) => Some(*v),
+            AttrValue::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice when it is [`AttrValue::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a [`Duration`] when it is [`AttrValue::Dur`].
+    pub fn as_dur(&self) -> Option<Duration> {
+        match self {
+            AttrValue::Dur(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            AttrValue::Int(v) => v.to_string(),
+            AttrValue::Uint(v) => v.to_string(),
+            AttrValue::Float(v) if v.is_finite() => v.to_string(),
+            AttrValue::Float(_) => "null".to_string(),
+            AttrValue::Bool(v) => v.to_string(),
+            AttrValue::Str(v) => json::json_str(v),
+            AttrValue::Dur(v) => v.as_micros().to_string(),
+        }
+    }
+}
+
+/// A point-in-time event recorded on a span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventData {
+    /// Trace-global sequence number (creation order across all spans).
+    pub seq: u64,
+    /// Offset from trace start.
+    pub at: Duration,
+    /// Event name (`kernel`, `node`, …).
+    pub name: String,
+    /// Typed attributes, in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// An immutable finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanData {
+    /// Trace-unique id, allocated in creation order starting at 1.
+    pub id: u64,
+    /// Parent span id (`None` for roots).
+    pub parent: Option<u64>,
+    /// Span name (`statement`, `filter`, `read_region`, …).
+    pub name: String,
+    /// Layer tag ([`LAYER_QUERY`] etc.).
+    pub layer: &'static str,
+    /// Offset of span start from trace start.
+    pub start: Duration,
+    /// Wall time between creation and [`Span::finish`].
+    pub wall: Duration,
+    /// Typed attributes, in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
+    /// Events recorded on this span, in recording order.
+    pub events: Vec<EventData>,
+}
+
+impl SpanData {
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// One `core::exec` kernel invocation decoded from a `kernel` span event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelEvent {
+    /// Trace-global sequence number (execution order).
+    pub seq: u64,
+    /// Operator name.
+    pub op: String,
+    /// Input chunks scanned.
+    pub chunks: u64,
+    /// Present cells touched.
+    pub cells: u64,
+    /// Kernel wall time.
+    pub wall: Duration,
+}
+
+/// Controls [`TraceData::render_tree`].
+#[derive(Debug, Clone, Copy)]
+pub struct RenderOptions {
+    /// Include wall times and `Dur` attributes (off for golden tests).
+    pub times: bool,
+    /// Include span events as indented `·` lines.
+    pub events: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            times: true,
+            events: false,
+        }
+    }
+}
+
+/// A finished trace: every finished span, sorted by id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceData {
+    /// Finished spans sorted by id (creation order).
+    pub spans: Vec<SpanData>,
+    /// Wall time from trace creation to [`Trace::finish`].
+    pub total: Duration,
+}
+
+impl TraceData {
+    /// All `kernel` events across spans, sorted by trace-global sequence
+    /// number — i.e. kernel execution order.
+    pub fn kernel_events(&self) -> Vec<KernelEvent> {
+        let mut out = Vec::new();
+        for s in &self.spans {
+            for e in &s.events {
+                if e.name != "kernel" {
+                    continue;
+                }
+                let op = e
+                    .attrs
+                    .iter()
+                    .find(|(k, _)| k == "op")
+                    .and_then(|(_, v)| v.as_str())
+                    .unwrap_or("")
+                    .to_string();
+                let get = |key: &str| {
+                    e.attrs
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .and_then(|(_, v)| v.as_u64())
+                        .unwrap_or(0)
+                };
+                let wall = e
+                    .attrs
+                    .iter()
+                    .find(|(k, _)| k == "wall")
+                    .and_then(|(_, v)| v.as_dur())
+                    .unwrap_or_default();
+                out.push(KernelEvent {
+                    seq: e.seq,
+                    op,
+                    chunks: get("chunks"),
+                    cells: get("cells"),
+                    wall,
+                });
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Per-layer wall-time attribution.
+    ///
+    /// Each span contributes its *self* time (wall minus the wall of its
+    /// children and of its `kernel` events, saturating at zero) to its layer;
+    /// kernel-event wall time is attributed to [`LAYER_CORE`]. Totals are
+    /// returned sorted by layer name.
+    pub fn layer_totals(&self) -> Vec<(&'static str, Duration)> {
+        use std::collections::BTreeMap;
+        let mut child_wall: BTreeMap<u64, Duration> = BTreeMap::new();
+        for s in &self.spans {
+            if let Some(p) = s.parent {
+                let e = child_wall.entry(p).or_default();
+                *e += s.wall;
+            }
+        }
+        let mut totals: BTreeMap<&'static str, Duration> = BTreeMap::new();
+        for s in &self.spans {
+            let kernel: Duration = s
+                .events
+                .iter()
+                .filter(|e| e.name == "kernel")
+                .filter_map(|e| {
+                    e.attrs
+                        .iter()
+                        .find(|(k, _)| k == "wall")
+                        .and_then(|(_, v)| v.as_dur())
+                })
+                .sum();
+            let nested = child_wall.get(&s.id).copied().unwrap_or_default() + kernel;
+            let own = s.wall.saturating_sub(nested);
+            *totals.entry(s.layer).or_default() += own;
+            if !kernel.is_zero() {
+                *totals.entry(LAYER_CORE).or_default() += kernel;
+            }
+        }
+        totals.into_iter().collect()
+    }
+
+    /// Renders the span tree with box-drawing connectors.
+    ///
+    /// Children are ordered by id (creation order), so with a serial
+    /// executor the output is fully deterministic; with `times: false`,
+    /// wall times and `Dur`-typed attributes are suppressed so the output
+    /// is byte-stable across runs.
+    pub fn render_tree(&self, opts: &RenderOptions) -> String {
+        let mut out = String::new();
+        let roots: Vec<&SpanData> = self.spans.iter().filter(|s| s.parent.is_none()).collect();
+        for r in &roots {
+            self.render_span(r, "", "", opts, &mut out);
+        }
+        out
+    }
+
+    fn render_span(
+        &self,
+        span: &SpanData,
+        lead: &str,
+        child_lead: &str,
+        opts: &RenderOptions,
+        out: &mut String,
+    ) {
+        use std::fmt::Write as _;
+        let _ = write!(out, "{lead}{} [{}]", span.name, span.layer);
+        for (k, v) in &span.attrs {
+            if !opts.times && matches!(v, AttrValue::Dur(_)) {
+                continue;
+            }
+            let _ = write!(out, " {k}={v}");
+        }
+        if opts.times {
+            let _ = write!(out, " wall={:?}", span.wall);
+        }
+        out.push('\n');
+        if opts.events {
+            for e in &span.events {
+                let _ = write!(out, "{child_lead}· {}", e.name);
+                for (k, v) in &e.attrs {
+                    if !opts.times && matches!(v, AttrValue::Dur(_)) {
+                        continue;
+                    }
+                    let _ = write!(out, " {k}={v}");
+                }
+                out.push('\n');
+            }
+        }
+        let children: Vec<&SpanData> = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(span.id))
+            .collect();
+        for (i, c) in children.iter().enumerate() {
+            let last = i + 1 == children.len();
+            let branch = if last { "└─ " } else { "├─ " };
+            let cont = if last { "   " } else { "│  " };
+            self.render_span(
+                c,
+                &format!("{child_lead}{branch}"),
+                &format!("{child_lead}{cont}"),
+                opts,
+                out,
+            );
+        }
+    }
+
+    /// Serializes the trace as JSON (hand-rolled: the workspace is
+    /// dependency-free). Durations are encoded as integer microseconds.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"total_us\":{},\"spans\":[", self.total.as_micros());
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"parent\":{},\"name\":{},\"layer\":{},\"start_us\":{},\"wall_us\":{},",
+                s.id,
+                s.parent.map_or("null".to_string(), |p| p.to_string()),
+                json::json_str(&s.name),
+                json::json_str(s.layer),
+                s.start.as_micros(),
+                s.wall.as_micros(),
+            );
+            out.push_str("\"attrs\":{");
+            for (j, (k, v)) in s.attrs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json::json_str(k), v.to_json());
+            }
+            out.push_str("},\"events\":[");
+            for (j, e) in s.events.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"seq\":{},\"at_us\":{},\"name\":{},\"attrs\":{{",
+                    e.seq,
+                    e.at.as_micros(),
+                    json::json_str(&e.name)
+                );
+                for (m, (k, v)) in e.attrs.iter().enumerate() {
+                    if m > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}:{}", json::json_str(k), v.to_json());
+                }
+                out.push_str("}}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[derive(Debug)]
+struct TraceShared {
+    t0: Instant,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    done: Mutex<Vec<SpanData>>,
+}
+
+/// A live trace: hands out spans and collects them as they finish.
+#[derive(Debug)]
+pub struct Trace {
+    shared: Arc<TraceShared>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+impl Trace {
+    /// Starts a new, empty trace. The clock starts now.
+    pub fn new() -> Self {
+        Trace {
+            shared: Arc::new(TraceShared {
+                t0: Instant::now(),
+                next_id: AtomicU64::new(1),
+                next_seq: AtomicU64::new(0),
+                done: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Opens a root span (no parent).
+    pub fn root(&self, name: &str, layer: &'static str) -> Span {
+        Span::open(&self.shared, None, name, layer)
+    }
+
+    /// Finishes the trace, returning every span finished so far sorted by
+    /// id. Spans still open are not included — finish them first.
+    pub fn finish(self) -> TraceData {
+        let total = self.shared.t0.elapsed();
+        let mut spans =
+            std::mem::take(&mut *self.shared.done.lock().unwrap_or_else(|e| e.into_inner()));
+        spans.sort_by_key(|s| s.id);
+        TraceData { spans, total }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SpanDyn {
+    attrs: Vec<(String, AttrValue)>,
+    events: Vec<EventData>,
+    wall: Option<Duration>,
+}
+
+#[derive(Debug)]
+struct SpanState {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    layer: &'static str,
+    started: Instant,
+    offset: Duration,
+    dynamic: Mutex<SpanDyn>,
+}
+
+/// A live span handle. Cheap to clone; all methods take `&self`, so a span
+/// can be shared across parallel workers. [`Span::finish`] is idempotent.
+#[derive(Debug, Clone)]
+pub struct Span {
+    shared: Arc<TraceShared>,
+    state: Arc<SpanState>,
+}
+
+impl Span {
+    fn open(
+        shared: &Arc<TraceShared>,
+        parent: Option<u64>,
+        name: &str,
+        layer: &'static str,
+    ) -> Span {
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        Span {
+            shared: Arc::clone(shared),
+            state: Arc::new(SpanState {
+                id,
+                parent,
+                name: name.to_string(),
+                layer,
+                started: Instant::now(),
+                offset: shared.t0.elapsed(),
+                dynamic: Mutex::new(SpanDyn::default()),
+            }),
+        }
+    }
+
+    /// This span's trace-unique id.
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// Opens a child span.
+    pub fn child(&self, name: &str, layer: &'static str) -> Span {
+        Span::open(&self.shared, Some(self.state.id), name, layer)
+    }
+
+    /// Sets (or appends) an attribute. Ignored after [`Span::finish`].
+    pub fn set_attr(&self, key: &str, value: impl Into<AttrValue>) {
+        let mut d = self.state.dynamic.lock().unwrap_or_else(|e| e.into_inner());
+        if d.wall.is_some() {
+            return;
+        }
+        let value = value.into();
+        if let Some(slot) = d.attrs.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            d.attrs.push((key.to_string(), value));
+        }
+    }
+
+    /// Records a point-in-time event. Ignored after [`Span::finish`].
+    pub fn add_event(&self, name: &str, attrs: Vec<(String, AttrValue)>) {
+        let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
+        let at = self.shared.t0.elapsed();
+        let mut d = self.state.dynamic.lock().unwrap_or_else(|e| e.into_inner());
+        if d.wall.is_some() {
+            return;
+        }
+        d.events.push(EventData {
+            seq,
+            at,
+            name: name.to_string(),
+            attrs,
+        });
+    }
+
+    /// Records a `core::exec` kernel invocation as a `kernel` event — the
+    /// encoding read back by [`TraceData::kernel_events`].
+    pub fn record_kernel(&self, op: &str, chunks: u64, cells: u64, wall: Duration) {
+        self.add_event(
+            "kernel",
+            vec![
+                ("op".to_string(), AttrValue::Str(op.to_string())),
+                ("chunks".to_string(), AttrValue::Uint(chunks)),
+                ("cells".to_string(), AttrValue::Uint(cells)),
+                ("wall".to_string(), AttrValue::Dur(wall)),
+            ],
+        );
+    }
+
+    /// Finishes the span, moving it into the trace. Returns its wall time.
+    /// Idempotent: later calls return the original wall time.
+    pub fn finish(&self) -> Duration {
+        let mut d = self.state.dynamic.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(w) = d.wall {
+            return w;
+        }
+        let wall = self.state.started.elapsed();
+        d.wall = Some(wall);
+        let data = SpanData {
+            id: self.state.id,
+            parent: self.state.parent,
+            name: self.state.name.clone(),
+            layer: self.state.layer,
+            start: self.state.offset,
+            wall,
+            attrs: std::mem::take(&mut d.attrs),
+            events: std::mem::take(&mut d.events),
+        };
+        drop(d);
+        self.shared
+            .done
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(data);
+        wall
+    }
+}
+
+/// A minimal monotonic stopwatch, the sanctioned way for `query`/`storage`/
+/// `grid` code to measure wall time (xtask rule R5 forbids raw
+/// `Instant::now()` there so all timing flows through one substrate).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    t0: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch.
+    pub fn start() -> Self {
+        Stopwatch { t0: Instant::now() }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.t0.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_tree_ids_and_nesting() {
+        let trace = Trace::new();
+        let root = trace.root("statement", LAYER_QUERY);
+        let filter = root.child("filter", LAYER_QUERY);
+        let scan = filter.child("scan", LAYER_QUERY);
+        scan.set_attr("array", "A");
+        scan.set_attr("cells_out", 16u64);
+        scan.finish();
+        filter.finish();
+        root.finish();
+        let td = trace.finish();
+        assert_eq!(td.spans.len(), 3);
+        assert_eq!(td.spans[0].name, "statement");
+        assert_eq!(td.spans[0].parent, None);
+        assert_eq!(td.spans[1].parent, Some(td.spans[0].id));
+        assert_eq!(td.spans[2].parent, Some(td.spans[1].id));
+        assert_eq!(
+            td.spans[2].attr("cells_out").and_then(AttrValue::as_u64),
+            Some(16)
+        );
+        let tree = td.render_tree(&RenderOptions {
+            times: false,
+            events: false,
+        });
+        assert_eq!(
+            tree,
+            "statement [query]\n└─ filter [query]\n   └─ scan [query] array=\"A\" cells_out=16\n"
+        );
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_late_attrs_are_ignored() {
+        let trace = Trace::new();
+        let s = trace.root("r", LAYER_QUERY);
+        s.set_attr("kept", 1u64);
+        let w1 = s.finish();
+        s.set_attr("dropped", 2u64);
+        s.add_event("dropped", vec![]);
+        let w2 = s.finish();
+        assert_eq!(w1, w2);
+        let td = trace.finish();
+        assert_eq!(td.spans.len(), 1);
+        assert!(td.spans[0].attr("kept").is_some());
+        assert!(td.spans[0].attr("dropped").is_none());
+        assert!(td.spans[0].events.is_empty());
+    }
+
+    #[test]
+    fn unfinished_spans_are_not_collected() {
+        let trace = Trace::new();
+        let root = trace.root("r", LAYER_QUERY);
+        let _open = root.child("open", LAYER_QUERY);
+        root.finish();
+        let td = trace.finish();
+        assert_eq!(td.spans.len(), 1);
+    }
+
+    #[test]
+    fn kernel_events_decode_in_seq_order() {
+        let trace = Trace::new();
+        let root = trace.root("r", LAYER_QUERY);
+        let a = root.child("a", LAYER_QUERY);
+        let b = root.child("b", LAYER_QUERY);
+        a.record_kernel("filter", 2, 100, Duration::from_millis(3));
+        b.record_kernel("aggregate", 4, 50, Duration::from_millis(5));
+        b.finish();
+        a.finish();
+        root.finish();
+        let evs = trace.finish().kernel_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].op, "filter");
+        assert_eq!((evs[0].chunks, evs[0].cells), (2, 100));
+        assert_eq!(evs[0].wall, Duration::from_millis(3));
+        assert_eq!(evs[1].op, "aggregate");
+        assert!(evs[0].seq < evs[1].seq);
+    }
+
+    #[test]
+    fn layer_totals_attribute_self_time() {
+        // Hand-build a TraceData so the durations are exact.
+        let ms = Duration::from_millis;
+        let td = TraceData {
+            total: ms(10),
+            spans: vec![
+                SpanData {
+                    id: 1,
+                    parent: None,
+                    name: "statement".into(),
+                    layer: LAYER_QUERY,
+                    start: ms(0),
+                    wall: ms(10),
+                    attrs: vec![],
+                    events: vec![],
+                },
+                SpanData {
+                    id: 2,
+                    parent: Some(1),
+                    name: "filter".into(),
+                    layer: LAYER_QUERY,
+                    start: ms(1),
+                    wall: ms(8),
+                    attrs: vec![],
+                    events: vec![EventData {
+                        seq: 0,
+                        at: ms(2),
+                        name: "kernel".into(),
+                        attrs: vec![("wall".into(), AttrValue::Dur(ms(3)))],
+                    }],
+                },
+                SpanData {
+                    id: 3,
+                    parent: Some(2),
+                    name: "read_region".into(),
+                    layer: LAYER_STORAGE,
+                    start: ms(1),
+                    wall: ms(4),
+                    attrs: vec![],
+                    events: vec![],
+                },
+            ],
+        };
+        let totals = td.layer_totals();
+        // filter self = 8 - 4 (child) - 3 (kernel) = 1; statement self = 10 - 8 = 2.
+        assert_eq!(
+            totals,
+            vec![
+                (LAYER_CORE, ms(3)),
+                (LAYER_QUERY, ms(3)),
+                (LAYER_STORAGE, ms(4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn trace_json_shape() {
+        let trace = Trace::new();
+        let root = trace.root("statement", LAYER_QUERY);
+        root.set_attr("aql", "scan(\"A\")");
+        root.set_attr("ok", true);
+        root.add_event("note", vec![("n".into(), AttrValue::Int(-1))]);
+        root.finish();
+        let js = trace.finish().to_json();
+        assert!(js.starts_with("{\"total_us\":"), "{js}");
+        assert!(js.contains("\"name\":\"statement\""), "{js}");
+        assert!(js.contains("\"aql\":\"scan(\\\"A\\\")\""), "{js}");
+        assert!(js.contains("\"ok\":true"), "{js}");
+        assert!(js.contains("\"n\":-1"), "{js}");
+    }
+
+    #[test]
+    fn render_with_events_and_times() {
+        let trace = Trace::new();
+        let root = trace.root("r", LAYER_QUERY);
+        root.record_kernel("filter", 1, 2, Duration::from_millis(1));
+        root.finish();
+        let td = trace.finish();
+        let tree = td.render_tree(&RenderOptions {
+            times: true,
+            events: true,
+        });
+        assert!(tree.contains("wall="), "{tree}");
+        assert!(
+            tree.contains("· kernel op=\"filter\" chunks=1 cells=2"),
+            "{tree}"
+        );
+        // Dur attrs are suppressed without times.
+        let quiet = td.render_tree(&RenderOptions {
+            times: false,
+            events: true,
+        });
+        assert!(!quiet.contains("wall="), "{quiet}");
+    }
+
+    #[test]
+    fn stopwatch_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+}

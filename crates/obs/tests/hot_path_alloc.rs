@@ -1,0 +1,55 @@
+//! Proves the acceptance criterion that the metrics hot path does not
+//! allocate: a counting global allocator observes zero allocations across
+//! thousands of `Counter::inc` / `Gauge::set` / `Histogram::record` calls
+//! once the instruments exist.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use scidb_obs::Registry;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn instrument_hot_path_does_not_allocate() {
+    let reg = Registry::new();
+    // Registration allocates — that is fine and happens once.
+    let c = reg.counter("hot.counter");
+    let g = reg.gauge("hot.gauge");
+    let h = reg.histogram("hot.hist");
+    c.inc(1);
+    g.set(1);
+    h.record(1);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        c.inc(1);
+        g.add(1);
+        h.record(i);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "metrics hot path allocated {} time(s)",
+        after - before
+    );
+    assert_eq!(c.get(), 10_001);
+    assert_eq!(h.count(), 10_001);
+}

@@ -241,6 +241,9 @@ pub enum Stmt {
     },
     /// A bare array expression: evaluate and return.
     Query(AExpr),
+    /// `explain analyze <stmt>` — run the statement and return its
+    /// rendered span tree instead of its result.
+    ExplainAnalyze(Box<Stmt>),
 }
 
 // ---- canonical AQL rendering ------------------------------------------------
@@ -468,6 +471,7 @@ impl fmt::Display for Stmt {
                 write!(f, "exists({array}, {})", join(coords, ", "))
             }
             Stmt::Query(e) => write!(f, "{e}"),
+            Stmt::ExplainAnalyze(inner) => write!(f, "explain analyze {inner}"),
         }
     }
 }

@@ -1,17 +1,25 @@
 //! The query executor: a [`Database`] catalog plus statement evaluation.
 //!
-//! `Database` owns defined array types, array instances (plain and
-//! updatable), the function [`Registry`], and an [`ExecContext`] — the
-//! thread budget and metrics sink threaded into every operator kernel.
-//! `execute` runs one parsed statement; `run` parses, plans (see
-//! [`crate::plan`]), and executes AQL text — the full §2.4 pipeline from any
-//! language binding down to the engine.
+//! `Database` owns defined array types, array instances (plain, updatable,
+//! and disk-backed), the function [`Registry`], and an [`ExecContext`] — the
+//! thread budget threaded into every operator kernel. `execute` runs one
+//! parsed statement; `run` parses, plans (see [`crate::plan`]), and executes
+//! AQL text — the full §2.4 pipeline from any language binding down to the
+//! engine.
+//!
+//! Every statement executes under a [`Trace`]: the executor opens a root
+//! `statement` span, one child span per plan node, and the storage layer
+//! nests `read_region` spans beneath the `scan` that triggered them, so
+//! `explain analyze <stmt>` renders the full cross-layer tree.
+//! [`Database::metrics`] is a thin view derived from those traces
+//! (see [`QueryMetrics::from_traces`]); statements slower than the
+//! configured threshold are retained in a [`SlowLog`] ring, retrievable via
+//! [`Database::slow_queries`].
 //!
 //! Chunk-separable operators (Subsample, Filter, Apply, Project, Aggregate,
 //! Regrid) execute chunk-parallel up to the context's thread budget;
 //! [`Database::with_threads`] (or `with_threads(1)` as the escape hatch)
-//! controls it, and [`Database::metrics`] reports per-operator chunk/cell
-//! counts and wall time for the last `run`/`query`.
+//! controls it.
 
 use crate::ast::{AExpr, AggArg, Literal, Stmt};
 use crate::parser;
@@ -20,32 +28,46 @@ use scidb_core::array::Array;
 use scidb_core::enhance::WallClock;
 use scidb_core::error::{Error, Result};
 use scidb_core::exec::{ExecContext, QueryMetrics};
+use scidb_core::geometry::HyperRect;
 use scidb_core::history::UpdatableArray;
 use scidb_core::ops::{self, AggInput};
 use scidb_core::registry::Registry;
 use scidb_core::schema::{ArraySchema, AttributeDef, DimensionDef};
 use scidb_core::uncertain::Uncertain;
 use scidb_core::value::{ScalarType, Value};
+use scidb_obs::{RenderOptions, SlowEntry, SlowLog, Span, Trace, TraceData, LAYER_QUERY};
+use scidb_storage::{CodecPolicy, MemDisk, ReadOptions, StorageManager};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::Duration;
+
+/// Default slow-query threshold (see [`Database::set_slow_query_threshold`]).
+pub const DEFAULT_SLOW_QUERY_THRESHOLD: Duration = Duration::from_millis(100);
+
+/// Default slow-query ring capacity.
+pub const DEFAULT_SLOW_QUERY_CAPACITY: usize = 32;
 
 /// A stored array instance.
 #[derive(Debug)]
 pub enum StoredArray {
-    /// A plain array.
+    /// A plain in-memory array.
     Plain(Array),
     /// An updatable (no-overwrite) array (§2.5).
     Updatable(UpdatableArray),
+    /// A disk-backed array served by the storage manager (§2.8); scans
+    /// stream through [`StorageManager::read_region_traced`].
+    OnDisk(StorageManager),
 }
 
 impl StoredArray {
-    /// A scannable view: plain arrays as-is; updatable arrays expose their
-    /// full inner array including the history dimension.
-    pub fn as_array(&self) -> &Array {
+    /// A scannable in-memory view: plain arrays as-is; updatable arrays
+    /// expose their full inner array including the history dimension.
+    /// Disk-backed arrays have no resident view — scan them instead.
+    pub fn as_array(&self) -> Option<&Array> {
         match self {
-            StoredArray::Plain(a) => a,
-            StoredArray::Updatable(u) => u.array(),
+            StoredArray::Plain(a) => Some(a),
+            StoredArray::Updatable(u) => Some(u.array()),
+            StoredArray::OnDisk(_) => None,
         }
     }
 }
@@ -59,6 +81,8 @@ pub enum StmtResult {
     Array(Array),
     /// A scalar probe result (`exists`).
     Bool(bool),
+    /// The rendered span tree of an `explain analyze` statement.
+    Explain(String),
 }
 
 impl StmtResult {
@@ -68,6 +92,7 @@ impl StmtResult {
             StmtResult::Done(_) => "acknowledgement",
             StmtResult::Array(_) => "array",
             StmtResult::Bool(_) => "bool",
+            StmtResult::Explain(_) => "explain",
         }
     }
 
@@ -83,6 +108,14 @@ impl StmtResult {
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             StmtResult::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The `explain analyze` report, if this is one.
+    pub fn as_explain(&self) -> Option<&str> {
+        match self {
+            StmtResult::Explain(s) => Some(s),
             _ => None,
         }
     }
@@ -116,6 +149,8 @@ pub struct Database {
     arrays: HashMap<String, StoredArray>,
     registry: Registry,
     ctx: ExecContext,
+    traces: Vec<TraceData>,
+    slow_log: SlowLog,
 }
 
 impl Default for Database {
@@ -139,6 +174,8 @@ impl Database {
             arrays: HashMap::new(),
             registry: Registry::with_builtins(),
             ctx: ExecContext::with_threads(threads),
+            traces: Vec::new(),
+            slow_log: SlowLog::new(DEFAULT_SLOW_QUERY_THRESHOLD, DEFAULT_SLOW_QUERY_CAPACITY),
         }
     }
 
@@ -147,22 +184,58 @@ impl Database {
         &self.ctx
     }
 
-    /// Replaces the thread budget (metrics accumulated so far are dropped).
+    /// Replaces the thread budget (traces and metrics accumulated so far
+    /// are dropped; the slow-query log is kept).
     pub fn set_threads(&mut self, threads: usize) {
         self.ctx = ExecContext::with_threads(threads);
+        self.traces.clear();
     }
 
     /// Per-operator metrics for the statements executed since the last
-    /// [`run`](Self::run)/[`query`](Self::query) began.
+    /// [`run`](Self::run)/[`query`](Self::query) began — a thin view
+    /// derived from the retained [`traces`](Self::traces).
     pub fn metrics(&self) -> QueryMetrics {
-        self.ctx.metrics()
+        QueryMetrics::from_traces(self.traces.iter())
+    }
+
+    /// Traces of the statements executed since the last
+    /// [`run`](Self::run)/[`query`](Self::query) began, in execution order.
+    pub fn traces(&self) -> &[TraceData] {
+        &self.traces
+    }
+
+    /// The trace of the most recently executed statement, if any.
+    pub fn last_trace(&self) -> Option<&TraceData> {
+        self.traces.last()
+    }
+
+    /// The slow-query log (process-lifetime: survives `run`/`query` resets).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow_log
+    }
+
+    /// Mutable slow-query log access (reconfigure threshold/capacity).
+    pub fn slow_log_mut(&mut self) -> &mut SlowLog {
+        &mut self.slow_log
+    }
+
+    /// Retained slow-query entries, oldest first.
+    pub fn slow_queries(&self) -> &[SlowEntry] {
+        self.slow_log.entries()
+    }
+
+    /// Statements with wall time at or above `threshold` are retained in
+    /// the slow-query log.
+    pub fn set_slow_query_threshold(&mut self, threshold: Duration) {
+        self.slow_log.set_threshold(threshold);
     }
 
     /// Opens a [`Session`]: a handle that shares this database's
-    /// [`ExecContext`] and accumulates metrics across statements instead of
+    /// [`ExecContext`] and accumulates traces across statements instead of
     /// resetting them per call.
     pub fn session(&mut self) -> Session<'_> {
         self.ctx.take_metrics();
+        self.traces.clear();
         Session { db: self }
     }
 
@@ -202,6 +275,35 @@ impl Database {
         Ok(())
     }
 
+    /// Registers an array as a disk-backed instance: its chunks are
+    /// compressed into storage-manager buckets (in-memory disk, default
+    /// codec policy) and subsequent scans stream through
+    /// [`StorageManager::read_region_traced`], nesting storage spans under
+    /// the query's trace. All dimensions must be bounded.
+    pub fn put_array_on_disk(&mut self, name: &str, array: &Array) -> Result<()> {
+        if self.arrays.contains_key(name) {
+            return Err(Error::AlreadyExists(format!("array '{name}'")));
+        }
+        for d in array.schema().dims() {
+            if d.upper.is_none() {
+                return Err(Error::Unsupported(format!(
+                    "on-disk array with unbounded dimension '{}'",
+                    d.name
+                )));
+            }
+        }
+        let schema = Arc::new(array.schema().renamed(name));
+        let mut mgr = StorageManager::new(
+            Arc::new(MemDisk::new()),
+            schema,
+            CodecPolicy::default_policy(),
+        );
+        mgr.store_array(array)?;
+        self.arrays
+            .insert(name.to_string(), StoredArray::OnDisk(mgr));
+        Ok(())
+    }
+
     /// Array names in the catalog (sorted).
     pub fn array_names(&self) -> Vec<&str> {
         let mut v: Vec<&str> = self.arrays.keys().map(String::as_str).collect();
@@ -210,24 +312,80 @@ impl Database {
     }
 
     /// Parses, plans, and executes a script; returns one result per
-    /// statement. Resets [`metrics`](Self::metrics) first.
+    /// statement. Resets [`traces`](Self::traces)/[`metrics`](Self::metrics)
+    /// first.
     pub fn run(&mut self, text: &str) -> Result<Vec<StmtResult>> {
         self.ctx.take_metrics();
+        self.traces.clear();
         let stmts = parser::parse(text)?;
         stmts.into_iter().map(|s| self.execute(s)).collect()
     }
 
     /// Runs a single-statement query expecting an array result. Resets
-    /// [`metrics`](Self::metrics) first.
+    /// [`traces`](Self::traces)/[`metrics`](Self::metrics) first.
     pub fn query(&mut self, text: &str) -> Result<Array> {
         self.ctx.take_metrics();
+        self.traces.clear();
         let stmt = parser::parse_one(text)?;
         self.execute(stmt)?.into_array()
     }
 
-    /// Executes one parsed statement.
+    /// Executes one parsed statement under a fresh trace.
     pub fn execute(&mut self, stmt: Stmt) -> Result<StmtResult> {
         match stmt {
+            Stmt::ExplainAnalyze(inner) => self.execute_explain(*inner),
+            other => self.execute_traced(other),
+        }
+    }
+
+    /// Runs the (explain-stripped) statement, then renders its span tree —
+    /// wall times and kernel events included — instead of its result.
+    fn execute_explain(&mut self, mut stmt: Stmt) -> Result<StmtResult> {
+        while let Stmt::ExplainAnalyze(inner) = stmt {
+            stmt = *inner;
+        }
+        self.execute_traced(stmt)?;
+        let trace = self
+            .traces
+            .last()
+            .ok_or_else(|| Error::eval("explain analyze produced no trace"))?;
+        let report = trace.render_tree(&RenderOptions {
+            times: true,
+            events: true,
+        });
+        Ok(StmtResult::Explain(report))
+    }
+
+    /// Executes one statement under a root `statement` span, records
+    /// process-wide counters, offers the trace to the slow-query log, and
+    /// retains it for [`metrics`](Self::metrics)/[`traces`](Self::traces).
+    fn execute_traced(&mut self, stmt: Stmt) -> Result<StmtResult> {
+        let aql = stmt.to_string();
+        let trace = Trace::new();
+        let root = trace.root("statement", LAYER_QUERY);
+        root.set_attr("aql", aql.as_str());
+        let reg = scidb_obs::global();
+        reg.counter("scidb.query.statements").inc(1);
+        let result = self.execute_inner(stmt, &root);
+        if let Err(e) = &result {
+            root.set_attr("error", e.to_string());
+            reg.counter("scidb.query.errors").inc(1);
+        }
+        let wall = root.finish();
+        reg.histogram("scidb.query.statement_wall_us")
+            .record(wall.as_micros() as u64);
+        let data = trace.finish();
+        self.slow_log.observe(&aql, wall, &data);
+        self.traces.push(data);
+        result
+    }
+
+    /// Statement dispatch, inside the root span.
+    fn execute_inner(&mut self, stmt: Stmt, root: &Span) -> Result<StmtResult> {
+        match stmt {
+            // Unreachable from `execute`, which strips explains first; a
+            // direct call degrades to executing the inner statement.
+            Stmt::ExplainAnalyze(inner) => self.execute_inner(*inner, root),
             Stmt::DefineArray {
                 name,
                 updatable,
@@ -306,6 +464,11 @@ impl Database {
                             ));
                         }
                     }
+                    StoredArray::OnDisk(_) => {
+                        return Err(Error::Unsupported(
+                            "enhancement of a disk-backed array".into(),
+                        ))
+                    }
                 }
                 Ok(StmtResult::Done(format!(
                     "enhanced {array} with {function}"
@@ -318,6 +481,11 @@ impl Database {
                     StoredArray::Updatable(_) => {
                         return Err(Error::Unsupported(
                             "shape functions on updatable arrays".into(),
+                        ))
+                    }
+                    StoredArray::OnDisk(_) => {
+                        return Err(Error::Unsupported(
+                            "shape functions on disk-backed arrays".into(),
                         ))
                     }
                 }
@@ -336,6 +504,11 @@ impl Database {
                         // history version (§2.5).
                         u.commit_put(&coords, record)?;
                     }
+                    StoredArray::OnDisk(_) => {
+                        return Err(Error::Unsupported(
+                            "cell insert into a disk-backed array".into(),
+                        ))
+                    }
                 }
                 Ok(StmtResult::Done(format!("inserted into {array}")))
             }
@@ -343,7 +516,7 @@ impl Database {
                 if self.arrays.contains_key(&into) {
                     return Err(Error::AlreadyExists(format!("array '{into}'")));
                 }
-                let result = self.eval(plan::optimize(expr))?;
+                let result = self.eval_node(root, plan::optimize(expr))?;
                 let renamed_schema = result.schema().renamed(&into);
                 let mut out = Array::new(renamed_schema);
                 for (coords, rec) in result.cells() {
@@ -359,26 +532,90 @@ impl Database {
                 Ok(StmtResult::Done(format!("dropped {name}")))
             }
             Stmt::Exists { array, coords } => {
-                let a = self.array(&array)?.as_array();
-                Ok(StmtResult::Bool(a.exists(&coords)))
+                let found = match self.array(&array)? {
+                    StoredArray::OnDisk(mgr) => {
+                        let span = root.child("exists", LAYER_QUERY);
+                        span.set_attr("array", array.as_str());
+                        let res = Self::exists_on_disk(mgr, &coords, &span);
+                        match &res {
+                            Ok(b) => span.set_attr("found", *b),
+                            Err(e) => span.set_attr("error", e.to_string()),
+                        }
+                        span.finish();
+                        res?
+                    }
+                    other => other.as_array().is_some_and(|a| a.exists(&coords)),
+                };
+                Ok(StmtResult::Bool(found))
             }
-            Stmt::Query(expr) => Ok(StmtResult::Array(self.eval(plan::optimize(expr))?)),
+            Stmt::Query(expr) => Ok(StmtResult::Array(
+                self.eval_node(root, plan::optimize(expr))?,
+            )),
         }
     }
 
-    /// Evaluates an (optimized) array expression.
-    fn eval(&self, expr: AExpr) -> Result<Array> {
+    /// Single-cell probe against a disk-backed array: out-of-domain coords
+    /// are simply absent; in-domain coords cost one serial region read.
+    fn exists_on_disk(mgr: &StorageManager, coords: &[i64], span: &Span) -> Result<bool> {
+        if !full_domain(mgr.schema())?.contains(coords) {
+            return Ok(false);
+        }
+        let cell = HyperRect::new(coords.to_vec(), coords.to_vec())?;
+        let (a, _stats) = mgr.read_region_traced(&cell, ReadOptions::serial(), span)?;
+        Ok(a.cell_count() > 0)
+    }
+
+    /// Evaluates an (optimized) array expression as a child span of
+    /// `parent`, recording output chunk/cell counts (or the error).
+    fn eval_node(&self, parent: &Span, expr: AExpr) -> Result<Array> {
+        let span = parent.child(plan::node_name(&expr), LAYER_QUERY);
+        let result = self.eval_kernel(&span, expr);
+        match &result {
+            Ok(a) => {
+                span.set_attr("chunks_out", a.chunks().len() as u64);
+                span.set_attr("cells_out", a.cell_count() as u64);
+            }
+            Err(e) => span.set_attr("error", e.to_string()),
+        }
+        span.finish();
+        result
+    }
+
+    /// The operator dispatch for one plan node, inside its span. Kernel
+    /// calls run with `span` installed as the context's current span, so
+    /// [`ExecContext::record`] lands per-operator timing in the trace.
+    fn eval_kernel(&self, span: &Span, expr: AExpr) -> Result<Array> {
         match expr {
-            AExpr::Scan(name) => Ok(self.array(&name)?.as_array().clone()),
+            AExpr::Scan(name) => {
+                span.set_attr("array", name.as_str());
+                match self.array(&name)? {
+                    StoredArray::Plain(a) => Ok(a.clone()),
+                    StoredArray::Updatable(u) => Ok(u.array().clone()),
+                    StoredArray::OnDisk(mgr) => {
+                        let region = full_domain(mgr.schema())?;
+                        let opts = if self.ctx.threads() == 1 {
+                            ReadOptions::serial()
+                        } else {
+                            ReadOptions::parallel_with(self.ctx.threads())
+                        };
+                        let (a, _stats) = mgr.read_region_traced(&region, opts, span)?;
+                        Ok(a)
+                    }
+                }
+            }
             AExpr::Subsample { input, pred } => {
-                let input = self.eval(*input)?;
+                let input = self.eval_node(span, *input)?;
                 let dp = plan::expr_to_dim_predicate(&pred)?;
-                ops::subsample_with(&input, &dp, Some(&self.registry), &self.ctx)
+                self.with_kernel(span, || {
+                    ops::subsample_with(&input, &dp, Some(&self.registry), &self.ctx)
+                })
             }
             AExpr::Filter { input, pred } => {
-                let input = self.eval(*input)?;
+                let input = self.eval_node(span, *input)?;
                 let pred = plan::resolve_expr(&pred, input.schema())?;
-                ops::filter_with(&input, &pred, Some(&self.registry), &self.ctx)
+                self.with_kernel(span, || {
+                    ops::filter_with(&input, &pred, Some(&self.registry), &self.ctx)
+                })
             }
             AExpr::Aggregate {
                 input,
@@ -386,24 +623,26 @@ impl Database {
                 agg,
                 arg,
             } => {
-                let input = self.eval(*input)?;
+                let input = self.eval_node(span, *input)?;
                 let groups: Vec<&str> = group.iter().map(String::as_str).collect();
                 let agg_input = match arg {
                     AggArg::Star => AggInput::Star,
                     AggArg::Attr(a) => AggInput::Attr(a),
                 };
-                ops::aggregate_with(&input, &groups, &agg, agg_input, &self.registry, &self.ctx)
+                self.with_kernel(span, || {
+                    ops::aggregate_with(&input, &groups, &agg, agg_input, &self.registry, &self.ctx)
+                })
             }
             AExpr::Sjoin { left, right, on } => {
-                let left = self.eval(*left)?;
-                let right = self.eval(*right)?;
+                let left = self.eval_node(span, *left)?;
+                let right = self.eval_node(span, *right)?;
                 let pairs: Vec<(&str, &str)> =
                     on.iter().map(|(l, r)| (l.as_str(), r.as_str())).collect();
-                self.timed_serial("sjoin", &left, || ops::sjoin(&left, &right, &pairs))
+                self.timed_serial(span, "sjoin", &left, || ops::sjoin(&left, &right, &pairs))
             }
             AExpr::Cjoin { left, right, pred } => {
-                let left = self.eval(*left)?;
-                let right = self.eval(*right)?;
+                let left = self.eval_node(span, *left)?;
+                let right = self.eval_node(span, *right)?;
                 // Resolve the predicate against the combined schema by
                 // dry-running the join on empty inputs.
                 let probe = ops::cjoin(
@@ -413,29 +652,31 @@ impl Database {
                     None,
                 )?;
                 let pred = plan::resolve_expr(&pred, probe.schema())?;
-                self.timed_serial("cjoin", &left, || {
+                self.timed_serial(span, "cjoin", &left, || {
                     ops::cjoin(&left, &right, &pred, Some(&self.registry))
                 })
             }
             AExpr::Apply { input, name, expr } => {
-                let input = self.eval(*input)?;
+                let input = self.eval_node(span, *input)?;
                 let expr = plan::resolve_expr(&expr, input.schema())?;
                 let ty = plan::infer_type(&expr, input.schema());
-                ops::apply_with(&input, &name, &expr, ty, Some(&self.registry), &self.ctx)
+                self.with_kernel(span, || {
+                    ops::apply_with(&input, &name, &expr, ty, Some(&self.registry), &self.ctx)
+                })
             }
             AExpr::Project { input, attrs } => {
-                let input = self.eval(*input)?;
+                let input = self.eval_node(span, *input)?;
                 let keep: Vec<&str> = attrs.iter().map(String::as_str).collect();
-                ops::project_with(&input, &keep, &self.ctx)
+                self.with_kernel(span, || ops::project_with(&input, &keep, &self.ctx))
             }
             AExpr::Reshape {
                 input,
                 order,
                 new_dims,
             } => {
-                let input = self.eval(*input)?;
+                let input = self.eval_node(span, *input)?;
                 let order: Vec<&str> = order.iter().map(String::as_str).collect();
-                self.timed_serial("reshape", &input, || {
+                self.timed_serial(span, "reshape", &input, || {
                     ops::reshape(&input, &order, &new_dims)
                 })
             }
@@ -444,42 +685,60 @@ impl Database {
                 factors,
                 agg,
             } => {
-                let input = self.eval(*input)?;
-                ops::regrid_with(&input, &factors, &agg, &self.registry, &self.ctx)
+                let input = self.eval_node(span, *input)?;
+                self.with_kernel(span, || {
+                    ops::regrid_with(&input, &factors, &agg, &self.registry, &self.ctx)
+                })
             }
             AExpr::Concat { left, right, dim } => {
-                let left = self.eval(*left)?;
-                let right = self.eval(*right)?;
-                self.timed_serial("concat", &left, || ops::concat(&left, &right, &dim))
+                let left = self.eval_node(span, *left)?;
+                let right = self.eval_node(span, *right)?;
+                self.timed_serial(span, "concat", &left, || ops::concat(&left, &right, &dim))
             }
             AExpr::Cross { left, right } => {
-                let left = self.eval(*left)?;
-                let right = self.eval(*right)?;
-                self.timed_serial("cross", &left, || ops::cross_product(&left, &right))
+                let left = self.eval_node(span, *left)?;
+                let right = self.eval_node(span, *right)?;
+                self.timed_serial(span, "cross", &left, || ops::cross_product(&left, &right))
             }
             AExpr::AddDim { input, name } => {
-                let input = self.eval(*input)?;
-                self.timed_serial("add_dim", &input, || ops::add_dimension(&input, &name))
+                let input = self.eval_node(span, *input)?;
+                self.timed_serial(span, "add_dim", &input, || {
+                    ops::add_dimension(&input, &name)
+                })
             }
             AExpr::Slice { input, dim, at } => {
-                let input = self.eval(*input)?;
-                self.timed_serial("slice", &input, || ops::remove_dimension(&input, &dim, at))
+                let input = self.eval_node(span, *input)?;
+                self.timed_serial(span, "slice", &input, || {
+                    ops::remove_dimension(&input, &dim, at)
+                })
             }
         }
     }
 
-    /// Times a serial (non-chunk-parallel) operator and records its metrics
-    /// against the primary input's chunk and cell counts.
-    fn timed_serial<R>(&self, op: &str, input: &Array, f: impl FnOnce() -> Result<R>) -> Result<R> {
-        let start = Instant::now();
-        let out = f()?;
-        self.ctx.record(
-            op,
-            input.chunks().len() as u64,
-            input.cell_count() as u64,
-            start.elapsed(),
-        );
-        Ok(out)
+    /// Runs `f` with `span` installed as the context's current kernel span,
+    /// restoring the previous one on return.
+    fn with_kernel<R>(&self, span: &Span, f: impl FnOnce() -> Result<R>) -> Result<R> {
+        let prev = self.ctx.set_current_span(Some(span.clone()));
+        let out = f();
+        self.ctx.set_current_span(prev);
+        out
+    }
+
+    /// Times a serial (non-chunk-parallel) operator through the context's
+    /// single timing path ([`ExecContext::timed`]), charging the primary
+    /// input's chunk and cell counts.
+    fn timed_serial<R>(
+        &self,
+        span: &Span,
+        op: &str,
+        input: &Array,
+        f: impl FnOnce() -> Result<R>,
+    ) -> Result<R> {
+        let chunks = input.chunks().len() as u64;
+        let cells = input.cell_count() as u64;
+        self.with_kernel(span, || {
+            self.ctx.timed(op, || f().map(|r| (r, chunks, cells)))
+        })
     }
 
     /// Installs a wall-clock enhancement helper (convenience for §2.5
@@ -490,28 +749,43 @@ impl Database {
     }
 }
 
+/// The full (1-based) stored domain of a disk-backed schema; errors on
+/// unbounded dimensions (rejected at `put_array_on_disk` time).
+fn full_domain(schema: &ArraySchema) -> Result<HyperRect> {
+    let mut low = Vec::with_capacity(schema.rank());
+    let mut high = Vec::with_capacity(schema.rank());
+    for d in schema.dims() {
+        let upper = d.upper.ok_or_else(|| {
+            Error::Unsupported(format!("scan of unbounded on-disk dimension '{}'", d.name))
+        })?;
+        low.push(1);
+        high.push(upper);
+    }
+    HyperRect::new(low, high)
+}
+
 /// A statement-execution handle over a [`Database`] that borrows its
 /// [`ExecContext`]. Unlike `Database::run`/`query`, a session accumulates
-/// metrics across all statements it executes; drain them with
-/// [`take_metrics`](Self::take_metrics).
+/// traces (and therefore metrics) across all statements it executes; drain
+/// them with [`take_metrics`](Self::take_metrics).
 pub struct Session<'db> {
     db: &'db mut Database,
 }
 
 impl Session<'_> {
-    /// The shared execution context (thread budget + metrics sink).
+    /// The shared execution context (thread budget).
     pub fn ctx(&self) -> &ExecContext {
         &self.db.ctx
     }
 
-    /// Parses, plans, and executes a script without resetting metrics.
+    /// Parses, plans, and executes a script without resetting traces.
     pub fn run(&mut self, text: &str) -> Result<Vec<StmtResult>> {
         let stmts = parser::parse(text)?;
         stmts.into_iter().map(|s| self.db.execute(s)).collect()
     }
 
     /// Runs a single-statement query expecting an array result, without
-    /// resetting metrics.
+    /// resetting traces.
     pub fn query(&mut self, text: &str) -> Result<Array> {
         let stmt = parser::parse_one(text)?;
         self.db.execute(stmt)?.into_array()
@@ -522,14 +796,18 @@ impl Session<'_> {
         self.db.execute(stmt)
     }
 
-    /// Snapshot of the metrics accumulated so far in this session.
+    /// Snapshot of the metrics accumulated so far in this session, derived
+    /// from its retained traces.
     pub fn metrics(&self) -> QueryMetrics {
-        self.db.ctx.metrics()
+        QueryMetrics::from_traces(self.db.traces.iter())
     }
 
-    /// Drains and returns the session's accumulated metrics.
+    /// Drains the session's retained traces, returning the metrics view.
     pub fn take_metrics(&mut self) -> QueryMetrics {
-        self.db.ctx.take_metrics()
+        let m = QueryMetrics::from_traces(self.db.traces.iter());
+        self.db.traces.clear();
+        self.db.ctx.take_metrics();
+        m
     }
 }
 
@@ -559,6 +837,29 @@ mod tests {
              insert into A[2, 2] values (5);",
         )
         .unwrap();
+        db
+    }
+
+    /// A serial database with a 4×4 array stored both in memory (`Tmp`)
+    /// and on disk (`D`).
+    fn disk_db() -> Database {
+        let mut db = Database::with_threads(1);
+        db.run("define H (v = int) (X = 1:4, Y = 1:4); create Tmp as H [4, 4];")
+            .unwrap();
+        for x in 1..=4 {
+            for y in 1..=4 {
+                db.run(&format!(
+                    "insert into Tmp[{x}, {y}] values ({})",
+                    x * 10 + y
+                ))
+                .unwrap();
+            }
+        }
+        let arr = match db.array("Tmp").unwrap() {
+            StoredArray::Plain(a) => a.clone(),
+            other => panic!("expected plain, got {other:?}"),
+        };
+        db.put_array_on_disk("D", &arr).unwrap();
         db
     }
 
@@ -698,6 +999,7 @@ mod tests {
         let r = db.run("scan(A)").unwrap().pop().unwrap();
         assert_eq!(r.kind(), "array");
         assert!(r.as_bool().is_none());
+        assert!(r.as_explain().is_none());
         assert_eq!(r.as_array().unwrap().cell_count(), 4);
         assert!(r.expect_done().is_err());
 
@@ -798,5 +1100,157 @@ mod tests {
         db.run("insert into D[1] values (45.0)").unwrap();
         let out = db.query("scan(D)").unwrap();
         assert_eq!(out.get_f64(0, &[1]), Some(45.0));
+    }
+
+    #[test]
+    fn on_disk_scan_matches_memory() {
+        let mut db = disk_db();
+        let mem = db.query("scan(Tmp)").unwrap();
+        let disk = db.query("scan(D)").unwrap();
+        assert_eq!(mem.cell_count(), disk.cell_count());
+        for x in 1..=4 {
+            for y in 1..=4 {
+                assert_eq!(mem.get_cell(&[x, y]), disk.get_cell(&[x, y]));
+            }
+        }
+        // Probes hit the storage layer; out-of-domain coords are absent.
+        let r = db.run("exists(D, 2, 2); exists(D, 9, 9)").unwrap();
+        assert!(matches!(r[0], StmtResult::Bool(true)));
+        assert!(matches!(r[1], StmtResult::Bool(false)));
+    }
+
+    #[test]
+    fn on_disk_arrays_reject_mutation_and_duplicates() {
+        let mut db = disk_db();
+        assert!(db.run("insert into D[1, 1] values (0)").is_err());
+        let arr = match db.array("Tmp").unwrap() {
+            StoredArray::Plain(a) => a.clone(),
+            other => panic!("expected plain, got {other:?}"),
+        };
+        assert!(db.put_array_on_disk("D", &arr).is_err());
+        // Unbounded dimensions cannot be fully scanned, so they are
+        // rejected at registration time.
+        let mut unbounded = Database::new();
+        unbounded
+            .run("define U (v = int) (X = 1:4, Y); create Ub as U [4, *]")
+            .unwrap();
+        let arr = match unbounded.array("Ub").unwrap() {
+            StoredArray::Plain(a) => a.clone(),
+            other => panic!("expected plain, got {other:?}"),
+        };
+        assert!(unbounded.put_array_on_disk("UbDisk", &arr).is_err());
+    }
+
+    #[test]
+    fn explain_analyze_renders_cross_layer_span_tree() {
+        let mut db = disk_db();
+        let report = db
+            .run("explain analyze aggregate(filter(scan(D), v > 20), {Y}, sum(*))")
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(report.kind(), "explain");
+        let text = report.as_explain().unwrap().to_string();
+        // The user-facing report spans all three layers and carries wall
+        // times and kernel events.
+        for needle in [
+            "statement [query]",
+            "aggregate [query]",
+            "filter [query]",
+            "scan [query]",
+            "read_region [storage]",
+            "wall=",
+            "· kernel",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+
+        // Golden rendering: with times suppressed the tree is byte-stable.
+        // bytes_read comes from an independent read of the same region.
+        let bytes_read = match db.array("D").unwrap() {
+            StoredArray::OnDisk(mgr) => {
+                let region = HyperRect::new(vec![1, 1], vec![4, 4]).unwrap();
+                let (_, stats) = mgr.read_region(&region, ReadOptions::serial()).unwrap();
+                stats.bytes_read
+            }
+            other => panic!("expected on-disk, got {other:?}"),
+        };
+        let expected = format!(
+            "statement [query] aql=\"aggregate(filter(scan(D), (v > 20)), {{Y}}, sum(*))\"\n\
+             └─ aggregate [query] chunks_out=1 cells_out=4\n   \
+             └─ filter [query] chunks_out=1 cells_out=16\n      \
+             └─ scan [query] array=\"D\" chunks_out=1 cells_out=16\n         \
+             └─ read_region [storage] buckets=1 bytes_read={bytes_read} \
+             cells_decoded=16 cells_returned=16 parallel=false\n"
+        );
+        let got = db.last_trace().unwrap().render_tree(&RenderOptions {
+            times: false,
+            events: false,
+        });
+        assert_eq!(got, expected);
+
+        // Per-layer self-time attribution covers query, core (kernel
+        // events), and storage.
+        let layers: Vec<&str> = db
+            .last_trace()
+            .unwrap()
+            .layer_totals()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        for layer in ["query", "core", "storage"] {
+            assert!(
+                layers.contains(&layer),
+                "missing layer {layer} in {layers:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_analyze_unwraps_nesting_and_propagates_errors() {
+        let mut db = db_with_h();
+        let r = db
+            .run("explain analyze explain analyze scan(A)")
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert!(r.as_explain().unwrap().contains("scan [query]"));
+        // Errors in the traced statement surface as errors, and the failed
+        // trace is still retained with an error attribute.
+        assert!(db.run("explain analyze scan(nope)").is_err());
+        let root = &db.last_trace().unwrap().spans[0];
+        assert!(root.attr("error").is_some());
+    }
+
+    #[test]
+    fn slow_query_log_threshold_and_capture() {
+        let mut db = db_with_h();
+        assert!(db.slow_queries().is_empty());
+        db.set_slow_query_threshold(Duration::ZERO);
+        db.query("filter(A, v > 1)").unwrap();
+        assert_eq!(db.slow_queries().len(), 1);
+        let e = &db.slow_queries()[0];
+        assert_eq!(e.label, "filter(scan(A), (v > 1))");
+        assert!(e.trace.spans.iter().any(|s| s.name == "filter"));
+        // Raising the threshold stops retention; the log itself survives
+        // run/query resets.
+        db.set_slow_query_threshold(Duration::from_secs(3600));
+        db.query("scan(A)").unwrap();
+        assert_eq!(db.slow_queries().len(), 1);
+    }
+
+    #[test]
+    fn traces_capture_statement_spans_and_reset_per_run() {
+        let mut db = db_with_h();
+        db.run("scan(A); exists(A, 1, 1)").unwrap();
+        assert_eq!(db.traces().len(), 2);
+        let aql: Vec<&str> = db
+            .traces()
+            .iter()
+            .filter_map(|t| t.spans[0].attr("aql").and_then(|v| v.as_str()))
+            .collect();
+        assert_eq!(aql, ["scan(A)", "exists(A, 1, 1)"]);
+        db.run("scan(A)").unwrap();
+        assert_eq!(db.traces().len(), 1);
     }
 }

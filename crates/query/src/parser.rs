@@ -115,6 +115,12 @@ impl Parser {
     // ---- statements ----------------------------------------------------
 
     fn statement(&mut self) -> Result<Stmt> {
+        if self.peek().is_kw("explain") && self.peek2().is_kw("analyze") {
+            self.next();
+            self.next();
+            let inner = self.statement()?;
+            return Ok(Stmt::ExplainAnalyze(Box::new(inner)));
+        }
         if self.peek().is_kw("define") {
             return self.define();
         }

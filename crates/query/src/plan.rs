@@ -21,6 +21,27 @@ use scidb_core::ops::structural::{DimCond, DimPredicate};
 use scidb_core::schema::ArraySchema;
 use scidb_core::value::{Scalar, ScalarType};
 
+/// Canonical plan-node name for an algebra expression, used to label
+/// executor spans (one span per plan node in `explain analyze`).
+pub fn node_name(e: &AExpr) -> &'static str {
+    match e {
+        AExpr::Scan(_) => "scan",
+        AExpr::Subsample { .. } => "subsample",
+        AExpr::Filter { .. } => "filter",
+        AExpr::Aggregate { .. } => "aggregate",
+        AExpr::Sjoin { .. } => "sjoin",
+        AExpr::Cjoin { .. } => "cjoin",
+        AExpr::Apply { .. } => "apply",
+        AExpr::Project { .. } => "project",
+        AExpr::Reshape { .. } => "reshape",
+        AExpr::Regrid { .. } => "regrid",
+        AExpr::Concat { .. } => "concat",
+        AExpr::Cross { .. } => "cross",
+        AExpr::AddDim { .. } => "adddim",
+        AExpr::Slice { .. } => "slice",
+    }
+}
+
 // ---- dimension predicate lowering -------------------------------------------
 
 /// Lowers a parsed value expression to a [`DimPredicate`], enforcing the

@@ -16,9 +16,10 @@ use scidb_core::error::{Error, Result};
 use scidb_core::exec::par_map_threads;
 use scidb_core::geometry::HyperRect;
 use scidb_core::schema::ArraySchema;
+use scidb_obs::{Span, Stopwatch};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Catalog entry for one bucket.
 #[derive(Debug, Clone)]
@@ -107,13 +108,17 @@ pub struct ReadStats {
 }
 
 impl ReadStats {
-    /// The slowest single bucket decode.
+    /// The slowest single bucket decode. Always `<= elapsed`: every bucket
+    /// decode happens inside the read window regardless of parallelism.
     pub fn max_chunk_time(&self) -> Duration {
         self.chunk_times.iter().copied().max().unwrap_or_default()
     }
 
-    /// Summed per-bucket decode time (exceeds `elapsed` under parallel
-    /// decode — that surplus is the parallel speedup).
+    /// Summed per-bucket decode time. Under serial decode the buckets are
+    /// decoded back-to-back inside the read window, so the sum is `<=
+    /// elapsed`; only under parallel decode may it exceed `elapsed`, and
+    /// that surplus is the parallel speedup. Tested as an invariant by
+    /// `decode_time_invariants` below.
     pub fn total_chunk_time(&self) -> Duration {
         self.chunk_times.iter().sum()
     }
@@ -233,12 +238,12 @@ impl StorageManager {
     /// assembly into the output array is serial, in bucket-key order, so the
     /// result is identical at every thread count.
     pub fn read_region(&self, region: &HyperRect, opts: ReadOptions) -> Result<(Array, ReadStats)> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         self.check_region(region)?;
         let keys = self.buckets_in(region);
         // lint: allow(kernel) — bucket I/O fan-out, not an operator kernel; merged serially in bucket-key order below
         let decoded = par_map_threads(opts.resolved_threads(), &keys, |&key| {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let chunk = self.read_bucket(key)?;
             Ok::<_, Error>((chunk, t.elapsed()))
         });
@@ -259,7 +264,45 @@ impl StorageManager {
             }
         }
         stats.elapsed = start.elapsed();
+        let reg = scidb_obs::global();
+        reg.counter("scidb.storage.reads").inc(1);
+        reg.counter("scidb.storage.buckets_read")
+            .inc(stats.buckets as u64);
+        reg.counter("scidb.storage.bytes_read")
+            .inc(stats.bytes_read);
+        reg.histogram("scidb.storage.read_wall_us")
+            .record(stats.elapsed.as_micros() as u64);
         Ok((out, stats))
+    }
+
+    /// [`read_region`](Self::read_region) with the read recorded as a
+    /// `read_region` child span of `parent` — this is how a statement trace
+    /// gains its storage level. The span carries the [`ReadStats`] as typed
+    /// attributes (the stats stay the single timing source; the span is a
+    /// view of them) and its wall time is the stats' `elapsed`.
+    pub fn read_region_traced(
+        &self,
+        region: &HyperRect,
+        opts: ReadOptions,
+        parent: &Span,
+    ) -> Result<(Array, ReadStats)> {
+        let span = parent.child("read_region", scidb_obs::LAYER_STORAGE);
+        let res = self.read_region(region, opts);
+        match &res {
+            Ok((_, stats)) => {
+                span.set_attr("buckets", stats.buckets);
+                span.set_attr("bytes_read", stats.bytes_read);
+                span.set_attr("cells_decoded", stats.cells_decoded);
+                span.set_attr("cells_returned", stats.cells_returned);
+                span.set_attr("decode_total", stats.total_chunk_time());
+                span.set_attr("parallel", opts.parallel);
+            }
+            Err(e) => {
+                span.set_attr("error", e.to_string());
+            }
+        }
+        span.finish();
+        res
     }
 
     /// Validates a read region against the schema: matching rank, 1-based
@@ -420,6 +463,72 @@ mod tests {
         assert_eq!(stats.buckets, 0);
         assert!(mgr.read_bucket(keys[0]).is_err());
         assert!(mgr.delete_bucket(keys[0]).is_err());
+    }
+
+    #[test]
+    fn decode_time_invariants() {
+        // Regression for the doc/behavior mismatch on total_chunk_time():
+        // per-bucket decode happens inside the read window, so under serial
+        // decode the *sum* is bounded by elapsed, and at any thread count
+        // the *max* is bounded by elapsed. Only a parallel decode may push
+        // the sum past elapsed (that surplus is the speedup).
+        let (mut mgr, s) = manager(32, 4); // 64 buckets
+        mgr.store_array(&filled_array(&s)).unwrap();
+        let region = HyperRect::new(vec![1, 1], vec![32, 32]).unwrap();
+        let (_, serial) = mgr.read_region(&region, ReadOptions::serial()).unwrap();
+        assert_eq!(serial.chunk_times.len(), 64);
+        assert!(
+            serial.total_chunk_time() <= serial.elapsed,
+            "serial decode: sum {:?} must not exceed elapsed {:?}",
+            serial.total_chunk_time(),
+            serial.elapsed
+        );
+        for opts in [ReadOptions::serial(), ReadOptions::parallel_with(4)] {
+            let (_, stats) = mgr.read_region(&region, opts).unwrap();
+            assert!(
+                stats.max_chunk_time() <= stats.elapsed,
+                "max {:?} must not exceed elapsed {:?} (parallel={})",
+                stats.max_chunk_time(),
+                stats.elapsed,
+                opts.parallel
+            );
+        }
+    }
+
+    #[test]
+    fn traced_read_attaches_stats_to_span() {
+        let (mut mgr, s) = manager(16, 4);
+        mgr.store_array(&filled_array(&s)).unwrap();
+        let trace = scidb_obs::Trace::new();
+        let root = trace.root("statement", scidb_obs::LAYER_QUERY);
+        let region = HyperRect::new(vec![1, 1], vec![16, 16]).unwrap();
+        let (out, stats) = mgr
+            .read_region_traced(&region, ReadOptions::serial(), &root)
+            .unwrap();
+        assert_eq!(out.cell_count(), 256);
+        root.finish();
+        let td = trace.finish();
+        assert_eq!(td.spans.len(), 2);
+        let read = &td.spans[1];
+        assert_eq!(read.name, "read_region");
+        assert_eq!(read.layer, scidb_obs::LAYER_STORAGE);
+        assert_eq!(read.parent, Some(td.spans[0].id));
+        let get = |k: &str| read.attr(k).and_then(scidb_obs::AttrValue::as_u64);
+        assert_eq!(get("buckets"), Some(stats.buckets as u64));
+        assert_eq!(get("bytes_read"), Some(stats.bytes_read));
+        assert_eq!(get("cells_returned"), Some(stats.cells_returned as u64));
+        assert!(get("bytes_read").unwrap() > 0);
+
+        // Error reads still finish the span, with an error attribute.
+        let trace = scidb_obs::Trace::new();
+        let root = trace.root("statement", scidb_obs::LAYER_QUERY);
+        let bad = HyperRect::new(vec![1, 1], vec![99, 99]).unwrap();
+        assert!(mgr
+            .read_region_traced(&bad, ReadOptions::serial(), &root)
+            .is_err());
+        root.finish();
+        let td = trace.finish();
+        assert!(td.spans[1].attr("error").is_some());
     }
 
     #[test]

@@ -69,6 +69,7 @@ fn rule_from_code(code: &str) -> Option<Rule> {
         "R2" => Some(Rule::R2),
         "R3" => Some(Rule::R3),
         "R4" => Some(Rule::R4),
+        "R5" => Some(Rule::R5),
         _ => None,
     }
 }

@@ -1,13 +1,14 @@
 //! `cargo xtask analyze` — the SciDB workspace invariant checker.
 //!
 //! A dependency-free static analyzer (no `syn`, no `serde`: the build
-//! environment is hermetic) enforcing the four workspace rules described
+//! environment is hermetic) enforcing the five workspace rules described
 //! in DESIGN.md §"Static analysis":
 //!
 //! * R1 — panic-free library code,
 //! * R2 — the parallel-kernel contract,
-//! * R3 — concurrency containment in `core::exec`,
-//! * R4 — Result-typed public API.
+//! * R3 — concurrency containment in `core::exec` (and the `obs` substrate),
+//! * R4 — Result-typed public API,
+//! * R5 — observable timing (no raw `Instant::now()` in query/storage/grid).
 //!
 //! Violations are compared against the committed baseline
 //! (`crates/xtask/analyze.baseline`): new ones fail, grandfathered ones

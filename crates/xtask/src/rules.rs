@@ -1,4 +1,4 @@
-//! The SciDB-specific workspace invariants (R1–R4).
+//! The SciDB-specific workspace invariants (R1–R5).
 //!
 //! * **R1** — no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in
 //!   non-test code of the library crates (`core`, `storage`, `query`,
@@ -16,6 +16,12 @@
 //!   error type; `Option`-swallowed errors (`.ok()` inside a
 //!   `-> Option<…>` function) are violations. Escape hatch:
 //!   `// lint: allow(option-api) — justification`.
+//! * **R5** — no raw `Instant::now()` in non-test code of `query`,
+//!   `storage`, or `grid`; timing flows through the `scidb-obs` substrate
+//!   (`Stopwatch`, spans) or `ExecContext::timed` so every measurement is
+//!   attributable in traces. `crates/obs` and `core::exec` define the
+//!   sanctioned clocks. Escape hatch:
+//!   `// lint: allow(timing) — justification`.
 
 use crate::scan::SourceFile;
 use std::fmt;
@@ -32,6 +38,8 @@ pub enum Rule {
     R3,
     /// Result-typed public API.
     R4,
+    /// Observable timing: no raw `Instant::now()` outside the substrate.
+    R5,
 }
 
 impl Rule {
@@ -42,6 +50,7 @@ impl Rule {
             Rule::R2 => "R2",
             Rule::R3 => "R3",
             Rule::R4 => "R4",
+            Rule::R5 => "R5",
         }
     }
 
@@ -52,6 +61,7 @@ impl Rule {
             Rule::R2 => "parallel-kernel contract",
             Rule::R3 => "concurrency containment",
             Rule::R4 => "Result-typed public API",
+            Rule::R5 => "observable timing",
         }
     }
 
@@ -62,6 +72,7 @@ impl Rule {
             Rule::R2 => "kernel",
             Rule::R3 => "concurrency",
             Rule::R4 => "option-api",
+            Rule::R5 => "timing",
         }
     }
 }
@@ -107,6 +118,13 @@ pub const R1_CRATES: &[&str] = &["core", "storage", "query", "grid", "provenance
 /// Crates whose public API must be Result-typed (R4).
 pub const R4_CRATES: &[&str] = &["core", "query"];
 
+/// Crates whose non-test code must time through the obs substrate (R5).
+pub const R5_CRATES: &[&str] = &["query", "storage", "grid"];
+
+/// The telemetry substrate: owns its own locks (R3) and the sanctioned
+/// clock (R5) by design, so both rules skip it.
+pub const OBS_CRATE: &str = "obs";
+
 /// The one file allowed to own threads and locks (R3) and to define the
 /// parallel map primitives (R2).
 pub const EXEC_FILE: &str = "crates/core/src/exec.rs";
@@ -150,6 +168,7 @@ pub fn check_all(ws: &Workspace) -> Vec<Diagnostic> {
     diags.extend(check_r2(ws));
     diags.extend(check_r3(ws));
     diags.extend(check_r4(ws));
+    diags.extend(check_r5(ws));
     diags.sort_by(|a, b| (a.rule, &a.path, a.line, a.col).cmp(&(b.rule, &b.path, b.line, b.col)));
     diags
 }
@@ -403,7 +422,7 @@ fn manifest_diag(e: &ManifestEntry, message: String) -> Diagnostic {
 pub fn check_r3(ws: &Workspace) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for file in &ws.files {
-        if file.path.as_path() == Path::new(EXEC_FILE) {
+        if file.path.as_path() == Path::new(EXEC_FILE) || crate_of(&file.path) == Some(OBS_CRATE) {
             continue;
         }
         let mut hits: Vec<(usize, &str)> = Vec::new();
@@ -479,6 +498,31 @@ pub fn check_r4(ws: &Workspace) -> Vec<Diagnostic> {
                     }
                 }
             }
+        }
+    }
+    diags
+}
+
+/// R5: timing in `query`/`storage`/`grid` goes through the obs substrate.
+pub fn check_r5(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if !crate_of(&file.path).is_some_and(|c| R5_CRATES.contains(&c)) {
+            continue;
+        }
+        for off in file.find_marker("Instant::now(", true) {
+            if file.in_test(off) {
+                continue;
+            }
+            diags.extend(marker_diag(
+                file,
+                Rule::R5,
+                off,
+                "raw `Instant::now()` outside the telemetry substrate".to_string(),
+                "time through `scidb_obs::Stopwatch`, a span, or `ExecContext::timed` \
+                 so the measurement is attributable; if a raw clock is genuinely \
+                 needed, annotate `// lint: allow(timing) — why`",
+            ));
         }
     }
     diags
@@ -574,17 +618,48 @@ mod tests {
     }
 
     #[test]
-    fn r3_flags_spawn_and_mutex_but_not_exec() {
+    fn r3_flags_spawn_and_mutex_but_not_exec_or_obs() {
         let src = "use std::sync::Mutex;\nfn go() { std::thread::spawn(|| {}); }\n";
         let d = check_r3(&ws(
             vec![
                 ("crates/storage/src/a.rs", src),
                 ("crates/core/src/exec.rs", src),
+                ("crates/obs/src/span.rs", src),
             ],
             None,
         ));
         assert_eq!(d.len(), 2, "{d:?}");
         assert!(d.iter().all(|x| x.path.contains("storage")));
+    }
+
+    #[test]
+    fn r5_flags_raw_instant_in_scoped_crates_only() {
+        let src = "fn t() { let s = std::time::Instant::now(); }\n\
+                   #[cfg(test)]\nmod tests { fn u() { let s = Instant::now(); } }\n";
+        let d = check_r5(&ws(
+            vec![
+                ("crates/storage/src/a.rs", src),
+                ("crates/query/src/b.rs", src),
+                ("crates/obs/src/span.rs", src),
+                ("crates/core/src/exec.rs", src),
+                ("crates/bench/src/report.rs", src),
+            ],
+            None,
+        ));
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == Rule::R5));
+        assert!(d.iter().any(|x| x.path.contains("storage")));
+        assert!(d.iter().any(|x| x.path.contains("query")));
+    }
+
+    #[test]
+    fn r5_allow_requires_justification() {
+        let src = "fn a() {\n\
+                   let t = Instant::now(); // lint: allow(timing) — startup clock, pre-trace\n\
+                   let u = Instant::now(); // lint: allow(timing)\n}\n";
+        let d = check_r5(&ws(vec![("crates/grid/src/a.rs", src)], None));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("without a justification"), "{d:?}");
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn main() {
                     match r {
                         StmtResult::Done(msg) => println!("ok: {msg}"),
                         StmtResult::Bool(b) => println!("{b}"),
+                        StmtResult::Explain(report) => print!("{report}"),
                         StmtResult::Array(a) => {
                             println!(
                                 "array '{}': {} cells, rank {}",

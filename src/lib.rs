@@ -31,6 +31,7 @@
 pub use scidb_core as core;
 pub use scidb_grid as grid;
 pub use scidb_insitu as insitu;
+pub use scidb_obs as obs;
 pub use scidb_provenance as provenance;
 pub use scidb_query as query;
 pub use scidb_relational as relational;

@@ -188,6 +188,98 @@ fn real_threads_preserve_order_under_skewed_delays() {
     }
 }
 
+/// Observability under the same scoped-thread map: the span tree rendered
+/// without times is byte-identical at every thread count, and the kernel
+/// events recorded by concurrent workers are lossless (same count, same
+/// aggregate chunk/cell totals — only their interleaving order may vary).
+#[test]
+fn span_tree_is_deterministic_under_parallel_kernels() {
+    use scidb_obs::{RenderOptions, Trace, LAYER_QUERY};
+    use std::time::Duration;
+
+    let items: Vec<u64> = (0..32).collect();
+    let run = |threads: usize| -> (String, usize, u64, u64) {
+        let ctx = ExecContext::with_threads(threads);
+        let trace = Trace::new();
+        let root = trace.root("statement", LAYER_QUERY);
+        let node = root.child("map", LAYER_QUERY);
+        let prev = ctx.set_current_span(Some(node.clone()));
+        let out = ctx.par_map(&items, |&x| {
+            ctx.record("op", 1, x, Duration::from_micros(1));
+            x
+        });
+        ctx.set_current_span(prev);
+        node.finish();
+        root.finish();
+        let data = trace.finish();
+        assert_eq!(out, items);
+        let events = data.kernel_events();
+        assert!(events.iter().all(|e| e.op == "op"));
+        let chunks: u64 = events.iter().map(|e| e.chunks).sum();
+        let cells: u64 = events.iter().map(|e| e.cells).sum();
+        let tree = data.render_tree(&RenderOptions {
+            times: false,
+            events: false,
+        });
+        (tree, events.len(), chunks, cells)
+    };
+
+    let (serial_tree, serial_n, serial_chunks, serial_cells) = run(1);
+    assert_eq!(serial_tree, "statement [query]\n└─ map [query]\n");
+    assert_eq!(serial_n, 32);
+    for threads in [2, 4] {
+        let (tree, n, chunks, cells) = run(threads);
+        assert_eq!(tree, serial_tree, "tree differs at threads={threads}");
+        assert_eq!(n, serial_n, "events lost at threads={threads}");
+        assert_eq!(chunks, serial_chunks);
+        assert_eq!(cells, serial_cells);
+    }
+}
+
+/// Child spans opened from concurrent workers all nest under the right
+/// parent, carry their attributes, and come back sorted by creation id.
+#[test]
+fn parallel_child_spans_nest_under_the_right_parent() {
+    use scidb_obs::{Trace, LAYER_GRID, LAYER_QUERY};
+
+    let items: Vec<u64> = (0..16).collect();
+    for threads in [1, 2, 4] {
+        let ctx = ExecContext::with_threads(threads);
+        let trace = Trace::new();
+        let root = trace.root("statement", LAYER_QUERY);
+        ctx.par_map(&items, |&x| {
+            let s = root.child("task", LAYER_GRID);
+            s.set_attr("item", x);
+            s.finish();
+            x
+        });
+        root.finish();
+        let data = trace.finish();
+        let root_id = data
+            .spans
+            .iter()
+            .find(|s| s.name == "statement")
+            .expect("root span present")
+            .id;
+        let children: Vec<_> = data
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(root_id))
+            .collect();
+        assert_eq!(children.len(), items.len(), "threads={threads}");
+        let mut seen: Vec<u64> = children
+            .iter()
+            .filter_map(|s| s.attr("item").and_then(|v| v.as_u64()))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, items, "threads={threads}");
+        assert!(
+            data.spans.windows(2).all(|w| w[0].id < w[1].id),
+            "spans not sorted by creation id at threads={threads}"
+        );
+    }
+}
+
 /// Errors must also be deterministic: `try_par_map` reports the
 /// first-by-index failure regardless of schedule.
 #[test]
