@@ -35,6 +35,14 @@ pub enum Error {
     Storage(String),
     /// The operation is valid but unsupported in this build.
     Unsupported(String),
+    /// Every replica of some data is gone: a distributed read touched cells
+    /// whose home node and all surviving copies are down (§2.11–§2.13 grid
+    /// failure model). Carries the number of cells that could not be served
+    /// so callers can report partial-loss blast radius.
+    Unavailable {
+        /// Cells for which no live copy exists.
+        lost_cells: usize,
+    },
 }
 
 impl Error {
@@ -67,6 +75,11 @@ impl Error {
     pub fn storage(msg: impl Into<String>) -> Self {
         Error::Storage(msg.into())
     }
+
+    /// Convenience constructor for unavailable-data errors.
+    pub fn unavailable(lost_cells: usize) -> Self {
+        Error::Unavailable { lost_cells }
+    }
 }
 
 impl fmt::Display for Error {
@@ -80,6 +93,9 @@ impl fmt::Display for Error {
             Error::Parse(m) => write!(f, "parse error: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Unavailable { lost_cells } => {
+                write!(f, "unavailable: {lost_cells} cell(s) have no live replica")
+            }
         }
     }
 }
@@ -109,6 +125,10 @@ mod tests {
         assert_eq!(Error::parse("bad").to_string(), "parse error: bad");
         assert_eq!(Error::storage("bad").to_string(), "storage error: bad");
         assert_eq!(Error::Unsupported("x".into()).to_string(), "unsupported: x");
+        assert_eq!(
+            Error::unavailable(3).to_string(),
+            "unavailable: 3 cell(s) have no live replica"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The shared-nothing grid simulator (§2.7).
+//! The shared-nothing grid simulator (§2.7, §2.11–§2.13).
 //!
 //! A [`Cluster`] holds distributed arrays sharded over `n` simulated nodes.
 //! Placement follows an [`EpochPartitioning`] — data is placed by the
@@ -12,8 +12,24 @@
 //!
 //! Distributed aggregation uses the mergeable partial states of
 //! [`scidb_core::udf::AggState`], the standard shared-nothing strategy.
+//!
+//! # Fault model
+//!
+//! Nodes carry a [`NodeState`] (`Up`/`Degraded`/`Down`), driven either by a
+//! deterministic [`FaultPlan`] keyed to the cluster's logical operation
+//! index, or directly via [`Cluster::fail_node`] / [`Cluster::recover_node`].
+//! Arrays created with [`Cluster::create_replicated_array`] store every cell
+//! on all nodes named by a [`ReplicatedPlacement`]; distributed reads fail
+//! over from a down home node to a surviving replica, retry flaky nodes
+//! with bounded attempt-counted backoff, and return
+//! [`Error::Unavailable`] only when every copy of a requested cell is
+//! gone. Recovery runs a re-replication pass that restores the replication
+//! factor. Failover work is recorded as `failover`/`retry`/`degraded`
+//! events on the attached `scidb-obs` span, so `explain analyze` shows it.
 
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, NodeState, MAX_RETRIES};
 use crate::partition::{EpochPartitioning, PartitionScheme};
+use crate::replication::ReplicatedPlacement;
 use scidb_core::array::Array;
 use scidb_core::error::{Error, Result};
 use scidb_core::geometry::HyperRect;
@@ -21,8 +37,11 @@ use scidb_core::ops::structural;
 use scidb_core::registry::Registry;
 use scidb_core::schema::ArraySchema;
 use scidb_core::value::{Record, Value};
-use scidb_obs::{AttrValue, Span, LAYER_GRID};
-use std::collections::HashMap;
+use scidb_obs::{
+    AttrValue, RenderOptions, Span, Trace, EVENT_DEGRADED, EVENT_FAILOVER, EVENT_NODE,
+    EVENT_REREPLICATE, EVENT_RETRY, LAYER_GRID,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Metering for one distributed operation.
@@ -30,12 +49,16 @@ use std::sync::Arc;
 pub struct ExecStats {
     /// Nodes that scanned data.
     pub nodes_touched: usize,
-    /// Cells scanned across nodes.
+    /// Cells scanned across nodes (inflated by slow-node factors).
     pub cells_scanned: usize,
     /// Cells returned to the coordinator.
     pub cells_returned: usize,
     /// Cells shipped between nodes (join redistribution / rebalance).
     pub cells_moved: usize,
+    /// Cells served from a surviving replica because the home was down.
+    pub failovers: usize,
+    /// Transient-failure retries performed against flaky nodes.
+    pub retries: usize,
 }
 
 /// One array sharded across the cluster.
@@ -44,6 +67,14 @@ struct DistributedArray {
     schema: Arc<ArraySchema>,
     partitioning: EpochPartitioning,
     shards: Vec<Array>,
+    /// k-copy / overlap placement for fault tolerance (replicated arrays).
+    replication: Option<ReplicatedPlacement>,
+    /// Cells whose every copy died with a crashed node — the permanent-loss
+    /// ledger behind [`Error::Unavailable`].
+    lost: BTreeSet<Vec<i64>>,
+    /// The scheme under which every cell currently sits at its home, when
+    /// known — lets [`Cluster::rebalance`] short-circuit the no-op case.
+    clean_under: Option<PartitionScheme>,
     /// Arrival time of the most recent load (governs which epoch places
     /// new data).
     last_load_time: i64,
@@ -58,13 +89,27 @@ pub struct Cluster {
     node_load: Vec<f64>,
     /// Total cells shipped between nodes since creation.
     total_cells_moved: usize,
+    /// Per-node health.
+    node_states: Vec<NodeState>,
+    /// Per-node slowdown factor (1 = full speed).
+    slow_factor: Vec<u32>,
+    /// Remaining transient failures a flaky node will inject.
+    flaky_budget: Vec<u32>,
+    /// Installed fault schedule, keyed by logical operation index.
+    fault_plan: Option<FaultPlan>,
+    /// Events of `fault_plan` already fired.
+    fault_cursor: usize,
+    /// Logical operation counter: every distributed operation (each
+    /// workload query counts separately) increments it — the deterministic
+    /// clock fault schedules are keyed to.
+    op_index: u64,
     /// Optional telemetry parent: when attached, distributed operations
     /// open child spans tagged with per-node events.
     span: Option<Span>,
 }
 
 impl Cluster {
-    /// Creates a cluster of `n_nodes` empty nodes.
+    /// Creates a cluster of `n_nodes` empty, healthy nodes.
     pub fn new(n_nodes: usize) -> Self {
         assert!(n_nodes > 0, "cluster needs at least one node");
         Cluster {
@@ -72,6 +117,12 @@ impl Cluster {
             arrays: HashMap::new(),
             node_load: vec![0.0; n_nodes],
             total_cells_moved: 0,
+            node_states: vec![NodeState::Up; n_nodes],
+            slow_factor: vec![1; n_nodes],
+            flaky_budget: vec![0; n_nodes],
+            fault_plan: None,
+            fault_cursor: 0,
+            op_index: 0,
             span: None,
         }
     }
@@ -83,7 +134,8 @@ impl Cluster {
 
     /// Attaches a telemetry parent span: subsequent distributed operations
     /// open `grid.*` child spans under it, each tagged with one `node`
-    /// event per node that did work (so fan-out is attributable per node).
+    /// event per node that did work (so fan-out is attributable per node)
+    /// plus `failover`/`retry`/`degraded` events for recovery work.
     pub fn attach_span(&mut self, span: Span) {
         self.span = Some(span);
     }
@@ -106,7 +158,7 @@ impl Cluster {
     fn node_event(span: &Option<Span>, node: usize, cells: usize) {
         if let Some(s) = span {
             s.add_event(
-                "node",
+                EVENT_NODE,
                 vec![
                     ("node".to_string(), AttrValue::Uint(node as u64)),
                     ("cells".to_string(), AttrValue::Uint(cells as u64)),
@@ -115,12 +167,304 @@ impl Cluster {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Fault machinery
+    // ------------------------------------------------------------------
+
+    /// Installs a deterministic fault schedule. Events fire as the logical
+    /// operation counter passes their `at_op`; installing resets the
+    /// schedule cursor (already-executed operation indices never re-fire —
+    /// events scheduled at or before the current index fire on the next
+    /// operation).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+        self.fault_cursor = 0;
+    }
+
+    /// Removes the installed fault schedule (node states are untouched).
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault_cursor = 0;
+        self.fault_plan.take()
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Per-node health.
+    pub fn node_states(&self) -> &[NodeState] {
+        &self.node_states
+    }
+
+    /// Health of one node.
+    pub fn node_state(&self, node: usize) -> Option<NodeState> {
+        self.node_states.get(node).copied()
+    }
+
+    /// Logical operations executed so far (the clock fault plans key on).
+    pub fn op_index(&self) -> u64 {
+        self.op_index
+    }
+
+    /// Fail-stops a node: its state becomes [`NodeState::Down`] and its
+    /// shard data is lost (the GFS-era disk-loss model). Cells whose last
+    /// copy lived there enter the permanent-loss ledger and subsequent
+    /// reads touching them return [`Error::Unavailable`]. Returns the
+    /// number of cells wiped on the node.
+    pub fn fail_node(&mut self, node: usize) -> Result<usize> {
+        if node >= self.n_nodes {
+            return Err(Error::dimension(format!(
+                "node {node} out of range (cluster has {})",
+                self.n_nodes
+            )));
+        }
+        let span = self.op_span("grid.fail_node", "*");
+        let wiped = self.crash_node(node);
+        if let Some(s) = &span {
+            s.set_attr("node", node);
+            s.set_attr("cells_wiped", wiped);
+            s.finish();
+        }
+        Ok(wiped)
+    }
+
+    /// Recovers a node: state returns to [`NodeState::Up`] (slowdown and
+    /// flakiness cleared) and a re-replication pass restores the
+    /// replication factor of every replicated array — each cell is copied
+    /// back to every live placement node missing it. Returns the number of
+    /// cells re-replicated.
+    pub fn recover_node(&mut self, node: usize) -> Result<usize> {
+        if node >= self.n_nodes {
+            return Err(Error::dimension(format!(
+                "node {node} out of range (cluster has {})",
+                self.n_nodes
+            )));
+        }
+        let span = self.op_span("grid.recover_node", "*");
+        let copied = self.revive_node(node)?;
+        if let Some(s) = &span {
+            s.set_attr("node", node);
+            s.set_attr("cells_rereplicated", copied);
+            s.add_event(
+                EVENT_REREPLICATE,
+                vec![
+                    ("node".to_string(), AttrValue::Uint(node as u64)),
+                    ("cells".to_string(), AttrValue::Uint(copied as u64)),
+                ],
+            );
+            s.finish();
+        }
+        Ok(copied)
+    }
+
+    /// Fail-stop: mark down, wipe the shard, ledger cells that lost their
+    /// last copy.
+    fn crash_node(&mut self, node: usize) -> usize {
+        self.node_states[node] = NodeState::Down;
+        self.slow_factor[node] = 1;
+        self.flaky_budget[node] = 0;
+        let mut wiped = 0usize;
+        for da in self.arrays.values_mut() {
+            let cells: Vec<Vec<i64>> = da.shards[node].cells().map(|(c, _)| c).collect();
+            for coords in &cells {
+                let survives = da
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .any(|(m, s)| m != node && s.exists(coords));
+                if !survives {
+                    da.lost.insert(coords.clone());
+                }
+            }
+            wiped += cells.len();
+            da.shards[node] = Array::from_arc(Arc::clone(&da.schema));
+        }
+        wiped
+    }
+
+    /// Recovery: mark up, clear degradation, restore replication factor.
+    fn revive_node(&mut self, node: usize) -> Result<usize> {
+        self.node_states[node] = NodeState::Up;
+        self.slow_factor[node] = 1;
+        self.flaky_budget[node] = 0;
+        self.rereplicate()
+    }
+
+    /// Copies every live cell of every replicated array to each live
+    /// placement node missing it, restoring the replication factor after a
+    /// recovery. Returns cells copied (counted as network movement).
+    fn rereplicate(&mut self) -> Result<usize> {
+        let mut copied = 0usize;
+        let states = self.node_states.clone();
+        for da in self.arrays.values_mut() {
+            let Some(rp) = da.replication.clone() else {
+                continue;
+            };
+            let mut live: BTreeMap<Vec<i64>, Record> = BTreeMap::new();
+            for shard in &da.shards {
+                for (coords, rec) in shard.cells() {
+                    live.entry(coords).or_insert(rec);
+                }
+            }
+            for (coords, rec) in live {
+                for p in rp.placements(&coords) {
+                    if states[p] == NodeState::Down || da.shards[p].exists(&coords) {
+                        continue;
+                    }
+                    da.shards[p].set_cell(&coords, rec.clone())?;
+                    copied += 1;
+                }
+            }
+        }
+        self.total_cells_moved += copied;
+        scidb_obs::global()
+            .counter("scidb.grid.cells_rereplicated")
+            .inc(copied as u64);
+        Ok(copied)
+    }
+
+    /// Starts one logical operation: advances the operation clock, fires
+    /// due fault events, and computes per-node availability for this
+    /// operation — retrying flaky nodes with bounded, attempt-counted
+    /// backoff and recording `retry`/`degraded` events on `span`. Returns
+    /// the availability mask and the retries performed.
+    fn op_begin(&mut self, span: &Option<Span>) -> Result<(Vec<bool>, usize)> {
+        self.op_index += 1;
+        self.apply_due_faults()?;
+        let mut avail = vec![false; self.n_nodes];
+        let mut retries = 0usize;
+        for (n, up) in avail.iter_mut().enumerate() {
+            match self.node_states[n] {
+                NodeState::Down => {}
+                NodeState::Up => *up = true,
+                NodeState::Degraded => {
+                    let mut attempt = 0u32;
+                    while self.flaky_budget[n] > 0 && attempt < MAX_RETRIES {
+                        self.flaky_budget[n] -= 1;
+                        attempt += 1;
+                        retries += 1;
+                        if let Some(s) = span {
+                            s.add_event(
+                                EVENT_RETRY,
+                                vec![
+                                    ("node".to_string(), AttrValue::Uint(n as u64)),
+                                    ("attempt".to_string(), AttrValue::Uint(u64::from(attempt))),
+                                    (
+                                        "backoff".to_string(),
+                                        AttrValue::Uint(1u64 << attempt.min(16)),
+                                    ),
+                                ],
+                            );
+                        }
+                    }
+                    if self.flaky_budget[n] == 0 {
+                        *up = true;
+                        if self.slow_factor[n] > 1 {
+                            if let Some(s) = span {
+                                s.add_event(
+                                    EVENT_DEGRADED,
+                                    vec![
+                                        ("node".to_string(), AttrValue::Uint(n as u64)),
+                                        (
+                                            "factor".to_string(),
+                                            AttrValue::Uint(u64::from(self.slow_factor[n])),
+                                        ),
+                                    ],
+                                );
+                            }
+                        } else {
+                            // Flakiness exhausted and no slowdown: healed.
+                            self.node_states[n] = NodeState::Up;
+                        }
+                    }
+                    // Budget left after MAX_RETRIES: unavailable this op.
+                }
+            }
+        }
+        Ok((avail, retries))
+    }
+
+    /// Fires every scheduled fault whose `at_op` has been reached.
+    fn apply_due_faults(&mut self) -> Result<()> {
+        loop {
+            let Some(e) = self
+                .fault_plan
+                .as_ref()
+                .and_then(|p| p.events().get(self.fault_cursor))
+                .copied()
+            else {
+                return Ok(());
+            };
+            if e.at_op > self.op_index {
+                return Ok(());
+            }
+            self.fault_cursor += 1;
+            self.apply_fault(e)?;
+        }
+    }
+
+    fn apply_fault(&mut self, e: FaultEvent) -> Result<()> {
+        if e.node >= self.n_nodes {
+            return Ok(()); // plan generated for a larger cluster: ignore
+        }
+        match e.kind {
+            FaultKind::Crash => {
+                self.crash_node(e.node);
+            }
+            FaultKind::Restart => {
+                self.revive_node(e.node)?;
+            }
+            FaultKind::Slow { factor } => {
+                self.slow_factor[e.node] = factor.max(1);
+                if self.node_states[e.node] != NodeState::Down && factor > 1 {
+                    self.node_states[e.node] = NodeState::Degraded;
+                }
+            }
+            FaultKind::Flaky { failures } => {
+                self.flaky_budget[e.node] += failures;
+                if self.node_states[e.node] != NodeState::Down && failures > 0 {
+                    self.node_states[e.node] = NodeState::Degraded;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog
+    // ------------------------------------------------------------------
+
     /// Registers a distributed array.
     pub fn create_array(
         &mut self,
         name: &str,
         schema: ArraySchema,
         partitioning: EpochPartitioning,
+    ) -> Result<()> {
+        self.create_array_inner(name, schema, partitioning, None)
+    }
+
+    /// Registers a fault-tolerant distributed array: every cell is stored
+    /// on all nodes named by `placement` (its home plus k-copy ring
+    /// successors plus any overlap-margin copies), and distributed reads
+    /// fail over to surviving copies when nodes die.
+    pub fn create_replicated_array(
+        &mut self,
+        name: &str,
+        schema: ArraySchema,
+        placement: ReplicatedPlacement,
+    ) -> Result<()> {
+        let partitioning = EpochPartitioning::fixed(placement.scheme().clone());
+        self.create_array_inner(name, schema, partitioning, Some(placement))
+    }
+
+    fn create_array_inner(
+        &mut self,
+        name: &str,
+        schema: ArraySchema,
+        partitioning: EpochPartitioning,
+        replication: Option<ReplicatedPlacement>,
     ) -> Result<()> {
         if self.arrays.contains_key(name) {
             return Err(Error::AlreadyExists(format!("array '{name}'")));
@@ -134,6 +478,7 @@ impl Cluster {
                 )));
             }
         }
+        let clean_under = Some(partitioning.latest().clone());
         let schema = Arc::new(schema);
         let shards = (0..self.n_nodes)
             .map(|_| Array::from_arc(Arc::clone(&schema)))
@@ -144,6 +489,9 @@ impl Cluster {
                 schema,
                 partitioning,
                 shards,
+                replication,
+                lost: BTreeSet::new(),
+                clean_under,
                 last_load_time: i64::MIN,
             },
         );
@@ -163,20 +511,51 @@ impl Cluster {
     }
 
     /// Loads cells arriving at `time`; placement follows the epoch scheme
-    /// in force at that time.
+    /// in force at that time. Replicated arrays store each cell on every
+    /// live placement node; a cell with no live placement joins the
+    /// permanent-loss ledger.
     pub fn load_at(
         &mut self,
         name: &str,
         time: i64,
         cells: impl IntoIterator<Item = (Vec<i64>, Record)>,
     ) -> Result<usize> {
+        let states = self.node_states.clone();
         let da = self.array_mut(name)?;
         let scheme = da.partitioning.scheme_at(time).clone();
+        if da
+            .clean_under
+            .as_ref()
+            .is_some_and(|s| !s.same_placement(&scheme))
+        {
+            da.clean_under = None;
+        }
         da.last_load_time = da.last_load_time.max(time);
         let mut n = 0;
         for (coords, rec) in cells {
-            let node = scheme.node_of(&coords);
-            da.shards[node].set_cell(&coords, rec)?;
+            match &da.replication {
+                None => {
+                    let node = scheme.node_of(&coords);
+                    if states[node] == NodeState::Down {
+                        da.lost.insert(coords);
+                    } else {
+                        da.shards[node].set_cell(&coords, rec)?;
+                    }
+                }
+                Some(rp) => {
+                    let mut placed = false;
+                    for p in rp.placements(&coords) {
+                        if states[p] == NodeState::Down {
+                            continue;
+                        }
+                        da.shards[p].set_cell(&coords, rec.clone())?;
+                        placed = true;
+                    }
+                    if !placed {
+                        da.lost.insert(coords);
+                    }
+                }
+            }
             n += 1;
         }
         Ok(n)
@@ -193,16 +572,28 @@ impl Cluster {
 
     /// Migrates all cells to their home under the *latest* epoch scheme,
     /// returning the number of cells moved (the rebalance cost of E2).
+    ///
+    /// When every cell already sits at its latest-scheme home — no epoch
+    /// change since the last load or rebalance — this is a metered no-op:
+    /// nothing is scanned, nothing moves. Replicated arrays never
+    /// rebalance: their placement is authoritative.
     pub fn rebalance(&mut self, name: &str) -> Result<usize> {
         let span = self.op_span("grid.rebalance", name);
         let da = self.array_mut(name)?;
-        let scheme = da
-            .partitioning
-            .epochs()
-            .last()
-            .expect("at least one epoch")
-            .1
-            .clone();
+        let scheme = da.partitioning.latest().clone();
+        if da.replication.is_some()
+            || da
+                .clean_under
+                .as_ref()
+                .is_some_and(|s| s.same_placement(&scheme))
+        {
+            if let Some(s) = &span {
+                s.set_attr("cells_moved", 0usize);
+                s.set_attr("noop", true);
+                s.finish();
+            }
+            return Ok(0);
+        }
         let mut moved = 0usize;
         let mut relocations: Vec<(usize, Vec<i64>, Record)> = Vec::new();
         for (node, shard) in da.shards.iter_mut().enumerate() {
@@ -222,6 +613,7 @@ impl Cluster {
             da.shards[home].set_cell(&coords, rec)?;
             moved += 1;
         }
+        da.clean_under = Some(scheme);
         self.total_cells_moved += moved;
         scidb_obs::global()
             .counter("scidb.grid.cells_moved")
@@ -233,7 +625,8 @@ impl Cluster {
         Ok(moved)
     }
 
-    /// Per-node cell counts for an array (the data-balance metric).
+    /// Per-node cell counts for an array (the data-balance metric; for
+    /// replicated arrays this counts copies, not distinct cells).
     pub fn distribution(&self, name: &str) -> Result<Vec<usize>> {
         Ok(self
             .array(name)?
@@ -243,80 +636,234 @@ impl Cluster {
             .collect())
     }
 
-    /// Total cells of an array.
+    /// Total cells of an array (copies included for replicated arrays).
     pub fn cell_count(&self, name: &str) -> Result<usize> {
         Ok(self.distribution(name)?.iter().sum())
     }
 
+    /// Cells of an array permanently lost to node crashes (no live copy).
+    pub fn lost_cells(&self, name: &str) -> Result<usize> {
+        Ok(self.array(name)?.lost.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Distributed reads (with failover)
+    // ------------------------------------------------------------------
+
+    /// Chooses the serving copy of every distinct cell visible on available
+    /// nodes: the home copy when readable, otherwise the lowest-numbered
+    /// surviving replica. Returns `coords -> (serving node, record)`.
+    fn serving_cells(
+        da: &DistributedArray,
+        avail: &[bool],
+        region: Option<&HyperRect>,
+    ) -> BTreeMap<Vec<i64>, (usize, Record)> {
+        let mut served: BTreeMap<Vec<i64>, (usize, Record)> = BTreeMap::new();
+        for (node, shard) in da.shards.iter().enumerate() {
+            if !avail[node] {
+                continue;
+            }
+            let cells: Box<dyn Iterator<Item = (Vec<i64>, Record)>> = match region {
+                Some(r) => Box::new(shard.cells_in(r)),
+                None => Box::new(shard.cells()),
+            };
+            for (coords, rec) in cells {
+                let home = match &da.replication {
+                    Some(rp) => rp.home(&coords),
+                    None => node,
+                };
+                match served.get(&coords) {
+                    None => {
+                        served.insert(coords, (node, rec));
+                    }
+                    Some(&(cur, _)) if node == home && cur != home => {
+                        served.insert(coords, (node, rec));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        served
+    }
+
+    /// Cells unreachable for this operation: permanently lost cells plus
+    /// cells whose only copies sit on nodes unavailable right now.
+    fn unreachable_cells(
+        da: &DistributedArray,
+        avail: &[bool],
+        region: Option<&HyperRect>,
+        served: &BTreeMap<Vec<i64>, (usize, Record)>,
+    ) -> usize {
+        let mut unreachable: BTreeSet<Vec<i64>> = da
+            .lost
+            .iter()
+            .filter(|c| region.is_none_or(|r| r.contains(c)))
+            .cloned()
+            .collect();
+        for (node, shard) in da.shards.iter().enumerate() {
+            if avail[node] {
+                continue;
+            }
+            let cells: Box<dyn Iterator<Item = (Vec<i64>, Record)>> = match region {
+                Some(r) => Box::new(shard.cells_in(r)),
+                None => Box::new(shard.cells()),
+            };
+            for (coords, _) in cells {
+                if !served.contains_key(&coords) {
+                    unreachable.insert(coords);
+                }
+            }
+        }
+        unreachable.len()
+    }
+
+    /// Records aggregated failover events (`from` home → `to` replica with
+    /// the number of redirected cells) and returns the total.
+    fn record_failovers(
+        span: &Option<Span>,
+        da: &DistributedArray,
+        served: &BTreeMap<Vec<i64>, (usize, Record)>,
+    ) -> usize {
+        let Some(rp) = &da.replication else {
+            return 0;
+        };
+        let mut pairs: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for (coords, &(node, _)) in served {
+            let home = rp.home(coords);
+            if node != home {
+                *pairs.entry((home, node)).or_default() += 1;
+            }
+        }
+        let total = pairs.values().sum();
+        if let Some(s) = span {
+            for ((from, to), cells) in &pairs {
+                s.add_event(
+                    EVENT_FAILOVER,
+                    vec![
+                        ("from".to_string(), AttrValue::Uint(*from as u64)),
+                        ("to".to_string(), AttrValue::Uint(*to as u64)),
+                        ("cells".to_string(), AttrValue::Uint(*cells as u64)),
+                    ],
+                );
+            }
+        }
+        total
+    }
+
     /// Scans a region, accumulating per-node load; returns the collected
-    /// result and stats.
+    /// result and stats. Reads fail over to surviving replicas; if any
+    /// requested cell has no live copy, returns [`Error::Unavailable`].
     pub fn query_region(&mut self, name: &str, region: &HyperRect) -> Result<(Array, ExecStats)> {
         let span = self.op_span("grid.query_region", name);
+        let (avail, retries) = self.op_begin(&span)?;
         let da = self
             .arrays
             .get(name)
             .ok_or_else(|| Error::not_found(format!("array '{name}'")))?;
-        let mut out = Array::from_arc(Arc::clone(&da.schema));
-        let mut stats = ExecStats::default();
-        let mut touched = vec![false; self.n_nodes];
-        let mut loads = vec![0usize; self.n_nodes];
-        for (node, shard) in da.shards.iter().enumerate() {
-            for (coords, rec) in shard.cells_in(region) {
-                touched[node] = true;
-                loads[node] += 1;
-                out.set_cell(&coords, rec)?;
-                stats.cells_returned += 1;
+        let served = Self::serving_cells(da, &avail, Some(region));
+        let lost = Self::unreachable_cells(da, &avail, Some(region), &served);
+        if lost > 0 {
+            if let Some(s) = &span {
+                s.set_attr("lost_cells", lost);
+                s.finish();
             }
+            return Err(Error::unavailable(lost));
+        }
+        let mut stats = ExecStats {
+            retries,
+            ..ExecStats::default()
+        };
+        stats.failovers = Self::record_failovers(&span, da, &served);
+        let mut out = Array::from_arc(Arc::clone(&da.schema));
+        let mut loads = vec![0usize; self.n_nodes];
+        for (coords, (node, rec)) in served {
+            loads[node] += 1;
+            out.set_cell(&coords, rec)?;
+            stats.cells_returned += 1;
         }
         for (node, &l) in loads.iter().enumerate() {
-            self.node_load[node] += l as f64;
-            stats.cells_scanned += l;
+            let weighted = l * self.slow_factor[node] as usize;
+            self.node_load[node] += weighted as f64;
+            stats.cells_scanned += weighted;
             if l > 0 {
+                stats.nodes_touched += 1;
                 Self::node_event(&span, node, l);
             }
         }
-        stats.nodes_touched = touched.iter().filter(|&&t| t).count();
         if let Some(s) = &span {
             s.set_attr("nodes_touched", stats.nodes_touched);
             s.set_attr("cells_scanned", stats.cells_scanned);
             s.set_attr("cells_returned", stats.cells_returned);
+            if stats.failovers > 0 {
+                s.set_attr("failovers", stats.failovers);
+            }
             s.finish();
         }
         Ok((out, stats))
     }
 
     /// Runs a whole workload of region queries, returning cumulative stats
-    /// (used by the E2 balance experiment).
+    /// (used by the E2 balance experiment). Each query is one logical
+    /// operation with full failover semantics; the first query that touches
+    /// an unreachable cell aborts the workload with
+    /// [`Error::Unavailable`].
     pub fn run_workload(
         &mut self,
         name: &str,
         workload: &crate::workload::Workload,
     ) -> Result<ExecStats> {
+        let span = self.op_span("grid.run_workload", name);
         let mut total = ExecStats::default();
-        let da = self
-            .arrays
-            .get(name)
-            .ok_or_else(|| Error::not_found(format!("array '{name}'")))?;
         for q in &workload.queries {
+            let (avail, retries) = self.op_begin(&span)?;
+            total.retries += retries;
+            let da = self
+                .arrays
+                .get(name)
+                .ok_or_else(|| Error::not_found(format!("array '{name}'")))?;
             let mut loads = vec![0usize; self.n_nodes];
-            for (node, shard) in da.shards.iter().enumerate() {
-                let cells = shard.cells_in(&q.region).count();
-                loads[node] = cells;
+            if da.replication.is_none() && da.lost.is_empty() && avail.iter().all(|&a| a) {
+                // Healthy, unreplicated: every cell has exactly one copy, so
+                // skip the serving-copy map and just count (the E2 hot path).
+                for (node, shard) in da.shards.iter().enumerate() {
+                    loads[node] = shard.cells_in(&q.region).count();
+                }
+            } else {
+                let served = Self::serving_cells(da, &avail, Some(&q.region));
+                let lost = Self::unreachable_cells(da, &avail, Some(&q.region), &served);
+                if lost > 0 {
+                    if let Some(s) = &span {
+                        s.set_attr("lost_cells", lost);
+                        s.finish();
+                    }
+                    return Err(Error::unavailable(lost));
+                }
+                total.failovers += Self::record_failovers(&span, da, &served);
+                for &(node, _) in served.values() {
+                    loads[node] += 1;
+                }
             }
             for (node, &l) in loads.iter().enumerate() {
-                let weighted = l as f64 * q.weight;
+                let weighted = l as f64 * q.weight * f64::from(self.slow_factor[node]);
                 self.node_load[node] += weighted;
-                total.cells_scanned += l;
+                total.cells_scanned += l * self.slow_factor[node] as usize;
             }
             total.nodes_touched = total
                 .nodes_touched
                 .max(loads.iter().filter(|&&l| l > 0).count());
         }
+        if let Some(s) = &span {
+            s.set_attr("queries", workload.queries.len());
+            s.set_attr("cells_scanned", total.cells_scanned);
+            s.finish();
+        }
         Ok(total)
     }
 
     /// Distributed aggregation of one attribute: per-node partials merged
-    /// at the coordinator.
+    /// at the coordinator. Each distinct cell contributes exactly once —
+    /// from its home copy when readable, otherwise from a surviving
+    /// replica.
     pub fn aggregate(
         &mut self,
         name: &str,
@@ -325,35 +872,57 @@ impl Cluster {
         registry: &Registry,
     ) -> Result<(Value, ExecStats)> {
         let span = self.op_span("grid.aggregate", name);
+        let (avail, retries) = self.op_begin(&span)?;
         let da = self
             .arrays
             .get(name)
             .ok_or_else(|| Error::not_found(format!("array '{name}'")))?;
         let attr_idx = da.schema.require_attr(attr)?;
         let agg = registry.aggregate(agg_name)?;
-        let mut stats = ExecStats::default();
+        let served = Self::serving_cells(da, &avail, None);
+        let lost = Self::unreachable_cells(da, &avail, None, &served);
+        if lost > 0 {
+            if let Some(s) = &span {
+                s.set_attr("lost_cells", lost);
+                s.finish();
+            }
+            return Err(Error::unavailable(lost));
+        }
+        let mut stats = ExecStats {
+            retries,
+            ..ExecStats::default()
+        };
+        stats.failovers = Self::record_failovers(&span, da, &served);
+        // Per-node partial states over the cells each node serves, merged
+        // at the coordinator in node order.
+        let mut partials: Vec<Vec<&Record>> = vec![Vec::new(); self.n_nodes];
+        for (node, rec) in served.values() {
+            partials[*node].push(rec);
+        }
         let mut coordinator = agg.create();
-        for (node, shard) in da.shards.iter().enumerate() {
-            if shard.is_empty() {
+        for (node, recs) in partials.iter().enumerate() {
+            if recs.is_empty() {
                 continue;
             }
             let mut local = agg.create();
-            let mut scanned = 0usize;
-            for (_, rec) in shard.cells() {
+            for rec in recs {
                 local.update(&rec[attr_idx])?;
-                scanned += 1;
             }
             // Only the partial state crosses the network.
             coordinator.merge(&local.partial())?;
-            self.node_load[node] += scanned as f64;
-            stats.cells_scanned += scanned;
+            let weighted = recs.len() * self.slow_factor[node] as usize;
+            self.node_load[node] += weighted as f64;
+            stats.cells_scanned += weighted;
             stats.nodes_touched += 1;
-            Self::node_event(&span, node, scanned);
+            Self::node_event(&span, node, recs.len());
         }
         if let Some(s) = &span {
             s.set_attr("agg", agg_name);
             s.set_attr("nodes_touched", stats.nodes_touched);
             s.set_attr("cells_scanned", stats.cells_scanned);
+            if stats.failovers > 0 {
+                s.set_attr("failovers", stats.failovers);
+            }
             s.finish();
         }
         Ok((coordinator.finalize(), stats))
@@ -364,7 +933,9 @@ impl Cluster {
     /// Both inputs are redistributed (if necessary) by hashing their join
     /// coordinates under the **left** array's latest scheme; co-partitioned
     /// inputs (same placement) move nothing (§2.7 co-partitioning). The
-    /// per-node local joins are concatenated at the coordinator.
+    /// per-node local joins are concatenated at the coordinator. Each
+    /// distinct cell of either side participates exactly once, read from
+    /// its serving copy (failover applies).
     pub fn sjoin(
         &mut self,
         left: &str,
@@ -372,6 +943,7 @@ impl Cluster {
         on: &[(&str, &str)],
     ) -> Result<(Array, ExecStats)> {
         let span = self.op_span("grid.sjoin", left);
+        let (avail, retries) = self.op_begin(&span)?;
         let la = self
             .arrays
             .get(left)
@@ -380,14 +952,25 @@ impl Cluster {
             .arrays
             .get(right)
             .ok_or_else(|| Error::not_found(format!("array '{right}'")))?;
-        let target = la
-            .partitioning
-            .epochs()
-            .last()
-            .expect("at least one epoch")
-            .1
-            .clone();
-        let mut stats = ExecStats::default();
+        let target = la.partitioning.latest().clone();
+        let mut stats = ExecStats {
+            retries,
+            ..ExecStats::default()
+        };
+
+        let l_served = Self::serving_cells(la, &avail, None);
+        let r_served = Self::serving_cells(ra, &avail, None);
+        let lost = Self::unreachable_cells(la, &avail, None, &l_served)
+            + Self::unreachable_cells(ra, &avail, None, &r_served);
+        if lost > 0 {
+            if let Some(s) = &span {
+                s.set_attr("lost_cells", lost);
+                s.finish();
+            }
+            return Err(Error::unavailable(lost));
+        }
+        stats.failovers = Self::record_failovers(&span, la, &l_served)
+            + Self::record_failovers(&span, ra, &r_served);
 
         // Join-key dimension indices on each side.
         let mut l_dims = Vec::new();
@@ -399,11 +982,12 @@ impl Cluster {
 
         // Redistribute: a cell's join home is the owner of its join-key
         // coordinates (projected onto the left schema's dimension space).
+        let l_rank = la.schema.rank();
         let place = |coords_full: &[i64], dims: &[usize], l_dims: &[usize]| -> Vec<i64> {
             // Build a left-rank coordinate vector carrying join coords in
             // the left join dims; other dims pinned to 1 so Grid/Range
             // schemes see consistent positions.
-            let mut v = vec![1i64; la.schema.rank()];
+            let mut v = vec![1i64; l_rank];
             for (k, &ld) in l_dims.iter().enumerate() {
                 v[ld] = coords_full[dims[k]];
             }
@@ -417,23 +1001,19 @@ impl Cluster {
             .map(|_| Array::from_arc(Arc::clone(&ra.schema)))
             .collect();
 
-        for (node, shard) in la.shards.iter().enumerate() {
-            for (coords, rec) in shard.cells() {
-                let home = target.node_of(&place(&coords, &l_dims, &l_dims));
-                if home != node {
-                    stats.cells_moved += 1;
-                }
-                l_parts[home].set_cell(&coords, rec)?;
+        for (coords, (node, rec)) in &l_served {
+            let home = target.node_of(&place(coords, &l_dims, &l_dims));
+            if home != *node {
+                stats.cells_moved += 1;
             }
+            l_parts[home].set_cell(coords, rec.clone())?;
         }
-        for (node, shard) in ra.shards.iter().enumerate() {
-            for (coords, rec) in shard.cells() {
-                let home = target.node_of(&place(&coords, &r_dims, &l_dims));
-                if home != node {
-                    stats.cells_moved += 1;
-                }
-                r_parts[home].set_cell(&coords, rec)?;
+        for (coords, (node, rec)) in &r_served {
+            let home = target.node_of(&place(coords, &r_dims, &l_dims));
+            if home != *node {
+                stats.cells_moved += 1;
             }
+            r_parts[home].set_cell(coords, rec.clone())?;
         }
         self.total_cells_moved += stats.cells_moved;
 
@@ -445,7 +1025,7 @@ impl Cluster {
             }
             stats.nodes_touched += 1;
             let local_cells = l_parts[node].cell_count() + r_parts[node].cell_count();
-            stats.cells_scanned += local_cells;
+            stats.cells_scanned += local_cells * self.slow_factor[node] as usize;
             Self::node_event(&span, node, local_cells);
             let local = structural::sjoin(&l_parts[node], &r_parts[node], on)?;
             match &mut result {
@@ -462,6 +1042,8 @@ impl Cluster {
             None => {
                 // Empty join: synthesize the output schema via core sjoin on
                 // empty arrays.
+                let la = self.array(left)?;
+                let ra = self.array(right)?;
                 structural::sjoin(
                     &Array::from_arc(Arc::clone(&la.schema)),
                     &Array::from_arc(Arc::clone(&ra.schema)),
@@ -478,9 +1060,33 @@ impl Cluster {
             s.set_attr("cells_moved", stats.cells_moved);
             s.set_attr("nodes_touched", stats.nodes_touched);
             s.set_attr("cells_returned", stats.cells_returned);
+            if stats.failovers > 0 {
+                s.set_attr("failovers", stats.failovers);
+            }
             s.finish();
         }
         Ok((result, stats))
+    }
+
+    /// Runs `query_region` under a fresh trace and renders the grid span
+    /// tree — the grid-layer counterpart of the AQL `explain analyze`
+    /// statement, with `failover`/`retry`/`degraded` events inline. With
+    /// `times: false` the report is byte-stable (golden-testable).
+    pub fn explain_analyze_region(
+        &mut self,
+        name: &str,
+        region: &HyperRect,
+        opts: &RenderOptions,
+    ) -> Result<(Array, String)> {
+        let prev = self.detach_span();
+        let trace = Trace::new();
+        let root = trace.root("statement", LAYER_GRID);
+        self.attach_span(root.clone());
+        let out = self.query_region(name, region);
+        root.finish();
+        self.span = prev;
+        let report = trace.finish().render_tree(opts);
+        Ok((out?.0, report))
     }
 
     /// Accumulated per-node load (weighted cells scanned).
@@ -504,12 +1110,12 @@ impl Cluster {
         self.node_load.iter_mut().for_each(|l| *l = 0.0);
     }
 
-    /// Total cells moved since creation.
+    /// Total cells moved since creation (joins, rebalances, and
+    /// re-replication passes).
     pub fn total_cells_moved(&self) -> usize {
         self.total_cells_moved
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -729,5 +1335,217 @@ mod tests {
         assert!(c
             .create_array("A", schema2(4), EpochPartitioning::fixed(scheme))
             .is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & failover
+    // ------------------------------------------------------------------
+
+    fn replicated_cluster(n_nodes: usize, n: i64, replicas: usize) -> Cluster {
+        let mut c = Cluster::new(n_nodes);
+        let scheme = PartitionScheme::grid(space(n), vec![2, 2], n_nodes).unwrap();
+        let placement = ReplicatedPlacement::with_replicas(scheme, 0, replicas);
+        c.create_replicated_array("A", schema2(n), placement)
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn crash_failover_serves_identical_results() {
+        let mut healthy = replicated_cluster(4, 16, 2);
+        healthy.load_at("A", 0, dense_cells(16)).unwrap();
+        let region = HyperRect::new(vec![1, 1], vec![16, 16]).unwrap();
+        let (want, _) = healthy.query_region("A", &region).unwrap();
+
+        let mut c = replicated_cluster(4, 16, 2);
+        c.load_at("A", 0, dense_cells(16)).unwrap();
+        let wiped = c.fail_node(1).unwrap();
+        assert!(wiped > 0, "node 1 held data");
+        assert_eq!(c.node_state(1), Some(NodeState::Down));
+        let (got, stats) = c.query_region("A", &region).unwrap();
+        assert!(want.same_cells(&got), "failover result byte-identical");
+        assert!(stats.failovers > 0, "some cells served off-home");
+        assert_eq!(c.lost_cells("A").unwrap(), 0, "k=2 survives one crash");
+    }
+
+    #[test]
+    fn total_loss_returns_unavailable() {
+        let mut c = grid_cluster(4, 8); // unreplicated
+        c.load_at("A", 0, dense_cells(8)).unwrap();
+        c.fail_node(0).unwrap();
+        let region = HyperRect::new(vec![1, 1], vec![8, 8]).unwrap();
+        match c.query_region("A", &region) {
+            Err(Error::Unavailable { lost_cells }) => {
+                assert_eq!(lost_cells, 16, "one of four tiles is gone")
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        // A region not touching the dead tile still answers.
+        let alive = HyperRect::new(vec![1, 5], vec![4, 8]).unwrap();
+        assert!(c.query_region("A", &alive).is_ok());
+    }
+
+    #[test]
+    fn recover_rereplicates_to_full_factor() {
+        let mut c = replicated_cluster(4, 16, 2);
+        c.load_at("A", 0, dense_cells(16)).unwrap();
+        let full = c.cell_count("A").unwrap();
+        assert_eq!(full, 512, "256 cells × 2 copies");
+        c.fail_node(2).unwrap();
+        assert!(c.cell_count("A").unwrap() < full);
+        let copied = c.recover_node(2).unwrap();
+        assert!(copied > 0, "re-replication restored copies");
+        assert_eq!(c.cell_count("A").unwrap(), full, "factor restored");
+        assert_eq!(c.node_state(2), Some(NodeState::Up));
+        // Everything still readable, now with no failover needed.
+        let region = HyperRect::new(vec![1, 1], vec![16, 16]).unwrap();
+        let (_, stats) = c.query_region("A", &region).unwrap();
+        assert_eq!(stats.failovers, 0);
+    }
+
+    #[test]
+    fn fault_plan_fires_on_logical_op_clock() {
+        let mut c = replicated_cluster(4, 16, 2);
+        c.load_at("A", 0, dense_cells(16)).unwrap();
+        c.set_fault_plan(FaultPlan::new(0).crash(2, 1).restart(3, 1));
+        let region = HyperRect::new(vec![1, 1], vec![16, 16]).unwrap();
+        // Op 1: before the crash — no failover.
+        let (_, s1) = c.query_region("A", &region).unwrap();
+        assert_eq!(s1.failovers, 0);
+        assert_eq!(c.node_state(1), Some(NodeState::Up));
+        // Op 2: crash fires first — replica serves node 1's cells.
+        let (_, s2) = c.query_region("A", &region).unwrap();
+        assert!(s2.failovers > 0);
+        assert_eq!(c.node_state(1), Some(NodeState::Down));
+        // Op 3: restart fires — re-replicated, healthy again.
+        let (_, s3) = c.query_region("A", &region).unwrap();
+        assert_eq!(s3.failovers, 0);
+        assert_eq!(c.node_state(1), Some(NodeState::Up));
+        assert_eq!(c.op_index(), 3);
+    }
+
+    #[test]
+    fn flaky_node_retries_within_budget() {
+        let mut c = grid_cluster(4, 8);
+        c.load_at("A", 0, dense_cells(8)).unwrap();
+        c.set_fault_plan(FaultPlan::new(0).flaky(1, 0, 2));
+        let region = HyperRect::new(vec![1, 1], vec![8, 8]).unwrap();
+        let (out, stats) = c.query_region("A", &region).unwrap();
+        assert_eq!(out.cell_count(), 64, "retries absorbed the failures");
+        assert_eq!(stats.retries, 2);
+        assert_eq!(c.node_state(0), Some(NodeState::Up), "healed after drain");
+    }
+
+    #[test]
+    fn flaky_beyond_retry_budget_is_transient_unavailability() {
+        let mut c = grid_cluster(4, 8);
+        c.load_at("A", 0, dense_cells(8)).unwrap();
+        // 7 failures: op1 retries 3 (4 left), op2 retries 3 (1 left),
+        // op3 retries 1 (0 left) and serves.
+        c.set_fault_plan(FaultPlan::new(0).flaky(1, 0, 7));
+        let region = HyperRect::new(vec![1, 1], vec![8, 8]).unwrap();
+        assert!(matches!(
+            c.query_region("A", &region),
+            Err(Error::Unavailable { .. })
+        ));
+        assert!(matches!(
+            c.query_region("A", &region),
+            Err(Error::Unavailable { .. })
+        ));
+        let (out, stats) = c.query_region("A", &region).unwrap();
+        assert_eq!(out.cell_count(), 64);
+        assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn slow_node_inflates_scan_load() {
+        let mut c = grid_cluster(4, 8);
+        c.load_at("A", 0, dense_cells(8)).unwrap();
+        let region = HyperRect::new(vec![1, 1], vec![8, 8]).unwrap();
+        let (_, before) = c.query_region("A", &region).unwrap();
+        c.set_fault_plan(FaultPlan::new(0).slow(2, 0, 4));
+        let (out, after) = c.query_region("A", &region).unwrap();
+        assert_eq!(out.cell_count(), 64, "slow node still answers correctly");
+        assert_eq!(c.node_state(0), Some(NodeState::Degraded));
+        assert_eq!(
+            after.cells_scanned,
+            before.cells_scanned + 3 * 16,
+            "node 0's 16 cells cost 4× the work"
+        );
+    }
+
+    #[test]
+    fn rebalance_noop_short_circuits() {
+        let mut c = Cluster::new(4);
+        let g1 = PartitionScheme::range(0, vec![4, 8, 12]).unwrap();
+        c.create_array("A", schema2(16), EpochPartitioning::fixed(g1))
+            .unwrap();
+        c.load_at("A", 0, dense_cells(16)).unwrap();
+        // No epoch change since load: nothing to do, nothing moved.
+        assert_eq!(c.rebalance("A").unwrap(), 0);
+        assert_eq!(c.total_cells_moved(), 0);
+        // After a real epoch change + rebalance, a second rebalance is free.
+        let g2 = PartitionScheme::range(0, vec![8, 12, 14]).unwrap();
+        c.add_epoch("A", 100, g2).unwrap();
+        let moved = c.rebalance("A").unwrap();
+        assert!(moved > 0);
+        assert_eq!(c.rebalance("A").unwrap(), 0, "second pass is a no-op");
+        assert_eq!(c.total_cells_moved(), moved);
+    }
+
+    #[test]
+    fn load_after_epoch_change_invalidates_noop_cache() {
+        let mut c = Cluster::new(4);
+        let g1 = PartitionScheme::range(0, vec![4, 8, 12]).unwrap();
+        c.create_array("A", schema2(16), EpochPartitioning::fixed(g1))
+            .unwrap();
+        c.load_at("A", 0, dense_cells(16)).unwrap();
+        let g2 = PartitionScheme::range(0, vec![8, 12, 14]).unwrap();
+        c.add_epoch("A", 100, g2).unwrap();
+        // Loading under the *new* epoch leaves old cells misplaced: the
+        // rebalance after it must still move them.
+        c.load_at("A", 200, vec![(vec![1, 1], record([Value::from(0.0)]))])
+            .unwrap();
+        assert!(c.rebalance("A").unwrap() > 0);
+    }
+
+    #[test]
+    fn replicated_array_never_rebalances() {
+        let mut c = replicated_cluster(4, 8, 2);
+        c.load_at("A", 0, dense_cells(8)).unwrap();
+        assert_eq!(c.rebalance("A").unwrap(), 0);
+        assert_eq!(c.total_cells_moved(), 0);
+    }
+
+    #[test]
+    fn explain_analyze_shows_failover_events() {
+        let mut c = replicated_cluster(4, 8, 2);
+        c.load_at("A", 0, dense_cells(8)).unwrap();
+        c.fail_node(3).unwrap();
+        c.set_fault_plan(FaultPlan::new(0).flaky(1, 0, 1));
+        let region = HyperRect::new(vec![1, 1], vec![8, 8]).unwrap();
+        let (out, report) = c
+            .explain_analyze_region(
+                "A",
+                &region,
+                &RenderOptions {
+                    times: false,
+                    events: true,
+                },
+            )
+            .unwrap();
+        assert_eq!(out.cell_count(), 64);
+        assert!(report.contains("grid.query_region"), "{report}");
+        assert!(report.contains("failover"), "{report}");
+        assert!(report.contains("retry"), "{report}");
+    }
+
+    #[test]
+    fn fail_recover_out_of_range_rejected() {
+        let mut c = Cluster::new(2);
+        assert!(c.fail_node(2).is_err());
+        assert!(c.recover_node(9).is_err());
+        assert!(c.fail_node(1).is_ok());
+        assert_eq!(c.node_states(), &[NodeState::Up, NodeState::Down]);
     }
 }

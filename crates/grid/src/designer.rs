@@ -54,6 +54,49 @@ pub fn evaluate(scheme: &PartitionScheme, space: &HyperRect, workload: &Workload
     }
 }
 
+/// Evaluates a scheme under partial failure: nodes flagged in `down` serve
+/// nothing, and their load lands on the next live ring successor — the
+/// node that holds the surviving k-copy replica under
+/// [`crate::ReplicatedPlacement::with_replicas`]. The designer uses this
+/// to check failover headroom: a placement that balances perfectly with
+/// every node up can still melt one node when its neighbor dies.
+pub fn evaluate_surviving(
+    scheme: &PartitionScheme,
+    space: &HyperRect,
+    workload: &Workload,
+    down: &[bool],
+) -> Evaluation {
+    let n = scheme.n_nodes();
+    let survivor = |home: usize| -> Option<usize> {
+        (0..n)
+            .map(|i| (home + i) % n)
+            .find(|&m| !down.get(m).copied().unwrap_or(false))
+    };
+    let mut loads = vec![0.0f64; n];
+    for q in &workload.queries {
+        let Some(region) = q.region.intersection(space) else {
+            continue;
+        };
+        for coords in region.iter_cells() {
+            if let Some(node) = survivor(scheme.node_of(&coords)) {
+                loads[node] += q.weight;
+            }
+        }
+    }
+    let live = down.iter().filter(|&&d| !d).count().max(1);
+    let max_load = loads.iter().cloned().fold(0.0, f64::max);
+    let mean_load = loads.iter().sum::<f64>() / live as f64;
+    Evaluation {
+        imbalance: if mean_load == 0.0 {
+            1.0
+        } else {
+            max_load / mean_load
+        },
+        max_load,
+        mean_load,
+    }
+}
+
 /// Designs a range partitioning on `dim` with `n_nodes` nodes from a
 /// sample workload: splits fall at equal-weight quantiles of the
 /// per-coordinate weight profile.
@@ -242,6 +285,23 @@ mod tests {
         }
         // (A None is also acceptable if the 1-D redesign cannot help, but
         // with a single hotspot it always can.)
+    }
+
+    #[test]
+    fn surviving_evaluation_shifts_dead_load_to_ring_successor() {
+        let sp = space(64);
+        let w = survey_workload(&sp, 16);
+        let grid = PartitionScheme::grid(sp.clone(), vec![4, 4], 4).unwrap();
+        let all_up = evaluate_surviving(&grid, &sp, &w, &[false; 4]);
+        let healthy = evaluate(&grid, &sp, &w);
+        assert_eq!(all_up, healthy, "no failures: identical to evaluate()");
+        // Node 1 down: node 2 (its ring successor) absorbs its load, so the
+        // hottest survivor carries roughly double the mean.
+        let one_down = evaluate_surviving(&grid, &sp, &w, &[false, true, false, false]);
+        assert!(one_down.imbalance > 1.4, "{one_down:?}");
+        assert!(one_down.max_load >= 2.0 * healthy.mean_load * 0.99);
+        // Total work is conserved across the three survivors.
+        assert!((one_down.mean_load * 3.0 - healthy.mean_load * 4.0).abs() < 1e-9);
     }
 
     #[test]

@@ -13,18 +13,28 @@
 //! * [`workload`] — deterministic survey / steerable / recency workload
 //!   generators.
 //! * [`replication`] — PanSTARRS-style overlap replication so uncertain
-//!   spatial joins resolve without data movement.
+//!   spatial joins resolve without data movement, extended with a k-copy
+//!   fault-tolerance factor.
+//! * [`fault`] — deterministic, seedable fault injection ([`FaultPlan`])
+//!   and the [`NodeState`] health model behind chaos testing: crashes,
+//!   restarts, slow nodes and flaky I/O keyed to the cluster's logical
+//!   operation clock, with replica failover and re-replication on
+//!   recovery.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
 pub mod designer;
+pub mod fault;
 pub mod partition;
 pub mod replication;
 pub mod workload;
 
 pub use cluster::{Cluster, ExecStats};
-pub use designer::{design_range, evaluate, suggest_repartitioning, Evaluation};
+pub use designer::{
+    design_range, evaluate, evaluate_surviving, suggest_repartitioning, Evaluation,
+};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, NodeState, MAX_RETRIES};
 pub use partition::{EpochPartitioning, PartitionScheme};
 pub use replication::{local_join_fraction, replication_overhead, ReplicatedPlacement};
 pub use workload::{recency_workload, steerable_workload, survey_workload, QuerySpec, Workload};

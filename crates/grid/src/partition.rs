@@ -162,6 +162,16 @@ impl EpochPartitioning {
         &self.epochs[idx].1
     }
 
+    /// The scheme of the most recent epoch (the one a rebalance targets).
+    pub fn latest(&self) -> &PartitionScheme {
+        // Construction guarantees at least one epoch, so last() cannot miss;
+        // avoid the panic path anyway and fall back to the first entry.
+        self.epochs
+            .last()
+            .map(|(_, s)| s)
+            .unwrap_or(&self.epochs[0].1)
+    }
+
     /// Number of epochs.
     pub fn epoch_count(&self) -> usize {
         self.epochs.len()
@@ -276,6 +286,7 @@ mod tests {
         assert_eq!(ep.scheme_at(99), &g1);
         assert_eq!(ep.scheme_at(100), &g2);
         assert_eq!(ep.scheme_at(5000), &g2);
+        assert_eq!(ep.latest(), &g2);
         assert_eq!(ep.epoch_count(), 2);
         // Epochs must advance in time.
         assert!(ep.add_epoch(50, g1).is_err());

@@ -18,19 +18,39 @@ use crate::partition::PartitionScheme;
 use scidb_core::geometry::HyperRect;
 use std::collections::BTreeSet;
 
-/// A partitioning with boundary-overlap replication.
+/// A partitioning with boundary-overlap replication and an optional k-copy
+/// fault-tolerance factor.
 #[derive(Debug, Clone)]
 pub struct ReplicatedPlacement {
     scheme: PartitionScheme,
     margin: i64,
+    /// Fault-tolerance copies per observation (≥ 1). Copy `i` lives on the
+    /// `i`-th successor of the home node, ring-ordered over the scheme's
+    /// nodes, so losing any `replicas − 1` non-adjacent nodes loses no data.
+    replicas: usize,
 }
 
 impl ReplicatedPlacement {
     /// Wraps `scheme` with a replication `margin` in cells (typically
     /// `k × σ_max`, the identified maximum location error).
     pub fn new(scheme: PartitionScheme, margin: i64) -> Self {
+        Self::with_replicas(scheme, margin, 1)
+    }
+
+    /// Wraps `scheme` with both an overlap `margin` and a k-copy
+    /// fault-tolerance factor: every observation is stored on its home node
+    /// and the next `replicas − 1` ring-successor nodes (§2.11 node-failure
+    /// recovery), in addition to any margin-induced boundary copies.
+    /// `replicas` is clamped to the scheme's node count.
+    pub fn with_replicas(scheme: PartitionScheme, margin: i64, replicas: usize) -> Self {
         assert!(margin >= 0, "margin must be non-negative");
-        ReplicatedPlacement { scheme, margin }
+        assert!(replicas >= 1, "need at least one copy");
+        let replicas = replicas.min(scheme.n_nodes());
+        ReplicatedPlacement {
+            scheme,
+            margin,
+            replicas,
+        }
     }
 
     /// The home node (authoritative copy).
@@ -44,7 +64,13 @@ impl ReplicatedPlacement {
     /// but we scan the box edges coarsely to stay scheme-agnostic.
     pub fn placements(&self, coords: &[i64]) -> Vec<usize> {
         let mut nodes = BTreeSet::new();
-        nodes.insert(self.home(coords));
+        let home = self.home(coords);
+        nodes.insert(home);
+        // k-copy fault-tolerance replicas on the home's ring successors.
+        let n = self.scheme.n_nodes();
+        for i in 1..self.replicas {
+            nodes.insert((home + i) % n);
+        }
         if self.margin > 0 {
             let rect = HyperRect::cell(coords).expanded(self.margin);
             // Probe the corner points and axis-aligned extremes of the box.
@@ -95,6 +121,16 @@ impl ReplicatedPlacement {
     /// The margin.
     pub fn margin(&self) -> i64 {
         self.margin
+    }
+
+    /// The k-copy fault-tolerance factor.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Nodes addressed by the wrapped scheme.
+    pub fn n_nodes(&self) -> usize {
+        self.scheme.n_nodes()
     }
 }
 
@@ -205,6 +241,30 @@ mod tests {
         assert_eq!(o0, 1.0);
         assert!(o2 > 1.0 && o2 < 1.3, "small margin, small overhead: {o2}");
         assert!(o5 > o2, "more margin, more copies: {o5} > {o2}");
+    }
+
+    #[test]
+    fn k_copy_replicas_on_ring_successors() {
+        let p = ReplicatedPlacement::with_replicas(grid4(100), 0, 2);
+        assert_eq!(p.replicas(), 2);
+        assert_eq!(p.n_nodes(), 4);
+        // Interior observation: home plus one ring successor.
+        let placements = p.placements(&[25, 25]);
+        assert_eq!(placements.len(), 2);
+        let home = p.home(&[25, 25]);
+        assert!(placements.contains(&home));
+        assert!(placements.contains(&((home + 1) % 4)));
+        // Corner observation: margin copies and ring copies combine.
+        let corner = ReplicatedPlacement::with_replicas(grid4(100), 3, 2);
+        assert!(corner.copies(&[50, 50]) >= 4);
+        assert!(corner.copies(&[50, 50]) <= 4, "never exceeds node count");
+    }
+
+    #[test]
+    fn replicas_clamped_to_node_count() {
+        let p = ReplicatedPlacement::with_replicas(grid4(100), 0, 99);
+        assert_eq!(p.replicas(), 4);
+        assert_eq!(p.copies(&[10, 10]), 4);
     }
 
     #[test]

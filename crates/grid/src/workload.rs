@@ -31,6 +31,17 @@ pub struct Workload {
 }
 
 impl Workload {
+    /// Number of queries — each runs as one logical cluster operation, so
+    /// this is also how far a workload advances the fault-plan clock.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
     /// Total weight.
     pub fn total_weight(&self) -> f64 {
         self.queries.iter().map(|q| q.weight).sum()

@@ -24,6 +24,24 @@ pub const LAYER_STORAGE: &str = "storage";
 /// Layer tag for distributed grid operations.
 pub const LAYER_GRID: &str = "grid";
 
+/// Event vocabulary: a `core::exec` kernel invocation (see
+/// [`Span::record_kernel`] / [`TraceData::kernel_events`]).
+pub const EVENT_KERNEL: &str = "kernel";
+/// Event vocabulary: one grid node's contribution to a distributed op.
+pub const EVENT_NODE: &str = "node";
+/// Event vocabulary: a read was redirected from a down home node to a
+/// surviving replica (`from`/`to`/`cells` attrs).
+pub const EVENT_FAILOVER: &str = "failover";
+/// Event vocabulary: a flaky operation was re-attempted with deterministic
+/// attempt-counted backoff (`node`/`attempt`/`backoff` attrs).
+pub const EVENT_RETRY: &str = "retry";
+/// Event vocabulary: a slow node served a read at degraded throughput
+/// (`node`/`factor` attrs).
+pub const EVENT_DEGRADED: &str = "degraded";
+/// Event vocabulary: a recovered node was restored to full replication
+/// (`node`/`cells` attrs).
+pub const EVENT_REREPLICATE: &str = "rereplicate";
+
 /// A typed attribute value attached to a span or event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {

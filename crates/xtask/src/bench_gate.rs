@@ -1,0 +1,410 @@
+//! `cargo xtask bench-gate` — the benchmark regression gate.
+//!
+//! Compares the metrics emitted by the smoke benchmarks
+//! (`target/chaos-smoke.json` from `chaos_smoke`, plus a sanity check
+//! that `target/obs-smoke.json` from `obs_smoke` exists and carries its
+//! per-layer totals) against the committed `BENCH_baseline.json`:
+//!
+//! * **Deterministic counters** (cells scanned, failovers, retries, cells
+//!   re-replicated, lost cells, …) must match the baseline *exactly* — the
+//!   failover path is a pure function of the fault plan, so any drift is a
+//!   behavior change someone must acknowledge with `--update-baseline`.
+//! * **Wall-clock metrics** (`*_us`) may regress at most 20 % over
+//!   baseline, with a small absolute floor so micro-benchmarks on noisy CI
+//!   runners don't flap.
+//! * **`failover_overhead_pct`** (chaotic / healthy wall ratio — machine
+//!   speed largely cancels) may grow at most 20 % relative or 10
+//!   percentage points, whichever is larger.
+//! * **Aggregate wall totals** (`clean_wall_us`, `chaos_wall_us`) are
+//!   *informational*: they are whole-phase sums whose run-to-run noise on
+//!   shared runners exceeds any honest tolerance, and they are fully
+//!   derived from the gated per-query latencies. They are printed but
+//!   never fail the gate.
+//!
+//! Like `analyze`, the escape hatch is explicit: `--update-baseline`
+//! rewrites `BENCH_baseline.json` from the current run.
+//!
+//! Everything here is dependency-free (no serde): the flat JSON the
+//! benchmarks emit is parsed with a tiny `"key": number` scanner.
+
+use crate::{Options, Outcome};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Workspace-relative location of the committed benchmark baseline.
+pub const BENCH_BASELINE_PATH: &str = "BENCH_baseline.json";
+
+/// Where `chaos_smoke` writes its metrics.
+pub const CHAOS_SMOKE_PATH: &str = "target/chaos-smoke.json";
+
+/// Where `obs_smoke` writes its telemetry dump.
+pub const OBS_SMOKE_PATH: &str = "target/obs-smoke.json";
+
+/// Relative wall-clock regression tolerated before failing (20 %).
+pub const WALL_TOLERANCE: f64 = 0.20;
+
+/// Absolute wall-clock floor in microseconds: regressions smaller than
+/// this are noise, not signal.
+pub const WALL_FLOOR_US: f64 = 2_000.0;
+
+/// Percentage-point floor for the failover-overhead ratio check.
+pub const OVERHEAD_FLOOR_PP: f64 = 10.0;
+
+/// Extracts every `"key": <number>` pair from a flat JSON object. String
+/// values and nested objects are skipped; good enough for the one-level
+/// metric files the smoke benchmarks emit.
+pub fn parse_flat_json(s: &str) -> Vec<(String, f64)> {
+    let b = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let start = i + 1;
+        let mut j = start;
+        while j < b.len() && b[j] != b'"' {
+            if b[j] == b'\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        if j >= b.len() {
+            break;
+        }
+        let key = &s[start..j];
+        let mut k = j + 1;
+        while k < b.len() && b[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if k >= b.len() || b[k] != b':' {
+            i = j + 1;
+            continue;
+        }
+        k += 1;
+        while k < b.len() && b[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        let num_start = k;
+        while k < b.len()
+            && (b[k].is_ascii_digit() || matches!(b[k], b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            k += 1;
+        }
+        if k > num_start {
+            if let Ok(v) = s[num_start..k].parse::<f64>() {
+                out.push((key.to_string(), v));
+            }
+        }
+        i = k.max(j + 1);
+    }
+    out
+}
+
+fn lookup(metrics: &[(String, f64)], key: &str) -> Option<f64> {
+    metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+}
+
+/// How one metric is gated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    /// Deterministic: must equal the baseline exactly.
+    Exact,
+    /// Wall clock: may regress ≤ 20 % (with an absolute floor).
+    Wall,
+    /// Overhead ratio: ≤ 20 % relative or +10 pp growth.
+    Overhead,
+    /// Informational: printed, never gated (whole-phase wall sums).
+    Info,
+}
+
+/// Whole-phase wall totals: derived from the gated per-query latencies
+/// and too noisy across runners to gate honestly.
+const INFO_KEYS: &[&str] = &["clean_wall_us", "chaos_wall_us"];
+
+fn gate_for(key: &str) -> Gate {
+    match key {
+        "failover_overhead_pct" => Gate::Overhead,
+        k if INFO_KEYS.contains(&k) => Gate::Info,
+        k if k.ends_with("_us") => Gate::Wall,
+        _ => Gate::Exact,
+    }
+}
+
+/// Outcome of one metric comparison.
+#[derive(Debug, Clone)]
+pub struct MetricCheck {
+    /// Metric name.
+    pub key: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Whether the gate passed.
+    pub ok: bool,
+    /// Human-readable verdict.
+    pub verdict: String,
+}
+
+/// Compares current metrics against the baseline. Every baseline metric
+/// must be present in the current run; new current-only metrics are
+/// reported but don't fail (they land in the baseline on the next
+/// `--update-baseline`).
+pub fn compare(baseline: &[(String, f64)], current: &[(String, f64)]) -> Vec<MetricCheck> {
+    let mut checks = Vec::new();
+    for (key, base) in baseline {
+        let Some(cur) = lookup(current, key) else {
+            checks.push(MetricCheck {
+                key: key.clone(),
+                baseline: *base,
+                current: f64::NAN,
+                ok: false,
+                verdict: "missing from current run".to_string(),
+            });
+            continue;
+        };
+        let (ok, verdict) = match gate_for(key) {
+            Gate::Exact => {
+                if cur == *base {
+                    (true, "exact match".to_string())
+                } else {
+                    (
+                        false,
+                        format!("deterministic counter changed ({base} -> {cur})"),
+                    )
+                }
+            }
+            Gate::Wall => {
+                let allowed = base * (1.0 + WALL_TOLERANCE) + WALL_FLOOR_US;
+                if cur <= allowed {
+                    (true, format!("within 20% (+{WALL_FLOOR_US}us floor)"))
+                } else {
+                    (
+                        false,
+                        format!("regressed {:.1}% (allowed 20%)", (cur / base - 1.0) * 100.0),
+                    )
+                }
+            }
+            Gate::Info => (true, "informational (not gated)".to_string()),
+            Gate::Overhead => {
+                let allowed = base + (base.abs() * WALL_TOLERANCE).max(OVERHEAD_FLOOR_PP);
+                if cur <= allowed {
+                    (true, format!("within +{OVERHEAD_FLOOR_PP}pp"))
+                } else {
+                    (
+                        false,
+                        format!("overhead grew {base:.1}% -> {cur:.1}% (allowed {allowed:.1}%)"),
+                    )
+                }
+            }
+        };
+        checks.push(MetricCheck {
+            key: key.clone(),
+            baseline: *base,
+            current: cur,
+            ok,
+            verdict,
+        });
+    }
+    checks
+}
+
+/// Serializes metrics as the committed baseline file: one key per line,
+/// sorted, so diffs review cleanly.
+pub fn render_baseline(metrics: &[(String, f64)]) -> String {
+    let mut sorted: Vec<&(String, f64)> = metrics.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            let _ = write!(out, "  \"{k}\": {}", *v as i64);
+        } else {
+            let _ = write!(out, "  \"{k}\": {v:.3}");
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Runs the bench gate. `root` is the workspace root; results are written
+/// to `out` (one line per metric unless `opts.quiet`).
+pub fn bench_gate(root: &Path, opts: &Options, out: &mut dyn io::Write) -> io::Result<Outcome> {
+    let chaos_path = root.join(CHAOS_SMOKE_PATH);
+    let chaos_raw = std::fs::read_to_string(&chaos_path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "{}: {e} (run `cargo run --release -p scidb-bench --bin chaos_smoke` first)",
+                chaos_path.display()
+            ),
+        )
+    })?;
+    let current = parse_flat_json(&chaos_raw);
+    if current.is_empty() {
+        writeln!(out, "bench-gate: {CHAOS_SMOKE_PATH} has no metrics")?;
+        return Ok(Outcome::Failed);
+    }
+
+    // obs_smoke sanity: the telemetry artifact must exist and carry the
+    // per-layer totals section the dashboards key on.
+    let obs_path = root.join(OBS_SMOKE_PATH);
+    match std::fs::read_to_string(&obs_path) {
+        Ok(obs) if obs.contains("\"layer_totals_us\"") => {}
+        Ok(_) => {
+            writeln!(
+                out,
+                "bench-gate: {OBS_SMOKE_PATH} is missing layer_totals_us"
+            )?;
+            return Ok(Outcome::Failed);
+        }
+        Err(e) => {
+            writeln!(
+                out,
+                "bench-gate: cannot read {OBS_SMOKE_PATH}: {e} \
+                 (run `cargo run --release -p scidb-bench --bin obs_smoke` first)"
+            )?;
+            return Ok(Outcome::Failed);
+        }
+    }
+
+    let baseline_path = root.join(BENCH_BASELINE_PATH);
+    if opts.update_baseline {
+        std::fs::write(&baseline_path, render_baseline(&current))?;
+        writeln!(
+            out,
+            "bench-gate: baseline updated ({} metrics -> {BENCH_BASELINE_PATH})",
+            current.len()
+        )?;
+        return Ok(Outcome::Clean);
+    }
+
+    let baseline_raw = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "{}: {e} (commit one with `cargo xtask bench-gate --update-baseline`)",
+                baseline_path.display()
+            ),
+        )
+    })?;
+    let baseline = parse_flat_json(&baseline_raw);
+
+    let checks = compare(&baseline, &current);
+    let mut failed = 0usize;
+    for c in &checks {
+        if !c.ok {
+            failed += 1;
+        }
+        if !opts.quiet || !c.ok {
+            writeln!(
+                out,
+                "  {} {:<24} baseline {:>12} current {:>12}  {}",
+                if c.ok { "ok  " } else { "FAIL" },
+                c.key,
+                c.baseline,
+                c.current,
+                c.verdict
+            )?;
+        }
+    }
+    for (k, v) in &current {
+        if lookup(&baseline, k).is_none() {
+            writeln!(
+                out,
+                "  new  {k:<24} {v} (not in baseline; --update-baseline adopts it)"
+            )?;
+        }
+    }
+    if failed > 0 {
+        writeln!(
+            out,
+            "bench-gate: {failed}/{} metrics regressed (intentional? \
+             `cargo xtask bench-gate --update-baseline`)",
+            checks.len()
+        )?;
+        Ok(Outcome::Failed)
+    } else {
+        writeln!(out, "bench-gate: {} metrics within tolerance", checks.len())?;
+        Ok(Outcome::Clean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_json_numbers() {
+        let m = parse_flat_json(
+            r#"{"a":1,"b_us":2500,"pct":-3.25,"skip":"str","nested":{"c":7},"e":1e3}"#,
+        );
+        assert_eq!(lookup(&m, "a"), Some(1.0));
+        assert_eq!(lookup(&m, "b_us"), Some(2500.0));
+        assert_eq!(lookup(&m, "pct"), Some(-3.25));
+        assert_eq!(lookup(&m, "skip"), None, "string values are not metrics");
+        assert_eq!(lookup(&m, "c"), Some(7.0), "nested numbers still surface");
+        assert_eq!(lookup(&m, "e"), Some(1000.0));
+    }
+
+    #[test]
+    fn exact_counters_must_match() {
+        let base = vec![("failovers".to_string(), 100.0)];
+        let ok = compare(&base, &[("failovers".to_string(), 100.0)]);
+        assert!(ok[0].ok);
+        let bad = compare(&base, &[("failovers".to_string(), 101.0)]);
+        assert!(!bad[0].ok, "deterministic drift fails the gate");
+    }
+
+    #[test]
+    fn wall_metrics_allow_20_percent_plus_floor() {
+        let base = vec![("clean_query_us".to_string(), 10_000.0)];
+        // +20% + 2000us floor = 14000 allowed.
+        assert!(compare(&base, &[("clean_query_us".to_string(), 13_900.0)])[0].ok);
+        assert!(!compare(&base, &[("clean_query_us".to_string(), 14_100.0)])[0].ok);
+        // Tiny baselines are covered by the absolute floor.
+        let tiny = vec![("recovery_wall_us".to_string(), 100.0)];
+        assert!(compare(&tiny, &[("recovery_wall_us".to_string(), 1_800.0)])[0].ok);
+    }
+
+    #[test]
+    fn overhead_allows_10_point_growth() {
+        let base = vec![("failover_overhead_pct".to_string(), 5.0)];
+        assert!(compare(&base, &[("failover_overhead_pct".to_string(), 14.0)])[0].ok);
+        assert!(!compare(&base, &[("failover_overhead_pct".to_string(), 16.0)])[0].ok);
+    }
+
+    #[test]
+    fn phase_wall_totals_are_informational() {
+        let base = vec![("clean_wall_us".to_string(), 23_000.0)];
+        let checks = compare(&base, &[("clean_wall_us".to_string(), 80_000.0)]);
+        assert!(checks[0].ok, "phase totals never gate: {checks:?}");
+        assert!(checks[0].verdict.contains("informational"));
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let base = vec![("retries".to_string(), 2.0)];
+        let checks = compare(&base, &[]);
+        assert!(!checks[0].ok);
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_parser() {
+        let metrics = vec![
+            ("failovers".to_string(), 4672.0),
+            ("failover_overhead_pct".to_string(), 3.095),
+            ("clean_wall_us".to_string(), 23325.0),
+        ];
+        let rendered = render_baseline(&metrics);
+        let back = parse_flat_json(&rendered);
+        for (k, v) in &metrics {
+            assert_eq!(lookup(&back, k), Some(*v), "{k}");
+        }
+        assert!(rendered.ends_with("}\n"));
+    }
+}

@@ -1,20 +1,26 @@
-//! `cargo xtask analyze` — the SciDB workspace invariant checker.
+//! `cargo xtask` — workspace automation for SciDB-rs.
 //!
-//! A dependency-free static analyzer (no `syn`, no `serde`: the build
-//! environment is hermetic) enforcing the five workspace rules described
-//! in DESIGN.md §"Static analysis":
+//! * `analyze` — a dependency-free static analyzer (no `syn`, no `serde`:
+//!   the build environment is hermetic) enforcing the five workspace rules
+//!   described in DESIGN.md §"Static analysis":
+//!   * R1 — panic-free library code,
+//!   * R2 — the parallel-kernel contract,
+//!   * R3 — concurrency containment in `core::exec` (and the `obs`
+//!     substrate),
+//!   * R4 — Result-typed public API,
+//!   * R5 — observable timing (no raw clock reads in query/storage/grid).
 //!
-//! * R1 — panic-free library code,
-//! * R2 — the parallel-kernel contract,
-//! * R3 — concurrency containment in `core::exec` (and the `obs` substrate),
-//! * R4 — Result-typed public API,
-//! * R5 — observable timing (no raw `Instant::now()` in query/storage/grid).
+//!   Violations are compared against the committed baseline
+//!   (`crates/xtask/analyze.baseline`): new ones fail, grandfathered ones
+//!   warn, and counts only ratchet down.
 //!
-//! Violations are compared against the committed baseline
-//! (`crates/xtask/analyze.baseline`): new ones fail, grandfathered ones
-//! warn, and counts only ratchet down.
+//! * `bench-gate` — the benchmark regression gate (see [`bench_gate`]):
+//!   compares the smoke-benchmark metrics against the committed
+//!   `BENCH_baseline.json`, failing on >20 % wall-clock regressions and on
+//!   *any* drift in the deterministic failover counters.
 
 pub mod baseline;
+pub mod bench_gate;
 pub mod report;
 pub mod rules;
 pub mod scan;

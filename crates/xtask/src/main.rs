@@ -1,28 +1,39 @@
-//! `cargo xtask` — workspace automation. The one subcommand today is
-//! `analyze`; see `cargo xtask analyze --help`.
+//! `cargo xtask` — workspace automation: `analyze` (static invariant
+//! checker) and `bench-gate` (benchmark regression gate).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xtask::{analyze, find_root, Options, Outcome};
+use xtask::{analyze, bench_gate::bench_gate, find_root, Options, Outcome};
 
 const USAGE: &str = "\
-cargo xtask analyze [OPTIONS]
+cargo xtask <analyze | bench-gate> [OPTIONS]
 
-Static analysis of the SciDB workspace invariants (R1-R4; see DESIGN.md).
-New violations fail; baseline-grandfathered ones warn.
+analyze     Static analysis of the SciDB workspace invariants (R1-R5; see
+            DESIGN.md). New violations fail; baseline-grandfathered ones
+            warn. Baseline: crates/xtask/analyze.baseline.
+
+bench-gate  Benchmark regression gate: compares target/chaos-smoke.json
+            (and checks target/obs-smoke.json) against BENCH_baseline.json.
+            Run the smoke bins first:
+              cargo run --release -p scidb-bench --bin chaos_smoke
+              cargo run --release -p scidb-bench --bin obs_smoke
+            Wall-clock metrics may regress <= 20%; deterministic failover
+            counters must match exactly.
 
 Options:
-  --update-baseline   Rewrite crates/xtask/analyze.baseline to cover the
-                      current violations (the ratchet: counts only go down)
-  --json <PATH>       Write the JSON report here (default: target/xtask-analyze.json)
+  --update-baseline   Rewrite the subcommand's committed baseline from the
+                      current state (the explicit escape hatch)
+  --json <PATH>       analyze only: write the JSON report here
+                      (default: target/xtask-analyze.json)
   --quiet             Summary only, no per-diagnostic output
   -h, --help          Show this help
 ";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("analyze") => {}
+    let subcommand = match args.next().as_deref() {
+        Some("analyze") => "analyze",
+        Some("bench-gate") => "bench-gate",
         Some("-h") | Some("--help") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -31,7 +42,7 @@ fn main() -> ExitCode {
             eprintln!("error: unknown subcommand `{other}`\n\n{USAGE}");
             return ExitCode::FAILURE;
         }
-    }
+    };
 
     let mut opts = Options::default();
     while let Some(arg) = args.next() {
@@ -68,7 +79,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    match analyze(&root, &opts, &mut std::io::stdout()) {
+    let result = match subcommand {
+        "bench-gate" => bench_gate(&root, &opts, &mut std::io::stdout()),
+        _ => analyze(&root, &opts, &mut std::io::stdout()),
+    };
+    match result {
         Ok(Outcome::Clean) => ExitCode::SUCCESS,
         Ok(Outcome::Failed) => ExitCode::FAILURE,
         Err(e) => {

@@ -16,7 +16,8 @@
 //!   error type; `Option`-swallowed errors (`.ok()` inside a
 //!   `-> Option<…>` function) are violations. Escape hatch:
 //!   `// lint: allow(option-api) — justification`.
-//! * **R5** — no raw `Instant::now()` in non-test code of `query`,
+//! * **R5** — no raw `Instant::now()` or `SystemTime::now()` in non-test
+//!   code of `query`,
 //!   `storage`, or `grid`; timing flows through the `scidb-obs` substrate
 //!   (`Stopwatch`, spans) or `ExecContext::timed` so every measurement is
 //!   attributable in traces. `crates/obs` and `core::exec` define the
@@ -38,7 +39,8 @@ pub enum Rule {
     R3,
     /// Result-typed public API.
     R4,
-    /// Observable timing: no raw `Instant::now()` outside the substrate.
+    /// Observable timing: no raw `Instant::now()`/`SystemTime::now()`
+    /// outside the substrate.
     R5,
 }
 
@@ -510,19 +512,24 @@ pub fn check_r5(ws: &Workspace) -> Vec<Diagnostic> {
         if !crate_of(&file.path).is_some_and(|c| R5_CRATES.contains(&c)) {
             continue;
         }
-        for off in file.find_marker("Instant::now(", true) {
-            if file.in_test(off) {
-                continue;
+        for (marker, what) in [
+            ("Instant::now(", "Instant::now()"),
+            ("SystemTime::now(", "SystemTime::now()"),
+        ] {
+            for off in file.find_marker(marker, true) {
+                if file.in_test(off) {
+                    continue;
+                }
+                diags.extend(marker_diag(
+                    file,
+                    Rule::R5,
+                    off,
+                    format!("raw `{what}` outside the telemetry substrate"),
+                    "time through `scidb_obs::Stopwatch`, a span, or `ExecContext::timed` \
+                     so the measurement is attributable; if a raw clock is genuinely \
+                     needed, annotate `// lint: allow(timing) — why`",
+                ));
             }
-            diags.extend(marker_diag(
-                file,
-                Rule::R5,
-                off,
-                "raw `Instant::now()` outside the telemetry substrate".to_string(),
-                "time through `scidb_obs::Stopwatch`, a span, or `ExecContext::timed` \
-                 so the measurement is attributable; if a raw clock is genuinely \
-                 needed, annotate `// lint: allow(timing) — why`",
-            ));
         }
     }
     diags
@@ -650,6 +657,22 @@ mod tests {
         assert!(d.iter().all(|x| x.rule == Rule::R5));
         assert!(d.iter().any(|x| x.path.contains("storage")));
         assert!(d.iter().any(|x| x.path.contains("query")));
+    }
+
+    #[test]
+    fn r5_flags_system_time_too() {
+        let src = "fn t() { let s = std::time::SystemTime::now(); }\n\
+                   #[cfg(test)]\nmod tests { fn u() { let s = SystemTime::now(); } }\n";
+        let d = check_r5(&ws(
+            vec![
+                ("crates/grid/src/a.rs", src),
+                ("crates/obs/src/span.rs", src),
+            ],
+            None,
+        ));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].path.contains("grid"));
+        assert!(d[0].message.contains("SystemTime"), "{d:?}");
     }
 
     #[test]

@@ -142,3 +142,64 @@ fn epoch_data_placement_follows_arrival_time() {
         "same row, different epochs, different nodes"
     );
 }
+
+// ---------------------------------------------------------------------
+// Golden: explain analyze during injected failure
+// ---------------------------------------------------------------------
+
+/// The grid-layer `explain analyze` report during an injected failure is
+/// byte-stable (`times: false`): the span tree shows the retry against the
+/// flaky node, the per-node fan-out, and the failover from the dead node
+/// to its surviving replica. Pinning the full report keeps the recovery
+/// telemetry vocabulary honest — renaming an event or dropping an
+/// attribute breaks this test, not just a dashboard.
+#[test]
+fn golden_explain_analyze_failover_report() {
+    use scidb::core::value::record;
+    use scidb::grid::{FaultPlan, ReplicatedPlacement};
+    use scidb::obs::RenderOptions;
+
+    let space = HyperRect::new(vec![1, 1], vec![8, 8]).unwrap();
+    let scheme = PartitionScheme::grid(space, vec![2, 2], 4).unwrap();
+    let sch = SchemaBuilder::new("A")
+        .attr("v", ScalarType::Int64)
+        .dim("I", 8)
+        .dim("J", 8)
+        .build()
+        .unwrap();
+    let mut c = Cluster::new(4);
+    c.create_replicated_array("A", sch, ReplicatedPlacement::with_replicas(scheme, 0, 2))
+        .unwrap();
+    let mut cells = Vec::new();
+    for i in 1..=8i64 {
+        for j in 1..=8i64 {
+            cells.push((vec![i, j], record([Value::from(i * 10 + j)])));
+        }
+    }
+    c.load_at("A", 0, cells).unwrap();
+    c.fail_node(3).unwrap();
+    c.set_fault_plan(FaultPlan::new(0).flaky(1, 0, 2));
+    let region = HyperRect::new(vec![1, 1], vec![8, 8]).unwrap();
+    let (out, report) = c
+        .explain_analyze_region(
+            "A",
+            &region,
+            &RenderOptions {
+                times: false,
+                events: true,
+            },
+        )
+        .unwrap();
+    assert_eq!(out.cell_count(), 64);
+    let expected = "\
+statement [grid]
+└─ grid.query_region [grid] array=\"A\" nodes_touched=3 cells_scanned=64 cells_returned=64 failovers=16
+   · retry node=0 attempt=1 backoff=2
+   · retry node=0 attempt=2 backoff=4
+   · failover from=3 to=0 cells=16
+   · node node=0 cells=32
+   · node node=1 cells=16
+   · node node=2 cells=16
+";
+    assert_eq!(report, expected, "got:\n{report}");
+}

@@ -326,6 +326,59 @@ proptest! {
     }
 }
 
+// ---- grid replicated placement ---------------------------------------------
+
+fn arb_scheme() -> impl Strategy<Value = scidb::grid::PartitionScheme> {
+    use scidb::grid::PartitionScheme;
+    (1usize..=9, 0u32..3).prop_map(|(n_nodes, kind)| {
+        let space = HyperRect::new(vec![1, 1], vec![64, 64]).unwrap();
+        match kind {
+            0 => PartitionScheme::grid(space, vec![4, 4], n_nodes).unwrap(),
+            1 => PartitionScheme::Hash {
+                dims: vec![0, 1],
+                n_nodes,
+            },
+            // n_nodes splits ⇒ n_nodes + 1 nodes; keep ≥ 1 split spacing.
+            _ => PartitionScheme::range(0, (1..n_nodes as i64).map(|k| k * 7).collect()).unwrap(),
+        }
+    })
+}
+
+proptest! {
+    /// Fault-tolerance placement invariants (§2.11): every coordinate has
+    /// at least one placement, the home is always among the placements,
+    /// and the copy count never exceeds the node count but always reaches
+    /// the requested replication factor (clamped to the cluster size).
+    #[test]
+    fn replicated_placement_invariants(
+        scheme in arb_scheme(),
+        replicas in 1usize..6,
+        margin in 0i64..4,
+        x in 1i64..=64,
+        y in 1i64..=64,
+    ) {
+        use scidb::grid::ReplicatedPlacement;
+        let n = scheme.n_nodes();
+        let p = ReplicatedPlacement::with_replicas(scheme, margin, replicas);
+        prop_assert_eq!(p.replicas(), replicas.min(n), "factor clamped to cluster");
+        let coords = vec![x, y];
+        let placements = p.placements(&coords);
+        prop_assert!(!placements.is_empty(), "every coordinate is placed somewhere");
+        prop_assert!(placements.contains(&p.home(&coords)), "home ∈ placements");
+        prop_assert!(placements.iter().all(|&node| node < n), "placements in range");
+        prop_assert!(
+            placements.windows(2).all(|w| w[0] < w[1]),
+            "sorted and duplicate-free: {:?}", placements
+        );
+        let copies = p.copies(&coords);
+        prop_assert_eq!(copies, placements.len());
+        prop_assert!(copies <= n, "copies never exceed node count");
+        prop_assert!(copies >= replicas.min(n), "k-copy floor holds");
+        // Determinism: placement is a pure function of the coordinates.
+        prop_assert_eq!(&placements, &p.placements(&coords));
+    }
+}
+
 // ---- uncertainty -----------------------------------------------------------
 
 proptest! {
