@@ -1,0 +1,204 @@
+//! `confrun` — the conformance harness driver.
+//!
+//! ```text
+//! confrun --seeds 1..50                 # run a seed range (inclusive)
+//! confrun --seeds 1..5 --corpus DIR    # also replay pinned corpus cases
+//! confrun --budget-secs 1800 --seeds 1..1000000   # nightly fuzz mode
+//! confrun --perturb --seeds 1..2000    # demo: broken kernel must be caught
+//! confrun --out DIR                    # where shrunk repro JSON lands
+//! ```
+//!
+//! Exit code 0 when every case matches, 1 on any divergence (a shrunk,
+//! replayable JSON repro is written to the `--out` directory), 2 on usage
+//! errors.
+
+use scidb_conformance::backends::Perturb;
+use scidb_conformance::case::Case;
+use scidb_conformance::{Harness, Outcome};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Options {
+    seeds: (u64, u64),
+    out: PathBuf,
+    corpus: Option<PathBuf>,
+    budget_secs: Option<u64>,
+    perturb: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: confrun [--seeds A..B] [--corpus DIR] [--out DIR] \
+         [--budget-secs N] [--perturb]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        seeds: (1, 50),
+        out: PathBuf::from("target/conformance-failures"),
+        corpus: None,
+        budget_secs: None,
+        perturb: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let Some((a, b)) = spec.split_once("..") else {
+                    usage()
+                };
+                let lo = a.trim().parse().unwrap_or_else(|_| usage());
+                let hi = b.trim().parse().unwrap_or_else(|_| usage());
+                if lo > hi {
+                    usage();
+                }
+                opts.seeds = (lo, hi);
+            }
+            "--out" => opts.out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--corpus" => opts.corpus = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--budget-secs" => {
+                opts.budget_secs = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage())
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--perturb" => opts.perturb = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn report_failure(harness: &Harness, case: &Case, out_dir: &Path, label: &str) {
+    let shrunk = harness.shrink(case);
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("confrun: cannot create {}: {e}", out_dir.display());
+    }
+    let path = out_dir.join(format!("{label}.json"));
+    match std::fs::write(&path, shrunk.to_json()) {
+        Ok(()) => eprintln!("confrun: shrunk repro written to {}", path.display()),
+        Err(e) => eprintln!("confrun: cannot write {}: {e}", path.display()),
+    }
+    if let Outcome::Diverged(d) = harness.run_case(&shrunk) {
+        eprintln!("confrun: first diff: {}", d.first_diff());
+    }
+}
+
+fn replay_corpus(harness: &Harness, dir: &Path, out: &Path) -> (usize, usize) {
+    let mut ran = 0;
+    let mut failed = 0;
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("confrun: cannot read corpus {}: {e}", dir.display());
+            return (0, 1);
+        }
+    };
+    entries.sort();
+    for path in entries {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("confrun: cannot read {}: {e}", path.display());
+                failed += 1;
+                continue;
+            }
+        };
+        let case = match Case::from_json(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("confrun: bad corpus file {}: {e}", path.display());
+                failed += 1;
+                continue;
+            }
+        };
+        ran += 1;
+        match harness.run_case(&case) {
+            Outcome::Match { .. } => {}
+            Outcome::Diverged(d) => {
+                failed += 1;
+                eprintln!(
+                    "confrun: corpus case {} diverged ({} vs {})",
+                    path.display(),
+                    d.left,
+                    d.right
+                );
+                report_failure(
+                    harness,
+                    &case,
+                    out,
+                    &format!(
+                        "corpus-{}",
+                        path.file_stem().and_then(|s| s.to_str()).unwrap_or("case")
+                    ),
+                );
+            }
+        }
+    }
+    (ran, failed)
+}
+
+fn main() {
+    let opts = parse_args();
+    let harness = if opts.perturb {
+        Harness::with_perturb(Perturb::FilterBoundary)
+    } else {
+        Harness::new()
+    };
+    let start = Instant::now();
+    let mut ran = 0usize;
+    let mut failed = 0usize;
+
+    if let Some(corpus) = &opts.corpus {
+        let (r, f) = replay_corpus(&harness, corpus, &opts.out);
+        ran += r;
+        failed += f;
+    }
+
+    let (lo, hi) = opts.seeds;
+    for seed in lo..=hi {
+        if let Some(budget) = opts.budget_secs {
+            if start.elapsed().as_secs() >= budget {
+                println!("confrun: budget of {budget}s reached after {} seeds", ran);
+                break;
+            }
+        }
+        let (case, outcome) = harness.run_seed(seed);
+        ran += 1;
+        match outcome {
+            Outcome::Match {
+                relational_compared,
+            } => {
+                if seed % 100 == 0 {
+                    println!(
+                        "confrun: seed {seed} ok (relational {})",
+                        if relational_compared {
+                            "yes"
+                        } else {
+                            "skipped"
+                        }
+                    );
+                }
+            }
+            Outcome::Diverged(d) => {
+                failed += 1;
+                eprintln!("confrun: seed {seed} diverged ({} vs {})", d.left, d.right);
+                report_failure(&harness, &case, &opts.out, &format!("seed-{seed}"));
+            }
+        }
+    }
+
+    println!(
+        "confrun: {ran} case(s), {failed} divergence(s), {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

@@ -1,0 +1,209 @@
+//! Canonical result forms — the byte-compared answer representation.
+//!
+//! Two levels exist because the relational oracle models *cell content*
+//! but not array shape: `ArrayTable` has no notion of a dimension's
+//! declared upper bound, so bound propagation (e.g. `Concat` producing an
+//! unbounded result) is only checkable among the three array backends.
+//!
+//! - [`Canon::Full`]: dimension names + upper bounds, attribute names +
+//!   types, and every present cell sorted by coordinates. Compared among
+//!   serial / parallel / grid.
+//! - [`Canon::Cells`]: attribute names + types and sorted cells only.
+//!   Compared between the array engines and the relational baseline.
+//!
+//! Floats render as their IEEE-754 bit pattern (`0x…`), so two results are
+//! equal only if they are *bitwise* equal — `-0.0 != 0.0`, and no epsilon
+//! ever hides a merge-order bug.
+
+use scidb_core::array::Array;
+use scidb_core::schema::AttrType;
+use scidb_core::value::{Scalar, Value};
+use scidb_relational::table::Table;
+use std::fmt::Write as _;
+
+/// Canonicalization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Canon {
+    /// Dims (names + uppers) + attrs + sorted cells.
+    Full,
+    /// Attrs + sorted cells only (relational-comparable).
+    Cells,
+}
+
+fn render_scalar(out: &mut String, s: &Scalar) {
+    match s {
+        Scalar::Int64(v) => {
+            let _ = write!(out, "i:{v}");
+        }
+        Scalar::Float64(v) => {
+            let _ = write!(out, "f:0x{:016x}", v.to_bits());
+        }
+        Scalar::Bool(v) => {
+            let _ = write!(out, "b:{v}");
+        }
+        Scalar::String(v) => {
+            let _ = write!(out, "s:{v}");
+        }
+        Scalar::Uncertain(u) => {
+            let _ = write!(
+                out,
+                "u:0x{:016x}:0x{:016x}",
+                u.mean.to_bits(),
+                u.sigma.to_bits()
+            );
+        }
+    }
+}
+
+fn render_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Scalar(s) => render_scalar(out, s),
+        Value::Array(a) => {
+            out.push('[');
+            let mut cells: Vec<(Vec<i64>, Vec<Value>)> = a.cells().collect();
+            cells.sort_by(|x, y| x.0.cmp(&y.0));
+            for (i, (coords, rec)) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "@{coords:?}=");
+                for (j, v) in rec.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    render_value(out, v);
+                }
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn render_cells(out: &mut String, mut cells: Vec<(Vec<i64>, Vec<Value>)>) {
+    cells.sort_by(|x, y| x.0.cmp(&y.0));
+    for (coords, rec) in cells {
+        let _ = write!(out, "cell {coords:?}:");
+        for (j, v) in rec.iter().enumerate() {
+            if j > 0 {
+                out.push('|');
+            } else {
+                out.push(' ');
+            }
+            render_value(out, v);
+        }
+        out.push('\n');
+    }
+}
+
+/// Canonicalizes an array result.
+pub fn canon_array(a: &Array, level: Canon) -> String {
+    let mut out = String::new();
+    if level == Canon::Full {
+        out.push_str("dims:");
+        for d in a.schema().dims() {
+            match d.upper {
+                Some(u) => {
+                    let _ = write!(out, " {}:{u}", d.name);
+                }
+                None => {
+                    let _ = write!(out, " {}:*", d.name);
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("attrs:");
+    for at in a.schema().attrs() {
+        match &at.ty {
+            AttrType::Scalar(t) => {
+                let _ = write!(out, " {}:{}", at.name, t.name());
+            }
+            AttrType::Nested(_) => {
+                let _ = write!(out, " {}:nested", at.name);
+            }
+        }
+    }
+    out.push('\n');
+    render_cells(&mut out, a.cells().collect());
+    out
+}
+
+/// Canonicalizes a relational result at [`Canon::Cells`] level.
+///
+/// The first `n_dims` columns are the coordinate columns (in dimension
+/// order); the rest are attributes. Rows with a NULL coordinate never
+/// occur — the relational simulation stores one row per present cell.
+pub fn canon_table(t: &Table, n_dims: usize) -> String {
+    let mut out = String::new();
+    out.push_str("attrs:");
+    for c in &t.columns()[n_dims..] {
+        let _ = write!(out, " {}:{}", c.name, c.ty.name());
+    }
+    out.push('\n');
+    let cells = t
+        .rows()
+        .iter()
+        .map(|row| {
+            let coords: Vec<i64> = row[..n_dims]
+                .iter()
+                .map(|v| match v {
+                    Value::Scalar(Scalar::Int64(c)) => *c,
+                    other => panic!("non-integer coordinate column value {other:?}"),
+                })
+                .collect();
+            (coords, row[n_dims..].to_vec())
+        })
+        .collect();
+    render_cells(&mut out, cells);
+    out
+}
+
+/// Drops the `dims:` header from a [`Canon::Full`] string, yielding the
+/// [`Canon::Cells`] form of the same result.
+pub fn cells_of_full(full: &str) -> &str {
+    match full.split_once('\n') {
+        Some((first, rest)) if first.starts_with("dims:") => rest,
+        _ => full,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidb_core::schema::SchemaBuilder;
+    use scidb_core::value::{record, ScalarType};
+
+    fn tiny() -> Array {
+        let schema = SchemaBuilder::new("T")
+            .attr("x", ScalarType::Float64)
+            .attr("n", ScalarType::Int64)
+            .dim("i", 4)
+            .build()
+            .unwrap();
+        let mut a = Array::new(schema);
+        a.set_cell(&[2], record([Value::from(0.5), Value::Null]))
+            .unwrap();
+        a.set_cell(&[1], record([Value::from(-0.0), Value::from(7i64)]))
+            .unwrap();
+        a
+    }
+
+    #[test]
+    fn full_canon_is_sorted_and_bit_exact() {
+        let c = canon_array(&tiny(), Canon::Full);
+        assert!(c.starts_with("dims: i:4\nattrs: x:float n:int\n"));
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines[2], "cell [1]: f:0x8000000000000000|i:7");
+        assert_eq!(lines[3], "cell [2]: f:0x3fe0000000000000|null");
+        // -0.0 and 0.0 must differ at the byte level.
+        assert!(!c.contains(&format!("0x{:016x}", 0.0f64.to_bits())));
+    }
+
+    #[test]
+    fn cells_of_full_strips_dims_header() {
+        let full = canon_array(&tiny(), Canon::Full);
+        let cells = canon_array(&tiny(), Canon::Cells);
+        assert_eq!(cells_of_full(&full), cells);
+    }
+}

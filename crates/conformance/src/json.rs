@@ -1,0 +1,431 @@
+//! A minimal JSON reader/writer for the replayable case corpus.
+//!
+//! The build environment is hermetic (no `serde`), so — like `scidb-obs`
+//! and the `xtask` analyzer — the corpus codec is hand-rolled. It supports
+//! exactly the JSON subset the conformance cases need: objects, arrays,
+//! strings, `i64` integers, booleans, and `null`. Floats never appear as
+//! JSON numbers; they are stored as hex bit patterns inside strings so a
+//! case replays to the exact same bits on every platform.
+
+use scidb_core::error::{Error, Result};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (conformance subset: no float literals).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (key order normalized).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object constructor from pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// String constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Required member lookup.
+    pub fn req(&self, key: &str) -> Result<&Json> {
+        self.get(key)
+            .ok_or_else(|| Error::eval(format!("case JSON: missing key '{key}'")))
+    }
+
+    /// Integer view.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Json::Int(v) => Ok(*v),
+            _ => Err(Error::eval("case JSON: expected integer")),
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(Error::eval("case JSON: expected string")),
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Result<&[Json]> {
+        match self {
+            Json::Arr(v) => Ok(v),
+            _ => Err(Error::eval("case JSON: expected array")),
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(Error::eval("case JSON: expected boolean")),
+        }
+    }
+
+    /// Renders with two-space indentation (stable output for git diffs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (conformance subset).
+    pub fn parse(text: &str) -> Result<Json> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::eval("case JSON: trailing garbage"));
+        }
+        Ok(v)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Result<u8> {
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::eval("case JSON: unexpected end of input"))
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::eval(format!(
+                "case JSON: expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::eval(format!("case JSON: bad literal near {word}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        self.skip_ws();
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.integer(),
+            c => Err(Error::eval(format!(
+                "case JSON: unexpected byte '{}' at {}",
+                c as char, self.pos
+            ))),
+        }
+    }
+
+    fn integer(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek()? == b'-' {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::eval("case JSON: bad number"))?;
+        text.parse::<i64>()
+            .map(Json::Int)
+            .map_err(|_| Error::eval(format!("case JSON: bad integer '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            self.pos += 1;
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(Error::eval("case JSON: bad \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error::eval("case JSON: bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::eval("case JSON: bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::eval("case JSON: bad \\u escape"))?,
+                            );
+                            self.pos += 3; // loop's advance adds the 4th
+                        }
+                        c => {
+                            return Err(Error::eval(format!(
+                                "case JSON: bad escape '\\{}'",
+                                c as char
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::eval("case JSON: invalid UTF-8"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::eval("case JSON: unexpected end"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => {
+                    self.pos += 1;
+                }
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(Error::eval("case JSON: expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => {
+                    self.pos += 1;
+                }
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(Error::eval("case JSON: expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Encodes an `f64` as a hex bit-pattern string (`"0x3ff0000000000000"`).
+pub fn f64_to_json(v: f64) -> Json {
+    Json::Str(format!("0x{:016x}", v.to_bits()))
+}
+
+/// Decodes a hex bit-pattern string back to the exact `f64`.
+pub fn f64_from_json(j: &Json) -> Result<f64> {
+    let s = j.as_str()?;
+    let hex = s
+        .strip_prefix("0x")
+        .ok_or_else(|| Error::eval(format!("case JSON: bad f64 bits '{s}'")))?;
+    u64::from_str_radix(hex, 16)
+        .map(f64::from_bits)
+        .map_err(|_| Error::eval(format!("case JSON: bad f64 bits '{s}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_nested_document() {
+        let doc = Json::obj(vec![
+            ("seed", Json::Int(42)),
+            ("neg", Json::Int(-7)),
+            ("name", Json::str("a \"quoted\" name\nline2")),
+            (
+                "items",
+                Json::Arr(vec![Json::Null, Json::Bool(true), f64_to_json(0.25)]),
+            ),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::obj(vec![])),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn f64_bits_are_exact() {
+        for v in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, 1.0e-300] {
+            let j = f64_to_json(v);
+            let back = f64_from_json(&j).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("123 456").is_err());
+        assert!(
+            Json::parse("1.5").is_err(),
+            "float literals are not JSON-subset"
+        );
+    }
+}

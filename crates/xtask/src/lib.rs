@@ -1,14 +1,16 @@
 //! `cargo xtask` — workspace automation for SciDB-rs.
 //!
 //! * `analyze` — a dependency-free static analyzer (no `syn`, no `serde`:
-//!   the build environment is hermetic) enforcing the five workspace rules
+//!   the build environment is hermetic) enforcing the six workspace rules
 //!   described in DESIGN.md §"Static analysis":
 //!   * R1 — panic-free library code,
 //!   * R2 — the parallel-kernel contract,
 //!   * R3 — concurrency containment in `core::exec` (and the `obs`
 //!     substrate),
 //!   * R4 — Result-typed public API,
-//!   * R5 — observable timing (no raw clock reads in query/storage/grid).
+//!   * R5 — observable timing (no raw clock reads in query/storage/grid),
+//!   * R6 — conformance coverage (every parallel kernel in the
+//!     differential harness's op table).
 //!
 //!   Violations are compared against the committed baseline
 //!   (`crates/xtask/analyze.baseline`): new ones fail, grandfathered ones
@@ -18,9 +20,15 @@
 //!   compares the smoke-benchmark metrics against the committed
 //!   `BENCH_baseline.json`, failing on >20 % wall-clock regressions and on
 //!   *any* drift in the deterministic failover counters.
+//!
+//! * `conformance` — drives the differential conformance harness (see
+//!   [`conformance`]): random pipelines through four independent engines,
+//!   byte-identical canonical answers required, plus replay of the pinned
+//!   corpus in `tests/conformance-corpus/`.
 
 pub mod baseline;
 pub mod bench_gate;
+pub mod conformance;
 pub mod report;
 pub mod rules;
 pub mod scan;
@@ -47,6 +55,10 @@ pub struct Options {
     pub json_out: Option<PathBuf>,
     /// Suppress per-diagnostic text output (summary only).
     pub quiet: bool,
+    /// `conformance` only: inclusive seed range, e.g. `1..50`.
+    pub seeds: Option<String>,
+    /// `conformance` only: stop starting new seeds after this many seconds.
+    pub budget_secs: Option<u64>,
 }
 
 /// Exit status of an analyze run.

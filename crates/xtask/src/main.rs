@@ -1,14 +1,15 @@
 //! `cargo xtask` — workspace automation: `analyze` (static invariant
-//! checker) and `bench-gate` (benchmark regression gate).
+//! checker), `bench-gate` (benchmark regression gate), and `conformance`
+//! (the differential query harness).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xtask::{analyze, bench_gate::bench_gate, find_root, Options, Outcome};
+use xtask::{analyze, bench_gate::bench_gate, conformance, find_root, Options, Outcome};
 
 const USAGE: &str = "\
-cargo xtask <analyze | bench-gate> [OPTIONS]
+cargo xtask <analyze | bench-gate | conformance> [OPTIONS]
 
-analyze     Static analysis of the SciDB workspace invariants (R1-R5; see
+analyze     Static analysis of the SciDB workspace invariants (R1-R6; see
             DESIGN.md). New violations fail; baseline-grandfathered ones
             warn. Baseline: crates/xtask/analyze.baseline.
 
@@ -20,12 +21,22 @@ bench-gate  Benchmark regression gate: compares target/chaos-smoke.json
             Wall-clock metrics may regress <= 20%; deterministic failover
             counters must match exactly.
 
+conformance Differential conformance harness: each seeded random pipeline
+            runs through four engines (serial, parallel, grid, relational)
+            and must produce byte-identical canonical answers. Replays the
+            pinned corpus in tests/conformance-corpus/, then the seed
+            range. Shrunk repros of any divergence land in
+            target/conformance-failures/.
+
 Options:
   --update-baseline   Rewrite the subcommand's committed baseline from the
                       current state (the explicit escape hatch)
   --json <PATH>       analyze only: write the JSON report here
                       (default: target/xtask-analyze.json)
   --quiet             Summary only, no per-diagnostic output
+  --seeds <A..B>      conformance only: inclusive seed range (default 1..50)
+  --budget-secs <N>   conformance only: stop starting new seeds after N
+                      seconds (nightly fuzz budget)
   -h, --help          Show this help
 ";
 
@@ -34,6 +45,7 @@ fn main() -> ExitCode {
     let subcommand = match args.next().as_deref() {
         Some("analyze") => "analyze",
         Some("bench-gate") => "bench-gate",
+        Some("conformance") => "conformance",
         Some("-h") | Some("--help") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -53,6 +65,20 @@ fn main() -> ExitCode {
                 Some(p) => opts.json_out = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("error: --json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seeds" => match args.next() {
+                Some(s) => opts.seeds = Some(s),
+                None => {
+                    eprintln!("error: --seeds requires a range like 1..50");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--budget-secs" => match args.next().map(|n| n.parse()) {
+                Some(Ok(n)) => opts.budget_secs = Some(n),
+                _ => {
+                    eprintln!("error: --budget-secs requires a number");
                     return ExitCode::FAILURE;
                 }
             },
@@ -81,6 +107,7 @@ fn main() -> ExitCode {
 
     let result = match subcommand {
         "bench-gate" => bench_gate(&root, &opts, &mut std::io::stdout()),
+        "conformance" => conformance::conformance(&root, &opts, &mut std::io::stdout()),
         _ => analyze(&root, &opts, &mut std::io::stdout()),
     };
     match result {

@@ -1,4 +1,4 @@
-//! The SciDB-specific workspace invariants (R1–R5).
+//! The SciDB-specific workspace invariants (R1–R6).
 //!
 //! * **R1** — no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in
 //!   non-test code of the library crates (`core`, `storage`, `query`,
@@ -23,6 +23,11 @@
 //!   attributable in traces. `crates/obs` and `core::exec` define the
 //!   sanctioned clocks. Escape hatch:
 //!   `// lint: allow(timing) — justification`.
+//! * **R6** — every kernel in `core::ops::PARALLEL_KERNELS` must appear in
+//!   the conformance generator's op table
+//!   (`crates/conformance/src/optable.rs`), so the differential harness
+//!   exercises each chunk-parallel kernel against all four backends.
+//!   Escape hatch: `// lint: allow(conformance) — justification`.
 
 use crate::scan::SourceFile;
 use std::fmt;
@@ -42,6 +47,9 @@ pub enum Rule {
     /// Observable timing: no raw `Instant::now()`/`SystemTime::now()`
     /// outside the substrate.
     R5,
+    /// Conformance coverage: every parallel kernel is in the differential
+    /// harness's op table.
+    R6,
 }
 
 impl Rule {
@@ -53,6 +61,7 @@ impl Rule {
             Rule::R3 => "R3",
             Rule::R4 => "R4",
             Rule::R5 => "R5",
+            Rule::R6 => "R6",
         }
     }
 
@@ -64,6 +73,7 @@ impl Rule {
             Rule::R3 => "concurrency containment",
             Rule::R4 => "Result-typed public API",
             Rule::R5 => "observable timing",
+            Rule::R6 => "conformance op-table coverage",
         }
     }
 
@@ -75,6 +85,7 @@ impl Rule {
             Rule::R3 => "concurrency",
             Rule::R4 => "option-api",
             Rule::R5 => "timing",
+            Rule::R6 => "conformance",
         }
     }
 }
@@ -134,6 +145,9 @@ pub const EXEC_FILE: &str = "crates/core/src/exec.rs";
 /// The file declaring the parallel-kernel manifest.
 pub const MANIFEST_FILE: &str = "crates/core/src/ops/mod.rs";
 
+/// The differential harness's operator table (R6 coverage target).
+pub const OPTABLE_FILE: &str = "crates/conformance/src/optable.rs";
+
 const PANIC_MARKERS: &[(&str, bool, &str)] = &[
     (".unwrap()", false, "`.unwrap()`"),
     // `.expect("` rather than `.expect(`: Option/Result::expect takes a
@@ -171,6 +185,7 @@ pub fn check_all(ws: &Workspace) -> Vec<Diagnostic> {
     diags.extend(check_r3(ws));
     diags.extend(check_r4(ws));
     diags.extend(check_r5(ws));
+    diags.extend(check_r6(ws));
     diags.sort_by(|a, b| (a.rule, &a.path, a.line, a.col).cmp(&(b.rule, &b.path, b.line, b.col)));
     diags
 }
@@ -535,6 +550,92 @@ pub fn check_r5(ws: &Workspace) -> Vec<Diagnostic> {
     diags
 }
 
+/// Parses the kernel entry points referenced by the conformance op table
+/// (`kernel: Some("…")` fields inside `OP_TABLE`).
+pub fn parse_optable_kernels(file: &SourceFile) -> Vec<String> {
+    let Some(start) = file.raw.find("OP_TABLE") else {
+        return Vec::new();
+    };
+    let end = file.raw[start..]
+        .find("];")
+        .map_or(file.raw.len(), |i| start + i);
+    let body = &file.raw[start..end];
+    let mut kernels = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = body[from..].find("Some(\"") {
+        let at = from + rel + "Some(\"".len();
+        let Some(q) = body[at..].find('"') else {
+            break;
+        };
+        kernels.push(body[at..at + q].to_string());
+        from = at + q;
+    }
+    kernels
+}
+
+/// R6: every `PARALLEL_KERNELS` entry appears in the conformance op table,
+/// so the differential harness exercises each chunk-parallel kernel.
+pub fn check_r6(ws: &Workspace) -> Vec<Diagnostic> {
+    let manifest_file = ws
+        .files
+        .iter()
+        .find(|f| f.path.as_path() == Path::new(MANIFEST_FILE));
+    let entries = manifest_file.map(parse_manifest).unwrap_or_default();
+    if entries.is_empty() {
+        // R2 already reports a missing/empty manifest.
+        return Vec::new();
+    }
+
+    let optable = ws
+        .files
+        .iter()
+        .find(|f| f.path.as_path() == Path::new(OPTABLE_FILE));
+    let Some(optable) = optable else {
+        return vec![Diagnostic {
+            rule: Rule::R6,
+            path: OPTABLE_FILE.to_string(),
+            line: 1,
+            col: 1,
+            message: "conformance op table not found".to_string(),
+            snippet: String::new(),
+            help: "declare the generator's operators (and the parallel kernels they \
+                   drive) in `crates/conformance/src/optable.rs`"
+                .to_string(),
+        }];
+    };
+
+    let kernels = parse_optable_kernels(optable);
+    let (table_line, _) = optable.line_col(optable.raw.find("OP_TABLE").unwrap_or(0));
+    let mut diags = Vec::new();
+    for e in &entries {
+        if kernels.iter().any(|k| k == &e.entry) {
+            continue;
+        }
+        if optable
+            .allow_for(table_line, Rule::R6.allow_token())
+            .is_some_and(|a| !a.justification.is_empty())
+        {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: Rule::R6,
+            path: OPTABLE_FILE.to_string(),
+            line: table_line,
+            col: 1,
+            message: format!(
+                "parallel kernel `{}` ({}) is not covered by the conformance op table",
+                e.name, e.entry
+            ),
+            snippet: format!("KernelSpec {{ name: \"{}\", … }}", e.name),
+            help: "add an `OpEntry` whose `kernel` names this entry point so the \
+                   differential harness generates it, or annotate the table with \
+                   `// lint: allow(conformance) — why`"
+                .to_string(),
+        });
+    }
+    diags
+}
+
 /// If `ret` is a `Result` with an explicit error type that is not the crate
 /// error, returns that type.
 fn foreign_error_type(ret: &str) -> Option<String> {
@@ -762,6 +863,54 @@ pub const PARALLEL_KERNELS: &[KernelSpec] = &[
         assert!(
             msgs.iter().any(|m| m.contains("outside core::ops")),
             "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn r6_accepts_covered_kernel_and_flags_missing_one() {
+        let optable = "pub const OP_TABLE: &[OpEntry] = &[\n\
+                       OpEntry { name: \"filter\", kernel: Some(\"filter_with\"), weight: 4 },\n\
+                       ];\n";
+        let d = check_r6(&ws(
+            vec![
+                ("crates/core/src/ops/mod.rs", MANIFEST),
+                ("crates/conformance/src/optable.rs", optable),
+            ],
+            None,
+        ));
+        assert!(d.is_empty(), "{d:?}");
+
+        let empty_table = "pub const OP_TABLE: &[OpEntry] = &[\n];\n";
+        let d = check_r6(&ws(
+            vec![
+                ("crates/core/src/ops/mod.rs", MANIFEST),
+                ("crates/conformance/src/optable.rs", empty_table),
+            ],
+            None,
+        ));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::R6);
+        assert!(d[0].message.contains("filter_with"), "{d:?}");
+    }
+
+    #[test]
+    fn r6_flags_missing_optable_file() {
+        let d = check_r6(&ws(vec![("crates/core/src/ops/mod.rs", MANIFEST)], None));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("not found"), "{d:?}");
+    }
+
+    #[test]
+    fn optable_parse_extracts_kernels() {
+        let optable = "pub const OP_TABLE: &[OpEntry] = &[\n\
+                       OpEntry { name: \"filter\", kernel: Some(\"filter_with\"), weight: 4 },\n\
+                       OpEntry { name: \"sjoin\", kernel: None, weight: 2 },\n\
+                       OpEntry { name: \"regrid\", kernel: Some(\"regrid_with\"), weight: 2 },\n\
+                       ];\n";
+        let f = SourceFile::new(PathBuf::from(OPTABLE_FILE), optable.to_string());
+        assert_eq!(
+            parse_optable_kernels(&f),
+            vec!["filter_with", "regrid_with"]
         );
     }
 

@@ -31,6 +31,7 @@ fn scaffold(name: &str) -> PathBuf {
     for dir in [
         "crates/core/src/ops",
         "crates/query/src",
+        "crates/conformance/src",
         "crates/xtask",
         "tests",
     ] {
@@ -38,6 +39,14 @@ fn scaffold(name: &str) -> PathBuf {
     }
     fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write");
     fs::write(root.join("crates/core/src/ops/mod.rs"), MANIFEST).expect("write");
+    // A minimal op table covering the manifest keeps R6 quiet.
+    fs::write(
+        root.join("crates/conformance/src/optable.rs"),
+        "pub const OP_TABLE: &[OpEntry] = &[\n\
+         OpEntry { name: \"filter\", kernel: Some(\"filter_with\"), weight: 1 },\n\
+         ];\n",
+    )
+    .expect("write");
     fs::write(
         root.join("tests/proptest_parallel.rs"),
         "// exercises filter_with\n",
@@ -123,6 +132,25 @@ fn seeded_unregistered_kernel_fails() {
     assert_eq!(outcome, Outcome::Failed);
     let text = String::from_utf8(out).expect("utf8");
     assert!(text.contains("not a registered kernel entry"), "{text}");
+}
+
+#[test]
+fn seeded_uncovered_kernel_fails_r6() {
+    let root = scaffold("seeded_r6");
+    fs::write(
+        root.join("crates/conformance/src/optable.rs"),
+        "pub const OP_TABLE: &[OpEntry] = &[\n];\n",
+    )
+    .expect("write");
+    let mut out = Vec::new();
+    let outcome = analyze(&root, &Options::default(), &mut out).expect("analyze runs");
+    assert_eq!(outcome, Outcome::Failed);
+    let text = String::from_utf8(out).expect("utf8");
+    assert!(text.contains("error[R6]"), "{text}");
+    assert!(
+        text.contains("not covered by the conformance op table"),
+        "{text}"
+    );
 }
 
 #[test]

@@ -1,0 +1,72 @@
+//! Differential conformance: replay the pinned corpus and a fixed smoke
+//! seed range through all four backends (serial, parallel, grid,
+//! relational) and require byte-identical canonical results.
+//!
+//! Corpus cases live in `tests/conformance-corpus/*.json`; each is a
+//! shrunk, replayable repro of a previously observed divergence, pinned
+//! so the fix cannot regress. New failures found by `cargo xtask
+//! conformance` (or the nightly fuzz job) land here the same way.
+
+use scidb_conformance::case::Case;
+use scidb_conformance::{Harness, Outcome};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("conformance-corpus")
+}
+
+#[test]
+fn corpus_cases_replay_byte_identical() {
+    let harness = Harness::new();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory missing")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "conformance corpus is empty");
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let case = Case::from_json(&text)
+            .unwrap_or_else(|e| panic!("bad corpus file {}: {e}", path.display()));
+        match harness.run_case(&case) {
+            Outcome::Match { .. } => {}
+            Outcome::Diverged(d) => panic!(
+                "corpus case {} diverged ({} vs {}): {}",
+                path.display(),
+                d.left,
+                d.right,
+                d.first_diff()
+            ),
+        }
+    }
+}
+
+#[test]
+fn corpus_cases_roundtrip_through_json() {
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus directory missing") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let case = Case::from_json(&text).expect("parseable corpus case");
+        let reparsed = Case::from_json(&case.to_json()).expect("re-parseable");
+        assert_eq!(case, reparsed, "lossy roundtrip for {}", path.display());
+    }
+}
+
+#[test]
+fn smoke_seed_range_matches_across_all_backends() {
+    let harness = Harness::new();
+    for seed in 1..=5 {
+        let (case, outcome) = harness.run_seed(seed);
+        assert!(
+            outcome.is_match(),
+            "seed {seed} diverged; case:\n{}",
+            case.to_json()
+        );
+    }
+}

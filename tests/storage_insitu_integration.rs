@@ -182,3 +182,161 @@ fn delta_store_time_travel_through_disk() {
     let (v, _) = store.read_cell_at(&[1, 1], 5).unwrap();
     assert_eq!(v, Some(vec![Value::from(0.0)]));
 }
+
+/// A sparse array on an unbounded (`*`) first dimension: a handful of
+/// cells, most chunks never touched.
+fn unbounded_sparse() -> Array {
+    let schema = SchemaBuilder::new("stream")
+        .attr("v", ScalarType::Float64)
+        .dim_unbounded("t")
+        .dim_chunked("s", 4, 2)
+        .build()
+        .unwrap();
+    let mut a = Array::new(schema);
+    for (t, s) in [(1i64, 1i64), (7, 2), (19, 4), (64, 3)] {
+        a.set_cell(&[t, s], vec![Value::from((t * 100 + s) as f64)])
+            .unwrap();
+    }
+    a
+}
+
+/// Rebuilds `a` on a fully bounded schema whose uppers sit at each
+/// dimension's high-water mark — the standard bridge for exporting an
+/// unbounded array to a rectangular external format.
+fn bounded_at_high_water(a: &Array) -> Array {
+    let schema = a.schema();
+    let mut b = SchemaBuilder::new(schema.name());
+    for attr in schema.attrs() {
+        b = b.attr(&attr.name, attr.ty.as_scalar().unwrap());
+    }
+    for (d, dim) in schema.dims().iter().enumerate() {
+        b = b.dim_chunked(&dim.name, a.high_water(d).max(1), dim.chunk_len);
+    }
+    let mut out = Array::new(b.build().unwrap());
+    for (coords, rec) in a.cells() {
+        out.set_cell(&coords, rec).unwrap();
+    }
+    out
+}
+
+#[test]
+fn insitu_writers_reject_unbounded_arrays() {
+    let dir = tmp_dir("unbounded_reject");
+    let a = unbounded_sparse();
+    let err = write_netcdf(&dir.join("a.ncdf"), &a, &[]).unwrap_err();
+    assert!(err.to_string().contains("bounded"), "{err}");
+    let err = write_h5(
+        &dir.join("a.h5lt"),
+        &[DatasetSpec {
+            path: "/img".into(),
+            array: &a,
+        }],
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("bounded"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unbounded_array_roundtrips_via_high_water_view() {
+    let dir = tmp_dir("unbounded_view");
+    let a = unbounded_sparse();
+    let bounded = bounded_at_high_water(&a);
+    assert_eq!(bounded.cell_count(), a.cell_count());
+
+    let ncdf = dir.join("a.ncdf");
+    let h5 = dir.join("a.h5lt");
+    write_netcdf(&ncdf, &bounded, &[]).unwrap();
+    write_h5(
+        &h5,
+        &[DatasetSpec {
+            path: "/img".into(),
+            array: &bounded,
+        }],
+    )
+    .unwrap();
+
+    let expect: Vec<_> = a.cells().collect();
+    for path in [&ncdf, &h5] {
+        let mut src = scidb::insitu::open(path).unwrap();
+        let out = src.read_all().unwrap();
+        for (coords, rec) in &expect {
+            assert_eq!(
+                out.get_f64(0, coords),
+                rec[0].as_f64(),
+                "{path:?} cell {coords:?}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn zero_cell_chunks_survive_both_adaptors() {
+    // Only 2 of the 16 chunks are occupied; the adaptors must neither
+    // materialize the 14 empty chunks nor lose the occupied ones.
+    let schema = SchemaBuilder::new("sparse")
+        .attr("v", ScalarType::Float64)
+        .dim_chunked("x", 16, 4)
+        .dim_chunked("y", 16, 4)
+        .build()
+        .unwrap();
+    let mut a = Array::new(schema);
+    a.set_cell(&[2, 3], vec![Value::from(23.0)]).unwrap();
+    a.set_cell(&[15, 14], vec![Value::from(1514.0)]).unwrap();
+
+    let dir = tmp_dir("zero_chunks");
+    let ncdf = dir.join("a.ncdf");
+    let h5 = dir.join("a.h5lt");
+    write_netcdf(&ncdf, &a, &[]).unwrap();
+    write_h5(
+        &h5,
+        &[DatasetSpec {
+            path: "/img".into(),
+            array: &a,
+        }],
+    )
+    .unwrap();
+
+    for path in [&ncdf, &h5] {
+        let mut src = scidb::insitu::open(path).unwrap();
+        let out = src.read_all().unwrap();
+        assert_eq!(out.get_f64(0, &[2, 3]), Some(23.0), "{path:?}");
+        assert_eq!(out.get_f64(0, &[15, 14]), Some(1514.0), "{path:?}");
+        // A region over never-written chunks yields no cells.
+        let empty = src
+            .read_region(&HyperRect::new(vec![5, 5], vec![8, 8]).unwrap())
+            .unwrap();
+        assert_eq!(empty.cell_count(), 0, "{path:?}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fully_empty_array_roundtrips_as_empty() {
+    let schema = SchemaBuilder::new("void")
+        .attr("v", ScalarType::Float64)
+        .dim_chunked("x", 8, 4)
+        .dim_chunked("y", 8, 4)
+        .build()
+        .unwrap();
+    let a = Array::new(schema);
+    let dir = tmp_dir("empty");
+    let ncdf = dir.join("a.ncdf");
+    let h5 = dir.join("a.h5lt");
+    write_netcdf(&ncdf, &a, &[]).unwrap();
+    write_h5(
+        &h5,
+        &[DatasetSpec {
+            path: "/img".into(),
+            array: &a,
+        }],
+    )
+    .unwrap();
+    for path in [&ncdf, &h5] {
+        let mut src = scidb::insitu::open(path).unwrap();
+        let out = src.read_all().unwrap();
+        assert_eq!(out.cell_count(), 0, "{path:?}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
