@@ -44,7 +44,7 @@ fn main() {
                 .expect("insert");
         }
     }
-    let arr = match db.array("A").expect("A exists") {
+    let arr = match &*db.array("A").expect("A exists") {
         StoredArray::Plain(a) => a.clone(),
         other => panic!("expected plain array, got {other:?}"),
     };

@@ -1,6 +1,6 @@
 //! # scidb-conformance
 //!
-//! Differential conformance harness: **one query, four engines,
+//! Differential conformance harness: **one query, five engines,
 //! byte-identical answers**.
 //!
 //! A seeded generator ([`gen`]) produces a random array schema (including
@@ -8,13 +8,16 @@
 //! uncertain values — all floats on an exact dyadic lattice), and a random
 //! operator pipeline drawn from the [`optable`] covering
 //! `scidb_core::ops::{structural, content}`. Each case executes through
-//! four independent backends:
+//! five independent backends:
 //!
 //! 1. serial `ExecContext` ([`backends::run_serial`]),
 //! 2. the parallel chunk engine ([`backends::run_parallel`]),
 //! 3. a replicated grid cluster, optionally under a benign fault plan
 //!    ([`backends::run_grid`]),
-//! 4. the relational baseline over `scidb_relational::array_sim`
+//! 4. a remote engine behind the `scidb-server` wire protocol — the
+//!    pipeline rendered to canonical AQL and executed over a loopback
+//!    TCP connection ([`remote::run_remote`]),
+//! 5. the relational baseline over `scidb_relational::array_sim`
 //!    ([`rel::run_relational`]).
 //!
 //! Results are canonicalized ([`canon`]) and compared **byte for byte**.
@@ -31,12 +34,14 @@ pub mod gen;
 pub mod json;
 pub mod optable;
 pub mod rel;
+pub mod remote;
 pub mod shrink;
 
 use backends::{run_grid, run_parallel, run_serial, Perturb};
 use canon::{canon_array, canon_table, cells_of_full, Canon};
 use case::Case;
 use rel::run_relational;
+use remote::run_remote;
 use scidb_core::registry::Registry;
 
 /// One observed divergence between two backends.
@@ -142,6 +147,11 @@ impl Harness {
             return Outcome::Diverged(d);
         }
         if let Some(d) = diff("serial", &serial, "grid", &grid) {
+            return Outcome::Diverged(d);
+        }
+
+        let remote = run_remote(case, &self.registry).map(|a| canon_array(&a, Canon::Full));
+        if let Some(d) = diff("serial", &serial, "remote", &remote) {
             return Outcome::Diverged(d);
         }
 

@@ -43,6 +43,115 @@ pub enum Error {
         /// Cells for which no live copy exists.
         lost_cells: usize,
     },
+    /// A client failed authentication during the server handshake.
+    Auth(String),
+    /// The server refused to admit the request: the global query queue is
+    /// full or the session exceeded its in-flight limit.
+    Admission(String),
+    /// A malformed or out-of-order frame on the wire protocol.
+    Protocol(String),
+}
+
+/// Wire-stable numeric code for each [`Error`] class.
+///
+/// Server error frames carry `code.as_u16()` so clients can dispatch on the
+/// failure class without parsing message strings. The numeric values are a
+/// wire-compatibility contract: existing values never change, and new
+/// variants only ever append — hence `#[non_exhaustive]`, so clients must
+/// keep a catch-all arm.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// See [`Error::Schema`].
+    Schema,
+    /// See [`Error::Dimension`].
+    Dimension,
+    /// See [`Error::NotFound`].
+    NotFound,
+    /// See [`Error::AlreadyExists`].
+    AlreadyExists,
+    /// See [`Error::Eval`].
+    Eval,
+    /// See [`Error::Parse`].
+    Parse,
+    /// See [`Error::Storage`].
+    Storage,
+    /// See [`Error::Unsupported`].
+    Unsupported,
+    /// See [`Error::Unavailable`].
+    Unavailable,
+    /// See [`Error::Auth`].
+    Auth,
+    /// See [`Error::Admission`].
+    Admission,
+    /// See [`Error::Protocol`].
+    Protocol,
+}
+
+impl ErrorCode {
+    /// All currently defined codes, in wire-value order.
+    pub const ALL: &'static [ErrorCode] = &[
+        ErrorCode::Schema,
+        ErrorCode::Dimension,
+        ErrorCode::NotFound,
+        ErrorCode::AlreadyExists,
+        ErrorCode::Eval,
+        ErrorCode::Parse,
+        ErrorCode::Storage,
+        ErrorCode::Unsupported,
+        ErrorCode::Unavailable,
+        ErrorCode::Auth,
+        ErrorCode::Admission,
+        ErrorCode::Protocol,
+    ];
+
+    /// The stable numeric value carried in server error frames.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            ErrorCode::Schema => 1,
+            ErrorCode::Dimension => 2,
+            ErrorCode::NotFound => 3,
+            ErrorCode::AlreadyExists => 4,
+            ErrorCode::Eval => 5,
+            ErrorCode::Parse => 6,
+            ErrorCode::Storage => 7,
+            ErrorCode::Unsupported => 8,
+            ErrorCode::Unavailable => 9,
+            ErrorCode::Auth => 10,
+            ErrorCode::Admission => 11,
+            ErrorCode::Protocol => 12,
+        }
+    }
+
+    /// Inverse of [`ErrorCode::as_u16`]; `None` for values this build does
+    /// not know (a newer peer may send codes appended after this release).
+    pub fn from_u16(v: u16) -> Option<Self> {
+        ErrorCode::ALL.iter().copied().find(|c| c.as_u16() == v)
+    }
+
+    /// Short stable mnemonic (used in logs and error frames).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Schema => "schema",
+            ErrorCode::Dimension => "dimension",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::AlreadyExists => "already_exists",
+            ErrorCode::Eval => "eval",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Storage => "storage",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Auth => "auth",
+            ErrorCode::Admission => "admission",
+            ErrorCode::Protocol => "protocol",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 impl Error {
@@ -80,6 +189,81 @@ impl Error {
     pub fn unavailable(lost_cells: usize) -> Self {
         Error::Unavailable { lost_cells }
     }
+
+    /// Convenience constructor for authentication errors.
+    pub fn auth(msg: impl Into<String>) -> Self {
+        Error::Auth(msg.into())
+    }
+
+    /// Convenience constructor for admission-control rejections.
+    pub fn admission(msg: impl Into<String>) -> Self {
+        Error::Admission(msg.into())
+    }
+
+    /// Convenience constructor for wire-protocol errors.
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        Error::Protocol(msg.into())
+    }
+
+    /// The wire-stable [`ErrorCode`] for this error's class.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            Error::Schema(_) => ErrorCode::Schema,
+            Error::Dimension(_) => ErrorCode::Dimension,
+            Error::NotFound(_) => ErrorCode::NotFound,
+            Error::AlreadyExists(_) => ErrorCode::AlreadyExists,
+            Error::Eval(_) => ErrorCode::Eval,
+            Error::Parse(_) => ErrorCode::Parse,
+            Error::Storage(_) => ErrorCode::Storage,
+            Error::Unsupported(_) => ErrorCode::Unsupported,
+            Error::Unavailable { .. } => ErrorCode::Unavailable,
+            Error::Auth(_) => ErrorCode::Auth,
+            Error::Admission(_) => ErrorCode::Admission,
+            Error::Protocol(_) => ErrorCode::Protocol,
+        }
+    }
+
+    /// Rebuild an error from a wire frame's `(code, message)` pair.
+    ///
+    /// The message is the bare detail string (what the convenience
+    /// constructors take), not the `Display` rendering. Unknown codes from a
+    /// newer peer degrade to [`Error::Protocol`] so the client still gets a
+    /// typed error.
+    pub fn from_wire(code: u16, msg: &str) -> Self {
+        match ErrorCode::from_u16(code) {
+            Some(ErrorCode::Schema) => Error::schema(msg),
+            Some(ErrorCode::Dimension) => Error::dimension(msg),
+            Some(ErrorCode::NotFound) => Error::not_found(msg),
+            Some(ErrorCode::AlreadyExists) => Error::AlreadyExists(msg.into()),
+            Some(ErrorCode::Eval) => Error::eval(msg),
+            Some(ErrorCode::Parse) => Error::parse(msg),
+            Some(ErrorCode::Storage) => Error::storage(msg),
+            Some(ErrorCode::Unsupported) => Error::Unsupported(msg.into()),
+            Some(ErrorCode::Unavailable) => Error::unavailable(msg.parse::<usize>().unwrap_or(0)),
+            Some(ErrorCode::Auth) => Error::auth(msg),
+            Some(ErrorCode::Admission) => Error::admission(msg),
+            Some(ErrorCode::Protocol) | None => Error::protocol(msg),
+        }
+    }
+
+    /// The bare detail string for the wire frame paired with
+    /// [`Error::code`]; [`Error::from_wire`] is its inverse.
+    pub fn wire_message(&self) -> String {
+        match self {
+            Error::Schema(m)
+            | Error::Dimension(m)
+            | Error::NotFound(m)
+            | Error::AlreadyExists(m)
+            | Error::Eval(m)
+            | Error::Parse(m)
+            | Error::Storage(m)
+            | Error::Unsupported(m)
+            | Error::Auth(m)
+            | Error::Admission(m)
+            | Error::Protocol(m) => m.clone(),
+            Error::Unavailable { lost_cells } => lost_cells.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -96,6 +280,9 @@ impl fmt::Display for Error {
             Error::Unavailable { lost_cells } => {
                 write!(f, "unavailable: {lost_cells} cell(s) have no live replica")
             }
+            Error::Auth(m) => write!(f, "authentication failed: {m}"),
+            Error::Admission(m) => write!(f, "admission refused: {m}"),
+            Error::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }
@@ -136,5 +323,48 @@ mod tests {
         let io = std::io::Error::other("disk gone");
         let e: Error = io.into();
         assert!(matches!(e, Error::Storage(_)));
+    }
+
+    #[test]
+    fn error_code_u16_round_trips_every_variant() {
+        for &code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code));
+        }
+        // Values are unique (the wire contract).
+        let mut vals: Vec<u16> = ErrorCode::ALL.iter().map(|c| c.as_u16()).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), ErrorCode::ALL.len());
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(u16::MAX), None);
+    }
+
+    #[test]
+    fn error_wire_frame_round_trips_every_variant() {
+        let all = vec![
+            Error::schema("bad"),
+            Error::dimension("bad"),
+            Error::not_found("x"),
+            Error::AlreadyExists("x".into()),
+            Error::eval("bad"),
+            Error::parse("bad"),
+            Error::storage("bad"),
+            Error::Unsupported("x".into()),
+            Error::unavailable(3),
+            Error::auth("denied"),
+            Error::admission("queue full"),
+            Error::protocol("short frame"),
+        ];
+        // One Error variant per ErrorCode, and every code is covered.
+        assert_eq!(all.len(), ErrorCode::ALL.len());
+        for e in all {
+            let (code, msg) = (e.code().as_u16(), e.wire_message());
+            assert_eq!(Error::from_wire(code, &msg), e);
+        }
+        // Unknown codes degrade to Protocol instead of panicking.
+        assert!(matches!(
+            Error::from_wire(9999, "future"),
+            Error::Protocol(_)
+        ));
     }
 }

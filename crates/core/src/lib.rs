@@ -45,7 +45,7 @@ pub mod value;
 pub mod versions;
 
 pub use array::Array;
-pub use error::{Error, Result};
+pub use error::{Error, ErrorCode, Result};
 pub use exec::{ExecContext, OpMetrics, QueryMetrics};
 pub use geometry::{Coords, HyperRect};
 pub use schema::{ArraySchema, AttributeDef, DimensionDef, SchemaBuilder};

@@ -28,5 +28,5 @@ pub use slowlog::{SlowEntry, SlowLog};
 pub use span::{
     AttrValue, EventData, KernelEvent, RenderOptions, Span, SpanData, Stopwatch, Trace, TraceData,
     EVENT_DEGRADED, EVENT_FAILOVER, EVENT_KERNEL, EVENT_NODE, EVENT_REREPLICATE, EVENT_RETRY,
-    LAYER_CORE, LAYER_GRID, LAYER_QUERY, LAYER_STORAGE,
+    LAYER_CORE, LAYER_GRID, LAYER_QUERY, LAYER_SERVER, LAYER_STORAGE,
 };

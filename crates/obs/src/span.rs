@@ -23,6 +23,8 @@ pub const LAYER_CORE: &str = "core";
 pub const LAYER_STORAGE: &str = "storage";
 /// Layer tag for distributed grid operations.
 pub const LAYER_GRID: &str = "grid";
+/// Layer tag for the client/server wire front end.
+pub const LAYER_SERVER: &str = "server";
 
 /// Event vocabulary: a `core::exec` kernel invocation (see
 /// [`Span::record_kernel`] / [`TraceData::kernel_events`]).

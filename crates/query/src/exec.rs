@@ -1,11 +1,27 @@
 //! The query executor: a [`Database`] catalog plus statement evaluation.
 //!
-//! `Database` owns defined array types, array instances (plain, updatable,
-//! and disk-backed), the function [`Registry`], and an [`ExecContext`] — the
-//! thread budget threaded into every operator kernel. `execute` runs one
-//! parsed statement; `run` parses, plans (see [`crate::plan`]), and executes
-//! AQL text — the full §2.4 pipeline from any language binding down to the
-//! engine.
+//! Since the serving-layer redesign the catalog lives in an internal,
+//! interior-synchronized core (`DbCore`): an immutable handle to it can be
+//! shared across threads, and every statement executes through that shared
+//! core under a reader/writer lock — read statements (`Query`, `exists`)
+//! take the read side and run concurrently, DDL/DML takes the write side.
+//! Three public handles wrap the core:
+//!
+//! * [`Database`] — the classic owning handle. All historic `&mut self`
+//!   entry points (`run`, `query`, `execute`, …) are thin wrappers over the
+//!   shared core, so single-threaded callers are unaffected.
+//! * [`SharedDatabase`] — a cheaply cloneable (`Arc`) handle for serving
+//!   layers; it opens per-connection [`Session`]s.
+//! * [`Session`] — an owning statement-execution handle with its *own*
+//!   [`ExecContext`] and trace/metric accumulation, so concurrent sessions
+//!   never share per-statement state (the context's current-span slot in
+//!   particular must not be shared between concurrently executing
+//!   statements).
+//!
+//! Statement texts prepare into [`Prepared`] handles exposing the §2.4
+//! canonical parse-tree cache key (`Stmt`'s `Display` rendering); the core
+//! keeps an opt-in result cache keyed on that canonical form, invalidated
+//! by a generation counter that every catalog write bumps.
 //!
 //! Every statement executes under a [`Trace`]: the executor opens a root
 //! `statement` span, one child span per plan node, and the storage layer
@@ -13,8 +29,8 @@
 //! `explain analyze <stmt>` renders the full cross-layer tree.
 //! [`Database::metrics`] is a thin view derived from those traces
 //! (see [`QueryMetrics::from_traces`]); statements slower than the
-//! configured threshold are retained in a [`SlowLog`] ring, retrievable via
-//! [`Database::slow_queries`].
+//! configured threshold are retained in a [`SlowLog`] ring shared by all
+//! handles to one database, retrievable via [`Database::slow_queries`].
 //!
 //! Chunk-separable operators (Subsample, Filter, Apply, Project, Aggregate,
 //! Regrid) execute chunk-parallel up to the context's thread budget;
@@ -24,6 +40,9 @@
 use crate::ast::{AExpr, AggArg, Literal, Stmt};
 use crate::parser;
 use crate::plan;
+use parking_lot::{
+    MappedRwLockReadGuard, MappedRwLockWriteGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use scidb_core::array::Array;
 use scidb_core::enhance::WallClock;
 use scidb_core::error::{Error, Result};
@@ -38,6 +57,7 @@ use scidb_core::value::{ScalarType, Value};
 use scidb_obs::{RenderOptions, SlowEntry, SlowLog, Span, Trace, TraceData, LAYER_QUERY};
 use scidb_storage::{CodecPolicy, MemDisk, ReadOptions, StorageManager};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -46,6 +66,10 @@ pub const DEFAULT_SLOW_QUERY_THRESHOLD: Duration = Duration::from_millis(100);
 
 /// Default slow-query ring capacity.
 pub const DEFAULT_SLOW_QUERY_CAPACITY: usize = 32;
+
+/// Result-cache entry budget; when full the cache is wholesale-evicted
+/// (entries are invalidated by catalog writes far more often in practice).
+pub const RESULT_CACHE_CAPACITY: usize = 64;
 
 /// A stored array instance.
 #[derive(Debug)]
@@ -143,145 +167,239 @@ impl StmtResult {
     }
 }
 
-/// The catalog + executor.
-pub struct Database {
+/// Shared read access to a stored array (released on drop).
+pub type ArrayRef<'a> = MappedRwLockReadGuard<'a, StoredArray>;
+/// Exclusive access to a stored array (released on drop).
+pub type ArrayRefMut<'a> = MappedRwLockWriteGuard<'a, StoredArray>;
+/// Shared read access to the function registry.
+pub type RegistryRef<'a> = MappedRwLockReadGuard<'a, Registry>;
+/// Exclusive access to the function registry.
+pub type RegistryRefMut<'a> = MappedRwLockWriteGuard<'a, Registry>;
+/// Shared read access to the slow-query log.
+pub type SlowLogRef<'a> = RwLockReadGuard<'a, SlowLog>;
+/// Exclusive access to the slow-query log.
+pub type SlowLogRefMut<'a> = RwLockWriteGuard<'a, SlowLog>;
+
+/// The lock-guarded catalog: array types, array instances, and the
+/// function registry move together under one reader/writer lock so a
+/// statement sees an atomic snapshot of all three.
+struct CatalogState {
     types: HashMap<String, ArraySchema>,
     arrays: HashMap<String, StoredArray>,
     registry: Registry,
-    ctx: ExecContext,
-    traces: Vec<TraceData>,
-    slow_log: SlowLog,
 }
 
-impl Default for Database {
-    fn default() -> Self {
-        Database::new()
-    }
-}
-
-impl Database {
-    /// Creates a database with the built-in function library and a
-    /// machine-sized thread budget.
-    pub fn new() -> Self {
-        Database::with_threads(0)
-    }
-
-    /// Creates a database with an explicit thread budget (`1` forces serial
-    /// execution, `0` auto-sizes to the machine).
-    pub fn with_threads(threads: usize) -> Self {
-        Database {
-            types: HashMap::new(),
-            arrays: HashMap::new(),
-            registry: Registry::with_builtins(),
-            ctx: ExecContext::with_threads(threads),
-            traces: Vec::new(),
-            slow_log: SlowLog::new(DEFAULT_SLOW_QUERY_THRESHOLD, DEFAULT_SLOW_QUERY_CAPACITY),
-        }
-    }
-
-    /// The execution context statements run under.
-    pub fn exec_context(&self) -> &ExecContext {
-        &self.ctx
-    }
-
-    /// Replaces the thread budget (traces and metrics accumulated so far
-    /// are dropped; the slow-query log is kept).
-    pub fn set_threads(&mut self, threads: usize) {
-        self.ctx = ExecContext::with_threads(threads);
-        self.traces.clear();
-    }
-
-    /// Per-operator metrics for the statements executed since the last
-    /// [`run`](Self::run)/[`query`](Self::query) began — a thin view
-    /// derived from the retained [`traces`](Self::traces).
-    pub fn metrics(&self) -> QueryMetrics {
-        QueryMetrics::from_traces(self.traces.iter())
-    }
-
-    /// Traces of the statements executed since the last
-    /// [`run`](Self::run)/[`query`](Self::query) began, in execution order.
-    pub fn traces(&self) -> &[TraceData] {
-        &self.traces
-    }
-
-    /// The trace of the most recently executed statement, if any.
-    pub fn last_trace(&self) -> Option<&TraceData> {
-        self.traces.last()
-    }
-
-    /// The slow-query log (process-lifetime: survives `run`/`query` resets).
-    pub fn slow_log(&self) -> &SlowLog {
-        &self.slow_log
-    }
-
-    /// Mutable slow-query log access (reconfigure threshold/capacity).
-    pub fn slow_log_mut(&mut self) -> &mut SlowLog {
-        &mut self.slow_log
-    }
-
-    /// Retained slow-query entries, oldest first.
-    pub fn slow_queries(&self) -> &[SlowEntry] {
-        self.slow_log.entries()
-    }
-
-    /// Statements with wall time at or above `threshold` are retained in
-    /// the slow-query log.
-    pub fn set_slow_query_threshold(&mut self, threshold: Duration) {
-        self.slow_log.set_threshold(threshold);
-    }
-
-    /// Opens a [`Session`]: a handle that shares this database's
-    /// [`ExecContext`] and accumulates traces across statements instead of
-    /// resetting them per call.
-    pub fn session(&mut self) -> Session<'_> {
-        self.ctx.take_metrics();
-        self.traces.clear();
-        Session { db: self }
-    }
-
-    /// The function registry (register UDFs, aggregates, enhancements,
-    /// shapes here — §2.3).
-    pub fn registry(&self) -> &Registry {
-        &self.registry
-    }
-
-    /// Mutable registry access.
-    pub fn registry_mut(&mut self) -> &mut Registry {
-        &mut self.registry
-    }
-
-    /// Looks up a stored array.
-    pub fn array(&self, name: &str) -> Result<&StoredArray> {
+impl CatalogState {
+    fn stored(&self, name: &str) -> Result<&StoredArray> {
         self.arrays
             .get(name)
             .ok_or_else(|| Error::not_found(format!("array '{name}'")))
     }
 
-    /// Mutable access to a stored array.
-    pub fn array_mut(&mut self, name: &str) -> Result<&mut StoredArray> {
+    fn stored_mut(&mut self, name: &str) -> Result<&mut StoredArray> {
         self.arrays
             .get_mut(name)
             .ok_or_else(|| Error::not_found(format!("array '{name}'")))
     }
+}
 
-    /// Registers an existing array under a name (bulk-load path used by
-    /// examples and benches).
-    pub fn put_array(&mut self, name: &str, array: Array) -> Result<()> {
-        if self.arrays.contains_key(name) {
+/// One cached query result, valid while the catalog generation matches.
+struct CachedQuery {
+    generation: u64,
+    array: Array,
+}
+
+/// The interior-synchronized database core shared by every handle.
+struct DbCore {
+    state: RwLock<CatalogState>,
+    slow_log: RwLock<SlowLog>,
+    /// The configured thread budget (0 = auto) new sessions inherit.
+    threads: AtomicUsize,
+    /// Bumped by every catalog write; versions the result cache.
+    generation: AtomicU64,
+    result_cache: RwLock<HashMap<String, CachedQuery>>,
+}
+
+impl DbCore {
+    fn new(threads: usize) -> Self {
+        DbCore {
+            state: RwLock::new(CatalogState {
+                types: HashMap::new(),
+                arrays: HashMap::new(),
+                registry: Registry::with_builtins(),
+            }),
+            slow_log: RwLock::new(SlowLog::new(
+                DEFAULT_SLOW_QUERY_THRESHOLD,
+                DEFAULT_SLOW_QUERY_CAPACITY,
+            )),
+            threads: AtomicUsize::new(threads),
+            generation: AtomicU64::new(0),
+            result_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Records a catalog write: versions the result cache. Called while
+    /// the state write lock is held (or handed out), so readers acquiring
+    /// the read lock afterwards observe the new generation.
+    fn touch(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Executes one statement under a root `statement` span, records
+    /// process-wide counters, and offers the trace to the shared
+    /// slow-query log. Returns the result *and* the statement trace; the
+    /// calling handle retains the trace for its own metrics view.
+    fn execute_stmt(
+        &self,
+        stmt: Stmt,
+        ctx: &ExecContext,
+        use_cache: bool,
+    ) -> (Result<StmtResult>, TraceData) {
+        let mut stmt = stmt;
+        let mut explain = false;
+        while let Stmt::ExplainAnalyze(inner) = stmt {
+            explain = true;
+            stmt = *inner;
+        }
+        let aql = stmt.to_string();
+        let trace = Trace::new();
+        let root = trace.root("statement", LAYER_QUERY);
+        root.set_attr("aql", aql.as_str());
+        let reg = scidb_obs::global();
+        reg.counter("scidb.query.statements").inc(1);
+        let result = self.dispatch(stmt, &aql, &root, ctx, use_cache);
+        if let Err(e) = &result {
+            root.set_attr("error", e.to_string());
+            reg.counter("scidb.query.errors").inc(1);
+        }
+        let wall = root.finish();
+        reg.histogram("scidb.query.statement_wall_us")
+            .record(wall.as_micros() as u64);
+        let data = trace.finish();
+        self.slow_log.write().observe(&aql, wall, &data);
+        let result = if explain {
+            // `explain analyze` returns the rendered span tree — wall
+            // times and kernel events included — instead of the result.
+            result.map(|_| {
+                StmtResult::Explain(data.render_tree(&RenderOptions {
+                    times: true,
+                    events: true,
+                }))
+            })
+        } else {
+            result
+        };
+        (result, data)
+    }
+
+    /// Statement dispatch, inside the root span: reads take the state
+    /// read lock, writes the write lock.
+    fn dispatch(
+        &self,
+        stmt: Stmt,
+        aql: &str,
+        root: &Span,
+        ctx: &ExecContext,
+        use_cache: bool,
+    ) -> Result<StmtResult> {
+        match stmt {
+            // Unreachable from `execute_stmt`, which strips explains
+            // first; a direct call degrades to the inner statement.
+            Stmt::ExplainAnalyze(inner) => self.dispatch(*inner, aql, root, ctx, use_cache),
+            Stmt::Query(expr) => {
+                let key = if use_cache { Some(aql) } else { None };
+                Ok(StmtResult::Array(self.execute_query(expr, root, ctx, key)?))
+            }
+            Stmt::Exists { array, coords } => {
+                let state = self.state.read();
+                let found = match state.stored(&array)? {
+                    StoredArray::OnDisk(mgr) => {
+                        let span = root.child("exists", LAYER_QUERY);
+                        span.set_attr("array", array.as_str());
+                        let res = exists_on_disk(mgr, &coords, &span);
+                        match &res {
+                            Ok(b) => span.set_attr("found", *b),
+                            Err(e) => span.set_attr("error", e.to_string()),
+                        }
+                        span.finish();
+                        res?
+                    }
+                    other => other.as_array().is_some_and(|a| a.exists(&coords)),
+                };
+                Ok(StmtResult::Bool(found))
+            }
+            write => {
+                let mut state = self.state.write();
+                let out = apply_write(&mut state, write, root, ctx);
+                if out.is_ok() {
+                    self.touch();
+                }
+                out
+            }
+        }
+    }
+
+    /// Evaluates a query expression under the state read lock, consulting
+    /// the result cache first when a key is supplied. A hit is recorded on
+    /// the root span (`cache_hit`) and skips evaluation entirely.
+    fn execute_query(
+        &self,
+        expr: AExpr,
+        root: &Span,
+        ctx: &ExecContext,
+        cache_key: Option<&str>,
+    ) -> Result<Array> {
+        if let Some(key) = cache_key {
+            let generation = self.generation.load(Ordering::SeqCst);
+            if let Some(hit) = self.result_cache.read().get(key) {
+                if hit.generation == generation {
+                    root.set_attr("cache_hit", true);
+                    scidb_obs::global().counter("scidb.query.cache_hits").inc(1);
+                    return Ok(hit.array.clone());
+                }
+            }
+        }
+        let state = self.state.read();
+        // Stable while the read lock is held: writers bump under the
+        // write lock, so this generation exactly versions the snapshot
+        // the evaluation is about to read.
+        let generation = self.generation.load(Ordering::SeqCst);
+        let ev = Evaluator { state: &state, ctx };
+        let out = ev.eval_node(root, plan::optimize(expr))?;
+        drop(state);
+        if let Some(key) = cache_key {
+            let mut cache = self.result_cache.write();
+            if cache.len() >= RESULT_CACHE_CAPACITY && !cache.contains_key(key) {
+                cache.clear();
+            }
+            cache.insert(
+                key.to_string(),
+                CachedQuery {
+                    generation,
+                    array: out.clone(),
+                },
+            );
+        }
+        Ok(out)
+    }
+
+    // ---- catalog helpers shared by Database and SharedDatabase ----------
+
+    fn put_array(&self, name: &str, array: Array) -> Result<()> {
+        let mut state = self.state.write();
+        if state.arrays.contains_key(name) {
             return Err(Error::AlreadyExists(format!("array '{name}'")));
         }
-        self.arrays
+        state
+            .arrays
             .insert(name.to_string(), StoredArray::Plain(array));
+        self.touch();
         Ok(())
     }
 
-    /// Registers an array as a disk-backed instance: its chunks are
-    /// compressed into storage-manager buckets (in-memory disk, default
-    /// codec policy) and subsequent scans stream through
-    /// [`StorageManager::read_region_traced`], nesting storage spans under
-    /// the query's trace. All dimensions must be bounded.
-    pub fn put_array_on_disk(&mut self, name: &str, array: &Array) -> Result<()> {
-        if self.arrays.contains_key(name) {
+    fn put_array_on_disk(&self, name: &str, array: &Array) -> Result<()> {
+        let mut state = self.state.write();
+        if state.arrays.contains_key(name) {
             return Err(Error::AlreadyExists(format!("array '{name}'")));
         }
         for d in array.schema().dims() {
@@ -299,272 +417,223 @@ impl Database {
             CodecPolicy::default_policy(),
         );
         mgr.store_array(array)?;
-        self.arrays
+        state
+            .arrays
             .insert(name.to_string(), StoredArray::OnDisk(mgr));
+        self.touch();
         Ok(())
     }
 
-    /// Array names in the catalog (sorted).
-    pub fn array_names(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.arrays.keys().map(String::as_str).collect();
+    fn array_names(&self) -> Vec<String> {
+        let state = self.state.read();
+        let mut v: Vec<String> = state.arrays.keys().cloned().collect();
         v.sort_unstable();
         v
     }
 
-    /// Parses, plans, and executes a script; returns one result per
-    /// statement. Resets [`traces`](Self::traces)/[`metrics`](Self::metrics)
-    /// first.
-    pub fn run(&mut self, text: &str) -> Result<Vec<StmtResult>> {
-        self.ctx.take_metrics();
-        self.traces.clear();
-        let stmts = parser::parse(text)?;
-        stmts.into_iter().map(|s| self.execute(s)).collect()
+    fn array_guard(&self, name: &str) -> Result<ArrayRef<'_>> {
+        RwLockReadGuard::try_map(self.state.read(), |s| s.arrays.get(name))
+            .map_err(|_| Error::not_found(format!("array '{name}'")))
     }
 
-    /// Runs a single-statement query expecting an array result. Resets
-    /// [`traces`](Self::traces)/[`metrics`](Self::metrics) first.
-    pub fn query(&mut self, text: &str) -> Result<Array> {
-        self.ctx.take_metrics();
-        self.traces.clear();
-        let stmt = parser::parse_one(text)?;
-        self.execute(stmt)?.into_array()
-    }
-
-    /// Executes one parsed statement under a fresh trace.
-    pub fn execute(&mut self, stmt: Stmt) -> Result<StmtResult> {
-        match stmt {
-            Stmt::ExplainAnalyze(inner) => self.execute_explain(*inner),
-            other => self.execute_traced(other),
-        }
-    }
-
-    /// Runs the (explain-stripped) statement, then renders its span tree —
-    /// wall times and kernel events included — instead of its result.
-    fn execute_explain(&mut self, mut stmt: Stmt) -> Result<StmtResult> {
-        while let Stmt::ExplainAnalyze(inner) = stmt {
-            stmt = *inner;
-        }
-        self.execute_traced(stmt)?;
-        let trace = self
-            .traces
-            .last()
-            .ok_or_else(|| Error::eval("explain analyze produced no trace"))?;
-        let report = trace.render_tree(&RenderOptions {
-            times: true,
-            events: true,
-        });
-        Ok(StmtResult::Explain(report))
-    }
-
-    /// Executes one statement under a root `statement` span, records
-    /// process-wide counters, offers the trace to the slow-query log, and
-    /// retains it for [`metrics`](Self::metrics)/[`traces`](Self::traces).
-    fn execute_traced(&mut self, stmt: Stmt) -> Result<StmtResult> {
-        let aql = stmt.to_string();
-        let trace = Trace::new();
-        let root = trace.root("statement", LAYER_QUERY);
-        root.set_attr("aql", aql.as_str());
-        let reg = scidb_obs::global();
-        reg.counter("scidb.query.statements").inc(1);
-        let result = self.execute_inner(stmt, &root);
-        if let Err(e) = &result {
-            root.set_attr("error", e.to_string());
-            reg.counter("scidb.query.errors").inc(1);
-        }
-        let wall = root.finish();
-        reg.histogram("scidb.query.statement_wall_us")
-            .record(wall.as_micros() as u64);
-        let data = trace.finish();
-        self.slow_log.observe(&aql, wall, &data);
-        self.traces.push(data);
-        result
-    }
-
-    /// Statement dispatch, inside the root span.
-    fn execute_inner(&mut self, stmt: Stmt, root: &Span) -> Result<StmtResult> {
-        match stmt {
-            // Unreachable from `execute`, which strips explains first; a
-            // direct call degrades to executing the inner statement.
-            Stmt::ExplainAnalyze(inner) => self.execute_inner(*inner, root),
-            Stmt::DefineArray {
-                name,
-                updatable,
-                attrs,
-                dims,
-            } => {
-                if self.types.contains_key(&name) {
-                    return Err(Error::AlreadyExists(format!("type '{name}'")));
-                }
-                let mut attr_defs = Vec::new();
-                for (aname, tname) in &attrs {
-                    let ty = ScalarType::parse(tname)
-                        .or_else(|| {
-                            // User-defined types resolve to their base.
-                            self.registry.type_def(tname).ok().map(|t| t.base())
-                        })
-                        .ok_or_else(|| Error::schema(format!("unknown type '{tname}'")))?;
-                    attr_defs.push(AttributeDef::scalar(aname.clone(), ty));
-                }
-                let mut dim_defs = Vec::new();
-                for d in &dims {
-                    let mut def = match d.upper {
-                        Some(u) => DimensionDef::bounded(d.name.clone(), u),
-                        None => DimensionDef::unbounded(d.name.clone()),
-                    };
-                    if let Some(c) = d.chunk {
-                        def = def.with_chunk(c);
-                    }
-                    dim_defs.push(def);
-                }
-                let mut schema = ArraySchema::new(&name, attr_defs, dim_defs)?;
-                if updatable {
-                    schema = schema.updatable()?;
-                }
-                self.types.insert(name.clone(), schema);
-                Ok(StmtResult::Done(format!("defined type {name}")))
+    fn array_guard_mut(&self, name: &str) -> Result<ArrayRefMut<'_>> {
+        match RwLockWriteGuard::try_map(self.state.write(), |s| s.arrays.get_mut(name)) {
+            Ok(g) => {
+                // The caller may mutate through the guard; invalidate
+                // conservatively while the write lock is still held.
+                self.touch();
+                Ok(g)
             }
-            Stmt::CreateArray {
-                name,
-                type_name,
-                bounds,
-            } => {
-                if self.arrays.contains_key(&name) {
-                    return Err(Error::AlreadyExists(format!("array '{name}'")));
-                }
-                let ty = self
-                    .types
-                    .get(&type_name)
-                    .ok_or_else(|| Error::not_found(format!("type '{type_name}'")))?;
-                // Updatable types: bounds exclude the implicit history dim.
-                let schema = if ty.is_updatable() && bounds.len() == ty.rank() - 1 {
-                    let mut b = bounds.clone();
-                    b.push(None);
-                    ty.instantiate(&name, &b)?
-                } else {
-                    ty.instantiate(&name, &bounds)?
+            Err(_) => Err(Error::not_found(format!("array '{name}'"))),
+        }
+    }
+}
+
+/// Applies a DDL/DML statement to the exclusively borrowed catalog.
+fn apply_write(
+    state: &mut CatalogState,
+    stmt: Stmt,
+    root: &Span,
+    ctx: &ExecContext,
+) -> Result<StmtResult> {
+    match stmt {
+        Stmt::DefineArray {
+            name,
+            updatable,
+            attrs,
+            dims,
+        } => {
+            if state.types.contains_key(&name) {
+                return Err(Error::AlreadyExists(format!("type '{name}'")));
+            }
+            let mut attr_defs = Vec::new();
+            for (aname, tname) in &attrs {
+                let ty = ScalarType::parse(tname)
+                    .or_else(|| {
+                        // User-defined types resolve to their base.
+                        state.registry.type_def(tname).ok().map(|t| t.base())
+                    })
+                    .ok_or_else(|| Error::schema(format!("unknown type '{tname}'")))?;
+                attr_defs.push(AttributeDef::scalar(aname.clone(), ty));
+            }
+            let mut dim_defs = Vec::new();
+            for d in &dims {
+                let mut def = match d.upper {
+                    Some(u) => DimensionDef::bounded(d.name.clone(), u),
+                    None => DimensionDef::unbounded(d.name.clone()),
                 };
-                let stored = if schema.is_updatable() {
-                    StoredArray::Updatable(UpdatableArray::new(schema)?)
-                } else {
-                    StoredArray::Plain(Array::new(schema))
-                };
-                self.arrays.insert(name.clone(), stored);
-                Ok(StmtResult::Done(format!("created array {name}")))
-            }
-            Stmt::Enhance { array, function } => {
-                let f = self.registry.enhancement(&function)?;
-                match self.array_mut(&array)? {
-                    StoredArray::Plain(a) => a.enhance(f)?,
-                    StoredArray::Updatable(u) => {
-                        if f.output_names().len() == 1 {
-                            u.set_clock(f)?;
-                        } else {
-                            return Err(Error::Unsupported(
-                                "multi-dimension enhancement of an updatable array".into(),
-                            ));
-                        }
-                    }
-                    StoredArray::OnDisk(_) => {
-                        return Err(Error::Unsupported(
-                            "enhancement of a disk-backed array".into(),
-                        ))
-                    }
+                if let Some(c) = d.chunk {
+                    def = def.with_chunk(c);
                 }
-                Ok(StmtResult::Done(format!(
-                    "enhanced {array} with {function}"
-                )))
+                dim_defs.push(def);
             }
-            Stmt::Shape { array, function } => {
-                let f = self.registry.shape(&function)?;
-                match self.array_mut(&array)? {
-                    StoredArray::Plain(a) => a.set_shape(f)?,
-                    StoredArray::Updatable(_) => {
-                        return Err(Error::Unsupported(
-                            "shape functions on updatable arrays".into(),
-                        ))
-                    }
-                    StoredArray::OnDisk(_) => {
-                        return Err(Error::Unsupported(
-                            "shape functions on disk-backed arrays".into(),
-                        ))
-                    }
-                }
-                Ok(StmtResult::Done(format!("shaped {array} with {function}")))
+            let mut schema = ArraySchema::new(&name, attr_defs, dim_defs)?;
+            if updatable {
+                schema = schema.updatable()?;
             }
-            Stmt::Insert {
-                array,
-                coords,
-                values,
-            } => {
-                let record: Vec<Value> = values.iter().map(literal_to_value).collect();
-                match self.array_mut(&array)? {
-                    StoredArray::Plain(a) => a.set_cell(&coords, record)?,
-                    StoredArray::Updatable(u) => {
-                        // No-overwrite: the insert lands at the next
-                        // history version (§2.5).
-                        u.commit_put(&coords, record)?;
-                    }
-                    StoredArray::OnDisk(_) => {
-                        return Err(Error::Unsupported(
-                            "cell insert into a disk-backed array".into(),
-                        ))
-                    }
-                }
-                Ok(StmtResult::Done(format!("inserted into {array}")))
-            }
-            Stmt::Store { expr, into } => {
-                if self.arrays.contains_key(&into) {
-                    return Err(Error::AlreadyExists(format!("array '{into}'")));
-                }
-                let result = self.eval_node(root, plan::optimize(expr))?;
-                let renamed_schema = result.schema().renamed(&into);
-                let mut out = Array::new(renamed_schema);
-                for (coords, rec) in result.cells() {
-                    out.set_cell(&coords, rec)?;
-                }
-                self.arrays.insert(into.clone(), StoredArray::Plain(out));
-                Ok(StmtResult::Done(format!("stored into {into}")))
-            }
-            Stmt::Drop { name } => {
-                self.arrays
-                    .remove(&name)
-                    .ok_or_else(|| Error::not_found(format!("array '{name}'")))?;
-                Ok(StmtResult::Done(format!("dropped {name}")))
-            }
-            Stmt::Exists { array, coords } => {
-                let found = match self.array(&array)? {
-                    StoredArray::OnDisk(mgr) => {
-                        let span = root.child("exists", LAYER_QUERY);
-                        span.set_attr("array", array.as_str());
-                        let res = Self::exists_on_disk(mgr, &coords, &span);
-                        match &res {
-                            Ok(b) => span.set_attr("found", *b),
-                            Err(e) => span.set_attr("error", e.to_string()),
-                        }
-                        span.finish();
-                        res?
-                    }
-                    other => other.as_array().is_some_and(|a| a.exists(&coords)),
-                };
-                Ok(StmtResult::Bool(found))
-            }
-            Stmt::Query(expr) => Ok(StmtResult::Array(
-                self.eval_node(root, plan::optimize(expr))?,
-            )),
+            state.types.insert(name.clone(), schema);
+            Ok(StmtResult::Done(format!("defined type {name}")))
         }
-    }
-
-    /// Single-cell probe against a disk-backed array: out-of-domain coords
-    /// are simply absent; in-domain coords cost one serial region read.
-    fn exists_on_disk(mgr: &StorageManager, coords: &[i64], span: &Span) -> Result<bool> {
-        if !full_domain(mgr.schema())?.contains(coords) {
-            return Ok(false);
+        Stmt::CreateArray {
+            name,
+            type_name,
+            bounds,
+        } => {
+            if state.arrays.contains_key(&name) {
+                return Err(Error::AlreadyExists(format!("array '{name}'")));
+            }
+            let ty = state
+                .types
+                .get(&type_name)
+                .ok_or_else(|| Error::not_found(format!("type '{type_name}'")))?;
+            // Updatable types: bounds exclude the implicit history dim.
+            let schema = if ty.is_updatable() && bounds.len() == ty.rank() - 1 {
+                let mut b = bounds.clone();
+                b.push(None);
+                ty.instantiate(&name, &b)?
+            } else {
+                ty.instantiate(&name, &bounds)?
+            };
+            let stored = if schema.is_updatable() {
+                StoredArray::Updatable(UpdatableArray::new(schema)?)
+            } else {
+                StoredArray::Plain(Array::new(schema))
+            };
+            state.arrays.insert(name.clone(), stored);
+            Ok(StmtResult::Done(format!("created array {name}")))
         }
-        let cell = HyperRect::new(coords.to_vec(), coords.to_vec())?;
-        let (a, _stats) = mgr.read_region_traced(&cell, ReadOptions::serial(), span)?;
-        Ok(a.cell_count() > 0)
+        Stmt::Enhance { array, function } => {
+            let f = state.registry.enhancement(&function)?;
+            match state.stored_mut(&array)? {
+                StoredArray::Plain(a) => a.enhance(f)?,
+                StoredArray::Updatable(u) => {
+                    if f.output_names().len() == 1 {
+                        u.set_clock(f)?;
+                    } else {
+                        return Err(Error::Unsupported(
+                            "multi-dimension enhancement of an updatable array".into(),
+                        ));
+                    }
+                }
+                StoredArray::OnDisk(_) => {
+                    return Err(Error::Unsupported(
+                        "enhancement of a disk-backed array".into(),
+                    ))
+                }
+            }
+            Ok(StmtResult::Done(format!(
+                "enhanced {array} with {function}"
+            )))
+        }
+        Stmt::Shape { array, function } => {
+            let f = state.registry.shape(&function)?;
+            match state.stored_mut(&array)? {
+                StoredArray::Plain(a) => a.set_shape(f)?,
+                StoredArray::Updatable(_) => {
+                    return Err(Error::Unsupported(
+                        "shape functions on updatable arrays".into(),
+                    ))
+                }
+                StoredArray::OnDisk(_) => {
+                    return Err(Error::Unsupported(
+                        "shape functions on disk-backed arrays".into(),
+                    ))
+                }
+            }
+            Ok(StmtResult::Done(format!("shaped {array} with {function}")))
+        }
+        Stmt::Insert {
+            array,
+            coords,
+            values,
+        } => {
+            let record: Vec<Value> = values.iter().map(literal_to_value).collect();
+            match state.stored_mut(&array)? {
+                StoredArray::Plain(a) => a.set_cell(&coords, record)?,
+                StoredArray::Updatable(u) => {
+                    // No-overwrite: the insert lands at the next
+                    // history version (§2.5).
+                    u.commit_put(&coords, record)?;
+                }
+                StoredArray::OnDisk(_) => {
+                    return Err(Error::Unsupported(
+                        "cell insert into a disk-backed array".into(),
+                    ))
+                }
+            }
+            Ok(StmtResult::Done(format!("inserted into {array}")))
+        }
+        Stmt::Store { expr, into } => {
+            if state.arrays.contains_key(&into) {
+                return Err(Error::AlreadyExists(format!("array '{into}'")));
+            }
+            let ev = Evaluator {
+                state: &*state,
+                ctx,
+            };
+            let result = ev.eval_node(root, plan::optimize(expr))?;
+            let renamed_schema = result.schema().renamed(&into);
+            let mut out = Array::new(renamed_schema);
+            for (coords, rec) in result.cells() {
+                out.set_cell(&coords, rec)?;
+            }
+            state.arrays.insert(into.clone(), StoredArray::Plain(out));
+            Ok(StmtResult::Done(format!("stored into {into}")))
+        }
+        Stmt::Drop { name } => {
+            state
+                .arrays
+                .remove(&name)
+                .ok_or_else(|| Error::not_found(format!("array '{name}'")))?;
+            Ok(StmtResult::Done(format!("dropped {name}")))
+        }
+        // Read statements never reach here (dispatch routes them to the
+        // read path); degrade to a typed error rather than panicking.
+        other => Err(Error::eval(format!(
+            "statement '{other}' is not a catalog write"
+        ))),
     }
+}
 
+/// Single-cell probe against a disk-backed array: out-of-domain coords
+/// are simply absent; in-domain coords cost one serial region read.
+fn exists_on_disk(mgr: &StorageManager, coords: &[i64], span: &Span) -> Result<bool> {
+    if !full_domain(mgr.schema())?.contains(coords) {
+        return Ok(false);
+    }
+    let cell = HyperRect::new(coords.to_vec(), coords.to_vec())?;
+    let (a, _stats) = mgr.read_region_traced(&cell, ReadOptions::serial(), span)?;
+    Ok(a.cell_count() > 0)
+}
+
+/// A borrowed view over one catalog snapshot plus the execution context
+/// the statement runs under — the read-side evaluation engine.
+struct Evaluator<'a> {
+    state: &'a CatalogState,
+    ctx: &'a ExecContext,
+}
+
+impl Evaluator<'_> {
     /// Evaluates an (optimized) array expression as a child span of
     /// `parent`, recording output chunk/cell counts (or the error).
     fn eval_node(&self, parent: &Span, expr: AExpr) -> Result<Array> {
@@ -585,10 +654,11 @@ impl Database {
     /// calls run with `span` installed as the context's current span, so
     /// [`ExecContext::record`] lands per-operator timing in the trace.
     fn eval_kernel(&self, span: &Span, expr: AExpr) -> Result<Array> {
+        let registry = &self.state.registry;
         match expr {
             AExpr::Scan(name) => {
                 span.set_attr("array", name.as_str());
-                match self.array(&name)? {
+                match self.state.stored(&name)? {
                     StoredArray::Plain(a) => Ok(a.clone()),
                     StoredArray::Updatable(u) => Ok(u.array().clone()),
                     StoredArray::OnDisk(mgr) => {
@@ -607,14 +677,14 @@ impl Database {
                 let input = self.eval_node(span, *input)?;
                 let dp = plan::expr_to_dim_predicate(&pred)?;
                 self.with_kernel(span, || {
-                    ops::subsample_with(&input, &dp, Some(&self.registry), &self.ctx)
+                    ops::subsample_with(&input, &dp, Some(registry), self.ctx)
                 })
             }
             AExpr::Filter { input, pred } => {
                 let input = self.eval_node(span, *input)?;
                 let pred = plan::resolve_expr(&pred, input.schema())?;
                 self.with_kernel(span, || {
-                    ops::filter_with(&input, &pred, Some(&self.registry), &self.ctx)
+                    ops::filter_with(&input, &pred, Some(registry), self.ctx)
                 })
             }
             AExpr::Aggregate {
@@ -630,7 +700,7 @@ impl Database {
                     AggArg::Attr(a) => AggInput::Attr(a),
                 };
                 self.with_kernel(span, || {
-                    ops::aggregate_with(&input, &groups, &agg, agg_input, &self.registry, &self.ctx)
+                    ops::aggregate_with(&input, &groups, &agg, agg_input, registry, self.ctx)
                 })
             }
             AExpr::Sjoin { left, right, on } => {
@@ -653,7 +723,7 @@ impl Database {
                 )?;
                 let pred = plan::resolve_expr(&pred, probe.schema())?;
                 self.timed_serial(span, "cjoin", &left, || {
-                    ops::cjoin(&left, &right, &pred, Some(&self.registry))
+                    ops::cjoin(&left, &right, &pred, Some(registry))
                 })
             }
             AExpr::Apply { input, name, expr } => {
@@ -661,13 +731,13 @@ impl Database {
                 let expr = plan::resolve_expr(&expr, input.schema())?;
                 let ty = plan::infer_type(&expr, input.schema());
                 self.with_kernel(span, || {
-                    ops::apply_with(&input, &name, &expr, ty, Some(&self.registry), &self.ctx)
+                    ops::apply_with(&input, &name, &expr, ty, Some(registry), self.ctx)
                 })
             }
             AExpr::Project { input, attrs } => {
                 let input = self.eval_node(span, *input)?;
                 let keep: Vec<&str> = attrs.iter().map(String::as_str).collect();
-                self.with_kernel(span, || ops::project_with(&input, &keep, &self.ctx))
+                self.with_kernel(span, || ops::project_with(&input, &keep, self.ctx))
             }
             AExpr::Reshape {
                 input,
@@ -687,7 +757,7 @@ impl Database {
             } => {
                 let input = self.eval_node(span, *input)?;
                 self.with_kernel(span, || {
-                    ops::regrid_with(&input, &factors, &agg, &self.registry, &self.ctx)
+                    ops::regrid_with(&input, &factors, &agg, registry, self.ctx)
                 })
             }
             AExpr::Concat { left, right, dim } => {
@@ -740,12 +810,294 @@ impl Database {
             self.ctx.timed(op, || f().map(|r| (r, chunks, cells)))
         })
     }
+}
+
+/// A prepared statement: the parsed tree plus the canonical parse-tree
+/// cache key (§2.4) it renders to. Prepare once, execute many times —
+/// re-execution skips the parser, and (when the result cache is enabled)
+/// query results are reused across *any* statement with the same key
+/// until a catalog write invalidates them.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    stmt: Stmt,
+    key: String,
+}
+
+impl Prepared {
+    fn from_stmt(stmt: Stmt) -> Self {
+        Prepared {
+            key: stmt.to_string(),
+            stmt,
+        }
+    }
+
+    /// The canonical cache key: the parse tree rendered back to canonical
+    /// AQL, so differently spelled but structurally identical statements
+    /// share one key.
+    pub fn cache_key(&self) -> &str {
+        &self.key
+    }
+
+    /// The parsed statement.
+    pub fn stmt(&self) -> &Stmt {
+        &self.stmt
+    }
+}
+
+/// The catalog + executor: the classic owning handle.
+pub struct Database {
+    core: Arc<DbCore>,
+    ctx: ExecContext,
+    traces: Vec<TraceData>,
+    use_cache: bool,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// Creates a database with the built-in function library and a
+    /// machine-sized thread budget.
+    pub fn new() -> Self {
+        Database::with_threads(0)
+    }
+
+    /// Creates a database with an explicit thread budget (`1` forces serial
+    /// execution, `0` auto-sizes to the machine).
+    pub fn with_threads(threads: usize) -> Self {
+        Database {
+            core: Arc::new(DbCore::new(threads)),
+            ctx: ExecContext::with_threads(threads),
+            traces: Vec::new(),
+            use_cache: false,
+        }
+    }
+
+    /// A cheaply cloneable handle to the same catalog, registry, and
+    /// slow-query log — the entry point for serving layers.
+    pub fn share(&self) -> SharedDatabase {
+        SharedDatabase {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// The execution context statements run under.
+    pub fn exec_context(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    /// Replaces the thread budget. Traces and metrics accumulated so far
+    /// are preserved (they describe completed statements and remain
+    /// valid), as is the slow-query log; sessions opened later inherit
+    /// the new budget.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.core.threads.store(threads, Ordering::SeqCst);
+        self.ctx = ExecContext::with_threads(threads);
+    }
+
+    /// Enables or disables the canonical-key result cache for query
+    /// statements executed through this handle (disabled by default; the
+    /// serving layer turns it on per session).
+    pub fn set_result_cache(&mut self, enabled: bool) {
+        self.use_cache = enabled;
+    }
+
+    /// Per-operator metrics for the statements executed since the last
+    /// [`run`](Self::run)/[`query`](Self::query) began — a thin view
+    /// derived from the retained [`traces`](Self::traces).
+    pub fn metrics(&self) -> QueryMetrics {
+        QueryMetrics::from_traces(self.traces.iter())
+    }
+
+    /// Traces of the statements executed since the last
+    /// [`run`](Self::run)/[`query`](Self::query) began, in execution order.
+    pub fn traces(&self) -> &[TraceData] {
+        &self.traces
+    }
+
+    /// The trace of the most recently executed statement, if any.
+    pub fn last_trace(&self) -> Option<&TraceData> {
+        self.traces.last()
+    }
+
+    /// The slow-query log (process-lifetime: survives `run`/`query`
+    /// resets, shared with every handle to this database).
+    pub fn slow_log(&self) -> SlowLogRef<'_> {
+        self.core.slow_log.read()
+    }
+
+    /// Mutable slow-query log access (reconfigure threshold/capacity).
+    pub fn slow_log_mut(&mut self) -> SlowLogRefMut<'_> {
+        self.core.slow_log.write()
+    }
+
+    /// Retained slow-query entries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowEntry> {
+        self.core.slow_log.read().entries().to_vec()
+    }
+
+    /// Statements with wall time at or above `threshold` are retained in
+    /// the slow-query log.
+    pub fn set_slow_query_threshold(&mut self, threshold: Duration) {
+        self.core.slow_log.write().set_threshold(threshold);
+    }
+
+    /// Opens an owning [`Session`] over the same shared core. The session
+    /// gets its own execution context (inheriting this database's thread
+    /// budget) and accumulates traces across statements instead of
+    /// resetting them per call. This handle's own accumulated
+    /// traces/metrics are reset, as before the serving-layer redesign.
+    pub fn session(&mut self) -> Session {
+        self.ctx.take_metrics();
+        self.traces.clear();
+        Session::over(Arc::clone(&self.core))
+    }
+
+    /// The function registry (register UDFs, aggregates, enhancements,
+    /// shapes here — §2.3).
+    pub fn registry(&self) -> RegistryRef<'_> {
+        RwLockReadGuard::map(self.core.state.read(), |s| &s.registry)
+    }
+
+    /// Mutable registry access.
+    pub fn registry_mut(&mut self) -> RegistryRefMut<'_> {
+        self.core.touch();
+        RwLockWriteGuard::map(self.core.state.write(), |s| &mut s.registry)
+    }
+
+    /// Looks up a stored array (shared read access; release the guard
+    /// before executing further statements).
+    pub fn array(&self, name: &str) -> Result<ArrayRef<'_>> {
+        self.core.array_guard(name)
+    }
+
+    /// Mutable access to a stored array.
+    pub fn array_mut(&mut self, name: &str) -> Result<ArrayRefMut<'_>> {
+        self.core.array_guard_mut(name)
+    }
+
+    /// Registers an existing array under a name (bulk-load path used by
+    /// examples and benches).
+    pub fn put_array(&mut self, name: &str, array: Array) -> Result<()> {
+        self.core.put_array(name, array)
+    }
+
+    /// Registers an array as a disk-backed instance: its chunks are
+    /// compressed into storage-manager buckets (in-memory disk, default
+    /// codec policy) and subsequent scans stream through
+    /// [`StorageManager::read_region_traced`], nesting storage spans under
+    /// the query's trace. All dimensions must be bounded.
+    pub fn put_array_on_disk(&mut self, name: &str, array: &Array) -> Result<()> {
+        self.core.put_array_on_disk(name, array)
+    }
+
+    /// Array names in the catalog (sorted).
+    pub fn array_names(&self) -> Vec<String> {
+        self.core.array_names()
+    }
+
+    /// Parses, plans, and executes a script; returns one result per
+    /// statement. Resets [`traces`](Self::traces)/[`metrics`](Self::metrics)
+    /// first.
+    pub fn run(&mut self, text: &str) -> Result<Vec<StmtResult>> {
+        self.ctx.take_metrics();
+        self.traces.clear();
+        let stmts = parser::parse(text)?;
+        stmts.into_iter().map(|s| self.execute(s)).collect()
+    }
+
+    /// Runs a single-statement query expecting an array result. Resets
+    /// [`traces`](Self::traces)/[`metrics`](Self::metrics) first.
+    pub fn query(&mut self, text: &str) -> Result<Array> {
+        self.ctx.take_metrics();
+        self.traces.clear();
+        let stmt = parser::parse_one(text)?;
+        self.execute(stmt)?.into_array()
+    }
+
+    /// Executes one parsed statement under a fresh trace.
+    pub fn execute(&mut self, stmt: Stmt) -> Result<StmtResult> {
+        let (result, trace) = self.core.execute_stmt(stmt, &self.ctx, self.use_cache);
+        self.traces.push(trace);
+        result
+    }
+
+    /// Parses a single statement into a reusable [`Prepared`] handle
+    /// carrying the canonical cache key.
+    pub fn prepare(&self, text: &str) -> Result<Prepared> {
+        Ok(Prepared::from_stmt(parser::parse_one(text)?))
+    }
+
+    /// Executes a prepared statement (without resetting traces), skipping
+    /// the parser.
+    pub fn execute_prepared(&mut self, prepared: &Prepared) -> Result<StmtResult> {
+        self.execute(prepared.stmt.clone())
+    }
 
     /// Installs a wall-clock enhancement helper (convenience for §2.5
     /// examples).
     pub fn register_clock(&mut self, name: &str, base: i64, step: i64) -> Result<()> {
-        self.registry
+        self.registry_mut()
             .register_enhancement(Arc::new(WallClock::new(name, base, step)))
+    }
+}
+
+/// A cheaply cloneable, thread-safe handle to one database core. Clones
+/// share the catalog, registry, result cache, and slow-query log; each
+/// [`session`](Self::session) gets its own execution context and trace
+/// accumulation, so any number of sessions may execute concurrently.
+#[derive(Clone)]
+pub struct SharedDatabase {
+    core: Arc<DbCore>,
+}
+
+impl SharedDatabase {
+    /// Opens an owning [`Session`] with a fresh execution context
+    /// inheriting the database's configured thread budget.
+    pub fn session(&self) -> Session {
+        Session::over(Arc::clone(&self.core))
+    }
+
+    /// Registers an existing array under a name (the serving layer's
+    /// bulk-load path).
+    pub fn put_array(&self, name: &str, array: Array) -> Result<()> {
+        self.core.put_array(name, array)
+    }
+
+    /// Registers an array as a disk-backed instance (see
+    /// [`Database::put_array_on_disk`]).
+    pub fn put_array_on_disk(&self, name: &str, array: &Array) -> Result<()> {
+        self.core.put_array_on_disk(name, array)
+    }
+
+    /// Array names in the catalog (sorted).
+    pub fn array_names(&self) -> Vec<String> {
+        self.core.array_names()
+    }
+
+    /// An owned clone of a stored array's in-memory view (plain arrays
+    /// as-is, updatable arrays including the history dimension);
+    /// disk-backed arrays have no resident view and must be scanned.
+    pub fn snapshot(&self, name: &str) -> Result<Array> {
+        let guard = self.core.array_guard(name)?;
+        guard
+            .as_array()
+            .cloned()
+            .ok_or_else(|| Error::Unsupported(format!("snapshot of disk-backed array '{name}'")))
+    }
+
+    /// Retained slow-query entries, oldest first (shared log).
+    pub fn slow_queries(&self) -> Vec<SlowEntry> {
+        self.core.slow_log.read().entries().to_vec()
+    }
+
+    /// Statements with wall time at or above `threshold` are retained in
+    /// the shared slow-query log.
+    pub fn set_slow_query_threshold(&self, threshold: Duration) {
+        self.core.slow_log.write().set_threshold(threshold);
     }
 }
 
@@ -764,49 +1116,92 @@ fn full_domain(schema: &ArraySchema) -> Result<HyperRect> {
     HyperRect::new(low, high)
 }
 
-/// A statement-execution handle over a [`Database`] that borrows its
-/// [`ExecContext`]. Unlike `Database::run`/`query`, a session accumulates
-/// traces (and therefore metrics) across all statements it executes; drain
-/// them with [`take_metrics`](Self::take_metrics).
-pub struct Session<'db> {
-    db: &'db mut Database,
+/// An owning statement-execution handle over a shared database core.
+/// Unlike `Database::run`/`query`, a session accumulates traces (and
+/// therefore metrics) across all statements it executes; drain them with
+/// [`take_metrics`](Self::take_metrics). Each session owns its execution
+/// context, so sessions on one database execute concurrently without
+/// sharing per-statement state.
+pub struct Session {
+    core: Arc<DbCore>,
+    ctx: ExecContext,
+    traces: Vec<TraceData>,
+    use_cache: bool,
 }
 
-impl Session<'_> {
-    /// The shared execution context (thread budget).
+impl Session {
+    fn over(core: Arc<DbCore>) -> Self {
+        let threads = core.threads.load(Ordering::SeqCst);
+        Session {
+            core,
+            ctx: ExecContext::with_threads(threads),
+            traces: Vec::new(),
+            use_cache: false,
+        }
+    }
+
+    /// The session's execution context (thread budget).
     pub fn ctx(&self) -> &ExecContext {
-        &self.db.ctx
+        &self.ctx
+    }
+
+    /// Enables or disables the shared canonical-key result cache for
+    /// query statements executed through this session.
+    pub fn set_result_cache(&mut self, enabled: bool) {
+        self.use_cache = enabled;
     }
 
     /// Parses, plans, and executes a script without resetting traces.
     pub fn run(&mut self, text: &str) -> Result<Vec<StmtResult>> {
         let stmts = parser::parse(text)?;
-        stmts.into_iter().map(|s| self.db.execute(s)).collect()
+        stmts.into_iter().map(|s| self.execute(s)).collect()
     }
 
     /// Runs a single-statement query expecting an array result, without
     /// resetting traces.
     pub fn query(&mut self, text: &str) -> Result<Array> {
         let stmt = parser::parse_one(text)?;
-        self.db.execute(stmt)?.into_array()
+        self.execute(stmt)?.into_array()
     }
 
     /// Executes one parsed statement.
     pub fn execute(&mut self, stmt: Stmt) -> Result<StmtResult> {
-        self.db.execute(stmt)
+        let (result, trace) = self.core.execute_stmt(stmt, &self.ctx, self.use_cache);
+        self.traces.push(trace);
+        result
+    }
+
+    /// Parses a single statement into a reusable [`Prepared`] handle.
+    pub fn prepare(&self, text: &str) -> Result<Prepared> {
+        Ok(Prepared::from_stmt(parser::parse_one(text)?))
+    }
+
+    /// Executes a prepared statement, skipping the parser.
+    pub fn execute_prepared(&mut self, prepared: &Prepared) -> Result<StmtResult> {
+        self.execute(prepared.stmt.clone())
+    }
+
+    /// Traces of the statements executed by this session so far.
+    pub fn traces(&self) -> &[TraceData] {
+        &self.traces
+    }
+
+    /// The trace of the session's most recently executed statement.
+    pub fn last_trace(&self) -> Option<&TraceData> {
+        self.traces.last()
     }
 
     /// Snapshot of the metrics accumulated so far in this session, derived
     /// from its retained traces.
     pub fn metrics(&self) -> QueryMetrics {
-        QueryMetrics::from_traces(self.db.traces.iter())
+        QueryMetrics::from_traces(self.traces.iter())
     }
 
     /// Drains the session's retained traces, returning the metrics view.
     pub fn take_metrics(&mut self) -> QueryMetrics {
-        let m = QueryMetrics::from_traces(self.db.traces.iter());
-        self.db.traces.clear();
-        self.db.ctx.take_metrics();
+        let m = QueryMetrics::from_traces(self.traces.iter());
+        self.traces.clear();
+        self.ctx.take_metrics();
         m
     }
 }
@@ -855,7 +1250,7 @@ mod tests {
                 .unwrap();
             }
         }
-        let arr = match db.array("Tmp").unwrap() {
+        let arr = match &*db.array("Tmp").unwrap() {
             StoredArray::Plain(a) => a.clone(),
             other => panic!("expected plain, got {other:?}"),
         };
@@ -945,7 +1340,7 @@ mod tests {
              insert into M[2, 2] values (9.0);",
         )
         .unwrap();
-        match db.array("M").unwrap() {
+        match &*db.array("M").unwrap() {
             StoredArray::Updatable(u) => {
                 assert_eq!(u.current_history(), 2);
                 assert_eq!(u.get_at(&[2, 2], 1), Some(vec![Value::from(1.0)]));
@@ -1123,7 +1518,7 @@ mod tests {
     fn on_disk_arrays_reject_mutation_and_duplicates() {
         let mut db = disk_db();
         assert!(db.run("insert into D[1, 1] values (0)").is_err());
-        let arr = match db.array("Tmp").unwrap() {
+        let arr = match &*db.array("Tmp").unwrap() {
             StoredArray::Plain(a) => a.clone(),
             other => panic!("expected plain, got {other:?}"),
         };
@@ -1134,7 +1529,7 @@ mod tests {
         unbounded
             .run("define U (v = int) (X = 1:4, Y); create Ub as U [4, *]")
             .unwrap();
-        let arr = match unbounded.array("Ub").unwrap() {
+        let arr = match &*unbounded.array("Ub").unwrap() {
             StoredArray::Plain(a) => a.clone(),
             other => panic!("expected plain, got {other:?}"),
         };
@@ -1167,7 +1562,7 @@ mod tests {
 
         // Golden rendering: with times suppressed the tree is byte-stable.
         // bytes_read comes from an independent read of the same region.
-        let bytes_read = match db.array("D").unwrap() {
+        let bytes_read = match &*db.array("D").unwrap() {
             StoredArray::OnDisk(mgr) => {
                 let region = HyperRect::new(vec![1, 1], vec![4, 4]).unwrap();
                 let (_, stats) = mgr.read_region(&region, ReadOptions::serial()).unwrap();
@@ -1229,7 +1624,8 @@ mod tests {
         db.set_slow_query_threshold(Duration::ZERO);
         db.query("filter(A, v > 1)").unwrap();
         assert_eq!(db.slow_queries().len(), 1);
-        let e = &db.slow_queries()[0];
+        let entries = db.slow_queries();
+        let e = &entries[0];
         assert_eq!(e.label, "filter(scan(A), (v > 1))");
         assert!(e.trace.spans.iter().any(|s| s.name == "filter"));
         // Raising the threshold stops retention; the log itself survives
@@ -1252,5 +1648,101 @@ mod tests {
         assert_eq!(aql, ["scan(A)", "exists(A, 1, 1)"]);
         db.run("scan(A)").unwrap();
         assert_eq!(db.traces().len(), 1);
+    }
+
+    #[test]
+    fn set_threads_preserves_traces_and_slow_log() {
+        // Regression: set_threads used to drop every accumulated trace
+        // (and with them the metrics view) as a side effect of replacing
+        // the execution context.
+        let mut db = db_with_h();
+        db.set_slow_query_threshold(Duration::ZERO);
+        db.query("filter(A, v > 1)").unwrap();
+        assert_eq!(db.traces().len(), 1);
+        db.set_threads(2);
+        assert_eq!(db.traces().len(), 1, "traces must survive set_threads");
+        assert!(!db.metrics().ops.is_empty());
+        assert_eq!(db.slow_queries().len(), 1);
+        // The new budget is live for subsequent statements and inherited
+        // by new sessions.
+        assert!(db.exec_context().threads() >= 2);
+        assert!(db.session().ctx().threads() >= 2);
+    }
+
+    #[test]
+    fn prepared_statements_expose_canonical_key_and_reexecute() {
+        let mut db = db_with_h();
+        // Differently spelled, structurally identical statements share
+        // one canonical key.
+        let p1 = db.prepare("Filter(A, v > 1)").unwrap();
+        let p2 = db.prepare("filter(  A ,   v>1 )").unwrap();
+        assert_eq!(p1.cache_key(), "filter(scan(A), (v > 1))");
+        assert_eq!(p1.cache_key(), p2.cache_key());
+        assert!(matches!(p1.stmt(), Stmt::Query(_)));
+        let a = db.execute_prepared(&p1).unwrap().into_array().unwrap();
+        let b = db.execute_prepared(&p2).unwrap().into_array().unwrap();
+        assert_eq!(a, b);
+        // Prepared handles survive catalog changes and re-execute
+        // against the current data.
+        db.run("insert into A[1, 1] values (7)").unwrap();
+        let c = db.execute_prepared(&p1).unwrap().into_array().unwrap();
+        assert_eq!(c.get_cell(&[1, 1]), Some(vec![Value::from(7i64)]));
+    }
+
+    #[test]
+    fn result_cache_hits_and_invalidates_on_writes() {
+        let mut db = db_with_h();
+        db.set_result_cache(true);
+        let p = db.prepare("filter(A, v > 1)").unwrap();
+        let first = db.execute_prepared(&p).unwrap().into_array().unwrap();
+        assert!(db.last_trace().unwrap().spans[0]
+            .attr("cache_hit")
+            .is_none());
+        let second = db.execute_prepared(&p).unwrap().into_array().unwrap();
+        assert_eq!(first, second);
+        assert!(
+            db.last_trace().unwrap().spans[0]
+                .attr("cache_hit")
+                .is_some(),
+            "second execution must be served from the result cache"
+        );
+        // Any catalog write invalidates: the next execution re-evaluates
+        // and sees the new data.
+        db.execute(parser::parse_one("insert into A[1, 1] values (9)").unwrap())
+            .unwrap();
+        let third = db.execute_prepared(&p).unwrap().into_array().unwrap();
+        assert!(db.last_trace().unwrap().spans[0]
+            .attr("cache_hit")
+            .is_none());
+        assert_eq!(third.get_cell(&[1, 1]), Some(vec![Value::from(9i64)]));
+    }
+
+    #[test]
+    fn shared_database_sessions_are_isolated() {
+        let db = db_with_h();
+        let shared = db.share();
+        let mut s1 = shared.session();
+        let mut s2 = shared.session();
+        s1.query("filter(A, v > 1)").unwrap();
+        s2.query("scan(A)").unwrap();
+        s2.query("scan(A)").unwrap();
+        // Traces/metrics accumulate per session, not on the shared core.
+        assert_eq!(s1.traces().len(), 1);
+        assert_eq!(s2.traces().len(), 2);
+        let m1 = s1.metrics();
+        let ops1: Vec<&str> = m1.ops.iter().map(|o| o.op.as_str()).collect();
+        assert_eq!(ops1, ["filter"]);
+        // Writes through one session are visible to the other.
+        s1.run("store filter(A, v > 2) into Big").unwrap();
+        assert_eq!(s2.query("scan(Big)").unwrap().cell_count(), 4);
+        assert_eq!(shared.array_names(), vec!["A", "Big"]);
+    }
+
+    #[test]
+    fn shared_database_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<SharedDatabase>();
+        assert_send::<Session>();
     }
 }

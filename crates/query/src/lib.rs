@@ -23,5 +23,8 @@ pub mod token;
 
 pub use ast::{AExpr, AggArg, DimSpec, Literal, Stmt};
 pub use binding::{scan, Q};
-pub use exec::{Database, Session, StmtResult, StoredArray};
+pub use exec::{
+    ArrayRef, ArrayRefMut, Database, Prepared, RegistryRef, RegistryRefMut, Session,
+    SharedDatabase, SlowLogRef, SlowLogRefMut, StmtResult, StoredArray,
+};
 pub use parser::{parse, parse_one};

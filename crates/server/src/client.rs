@@ -1,0 +1,175 @@
+//! A blocking client for the scidb-server wire protocol.
+
+use crate::proto::{Request, Response};
+use crate::wire::{self, Frame};
+use scidb_core::array::Array;
+use scidb_core::error::{Error, Result};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One statement's result as seen over the wire (the client-side mirror
+/// of the engine's `StmtResult`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemoteResult {
+    /// DDL/DML acknowledgement.
+    Done(String),
+    /// A query result array.
+    Array(Array),
+    /// A scalar probe result.
+    Bool(bool),
+    /// An `explain analyze` report.
+    Explain(String),
+}
+
+impl RemoteResult {
+    /// The array result, if any.
+    pub fn into_array(self) -> Result<Array> {
+        match self {
+            RemoteResult::Array(a) => Ok(a),
+            other => Err(Error::eval(format!("expected array result, got {other:?}"))),
+        }
+    }
+
+    /// The boolean probe result, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            RemoteResult::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The `explain analyze` report, if this is one.
+    pub fn as_explain(&self) -> Option<&str> {
+        match self {
+            RemoteResult::Explain(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking connection to a running [`Server`](crate::Server).
+///
+/// The connection performs the `Hello` handshake on
+/// [`connect`](Client::connect); afterwards every call sends one request
+/// frame and blocks for its response. Typed engine errors travel as error
+/// frames and surface as the original [`Error`] class.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    seq: u32,
+}
+
+impl Client {
+    /// Connects and authenticates with `token`.
+    pub fn connect(addr: impl ToSocketAddrs, token: &str) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client { stream, seq: 0 };
+        match client.call(Request::Hello {
+            token: token.to_string(),
+        })? {
+            Response::HelloAck { .. } => Ok(client),
+            other => Err(Error::protocol(format!("expected HelloAck, got {other:?}"))),
+        }
+    }
+
+    fn call(&mut self, req: Request) -> Result<Response> {
+        self.seq += 1;
+        wire::write_frame(
+            &mut self.stream,
+            &Frame {
+                msg_type: req.msg_type(),
+                seq: self.seq,
+                payload: req.encode(),
+            },
+        )?;
+        let frame = wire::read_frame(&mut self.stream)?
+            .ok_or_else(|| Error::protocol("server closed the connection"))?;
+        if frame.seq != self.seq {
+            return Err(Error::protocol(format!(
+                "response sequence {} does not match request {}",
+                frame.seq, self.seq
+            )));
+        }
+        Response::decode(frame.msg_type, &frame.payload)?.into_result()
+    }
+
+    fn call_stmt(&mut self, req: Request) -> Result<RemoteResult> {
+        match self.call(req)? {
+            Response::Done { msg } => Ok(RemoteResult::Done(msg)),
+            Response::ArrayResult { array } => Ok(RemoteResult::Array(*array)),
+            Response::Bool { value } => Ok(RemoteResult::Bool(value)),
+            Response::Explain { text } => Ok(RemoteResult::Explain(text)),
+            other => Err(Error::protocol(format!(
+                "unexpected statement response {other:?}"
+            ))),
+        }
+    }
+
+    /// Executes an AQL script; returns the last statement's result.
+    pub fn execute(&mut self, text: &str) -> Result<RemoteResult> {
+        self.call_stmt(Request::Execute {
+            text: text.to_string(),
+        })
+    }
+
+    /// Runs a single-statement query expecting an array result.
+    pub fn query(&mut self, text: &str) -> Result<Array> {
+        self.execute(text)?.into_array()
+    }
+
+    /// Prepares a statement server-side; returns its canonical cache key.
+    pub fn prepare(&mut self, text: &str) -> Result<String> {
+        match self.call(Request::Prepare {
+            text: text.to_string(),
+        })? {
+            Response::PreparedAck { key } => Ok(key),
+            other => Err(Error::protocol(format!(
+                "expected PreparedAck, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Executes a prepared statement by canonical key.
+    pub fn execute_prepared(&mut self, key: &str) -> Result<RemoteResult> {
+        self.call_stmt(Request::ExecutePrepared {
+            key: key.to_string(),
+        })
+    }
+
+    /// Bulk-loads an array into the server catalog under `name`.
+    pub fn put_array(&mut self, name: &str, array: &Array) -> Result<()> {
+        match self.call(Request::PutArray {
+            name: name.to_string(),
+            array: Box::new(array.clone()),
+        })? {
+            Response::Done { .. } => Ok(()),
+            other => Err(Error::protocol(format!("expected Done, got {other:?}"))),
+        }
+    }
+
+    /// Fetches a snapshot of a stored array.
+    pub fn fetch(&mut self, name: &str) -> Result<Array> {
+        match self.call(Request::Fetch {
+            name: name.to_string(),
+        })? {
+            Response::ArrayResult { array } => Ok(*array),
+            other => Err(Error::protocol(format!(
+                "expected ArrayResult, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(Error::protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// Orderly close: tells the server this connection is done.
+    pub fn close(mut self) -> Result<()> {
+        self.call(Request::Close)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,34 @@
+//! # scidb-server
+//!
+//! The multi-client serving layer over the concurrency-safe
+//! [`SharedDatabase`](scidb_query::SharedDatabase) API:
+//!
+//! * [`wire`] — the length-prefixed frame format and primitive codec.
+//! * [`proto`] — request/response messages and the bit-exact array codec.
+//! * [`auth`] — the [`auth::AuthHook`] handshake extension point.
+//! * [`admission`] — bounded admission control for query execution.
+//! * [`server`] — the thread-per-connection front end: one
+//!   [`Session`](scidb_query::Session) per connection, feeding the
+//!   engine's parallel `ExecContext`.
+//! * [`client`] — a blocking client speaking the same protocol.
+//!
+//! Every error crossing the wire carries its stable
+//! [`ErrorCode`](scidb_core::ErrorCode) (`code.as_u16()`), so clients
+//! dispatch on the failure class without parsing message strings, and the
+//! server publishes `scidb.server.*` counters plus the
+//! `scidb.server.request_us` histogram through `scidb-obs`.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod auth;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use admission::{Admission, AdmissionConfig, Permit};
+pub use auth::{AllowAll, AuthHook, TokenAuth};
+pub use client::{Client, RemoteResult};
+pub use proto::{Request, Response};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,582 @@
+//! Request/response messages and the bit-exact array codec.
+//!
+//! Message type bytes: requests are `0x01..=0x08`, responses `0x81..=0x88`.
+//! Error frames carry the stable numeric [`ErrorCode`](scidb_core::ErrorCode)
+//! (`as_u16`) plus the bare detail message, so
+//! [`Error::from_wire`](scidb_core::Error::from_wire) reconstructs the typed
+//! error on the client.
+//!
+//! The array codec serializes the full schema (attributes, nested attribute
+//! schemas, dimensions, updatability) and every present cell. Floats travel
+//! as IEEE-754 bit patterns, so a decoded array is bit-identical to the
+//! encoded one — the property the conformance harness's remote backend
+//! asserts. Runtime-only state (enhancements, shape functions) does not
+//! cross the wire.
+
+use crate::wire::{self, Reader};
+use scidb_core::array::Array;
+use scidb_core::error::{Error, Result};
+use scidb_core::schema::{ArraySchema, AttrType, AttributeDef, DimensionDef};
+use scidb_core::uncertain::Uncertain;
+use scidb_core::value::{Scalar, ScalarType, Value};
+
+/// Maximum nesting depth the array decoder accepts (nested attribute
+/// schemas and nested-array cell values).
+const MAX_NESTING: usize = 8;
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake; must be the first frame on a connection.
+    Hello {
+        /// Credential handed to the server's [`AuthHook`](crate::auth::AuthHook).
+        token: String,
+    },
+    /// Execute an AQL script; the response reports the last statement's
+    /// result.
+    Execute {
+        /// AQL text (one or more `;`-separated statements).
+        text: String,
+    },
+    /// Parse a statement server-side and return its canonical cache key.
+    Prepare {
+        /// AQL text of exactly one statement.
+        text: String,
+    },
+    /// Execute a previously prepared statement by canonical key. The key
+    /// is itself canonical AQL, so this re-executes byte-identically.
+    ExecutePrepared {
+        /// Canonical key returned by [`Response::PreparedAck`].
+        key: String,
+    },
+    /// Bulk-load an array into the catalog under `name`.
+    PutArray {
+        /// Catalog name to register under.
+        name: String,
+        /// The array payload.
+        array: Box<Array>,
+    },
+    /// Snapshot a stored array's in-memory view.
+    Fetch {
+        /// Catalog name to fetch.
+        name: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Orderly shutdown of this connection.
+    Close,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloAck {
+        /// Server-assigned session id (diagnostics; appears in server spans).
+        session_id: u64,
+    },
+    /// DDL/DML acknowledgement.
+    Done {
+        /// Human-readable acknowledgement.
+        msg: String,
+    },
+    /// A query result array.
+    ArrayResult {
+        /// The result payload.
+        array: Box<Array>,
+    },
+    /// A scalar probe result.
+    Bool {
+        /// The probe answer.
+        value: bool,
+    },
+    /// An `explain analyze` report.
+    Explain {
+        /// The rendered span tree.
+        text: String,
+    },
+    /// Prepared-statement acknowledgement.
+    PreparedAck {
+        /// The canonical parse-tree cache key.
+        key: String,
+    },
+    /// A typed error.
+    Error {
+        /// Stable numeric error code ([`scidb_core::ErrorCode::as_u16`]).
+        code: u16,
+        /// Bare detail message ([`scidb_core::Error::wire_message`]).
+        msg: String,
+    },
+    /// Liveness reply.
+    Pong,
+}
+
+impl Request {
+    /// The frame type byte.
+    pub fn msg_type(&self) -> u8 {
+        match self {
+            Request::Hello { .. } => 0x01,
+            Request::Execute { .. } => 0x02,
+            Request::Prepare { .. } => 0x03,
+            Request::ExecutePrepared { .. } => 0x04,
+            Request::PutArray { .. } => 0x05,
+            Request::Fetch { .. } => 0x06,
+            Request::Ping => 0x07,
+            Request::Close => 0x08,
+        }
+    }
+
+    /// Encodes the payload (everything after the frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Hello { token } => wire::put_str(&mut buf, token),
+            Request::Execute { text } | Request::Prepare { text } => wire::put_str(&mut buf, text),
+            Request::ExecutePrepared { key } => wire::put_str(&mut buf, key),
+            Request::PutArray { name, array } => {
+                wire::put_str(&mut buf, name);
+                encode_array(&mut buf, array);
+            }
+            Request::Fetch { name } => wire::put_str(&mut buf, name),
+            Request::Ping | Request::Close => {}
+        }
+        buf
+    }
+
+    /// Decodes a request frame.
+    pub fn decode(msg_type: u8, payload: &[u8]) -> Result<Request> {
+        let mut r = Reader::new(payload);
+        let req = match msg_type {
+            0x01 => Request::Hello { token: r.str()? },
+            0x02 => Request::Execute { text: r.str()? },
+            0x03 => Request::Prepare { text: r.str()? },
+            0x04 => Request::ExecutePrepared { key: r.str()? },
+            0x05 => Request::PutArray {
+                name: r.str()?,
+                array: Box::new(decode_array(&mut r)?),
+            },
+            0x06 => Request::Fetch { name: r.str()? },
+            0x07 => Request::Ping,
+            0x08 => Request::Close,
+            other => {
+                return Err(Error::protocol(format!(
+                    "unknown request type byte 0x{other:02x}"
+                )))
+            }
+        };
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// The frame type byte.
+    pub fn msg_type(&self) -> u8 {
+        match self {
+            Response::HelloAck { .. } => 0x81,
+            Response::Done { .. } => 0x82,
+            Response::ArrayResult { .. } => 0x83,
+            Response::Bool { .. } => 0x84,
+            Response::Explain { .. } => 0x85,
+            Response::PreparedAck { .. } => 0x86,
+            Response::Error { .. } => 0x87,
+            Response::Pong => 0x88,
+        }
+    }
+
+    /// Encodes the payload (everything after the frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::HelloAck { session_id } => wire::put_u64(&mut buf, *session_id),
+            Response::Done { msg } => wire::put_str(&mut buf, msg),
+            Response::ArrayResult { array } => encode_array(&mut buf, array),
+            Response::Bool { value } => wire::put_u8(&mut buf, u8::from(*value)),
+            Response::Explain { text } => wire::put_str(&mut buf, text),
+            Response::PreparedAck { key } => wire::put_str(&mut buf, key),
+            Response::Error { code, msg } => {
+                wire::put_u16(&mut buf, *code);
+                wire::put_str(&mut buf, msg);
+            }
+            Response::Pong => {}
+        }
+        buf
+    }
+
+    /// Decodes a response frame.
+    pub fn decode(msg_type: u8, payload: &[u8]) -> Result<Response> {
+        let mut r = Reader::new(payload);
+        let resp = match msg_type {
+            0x81 => Response::HelloAck {
+                session_id: r.u64()?,
+            },
+            0x82 => Response::Done { msg: r.str()? },
+            0x83 => Response::ArrayResult {
+                array: Box::new(decode_array(&mut r)?),
+            },
+            0x84 => Response::Bool {
+                value: r.u8()? != 0,
+            },
+            0x85 => Response::Explain { text: r.str()? },
+            0x86 => Response::PreparedAck { key: r.str()? },
+            0x87 => Response::Error {
+                code: r.u16()?,
+                msg: r.str()?,
+            },
+            0x88 => Response::Pong,
+            other => {
+                return Err(Error::protocol(format!(
+                    "unknown response type byte 0x{other:02x}"
+                )))
+            }
+        };
+        Ok(resp)
+    }
+
+    /// Converts an error response into the typed engine error; passes
+    /// other responses through.
+    pub fn into_result(self) -> Result<Response> {
+        match self {
+            Response::Error { code, msg } => Err(Error::from_wire(code, &msg)),
+            other => Ok(other),
+        }
+    }
+}
+
+// ---- array codec --------------------------------------------------------
+
+fn encode_scalar_type(buf: &mut Vec<u8>, ty: ScalarType) {
+    let tag = match ty {
+        ScalarType::Int64 => 1u8,
+        ScalarType::Float64 => 2,
+        ScalarType::Bool => 3,
+        ScalarType::String => 4,
+        ScalarType::UncertainFloat64 => 5,
+    };
+    wire::put_u8(buf, tag);
+}
+
+fn decode_scalar_type(r: &mut Reader<'_>) -> Result<ScalarType> {
+    match r.u8()? {
+        1 => Ok(ScalarType::Int64),
+        2 => Ok(ScalarType::Float64),
+        3 => Ok(ScalarType::Bool),
+        4 => Ok(ScalarType::String),
+        5 => Ok(ScalarType::UncertainFloat64),
+        other => Err(Error::protocol(format!("unknown scalar type tag {other}"))),
+    }
+}
+
+fn encode_schema(buf: &mut Vec<u8>, schema: &ArraySchema) {
+    wire::put_str(buf, schema.name());
+    wire::put_u8(buf, u8::from(schema.is_updatable()));
+    wire::put_u32(buf, schema.attrs().len() as u32);
+    for a in schema.attrs() {
+        wire::put_str(buf, &a.name);
+        wire::put_u8(buf, u8::from(a.nullable));
+        match &a.ty {
+            AttrType::Scalar(ty) => {
+                wire::put_u8(buf, 0);
+                encode_scalar_type(buf, *ty);
+            }
+            AttrType::Nested(inner) => {
+                wire::put_u8(buf, 1);
+                encode_schema(buf, inner);
+            }
+        }
+    }
+    wire::put_u32(buf, schema.dims().len() as u32);
+    for d in schema.dims() {
+        wire::put_str(buf, &d.name);
+        // 0 encodes unbounded (`*`); real bounds are always >= 1.
+        wire::put_i64(buf, d.upper.unwrap_or(0));
+        wire::put_i64(buf, d.chunk_len);
+    }
+}
+
+fn decode_schema(r: &mut Reader<'_>, depth: usize) -> Result<ArraySchema> {
+    if depth > MAX_NESTING {
+        return Err(Error::protocol(format!(
+            "schema nesting exceeds the {MAX_NESTING}-level limit"
+        )));
+    }
+    let name = r.str()?;
+    let updatable = r.u8()? != 0;
+    let n_attrs = r.u32()?;
+    let mut attrs = Vec::new();
+    for _ in 0..n_attrs {
+        let aname = r.str()?;
+        let nullable = r.u8()? != 0;
+        let mut def = match r.u8()? {
+            0 => AttributeDef::scalar(aname, decode_scalar_type(r)?),
+            1 => AttributeDef::nested(aname, std::sync::Arc::new(decode_schema(r, depth + 1)?)),
+            other => {
+                return Err(Error::protocol(format!(
+                    "unknown attribute type tag {other}"
+                )))
+            }
+        };
+        def.nullable = nullable;
+        attrs.push(def);
+    }
+    let n_dims = r.u32()?;
+    let mut dims = Vec::new();
+    for _ in 0..n_dims {
+        let dname = r.str()?;
+        let upper = r.i64()?;
+        let chunk = r.i64()?;
+        let mut def = if upper == 0 {
+            DimensionDef::unbounded(dname)
+        } else {
+            DimensionDef::bounded(dname, upper)
+        };
+        def = def.with_chunk(chunk);
+        dims.push(def);
+    }
+    let schema = ArraySchema::new(name, attrs, dims)?;
+    if updatable {
+        // The history dimension is already present in the encoded dims,
+        // so this only restores the flag.
+        schema.updatable()
+    } else {
+        Ok(schema)
+    }
+}
+
+fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => wire::put_u8(buf, 0),
+        Value::Scalar(Scalar::Int64(i)) => {
+            wire::put_u8(buf, 1);
+            wire::put_i64(buf, *i);
+        }
+        Value::Scalar(Scalar::Float64(f)) => {
+            wire::put_u8(buf, 2);
+            wire::put_f64(buf, *f);
+        }
+        Value::Scalar(Scalar::Bool(b)) => {
+            wire::put_u8(buf, 3);
+            wire::put_u8(buf, u8::from(*b));
+        }
+        Value::Scalar(Scalar::String(s)) => {
+            wire::put_u8(buf, 4);
+            wire::put_str(buf, s);
+        }
+        Value::Scalar(Scalar::Uncertain(u)) => {
+            wire::put_u8(buf, 5);
+            wire::put_f64(buf, u.mean);
+            wire::put_f64(buf, u.sigma);
+        }
+        Value::Array(a) => {
+            wire::put_u8(buf, 6);
+            encode_array(buf, a);
+        }
+    }
+}
+
+fn decode_value(r: &mut Reader<'_>, depth: usize) -> Result<Value> {
+    let v = match r.u8()? {
+        0 => Value::Null,
+        1 => Value::from(r.i64()?),
+        2 => Value::from(r.f64()?),
+        3 => Value::from(r.u8()? != 0),
+        4 => Value::from(r.str()?),
+        5 => {
+            let mean = r.f64()?;
+            let sigma = r.f64()?;
+            Value::from(Uncertain::new(mean, sigma))
+        }
+        6 => {
+            if depth > MAX_NESTING {
+                return Err(Error::protocol(format!(
+                    "value nesting exceeds the {MAX_NESTING}-level limit"
+                )));
+            }
+            Value::Array(Box::new(decode_array_at(r, depth + 1)?))
+        }
+        other => Err(Error::protocol(format!("unknown value tag {other}")))?,
+    };
+    Ok(v)
+}
+
+/// Appends an array (schema + every present cell) to `buf`.
+pub fn encode_array(buf: &mut Vec<u8>, array: &Array) {
+    encode_schema(buf, array.schema());
+    let cells: Vec<_> = array.cells().collect();
+    wire::put_u64(buf, cells.len() as u64);
+    for (coords, record) in cells {
+        for c in &coords {
+            wire::put_i64(buf, *c);
+        }
+        wire::put_u32(buf, record.len() as u32);
+        for v in &record {
+            encode_value(buf, v);
+        }
+    }
+}
+
+/// Decodes an array previously written by [`encode_array`].
+pub fn decode_array(r: &mut Reader<'_>) -> Result<Array> {
+    decode_array_at(r, 0)
+}
+
+fn decode_array_at(r: &mut Reader<'_>, depth: usize) -> Result<Array> {
+    let schema = decode_schema(r, depth)?;
+    let rank = schema.rank();
+    let mut array = Array::new(schema);
+    let n_cells = r.u64()?;
+    for _ in 0..n_cells {
+        let mut coords = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            coords.push(r.i64()?);
+        }
+        let n_vals = r.u32()? as usize;
+        let mut record = Vec::with_capacity(n_vals);
+        for _ in 0..n_vals {
+            record.push(decode_value(r, depth)?);
+        }
+        array.set_cell(&coords, record)?;
+    }
+    Ok(array)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidb_core::schema::SchemaBuilder;
+    use std::sync::Arc;
+
+    fn sample_array() -> Array {
+        let nested_schema = Arc::new(
+            SchemaBuilder::new("inner")
+                .attr("v", ScalarType::Int64)
+                .dim("rank", 4)
+                .build()
+                .unwrap(),
+        );
+        let schema = SchemaBuilder::new("sample")
+            .attr("i", ScalarType::Int64)
+            .attr("f", ScalarType::Float64)
+            .attr("s", ScalarType::String)
+            .attr("u", ScalarType::UncertainFloat64)
+            .nested_attr("n", Arc::clone(&nested_schema))
+            .dim("X", 4)
+            .dim_unbounded("Y")
+            .build()
+            .unwrap();
+        let mut a = Array::new(schema);
+        let mut inner = Array::from_arc(nested_schema);
+        inner.set_cell(&[1], vec![Value::from(10i64)]).unwrap();
+        inner.set_cell(&[3], vec![Value::Null]).unwrap();
+        a.set_cell(
+            &[1, 1],
+            vec![
+                Value::from(7i64),
+                Value::from(-0.0f64),
+                Value::from("x".to_string()),
+                Value::from(Uncertain::new(1.5, 0.25)),
+                Value::Array(Box::new(inner)),
+            ],
+        )
+        .unwrap();
+        a.set_cell(
+            &[4, 9],
+            vec![
+                Value::Null,
+                Value::from(f64::MIN_POSITIVE),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ],
+        )
+        .unwrap();
+        a
+    }
+
+    #[test]
+    fn array_codec_round_trips_bit_exactly() {
+        let a = sample_array();
+        let mut buf = Vec::new();
+        encode_array(&mut buf, &a);
+        let mut r = Reader::new(&buf);
+        let b = decode_array(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(a, b);
+        // Encoding the decoded array reproduces the exact bytes.
+        let mut buf2 = Vec::new();
+        encode_array(&mut buf2, &b);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let reqs = vec![
+            Request::Hello {
+                token: "secret".into(),
+            },
+            Request::Execute {
+                text: "scan(A)".into(),
+            },
+            Request::Prepare {
+                text: "filter(A, v > 1)".into(),
+            },
+            Request::ExecutePrepared {
+                key: "filter(scan(A), (v > 1))".into(),
+            },
+            Request::PutArray {
+                name: "A".into(),
+                array: Box::new(sample_array()),
+            },
+            Request::Fetch { name: "A".into() },
+            Request::Ping,
+            Request::Close,
+        ];
+        for req in reqs {
+            let payload = req.encode();
+            let got = Request::decode(req.msg_type(), &payload).unwrap();
+            assert_eq!(got, req);
+        }
+        assert!(Request::decode(0x7f, &[]).is_err());
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let resps = vec![
+            Response::HelloAck { session_id: 12 },
+            Response::Done { msg: "ok".into() },
+            Response::ArrayResult {
+                array: Box::new(sample_array()),
+            },
+            Response::Bool { value: true },
+            Response::Explain {
+                text: "statement [query]".into(),
+            },
+            Response::PreparedAck {
+                key: "scan(A)".into(),
+            },
+            Response::Error {
+                code: 3,
+                msg: "array 'nope'".into(),
+            },
+            Response::Pong,
+        ];
+        for resp in resps {
+            let payload = resp.encode();
+            let got = Response::decode(resp.msg_type(), &payload).unwrap();
+            assert_eq!(got, resp);
+        }
+        assert!(Response::decode(0x10, &[]).is_err());
+    }
+
+    #[test]
+    fn error_responses_reconstruct_typed_errors() {
+        let e = Error::not_found("array 'nope'");
+        let resp = Response::Error {
+            code: e.code().as_u16(),
+            msg: e.wire_message(),
+        };
+        let round = Response::decode(resp.msg_type(), &resp.encode()).unwrap();
+        assert_eq!(round.into_result().unwrap_err(), e);
+        // Non-error responses pass through.
+        assert!(Response::Pong.into_result().is_ok());
+    }
+}

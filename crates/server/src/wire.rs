@@ -1,0 +1,277 @@
+//! The framed wire format and primitive codec.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! +------+----------+----------+------------------+
+//! | type | seq      | len      | payload          |
+//! | u8   | u32 (BE) | u32 (BE) | len bytes        |
+//! +------+----------+----------+------------------+
+//! ```
+//!
+//! `type` identifies the message (see [`crate::proto`]); `seq` is the
+//! client's request sequence number, echoed verbatim in the response so
+//! clients can match replies; `len` bounds the payload. All multi-byte
+//! integers are big-endian. Payload truncation, oversized frames, and
+//! unknown type bytes surface as [`Error::Protocol`] with the stable
+//! `protocol` error code.
+
+use scidb_core::error::{Error, Result};
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's payload (64 MiB): a malformed length prefix
+/// must not drive an unbounded allocation.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Message type byte (see [`crate::proto`]).
+    pub msg_type: u8,
+    /// Request sequence number (echoed in responses).
+    pub seq: u32,
+    /// Message payload.
+    pub payload: Vec<u8>,
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
+    if frame.payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(Error::protocol(format!(
+            "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit",
+            frame.payload.len()
+        )));
+    }
+    let mut header = [0u8; 9];
+    header[0] = frame.msg_type;
+    header[1..5].copy_from_slice(&frame.seq.to_be_bytes());
+    header[5..9].copy_from_slice(&(frame.payload.len() as u32).to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(&frame.payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
+    let mut header = [0u8; 9];
+    let mut filled = 0;
+    while filled < header.len() {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(Error::protocol("connection closed mid-frame-header"));
+        }
+        filled += n;
+    }
+    let msg_type = header[0];
+    let seq = u32::from_be_bytes([header[1], header[2], header[3], header[4]]);
+    let len = u32::from_be_bytes([header[5], header[6], header[7], header[8]]);
+    if len > MAX_FRAME_LEN {
+        return Err(Error::protocol(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0;
+    while filled < payload.len() {
+        let n = r.read(&mut payload[filled..])?;
+        if n == 0 {
+            return Err(Error::protocol("connection closed mid-frame-payload"));
+        }
+        filled += n;
+    }
+    Ok(Some(Frame {
+        msg_type,
+        seq,
+        payload,
+    }))
+}
+
+// ---- primitive payload codec -------------------------------------------
+
+/// Appends a `u8`.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a big-endian `u16`.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends a big-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends a big-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends a big-endian `i64`.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern (bit-exact, NaN included).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked payload reader; truncation is a protocol error.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// True once the whole payload is consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(Error::protocol(format!(
+                "payload truncated: wanted {n} bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a big-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::protocol("string payload is not valid UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_through_a_buffer() {
+        let frame = Frame {
+            msg_type: 0x42,
+            seq: 7,
+            payload: b"hello".to_vec(),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let mut cursor = &buf[..];
+        let got = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(got, frame);
+        // Clean EOF at the boundary.
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frames_are_protocol_errors() {
+        let frame = Frame {
+            msg_type: 1,
+            seq: 1,
+            payload: vec![1, 2, 3, 4],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        for cut in 1..buf.len() {
+            let mut cursor = &buf[..cut];
+            let err = read_frame(&mut cursor).unwrap_err();
+            assert_eq!(err.code().name(), "protocol", "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.push(1u8);
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = &buf[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn primitives_round_trip_bit_exactly() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 9);
+        put_u16(&mut buf, 999);
+        put_u32(&mut buf, 70_000);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i64(&mut buf, -42);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::NAN);
+        put_str(&mut buf, "héllo");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 9);
+        assert_eq!(r.u16().unwrap(), 999);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert!(r.is_empty());
+        assert!(r.u8().is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! End-to-end serving-layer tests: real TCP connections against a real
+//! engine, exercising the handshake, statement execution, prepared
+//! statements, bulk load, typed error codes, auth, and admission control.
+
+use scidb_core::error::Error;
+use scidb_core::schema::SchemaBuilder;
+use scidb_core::value::{ScalarType, Value};
+use scidb_query::Database;
+use scidb_server::admission::AdmissionConfig;
+use scidb_server::auth::TokenAuth;
+use scidb_server::{Client, RemoteResult, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn serve(config: ServerConfig) -> (Server, Database) {
+    let mut db = Database::with_threads(2);
+    db.run(
+        "define H (v = int) (X = 1:4, Y = 1:4);
+         create A as H [4, 4];
+         insert into A[1, 1] values (1);
+         insert into A[2, 2] values (4);
+         insert into A[3, 3] values (9);",
+    )
+    .unwrap();
+    let server = Server::start(db.share(), config).unwrap();
+    (server, db)
+}
+
+#[test]
+fn execute_queries_and_ddl_over_the_wire() {
+    let (server, _db) = serve(ServerConfig::default());
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    client.ping().unwrap();
+
+    let a = client.query("scan(A)").unwrap();
+    assert_eq!(a.cell_count(), 3);
+    assert_eq!(a.get_cell(&[2, 2]), Some(vec![Value::from(4i64)]));
+
+    // DDL acknowledges; the created array is immediately queryable.
+    match client.execute("store filter(A, v > 2) into B").unwrap() {
+        RemoteResult::Done(msg) => assert!(msg.contains("stored")),
+        other => panic!("expected Done, got {other:?}"),
+    }
+    // Filter preserves shape over the *present* cells (3 of 16).
+    assert_eq!(client.query("scan(B)").unwrap().cell_count(), 3);
+
+    // Bool probes and explain analyze travel as their own frame kinds.
+    let b = client.execute("exists(A, 2, 2)").unwrap();
+    assert_eq!(b.as_bool(), Some(true));
+    let report = client.execute("explain analyze scan(A)").unwrap();
+    assert!(report.as_explain().unwrap().contains("scan [query]"));
+
+    client.close().unwrap();
+}
+
+#[test]
+fn wire_results_match_in_process_results() {
+    let (server, mut db) = serve(ServerConfig::default());
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    for q in [
+        "filter(A, v > 1)",
+        "aggregate(A, {Y}, sum(v))",
+        "project(apply(A, w, v * 2), w)",
+        "regrid(A, [2, 2], sum)",
+    ] {
+        let local = db.query(q).unwrap();
+        let remote = client.query(q).unwrap();
+        assert_eq!(local, remote, "{q} must be identical over the wire");
+    }
+}
+
+#[test]
+fn prepared_statements_round_trip_and_reexecute() {
+    let (server, _db) = serve(ServerConfig::default());
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    let key = client.prepare("Filter(A,   v > 1)").unwrap();
+    assert_eq!(key, "filter(scan(A), (v > 1))");
+    let first = client.execute_prepared(&key).unwrap().into_array().unwrap();
+    let second = client.execute_prepared(&key).unwrap().into_array().unwrap();
+    assert_eq!(first, second);
+    // A fresh connection can execute by canonical key without preparing.
+    let mut other = Client::connect(server.addr(), "").unwrap();
+    let third = other.execute_prepared(&key).unwrap().into_array().unwrap();
+    assert_eq!(first, third);
+}
+
+#[test]
+fn put_array_and_fetch_round_trip_bit_exactly() {
+    let (server, _db) = serve(ServerConfig::default());
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    let schema = SchemaBuilder::new("up")
+        .attr("f", ScalarType::Float64)
+        .dim("i", 8)
+        .build()
+        .unwrap();
+    let mut arr = scidb_core::array::Array::new(schema);
+    arr.set_cell(&[1], vec![Value::from(0.1f64 + 0.2f64)])
+        .unwrap();
+    arr.set_cell(&[8], vec![Value::Null]).unwrap();
+    client.put_array("Uploaded", &arr).unwrap();
+    let back = client.fetch("Uploaded").unwrap();
+    assert_eq!(arr, back);
+    // The uploaded array participates in queries.
+    assert_eq!(client.query("scan(Uploaded)").unwrap(), arr);
+    // Duplicate names surface the typed already_exists error.
+    let err = client.put_array("Uploaded", &arr).unwrap_err();
+    assert!(matches!(err, Error::AlreadyExists(_)), "{err:?}");
+}
+
+#[test]
+fn typed_errors_cross_the_wire_with_stable_codes() {
+    let (server, _db) = serve(ServerConfig::default());
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    let not_found = client.query("scan(nope)").unwrap_err();
+    assert!(matches!(not_found, Error::NotFound(_)), "{not_found:?}");
+    let parse = client.execute("scan(").unwrap_err();
+    assert!(matches!(parse, Error::Parse(_)), "{parse:?}");
+    let dim = client.query("Subsample(A, X = Y)").unwrap_err();
+    assert!(matches!(dim, Error::Dimension(_)), "{dim:?}");
+    // The connection survives statement errors.
+    assert_eq!(client.query("scan(A)").unwrap().cell_count(), 3);
+}
+
+#[test]
+fn auth_hook_rejects_bad_tokens() {
+    let config = ServerConfig {
+        auth: Arc::new(TokenAuth::new("sesame")),
+        ..ServerConfig::default()
+    };
+    let (server, _db) = serve(config);
+    let err = Client::connect(server.addr(), "wrong").unwrap_err();
+    assert!(matches!(err, Error::Auth(_)), "{err:?}");
+    let mut ok = Client::connect(server.addr(), "sesame").unwrap();
+    ok.ping().unwrap();
+}
+
+#[test]
+fn session_inflight_limit_zero_rejects_statements() {
+    let config = ServerConfig {
+        session_inflight_limit: 0,
+        ..ServerConfig::default()
+    };
+    let (server, _db) = serve(config);
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    let err = client.query("scan(A)").unwrap_err();
+    assert!(matches!(err, Error::Admission(_)), "{err:?}");
+    // Non-statement requests are not gated.
+    client.ping().unwrap();
+    client.fetch("A").unwrap();
+}
+
+#[test]
+fn saturated_admission_queue_rejects_with_typed_error() {
+    let config = ServerConfig {
+        admission: AdmissionConfig {
+            max_active: 1,
+            max_queued: 0,
+            max_wait: Duration::from_millis(50),
+        },
+        ..ServerConfig::default()
+    };
+    let (server, _db) = serve(config);
+    let addr = server.addr();
+    // Upload a dense 16×16 array so the holder's quadratic cjoin holds
+    // the single execution slot long enough to observe saturation.
+    let schema = SchemaBuilder::new("dense")
+        .attr("v", ScalarType::Int64)
+        .dim("X", 16)
+        .dim("Y", 16)
+        .build()
+        .unwrap();
+    let mut dense = scidb_core::array::Array::new(schema);
+    for x in 1..=16 {
+        for y in 1..=16 {
+            dense
+                .set_cell(&[x, y], vec![Value::from(x * 100 + y)])
+                .unwrap();
+        }
+    }
+    let mut loader = Client::connect(addr, "").unwrap();
+    loader.put_array("Dense", &dense).unwrap();
+    // One long-running statement saturates the single slot; a second
+    // session's statement is rejected rather than queued.
+    let hold = std::thread::spawn(move || {
+        let mut c = Client::connect(addr, "").unwrap();
+        c.query("cjoin(Dense, Dense, Dense.v = Dense.v_r)")
+            .map(|a| a.cell_count())
+    });
+    // Wait until the holder's statement is admitted.
+    let mut saw_reject = false;
+    for _ in 0..200 {
+        let mut c = Client::connect(addr, "").unwrap();
+        match c.query("scan(A)") {
+            Err(Error::Admission(_)) => {
+                saw_reject = true;
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    let held = hold.join().unwrap();
+    assert!(held.is_ok(), "holder must finish cleanly: {held:?}");
+    assert!(
+        saw_reject,
+        "a statement arriving at a saturated zero-queue gate must be rejected"
+    );
+}
+
+#[test]
+fn concurrent_clients_share_one_engine() {
+    let (server, _db) = serve(ServerConfig::default());
+    let addr = server.addr();
+    let mut handles = Vec::new();
+    for i in 0..8 {
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr, "").unwrap();
+            let a = c.query("filter(A, v > 1)").unwrap();
+            assert_eq!(a.cell_count(), 3);
+            c.execute(&format!("store scan(A) into Copy{i}")).unwrap();
+            c.close().unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // All eight writes landed in the shared catalog.
+    let mut c = Client::connect(addr, "").unwrap();
+    for i in 0..8 {
+        assert_eq!(c.query(&format!("scan(Copy{i})")).unwrap().cell_count(), 3);
+    }
+}
+
+#[test]
+fn slow_query_log_works_over_the_wire() {
+    let config = ServerConfig {
+        slow_query_threshold: Some(Duration::ZERO),
+        ..ServerConfig::default()
+    };
+    let (server, db) = serve(config);
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    client.query("filter(A, v > 1)").unwrap();
+    let shared = db.share();
+    let entries = shared.slow_queries();
+    assert!(
+        entries
+            .iter()
+            .any(|e| e.label == "filter(scan(A), (v > 1))"),
+        "wire statements must reach the shared slow-query log"
+    );
+}

@@ -1,7 +1,8 @@
 //! `cargo xtask bench-gate` — the benchmark regression gate.
 //!
 //! Compares the metrics emitted by the smoke benchmarks
-//! (`target/chaos-smoke.json` from `chaos_smoke`, plus a sanity check
+//! (`target/chaos-smoke.json` from `chaos_smoke` and
+//! `target/server-load.json` from `server_load`, plus a sanity check
 //! that `target/obs-smoke.json` from `obs_smoke` exists and carries its
 //! per-layer totals) against the committed `BENCH_baseline.json`:
 //!
@@ -40,6 +41,9 @@ pub const CHAOS_SMOKE_PATH: &str = "target/chaos-smoke.json";
 
 /// Where `obs_smoke` writes its telemetry dump.
 pub const OBS_SMOKE_PATH: &str = "target/obs-smoke.json";
+
+/// Where `server_load` writes its latency quantiles and counters.
+pub const SERVER_LOAD_PATH: &str = "target/server-load.json";
 
 /// Relative wall-clock regression tolerated before failing (20 %).
 pub const WALL_TOLERANCE: f64 = 0.20;
@@ -121,8 +125,9 @@ enum Gate {
 }
 
 /// Whole-phase wall totals: derived from the gated per-query latencies
-/// and too noisy across runners to gate honestly.
-const INFO_KEYS: &[&str] = &["clean_wall_us", "chaos_wall_us"];
+/// and too noisy across runners to gate honestly. `server_wall_us` is the
+/// whole 256-session load run; its p50/p99 quantiles are the gated form.
+const INFO_KEYS: &[&str] = &["clean_wall_us", "chaos_wall_us", "server_wall_us"];
 
 fn gate_for(key: &str) -> Gate {
     match key {
@@ -244,11 +249,30 @@ pub fn bench_gate(root: &Path, opts: &Options, out: &mut dyn io::Write) -> io::R
             ),
         )
     })?;
-    let current = parse_flat_json(&chaos_raw);
+    let mut current = parse_flat_json(&chaos_raw);
     if current.is_empty() {
         writeln!(out, "bench-gate: {CHAOS_SMOKE_PATH} has no metrics")?;
         return Ok(Outcome::Failed);
     }
+
+    // Serving-layer load metrics: sessions/queries/errors pinned exactly,
+    // p50/p99 latency quantiles under the ±20 % wall gate.
+    let server_path = root.join(SERVER_LOAD_PATH);
+    let server_raw = std::fs::read_to_string(&server_path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "{}: {e} (run `cargo run --release -p scidb-bench --bin server_load` first)",
+                server_path.display()
+            ),
+        )
+    })?;
+    let server_metrics = parse_flat_json(&server_raw);
+    if server_metrics.is_empty() {
+        writeln!(out, "bench-gate: {SERVER_LOAD_PATH} has no metrics")?;
+        return Ok(Outcome::Failed);
+    }
+    current.extend(server_metrics);
 
     // obs_smoke sanity: the telemetry artifact must exist and carry the
     // per-layer totals section the dashboards key on.
@@ -384,6 +408,24 @@ mod tests {
         let checks = compare(&base, &[("clean_wall_us".to_string(), 80_000.0)]);
         assert!(checks[0].ok, "phase totals never gate: {checks:?}");
         assert!(checks[0].verdict.contains("informational"));
+    }
+
+    #[test]
+    fn server_metrics_gate_as_expected() {
+        let base = vec![
+            ("server_errors".to_string(), 0.0),
+            ("server_p99_us".to_string(), 400_000.0),
+            ("server_wall_us".to_string(), 2_000_000.0),
+        ];
+        let cur = vec![
+            ("server_errors".to_string(), 1.0),
+            ("server_p99_us".to_string(), 430_000.0),
+            ("server_wall_us".to_string(), 9_000_000.0),
+        ];
+        let checks = compare(&base, &cur);
+        assert!(!checks[0].ok, "any server error is a gate failure");
+        assert!(checks[1].ok, "p99 within 20% passes");
+        assert!(checks[2].ok, "the load run's wall total is informational");
     }
 
     #[test]

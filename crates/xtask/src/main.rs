@@ -13,18 +13,19 @@ analyze     Static analysis of the SciDB workspace invariants (R1-R6; see
             DESIGN.md). New violations fail; baseline-grandfathered ones
             warn. Baseline: crates/xtask/analyze.baseline.
 
-bench-gate  Benchmark regression gate: compares target/chaos-smoke.json
-            (and checks target/obs-smoke.json) against BENCH_baseline.json.
-            Run the smoke bins first:
+bench-gate  Benchmark regression gate: compares target/chaos-smoke.json +
+            target/server-load.json (and checks target/obs-smoke.json)
+            against BENCH_baseline.json. Run the smoke bins first:
               cargo run --release -p scidb-bench --bin chaos_smoke
               cargo run --release -p scidb-bench --bin obs_smoke
+              cargo run --release -p scidb-bench --bin server_load
             Wall-clock metrics may regress <= 20%; deterministic failover
-            counters must match exactly.
+            and server counters must match exactly.
 
 conformance Differential conformance harness: each seeded random pipeline
-            runs through four engines (serial, parallel, grid, relational)
-            and must produce byte-identical canonical answers. Replays the
-            pinned corpus in tests/conformance-corpus/, then the seed
+            runs through five engines (serial, parallel, grid, remote,
+            relational) and must produce byte-identical canonical answers.
+            Replays the pinned corpus in tests/conformance-corpus/, then the seed
             range. Shrunk repros of any divergence land in
             target/conformance-failures/.
 

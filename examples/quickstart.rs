@@ -43,7 +43,7 @@ fn main() -> scidb::Result<()> {
     db.registry_mut()
         .register_enhancement(Arc::new(Scale::scale10(2)))?;
     db.run("enhance My_remote with Scale10")?;
-    if let StoredArray::Plain(arr) = db.array("My_remote")? {
+    if let StoredArray::Plain(arr) = &*db.array("My_remote")? {
         let enhanced = arr.get_enhanced(
             None,
             &[

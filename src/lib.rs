@@ -35,11 +35,12 @@ pub use scidb_obs as obs;
 pub use scidb_provenance as provenance;
 pub use scidb_query as query;
 pub use scidb_relational as relational;
+pub use scidb_server as server;
 pub use scidb_ssdb as ssdb;
 pub use scidb_storage as storage;
 
 pub use scidb_core::{
-    Array, ArraySchema, Error, ExecContext, OpMetrics, QueryMetrics, Result, Scalar, ScalarType,
-    SchemaBuilder, Uncertain, Value,
+    Array, ArraySchema, Error, ErrorCode, ExecContext, OpMetrics, QueryMetrics, Result, Scalar,
+    ScalarType, SchemaBuilder, Uncertain, Value,
 };
-pub use scidb_query::{Database, Session};
+pub use scidb_query::{Database, Prepared, Session, SharedDatabase};

@@ -1,0 +1,143 @@
+//! Concurrency tests for the shared-database API: many threads executing
+//! through one `SharedDatabase`, with per-session trace/metric isolation
+//! and writer/reader coherence.
+
+use scidb::query::StmtResult;
+use scidb::{Database, SharedDatabase, Value};
+use std::sync::Arc;
+use std::thread;
+
+fn seeded(threads: usize) -> SharedDatabase {
+    let mut db = Database::with_threads(threads);
+    db.run(
+        "define H (v = int) (X = 1:8, Y = 1:8);
+         create A as H [8, 8];",
+    )
+    .unwrap();
+    for x in 1..=8 {
+        for y in 1..=8 {
+            db.run(&format!("insert into A[{x}, {y}] values ({})", x * 10 + y))
+                .unwrap();
+        }
+    }
+    db.share()
+}
+
+#[test]
+fn many_threads_share_one_database_handle() {
+    let shared = seeded(2);
+    let expected = shared.session().query("aggregate(A, {Y}, sum(v))").unwrap();
+    let mut handles = Vec::new();
+    for _ in 0..16 {
+        let shared = shared.clone();
+        let expected = expected.clone();
+        handles.push(thread::spawn(move || {
+            let mut session = shared.session();
+            for _ in 0..20 {
+                let got = session.query("aggregate(A, {Y}, sum(v))").unwrap();
+                assert_eq!(got, expected);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn per_session_traces_and_metrics_stay_isolated() {
+    let shared = seeded(1);
+    let queries = ["filter(A, v > 40)", "scan(A)", "regrid(A, [2, 2], sum)"];
+    let mut handles = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let shared = shared.clone();
+        let q = q.to_string();
+        handles.push(thread::spawn(move || {
+            let mut session = shared.session();
+            for _ in 0..(i + 1) * 5 {
+                session.query(&q).unwrap();
+            }
+            // Each session sees exactly its own statements: trace count
+            // matches its executions, and every trace is its own query.
+            let traces = session.traces();
+            assert_eq!(traces.len(), (i + 1) * 5);
+            for t in traces {
+                assert_eq!(
+                    t.spans[0].attr("aql").and_then(|v| v.as_str()),
+                    Some(session.prepare(&q).unwrap().cache_key())
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn writers_and_readers_interleave_coherently() {
+    let shared = seeded(1);
+    let mut handles = Vec::new();
+    for i in 0..8 {
+        let shared = shared.clone();
+        handles.push(thread::spawn(move || {
+            let mut session = shared.session();
+            session
+                .run(&format!("store filter(A, v > {}) into W{i}", i * 10))
+                .unwrap();
+            // Our own write is immediately visible to our session.
+            let got = session.query(&format!("scan(W{i})")).unwrap();
+            assert_eq!(got.cell_count(), 64);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // All writes are visible afterwards from a fresh session.
+    let mut session = shared.session();
+    let names = shared.array_names();
+    for i in 0..8 {
+        assert!(names.iter().any(|n| n == &format!("W{i}")));
+        session.query(&format!("scan(W{i})")).unwrap();
+    }
+}
+
+#[test]
+fn exists_probes_race_with_inserts_without_corruption() {
+    let shared = seeded(1);
+    let writer = {
+        let shared = shared.clone();
+        thread::spawn(move || {
+            let mut session = shared.session();
+            for x in 1..=8 {
+                for y in 1..=8 {
+                    session
+                        .run(&format!("insert into A[{x}, {y}] values (0)"))
+                        .unwrap();
+                }
+            }
+        })
+    };
+    let reader = {
+        let shared = shared.clone();
+        thread::spawn(move || {
+            let mut session = shared.session();
+            for _ in 0..50 {
+                let r = session.run("exists(A, 4, 4)").unwrap().pop().unwrap();
+                assert!(matches!(r, StmtResult::Bool(true)));
+            }
+        })
+    };
+    writer.join().unwrap();
+    reader.join().unwrap();
+    let got = shared.session().query("scan(A)").unwrap();
+    assert_eq!(got.get_cell(&[4, 4]), Some(vec![Value::from(0i64)]));
+}
+
+#[test]
+fn shared_handle_is_cheap_to_clone_and_send() {
+    let shared = seeded(1);
+    let arc: Arc<SharedDatabase> = Arc::new(shared.clone());
+    let h = thread::spawn(move || arc.session().query("scan(A)").unwrap().cell_count());
+    assert_eq!(h.join().unwrap(), 64);
+}

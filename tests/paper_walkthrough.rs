@@ -33,7 +33,8 @@ fn s2_1_data_model_nested_arrays_and_enhancements() {
         .register_enhancement(Arc::new(Scale::scale10(2)))
         .unwrap();
     db.run("enhance My_remote with Scale10").unwrap();
-    if let scidb::query::StoredArray::Plain(arr) = db.array("My_remote").unwrap() {
+    let stored = db.array("My_remote").unwrap();
+    if let scidb::query::StoredArray::Plain(arr) = &*stored {
         let got = arr
             .get_enhanced(None, &[PseudoValue::Int(70), PseudoValue::Int(80)])
             .unwrap();
