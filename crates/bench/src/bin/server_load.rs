@@ -121,9 +121,13 @@ struct LoadRun {
     errors: usize,
     wall_us: u128,
     final_cells: usize,
+    /// Ranked-lock witness deltas over the run (acquisitions, contended).
+    lock_acquisitions: u64,
+    lock_contended: u64,
 }
 
 fn run_load() -> LoadRun {
+    let locks_before = scidb_core::sync::witness::stats();
     let db = build_engine();
     let server = Server::start(db.share(), config()).expect("server start");
     let addr = server.addr();
@@ -155,11 +159,14 @@ fn run_load() -> LoadRun {
         .expect("bench survives the load")
         .cell_count();
     server.stop();
+    let locks = scidb_core::sync::witness::stats();
     LoadRun {
         latencies_us,
         errors,
         wall_us,
         final_cells,
+        lock_acquisitions: locks.acquisitions - locks_before.acquisitions,
+        lock_contended: locks.contended - locks_before.contended,
     }
 }
 
@@ -218,6 +225,10 @@ fn main() {
         "  wall {} us, p50 {} us, p99 {} us, final cells {}",
         run.wall_us, p50, p99, run.final_cells
     );
+    println!(
+        "  locks: {} acquisitions, {} contended",
+        run.lock_acquisitions, run.lock_contended
+    );
     print_histogram(&run.latencies_us);
 
     let mut json = String::from("{");
@@ -227,6 +238,12 @@ fn main() {
     let _ = write!(json, "\"server_cells\":{},", run.final_cells);
     let _ = write!(json, "\"server_p50_us\":{p50},");
     let _ = write!(json, "\"server_p99_us\":{p99},");
+    let _ = write!(
+        json,
+        "\"server_lock_acquisitions\":{},",
+        run.lock_acquisitions
+    );
+    let _ = write!(json, "\"server_lock_contended\":{},", run.lock_contended);
     let _ = write!(json, "\"server_wall_us\":{}", run.wall_us);
     json.push('}');
 

@@ -10,10 +10,10 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::error::Result;
+use crate::sync::{ranks, OrderedMutex};
 
 /// Metrics for one operator invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,8 +101,8 @@ impl QueryMetrics {
 #[derive(Debug)]
 pub struct ExecContext {
     threads: usize,
-    metrics: Mutex<QueryMetrics>,
-    span: Mutex<Option<scidb_obs::Span>>,
+    metrics: OrderedMutex<QueryMetrics>,
+    span: OrderedMutex<Option<scidb_obs::Span>>,
 }
 
 impl Default for ExecContext {
@@ -131,8 +131,8 @@ impl ExecContext {
         };
         ExecContext {
             threads,
-            metrics: Mutex::new(QueryMetrics::default()),
-            span: Mutex::new(None),
+            metrics: OrderedMutex::new(ranks::EXEC, QueryMetrics::default()),
+            span: OrderedMutex::new(ranks::EXEC, None),
         }
     }
 
@@ -152,15 +152,12 @@ impl ExecContext {
     /// per-kernel timing lands in the enclosing trace. Executors should
     /// restore the previous span when the kernel call returns.
     pub fn set_current_span(&self, span: Option<scidb_obs::Span>) -> Option<scidb_obs::Span> {
-        std::mem::replace(
-            &mut *self.span.lock().unwrap_or_else(|e| e.into_inner()),
-            span,
-        )
+        std::mem::replace(&mut *self.span.lock(), span)
     }
 
     /// The currently installed kernel span, if any.
     pub fn current_span(&self) -> Option<scidb_obs::Span> {
-        self.span.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.span.lock().clone()
     }
 
     /// Records one operator invocation (and forwards it to the current
@@ -169,7 +166,7 @@ impl ExecContext {
         if let Some(span) = self.current_span() {
             span.record_kernel(op, chunks_scanned, cells_touched, wall);
         }
-        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut m = self.metrics.lock();
         m.ops.push(OpMetrics {
             op: op.to_string(),
             chunks_scanned,
@@ -180,15 +177,12 @@ impl ExecContext {
 
     /// Snapshot of the accumulated metrics.
     pub fn metrics(&self) -> QueryMetrics {
-        self.metrics
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        self.metrics.lock().clone()
     }
 
     /// Drains and returns the accumulated metrics.
     pub fn take_metrics(&self) -> QueryMetrics {
-        std::mem::take(&mut *self.metrics.lock().unwrap_or_else(|e| e.into_inner()))
+        std::mem::take(&mut *self.metrics.lock())
     }
 
     /// Maps `f` over `items`, in parallel when the budget allows.

@@ -22,7 +22,9 @@
 //!   chunk-separable operator kernels;
 //! * **uncertainty** (§2.13) in [`uncertain`];
 //! * a small **expression language** over cell attributes in [`expr`], used
-//!   by Filter/Apply and by the query crate.
+//!   by Filter/Apply and by the query crate;
+//! * the **ranked lock wrappers** ([`sync`]) every engine crate uses in
+//!   place of raw primitives (see DESIGN.md §13).
 
 #![warn(missing_docs)]
 
@@ -39,6 +41,7 @@ pub mod ops;
 pub mod registry;
 pub mod schema;
 pub mod shape;
+pub mod sync;
 pub mod udf;
 pub mod uncertain;
 pub mod value;

@@ -8,10 +8,14 @@
 //!
 //! Zero external dependencies, by design: the workspace build is hermetic
 //! (see DESIGN.md §9), telemetry must never be the thing that breaks the
-//! build, and nothing here needs more than `std` atomics and a `Mutex`.
+//! build, and nothing here needs more than `std` atomics and a mutex.
 //! Instrument hot paths (`Counter::inc`, `Histogram::record`) are relaxed
 //! atomic ops with no allocation; span creation allocates a handful of
 //! small structures and takes one short-lived lock per finished span.
+//!
+//! This crate also hosts the workspace lock discipline ([`sync`]): the
+//! global lock-rank registry and the debug-only per-thread witness that
+//! every ordered lock in the engine reports to (see DESIGN.md §13).
 
 #![warn(missing_docs)]
 
@@ -19,6 +23,7 @@ pub mod json;
 pub mod metrics;
 pub mod slowlog;
 pub mod span;
+pub mod sync;
 
 pub use metrics::{
     bucket_index, bucket_upper, global, Counter, Gauge, HistSnapshot, Histogram, MetricValue,
@@ -30,3 +35,4 @@ pub use span::{
     EVENT_DEGRADED, EVENT_FAILOVER, EVENT_KERNEL, EVENT_NODE, EVENT_REREPLICATE, EVENT_RETRY,
     LAYER_CORE, LAYER_GRID, LAYER_QUERY, LAYER_SERVER, LAYER_STORAGE,
 };
+pub use sync::{LockStats, Rank};

@@ -13,9 +13,10 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 use crate::json;
+use crate::sync::{ranks, OrderedMutex};
 
 const HIST_BUCKETS: usize = 65;
 
@@ -120,9 +121,17 @@ enum Instrument {
 /// atomic. Requesting a name that is already registered as a *different*
 /// instrument kind returns a detached handle (functional, but not exported)
 /// rather than panicking — the workspace is panic-free (xtask R1).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
-    inner: Mutex<BTreeMap<String, Instrument>>,
+    instruments: OrderedMutex<BTreeMap<String, Instrument>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            instruments: OrderedMutex::new(ranks::METRICS, BTreeMap::new()),
+        }
+    }
 }
 
 impl Registry {
@@ -133,7 +142,7 @@ impl Registry {
 
     /// The counter named `name`, creating it if needed.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut m = self.instruments.lock();
         let ins = m
             .entry(name.to_string())
             .or_insert_with(|| Instrument::Counter(Counter(Arc::new(AtomicU64::new(0)))));
@@ -145,7 +154,7 @@ impl Registry {
 
     /// The gauge named `name`, creating it if needed.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut m = self.instruments.lock();
         let ins = m
             .entry(name.to_string())
             .or_insert_with(|| Instrument::Gauge(Gauge(Arc::new(AtomicI64::new(0)))));
@@ -157,7 +166,7 @@ impl Registry {
 
     /// The histogram named `name`, creating it if needed.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut m = self.instruments.lock();
         let ins = m.entry(name.to_string()).or_insert_with(|| {
             Instrument::Hist(Histogram(Arc::new(HistCore {
                 buckets: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -177,7 +186,7 @@ impl Registry {
 
     /// A point-in-time snapshot of every registered instrument.
     pub fn snapshot(&self) -> Snapshot {
-        let m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let m = self.instruments.lock();
         let mut values = BTreeMap::new();
         for (name, ins) in m.iter() {
             let v = match ins {

@@ -10,10 +10,11 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::json;
+use crate::sync::{ranks, OrderedMutex};
 
 /// Layer tag for query-executor spans (statement + plan nodes).
 pub const LAYER_QUERY: &str = "query";
@@ -129,6 +130,14 @@ impl AttrValue {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             AttrValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` when it is [`AttrValue::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(v) => Some(*v),
             _ => None,
         }
     }
@@ -443,7 +452,7 @@ struct TraceShared {
     t0: Instant,
     next_id: AtomicU64,
     next_seq: AtomicU64,
-    done: Mutex<Vec<SpanData>>,
+    done: OrderedMutex<Vec<SpanData>>,
 }
 
 /// A live trace: hands out spans and collects them as they finish.
@@ -466,7 +475,7 @@ impl Trace {
                 t0: Instant::now(),
                 next_id: AtomicU64::new(1),
                 next_seq: AtomicU64::new(0),
-                done: Mutex::new(Vec::new()),
+                done: OrderedMutex::new(ranks::TRACE, Vec::new()),
             }),
         }
     }
@@ -480,8 +489,7 @@ impl Trace {
     /// id. Spans still open are not included — finish them first.
     pub fn finish(self) -> TraceData {
         let total = self.shared.t0.elapsed();
-        let mut spans =
-            std::mem::take(&mut *self.shared.done.lock().unwrap_or_else(|e| e.into_inner()));
+        let mut spans = std::mem::take(&mut *self.shared.done.lock());
         spans.sort_by_key(|s| s.id);
         TraceData { spans, total }
     }
@@ -502,7 +510,7 @@ struct SpanState {
     layer: &'static str,
     started: Instant,
     offset: Duration,
-    dynamic: Mutex<SpanDyn>,
+    dynamic: OrderedMutex<SpanDyn>,
 }
 
 /// A live span handle. Cheap to clone; all methods take `&self`, so a span
@@ -530,7 +538,7 @@ impl Span {
                 layer,
                 started: Instant::now(),
                 offset: shared.t0.elapsed(),
-                dynamic: Mutex::new(SpanDyn::default()),
+                dynamic: OrderedMutex::new(ranks::TRACE, SpanDyn::default()),
             }),
         }
     }
@@ -547,7 +555,7 @@ impl Span {
 
     /// Sets (or appends) an attribute. Ignored after [`Span::finish`].
     pub fn set_attr(&self, key: &str, value: impl Into<AttrValue>) {
-        let mut d = self.state.dynamic.lock().unwrap_or_else(|e| e.into_inner());
+        let mut d = self.state.dynamic.lock();
         if d.wall.is_some() {
             return;
         }
@@ -563,7 +571,7 @@ impl Span {
     pub fn add_event(&self, name: &str, attrs: Vec<(String, AttrValue)>) {
         let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
         let at = self.shared.t0.elapsed();
-        let mut d = self.state.dynamic.lock().unwrap_or_else(|e| e.into_inner());
+        let mut d = self.state.dynamic.lock();
         if d.wall.is_some() {
             return;
         }
@@ -592,7 +600,7 @@ impl Span {
     /// Finishes the span, moving it into the trace. Returns its wall time.
     /// Idempotent: later calls return the original wall time.
     pub fn finish(&self) -> Duration {
-        let mut d = self.state.dynamic.lock().unwrap_or_else(|e| e.into_inner());
+        let mut d = self.state.dynamic.lock();
         if let Some(w) = d.wall {
             return w;
         }
@@ -609,11 +617,7 @@ impl Span {
             events: std::mem::take(&mut d.events),
         };
         drop(d);
-        self.shared
-            .done
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(data);
+        self.shared.done.lock().push(data);
         wall
     }
 }

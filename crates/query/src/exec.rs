@@ -40,9 +40,6 @@
 use crate::ast::{AExpr, AggArg, Literal, Stmt};
 use crate::parser;
 use crate::plan;
-use parking_lot::{
-    MappedRwLockReadGuard, MappedRwLockWriteGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
-};
 use scidb_core::array::Array;
 use scidb_core::enhance::WallClock;
 use scidb_core::error::{Error, Result};
@@ -52,6 +49,10 @@ use scidb_core::history::UpdatableArray;
 use scidb_core::ops::{self, AggInput};
 use scidb_core::registry::Registry;
 use scidb_core::schema::{ArraySchema, AttributeDef, DimensionDef};
+use scidb_core::sync::{
+    ranks, OrderedMappedReadGuard, OrderedMappedWriteGuard, OrderedRwLock, OrderedRwLockReadGuard,
+    OrderedRwLockWriteGuard,
+};
 use scidb_core::uncertain::Uncertain;
 use scidb_core::value::{ScalarType, Value};
 use scidb_obs::{RenderOptions, SlowEntry, SlowLog, Span, Trace, TraceData, LAYER_QUERY};
@@ -168,17 +169,17 @@ impl StmtResult {
 }
 
 /// Shared read access to a stored array (released on drop).
-pub type ArrayRef<'a> = MappedRwLockReadGuard<'a, StoredArray>;
+pub type ArrayRef<'a> = OrderedMappedReadGuard<'a, StoredArray>;
 /// Exclusive access to a stored array (released on drop).
-pub type ArrayRefMut<'a> = MappedRwLockWriteGuard<'a, StoredArray>;
+pub type ArrayRefMut<'a> = OrderedMappedWriteGuard<'a, StoredArray>;
 /// Shared read access to the function registry.
-pub type RegistryRef<'a> = MappedRwLockReadGuard<'a, Registry>;
+pub type RegistryRef<'a> = OrderedMappedReadGuard<'a, Registry>;
 /// Exclusive access to the function registry.
-pub type RegistryRefMut<'a> = MappedRwLockWriteGuard<'a, Registry>;
+pub type RegistryRefMut<'a> = OrderedMappedWriteGuard<'a, Registry>;
 /// Shared read access to the slow-query log.
-pub type SlowLogRef<'a> = RwLockReadGuard<'a, SlowLog>;
+pub type SlowLogRef<'a> = OrderedRwLockReadGuard<'a, SlowLog>;
 /// Exclusive access to the slow-query log.
-pub type SlowLogRefMut<'a> = RwLockWriteGuard<'a, SlowLog>;
+pub type SlowLogRefMut<'a> = OrderedRwLockWriteGuard<'a, SlowLog>;
 
 /// The lock-guarded catalog: array types, array instances, and the
 /// function registry move together under one reader/writer lock so a
@@ -211,30 +212,33 @@ struct CachedQuery {
 
 /// The interior-synchronized database core shared by every handle.
 struct DbCore {
-    state: RwLock<CatalogState>,
-    slow_log: RwLock<SlowLog>,
+    state: OrderedRwLock<CatalogState>,
+    slow_log: OrderedRwLock<SlowLog>,
     /// The configured thread budget (0 = auto) new sessions inherit.
     threads: AtomicUsize,
     /// Bumped by every catalog write; versions the result cache.
     generation: AtomicU64,
-    result_cache: RwLock<HashMap<String, CachedQuery>>,
+    result_cache: OrderedRwLock<HashMap<String, CachedQuery>>,
 }
 
 impl DbCore {
     fn new(threads: usize) -> Self {
         DbCore {
-            state: RwLock::new(CatalogState {
-                types: HashMap::new(),
-                arrays: HashMap::new(),
-                registry: Registry::with_builtins(),
-            }),
-            slow_log: RwLock::new(SlowLog::new(
-                DEFAULT_SLOW_QUERY_THRESHOLD,
-                DEFAULT_SLOW_QUERY_CAPACITY,
-            )),
+            state: OrderedRwLock::new(
+                ranks::CATALOG,
+                CatalogState {
+                    types: HashMap::new(),
+                    arrays: HashMap::new(),
+                    registry: Registry::with_builtins(),
+                },
+            ),
+            slow_log: OrderedRwLock::new(
+                ranks::SLOW_LOG,
+                SlowLog::new(DEFAULT_SLOW_QUERY_THRESHOLD, DEFAULT_SLOW_QUERY_CAPACITY),
+            ),
             threads: AtomicUsize::new(threads),
             generation: AtomicU64::new(0),
-            result_cache: RwLock::new(HashMap::new()),
+            result_cache: OrderedRwLock::new(ranks::RESULT_CACHE, HashMap::new()),
         }
     }
 
@@ -432,12 +436,12 @@ impl DbCore {
     }
 
     fn array_guard(&self, name: &str) -> Result<ArrayRef<'_>> {
-        RwLockReadGuard::try_map(self.state.read(), |s| s.arrays.get(name))
+        OrderedRwLockReadGuard::try_map(self.state.read(), |s| s.arrays.get(name))
             .map_err(|_| Error::not_found(format!("array '{name}'")))
     }
 
     fn array_guard_mut(&self, name: &str) -> Result<ArrayRefMut<'_>> {
-        match RwLockWriteGuard::try_map(self.state.write(), |s| s.arrays.get_mut(name)) {
+        match OrderedRwLockWriteGuard::try_map(self.state.write(), |s| s.arrays.get_mut(name)) {
             Ok(g) => {
                 // The caller may mutate through the guard; invalidate
                 // conservatively while the write lock is still held.
@@ -959,13 +963,13 @@ impl Database {
     /// The function registry (register UDFs, aggregates, enhancements,
     /// shapes here — §2.3).
     pub fn registry(&self) -> RegistryRef<'_> {
-        RwLockReadGuard::map(self.core.state.read(), |s| &s.registry)
+        OrderedRwLockReadGuard::map(self.core.state.read(), |s| &s.registry)
     }
 
     /// Mutable registry access.
     pub fn registry_mut(&mut self) -> RegistryRefMut<'_> {
         self.core.touch();
-        RwLockWriteGuard::map(self.core.state.write(), |s| &mut s.registry)
+        OrderedRwLockWriteGuard::map(self.core.state.write(), |s| &mut s.registry)
     }
 
     /// Looks up a stored array (shared read access; release the guard

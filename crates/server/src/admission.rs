@@ -13,8 +13,16 @@
 //! Both gates are atomics-only (no locks, no parked threads): waiters spin
 //! with a short sleep, which keeps the controller trivially correct under
 //! the fairness needs of a few hundred sessions.
+//!
+//! Although no lock is involved, permits participate in the workspace lock
+//! discipline (DESIGN.md §13): a [`SessionPermit`] occupies the `SESSION`
+//! rank and a [`Permit`] the `ADMISSION` rank in the debug lock-witness,
+//! as counting *slots* — several permits of one rank may coexist on a
+//! thread (a semaphore cannot self-deadlock), but acquiring one while a
+//! strictly higher-ranked lock is held panics in debug builds.
 
 use scidb_core::error::{Error, Result};
+use scidb_core::sync::{ranks, witness};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -60,6 +68,7 @@ pub struct Permit<'a> {
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
         self.gate.active.fetch_sub(1, Ordering::SeqCst);
+        witness::release(ranks::ADMISSION);
     }
 }
 
@@ -104,7 +113,9 @@ impl Admission {
     /// is saturated. Errors with [`Error::Admission`] when the queue is
     /// full or the wait deadline passes.
     pub fn admit(&self) -> Result<Permit<'_>> {
+        witness::check(ranks::ADMISSION, true);
         if self.try_acquire() {
+            witness::acquired(ranks::ADMISSION, false);
             return Ok(Permit { gate: self });
         }
         // Engine saturated: take a queue slot (bounded) and wait.
@@ -128,6 +139,7 @@ impl Admission {
         loop {
             if self.try_acquire() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
+                witness::acquired(ranks::ADMISSION, true);
                 return Ok(Permit { gate: self });
             }
             if Instant::now() >= deadline {
@@ -161,6 +173,7 @@ pub struct SessionPermit<'a> {
 impl Drop for SessionPermit<'_> {
     fn drop(&mut self) {
         self.gate.inflight.fetch_sub(1, Ordering::SeqCst);
+        witness::release(ranks::SESSION);
     }
 }
 
@@ -176,6 +189,7 @@ impl SessionGate {
     /// Claims an in-flight slot, or rejects with a typed `admission`
     /// error when the session is already at its limit.
     pub fn enter(&self) -> Result<SessionPermit<'_>> {
+        witness::check(ranks::SESSION, true);
         let mut cur = self.inflight.load(Ordering::SeqCst);
         loop {
             if cur >= self.limit {
@@ -188,7 +202,10 @@ impl SessionGate {
                 .inflight
                 .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
             {
-                Ok(_) => return Ok(SessionPermit { gate: self }),
+                Ok(_) => {
+                    witness::acquired(ranks::SESSION, false);
+                    return Ok(SessionPermit { gate: self });
+                }
                 Err(now) => cur = now,
             }
         }

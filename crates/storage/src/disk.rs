@@ -7,8 +7,8 @@
 //! Blocks are immutable once written — the no-overwrite principle (§2.5)
 //! applies to the physical layer too: updates land in new blocks.
 
-use parking_lot::Mutex;
 use scidb_core::error::{Error, Result};
+use scidb_core::sync::{ranks, OrderedMutex};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,11 +47,21 @@ pub trait Disk: Send + Sync {
 }
 
 /// In-memory metered disk.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemDisk {
-    blocks: Mutex<HashMap<BlockId, Vec<u8>>>,
+    blocks: OrderedMutex<HashMap<BlockId, Vec<u8>>>,
     next: AtomicU64,
-    stats: Mutex<IoStats>,
+    stats: OrderedMutex<IoStats>,
+}
+
+impl Default for MemDisk {
+    fn default() -> Self {
+        MemDisk {
+            blocks: OrderedMutex::new(ranks::STORAGE, HashMap::new()),
+            next: AtomicU64::new(0),
+            stats: OrderedMutex::new(ranks::STORAGE, IoStats::default()),
+        }
+    }
 }
 
 impl MemDisk {
@@ -117,7 +127,7 @@ impl Disk for MemDisk {
 pub struct FileDisk {
     dir: PathBuf,
     next: AtomicU64,
-    stats: Mutex<IoStats>,
+    stats: OrderedMutex<IoStats>,
 }
 
 impl FileDisk {
@@ -138,7 +148,7 @@ impl FileDisk {
         Ok(FileDisk {
             dir,
             next: AtomicU64::new(max_id),
-            stats: Mutex::new(IoStats::default()),
+            stats: OrderedMutex::new(ranks::STORAGE, IoStats::default()),
         })
     }
 

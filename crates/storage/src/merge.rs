@@ -12,10 +12,10 @@
 
 use crate::manager::StorageManager;
 use crossbeam::channel::{bounded, Sender};
-use parking_lot::Mutex;
 use scidb_core::chunk::Chunk;
 use scidb_core::error::Result;
 use scidb_core::geometry::chunk_origin;
+use scidb_core::sync::OrderedMutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -106,9 +106,12 @@ pub struct BackgroundMerger {
 }
 
 impl BackgroundMerger {
-    /// Spawns the merger thread over a shared manager.
-    pub fn spawn(mgr: Arc<Mutex<StorageManager>>) -> Self {
+    /// Spawns the merger thread over a shared manager. Construct the lock
+    /// at [`scidb_core::sync::ranks::MERGE`]: the pass acquires the
+    /// manager and then the disk's `STORAGE`-ranked stats locks under it.
+    pub fn spawn(mgr: Arc<OrderedMutex<StorageManager>>) -> Self {
         let (tx, rx) = bounded::<Command>(16);
+        // analyze: allow(R3, dedicated background merge worker joined on Drop)
         let handle = std::thread::spawn(move || {
             let mut results = Vec::new();
             while let Ok(cmd) = rx.recv() {
@@ -250,7 +253,10 @@ mod tests {
 
     #[test]
     fn background_merger_runs_passes() {
-        let mgr = Arc::new(Mutex::new(loaded_manager()));
+        let mgr = Arc::new(OrderedMutex::new(
+            scidb_core::sync::ranks::MERGE,
+            loaded_manager(),
+        ));
         let merger = BackgroundMerger::spawn(Arc::clone(&mgr));
         merger.request_pass(2);
         merger.request_pass(4);

@@ -64,14 +64,7 @@ impl Comparison {
 }
 
 fn rule_from_code(code: &str) -> Option<Rule> {
-    match code {
-        "R1" => Some(Rule::R1),
-        "R2" => Some(Rule::R2),
-        "R3" => Some(Rule::R3),
-        "R4" => Some(Rule::R4),
-        "R5" => Some(Rule::R5),
-        _ => None,
-    }
+    Rule::ALL.iter().copied().find(|r| r.code() == code)
 }
 
 impl Baseline {

@@ -127,7 +127,16 @@ enum Gate {
 /// Whole-phase wall totals: derived from the gated per-query latencies
 /// and too noisy across runners to gate honestly. `server_wall_us` is the
 /// whole 256-session load run; its p50/p99 quantiles are the gated form.
-const INFO_KEYS: &[&str] = &["clean_wall_us", "chaos_wall_us", "server_wall_us"];
+/// The lock-witness counters (total / contended ranked-lock acquisitions
+/// over the load run) are scheduler-dependent and informational only —
+/// they surface contention trends without gating on them.
+const INFO_KEYS: &[&str] = &[
+    "clean_wall_us",
+    "chaos_wall_us",
+    "server_wall_us",
+    "server_lock_acquisitions",
+    "server_lock_contended",
+];
 
 fn gate_for(key: &str) -> Gate {
     match key {

@@ -1,16 +1,20 @@
 //! `cargo xtask` — workspace automation for SciDB-rs.
 //!
 //! * `analyze` — a dependency-free static analyzer (no `syn`, no `serde`:
-//!   the build environment is hermetic) enforcing the six workspace rules
-//!   described in DESIGN.md §"Static analysis":
+//!   the build environment is hermetic) enforcing the eight workspace rules
+//!   described in DESIGN.md §"Static analysis" and §13:
 //!   * R1 — panic-free library code,
 //!   * R2 — the parallel-kernel contract,
-//!   * R3 — concurrency containment in `core::exec` (and the `obs`
-//!     substrate),
+//!   * R3 — concurrency containment (threads and raw mutexes only in the
+//!     `sync.rs` wrapper modules, per-site annotations elsewhere),
 //!   * R4 — Result-typed public API,
 //!   * R5 — observable timing (no raw clock reads in query/storage/grid),
 //!   * R6 — conformance coverage (every parallel kernel in the
-//!     differential harness's op table).
+//!     differential harness's op table),
+//!   * R7 — lock-order soundness (every acquisition edge strictly ascends
+//!     in `lock_ranks!` rank; no raw `RwLock`/`Condvar` outside the
+//!     wrappers),
+//!   * R8 — no blocking while a `CATALOG`-or-higher write guard is live.
 //!
 //!   Violations are compared against the committed baseline
 //!   (`crates/xtask/analyze.baseline`): new ones fail, grandfathered ones
@@ -29,6 +33,7 @@
 pub mod baseline;
 pub mod bench_gate;
 pub mod conformance;
+pub mod locks;
 pub mod report;
 pub mod rules;
 pub mod scan;

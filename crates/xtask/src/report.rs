@@ -138,9 +138,13 @@ fn esc(s: &str) -> String {
 ///
 /// ```json
 /// {"tool":"xtask-analyze","errors":N,"warnings":N,
+///  "by_rule":{"R1":{"errors":0,"warnings":10}, …},
 ///  "diagnostics":[{"rule":"R1","severity":"error","path":"…","line":1,
 ///                  "col":1,"message":"…","help":"…"}, …]}
 /// ```
+///
+/// `by_rule` always lists every rule (zeros included) so CI dashboards get
+/// a stable schema.
 pub fn render_json(classified: &[(Severity, Diagnostic)]) -> String {
     let n_err = classified
         .iter()
@@ -150,8 +154,27 @@ pub fn render_json(classified: &[(Severity, Diagnostic)]) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "{{\"tool\":\"xtask-analyze\",\"errors\":{n_err},\"warnings\":{n_warn},\"diagnostics\":["
+        "{{\"tool\":\"xtask-analyze\",\"errors\":{n_err},\"warnings\":{n_warn},\"by_rule\":{{"
     );
+    for (i, rule) in crate::rules::Rule::ALL.iter().enumerate() {
+        let errs = classified
+            .iter()
+            .filter(|(sev, d)| d.rule == *rule && *sev == Severity::Error)
+            .count();
+        let warns = classified
+            .iter()
+            .filter(|(sev, d)| d.rule == *rule && *sev == Severity::Warning)
+            .count();
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\"{}\":{{\"errors\":{errs},\"warnings\":{warns}}}",
+            rule.code()
+        );
+    }
+    s.push_str("},\"diagnostics\":[");
     for (i, (sev, d)) in classified.iter().enumerate() {
         if i > 0 {
             s.push(',');
@@ -223,6 +246,12 @@ mod tests {
         let j = render_json(&c);
         assert!(j.contains("\"errors\":1"));
         assert!(j.contains("\"warnings\":1"));
+        assert!(
+            j.contains("\"by_rule\":{\"R1\":{\"errors\":1,\"warnings\":0}"),
+            "{j}"
+        );
+        assert!(j.contains("\"R3\":{\"errors\":0,\"warnings\":1}"), "{j}");
+        assert!(j.contains("\"R8\":{\"errors\":0,\"warnings\":0}"), "{j}");
         assert!(j.contains("msg \\\"quoted\\\""));
         assert!(j.contains("b\\\\c.rs"));
         assert!(j.starts_with('{') && j.ends_with('}'));

@@ -1,4 +1,4 @@
-//! The SciDB-specific workspace invariants (R1–R6).
+//! The SciDB-specific workspace invariants (R1–R8).
 //!
 //! * **R1** — no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in
 //!   non-test code of the library crates (`core`, `storage`, `query`,
@@ -9,9 +9,11 @@
 //!   `core::ops::PARALLEL_KERNELS` with a named merge function and appear
 //!   in the serial≡parallel equivalence tests; no parallel fan-out outside
 //!   `core::ops` (escape hatch: `// lint: allow(kernel) — justification`).
-//! * **R3** — no `thread::spawn` or raw `Mutex` outside `core::exec`;
-//!   concurrency goes through `ExecContext`. Escape hatch:
-//!   `// lint: allow(concurrency) — justification`.
+//! * **R3** — no `thread::spawn` or raw `Mutex` outside the `sync.rs`
+//!   wrapper modules; concurrency goes through `ExecContext` and the ranked
+//!   lock wrappers. Every exception is a per-site annotation:
+//!   `// lint: allow(concurrency) — justification` or
+//!   `// analyze: allow(R3, justification)`.
 //! * **R4** — public API of `core`/`query` returns `Result` with the crate
 //!   error type; `Option`-swallowed errors (`.ok()` inside a
 //!   `-> Option<…>` function) are violations. Escape hatch:
@@ -28,6 +30,17 @@
 //!   (`crates/conformance/src/optable.rs`), so the differential harness
 //!   exercises each chunk-parallel kernel against all four backends.
 //!   Escape hatch: `// lint: allow(conformance) — justification`.
+//! * **R7** — lock-order soundness (see [`crate::locks`]): every wrapper
+//!   acquisition edge — direct or through the call graph — must strictly
+//!   ascend in `lock_ranks!` rank, and raw `RwLock`/`Condvar` stay inside
+//!   the wrapper modules. Escape hatch: `// analyze: allow(R7, why)`.
+//! * **R8** — no blocking while locked (see [`crate::locks`]): no file
+//!   I/O, channel receive, timed wait, sleep, accept, or statement
+//!   execution inside the live range of a write-exclusive guard ranked
+//!   `CATALOG` or higher. Escape hatch: `// analyze: allow(R8, why)`.
+//!
+//! Every rule accepts both annotation spellings: the legacy
+//! `// lint: allow(token) — why` and `// analyze: allow(Rn, why)`.
 
 use crate::scan::SourceFile;
 use std::fmt;
@@ -50,9 +63,25 @@ pub enum Rule {
     /// Conformance coverage: every parallel kernel is in the differential
     /// harness's op table.
     R6,
+    /// Lock-order soundness: acquisition edges strictly ascend in rank.
+    R7,
+    /// No blocking while a `CATALOG`-or-higher write guard is live.
+    R8,
 }
 
 impl Rule {
+    /// Every rule, in code order.
+    pub const ALL: [Rule; 8] = [
+        Rule::R1,
+        Rule::R2,
+        Rule::R3,
+        Rule::R4,
+        Rule::R5,
+        Rule::R6,
+        Rule::R7,
+        Rule::R8,
+    ];
+
     /// The short code used in diagnostics and the baseline file.
     pub fn code(self) -> &'static str {
         match self {
@@ -62,6 +91,8 @@ impl Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::R7 => "R7",
+            Rule::R8 => "R8",
         }
     }
 
@@ -74,10 +105,13 @@ impl Rule {
             Rule::R4 => "Result-typed public API",
             Rule::R5 => "observable timing",
             Rule::R6 => "conformance op-table coverage",
+            Rule::R7 => "lock-order soundness",
+            Rule::R8 => "no blocking while locked",
         }
     }
 
-    /// The token accepted in `// lint: allow(…)` comments.
+    /// The token accepted in `// lint: allow(…)` comments. The rule code
+    /// itself (`// analyze: allow(Rn, …)`) is always accepted too.
     pub fn allow_token(self) -> &'static str {
         match self {
             Rule::R1 => "panic",
@@ -86,6 +120,8 @@ impl Rule {
             Rule::R4 => "option-api",
             Rule::R5 => "timing",
             Rule::R6 => "conformance",
+            Rule::R7 => "lock-order",
+            Rule::R8 => "blocking",
         }
     }
 }
@@ -134,12 +170,8 @@ pub const R4_CRATES: &[&str] = &["core", "query"];
 /// Crates whose non-test code must time through the obs substrate (R5).
 pub const R5_CRATES: &[&str] = &["query", "storage", "grid"];
 
-/// The telemetry substrate: owns its own locks (R3) and the sanctioned
-/// clock (R5) by design, so both rules skip it.
-pub const OBS_CRATE: &str = "obs";
-
-/// The one file allowed to own threads and locks (R3) and to define the
-/// parallel map primitives (R2).
+/// The file defining the parallel map primitives (R2 skips its own
+/// definitions and tests).
 pub const EXEC_FILE: &str = "crates/core/src/exec.rs";
 
 /// The file declaring the parallel-kernel manifest.
@@ -186,13 +218,17 @@ pub fn check_all(ws: &Workspace) -> Vec<Diagnostic> {
     diags.extend(check_r4(ws));
     diags.extend(check_r5(ws));
     diags.extend(check_r6(ws));
+    diags.extend(crate::locks::check_r7(ws));
+    diags.extend(crate::locks::check_r8(ws));
     diags.sort_by(|a, b| (a.rule, &a.path, a.line, a.col).cmp(&(b.rule, &b.path, b.line, b.col)));
     diags
 }
 
 /// Emits a diagnostic for a marker hit unless a justified allow comment
 /// covers it; an allow *without* justification is itself a violation.
-fn marker_diag(
+/// Both spellings match: `// lint: allow(token) — why` and
+/// `// analyze: allow(Rn, why)`.
+pub(crate) fn marker_diag(
     file: &SourceFile,
     rule: Rule,
     off: usize,
@@ -200,7 +236,10 @@ fn marker_diag(
     help: &str,
 ) -> Option<Diagnostic> {
     let (line, col) = file.line_col(off);
-    match file.allow_for(line, rule.allow_token()) {
+    let allow = file
+        .allow_for(line, rule.allow_token())
+        .or_else(|| file.allow_for(line, rule.code()));
+    match allow {
         Some(a) if !a.justification.is_empty() => None,
         Some(_) => Some(Diagnostic {
             rule,
@@ -435,11 +474,12 @@ fn manifest_diag(e: &ManifestEntry, message: String) -> Diagnostic {
     }
 }
 
-/// R3: threads and locks live in `core::exec` only.
+/// R3: threads and raw mutexes live in the `sync.rs` wrapper modules only;
+/// everything else is a per-site annotation.
 pub fn check_r3(ws: &Workspace) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for file in &ws.files {
-        if file.path.as_path() == Path::new(EXEC_FILE) || crate_of(&file.path) == Some(OBS_CRATE) {
+        if crate::locks::is_wrapper_file(&file.path) {
             continue;
         }
         let mut hits: Vec<(usize, &str)> = Vec::new();
@@ -463,10 +503,10 @@ pub fn check_r3(ws: &Workspace) -> Vec<Diagnostic> {
                 file,
                 Rule::R3,
                 off,
-                format!("{label} outside core::exec"),
-                "route concurrency through `ExecContext` (`par_map`/`try_par_map`); \
-                 if this component must own a thread or lock, annotate \
-                 `// lint: allow(concurrency) — why`",
+                format!("{label} outside the sync wrapper modules"),
+                "route concurrency through `ExecContext` (`par_map`/`try_par_map`) and \
+                 the ranked locks in `scidb_core::sync`; if this component must own a \
+                 thread or raw lock, annotate `// analyze: allow(R3, why)`",
             ));
         }
     }
@@ -613,6 +653,7 @@ pub fn check_r6(ws: &Workspace) -> Vec<Diagnostic> {
         }
         if optable
             .allow_for(table_line, Rule::R6.allow_token())
+            .or_else(|| optable.allow_for(table_line, Rule::R6.code()))
             .is_some_and(|a| !a.justification.is_empty())
         {
             continue;
@@ -726,18 +767,30 @@ mod tests {
     }
 
     #[test]
-    fn r3_flags_spawn_and_mutex_but_not_exec_or_obs() {
+    fn r3_flags_spawn_and_mutex_everywhere_but_wrapper_files() {
         let src = "use std::sync::Mutex;\nfn go() { std::thread::spawn(|| {}); }\n";
         let d = check_r3(&ws(
             vec![
                 ("crates/storage/src/a.rs", src),
-                ("crates/core/src/exec.rs", src),
+                ("crates/core/src/sync.rs", src),
+                ("crates/obs/src/sync.rs", src),
                 ("crates/obs/src/span.rs", src),
             ],
             None,
         ));
-        assert_eq!(d.len(), 2, "{d:?}");
-        assert!(d.iter().all(|x| x.path.contains("storage")));
+        assert_eq!(d.len(), 4, "{d:?}");
+        assert!(d.iter().all(|x| !x.path.ends_with("sync.rs")), "{d:?}");
+    }
+
+    #[test]
+    fn r3_accepts_the_analyze_allow_form() {
+        let src = "// analyze: allow(R3, dedicated worker joined on Drop)\n\
+                   fn go() { std::thread::spawn(|| {}); }\n\
+                   // analyze: allow(R3)\n\
+                   fn go2() { std::thread::spawn(|| {}); }\n";
+        let d = check_r3(&ws(vec![("crates/storage/src/a.rs", src)], None));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("without a justification"), "{d:?}");
     }
 
     #[test]

@@ -12,12 +12,13 @@
 
 use std::path::PathBuf;
 
-/// A `// lint: allow(rule) — justification` annotation.
+/// A `// lint: allow(token) — justification` or
+/// `// analyze: allow(Rn, justification)` annotation.
 #[derive(Debug, Clone)]
 pub struct AllowComment {
     /// 1-based line the comment sits on.
     pub line: usize,
-    /// The rule token inside `allow(...)`, e.g. `panic`.
+    /// The rule token or code inside `allow(...)`, e.g. `panic` or `R3`.
     pub rule: String,
     /// Free-text justification after the closing paren (may be empty,
     /// which rule R1 treats as a violation of its own).
@@ -560,8 +561,19 @@ fn is_pub_before(mask: &str, at: usize) -> bool {
         .is_some_and(|t| *t == "pub" || t.starts_with("pub("))
 }
 
-/// Parses a `lint: allow(rule) — justification` comment.
+/// Parses a `lint: allow(token) — justification` or
+/// `analyze: allow(Rn, justification)` comment.
 fn parse_allow(comment: &str) -> Option<(String, String)> {
+    if let Some(idx) = comment.find("analyze: allow(") {
+        let rest = &comment[idx + "analyze: allow(".len()..];
+        let close = rest.rfind(')')?;
+        let body = &rest[..close];
+        let (rule, justification) = match body.split_once(',') {
+            Some((r, j)) => (r.trim(), j.trim()),
+            None => (body.trim(), ""),
+        };
+        return Some((rule.to_string(), justification.to_string()));
+    }
     let idx = comment.find("lint: allow(")?;
     let rest = &comment[idx + "lint: allow(".len()..];
     let close = rest.find(')')?;
@@ -643,6 +655,18 @@ mod tests {
         let f = sf(src);
         let hit = f.find_marker(".unwrap()", false)[0];
         assert_eq!(f.enclosing_fn(hit).map(|x| x.name.as_str()), Some("inner"));
+    }
+
+    #[test]
+    fn analyze_allow_comments_parse_code_and_reason() {
+        let src = "x.lock(); // analyze: allow(R7, proven single-threaded (startup))\n\
+                   y.lock(); // analyze: allow(R8)\n";
+        let f = sf(src);
+        let a = f.allow_for(1, "R7").expect("allow on line 1");
+        assert_eq!(a.justification, "proven single-threaded (startup)");
+        let b = f.allow_for(2, "R8").expect("allow on line 2");
+        assert!(b.justification.is_empty());
+        assert!(f.allow_for(1, "R8").is_none());
     }
 
     #[test]

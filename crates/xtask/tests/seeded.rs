@@ -190,8 +190,93 @@ fn update_baseline_ratchets_and_writes_json_report() {
     assert!(report.contains("\"rule\":\"R1\""), "{report}");
 }
 
+/// A synthetic rank registry: written as `sync.rs` so the scaffold file is
+/// itself wrapper-exempt, exactly like the real `crates/obs/src/sync.rs`.
+const RANK_REGISTRY: &str = "
+pub mod ranks {
+    lock_ranks! {
+        ALPHA = 10,
+        BETA = 20,
+        CATALOG = 30,
+    }
+}
+";
+
+#[test]
+fn seeded_lock_cycle_fails_r7_naming_both_ranks() {
+    let root = scaffold("seeded_r7_cycle");
+    fs::write(root.join("crates/core/src/sync.rs"), RANK_REGISTRY).expect("write");
+    fs::write(
+        root.join("crates/core/src/cycle.rs"),
+        "pub struct S { lo: OrderedMutex<u8>, hi: OrderedMutex<u8> }\n\
+         impl S {\n\
+             pub fn build() -> S {\n\
+                 S { lo: OrderedMutex::new(ranks::ALPHA, 0), hi: OrderedMutex::new(ranks::BETA, 0) }\n\
+             }\n\
+             pub fn forward(&self) { let a = self.lo.lock(); let b = self.hi.lock(); }\n\
+             pub fn backward(&self) { let b = self.hi.lock(); let a = self.lo.lock(); }\n\
+         }\n",
+    )
+    .expect("write");
+    let mut out = Vec::new();
+    let outcome = analyze(&root, &Options::default(), &mut out).expect("analyze runs");
+    assert_eq!(outcome, Outcome::Failed);
+    let text = String::from_utf8(out).expect("utf8");
+    assert!(text.contains("error[R7]"), "{text}");
+    assert!(text.contains("`ALPHA` (rank 10)"), "{text}");
+    assert!(text.contains("`BETA` (rank 20)"), "{text}");
+    assert!(text.contains("lock ranks must strictly ascend"), "{text}");
+    // Only the inverted pair is flagged; the ascending one passes.
+    assert_eq!(text.matches("error[R7]").count(), 1, "{text}");
+}
+
+#[test]
+fn seeded_raw_rwlock_fails_r7_outside_wrappers() {
+    let root = scaffold("seeded_r7_raw");
+    fs::write(root.join("crates/core/src/sync.rs"), RANK_REGISTRY).expect("write");
+    fs::write(
+        root.join("crates/query/src/raw.rs"),
+        "use std::sync::RwLock;\npub struct S { inner: RwLock<u8> }\n",
+    )
+    .expect("write");
+    let mut out = Vec::new();
+    let outcome = analyze(&root, &Options::default(), &mut out).expect("analyze runs");
+    assert_eq!(outcome, Outcome::Failed);
+    let text = String::from_utf8(out).expect("utf8");
+    assert!(text.contains("error[R7]"), "{text}");
+    assert!(
+        text.contains("raw `RwLock` outside the sync wrapper module"),
+        "{text}"
+    );
+}
+
+#[test]
+fn seeded_blocking_under_write_guard_fails_r8() {
+    let root = scaffold("seeded_r8");
+    fs::write(root.join("crates/core/src/sync.rs"), RANK_REGISTRY).expect("write");
+    fs::write(
+        root.join("crates/query/src/ddl.rs"),
+        "pub struct S { state: OrderedRwLock<u8> }\n\
+         impl S {\n\
+             pub fn build() -> S { S { state: OrderedRwLock::new(ranks::CATALOG, 0) } }\n\
+             pub fn bad(&self) {\n\
+                 let mut g = self.state.write();\n\
+                 let bytes = std::fs::read(\"snapshot.bin\");\n\
+             }\n\
+         }\n",
+    )
+    .expect("write");
+    let mut out = Vec::new();
+    let outcome = analyze(&root, &Options::default(), &mut out).expect("analyze runs");
+    assert_eq!(outcome, Outcome::Failed);
+    let text = String::from_utf8(out).expect("utf8");
+    assert!(text.contains("error[R8]"), "{text}");
+    assert!(text.contains("file I/O"), "{text}");
+    assert!(text.contains("`CATALOG` write guard"), "{text}");
+}
+
 /// The real repository must analyze clean against its committed baseline —
-/// this makes `cargo test` itself enforce R1–R4.
+/// this makes `cargo test` itself enforce R1–R8.
 #[test]
 fn real_workspace_is_clean_at_committed_baseline() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))

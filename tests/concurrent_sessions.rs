@@ -134,6 +134,88 @@ fn exists_probes_race_with_inserts_without_corruption() {
     assert_eq!(got.get_cell(&[4, 4]), Some(vec![Value::from(0i64)]));
 }
 
+/// The shared result cache under concurrent DDL/DML: readers hammering a
+/// cached query while a writer mutates the catalog must never observe a
+/// stale generation. The cache versions entries with a generation counter
+/// bumped under the catalog write lock and loaded under the read lock, so
+/// each reader's observed values must be monotonically non-decreasing.
+#[test]
+fn result_cache_never_serves_stale_results_under_concurrent_ddl() {
+    let shared = seeded(1);
+    const ROUNDS: i64 = 24;
+
+    let writer = {
+        let shared = shared.clone();
+        thread::spawn(move || {
+            let mut session = shared.session();
+            for k in 1..=ROUNDS {
+                // Strictly increasing cell values make staleness visible.
+                session
+                    .run(&format!("insert into A[1, 1] values ({})", 100 + k))
+                    .unwrap();
+                // Pure DDL invalidates too: create/drop unrelated arrays.
+                if k % 6 == 0 {
+                    session
+                        .run(&format!("create T{k} as H [8, 8]; drop array T{k}"))
+                        .unwrap();
+                }
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let shared = shared.clone();
+            thread::spawn(move || {
+                let mut session = shared.session();
+                session.set_result_cache(true);
+                let mut last = 0i64;
+                for _ in 0..60 {
+                    let got = session.query("scan(A)").unwrap();
+                    let v = got.get_cell(&[1, 1]).unwrap()[0].as_i64().unwrap();
+                    // Seeded value 11, then 101..=100+ROUNDS, never backwards.
+                    assert!(v == 11 || (101..=100 + ROUNDS).contains(&v), "{v}");
+                    assert!(v >= last, "stale cached result: saw {v} after {last}");
+                    last = v;
+                    thread::yield_now();
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    // Deterministic tail: a repeat query is a cache hit; DDL on an
+    // *unrelated* array still invalidates (the generation is global), and
+    // the re-evaluated answer is unchanged and final. The query text is
+    // unique to this session — the cache is shared, so reusing the
+    // readers' `scan(A)` key would start on an already-warm entry.
+    let mut session = shared.session();
+    session.set_result_cache(true);
+    let v1 = session.query("filter(A, v > -1)").unwrap();
+    let v2 = session.query("filter(A, v > -1)").unwrap();
+    assert_eq!(v1, v2);
+    session.run("create Tinv as H [8, 8]").unwrap();
+    let v3 = session.query("filter(A, v > -1)").unwrap();
+    assert_eq!(v2, v3);
+    assert_eq!(
+        v3.get_cell(&[1, 1]),
+        Some(vec![Value::from(100 + ROUNDS)]),
+        "final write must be visible"
+    );
+    let traces = session.traces();
+    let hit = |i: usize| {
+        traces[i].spans[0]
+            .attr("cache_hit")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false)
+    };
+    assert!(!hit(0), "first query populates the cache");
+    assert!(hit(1), "repeat query must be served from the cache");
+    assert!(!hit(2), "DDL must invalidate the cached entry");
+}
+
 #[test]
 fn shared_handle_is_cheap_to_clone_and_send() {
     let shared = seeded(1);
