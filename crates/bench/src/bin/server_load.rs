@@ -78,12 +78,21 @@ fn config() -> ServerConfig {
 struct SessionReport {
     latencies_us: Vec<u128>,
     errors: usize,
+    /// Server-reported queue waits from the QueryStats trailers (µs).
+    queue_waits_us: Vec<u128>,
+    /// Trailer-reported cells scanned, summed over the session.
+    cells_scanned: u64,
+    /// Trailer-reported result-cache hits over the session.
+    cache_hits: u64,
 }
 
 fn drive_session(addr: std::net::SocketAddr, start: &Barrier) -> SessionReport {
     let mut report = SessionReport {
         latencies_us: Vec::with_capacity(QUERIES_PER_SESSION + 1),
         errors: 0,
+        queue_waits_us: Vec::with_capacity(QUERIES_PER_SESSION),
+        cells_scanned: 0,
+        cache_hits: 0,
     };
     let mut client = match Client::connect(addr, "") {
         Ok(c) => c,
@@ -112,6 +121,14 @@ fn drive_session(addr: std::net::SocketAddr, start: &Barrier) -> SessionReport {
         if outcome.is_err() {
             report.errors += 1;
         }
+        // Every response carries a QueryStats trailer (protocol v1):
+        // server-side queue wait and resource accounting ride back with
+        // the answer, so the bench needs no second channel to observe it.
+        if let Some(stats) = client.last_stats() {
+            report.queue_waits_us.push(stats.queue_wait_us as u128);
+            report.cells_scanned += stats.cells_scanned;
+            report.cache_hits += u64::from(stats.cache_hit);
+        }
     }
     report
 }
@@ -124,6 +141,14 @@ struct LoadRun {
     /// Ranked-lock witness deltas over the run (acquisitions, contended).
     lock_acquisitions: u64,
     lock_contended: u64,
+    /// Admission queue waits reported by the QueryStats trailers (µs).
+    queue_waits_us: Vec<u128>,
+    /// Trailer-derived totals across every request of the run.
+    trailer_cells_scanned: u64,
+    trailer_cache_hits: u64,
+    /// The server's own `Request::Stats { json }` dump, taken after the
+    /// load drains (uploaded as a CI artifact).
+    stats_json: String,
 }
 
 fn run_load() -> LoadRun {
@@ -147,12 +172,23 @@ fn run_load() -> LoadRun {
     }
     let mut latencies_us = Vec::with_capacity(SESSIONS * QUERIES_PER_SESSION);
     let mut errors = 0usize;
+    let mut queue_waits_us = Vec::with_capacity(SESSIONS * QUERIES_PER_SESSION);
+    let mut trailer_cells_scanned = 0u64;
+    let mut trailer_cache_hits = 0u64;
     for h in handles {
         let r = h.join().expect("session thread");
         latencies_us.extend(r.latencies_us);
         errors += r.errors;
+        queue_waits_us.extend(r.queue_waits_us);
+        trailer_cells_scanned += r.cells_scanned;
+        trailer_cache_hits += r.cache_hits;
     }
     let wall_us = wall.elapsed().as_micros();
+    // Ask the server for its own accounting over the admin surface while
+    // it is still up — the same dump `scidb-top` renders live.
+    let stats_json = Client::connect(addr, "")
+        .and_then(|mut c| c.stats(scidb_server::StatsFormat::Json))
+        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
     let final_cells = db
         .share()
         .snapshot("bench")
@@ -167,6 +203,10 @@ fn run_load() -> LoadRun {
         final_cells,
         lock_acquisitions: locks.acquisitions - locks_before.acquisitions,
         lock_contended: locks.contended - locks_before.contended,
+        queue_waits_us,
+        trailer_cells_scanned,
+        trailer_cache_hits,
+        stats_json,
     }
 }
 
@@ -212,9 +252,11 @@ fn main() {
     }
     let mut run = best.expect("REPS > 0");
     run.latencies_us.sort_unstable();
+    run.queue_waits_us.sort_unstable();
     let total = run.latencies_us.len();
     let p50 = quantile(&run.latencies_us, 0.50);
     let p99 = quantile(&run.latencies_us, 0.99);
+    let queue_wait_p99 = quantile(&run.queue_waits_us, 0.99);
 
     println!(
         "server load: {SESSIONS} concurrent sessions x {QUERIES_PER_SESSION} statements \
@@ -228,6 +270,10 @@ fn main() {
     println!(
         "  locks: {} acquisitions, {} contended",
         run.lock_acquisitions, run.lock_contended
+    );
+    println!(
+        "  trailers: queue-wait p99 {} us, {} cells scanned, {} cache hits",
+        queue_wait_p99, run.trailer_cells_scanned, run.trailer_cache_hits
     );
     print_histogram(&run.latencies_us);
 
@@ -244,6 +290,21 @@ fn main() {
         run.lock_acquisitions
     );
     let _ = write!(json, "\"server_lock_contended\":{},", run.lock_contended);
+    // Trailer-derived observability keys: informational in the bench
+    // gate (queue wait is scheduler-dependent; the scanned/hit split
+    // depends on cache timing under concurrency), but tracked so trends
+    // are visible in CI artifacts.
+    let _ = write!(json, "\"server_queue_wait_p99_us\":{queue_wait_p99},");
+    let _ = write!(
+        json,
+        "\"server_trailer_cells_scanned\":{},",
+        run.trailer_cells_scanned
+    );
+    let _ = write!(
+        json,
+        "\"server_trailer_cache_hits\":{},",
+        run.trailer_cache_hits
+    );
     let _ = write!(json, "\"server_wall_us\":{}", run.wall_us);
     json.push('}');
 
@@ -253,6 +314,17 @@ fn main() {
     }
     std::fs::write(out, &json).expect("write server-load.json");
     println!("wrote {} ({} bytes)", out.display(), json.len());
+
+    // The server's post-load Stats dump (wire `Request::Stats`, JSON
+    // format): uploaded by CI so every bench run keeps the full registry
+    // snapshot, not just the gated quantiles.
+    let stats_out = std::path::Path::new("target/server-stats.json");
+    std::fs::write(stats_out, &run.stats_json).expect("write server-stats.json");
+    println!(
+        "wrote {} ({} bytes)",
+        stats_out.display(),
+        run.stats_json.len()
+    );
 
     assert!(total >= SESSIONS * QUERIES_PER_SESSION, "all requests ran");
 }

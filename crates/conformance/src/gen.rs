@@ -514,6 +514,33 @@ mod tests {
         }
     }
 
+    /// The generator must stay out of the engine's reserved `system.`
+    /// namespace: those arrays are live telemetry, so a case defined over
+    /// them could never replay byte-identically. Every identifier a case
+    /// carries — and every fixed name the backends mint for case arrays —
+    /// must fail `is_system_array`.
+    #[test]
+    fn generated_names_never_enter_the_reserved_system_namespace() {
+        for seed in 0..200 {
+            let c = generate(seed);
+            for name in c
+                .dims
+                .iter()
+                .map(|d| d.name.as_str())
+                .chain(c.attrs.iter().map(|a| a.name.as_str()))
+            {
+                assert!(
+                    !scidb_query::is_system_array(name) && !name.contains('.'),
+                    "seed {seed}: generated identifier {name:?} collides with \
+                     the reserved namespace"
+                );
+            }
+        }
+        for name in ["conformance_input", "conf", "conf_remote_0"] {
+            assert!(!scidb_query::is_system_array(name), "{name}");
+        }
+    }
+
     #[test]
     fn generator_emits_floats_on_the_dyadic_lattice() {
         for seed in 0..50 {

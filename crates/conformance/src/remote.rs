@@ -153,6 +153,10 @@ pub fn run_remote(case: &Case, registry: &Registry) -> Result<Array> {
         "conf_remote_{}",
         engine.next_name.fetch_add(1, Ordering::Relaxed)
     );
+    // The generator and harness must never address the engine's reserved
+    // virtual-array namespace: those arrays are live telemetry, so a case
+    // built over them could not replay deterministically.
+    debug_assert!(!scidb_query::is_system_array(&name));
     let mut client = Client::connect(engine.server.addr(), "")?;
     client.put_array(&name, &input)?;
 

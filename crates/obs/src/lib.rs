@@ -29,7 +29,7 @@ pub use metrics::{
     bucket_index, bucket_upper, global, Counter, Gauge, HistSnapshot, Histogram, MetricValue,
     Registry, Snapshot,
 };
-pub use slowlog::{SlowEntry, SlowLog};
+pub use slowlog::{fingerprint, SlowEntry, SlowLog};
 pub use span::{
     AttrValue, EventData, KernelEvent, RenderOptions, Span, SpanData, Stopwatch, Trace, TraceData,
     EVENT_DEGRADED, EVENT_FAILOVER, EVENT_KERNEL, EVENT_NODE, EVENT_REREPLICATE, EVENT_RETRY,

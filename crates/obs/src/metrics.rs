@@ -500,6 +500,105 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_sanitizes_names_and_orders_type_lines() {
+        let reg = Registry::new();
+        reg.counter("scidb.sync.pair.CATALOG->METRICS").inc(1);
+        reg.counter("weird name/with:colon").inc(2);
+        let prom = reg.to_prometheus();
+        // Every non-[a-zA-Z0-9_:] byte maps to `_`; `:` is preserved.
+        assert!(
+            prom.contains("# TYPE scidb_sync_pair_CATALOG__METRICS counter"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("scidb_sync_pair_CATALOG__METRICS 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("# TYPE weird_name_with:colon counter"),
+            "{prom}"
+        );
+        assert!(prom.contains("weird_name_with:colon 2"), "{prom}");
+        // Exactly one `# TYPE` line per instrument, each preceding its sample.
+        assert_eq!(prom.matches("# TYPE ").count(), 2, "{prom}");
+        for (ty, sample) in [
+            (
+                "# TYPE scidb_sync_pair_CATALOG__METRICS counter",
+                "scidb_sync_pair_CATALOG__METRICS 1",
+            ),
+            (
+                "# TYPE weird_name_with:colon counter",
+                "weird_name_with:colon 2",
+            ),
+        ] {
+            let t = prom.find(ty).expect("type line");
+            let s = prom.find(sample).expect("sample line");
+            assert!(t < s, "{prom}");
+        }
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_to_inf() {
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        h.record(0); // bucket le="0"
+        h.record(1); // bucket le="1"
+        h.record(2); // bucket le="3"
+        h.record(3); // bucket le="3"
+        h.record(u64::MAX); // top finite bucket
+        let prom = reg.to_prometheus();
+        assert!(prom.contains("# TYPE h histogram"), "{prom}");
+        // Cumulative counts: each `le` line includes everything below it.
+        assert!(prom.contains("h_bucket{le=\"0\"} 1"), "{prom}");
+        assert!(prom.contains("h_bucket{le=\"1\"} 2"), "{prom}");
+        assert!(prom.contains("h_bucket{le=\"3\"} 4"), "{prom}");
+        assert!(
+            prom.contains(&format!("h_bucket{{le=\"{}\"}} 5", u64::MAX)),
+            "{prom}"
+        );
+        assert!(prom.contains("h_bucket{le=\"+Inf\"} 5"), "{prom}");
+        assert!(prom.contains("h_count 5"), "{prom}");
+        // The +Inf terminator equals _count — required by the exposition format.
+        let inf: u64 = prom
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .expect("+Inf line");
+        let count: u64 = prom
+            .lines()
+            .find(|l| l.starts_with("h_count"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .expect("count line");
+        assert_eq!(inf, count);
+    }
+
+    #[test]
+    fn prometheus_render_of_snapshot_diff_is_stable() {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        let h = reg.histogram("h");
+        c.inc(3);
+        h.record(10);
+        let before = reg.snapshot();
+        // No activity: the diff renders only zero-valued counters and an
+        // empty histogram, and is identical run to run.
+        let d1 = reg.snapshot().diff(&before).to_prometheus();
+        let d2 = reg.snapshot().diff(&before).to_prometheus();
+        assert_eq!(d1, d2);
+        assert!(d1.contains("c 0"), "{d1}");
+        assert!(d1.contains("h_bucket{le=\"+Inf\"} 0"), "{d1}");
+        // After activity, the diff reflects only the delta.
+        c.inc(2);
+        h.record(20);
+        let d3 = reg.snapshot().diff(&before).to_prometheus();
+        assert!(d3.contains("c 2"), "{d3}");
+        assert!(d3.contains("h_count 1"), "{d3}");
+        assert!(d3.contains("h_sum 20"), "{d3}");
+    }
+
+    #[test]
     fn global_registry_is_a_singleton() {
         let c = global().counter("obs.test.global");
         let v0 = c.get();

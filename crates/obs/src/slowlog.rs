@@ -14,10 +14,27 @@ use crate::span::TraceData;
 pub struct SlowEntry {
     /// Human-readable label (typically the AQL statement text).
     pub label: String,
+    /// The session that ran the statement (0 when unattributed).
+    pub session: u64,
+    /// Stable fingerprint of the canonical statement text, so repeated
+    /// occurrences of the same query aggregate under one key.
+    pub fingerprint: String,
     /// The query's wall time.
     pub wall: Duration,
     /// The full trace.
     pub trace: TraceData,
+}
+
+/// FNV-1a hash of the canonical statement text, rendered as 16 hex digits.
+/// Dependency-free and stable across runs, so fingerprints are comparable
+/// between a live server and its logs.
+pub fn fingerprint(label: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in label.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{hash:016x}")
 }
 
 /// A ring buffer of slow-query traces with a configurable threshold.
@@ -67,8 +84,17 @@ impl SlowLog {
     }
 
     /// Offers a finished query; retains it iff `wall >= threshold` (and the
-    /// capacity is non-zero). Returns whether it was retained.
-    pub fn observe(&mut self, label: &str, wall: Duration, trace: &TraceData) -> bool {
+    /// capacity is non-zero). Returns whether it was retained. `session`
+    /// attributes the entry to the session that ran the statement (0 when
+    /// unattributed); the fingerprint is derived from `label` via
+    /// [`fingerprint`].
+    pub fn observe(
+        &mut self,
+        label: &str,
+        session: u64,
+        wall: Duration,
+        trace: &TraceData,
+    ) -> bool {
         if wall < self.threshold || self.capacity == 0 {
             return false;
         }
@@ -78,6 +104,8 @@ impl SlowLog {
         }
         self.entries.push(SlowEntry {
             label: label.to_string(),
+            session,
+            fingerprint: fingerprint(label),
             wall,
             trace: trace.clone(),
         });
@@ -112,12 +140,14 @@ mod tests {
     fn threshold_filters_and_ring_evicts() {
         let mut log = SlowLog::new(ms(10), 2);
         let td = TraceData::default();
-        assert!(!log.observe("fast", ms(5), &td));
-        assert!(log.observe("slow-1", ms(10), &td));
-        assert!(log.observe("slow-2", ms(20), &td));
-        assert!(log.observe("slow-3", ms(30), &td));
+        assert!(!log.observe("fast", 1, ms(5), &td));
+        assert!(log.observe("slow-1", 1, ms(10), &td));
+        assert!(log.observe("slow-2", 2, ms(20), &td));
+        assert!(log.observe("slow-3", 3, ms(30), &td));
         let labels: Vec<&str> = log.entries().iter().map(|e| e.label.as_str()).collect();
         assert_eq!(labels, vec!["slow-2", "slow-3"]);
+        let sessions: Vec<u64> = log.entries().iter().map(|e| e.session).collect();
+        assert_eq!(sessions, vec![2, 3]);
         assert_eq!(log.evicted(), 1);
     }
 
@@ -126,13 +156,13 @@ mod tests {
         let mut log = SlowLog::new(ms(10), 4);
         let td = TraceData::default();
         for i in 0..4 {
-            assert!(log.observe(&format!("q{i}"), ms(10 + i), &td));
+            assert!(log.observe(&format!("q{i}"), 0, ms(10 + i), &td));
         }
         log.set_capacity(2);
         assert_eq!(log.entries().len(), 2);
         assert_eq!(log.entries()[0].label, "q2");
         log.set_threshold(ms(100));
-        assert!(!log.observe("now-fast", ms(50), &td));
+        assert!(!log.observe("now-fast", 0, ms(50), &td));
         log.clear();
         assert!(log.entries().is_empty());
         assert_eq!(log.evicted(), 2);
@@ -141,7 +171,22 @@ mod tests {
     #[test]
     fn zero_capacity_disables_retention() {
         let mut log = SlowLog::new(Duration::ZERO, 0);
-        assert!(!log.observe("q", ms(1), &TraceData::default()));
+        assert!(!log.observe("q", 0, ms(1), &TraceData::default()));
         assert!(log.entries().is_empty());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_per_statement() {
+        let mut log = SlowLog::new(Duration::ZERO, 4);
+        let td = TraceData::default();
+        log.observe("scan(A)", 1, ms(1), &td);
+        log.observe("scan(A)", 2, ms(2), &td);
+        log.observe("scan(B)", 1, ms(3), &td);
+        let e = log.entries();
+        assert_eq!(e[0].fingerprint, e[1].fingerprint);
+        assert_ne!(e[0].fingerprint, e[2].fingerprint);
+        assert_eq!(e[0].fingerprint.len(), 16);
+        // Pin the FNV-1a value so the fingerprint stays wire/log stable.
+        assert_eq!(fingerprint(""), "cbf29ce484222325");
     }
 }

@@ -88,6 +88,9 @@ pub mod ranks {
         ADMISSION = 20,
         /// The catalog/array state `RwLock` in `scidb-query`'s `DbCore`.
         CATALOG = 30,
+        /// The per-session stats registry `RwLock` in `DbCore`, read while
+        /// the catalog guard may be held (`system.sessions` scans).
+        SESSION_REGISTRY = 35,
         /// The background-merge `StorageManager` mutex (`scidb-storage`).
         MERGE = 40,
         /// Disk block-map and I/O-stats mutexes (`scidb-storage`).

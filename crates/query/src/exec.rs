@@ -55,12 +55,18 @@ use scidb_core::sync::{
 };
 use scidb_core::uncertain::Uncertain;
 use scidb_core::value::{ScalarType, Value};
-use scidb_obs::{RenderOptions, SlowEntry, SlowLog, Span, Trace, TraceData, LAYER_QUERY};
+use scidb_obs::{
+    RenderOptions, SlowEntry, SlowLog, Span, Trace, TraceData, EVENT_RETRY, LAYER_QUERY,
+};
 use scidb_storage::{CodecPolicy, MemDisk, ReadOptions, StorageManager};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+mod system;
+
+pub use system::{is_system_array, SYSTEM_PREFIX};
 
 /// Default slow-query threshold (see [`Database::set_slow_query_threshold`]).
 pub const DEFAULT_SLOW_QUERY_THRESHOLD: Duration = Duration::from_millis(100);
@@ -210,6 +216,130 @@ struct CachedQuery {
     array: Array,
 }
 
+/// Live, lock-free execution counters for one registered handle (a
+/// [`Session`] or the owning [`Database`]), surfaced as one row of the
+/// `system.sessions` virtual array. All counters are relaxed atomics:
+/// they are monitoring data, not synchronization.
+#[derive(Debug)]
+pub struct SessionStats {
+    id: u64,
+    statements: AtomicU64,
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cells_scanned: AtomicU64,
+    queue_wait_us: AtomicU64,
+    active: AtomicU64,
+    timed_out: AtomicU64,
+}
+
+impl SessionStats {
+    fn new(id: u64) -> Self {
+        SessionStats {
+            id,
+            statements: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cells_scanned: AtomicU64::new(0),
+            queue_wait_us: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+        }
+    }
+
+    /// The database-wide session id (1-based, allocation order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Statements executed through this handle.
+    pub fn statements(&self) -> u64 {
+        self.statements.load(Ordering::Relaxed)
+    }
+
+    /// Statements that returned an error.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Query statements answered from the result cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells produced by `scan` nodes across this handle's statements
+    /// (system arrays excluded).
+    pub fn cells_scanned(&self) -> u64 {
+        self.cells_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative admission queue wait attributed by the serving layer.
+    pub fn queue_wait_us(&self) -> u64 {
+        self.queue_wait_us.load(Ordering::Relaxed)
+    }
+
+    /// Statements currently executing.
+    pub fn active(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Admission waits that timed out, attributed by the serving layer.
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out.load(Ordering::Relaxed)
+    }
+
+    /// Adds admission queue wait (serving layer).
+    pub fn add_queue_wait(&self, micros: u64) {
+        self.queue_wait_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Records an admission timeout (serving layer).
+    pub fn add_timeout(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-statement resource profile derived from a finished trace — the
+/// payload of the wire protocol's `QueryStats` trailer and the source of
+/// the `scidb.query.cells_scanned` counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatementProfile {
+    /// Statement wall time in microseconds (the root span's wall).
+    pub exec_us: u64,
+    /// Cells produced by `scan` nodes over stored arrays (`system.*`
+    /// virtual arrays excluded).
+    pub cells_scanned: u64,
+    /// Bytes read by storage `read_region` spans.
+    pub bytes_decoded: u64,
+    /// Whether the statement was answered from the result cache.
+    pub cache_hit: bool,
+    /// Retry events observed anywhere in the trace.
+    pub retries: u64,
+}
+
+impl StatementProfile {
+    /// Derives the profile from a finished statement trace.
+    pub fn from_trace(trace: &TraceData) -> Self {
+        let mut p = StatementProfile::default();
+        for s in &trace.spans {
+            if s.parent.is_none() {
+                p.exec_us = s.wall.as_micros() as u64;
+                p.cache_hit = s
+                    .attr("cache_hit")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false);
+            }
+            if s.name == "scan" && s.attr("system").is_none() {
+                p.cells_scanned += s.attr("cells_out").and_then(|v| v.as_u64()).unwrap_or(0);
+            }
+            if s.name == "read_region" {
+                p.bytes_decoded += s.attr("bytes_read").and_then(|v| v.as_u64()).unwrap_or(0);
+            }
+            p.retries += s.events.iter().filter(|e| e.name == EVENT_RETRY).count() as u64;
+        }
+        p
+    }
+}
+
 /// The interior-synchronized database core shared by every handle.
 struct DbCore {
     state: OrderedRwLock<CatalogState>,
@@ -219,6 +349,10 @@ struct DbCore {
     /// Bumped by every catalog write; versions the result cache.
     generation: AtomicU64,
     result_cache: OrderedRwLock<HashMap<String, CachedQuery>>,
+    /// Registered execution handles, keyed by session id — the live rows
+    /// of `system.sessions`.
+    sessions: OrderedRwLock<BTreeMap<u64, Arc<SessionStats>>>,
+    next_session: AtomicU64,
 }
 
 impl DbCore {
@@ -239,7 +373,22 @@ impl DbCore {
             threads: AtomicUsize::new(threads),
             generation: AtomicU64::new(0),
             result_cache: OrderedRwLock::new(ranks::RESULT_CACHE, HashMap::new()),
+            sessions: OrderedRwLock::new(ranks::SESSION_REGISTRY, BTreeMap::new()),
+            next_session: AtomicU64::new(0),
         }
+    }
+
+    /// Allocates a session id and registers its stats row.
+    fn register_session(&self) -> Arc<SessionStats> {
+        let id = self.next_session.fetch_add(1, Ordering::SeqCst) + 1;
+        let stats = Arc::new(SessionStats::new(id));
+        self.sessions.write().insert(id, Arc::clone(&stats));
+        stats
+    }
+
+    /// Removes a closed session's stats row.
+    fn deregister_session(&self, id: u64) {
+        self.sessions.write().remove(&id);
     }
 
     /// Records a catalog write: versions the result cache. Called while
@@ -258,6 +407,7 @@ impl DbCore {
         stmt: Stmt,
         ctx: &ExecContext,
         use_cache: bool,
+        stats: &SessionStats,
     ) -> (Result<StmtResult>, TraceData) {
         let mut stmt = stmt;
         let mut explain = false;
@@ -271,16 +421,29 @@ impl DbCore {
         root.set_attr("aql", aql.as_str());
         let reg = scidb_obs::global();
         reg.counter("scidb.query.statements").inc(1);
+        stats.statements.fetch_add(1, Ordering::Relaxed);
+        stats.active.fetch_add(1, Ordering::Relaxed);
         let result = self.dispatch(stmt, &aql, &root, ctx, use_cache);
         if let Err(e) = &result {
             root.set_attr("error", e.to_string());
             reg.counter("scidb.query.errors").inc(1);
+            stats.errors.fetch_add(1, Ordering::Relaxed);
         }
         let wall = root.finish();
         reg.histogram("scidb.query.statement_wall_us")
             .record(wall.as_micros() as u64);
         let data = trace.finish();
-        self.slow_log.write().observe(&aql, wall, &data);
+        let profile = StatementProfile::from_trace(&data);
+        reg.counter("scidb.query.cells_scanned")
+            .inc(profile.cells_scanned);
+        stats
+            .cells_scanned
+            .fetch_add(profile.cells_scanned, Ordering::Relaxed);
+        if profile.cache_hit {
+            stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.active.fetch_sub(1, Ordering::Relaxed);
+        self.slow_log.write().observe(&aql, stats.id, wall, &data);
         let result = if explain {
             // `explain analyze` returns the rendered span tree — wall
             // times and kernel events included — instead of the result.
@@ -311,7 +474,11 @@ impl DbCore {
             // first; a direct call degrades to the inner statement.
             Stmt::ExplainAnalyze(inner) => self.dispatch(*inner, aql, root, ctx, use_cache),
             Stmt::Query(expr) => {
-                let key = if use_cache { Some(aql) } else { None };
+                // `system.*` scans read live telemetry the generation
+                // counter does not version, so they never enter the result
+                // cache (the canonical rendering names every scanned array).
+                let cacheable = use_cache && !aql.contains("scan(system.");
+                let key = if cacheable { Some(aql) } else { None };
                 Ok(StmtResult::Array(self.execute_query(expr, root, ctx, key)?))
             }
             Stmt::Exists { array, coords } => {
@@ -334,7 +501,7 @@ impl DbCore {
             }
             write => {
                 let mut state = self.state.write();
-                let out = apply_write(&mut state, write, root, ctx);
+                let out = apply_write(self, &mut state, write, root, ctx);
                 if out.is_ok() {
                     self.touch();
                 }
@@ -368,7 +535,11 @@ impl DbCore {
         // write lock, so this generation exactly versions the snapshot
         // the evaluation is about to read.
         let generation = self.generation.load(Ordering::SeqCst);
-        let ev = Evaluator { state: &state, ctx };
+        let ev = Evaluator {
+            state: &state,
+            ctx,
+            core: self,
+        };
         let out = ev.eval_node(root, plan::optimize(expr))?;
         drop(state);
         if let Some(key) = cache_key {
@@ -390,6 +561,7 @@ impl DbCore {
     // ---- catalog helpers shared by Database and SharedDatabase ----------
 
     fn put_array(&self, name: &str, array: Array) -> Result<()> {
+        system::reject_reserved(name)?;
         let mut state = self.state.write();
         if state.arrays.contains_key(name) {
             return Err(Error::AlreadyExists(format!("array '{name}'")));
@@ -402,6 +574,7 @@ impl DbCore {
     }
 
     fn put_array_on_disk(&self, name: &str, array: &Array) -> Result<()> {
+        system::reject_reserved(name)?;
         let mut state = self.state.write();
         if state.arrays.contains_key(name) {
             return Err(Error::AlreadyExists(format!("array '{name}'")));
@@ -454,7 +627,10 @@ impl DbCore {
 }
 
 /// Applies a DDL/DML statement to the exclusively borrowed catalog.
+/// `core` rides along so `store(...)` evaluations can resolve `system.*`
+/// virtual arrays against live telemetry.
 fn apply_write(
+    core: &DbCore,
     state: &mut CatalogState,
     stmt: Stmt,
     root: &Span,
@@ -503,6 +679,7 @@ fn apply_write(
             type_name,
             bounds,
         } => {
+            system::reject_reserved(&name)?;
             if state.arrays.contains_key(&name) {
                 return Err(Error::AlreadyExists(format!("array '{name}'")));
             }
@@ -588,12 +765,14 @@ fn apply_write(
             Ok(StmtResult::Done(format!("inserted into {array}")))
         }
         Stmt::Store { expr, into } => {
+            system::reject_reserved(&into)?;
             if state.arrays.contains_key(&into) {
                 return Err(Error::AlreadyExists(format!("array '{into}'")));
             }
             let ev = Evaluator {
                 state: &*state,
                 ctx,
+                core,
             };
             let result = ev.eval_node(root, plan::optimize(expr))?;
             let renamed_schema = result.schema().renamed(&into);
@@ -631,10 +810,12 @@ fn exists_on_disk(mgr: &StorageManager, coords: &[i64], span: &Span) -> Result<b
 }
 
 /// A borrowed view over one catalog snapshot plus the execution context
-/// the statement runs under — the read-side evaluation engine.
+/// the statement runs under — the read-side evaluation engine. The core
+/// handle resolves `system.*` virtual arrays from live telemetry.
 struct Evaluator<'a> {
     state: &'a CatalogState,
     ctx: &'a ExecContext,
+    core: &'a DbCore,
 }
 
 impl Evaluator<'_> {
@@ -662,6 +843,13 @@ impl Evaluator<'_> {
         match expr {
             AExpr::Scan(name) => {
                 span.set_attr("array", name.as_str());
+                if let Some(built) = system::resolve(self.core, &name) {
+                    // Virtual arrays are built from live telemetry, not
+                    // storage; the attr excludes them from cells-scanned
+                    // accounting.
+                    span.set_attr("system", true);
+                    return built;
+                }
                 match self.state.stored(&name)? {
                     StoredArray::Plain(a) => Ok(a.clone()),
                     StoredArray::Updatable(u) => Ok(u.array().clone()),
@@ -854,11 +1042,18 @@ pub struct Database {
     ctx: ExecContext,
     traces: Vec<TraceData>,
     use_cache: bool,
+    stats: Arc<SessionStats>,
 }
 
 impl Default for Database {
     fn default() -> Self {
         Database::new()
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        self.core.deregister_session(self.stats.id());
     }
 }
 
@@ -872,12 +1067,20 @@ impl Database {
     /// Creates a database with an explicit thread budget (`1` forces serial
     /// execution, `0` auto-sizes to the machine).
     pub fn with_threads(threads: usize) -> Self {
+        let core = Arc::new(DbCore::new(threads));
+        let stats = core.register_session();
         Database {
-            core: Arc::new(DbCore::new(threads)),
+            core,
             ctx: ExecContext::with_threads(threads),
             traces: Vec::new(),
             use_cache: false,
+            stats,
         }
+    }
+
+    /// This handle's live execution counters (its `system.sessions` row).
+    pub fn session_stats(&self) -> Arc<SessionStats> {
+        Arc::clone(&self.stats)
     }
 
     /// A cheaply cloneable handle to the same catalog, registry, and
@@ -1024,7 +1227,9 @@ impl Database {
 
     /// Executes one parsed statement under a fresh trace.
     pub fn execute(&mut self, stmt: Stmt) -> Result<StmtResult> {
-        let (result, trace) = self.core.execute_stmt(stmt, &self.ctx, self.use_cache);
+        let (result, trace) = self
+            .core
+            .execute_stmt(stmt, &self.ctx, self.use_cache, &self.stats);
         self.traces.push(trace);
         result
     }
@@ -1098,6 +1303,11 @@ impl SharedDatabase {
         self.core.slow_log.read().entries().to_vec()
     }
 
+    /// Execution sessions currently registered on the shared core.
+    pub fn session_count(&self) -> usize {
+        self.core.sessions.read().len()
+    }
+
     /// Statements with wall time at or above `threshold` are retained in
     /// the shared slow-query log.
     pub fn set_slow_query_threshold(&self, threshold: Duration) {
@@ -1131,22 +1341,43 @@ pub struct Session {
     ctx: ExecContext,
     traces: Vec<TraceData>,
     use_cache: bool,
+    stats: Arc<SessionStats>,
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.core.deregister_session(self.stats.id());
+    }
 }
 
 impl Session {
     fn over(core: Arc<DbCore>) -> Self {
         let threads = core.threads.load(Ordering::SeqCst);
+        let stats = core.register_session();
         Session {
             core,
             ctx: ExecContext::with_threads(threads),
             traces: Vec::new(),
             use_cache: false,
+            stats,
         }
     }
 
     /// The session's execution context (thread budget).
     pub fn ctx(&self) -> &ExecContext {
         &self.ctx
+    }
+
+    /// The database-wide session id (also the `sid` of this session's
+    /// `system.sessions` row).
+    pub fn id(&self) -> u64 {
+        self.stats.id()
+    }
+
+    /// This session's live execution counters; the serving layer adds
+    /// admission queue-wait and timeout attribution through this handle.
+    pub fn session_stats(&self) -> Arc<SessionStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Enables or disables the shared canonical-key result cache for
@@ -1170,7 +1401,9 @@ impl Session {
 
     /// Executes one parsed statement.
     pub fn execute(&mut self, stmt: Stmt) -> Result<StmtResult> {
-        let (result, trace) = self.core.execute_stmt(stmt, &self.ctx, self.use_cache);
+        let (result, trace) = self
+            .core
+            .execute_stmt(stmt, &self.ctx, self.use_cache, &self.stats);
         self.traces.push(trace);
         result
     }
@@ -1748,5 +1981,128 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send_sync::<SharedDatabase>();
         assert_send::<Session>();
+    }
+
+    use scidb_core::value::Scalar;
+
+    #[test]
+    fn system_metrics_is_a_queryable_array() {
+        let mut db = db_with_h();
+        db.query("scan(A)").unwrap();
+        let m = db.query("scan(system.metrics)").unwrap();
+        assert!(m.cell_count() > 0);
+        let names: Vec<String> = m
+            .cells()
+            .map(|(_, rec)| match &rec[0] {
+                Value::Scalar(Scalar::String(s)) => s.clone(),
+                other => panic!("name must be a string, got {other:?}"),
+            })
+            .collect();
+        assert!(
+            names.iter().any(|n| n == "scidb.query.statements"),
+            "{names:?}"
+        );
+        // The rows flow through the ordinary kernels: filter on an
+        // attribute, then count the survivors with aggregate.
+        let counters = db.query("filter(system.metrics, value >= 0)").unwrap();
+        assert!(counters.cell_count() > 0, "counter/gauge rows survive");
+        let total = db.query("aggregate(system.metrics, {}, count(*))").unwrap();
+        assert!(total.cell_count() > 0);
+    }
+
+    #[test]
+    fn system_sessions_tracks_live_handles() {
+        let db = db_with_h();
+        let shared = db.share();
+        let mut s = shared.session();
+        s.query("scan(A)").unwrap();
+        s.query("scan(A)").unwrap();
+        let rows = s.query("scan(system.sessions)").unwrap();
+        // The Database handle registers a session too.
+        assert_eq!(rows.cell_count(), 2);
+        let sid = s.id();
+        let mine = rows
+            .cells()
+            .find(|(_, rec)| rec[0] == Value::from(sid as i64))
+            .expect("own row");
+        // statements counts this very scan as the third statement.
+        assert_eq!(mine.1[1], Value::from(3i64));
+        // Dropping a session removes its row.
+        let other_sid = {
+            let mut other = shared.session();
+            other.query("scan(A)").unwrap();
+            other.id()
+        };
+        let rows = s.query("scan(system.sessions)").unwrap();
+        assert!(
+            !rows
+                .cells()
+                .any(|(_, rec)| rec[0] == Value::from(other_sid as i64)),
+            "dropped sessions deregister"
+        );
+    }
+
+    #[test]
+    fn system_slow_queries_carries_session_and_fingerprint() {
+        let mut db = db_with_h();
+        db.set_slow_query_threshold(Duration::ZERO);
+        db.query("filter(A, v > 1)").unwrap();
+        let rows = db.query("scan(system.slow_queries)").unwrap();
+        let (_, rec) = rows
+            .cells()
+            .find(|(_, rec)| rec[2] == Value::from("filter(scan(A), (v > 1))".to_string()))
+            .expect("slow entry row");
+        assert_eq!(rec[0], Value::from(db.session_stats().id() as i64));
+        assert_eq!(
+            rec[1],
+            Value::from(scidb_obs::fingerprint("filter(scan(A), (v > 1))"))
+        );
+    }
+
+    #[test]
+    fn system_locks_and_result_cache_render() {
+        let mut db = db_with_h();
+        db.set_result_cache(true);
+        db.query("scan(A)").unwrap();
+        db.query("scan(A)").unwrap();
+        let locks = db.query("scan(system.locks)").unwrap();
+        // One row per registered rank plus the `total` witness row.
+        assert_eq!(
+            locks.cell_count(),
+            scidb_obs::sync::ranks::ALL.len() + 1
+        );
+        let cache = db.query("scan(system.result_cache)").unwrap();
+        assert_eq!(cache.cell_count(), 1);
+        let (_, rec) = cache.cells().next().unwrap();
+        assert!(
+            matches!(rec[1], Value::Scalar(Scalar::Int64(n)) if n >= 1),
+            "the cached scan(A) entry is visible: {rec:?}"
+        );
+    }
+
+    #[test]
+    fn system_namespace_is_reserved_and_uncached() {
+        let mut db = db_with_h();
+        for stmt in ["create system.x as H [4, 4]", "store scan(A) into system.y"] {
+            let err = db.run(stmt).unwrap_err();
+            assert!(matches!(err, Error::Schema(_)), "{stmt}: {err:?}");
+        }
+        let copy = db.query("scan(A)").unwrap();
+        let err = db.put_array("system.z", copy);
+        assert!(matches!(err, Err(Error::Schema(_))), "{err:?}");
+        // Unknown system arrays are a not-found error, not a catalog miss.
+        let err = db.query("scan(system.nope)").unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)), "{err:?}");
+        // system.* scans bypass the result cache even when it is enabled:
+        // re-scanning metrics never reports a cache hit.
+        db.set_result_cache(true);
+        db.query("scan(system.metrics)").unwrap();
+        db.query("scan(system.metrics)").unwrap();
+        assert!(
+            db.last_trace().unwrap().spans[0]
+                .attr("cache_hit")
+                .is_none(),
+            "system scans must not be served from the result cache"
+        );
     }
 }

@@ -24,7 +24,8 @@ pub mod token;
 pub use ast::{AExpr, AggArg, DimSpec, Literal, Stmt};
 pub use binding::{scan, Q};
 pub use exec::{
-    ArrayRef, ArrayRefMut, Database, Prepared, RegistryRef, RegistryRefMut, Session,
-    SharedDatabase, SlowLogRef, SlowLogRefMut, StmtResult, StoredArray,
+    is_system_array, ArrayRef, ArrayRefMut, Database, Prepared, RegistryRef, RegistryRefMut,
+    Session, SessionStats, SharedDatabase, SlowLogRef, SlowLogRefMut, StatementProfile, StmtResult,
+    StoredArray, SYSTEM_PREFIX,
 };
 pub use parser::{parse, parse_one};

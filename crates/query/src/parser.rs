@@ -103,6 +103,17 @@ impl Parser {
         }
     }
 
+    /// Extends an already-consumed array name with one optional dotted
+    /// segment (`system.metrics`); multi-dot names stay a parse error.
+    fn dotted_name(&mut self, first: String) -> Result<String> {
+        if self.eat(&Token::Dot) {
+            let second = self.ident("after '.' in array name")?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
     fn int(&mut self, ctx: &str) -> Result<i64> {
         match self.next() {
             Token::Int(v) => Ok(v),
@@ -148,7 +159,11 @@ impl Parser {
             self.next();
             let expr = self.aexpr()?;
             self.expect_kw("into")?;
-            let into = self.ident("after into")?;
+            // A dotted target parses so a `store ... into system.x` reaches
+            // the executor's reserved-namespace check (a schema error, not
+            // a parse error).
+            let name = self.ident("after into")?;
+            let into = self.dotted_name(name)?;
             return Ok(Stmt::Store { expr, into });
         }
         if self.peek().is_kw("drop") {
@@ -244,7 +259,10 @@ impl Parser {
         if self.peek().is_kw("array") && matches!(self.peek2(), Token::Ident(_)) {
             self.next();
         }
+        // A dotted instance name parses so `create system.x ...` reaches
+        // the executor's reserved-namespace check.
         let name = self.ident("instance name")?;
+        let name = self.dotted_name(name)?;
         self.expect_kw("as")?;
         let type_name = self.ident("type name")?;
         self.expect(&Token::LBracket, "before bounds")?;
@@ -344,16 +362,17 @@ impl Parser {
         };
         let lower = name.to_ascii_lowercase();
         if self.peek2() != &Token::LParen {
-            // Bare array name = scan.
+            // Bare array name = scan; one dotted segment is allowed so the
+            // `system.*` virtual arrays are addressable.
             self.next();
-            return Ok(AExpr::Scan(name));
+            return Ok(AExpr::Scan(self.dotted_name(name)?));
         }
         self.next(); // ident
         self.next(); // (
         let expr = match lower.as_str() {
             "scan" => {
                 let n = self.ident("array name")?;
-                AExpr::Scan(n)
+                AExpr::Scan(self.dotted_name(n)?)
             }
             "subsample" => {
                 let input = self.aexpr()?.boxed();

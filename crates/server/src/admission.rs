@@ -23,7 +23,7 @@
 
 use scidb_core::error::{Error, Result};
 use scidb_core::sync::{ranks, witness};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// How long a queued waiter sleeps between admission attempts.
@@ -57,12 +57,22 @@ pub struct Admission {
     cfg: AdmissionConfig,
     active: AtomicUsize,
     queued: AtomicUsize,
+    timed_out: AtomicU64,
 }
 
 /// An admitted statement's slot; releasing is dropping.
 #[derive(Debug)]
 pub struct Permit<'a> {
     gate: &'a Admission,
+    queue_wait: Duration,
+}
+
+impl Permit<'_> {
+    /// How long this statement waited in the admission queue (zero when
+    /// admitted on the fast path).
+    pub fn queue_wait(&self) -> Duration {
+        self.queue_wait
+    }
 }
 
 impl Drop for Permit<'_> {
@@ -80,7 +90,13 @@ impl Admission {
             cfg,
             active: AtomicUsize::new(0),
             queued: AtomicUsize::new(0),
+            timed_out: AtomicU64::new(0),
         }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
     }
 
     /// Statements currently executing.
@@ -91,6 +107,12 @@ impl Admission {
     /// Statements currently waiting for a slot.
     pub fn queued(&self) -> usize {
         self.queued.load(Ordering::SeqCst)
+    }
+
+    /// Waits that ended in rejection (queue full or deadline passed)
+    /// since the gate was built.
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out.load(Ordering::SeqCst)
     }
 
     fn try_acquire(&self) -> bool {
@@ -116,12 +138,22 @@ impl Admission {
         witness::check(ranks::ADMISSION, true);
         if self.try_acquire() {
             witness::acquired(ranks::ADMISSION, false);
-            return Ok(Permit { gate: self });
+            scidb_obs::global()
+                .histogram("scidb.server.queue_wait_us")
+                .record(0);
+            return Ok(Permit {
+                gate: self,
+                queue_wait: Duration::ZERO,
+            });
         }
         // Engine saturated: take a queue slot (bounded) and wait.
         let mut q = self.queued.load(Ordering::SeqCst);
         loop {
             if q >= self.cfg.max_queued {
+                self.timed_out.fetch_add(1, Ordering::SeqCst);
+                scidb_obs::global()
+                    .counter("scidb.server.admission_timeouts")
+                    .inc(1);
                 return Err(Error::admission(format!(
                     "query queue full ({} waiting, limit {})",
                     q, self.cfg.max_queued
@@ -135,15 +167,27 @@ impl Admission {
                 Err(now) => q = now,
             }
         }
-        let deadline = Instant::now() + self.cfg.max_wait;
+        let start = Instant::now();
+        let deadline = start + self.cfg.max_wait;
         loop {
             if self.try_acquire() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
                 witness::acquired(ranks::ADMISSION, true);
-                return Ok(Permit { gate: self });
+                let queue_wait = start.elapsed();
+                scidb_obs::global()
+                    .histogram("scidb.server.queue_wait_us")
+                    .record(queue_wait.as_micros() as u64);
+                return Ok(Permit {
+                    gate: self,
+                    queue_wait,
+                });
             }
             if Instant::now() >= deadline {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
+                self.timed_out.fetch_add(1, Ordering::SeqCst);
+                scidb_obs::global()
+                    .counter("scidb.server.admission_timeouts")
+                    .inc(1);
                 return Err(Error::admission(format!(
                     "no execution slot within {:?} ({} active, {} waiting)",
                     self.cfg.max_wait,
@@ -245,6 +289,34 @@ mod tests {
         let err = gate.admit().unwrap_err();
         assert_eq!(err.code().name(), "admission");
         assert_eq!(gate.queued(), 0, "timed-out waiter must leave the queue");
+        assert_eq!(gate.timed_out(), 1);
+    }
+
+    #[test]
+    fn queue_wait_is_measured_and_recorded() {
+        let gate = Admission::new(AdmissionConfig {
+            max_active: 1,
+            max_queued: 4,
+            max_wait: Duration::from_secs(5),
+        });
+        let before = scidb_obs::global()
+            .histogram("scidb.server.queue_wait_us")
+            .count();
+        let fast = gate.admit().unwrap();
+        assert_eq!(fast.queue_wait(), Duration::ZERO);
+        // A contended waiter measures a positive wait once the slot frees.
+        let waited = std::thread::scope(|s| {
+            let handle = s.spawn(|| gate.admit().map(|p| p.queue_wait()));
+            std::thread::sleep(Duration::from_millis(5));
+            drop(fast);
+            handle.join().expect("waiter thread")
+        })
+        .unwrap();
+        assert!(waited >= Duration::from_millis(1), "waited {waited:?}");
+        let after = scidb_obs::global()
+            .histogram("scidb.server.queue_wait_us")
+            .count();
+        assert!(after >= before + 2, "both admissions recorded");
     }
 
     #[test]

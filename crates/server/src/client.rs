@@ -1,7 +1,14 @@
 //! A blocking client for the scidb-server wire protocol.
+//!
+//! The client negotiates the protocol version during the handshake and,
+//! under version >= 1, decodes the [`QueryStats`] trailer the server
+//! appends to every response; [`Client::last_stats`] exposes the most
+//! recent one. Statement ids for trace correlation are assigned
+//! automatically from a per-connection counter (see
+//! [`Client::last_statement_id`]).
 
-use crate::proto::{Request, Response};
-use crate::wire::{self, Frame};
+use crate::proto::{QueryStats, Request, Response, StatsFormat, PROTOCOL_VERSION};
+use crate::wire::{self, Frame, Reader};
 use scidb_core::array::Array;
 use scidb_core::error::{Error, Result};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -46,6 +53,23 @@ impl RemoteResult {
     }
 }
 
+/// Server health as reported by [`Client::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Health {
+    /// Statements currently executing.
+    pub active: u64,
+    /// Statements waiting for an execution slot.
+    pub queued: u64,
+    /// Configured concurrent-execution limit.
+    pub max_active: u64,
+    /// Configured queue-depth limit.
+    pub max_queued: u64,
+    /// Admission waits rejected since the server started.
+    pub timed_out: u64,
+    /// Execution sessions currently registered on the database.
+    pub sessions: u64,
+}
+
 /// A blocking connection to a running [`Server`](crate::Server).
 ///
 /// The connection performs the `Hello` handshake on
@@ -56,6 +80,11 @@ impl RemoteResult {
 pub struct Client {
     stream: TcpStream,
     seq: u32,
+    session_id: u64,
+    version: u16,
+    next_statement_id: u64,
+    last_statement_id: u64,
+    last_stats: Option<QueryStats>,
 }
 
 impl Client {
@@ -63,13 +92,58 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs, token: &str) -> Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        let mut client = Client { stream, seq: 0 };
+        let mut client = Client {
+            stream,
+            seq: 0,
+            session_id: 0,
+            version: 0,
+            next_statement_id: 0,
+            last_statement_id: 0,
+            last_stats: None,
+        };
         match client.call(Request::Hello {
             token: token.to_string(),
+            version: PROTOCOL_VERSION,
         })? {
-            Response::HelloAck { .. } => Ok(client),
+            Response::HelloAck {
+                session_id,
+                version,
+            } => {
+                client.session_id = session_id;
+                client.version = version;
+                Ok(client)
+            }
             other => Err(Error::protocol(format!("expected HelloAck, got {other:?}"))),
         }
+    }
+
+    /// The server-assigned session id (the `sid` of this connection's
+    /// `system.sessions` row).
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// The negotiated protocol version (0 when talking to an old server).
+    pub fn protocol_version(&self) -> u16 {
+        self.version
+    }
+
+    /// The [`QueryStats`] trailer of the most recent response, if the
+    /// negotiated protocol carries one.
+    pub fn last_stats(&self) -> Option<QueryStats> {
+        self.last_stats
+    }
+
+    /// The client-assigned statement id sent with the most recent
+    /// `Execute`/`ExecutePrepared` request (for trace correlation).
+    pub fn last_statement_id(&self) -> u64 {
+        self.last_statement_id
+    }
+
+    fn next_statement_id(&mut self) -> u64 {
+        self.next_statement_id += 1;
+        self.last_statement_id = self.next_statement_id;
+        self.next_statement_id
     }
 
     fn call(&mut self, req: Request) -> Result<Response> {
@@ -90,7 +164,15 @@ impl Client {
                 frame.seq, self.seq
             )));
         }
-        Response::decode(frame.msg_type, &frame.payload)?.into_result()
+        let mut r = Reader::new(&frame.payload);
+        let resp = Response::decode_from(frame.msg_type, &mut r)?;
+        // Any bytes after the body are the version >= 1 stats trailer
+        // (never present on HelloAck, whose body consumes its payload).
+        self.last_stats = match resp {
+            Response::HelloAck { .. } => None,
+            _ => QueryStats::decode(&mut r)?,
+        };
+        resp.into_result()
     }
 
     fn call_stmt(&mut self, req: Request) -> Result<RemoteResult> {
@@ -107,8 +189,10 @@ impl Client {
 
     /// Executes an AQL script; returns the last statement's result.
     pub fn execute(&mut self, text: &str) -> Result<RemoteResult> {
+        let statement_id = self.next_statement_id();
         self.call_stmt(Request::Execute {
             text: text.to_string(),
+            statement_id,
         })
     }
 
@@ -131,8 +215,10 @@ impl Client {
 
     /// Executes a prepared statement by canonical key.
     pub fn execute_prepared(&mut self, key: &str) -> Result<RemoteResult> {
+        let statement_id = self.next_statement_id();
         self.call_stmt(Request::ExecutePrepared {
             key: key.to_string(),
+            statement_id,
         })
     }
 
@@ -164,6 +250,36 @@ impl Client {
         match self.call(Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(Error::protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// Exports the server's metrics-registry snapshot in `format`.
+    pub fn stats(&mut self, format: StatsFormat) -> Result<String> {
+        match self.call(Request::Stats { format })? {
+            Response::Stats { text } => Ok(text),
+            other => Err(Error::protocol(format!("expected Stats, got {other:?}"))),
+        }
+    }
+
+    /// Probes the server's admission-gate and session health.
+    pub fn health(&mut self) -> Result<Health> {
+        match self.call(Request::Health)? {
+            Response::Health {
+                active,
+                queued,
+                max_active,
+                max_queued,
+                timed_out,
+                sessions,
+            } => Ok(Health {
+                active,
+                queued,
+                max_active,
+                max_queued,
+                timed_out,
+                sessions,
+            }),
+            other => Err(Error::protocol(format!("expected Health, got {other:?}"))),
         }
     }
 

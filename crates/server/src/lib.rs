@@ -29,6 +29,8 @@ pub mod wire;
 
 pub use admission::{Admission, AdmissionConfig, Permit};
 pub use auth::{AllowAll, AuthHook, TokenAuth};
-pub use client::{Client, RemoteResult};
-pub use proto::{Request, Response};
+pub use client::{Client, Health, RemoteResult};
+pub use proto::{
+    QueryStats, Request, Response, StatsFormat, PROTOCOL_VERSION, QUERY_STATS_VERSION,
+};
 pub use server::{Server, ServerConfig};

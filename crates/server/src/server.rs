@@ -12,19 +12,23 @@
 //! failures increment `scidb.server.errors` (admission rejections also
 //! `scidb.server.admission_rejects`), request wall time lands in the
 //! `scidb.server.request_us` histogram, and each request runs under a
-//! `request [server]` span so traces name the operation and session.
+//! `request [server]` span whose `request_type` attribute names the
+//! operation (the xtask R9 rule pins this for every request variant).
+//! Under negotiated protocol version >= 1 every post-handshake response
+//! carries a [`QueryStats`] trailer (DESIGN.md §14).
 
 use crate::admission::{Admission, AdmissionConfig, SessionGate};
 use crate::auth::{AllowAll, AuthHook};
-use crate::proto::{Request, Response};
+use crate::proto::{QueryStats, Request, Response, StatsFormat, PROTOCOL_VERSION};
 use crate::wire::{self, Frame};
 use scidb_core::error::{Error, Result};
+use scidb_core::sync::witness;
 use scidb_obs::{Trace, LAYER_SERVER};
-use scidb_query::{Prepared, Session, SharedDatabase, StmtResult};
+use scidb_query::{Prepared, Session, SharedDatabase, StatementProfile, StmtResult};
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -68,7 +72,6 @@ struct Shared {
     admission: Admission,
     session_inflight_limit: usize,
     result_cache: bool,
-    next_session_id: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -94,7 +97,6 @@ impl Server {
             admission: Admission::new(config.admission.clone()),
             session_inflight_limit: config.session_inflight_limit,
             result_cache: config.result_cache,
-            next_session_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
@@ -223,12 +225,25 @@ fn read_frame_or_shutdown(stream: &mut TcpStream, shared: &Shared) -> Result<Opt
 }
 
 fn send(stream: &mut TcpStream, seq: u32, resp: &Response) -> Result<()> {
+    send_with_trailer(stream, seq, resp, None)
+}
+
+fn send_with_trailer(
+    stream: &mut TcpStream,
+    seq: u32,
+    resp: &Response,
+    trailer: Option<&QueryStats>,
+) -> Result<()> {
+    let mut payload = resp.encode();
+    if let Some(t) = trailer {
+        t.encode(&mut payload);
+    }
     wire::write_frame(
         stream,
         &Frame {
             msg_type: resp.msg_type(),
             seq,
-            payload: resp.encode(),
+            payload,
         },
     )
 }
@@ -246,14 +261,16 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     let reg = scidb_obs::global();
 
     // Handshake: the first frame must be a Hello that passes the hook.
+    // The HelloAck echoes the negotiated protocol version; under
+    // version >= 1 every later response carries a QueryStats trailer.
     let hello = match read_frame_or_shutdown(&mut stream, &shared) {
         Ok(Some(f)) => f,
         _ => return,
     };
     let seq = hello.seq;
-    let session_id = match Request::decode(hello.msg_type, &hello.payload) {
-        Ok(Request::Hello { token }) => match shared.auth.authenticate(&token) {
-            Ok(()) => shared.next_session_id.fetch_add(1, Ordering::SeqCst) + 1,
+    let negotiated = match Request::decode(hello.msg_type, &hello.payload) {
+        Ok(Request::Hello { token, version }) => match shared.auth.authenticate(&token) {
+            Ok(()) => version.min(PROTOCOL_VERSION),
             Err(e) => {
                 reg.counter("scidb.server.auth_failures").inc(1);
                 let _ = send(&mut stream, seq, &error_response(&e));
@@ -270,13 +287,26 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             return;
         }
     };
-    if send(&mut stream, seq, &Response::HelloAck { session_id }).is_err() {
+    let mut session = shared.db.session();
+    session.set_result_cache(shared.result_cache);
+    // The engine-assigned session id doubles as the wire session id, so
+    // a client can find its own row in `system.sessions` by `sid`.
+    let session_id = session.id();
+    let stats = session.session_stats();
+    if send(
+        &mut stream,
+        seq,
+        &Response::HelloAck {
+            session_id,
+            version: negotiated,
+        },
+    )
+    .is_err()
+    {
         return;
     }
     reg.counter("scidb.server.sessions").inc(1);
 
-    let mut session = shared.db.session();
-    session.set_result_cache(shared.result_cache);
     let gate = SessionGate::new(shared.session_inflight_limit);
     let mut prepared: HashMap<String, Prepared> = HashMap::new();
     let mut last_seq = seq;
@@ -311,10 +341,21 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         let closing = matches!(req, Request::Close);
 
         reg.counter("scidb.server.requests").inc(1);
+        // Baselines for the QueryStats trailer: queue-wait lands on the
+        // session stats inside serve_request, statement work appends a
+        // trace, and the lock witness counts process-wide acquisitions.
+        let queue_wait_before = stats.queue_wait_us();
+        let traces_before = session.traces().len();
+        let locks_before = witness::stats();
         let trace = Trace::new();
         let span = trace.root("request", LAYER_SERVER);
-        span.set_attr("op", request_name(&req));
+        span.set_attr("request_type", request_name(&req));
         span.set_attr("session", session_id);
+        if let Request::Execute { statement_id, .. }
+        | Request::ExecutePrepared { statement_id, .. } = &req
+        {
+            span.set_attr("statement_id", *statement_id);
+        }
         let outcome = serve_request(req, &shared, &mut session, &gate, &mut prepared);
         let wall = span.finish();
         reg.histogram("scidb.server.request_us")
@@ -327,11 +368,33 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                 reg.counter("scidb.server.errors").inc(1);
                 if matches!(e, Error::Admission(_)) {
                     reg.counter("scidb.server.admission_rejects").inc(1);
+                    stats.add_timeout();
                 }
                 error_response(&e)
             }
         };
-        if send(&mut stream, frame.seq, &resp).is_err() || closing {
+        let trailer = (negotiated >= 1).then(|| {
+            let locks_after = witness::stats();
+            let mut t = QueryStats {
+                queue_wait_us: stats.queue_wait_us() - queue_wait_before,
+                lock_acquisitions: locks_after.acquisitions - locks_before.acquisitions,
+                lock_contended: locks_after.contended - locks_before.contended,
+                ..QueryStats::default()
+            };
+            // Statement requests appended a trace; fold its profile in.
+            if session.traces().len() > traces_before {
+                if let Some(data) = session.last_trace() {
+                    let p = StatementProfile::from_trace(data);
+                    t.exec_us = p.exec_us;
+                    t.cells_scanned = p.cells_scanned;
+                    t.bytes_decoded = p.bytes_decoded;
+                    t.cache_hit = p.cache_hit;
+                    t.retries = p.retries;
+                }
+            }
+            t
+        });
+        if send_with_trailer(&mut stream, frame.seq, &resp, trailer.as_ref()).is_err() || closing {
             return;
         }
     }
@@ -347,6 +410,8 @@ fn request_name(req: &Request) -> &'static str {
         Request::Fetch { .. } => "fetch",
         Request::Ping => "ping",
         Request::Close => "close",
+        Request::Stats { .. } => "stats",
+        Request::Health => "health",
     }
 }
 
@@ -368,9 +433,12 @@ fn serve_request(
 ) -> Result<Response> {
     match req {
         Request::Hello { .. } => Err(Error::protocol("duplicate Hello")),
-        Request::Execute { text } => {
+        Request::Execute { text, .. } => {
             let _session_slot = gate.enter()?;
-            let _slot = shared.admission.admit()?;
+            let slot = shared.admission.admit()?;
+            session
+                .session_stats()
+                .add_queue_wait(slot.queue_wait().as_micros() as u64);
             let mut results = session.run(&text)?;
             Ok(match results.pop() {
                 Some(last) => stmt_response(last),
@@ -385,9 +453,12 @@ fn serve_request(
             prepared.insert(key.clone(), p);
             Ok(Response::PreparedAck { key })
         }
-        Request::ExecutePrepared { key } => {
+        Request::ExecutePrepared { key, .. } => {
             let _session_slot = gate.enter()?;
-            let _slot = shared.admission.admit()?;
+            let slot = shared.admission.admit()?;
+            session
+                .session_stats()
+                .add_queue_wait(slot.queue_wait().as_micros() as u64);
             // The canonical key is itself canonical AQL, so a key this
             // connection never prepared still parses identically.
             if !prepared.contains_key(&key) {
@@ -412,6 +483,20 @@ fn serve_request(
         Request::Ping => Ok(Response::Pong),
         Request::Close => Ok(Response::Done {
             msg: "closing".to_string(),
+        }),
+        Request::Stats { format } => Ok(Response::Stats {
+            text: match format {
+                StatsFormat::Json => scidb_obs::global().to_json(),
+                StatsFormat::Prometheus => scidb_obs::global().to_prometheus(),
+            },
+        }),
+        Request::Health => Ok(Response::Health {
+            active: shared.admission.active() as u64,
+            queued: shared.admission.queued() as u64,
+            max_active: shared.admission.config().max_active as u64,
+            max_queued: shared.admission.config().max_queued as u64,
+            timed_out: shared.admission.timed_out(),
+            sessions: shared.db.session_count() as u64,
         }),
     }
 }

@@ -145,7 +145,8 @@ impl<'a> Reader<'a> {
         self.pos >= self.buf.len()
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    /// Reads `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
         match end {
             Some(end) => {

@@ -4,11 +4,11 @@
 
 use scidb_core::error::Error;
 use scidb_core::schema::SchemaBuilder;
-use scidb_core::value::{ScalarType, Value};
+use scidb_core::value::{Scalar, ScalarType, Value};
 use scidb_query::Database;
 use scidb_server::admission::AdmissionConfig;
 use scidb_server::auth::TokenAuth;
-use scidb_server::{Client, RemoteResult, Server, ServerConfig};
+use scidb_server::{Client, RemoteResult, Server, ServerConfig, StatsFormat, PROTOCOL_VERSION};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -228,6 +228,167 @@ fn concurrent_clients_share_one_engine() {
     for i in 0..8 {
         assert_eq!(c.query(&format!("scan(Copy{i})")).unwrap().cell_count(), 3);
     }
+}
+
+#[test]
+fn handshake_negotiates_protocol_version_and_session_id() {
+    let (server, _db) = serve(ServerConfig::default());
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    assert_eq!(client.protocol_version(), PROTOCOL_VERSION);
+    let sid = client.session_id();
+    assert!(sid > 0, "engine session ids start at 1");
+    // The wire session id IS the engine session id: the client can find
+    // its own row in system.sessions by sid.
+    let rows = client.query("scan(system.sessions)").unwrap();
+    let mine = rows
+        .cells()
+        .find(|(_, rec)| rec[0] == Value::Scalar(Scalar::Int64(sid as i64)))
+        .expect("own session row");
+    // One statement (this scan) has executed on the session so far.
+    assert_eq!(mine.1[1], Value::Scalar(Scalar::Int64(1)));
+}
+
+#[test]
+fn every_response_carries_a_query_stats_trailer() {
+    let (server, _db) = serve(ServerConfig::default());
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    // The handshake itself carries no trailer.
+    assert_eq!(client.last_stats(), None);
+    // A statement's trailer reports its scan work.
+    client.query("scan(A)").unwrap();
+    let stats = client.last_stats().expect("statement trailer");
+    assert_eq!(stats.cells_scanned, 3, "{stats:?}");
+    assert!(!stats.cache_hit);
+    assert!(stats.lock_acquisitions > 0, "{stats:?}");
+    // Re-running the same query is answered from the result cache.
+    client.query("scan(A)").unwrap();
+    let hit = client.last_stats().unwrap();
+    assert!(hit.cache_hit, "{hit:?}");
+    assert_eq!(hit.cells_scanned, 0, "a cache hit scans nothing");
+    // Non-statement requests still carry a (zeroed-profile) trailer.
+    client.ping().unwrap();
+    let ping = client.last_stats().expect("ping trailer");
+    assert_eq!(ping.exec_us, 0);
+    assert_eq!(ping.cells_scanned, 0);
+    // Error responses carry one too.
+    client.query("scan(nope)").unwrap_err();
+    assert!(
+        client.last_stats().is_some(),
+        "error responses are profiled"
+    );
+}
+
+#[test]
+fn statement_ids_are_assigned_per_connection() {
+    let (server, _db) = serve(ServerConfig::default());
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    client.query("scan(A)").unwrap();
+    assert_eq!(client.last_statement_id(), 1);
+    let key = client.prepare("scan(A)").unwrap();
+    client.execute_prepared(&key).unwrap();
+    assert_eq!(client.last_statement_id(), 2);
+}
+
+#[test]
+fn stats_and_health_admin_requests_work() {
+    let (server, _db) = serve(ServerConfig::default());
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    client.query("scan(A)").unwrap();
+    let json = client.stats(StatsFormat::Json).unwrap();
+    assert!(json.starts_with('{'), "{json}");
+    assert!(json.contains("scidb.server.requests"), "{json}");
+    let prom = client.stats(StatsFormat::Prometheus).unwrap();
+    assert!(
+        prom.contains("# TYPE scidb_server_requests counter"),
+        "{prom}"
+    );
+    let health = client.health().unwrap();
+    assert_eq!(health.max_active, 64);
+    assert_eq!(health.max_queued, 1024);
+    assert!(health.sessions >= 1, "{health:?}");
+    assert_eq!(health.queued, 0);
+}
+
+/// Drops wall times and duration-valued attributes from a rendered span
+/// tree, leaving the structural skeleton that must be byte-identical
+/// between a local and a remote execution of the same statement.
+fn strip_times(report: &str) -> String {
+    report
+        .lines()
+        .map(|line| {
+            line.split(' ')
+                .filter(|tok| match tok.split_once('=') {
+                    Some((_, v)) => {
+                        !(v.ends_with("ns")
+                            || v.ends_with("µs")
+                            || v.ends_with("ms")
+                            || (v.ends_with('s')
+                                && v.chars().next().is_some_and(|c| c.is_ascii_digit())))
+                    }
+                    None => true,
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn remote_explain_analyze_matches_local_span_tree() {
+    // Serial execution and no result cache on either side, so both span
+    // trees are fully deterministic.
+    let mut db = Database::with_threads(1);
+    db.run(
+        "define H (v = int) (X = 1:4, Y = 1:4);
+         create A as H [4, 4];
+         insert into A[1, 1] values (1);
+         insert into A[2, 2] values (4);
+         insert into A[3, 3] values (9);",
+    )
+    .unwrap();
+    let config = ServerConfig {
+        result_cache: false,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(db.share(), config).unwrap();
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    for q in ["scan(A)", "filter(A, v > 1)", "aggregate(A, {Y}, sum(v))"] {
+        let stmt = format!("explain analyze {q}");
+        let local = match db.run(&stmt).unwrap().pop().unwrap() {
+            scidb_query::StmtResult::Explain(t) => t,
+            other => panic!("expected explain report, got {other:?}"),
+        };
+        let remote = client.execute(&stmt).unwrap();
+        assert_eq!(
+            strip_times(&local),
+            strip_times(remote.as_explain().unwrap()),
+            "{q}: remote span tree must match local"
+        );
+    }
+    // Golden skeleton for the simplest plan: pinned so the wire path
+    // cannot silently drop spans or attributes.
+    let remote = client.execute("explain analyze scan(A)").unwrap();
+    assert_eq!(
+        strip_times(remote.as_explain().unwrap()),
+        "statement [query] aql=\"scan(A)\"\n└─ scan [query] array=\"A\" chunks_out=1 cells_out=3",
+        "golden explain-analyze skeleton"
+    );
+}
+
+#[test]
+fn system_arrays_are_queryable_over_the_wire() {
+    let (server, _db) = serve(ServerConfig::default());
+    let mut client = Client::connect(server.addr(), "").unwrap();
+    client.query("scan(A)").unwrap();
+    // Filtering a virtual array runs through the normal kernels.
+    let hits = client.query("filter(system.metrics, count >= 0)").unwrap();
+    assert!(hits.cell_count() > 0, "histogram rows exist");
+    // The reserved namespace rejects writes with a typed schema error.
+    let err = client
+        .execute("store scan(A) into system.hijack")
+        .unwrap_err();
+    assert!(matches!(err, Error::Schema(_)), "{err:?}");
 }
 
 #[test]

@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed() {
-        assert!(Baseline::parse("R9\ta\t1\n").is_err());
+        assert!(Baseline::parse("R12\ta\t1\n").is_err());
         assert!(Baseline::parse("R1\ta\tx\n").is_err());
         assert!(Baseline::parse("R1\ta\t0\n").is_err());
         assert!(Baseline::parse("R1 a 1\n").is_err());

@@ -1,7 +1,7 @@
 //! `cargo xtask` — workspace automation for SciDB-rs.
 //!
 //! * `analyze` — a dependency-free static analyzer (no `syn`, no `serde`:
-//!   the build environment is hermetic) enforcing the eight workspace rules
+//!   the build environment is hermetic) enforcing the nine workspace rules
 //!   described in DESIGN.md §"Static analysis" and §13:
 //!   * R1 — panic-free library code,
 //!   * R2 — the parallel-kernel contract,
@@ -14,7 +14,9 @@
 //!   * R7 — lock-order soundness (every acquisition edge strictly ascends
 //!     in `lock_ranks!` rank; no raw `RwLock`/`Condvar` outside the
 //!     wrappers),
-//!   * R8 — no blocking while a `CATALOG`-or-higher write guard is live.
+//!   * R8 — no blocking while a `CATALOG`-or-higher write guard is live,
+//!   * R9 — observable request dispatch (every wire `Request` variant
+//!     handled inside a server span carrying a `request_type` attribute).
 //!
 //!   Violations are compared against the committed baseline
 //!   (`crates/xtask/analyze.baseline`): new ones fail, grandfathered ones

@@ -1,4 +1,4 @@
-//! The SciDB-specific workspace invariants (R1–R8).
+//! The SciDB-specific workspace invariants (R1–R9).
 //!
 //! * **R1** — no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in
 //!   non-test code of the library crates (`core`, `storage`, `query`,
@@ -38,6 +38,12 @@
 //!   I/O, channel receive, timed wait, sleep, accept, or statement
 //!   execution inside the live range of a write-exclusive guard ranked
 //!   `CATALOG` or higher. Escape hatch: `// analyze: allow(R8, why)`.
+//! * **R9** — observable request dispatch: every variant of
+//!   `proto::Request` (the wire protocol) must be handled by the server
+//!   dispatch inside a span carrying a `request_type` attribute, so each
+//!   request kind is attributable in server traces and in the
+//!   `system.slow_queries` / Stats surfaces built on them. Escape hatch:
+//!   `// lint: allow(request-span) — justification` on the variant.
 //!
 //! Every rule accepts both annotation spellings: the legacy
 //! `// lint: allow(token) — why` and `// analyze: allow(Rn, why)`.
@@ -67,11 +73,14 @@ pub enum Rule {
     R7,
     /// No blocking while a `CATALOG`-or-higher write guard is live.
     R8,
+    /// Observable request dispatch: every wire `Request` variant handled
+    /// inside a server span carrying a `request_type` attribute.
+    R9,
 }
 
 impl Rule {
     /// Every rule, in code order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::R1,
         Rule::R2,
         Rule::R3,
@@ -80,6 +89,7 @@ impl Rule {
         Rule::R6,
         Rule::R7,
         Rule::R8,
+        Rule::R9,
     ];
 
     /// The short code used in diagnostics and the baseline file.
@@ -93,6 +103,7 @@ impl Rule {
             Rule::R6 => "R6",
             Rule::R7 => "R7",
             Rule::R8 => "R8",
+            Rule::R9 => "R9",
         }
     }
 
@@ -107,6 +118,7 @@ impl Rule {
             Rule::R6 => "conformance op-table coverage",
             Rule::R7 => "lock-order soundness",
             Rule::R8 => "no blocking while locked",
+            Rule::R9 => "observable request dispatch",
         }
     }
 
@@ -122,6 +134,7 @@ impl Rule {
             Rule::R6 => "conformance",
             Rule::R7 => "lock-order",
             Rule::R8 => "blocking",
+            Rule::R9 => "request-span",
         }
     }
 }
@@ -180,6 +193,12 @@ pub const MANIFEST_FILE: &str = "crates/core/src/ops/mod.rs";
 /// The differential harness's operator table (R6 coverage target).
 pub const OPTABLE_FILE: &str = "crates/conformance/src/optable.rs";
 
+/// The wire-protocol definition (R9 parses its `Request` enum).
+pub const PROTO_FILE: &str = "crates/server/src/proto.rs";
+
+/// The server dispatch file (R9's coverage target).
+pub const SERVER_FILE: &str = "crates/server/src/server.rs";
+
 const PANIC_MARKERS: &[(&str, bool, &str)] = &[
     (".unwrap()", false, "`.unwrap()`"),
     // `.expect("` rather than `.expect(`: Option/Result::expect takes a
@@ -220,6 +239,7 @@ pub fn check_all(ws: &Workspace) -> Vec<Diagnostic> {
     diags.extend(check_r6(ws));
     diags.extend(crate::locks::check_r7(ws));
     diags.extend(crate::locks::check_r8(ws));
+    diags.extend(check_r9(ws));
     diags.sort_by(|a, b| (a.rule, &a.path, a.line, a.col).cmp(&(b.rule, &b.path, b.line, b.col)));
     diags
 }
@@ -677,6 +697,158 @@ pub fn check_r6(ws: &Workspace) -> Vec<Diagnostic> {
     diags
 }
 
+/// One variant parsed out of the wire `Request` enum: name plus its byte
+/// offset in the proto file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestVariant {
+    /// Variant name, e.g. `Execute`.
+    pub name: String,
+    /// Byte offset of the variant identifier.
+    pub offset: usize,
+}
+
+/// Parses the variant names of `pub enum Request` from the masked text of
+/// the proto file (comments and literal bodies are already blanked, so
+/// only real code survives).
+pub fn parse_request_variants(file: &SourceFile) -> Vec<RequestVariant> {
+    let Some(start) = file.mask.find("pub enum Request") else {
+        return Vec::new();
+    };
+    let Some(open) = file.mask[start..].find('{').map(|i| start + i) else {
+        return Vec::new();
+    };
+    let bytes = file.mask.as_bytes();
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    // A variant identifier is the first identifier at enum-body depth after
+    // `{` or `,`; payload braces/parens/brackets and `#[...]` attributes
+    // all push depth so their contents are skipped.
+    let mut expecting = true;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'(' => {
+                depth += 1;
+                expecting = depth == 1;
+            }
+            // `[` at enum-body depth is a `#[…]` attribute: skip its
+            // contents without consuming the variant-start state.
+            b'[' => depth += 1,
+            b'}' | b')' | b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            b',' if depth == 1 => expecting = true,
+            c if depth == 1 && expecting && (c.is_ascii_alphabetic() || c == b'_') => {
+                let from = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                variants.push(RequestVariant {
+                    name: file.mask[from..i].to_string(),
+                    offset: from,
+                });
+                expecting = false;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// R9: observable request dispatch. Every `proto::Request` variant must be
+/// handled by the server dispatch, and the dispatch must run inside a span
+/// that records the request kind as a `request_type` attribute — that
+/// attribute is what makes server traces, the slow-query log, and the
+/// Stats surface attributable per request kind.
+pub fn check_r9(ws: &Workspace) -> Vec<Diagnostic> {
+    let proto = ws
+        .files
+        .iter()
+        .find(|f| f.path.as_path() == Path::new(PROTO_FILE));
+    let Some(proto) = proto else {
+        return Vec::new(); // no wire protocol in this workspace
+    };
+    let variants = parse_request_variants(proto);
+    if variants.is_empty() {
+        return vec![Diagnostic {
+            rule: Rule::R9,
+            path: PROTO_FILE.to_string(),
+            line: 1,
+            col: 1,
+            message: "wire protocol file has no parseable `pub enum Request`".to_string(),
+            snippet: String::new(),
+            help: "declare the request messages as `pub enum Request { … }` so the \
+                   analyzer can check dispatch coverage"
+                .to_string(),
+        }];
+    }
+
+    let server = ws
+        .files
+        .iter()
+        .find(|f| f.path.as_path() == Path::new(SERVER_FILE));
+    let Some(server) = server else {
+        return vec![Diagnostic {
+            rule: Rule::R9,
+            path: SERVER_FILE.to_string(),
+            line: 1,
+            col: 1,
+            message: "server dispatch file not found".to_string(),
+            snippet: String::new(),
+            help: "handle every `proto::Request` variant in the server, inside a span \
+                   with a `request_type` attribute"
+                .to_string(),
+        }];
+    };
+
+    let mut diags = Vec::new();
+    // The span attribute lives in a string literal, so search the raw text
+    // (literal bodies are blanked in the mask).
+    if !server.raw.contains("\"request_type\"") {
+        diags.push(Diagnostic {
+            rule: Rule::R9,
+            path: SERVER_FILE.to_string(),
+            line: 1,
+            col: 1,
+            message: "no server-side span carries a `request_type` attribute".to_string(),
+            snippet: String::new(),
+            help: "set `span.set_attr(\"request_type\", …)` on the per-request span so \
+                   every request kind is attributable in traces"
+                .to_string(),
+        });
+    }
+    for v in &variants {
+        // Word-boundary on the right so `Request::Execute` is not counted
+        // as handling `Request::ExecutePrepared`'s prefix (or vice versa).
+        let pat = format!("Request::{}", v.name);
+        let handled = server.find_marker(&pat, false).iter().any(|&off| {
+            let next = server.mask.as_bytes().get(off + pat.len());
+            let boundary = !next.is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_');
+            boundary && !server.in_test(off)
+        });
+        if !handled {
+            diags.extend(marker_diag(
+                proto,
+                Rule::R9,
+                v.offset,
+                format!(
+                    "wire request variant `{}` is never handled by the server dispatch",
+                    v.name
+                ),
+                "match `Request::…` for this variant inside the instrumented dispatch \
+                 (the span with the `request_type` attribute), or annotate \
+                 `// lint: allow(request-span) — why` on the variant",
+            ));
+        }
+    }
+    diags
+}
+
 /// If `ret` is a `Result` with an explicit error type that is not the crate
 /// error, returns that type.
 fn foreign_error_type(ret: &str) -> Option<String> {
@@ -965,6 +1137,89 @@ pub const PARALLEL_KERNELS: &[KernelSpec] = &[
             parse_optable_kernels(&f),
             vec!["filter_with", "regrid_with"]
         );
+    }
+
+    const PROTO: &str = "\
+pub enum Request {
+    /// Opens a session.
+    Hello { token: String, version: u16 },
+    Execute { text: String, statement_id: u64 },
+    ExecutePrepared { key: String, statement_id: u64 },
+    Ping,
+    Close,
+}
+";
+
+    #[test]
+    fn request_variant_parse_skips_payloads_and_comments() {
+        let f = SourceFile::new(PathBuf::from(PROTO_FILE), PROTO.to_string());
+        let names: Vec<String> = parse_request_variants(&f)
+            .into_iter()
+            .map(|v| v.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["Hello", "Execute", "ExecutePrepared", "Ping", "Close"]
+        );
+    }
+
+    #[test]
+    fn r9_accepts_full_dispatch_and_flags_missing_variant() {
+        let full = "fn dispatch(req: &Request) {\n\
+                    span.set_attr(\"request_type\", name(req));\n\
+                    match req {\n\
+                    Request::Hello { .. } => {}\n\
+                    Request::Execute { .. } => {}\n\
+                    Request::ExecutePrepared { .. } => {}\n\
+                    Request::Ping => {}\n\
+                    Request::Close => {}\n\
+                    }\n}\n";
+        let d = check_r9(&ws(vec![(PROTO_FILE, PROTO), (SERVER_FILE, full)], None));
+        assert!(d.is_empty(), "{d:?}");
+
+        // Dropping the Close arm leaves the variant unhandled. The
+        // ExecutePrepared arm alone must not satisfy Execute's prefix.
+        let partial = "fn dispatch(req: &Request) {\n\
+                       span.set_attr(\"request_type\", name(req));\n\
+                       match req {\n\
+                       Request::Hello { .. } => {}\n\
+                       Request::ExecutePrepared { .. } => {}\n\
+                       Request::Ping => {}\n\
+                       }\n}\n";
+        let d = check_r9(&ws(vec![(PROTO_FILE, PROTO), (SERVER_FILE, partial)], None));
+        let msgs: Vec<&str> = d.iter().map(|x| x.message.as_str()).collect();
+        assert_eq!(d.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`Execute`")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`Close`")), "{msgs:?}");
+    }
+
+    #[test]
+    fn r9_requires_the_request_type_span_attr() {
+        let bare = "fn dispatch(req: &Request) { match req {\n\
+                    Request::Hello { .. } => {}\n\
+                    Request::Execute { .. } => {}\n\
+                    Request::ExecutePrepared { .. } => {}\n\
+                    Request::Ping => {}\n\
+                    Request::Close => {}\n\
+                    } }\n";
+        let d = check_r9(&ws(vec![(PROTO_FILE, PROTO), (SERVER_FILE, bare)], None));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("request_type"), "{d:?}");
+    }
+
+    #[test]
+    fn r9_is_vacuous_without_a_server_crate_and_allows_with_justification() {
+        assert!(check_r9(&ws(vec![("crates/core/src/a.rs", "")], None)).is_empty());
+
+        let proto = "pub enum Request {\n\
+                     Hello,\n\
+                     Debug, // lint: allow(request-span) — compiled out of release servers\n\
+                     }\n";
+        let server = "fn dispatch(req: &Request) {\n\
+                      span.set_attr(\"request_type\", name(req));\n\
+                      match req { Request::Hello => {} }\n}\n";
+        let d = check_r9(&ws(vec![(PROTO_FILE, proto), (SERVER_FILE, server)], None));
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -275,8 +275,48 @@ fn seeded_blocking_under_write_guard_fails_r8() {
     assert!(text.contains("`CATALOG` write guard"), "{text}");
 }
 
+#[test]
+fn seeded_unhandled_request_variant_fails_r9() {
+    let root = scaffold("seeded_r9");
+    fs::create_dir_all(root.join("crates/server/src")).expect("mkdir");
+    fs::write(
+        root.join("crates/server/src/proto.rs"),
+        "pub enum Request {\n    Hello { token: String },\n    Ping,\n    Rogue,\n}\n",
+    )
+    .expect("write");
+    fs::write(
+        root.join("crates/server/src/server.rs"),
+        "fn dispatch(req: &Request) {\n\
+         span.set_attr(\"request_type\", name(req));\n\
+         match req {\n\
+         Request::Hello { .. } => {}\n\
+         Request::Ping => {}\n\
+         _ => {}\n\
+         }\n}\n",
+    )
+    .expect("write");
+    let mut out = Vec::new();
+    let outcome = analyze(&root, &Options::default(), &mut out).expect("analyze runs");
+    assert_eq!(outcome, Outcome::Failed);
+    let text = String::from_utf8(out).expect("utf8");
+    assert!(text.contains("error[R9]"), "{text}");
+    assert!(
+        text.contains("`Rogue` is never handled by the server dispatch"),
+        "{text}"
+    );
+
+    // Handling the variant (here: removing it from the protocol) is clean
+    // again — the rule gates the protocol/dispatch pair, not the baseline.
+    fs::write(
+        root.join("crates/server/src/proto.rs"),
+        "pub enum Request {\n    Hello { token: String },\n    Ping,\n}\n",
+    )
+    .expect("write");
+    assert_eq!(run(&root), Outcome::Clean);
+}
+
 /// The real repository must analyze clean against its committed baseline —
-/// this makes `cargo test` itself enforce R1–R8.
+/// this makes `cargo test` itself enforce R1–R9.
 #[test]
 fn real_workspace_is_clean_at_committed_baseline() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -223,3 +223,102 @@ fn shared_handle_is_cheap_to_clone_and_send() {
     let h = thread::spawn(move || arc.session().query("scan(A)").unwrap().cell_count());
     assert_eq!(h.join().unwrap(), 64);
 }
+
+/// One named counter's value out of a `scan(system.metrics)` result.
+fn metric_value(metrics: &scidb::Array, name: &str) -> i64 {
+    metrics
+        .cells()
+        .find(|(_, rec)| rec[0] == Value::from(name.to_string()))
+        .and_then(|(_, rec)| rec[2].as_i64())
+        .unwrap_or(0)
+}
+
+/// The wire-level accounting loop closes: the QueryStats trailer on every
+/// response must agree with what the engine's own introspection arrays
+/// report for the same session, and with the process-wide counters in
+/// `system.metrics` (which other concurrent tests may also advance, so
+/// global deltas are lower-bounded rather than exact).
+#[test]
+fn query_stats_trailers_cross_check_against_system_metrics() {
+    use scidb::server::{Client, Server, ServerConfig};
+
+    let shared = seeded(1);
+    let server = Server::start(shared, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr(), "").unwrap();
+
+    // system.metrics scans are excluded from cells-scanned accounting
+    // (their scan spans are marked system=true), so the baseline read
+    // does not perturb the counter it reads.
+    let before = client.query("scan(system.metrics)").unwrap();
+    let scanned_before = metric_value(&before, "scidb.query.cells_scanned");
+    let hits_before = metric_value(&before, "scidb.query.cache_hits");
+
+    // A cold scan of the 8×8 array reports its 64 cells in the trailer.
+    client.query("scan(A)").unwrap();
+    let cold = client.last_stats().expect("trailer on every response");
+    assert_eq!(cold.cells_scanned, 64, "{cold:?}");
+    assert!(!cold.cache_hit);
+    // The repeat is served from the shared result cache.
+    client.query("scan(A)").unwrap();
+    let warm = client.last_stats().unwrap();
+    assert!(warm.cache_hit, "{warm:?}");
+    assert_eq!(warm.cells_scanned, 0);
+
+    let after = client.query("scan(system.metrics)").unwrap();
+    let scanned_after = metric_value(&after, "scidb.query.cells_scanned");
+    let hits_after = metric_value(&after, "scidb.query.cache_hits");
+    assert!(
+        scanned_after - scanned_before >= 64,
+        "global cells-scanned delta {} must cover the trailer's 64",
+        scanned_after - scanned_before
+    );
+    assert!(
+        hits_after - hits_before >= 1,
+        "global cache-hit delta must cover the trailer's hit"
+    );
+
+    // Per-session counters are exact (no cross-test pollution): the
+    // session's system.sessions row equals the trailer sums.
+    let sid = client.session_id();
+    let rows = client.query("scan(system.sessions)").unwrap();
+    let (_, mine) = rows
+        .cells()
+        .find(|(_, rec)| rec[0] == Value::from(sid as i64))
+        .expect("own session row");
+    assert_eq!(mine[4].as_i64(), Some(64), "cells_scanned: {mine:?}");
+    assert_eq!(mine[3].as_i64(), Some(1), "cache_hits: {mine:?}");
+}
+
+/// `system.metrics` queried twice in one session is monotone: process-wide
+/// counters never decrease between two reads.
+#[test]
+fn system_metrics_counters_are_monotone_within_a_session() {
+    let shared = seeded(1);
+    let mut session = shared.session();
+    let first = session.query("scan(system.metrics)").unwrap();
+    session.query("scan(A)").unwrap();
+    let second = session.query("scan(system.metrics)").unwrap();
+    for (_, rec) in first.cells() {
+        let name = match &rec[0] {
+            Value::Scalar(scidb::Scalar::String(s)) => s.clone(),
+            other => panic!("metric name must be a string, got {other:?}"),
+        };
+        let kind = match &rec[1] {
+            Value::Scalar(scidb::Scalar::String(s)) => s.clone(),
+            other => panic!("metric kind must be a string, got {other:?}"),
+        };
+        if kind == "gauge" {
+            continue; // gauges may move either way
+        }
+        let later = second
+            .cells()
+            .find(|(_, r)| r[0] == rec[0])
+            .unwrap_or_else(|| panic!("metric {name} must not disappear"))
+            .1;
+        for idx in [2, 3, 4] {
+            if let (Some(a), Some(b)) = (rec[idx].as_i64(), later[idx].as_i64()) {
+                assert!(b >= a, "{name}[{idx}] went backwards: {a} -> {b}");
+            }
+        }
+    }
+}

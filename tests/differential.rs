@@ -58,6 +58,54 @@ fn corpus_cases_roundtrip_through_json() {
     }
 }
 
+/// Introspection over the wire is self-consistent: `system.metrics`
+/// queried twice in one session (bracketing real conformance work) is
+/// monotone — counters never decrease and never disappear — so the
+/// virtual arrays are safe to diff against themselves while the engine
+/// is live, even though they are excluded from the seeded generator.
+#[test]
+fn system_metrics_is_monotone_across_reads_in_one_session() {
+    use scidb::server::{Client, Server, ServerConfig};
+    use scidb::{Database, Value};
+
+    let mut db = Database::with_threads(2);
+    db.run(
+        "define G (v = int) (X = 1:4);
+         create M as G [4];
+         insert into M[1] values (7);",
+    )
+    .unwrap();
+    let server = Server::start(db.share(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr(), "").unwrap();
+
+    let name_of = |rec: &[Value]| match &rec[0] {
+        Value::Scalar(scidb::Scalar::String(s)) => s.clone(),
+        other => panic!("metric name must be a string, got {other:?}"),
+    };
+    let first = client.query("scan(system.metrics)").unwrap();
+    client.query("scan(M)").unwrap();
+    client.query("scan(M)").unwrap();
+    let second = client.query("scan(system.metrics)").unwrap();
+
+    assert!(first.cell_count() > 0, "metrics array must not be empty");
+    for (_, rec) in first.cells() {
+        let name = name_of(&rec);
+        if rec[1] == Value::from("gauge".to_string()) {
+            continue; // gauges may move either way
+        }
+        let later = second
+            .cells()
+            .find(|(_, r)| r[0] == rec[0])
+            .unwrap_or_else(|| panic!("metric {name} must not disappear"))
+            .1;
+        for idx in [2, 3, 4] {
+            if let (Some(a), Some(b)) = (rec[idx].as_i64(), later[idx].as_i64()) {
+                assert!(b >= a, "{name}[{idx}] went backwards: {a} -> {b}");
+            }
+        }
+    }
+}
+
 #[test]
 fn smoke_seed_range_matches_across_all_backends() {
     let harness = Harness::new();
