@@ -1,0 +1,222 @@
+//! `durability_soak` — the nightly crash-recovery soak behind the
+//! scheduled CI job.
+//!
+//! Each iteration builds a fresh durable database from a seeded AQL
+//! workload, truncates a copy of its WAL at pseudo-random byte offsets
+//! (frame boundaries, torn mid-frame cuts, and the empty prefix), reopens
+//! the copy, and checks the recovered state byte-for-byte against an
+//! uncrashed oracle that ran exactly the committed prefix of operations.
+//! Iterations repeat until `--budget-secs` (default 30) of wall time is
+//! spent.
+//!
+//! On divergence the failing seed, cut offset, and both canonical states
+//! are written to `target/soak-failure.json` and the process exits
+//! non-zero so CI can upload the artifact. A clean run writes a summary
+//! to `target/durability-soak.json`.
+
+use scidb_query::{Database, StmtResult};
+use scidb_storage::wal;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const CUTS_PER_ITERATION: usize = 6;
+
+/// Splitmix-style deterministic generator; no external RNG so a seed
+/// reproduces the exact workload and cut sequence on any machine.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scidb_soak_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Seeded workload: schema setup followed by a shuffled mix of inserts,
+/// derived stores, and drops. Every statement appends exactly one WAL
+/// group, so "N commits survived the cut" maps to "the first N
+/// statements ran" when building the oracle.
+fn workload(seed: u64) -> Vec<String> {
+    let mut g = Gen(seed);
+    let mut ops = vec![
+        "define H (v = int) (X = 1:8, Y = 1:8)".to_string(),
+        "create A as H [8, 8]".to_string(),
+    ];
+    let mut b_exists = false;
+    for k in 0..20u64 {
+        match g.in_range(0, 9) {
+            0..=6 => ops.push(format!(
+                "insert into A[{}, {}] values ({})",
+                g.in_range(1, 8),
+                g.in_range(1, 8),
+                k as i64 - 10
+            )),
+            7..=8 if !b_exists => {
+                ops.push(format!(
+                    "store filter(scan(A), (v > {})) into B",
+                    g.in_range(0, 5) as i64 - 3
+                ));
+                b_exists = true;
+            }
+            _ => {
+                if b_exists {
+                    ops.push("drop array B".to_string());
+                    b_exists = false;
+                } else {
+                    ops.push(format!(
+                        "insert into A[{}, {}] values ({k})",
+                        g.in_range(1, 8),
+                        g.in_range(1, 8)
+                    ));
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// Canonical state over the arrays the workload can create: sorted cell
+/// listings per array, or an `<absent>` marker when a scan fails.
+fn canon(db: &mut Database) -> Vec<String> {
+    let mut lines = Vec::new();
+    for name in ["A", "B"] {
+        match db.run(&format!("scan({name})")) {
+            Ok(results) => match results.first() {
+                Some(StmtResult::Array(a)) => {
+                    lines.push(format!("{name} <exists>"));
+                    for (coords, rec) in a.cells() {
+                        lines.push(format!("{name} {coords:?} {rec:?}"));
+                    }
+                }
+                other => lines.push(format!("{name} <odd: {other:?}>")),
+            },
+            Err(_) => lines.push(format!("{name} <absent>")),
+        }
+    }
+    lines.sort();
+    lines
+}
+
+fn apply(dir: &Path, ops: &[String]) {
+    let mut db = Database::open(dir).expect("open durable db");
+    for op in ops {
+        db.run(op).expect("workload statement");
+    }
+}
+
+fn fail(seed: u64, cut: u64, expected: &[String], actual: &[String]) -> ! {
+    let mut json = String::from("{");
+    let _ = write!(json, "\"seed\":{seed},\"cut\":{cut},");
+    let _ = write!(json, "\"expected\":{expected:?},\"actual\":{actual:?}");
+    json.push('}');
+    let _ = std::fs::create_dir_all("target");
+    std::fs::write("target/soak-failure.json", &json).expect("write failure artifact");
+    eprintln!("DIVERGENCE seed={seed} cut={cut}; artifact at target/soak-failure.json");
+    std::process::exit(1);
+}
+
+/// One soak iteration: run the workload, then crash-test a handful of
+/// pseudo-random WAL cuts. Returns the number of cuts checked.
+fn iteration(seed: u64) -> usize {
+    let full = temp_dir(&format!("full_{seed}"));
+    let ops = workload(seed);
+    apply(&full, &ops);
+
+    let wal_path = full.join("wal.log");
+    let frames = wal::scan(&wal_path).expect("scan wal");
+    let bytes = std::fs::read(&wal_path).expect("read wal");
+    let len = bytes.len() as u64;
+    let commit_ends: Vec<u64> = frames
+        .iter()
+        .filter(|(_, r)| matches!(r, wal::Record::Commit { .. }))
+        .map(|(end, _)| *end)
+        .collect();
+
+    let mut g = Gen(seed ^ 0xdeadbeef);
+    let mut checked = 0;
+    for c in 0..CUTS_PER_ITERATION {
+        // Mix frame-aligned cuts with arbitrary (torn) offsets and the
+        // degenerate empty log.
+        let cut = match c {
+            0 => 0,
+            1 => len,
+            _ if g.next().is_multiple_of(2) && !frames.is_empty() => {
+                frames[(g.next() as usize) % frames.len()].0
+            }
+            _ => g.in_range(0, len),
+        };
+        let committed = commit_ends.iter().filter(|&&e| e <= cut).count();
+
+        let kill = temp_dir(&format!("kill_{seed}_{c}"));
+        std::fs::write(kill.join("wal.log"), &bytes[..cut as usize]).expect("write cut wal");
+        let mut recovered = Database::open(&kill).expect("reopen after cut");
+        let actual = canon(&mut recovered);
+        drop(recovered);
+
+        let oracle_dir = temp_dir(&format!("oracle_{seed}_{c}"));
+        apply(&oracle_dir, &ops[..committed]);
+        let mut oracle = Database::open(&oracle_dir).expect("reopen oracle");
+        let expected = canon(&mut oracle);
+        drop(oracle);
+
+        if actual != expected {
+            fail(seed, cut, &expected, &actual);
+        }
+        let _ = std::fs::remove_dir_all(kill);
+        let _ = std::fs::remove_dir_all(oracle_dir);
+        checked += 1;
+    }
+    let _ = std::fs::remove_dir_all(full);
+    checked
+}
+
+fn main() {
+    let mut budget_secs = 30u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--budget-secs" => {
+                budget_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--budget-secs takes an integer");
+            }
+            other => panic!("unknown argument {other}; usage: durability_soak [--budget-secs N]"),
+        }
+    }
+
+    let start = Instant::now();
+    let mut seed = 1u64;
+    let mut cuts = 0usize;
+    while start.elapsed().as_secs() < budget_secs {
+        cuts += iteration(seed);
+        seed += 1;
+    }
+    let iterations = seed - 1;
+
+    let mut json = String::from("{");
+    let _ = write!(json, "\"budget_secs\":{budget_secs},");
+    let _ = write!(json, "\"iterations\":{iterations},");
+    let _ = write!(json, "\"cuts_checked\":{cuts}");
+    json.push('}');
+    let _ = std::fs::create_dir_all("target");
+    std::fs::write("target/durability-soak.json", &json).expect("write summary");
+    println!("soak clean: {iterations} iterations, {cuts} cuts in {budget_secs}s budget");
+
+    assert!(iterations > 0, "budget must allow at least one iteration");
+}

@@ -1,0 +1,191 @@
+//! `storage_smoke` — the durable-layer benchmark behind the CI bench gate.
+//!
+//! Exercises the three pillars of the page-based storage stack with a
+//! fixed deterministic workload and emits `target/storage-smoke.json`:
+//!
+//! * `storage_pool_hit_rate` — integer hit percentage of the buffer pool
+//!   over a seeded scan pattern against a small pool. The clock policy and
+//!   the workload are both deterministic, so the gate pins this exactly.
+//! * `wal_fsync_p99_us` — p99 latency of [`Wal::append_group`] (one
+//!   buffered write + `fdatasync` per group), under the ±20 % wall gate.
+//! * `recovery_replay_ms` — wall time of `Database::open` replaying a
+//!   log of mixed statements, bulk loads, and merges; wall-gated with the
+//!   millisecond floor.
+//! * `storage_replayed_ops` — the number of operations that replay
+//!   recovered, pinned exactly (a silent change in group layout or replay
+//!   coverage shows up as a counter diff, not a timing blip).
+
+use scidb_core::geometry::HyperRect;
+use scidb_core::schema::SchemaBuilder;
+use scidb_core::value::{record, ScalarType, Value};
+use scidb_query::{Database, StmtResult};
+use scidb_storage::{CodecPolicy, Disk, PagedDisk, ReadOptions, StorageManager, Wal, WalRecord};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SIDE: i64 = 32;
+const CHUNK: i64 = 4;
+const POOL_FRAMES: usize = 24;
+const WAL_GROUPS: usize = 256;
+const REPLAY_INSERTS: i64 = 64;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("scidb_storage_smoke_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Deterministic buffer-pool workload: store a chunked dense array on a
+/// small pool, then sweep regions with heavy re-reads so the clock policy
+/// produces a stable mix of hits, misses, and evictions.
+fn pool_hit_rate(dir: &Path) -> (u64, u64, u64) {
+    let disk = Arc::new(PagedDisk::with_frames(&dir.join("pool.db"), POOL_FRAMES).expect("disk"));
+    let schema = SchemaBuilder::new("sky")
+        .attr("v", ScalarType::Int64)
+        .dim_chunked("I", SIDE, CHUNK)
+        .dim_chunked("J", SIDE, CHUNK)
+        .build()
+        .expect("schema");
+    let mut arr = scidb_core::array::Array::new(schema.clone());
+    for i in 1..=SIDE {
+        for j in 1..=SIDE {
+            arr.set_cell(&[i, j], record([Value::from(i * 1000 + j)]))
+                .expect("cell");
+        }
+    }
+    let mut mgr = StorageManager::new(
+        Arc::clone(&disk) as Arc<dyn Disk>,
+        Arc::new(schema),
+        CodecPolicy::default_policy(),
+    );
+    mgr.store_array(&arr).expect("store");
+    let r = |lo: [i64; 2], hi: [i64; 2]| HyperRect::new(lo.to_vec(), hi.to_vec()).expect("region");
+    // Two cold sweeps of the whole array thrash the small pool (misses +
+    // evictions), then a hot region that fits in the pool is re-read
+    // repeatedly (hits) — a stable mix on both sides of the ratio.
+    let cold = r([1, 1], [SIDE, SIDE]);
+    let hot = r([1, 1], [CHUNK * 2, CHUNK * 2]);
+    for _ in 0..2 {
+        mgr.read_region(&cold, ReadOptions::serial()).expect("read");
+    }
+    for _ in 0..16 {
+        mgr.read_region(&hot, ReadOptions::serial()).expect("read");
+    }
+    let stats = disk.pool_stats();
+    (stats.hits, stats.misses, stats.evictions)
+}
+
+/// Times `append_group` (write + fdatasync) for a fixed stream of small
+/// commit groups; returns the p99 in microseconds.
+fn wal_fsync_p99(dir: &Path) -> u128 {
+    let (mut wal, _) = Wal::open(&dir.join("wal.log")).expect("wal");
+    let mut lat: Vec<u128> = Vec::with_capacity(WAL_GROUPS);
+    for op in 0..WAL_GROUPS as u64 {
+        let group = [
+            WalRecord::Begin { op },
+            WalRecord::Stmt {
+                aql: format!(
+                    "insert into A[{}, {}] values ({op})",
+                    op % 16 + 1,
+                    op % 8 + 1
+                ),
+            },
+            WalRecord::Commit { op },
+        ];
+        let t = Instant::now();
+        wal.append_group(&group).expect("append");
+        lat.push(t.elapsed().as_micros());
+    }
+    lat.sort_unstable();
+    lat[(lat.len() * 99 / 100).min(lat.len() - 1)]
+}
+
+/// Builds a durable database with a mixed workload, then times a cold
+/// `Database::open` replay. Returns (replay_ms, replayed_ops).
+fn recovery_replay(dir: &Path) -> (u128, u64) {
+    {
+        let mut db = Database::open(dir).expect("open");
+        db.run("define H (v = int) (X = 1:16, Y = 1:16)")
+            .expect("define");
+        db.run("create A as H [16, 16]").expect("create");
+        for k in 0..REPLAY_INSERTS {
+            db.run(&format!(
+                "insert into A[{}, {}] values ({k})",
+                k % 16 + 1,
+                (k * 7) % 16 + 1
+            ))
+            .expect("insert");
+        }
+        let mut arr = scidb_core::array::Array::new(
+            SchemaBuilder::new("D")
+                .attr("v", ScalarType::Int64)
+                .dim_chunked("I", 16, 4)
+                .dim_chunked("J", 16, 4)
+                .build()
+                .expect("schema"),
+        );
+        for i in 1..=16i64 {
+            for j in 1..=16i64 {
+                arr.set_cell(&[i, j], record([Value::from(i * 100 + j)]))
+                    .expect("cell");
+            }
+        }
+        db.put_array_on_disk("D", &arr).expect("put on disk");
+        db.merge_on_disk("D", 2).expect("merge");
+        db.run("store filter(scan(A), (v > 10)) into B")
+            .expect("store");
+    }
+    let t = Instant::now();
+    let mut db = Database::open(dir).expect("reopen");
+    let ms = t.elapsed().as_millis();
+    let results = db.run("scan(system.storage)").expect("system.storage");
+    let replayed = match results.first() {
+        Some(StmtResult::Array(a)) => {
+            a.cells()
+                .next()
+                .and_then(|(_, rec)| rec.get(10).and_then(Value::as_i64))
+                .expect("system.storage row carries replayed_ops") as u64
+        }
+        other => panic!("scan(system.storage) did not return an array: {other:?}"),
+    };
+    (ms, replayed)
+}
+
+fn main() {
+    let pool_dir = temp_dir("pool");
+    let (hits, misses, evictions) = pool_hit_rate(&pool_dir);
+    let hit_rate = hits * 100 / (hits + misses).max(1);
+
+    let wal_dir = temp_dir("wal");
+    let fsync_p99_us = wal_fsync_p99(&wal_dir);
+
+    let replay_dir = temp_dir("replay");
+    let (replay_ms, replayed_ops) = recovery_replay(&replay_dir);
+
+    let mut json = String::from("{");
+    let _ = write!(json, "\"storage_pool_hit_rate\":{hit_rate},");
+    let _ = write!(json, "\"storage_pool_evictions\":{evictions},");
+    let _ = write!(json, "\"wal_fsync_p99_us\":{fsync_p99_us},");
+    let _ = write!(json, "\"recovery_replay_ms\":{replay_ms},");
+    let _ = write!(json, "\"storage_replayed_ops\":{replayed_ops}");
+    json.push('}');
+
+    let out = std::path::Path::new("target/storage-smoke.json");
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("create target dir");
+    }
+    std::fs::write(out, &json).expect("write storage-smoke.json");
+    println!("wrote {} ({} bytes)", out.display(), json.len());
+
+    for dir in [pool_dir, wal_dir, replay_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    assert!(hits > 0 && misses > 0, "workload must mix hits and misses");
+    assert!(evictions > 0, "the small pool must evict under the sweep");
+    assert!(replayed_ops > 0, "replay must recover the workload");
+}

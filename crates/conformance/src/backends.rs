@@ -1,6 +1,6 @@
-//! The three array-engine backends: serial, parallel, grid.
+//! The four array-engine backends: serial, parallel, grid, durable.
 //!
-//! All three run the identical logical pipeline; they differ only in
+//! All four run the identical logical pipeline; they differ only in
 //! *where* the input array comes from and *how many threads* execute the
 //! chunk-parallel kernels:
 //!
@@ -9,7 +9,12 @@
 //! - grid: the input is loaded into a 4-node [`Cluster`] under
 //!   [`ReplicatedPlacement`] (k = 2 copies), optionally crashed via a
 //!   benign [`FaultPlan`] so reads fail over, read back with
-//!   `query_region`, and then piped through the serial executor.
+//!   `query_region`, and then piped through the serial executor;
+//! - durable: the input is written into an on-disk [`Database`]
+//!   (buffer pool + WAL), the process handle is dropped, and the store
+//!   is re-opened so the pipeline runs over state recovered from the
+//!   log — byte-identity here proves recovery is lossless, not merely
+//!   crash-safe.
 
 use crate::case::{Case, Cmp, OpSpec};
 use scidb_core::array::Array;
@@ -27,6 +32,8 @@ use scidb_grid::cluster::Cluster;
 use scidb_grid::fault::FaultPlan;
 use scidb_grid::partition::PartitionScheme;
 use scidb_grid::replication::ReplicatedPlacement;
+use scidb_query::{Database, StmtResult};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Kernel perturbations for the shrinker demo: each variant intentionally
 /// mis-executes one kernel in the backend it is injected into, so the
@@ -194,6 +201,60 @@ pub fn run_grid(case: &Case, registry: &Registry) -> Result<Array> {
     )
 }
 
+/// Monotonic disambiguator so concurrent durable runs (test threads, the
+/// shrinker re-running one seed many times) never share a directory.
+static DURABLE_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// Durable backend: writes the input into an on-disk [`Database`]
+/// (page-based buffer pool + WAL), drops the handle, re-opens the
+/// directory so the catalog is rebuilt purely from the log, reads the
+/// array back with `scan`, and runs the pipeline serially over the
+/// recovered state.
+///
+/// Fully bounded, non-nested inputs take the disk-backed path
+/// (`put_array_on_disk`: chunks through the storage manager, physical
+/// `BucketWrite` records in the WAL); unbounded or nested inputs are
+/// logged as whole-array images (`put_array`).
+pub fn run_durable(case: &Case, registry: &Registry) -> Result<Array> {
+    let input = case.build_input()?;
+    let dir = std::env::temp_dir().join(format!(
+        "scidb_conf_durable_{}_{}_{}",
+        std::process::id(),
+        case.seed,
+        DURABLE_RUN.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = (|| {
+        let bounded = case.dims.iter().all(|d| d.upper.is_some());
+        {
+            let mut db = Database::open(&dir)?;
+            if bounded && !case.has_nested() && input.cells().next().is_some() {
+                db.put_array_on_disk("conf", &input)?;
+            } else {
+                db.put_array("conf", input.clone())?;
+            }
+        }
+        let mut db = Database::open(&dir)?;
+        let readback = match db.run("scan(conf)")?.pop() {
+            Some(StmtResult::Array(a)) => a,
+            other => {
+                return Err(Error::storage(format!(
+                    "scan(conf) did not return an array: {other:?}"
+                )))
+            }
+        };
+        run_ops(
+            &readback,
+            &case.ops,
+            &ExecContext::serial(),
+            registry,
+            Perturb::None,
+        )
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    run
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +271,21 @@ mod tests {
             assert_eq!(
                 canon_array(&s, Canon::Full),
                 canon_array(&p, Canon::Full),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn durable_readback_matches_serial_on_a_sample_of_seeds() {
+        let registry = Registry::with_builtins();
+        for seed in 0..20 {
+            let case = generate(seed);
+            let s = run_serial(&case, &registry).unwrap();
+            let d = run_durable(&case, &registry).unwrap();
+            assert_eq!(
+                canon_array(&s, Canon::Full),
+                canon_array(&d, Canon::Full),
                 "seed {seed}"
             );
         }

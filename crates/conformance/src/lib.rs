@@ -1,6 +1,6 @@
 //! # scidb-conformance
 //!
-//! Differential conformance harness: **one query, five engines,
+//! Differential conformance harness: **one query, six engines,
 //! byte-identical answers**.
 //!
 //! A seeded generator ([`gen`]) produces a random array schema (including
@@ -8,16 +8,19 @@
 //! uncertain values — all floats on an exact dyadic lattice), and a random
 //! operator pipeline drawn from the [`optable`] covering
 //! `scidb_core::ops::{structural, content}`. Each case executes through
-//! five independent backends:
+//! six independent backends:
 //!
 //! 1. serial `ExecContext` ([`backends::run_serial`]),
 //! 2. the parallel chunk engine ([`backends::run_parallel`]),
 //! 3. a replicated grid cluster, optionally under a benign fault plan
 //!    ([`backends::run_grid`]),
-//! 4. a remote engine behind the `scidb-server` wire protocol — the
+//! 4. a durable on-disk database — the input written through the buffer
+//!    pool and WAL, re-opened from the log, and piped through the serial
+//!    executor ([`backends::run_durable`]),
+//! 5. a remote engine behind the `scidb-server` wire protocol — the
 //!    pipeline rendered to canonical AQL and executed over a loopback
 //!    TCP connection ([`remote::run_remote`]),
-//! 5. the relational baseline over `scidb_relational::array_sim`
+//! 6. the relational baseline over `scidb_relational::array_sim`
 //!    ([`rel::run_relational`]).
 //!
 //! Results are canonicalized ([`canon`]) and compared **byte for byte**.
@@ -37,7 +40,7 @@ pub mod rel;
 pub mod remote;
 pub mod shrink;
 
-use backends::{run_grid, run_parallel, run_serial, Perturb};
+use backends::{run_durable, run_grid, run_parallel, run_serial, Perturb};
 use canon::{canon_array, canon_table, cells_of_full, Canon};
 use case::Case;
 use rel::run_relational;
@@ -100,7 +103,7 @@ impl Outcome {
     }
 }
 
-/// The differential harness: runs cases through all four backends and
+/// The differential harness: runs cases through all six backends and
 /// compares canonical forms.
 pub struct Harness {
     registry: Registry,
@@ -147,6 +150,11 @@ impl Harness {
             return Outcome::Diverged(d);
         }
         if let Some(d) = diff("serial", &serial, "grid", &grid) {
+            return Outcome::Diverged(d);
+        }
+
+        let durable = run_durable(case, &self.registry).map(|a| canon_array(&a, Canon::Full));
+        if let Some(d) = diff("serial", &serial, "durable", &durable) {
             return Outcome::Diverged(d);
         }
 

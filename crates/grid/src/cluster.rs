@@ -72,6 +72,10 @@ struct DistributedArray {
     /// Cells whose every copy died with a crashed node — the permanent-loss
     /// ledger behind [`Error::Unavailable`].
     lost: BTreeSet<Vec<i64>>,
+    /// Durable backing copy ([`Cluster::attach_durable_seed`]): cells a
+    /// re-replication pass may restore even after every in-memory copy is
+    /// gone, modelling a node whose page file + WAL survived the crash.
+    seed: Option<BTreeMap<Vec<i64>, Record>>,
     /// The scheme under which every cell currently sits at its home, when
     /// known — lets [`Cluster::rebalance`] short-circuit the no-op case.
     clean_under: Option<PartitionScheme>,
@@ -291,16 +295,64 @@ impl Cluster {
         self.rereplicate()
     }
 
+    /// Attaches a durable backing copy to a distributed array: a cell map
+    /// read back from node-local durable storage (page file + WAL). From
+    /// then on, re-replication passes treat seeded cells as recoverable —
+    /// a cell whose every in-memory copy died is restored from the seed
+    /// instead of staying in the permanent-loss ledger. Returns the number
+    /// of currently-lost cells the seed can resurrect immediately (they
+    /// are restored on the next [`Cluster::recover_node`]).
+    pub fn attach_durable_seed(
+        &mut self,
+        name: &str,
+        cells: impl IntoIterator<Item = (Vec<i64>, Record)>,
+    ) -> Result<usize> {
+        let da = self
+            .arrays
+            .get_mut(name)
+            .ok_or_else(|| Error::not_found(format!("array '{name}'")))?;
+        let seed: BTreeMap<Vec<i64>, Record> = cells.into_iter().collect();
+        let recoverable = da.lost.iter().filter(|c| seed.contains_key(*c)).count();
+        da.seed = Some(seed);
+        Ok(recoverable)
+    }
+
     /// Copies every live cell of every replicated array to each live
     /// placement node missing it, restoring the replication factor after a
-    /// recovery. Returns cells copied (counted as network movement).
+    /// recovery; lost cells with a durable seed copy are restored from the
+    /// seed first. Returns cells copied (counted as network movement).
     fn rereplicate(&mut self) -> Result<usize> {
         let mut copied = 0usize;
+        let mut seeded = 0usize;
         let states = self.node_states.clone();
         for da in self.arrays.values_mut() {
             let Some(rp) = da.replication.clone() else {
                 continue;
             };
+            // Durable resurrection: a cell in the loss ledger whose bytes
+            // survive in the attached seed regains a live copy, exactly as
+            // if one node's disk had outlived its process.
+            if let Some(seed) = &da.seed {
+                let recovered: Vec<(Vec<i64>, Record)> = da
+                    .lost
+                    .iter()
+                    .filter_map(|c| seed.get(c).map(|r| (c.clone(), r.clone())))
+                    .collect();
+                for (coords, rec) in recovered {
+                    let mut placed = false;
+                    for p in rp.placements(&coords) {
+                        if states[p] == NodeState::Down {
+                            continue;
+                        }
+                        da.shards[p].set_cell(&coords, rec.clone())?;
+                        placed = true;
+                    }
+                    if placed {
+                        da.lost.remove(&coords);
+                        seeded += 1;
+                    }
+                }
+            }
             let mut live: BTreeMap<Vec<i64>, Record> = BTreeMap::new();
             for shard in &da.shards {
                 for (coords, rec) in shard.cells() {
@@ -317,11 +369,14 @@ impl Cluster {
                 }
             }
         }
-        self.total_cells_moved += copied;
+        self.total_cells_moved += copied + seeded;
         scidb_obs::global()
             .counter("scidb.grid.cells_rereplicated")
             .inc(copied as u64);
-        Ok(copied)
+        scidb_obs::global()
+            .counter("scidb.grid.cells_seeded_from_disk")
+            .inc(seeded as u64);
+        Ok(copied + seeded)
     }
 
     /// Starts one logical operation: advances the operation clock, fires
@@ -491,6 +546,7 @@ impl Cluster {
                 shards,
                 replication,
                 lost: BTreeSet::new(),
+                seed: None,
                 clean_under,
                 last_load_time: i64::MIN,
             },
@@ -1401,6 +1457,39 @@ mod tests {
         let region = HyperRect::new(vec![1, 1], vec![16, 16]).unwrap();
         let (_, stats) = c.query_region("A", &region).unwrap();
         assert_eq!(stats.failovers, 0);
+    }
+
+    #[test]
+    fn durable_seed_resurrects_lost_cells() {
+        // Lose both ring copies of a tile: the cells are permanently lost…
+        let mut c = replicated_cluster(4, 16, 2);
+        c.load_at("A", 0, dense_cells(16)).unwrap();
+        c.fail_node(0).unwrap();
+        c.fail_node(1).unwrap();
+        assert!(c.lost_cells("A").unwrap() > 0);
+        // …unless a durable backing copy survives on disk.
+        let recoverable = c.attach_durable_seed("A", dense_cells(16)).unwrap();
+        assert_eq!(recoverable, c.lost_cells("A").unwrap());
+        c.recover_node(0).unwrap();
+        c.recover_node(1).unwrap();
+        assert_eq!(c.lost_cells("A").unwrap(), 0, "seed resurrected the tile");
+        let region = HyperRect::new(vec![1, 1], vec![16, 16]).unwrap();
+        let (got, _) = c.query_region("A", &region).unwrap();
+        let mut healthy = replicated_cluster(4, 16, 2);
+        healthy.load_at("A", 0, dense_cells(16)).unwrap();
+        let (want, _) = healthy.query_region("A", &region).unwrap();
+        assert!(want.same_cells(&got), "restored state is byte-identical");
+    }
+
+    #[test]
+    fn durable_seed_without_losses_changes_nothing() {
+        let mut c = replicated_cluster(4, 16, 2);
+        c.load_at("A", 0, dense_cells(16)).unwrap();
+        assert_eq!(c.attach_durable_seed("A", dense_cells(16)).unwrap(), 0);
+        c.fail_node(3).unwrap();
+        let copied = c.recover_node(3).unwrap();
+        assert!(copied > 0, "ordinary re-replication still runs");
+        assert_eq!(c.lost_cells("A").unwrap(), 0);
     }
 
     #[test]

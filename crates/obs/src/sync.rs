@@ -86,6 +86,11 @@ pub mod ranks {
         SESSION = 10,
         /// Global admission permit (`scidb-server` `Admission`).
         ADMISSION = 20,
+        /// The write-ahead-log appender and durable-operation serializer
+        /// in `scidb-query`'s durability layer; taken *before* the
+        /// catalog on every durable write path so a single WAL group
+        /// covers the whole operation.
+        WAL = 25,
         /// The catalog/array state `RwLock` in `scidb-query`'s `DbCore`.
         CATALOG = 30,
         /// The per-session stats registry `RwLock` in `DbCore`, read while
@@ -93,6 +98,10 @@ pub mod ranks {
         SESSION_REGISTRY = 35,
         /// The background-merge `StorageManager` mutex (`scidb-storage`).
         MERGE = 40,
+        /// The paged-disk frame/extent/journal mutex guarding the buffer
+        /// pool and page file (`scidb-storage`), reached from bucket I/O
+        /// under the catalog or merge guards.
+        POOL = 46,
         /// Disk block-map and I/O-stats mutexes (`scidb-storage`).
         STORAGE = 50,
         /// `ExecContext` metrics/span mutexes (`scidb-core`), taken by

@@ -58,13 +58,17 @@ use scidb_core::value::{ScalarType, Value};
 use scidb_obs::{
     RenderOptions, SlowEntry, SlowLog, Span, Trace, TraceData, EVENT_RETRY, LAYER_QUERY,
 };
-use scidb_storage::{CodecPolicy, MemDisk, ReadOptions, StorageManager};
+use scidb_storage::{merge_pass, CodecPolicy, MemDisk, MergeStats, ReadOptions, StorageManager};
 use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+mod durable;
 mod system;
+
+use durable::Durability;
 
 pub use system::{is_system_array, SYSTEM_PREFIX};
 
@@ -353,10 +357,17 @@ struct DbCore {
     /// of `system.sessions`.
     sessions: OrderedRwLock<BTreeMap<u64, Arc<SessionStats>>>,
     next_session: AtomicU64,
+    /// The WAL/paged-disk backend of a durable database
+    /// ([`Database::open`]); `None` for the classic in-memory engine.
+    durable: Option<Durability>,
 }
 
 impl DbCore {
     fn new(threads: usize) -> Self {
+        DbCore::new_with(threads, None)
+    }
+
+    fn new_with(threads: usize, durable: Option<Durability>) -> Self {
         DbCore {
             state: OrderedRwLock::new(
                 ranks::CATALOG,
@@ -375,6 +386,7 @@ impl DbCore {
             result_cache: OrderedRwLock::new(ranks::RESULT_CACHE, HashMap::new()),
             sessions: OrderedRwLock::new(ranks::SESSION_REGISTRY, BTreeMap::new()),
             next_session: AtomicU64::new(0),
+            durable,
         }
     }
 
@@ -500,6 +512,12 @@ impl DbCore {
                 Ok(StmtResult::Bool(found))
             }
             write => {
+                // Durable engines route the write through the WAL: the
+                // durable-op mutex (rank WAL, below CATALOG) is taken
+                // first so the whole operation commits as one log group.
+                if let Some(d) = &self.durable {
+                    return d.stmt(self, write, aql, root, ctx);
+                }
                 let mut state = self.state.write();
                 let out = apply_write(self, &mut state, write, root, ctx);
                 if out.is_ok() {
@@ -561,6 +579,13 @@ impl DbCore {
     // ---- catalog helpers shared by Database and SharedDatabase ----------
 
     fn put_array(&self, name: &str, array: Array) -> Result<()> {
+        if let Some(d) = &self.durable {
+            return d.put_array(self, name, array);
+        }
+        self.put_array_plain(name, array)
+    }
+
+    fn put_array_plain(&self, name: &str, array: Array) -> Result<()> {
         system::reject_reserved(name)?;
         let mut state = self.state.write();
         if state.arrays.contains_key(name) {
@@ -574,6 +599,9 @@ impl DbCore {
     }
 
     fn put_array_on_disk(&self, name: &str, array: &Array) -> Result<()> {
+        if let Some(d) = &self.durable {
+            return d.put_array_on_disk(self, name, array);
+        }
         system::reject_reserved(name)?;
         let mut state = self.state.write();
         if state.arrays.contains_key(name) {
@@ -599,6 +627,23 @@ impl DbCore {
             .insert(name.to_string(), StoredArray::OnDisk(mgr));
         self.touch();
         Ok(())
+    }
+
+    fn merge_on_disk(&self, name: &str, factor: i64) -> Result<MergeStats> {
+        if let Some(d) = &self.durable {
+            return d.merge_on_disk(self, name, factor);
+        }
+        let mut state = self.state.write();
+        let stats = match state.stored_mut(name)? {
+            StoredArray::OnDisk(mgr) => merge_pass(mgr, factor)?,
+            _ => {
+                return Err(Error::Unsupported(format!(
+                    "merge of non-disk-backed array '{name}'"
+                )))
+            }
+        };
+        self.touch();
+        Ok(stats)
     }
 
     fn array_names(&self) -> Vec<String> {
@@ -1076,6 +1121,52 @@ impl Database {
             use_cache: false,
             stats,
         }
+    }
+
+    /// Opens (creating if needed) a *durable* database persisted under
+    /// `path`: every catalog write commits through a write-ahead log
+    /// (`wal.log`) and disk-backed buckets live in a buffer-pooled page
+    /// file (`pages.db`). Committed operations found in the log are
+    /// replayed — with byte verification of every bucket image — before
+    /// the handle is returned; a torn log tail is truncated away
+    /// (ARIES-lite redo, see DESIGN.md §15).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Database::open_with_threads(path, 0)
+    }
+
+    /// [`Database::open`] with an explicit thread budget.
+    pub fn open_with_threads(path: impl AsRef<Path>, threads: usize) -> Result<Self> {
+        let (durable, groups) = Durability::create(path.as_ref())?;
+        let core = Arc::new(DbCore::new_with(threads, Some(durable)));
+        if let Some(d) = &core.durable {
+            d.replay(&core, groups)?;
+        }
+        let stats = core.register_session();
+        Ok(Database {
+            core,
+            ctx: ExecContext::with_threads(threads),
+            traces: Vec::new(),
+            use_cache: false,
+            stats,
+        })
+    }
+
+    /// True if this database persists through a WAL ([`Database::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.core.durable.is_some()
+    }
+
+    /// The directory a durable database persists under.
+    pub fn storage_dir(&self) -> Option<&Path> {
+        self.core.durable.as_ref().map(|d| d.dir())
+    }
+
+    /// Runs one super-tile merge pass (factor × the chunk stride) over a
+    /// disk-backed array, compacting small buckets (§2.8). On a durable
+    /// database the pass commits as a WAL group and is re-run (and
+    /// byte-verified) on recovery.
+    pub fn merge_on_disk(&mut self, name: &str, factor: i64) -> Result<MergeStats> {
+        self.core.merge_on_disk(name, factor)
     }
 
     /// This handle's live execution counters (its `system.sessions` row).
@@ -2067,10 +2158,7 @@ mod tests {
         db.query("scan(A)").unwrap();
         let locks = db.query("scan(system.locks)").unwrap();
         // One row per registered rank plus the `total` witness row.
-        assert_eq!(
-            locks.cell_count(),
-            scidb_obs::sync::ranks::ALL.len() + 1
-        );
+        assert_eq!(locks.cell_count(), scidb_obs::sync::ranks::ALL.len() + 1);
         let cache = db.query("scan(system.result_cache)").unwrap();
         assert_eq!(cache.cell_count(), 1);
         let (_, rec) = cache.cells().next().unwrap();
@@ -2104,5 +2192,117 @@ mod tests {
                 .is_none(),
             "system scans must not be served from the result cache"
         );
+    }
+
+    fn durable_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("scidb_durable_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Cell-level canonical form for whole-array equality checks.
+    fn canon(a: &Array) -> Vec<(Vec<i64>, Vec<Value>)> {
+        a.cells().collect()
+    }
+
+    #[test]
+    fn durable_reopen_replays_committed_state() {
+        let dir = durable_dir("reopen");
+        let before = {
+            let mut db = Database::open(&dir).unwrap();
+            assert!(db.is_durable());
+            db.run("define H (v = int) (X = 1:2, Y = 1:2)").unwrap();
+            db.run("create A as H [2, 2]").unwrap();
+            db.run("insert into A[1, 1] values (1)").unwrap();
+            db.run("insert into A[2, 2] values (4)").unwrap();
+            db.run("define updatable R (v = int) (I = 1:2, J = 1:2)")
+                .unwrap();
+            db.run("create U as R [2, 2]").unwrap();
+            db.run("insert into U[1, 2] values (7)").unwrap();
+            db.run("insert into U[1, 2] values (8)").unwrap();
+            db.run("store filter(scan(A), (v > 1)) into B").unwrap();
+            // Direct-API paths: put_array, put_array_on_disk, merge.
+            let arr = db.query("scan(A)").unwrap();
+            db.put_array("P", arr.clone()).unwrap();
+            db.put_array_on_disk("D", &arr).unwrap();
+            db.merge_on_disk("D", 4).unwrap();
+            ["A", "U", "B", "P", "D"].map(|n| canon(&db.query(&format!("scan({n})")).unwrap()))
+        };
+        let mut db = Database::open(&dir).unwrap();
+        let after =
+            ["A", "U", "B", "P", "D"].map(|n| canon(&db.query(&format!("scan({n})")).unwrap()));
+        assert_eq!(before, after, "reopen must replay to identical state");
+        // The replayed database accepts further writes.
+        db.run("insert into A[1, 2] values (9)").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_drop_survives_reopen() {
+        let dir = durable_dir("drop");
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.run("define updatable R (v = int) (I = 1:2, J = 1:2)")
+                .unwrap();
+            db.run("create U as R [2, 2]").unwrap();
+            db.run("insert into U[1, 1] values (3)").unwrap();
+            db.run("drop array U").unwrap();
+            // Re-creating under the same name after a drop must replay
+            // cleanly (the delta-store bookkeeping is keyed by name).
+            db.run("create U as R [2, 2]").unwrap();
+            db.run("insert into U[2, 2] values (5)").unwrap();
+        }
+        let mut db = Database::open(&dir).unwrap();
+        let u = db.query("scan(U)").unwrap();
+        assert_eq!(u.cell_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_failed_statement_appends_nothing() {
+        let dir = durable_dir("failed");
+        let len_after_ddl;
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.run("define H (v = int) (X = 1:2, Y = 1:2)").unwrap();
+            db.run("create A as H [2, 2]").unwrap();
+            len_after_ddl = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+            db.run("insert into A[9, 9] values (1)").unwrap_err();
+            assert_eq!(
+                std::fs::metadata(dir.join("wal.log")).unwrap().len(),
+                len_after_ddl,
+                "a failed statement must not reach the log"
+            );
+        }
+        let mut db = Database::open(&dir).unwrap();
+        assert_eq!(db.query("scan(A)").unwrap().cell_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn system_storage_reports_durability() {
+        // Non-durable: the singleton row exists with durable = 0.
+        let mut mem = db_with_h();
+        assert!(!mem.is_durable());
+        let row = mem.query("scan(system.storage)").unwrap();
+        assert_eq!(row.cell_count(), 1);
+        let (_, rec) = row.cells().next().unwrap();
+        assert_eq!(rec[0], Value::from(0i64), "durable flag: {rec:?}");
+
+        // Durable: durable = 1 and WAL commits are visible.
+        let dir = durable_dir("system");
+        let mut db = Database::open(&dir).unwrap();
+        assert!(db.storage_dir().is_some());
+        db.run("define H (v = int) (X = 1:2, Y = 1:2)").unwrap();
+        db.run("create A as H [2, 2]").unwrap();
+        db.run("insert into A[1, 1] values (1)").unwrap();
+        let row = db.query("scan(system.storage)").unwrap();
+        let (_, rec) = row.cells().next().unwrap();
+        assert_eq!(rec[0], Value::from(1i64), "durable flag: {rec:?}");
+        assert!(
+            matches!(rec[7], Value::Scalar(Scalar::Int64(n)) if n >= 3),
+            "wal_commits after three statements: {rec:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -2,7 +2,7 @@
 //! arrays so AQL itself is the monitoring API (filter/project/aggregate
 //! over them run through the normal kernels).
 //!
-//! Five arrays exist, each rebuilt from live state at scan time:
+//! Six arrays exist, each rebuilt from live state at scan time:
 //!
 //! | array                | one row per                | source                      |
 //! |----------------------|----------------------------|-----------------------------|
@@ -11,13 +11,16 @@
 //! | `system.slow_queries`| retained slow-log entry    | `DbCore::slow_log`          |
 //! | `system.locks`       | registered lock rank       | `sync::ranks` + witness     |
 //! | `system.result_cache`| (singleton)                | `DbCore::result_cache`      |
+//! | `system.storage`     | (singleton)                | `Durability` + pool/WAL     |
 //!
 //! All are 1-dimensional over `i = 1:N`. They are virtual: the `system.`
 //! prefix is reserved ([`reject_reserved`]) and never enters the catalog
 //! or the result cache. Lock ordering is safe by construction — every
-//! lock consulted here (`SESSION_REGISTRY` 35, `SLOW_LOG` 70,
+//! lock consulted here (`SESSION_REGISTRY` 35, `POOL` 46, `SLOW_LOG` 70,
 //! `RESULT_CACHE` 80, `METRICS` 100) ranks above the `CATALOG` (30) guard
-//! held while a scan evaluates.
+//! held while a scan evaluates. The durable-op mutex (`WAL` 25) ranks
+//! *below* `CATALOG` and is therefore never consulted here —
+//! `system.storage` reads WAL traffic from lock-free counters instead.
 
 use scidb_core::array::Array;
 use scidb_core::error::{Error, Result};
@@ -59,6 +62,7 @@ pub(super) fn resolve(core: &DbCore, name: &str) -> Option<Result<Array>> {
         "system.slow_queries" => slow_queries(core),
         "system.locks" => locks(),
         "system.result_cache" => result_cache(core),
+        "system.storage" => storage(core),
         _ => Err(Error::not_found(format!("system array '{name}'"))),
     })
 }
@@ -234,6 +238,58 @@ fn locks() -> Result<Array> {
             ("contended", ScalarType::Int64),
         ],
         rows,
+    )
+}
+
+/// `system.storage`: a singleton row describing the durable backend —
+/// buffer-pool effectiveness, WAL traffic, and the last recovery. On a
+/// non-durable database `durable` is 0 and the instance columns are 0;
+/// the `wal_*` columns mirror the process-wide counters either way.
+fn storage(core: &DbCore) -> Result<Array> {
+    let reg = scidb_obs::global();
+    let (durable, pool, replayed_ops, replay_ms, torn_bytes) = match &core.durable {
+        Some(d) => (
+            1u64,
+            d.pool_stats(),
+            d.replayed_ops(),
+            d.replay_ms(),
+            d.torn_bytes(),
+        ),
+        None => (0, Default::default(), 0, 0, 0),
+    };
+    let row = vec![
+        int(durable),
+        int(pool.hits),
+        int(pool.misses),
+        int(pool.evictions),
+        int(pool.frames as u64),
+        int(pool.capacity as u64),
+        int(reg.counter("scidb.storage.wal.records").get()),
+        int(reg.counter("scidb.storage.wal.commits").get()),
+        int(reg.counter("scidb.storage.wal.bytes").get()),
+        int(reg.histogram("scidb.storage.wal.fsync_us").count()),
+        int(replayed_ops),
+        int(replay_ms),
+        int(torn_bytes),
+    ];
+    table(
+        "system.storage",
+        &[
+            ("durable", ScalarType::Int64),
+            ("pool_hits", ScalarType::Int64),
+            ("pool_misses", ScalarType::Int64),
+            ("pool_evictions", ScalarType::Int64),
+            ("pool_frames", ScalarType::Int64),
+            ("pool_capacity", ScalarType::Int64),
+            ("wal_records", ScalarType::Int64),
+            ("wal_commits", ScalarType::Int64),
+            ("wal_bytes", ScalarType::Int64),
+            ("wal_fsyncs", ScalarType::Int64),
+            ("replayed_ops", ScalarType::Int64),
+            ("replay_ms", ScalarType::Int64),
+            ("torn_bytes", ScalarType::Int64),
+        ],
+        vec![row],
     )
 }
 

@@ -18,6 +18,12 @@
 //! * [`merge`] — Vertica-style background merging of small buckets.
 //! * [`delta`] — persistence of updatable-array history layers and
 //!   time-travel reads.
+//! * [`page`] — the fixed-size, checksummed page file (block manager)
+//!   under the durable layer.
+//! * [`pool`] — the clock-eviction buffer pool and the [`pool::PagedDisk`]
+//!   that maps buckets onto page extents with physical-redo journalling.
+//! * [`wal`] — the group-commit write-ahead log with typed records and
+//!   torn-tail recovery.
 
 #![warn(missing_docs)]
 
@@ -28,7 +34,10 @@ pub mod disk;
 pub mod loader;
 pub mod manager;
 pub mod merge;
+pub mod page;
+pub mod pool;
 pub mod rtree;
+pub mod wal;
 
 pub use bucket::{deserialize_chunk, serialize_chunk, CodecPolicy};
 pub use compress::Codec;
@@ -37,4 +46,7 @@ pub use disk::{BlockId, Disk, FileDisk, IoStats, MemDisk};
 pub use loader::{LoadStats, StreamLoader};
 pub use manager::{BucketMeta, ReadOptions, ReadStats, StorageManager};
 pub use merge::{merge_pass, BackgroundMerger, MergeStats};
+pub use page::PageFile;
+pub use pool::{BufferPool, PagedDisk, PoolStats};
 pub use rtree::RTree;
+pub use wal::{Record as WalRecord, Recovered, Wal};

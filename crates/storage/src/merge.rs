@@ -60,11 +60,18 @@ pub fn merge_pass(mgr: &mut StorageManager, factor: i64) -> Result<MergeStats> {
         groups.entry(origin).or_default().push(meta.key);
     }
 
+    // Deterministic pass order: WAL replay re-runs merges and verifies the
+    // resulting bucket writes byte-for-byte, so the super-tile groups (and
+    // the buckets within each) must be visited in a stable order.
+    let mut groups: Vec<(Vec<i64>, Vec<u64>)> = groups.into_iter().collect();
+    groups.sort();
+
     let mut stats = MergeStats::default();
-    for (_, keys) in groups {
+    for (_, mut keys) in groups {
         if keys.len() < 2 {
             continue;
         }
+        keys.sort_unstable();
         // Read all member chunks, union their rectangles, rebuild.
         let mut chunks = Vec::with_capacity(keys.len());
         for &k in &keys {

@@ -1,0 +1,797 @@
+//! Write-ahead log: typed records, group commit, torn-tail recovery.
+//!
+//! The durable layer logs every committed operation as one atomic *group*
+//! of framed [`Record`]s — physical bucket images first, then the logical
+//! record that owns them, bracketed by [`Record::Begin`] /
+//! [`Record::Commit`]. A group is buffered in memory while the operation
+//! runs and appended (plus one `fdatasync`) only at commit, so aborted
+//! operations write nothing and the log never contains partial intent.
+//!
+//! On [`Wal::open`] the tail is scanned: a torn final frame (bad length,
+//! short read, checksum mismatch) or a group missing its `Commit` is
+//! discarded and the file is physically truncated back to the last
+//! committed group — ARIES-lite with full-image physical redo, no undo.
+//!
+//! Frame format: `[len: u32 LE][crc32: u32 LE][payload]`, with the CRC
+//! over the payload (shared with the page headers, [`crate::page::crc32`]).
+
+use crate::page::crc32;
+use scidb_core::array::Array;
+use scidb_core::error::{Error, Result};
+use scidb_core::schema::{ArraySchema, AttrType, AttributeDef, DimensionDef};
+use scidb_core::uncertain::Uncertain;
+use scidb_core::value::{Record as CellRecord, Scalar, ScalarType, Value};
+use scidb_obs::Stopwatch;
+use std::fs::OpenOptions;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// One typed log record. Physical records ([`Record::BucketWrite`],
+/// [`Record::BucketFree`]) always precede the logical record that caused
+/// them within a group; replay queues them and the logical record's
+/// re-execution pops and byte-verifies each one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// Start of a committed operation group.
+    Begin {
+        /// Monotonic operation number.
+        op: u64,
+    },
+    /// End of a committed operation group; everything between the
+    /// matching [`Record::Begin`] and this record is atomic.
+    Commit {
+        /// Operation number, matching the group's `Begin`.
+        op: u64,
+    },
+    /// A catalog-write AQL statement, stored in canonical form and
+    /// re-executed on replay.
+    Stmt {
+        /// Canonical rendering of the statement (`stmt.to_string()`).
+        aql: String,
+    },
+    /// A whole in-memory array registered under `name`.
+    PutArray {
+        /// Catalog name of the array.
+        name: String,
+        /// Encoded array image ([`encode_array`]).
+        bytes: Vec<u8>,
+    },
+    /// A whole array loaded into the disk-backed store under `name`; the
+    /// group's preceding bucket images are its physical redo.
+    PutArrayOnDisk {
+        /// Catalog name of the array.
+        name: String,
+        /// Encoded array image ([`encode_array`]).
+        bytes: Vec<u8>,
+    },
+    /// Physical redo image of one bucket written to the paged disk.
+    BucketWrite {
+        /// Block id the bucket landed at.
+        block: u64,
+        /// The exact bucket bytes.
+        bytes: Vec<u8>,
+    },
+    /// Physical record of one bucket freed (background merge reclaim).
+    BucketFree {
+        /// Block id freed.
+        block: u64,
+    },
+    /// History layers of an updatable array persisted through version
+    /// `through`; the preceding bucket images are the physical redo.
+    DeltaAppend {
+        /// Catalog name of the updatable array.
+        array: String,
+        /// Highest history version now persisted.
+        through: i64,
+    },
+    /// A super-tile merge pass over a disk-backed array; replay re-runs
+    /// the (deterministic) pass and verifies its bucket traffic.
+    Merge {
+        /// Catalog name of the disk-backed array.
+        array: String,
+        /// Super-tile factor of the pass.
+        factor: i64,
+    },
+}
+
+// ---------------------------------------------------------------- codec --
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Decodes a little-endian `u64` from the first 8 bytes of `b` (which the
+/// caller has already bounds-checked).
+fn read_le64(b: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(w)
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::storage("wal record truncated"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(crate::page::read_le32(self.take(4)?))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(read_le64(self.take(8)?))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(read_le64(self.take(8)?) as i64)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn str(&mut self) -> Result<String> {
+        String::from_utf8(self.bytes()?).map_err(|_| Error::storage("wal record: bad utf-8"))
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(Error::storage("wal record has trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+impl Record {
+    /// Serializes the record payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Record::Begin { op } => {
+                b.push(0);
+                put_u64(&mut b, *op);
+            }
+            Record::Commit { op } => {
+                b.push(1);
+                put_u64(&mut b, *op);
+            }
+            Record::Stmt { aql } => {
+                b.push(2);
+                put_str(&mut b, aql);
+            }
+            Record::PutArray { name, bytes } => {
+                b.push(3);
+                put_str(&mut b, name);
+                put_bytes(&mut b, bytes);
+            }
+            Record::PutArrayOnDisk { name, bytes } => {
+                b.push(4);
+                put_str(&mut b, name);
+                put_bytes(&mut b, bytes);
+            }
+            Record::BucketWrite { block, bytes } => {
+                b.push(5);
+                put_u64(&mut b, *block);
+                put_bytes(&mut b, bytes);
+            }
+            Record::BucketFree { block } => {
+                b.push(6);
+                put_u64(&mut b, *block);
+            }
+            Record::DeltaAppend { array, through } => {
+                b.push(7);
+                put_str(&mut b, array);
+                put_i64(&mut b, *through);
+            }
+            Record::Merge { array, factor } => {
+                b.push(8);
+                put_str(&mut b, array);
+                put_i64(&mut b, *factor);
+            }
+        }
+        b
+    }
+
+    /// Deserializes one record payload.
+    pub fn decode(buf: &[u8]) -> Result<Record> {
+        let mut r = Reader::new(buf);
+        let rec = match r.u8()? {
+            0 => Record::Begin { op: r.u64()? },
+            1 => Record::Commit { op: r.u64()? },
+            2 => Record::Stmt { aql: r.str()? },
+            3 => Record::PutArray {
+                name: r.str()?,
+                bytes: r.bytes()?,
+            },
+            4 => Record::PutArrayOnDisk {
+                name: r.str()?,
+                bytes: r.bytes()?,
+            },
+            5 => Record::BucketWrite {
+                block: r.u64()?,
+                bytes: r.bytes()?,
+            },
+            6 => Record::BucketFree { block: r.u64()? },
+            7 => Record::DeltaAppend {
+                array: r.str()?,
+                through: r.i64()?,
+            },
+            8 => Record::Merge {
+                array: r.str()?,
+                factor: r.i64()?,
+            },
+            t => return Err(Error::storage(format!("wal record: unknown tag {t}"))),
+        };
+        r.done()?;
+        Ok(rec)
+    }
+
+    /// Short variant name, for diagnostics and coverage accounting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Record::Begin { .. } => "Begin",
+            Record::Commit { .. } => "Commit",
+            Record::Stmt { .. } => "Stmt",
+            Record::PutArray { .. } => "PutArray",
+            Record::PutArrayOnDisk { .. } => "PutArrayOnDisk",
+            Record::BucketWrite { .. } => "BucketWrite",
+            Record::BucketFree { .. } => "BucketFree",
+            Record::DeltaAppend { .. } => "DeltaAppend",
+            Record::Merge { .. } => "Merge",
+        }
+    }
+}
+
+// ---------------------------------------------------------- array codec --
+
+fn encode_scalar_type(b: &mut Vec<u8>, t: ScalarType) {
+    b.push(match t {
+        ScalarType::Int64 => 0,
+        ScalarType::Float64 => 1,
+        ScalarType::Bool => 2,
+        ScalarType::String => 3,
+        ScalarType::UncertainFloat64 => 4,
+    });
+}
+
+fn decode_scalar_type(r: &mut Reader<'_>) -> Result<ScalarType> {
+    Ok(match r.u8()? {
+        0 => ScalarType::Int64,
+        1 => ScalarType::Float64,
+        2 => ScalarType::Bool,
+        3 => ScalarType::String,
+        4 => ScalarType::UncertainFloat64,
+        t => return Err(Error::storage(format!("wal array: unknown scalar tag {t}"))),
+    })
+}
+
+fn encode_schema(b: &mut Vec<u8>, s: &ArraySchema) {
+    put_str(b, s.name());
+    put_u32(b, s.attrs().len() as u32);
+    for a in s.attrs() {
+        put_str(b, &a.name);
+        b.push(a.nullable as u8);
+        match &a.ty {
+            AttrType::Scalar(t) => {
+                b.push(0);
+                encode_scalar_type(b, *t);
+            }
+            AttrType::Nested(inner) => {
+                b.push(1);
+                encode_schema(b, inner);
+            }
+        }
+    }
+    put_u32(b, s.dims().len() as u32);
+    for d in s.dims() {
+        put_str(b, &d.name);
+        match d.upper {
+            Some(u) => {
+                b.push(1);
+                put_i64(b, u);
+            }
+            None => b.push(0),
+        }
+        put_i64(b, d.chunk_len);
+    }
+    b.push(s.is_updatable() as u8);
+}
+
+fn decode_schema(r: &mut Reader<'_>) -> Result<ArraySchema> {
+    let name = r.str()?;
+    let nattrs = r.u32()? as usize;
+    let mut attrs = Vec::with_capacity(nattrs);
+    for _ in 0..nattrs {
+        let aname = r.str()?;
+        let nullable = r.u8()? != 0;
+        let ty = match r.u8()? {
+            0 => AttrType::Scalar(decode_scalar_type(r)?),
+            1 => AttrType::Nested(std::sync::Arc::new(decode_schema(r)?)),
+            t => return Err(Error::storage(format!("wal array: unknown attr tag {t}"))),
+        };
+        attrs.push(AttributeDef {
+            name: aname,
+            ty,
+            nullable,
+        });
+    }
+    let ndims = r.u32()? as usize;
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        let dname = r.str()?;
+        let upper = if r.u8()? != 0 { Some(r.i64()?) } else { None };
+        let chunk_len = r.i64()?;
+        dims.push(DimensionDef {
+            name: dname,
+            upper,
+            chunk_len,
+        });
+    }
+    let updatable = r.u8()? != 0;
+    let schema = ArraySchema::new(&name, attrs, dims)?;
+    if updatable {
+        schema.updatable()
+    } else {
+        Ok(schema)
+    }
+}
+
+fn encode_value(b: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => b.push(0),
+        Value::Scalar(Scalar::Int64(i)) => {
+            b.push(1);
+            put_i64(b, *i);
+        }
+        Value::Scalar(Scalar::Float64(f)) => {
+            b.push(2);
+            put_u64(b, f.to_bits());
+        }
+        Value::Scalar(Scalar::Bool(x)) => {
+            b.push(3);
+            b.push(*x as u8);
+        }
+        Value::Scalar(Scalar::String(s)) => {
+            b.push(4);
+            put_str(b, s);
+        }
+        Value::Scalar(Scalar::Uncertain(u)) => {
+            b.push(5);
+            put_u64(b, u.mean.to_bits());
+            put_u64(b, u.sigma.to_bits());
+        }
+        Value::Array(a) => {
+            b.push(6);
+            encode_array_into(b, a);
+        }
+    }
+}
+
+fn decode_value(r: &mut Reader<'_>) -> Result<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Null,
+        1 => Value::Scalar(Scalar::Int64(r.i64()?)),
+        2 => Value::Scalar(Scalar::Float64(f64::from_bits(r.u64()?))),
+        3 => Value::Scalar(Scalar::Bool(r.u8()? != 0)),
+        4 => Value::Scalar(Scalar::String(r.str()?)),
+        5 => Value::Scalar(Scalar::Uncertain(Uncertain::new(
+            f64::from_bits(r.u64()?),
+            f64::from_bits(r.u64()?),
+        ))),
+        6 => Value::Array(Box::new(decode_array_from(r)?)),
+        t => return Err(Error::storage(format!("wal array: unknown value tag {t}"))),
+    })
+}
+
+fn encode_array_into(b: &mut Vec<u8>, a: &Array) {
+    encode_schema(b, a.schema());
+    let cells: Vec<(Vec<i64>, CellRecord)> = a.cells().collect();
+    put_u64(b, cells.len() as u64);
+    for (coords, rec) in cells {
+        for c in &coords {
+            put_i64(b, *c);
+        }
+        put_u32(b, rec.len() as u32);
+        for v in &rec {
+            encode_value(b, v);
+        }
+    }
+}
+
+fn decode_array_from(r: &mut Reader<'_>) -> Result<Array> {
+    let schema = decode_schema(r)?;
+    let rank = schema.dims().len();
+    let mut a = Array::new(schema);
+    let n = r.u64()?;
+    for _ in 0..n {
+        let mut coords = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            coords.push(r.i64()?);
+        }
+        let nvals = r.u32()? as usize;
+        let mut rec = Vec::with_capacity(nvals);
+        for _ in 0..nvals {
+            rec.push(decode_value(r)?);
+        }
+        a.set_cell(&coords, rec)?;
+    }
+    Ok(a)
+}
+
+/// Serializes a whole array — schema (with nullability, nesting, chunk
+/// sizes, updatability) plus every cell in deterministic chunk order —
+/// for [`Record::PutArray`] / [`Record::PutArrayOnDisk`].
+pub fn encode_array(a: &Array) -> Vec<u8> {
+    let mut b = Vec::new();
+    encode_array_into(&mut b, a);
+    b
+}
+
+/// Deserializes an array image written by [`encode_array`].
+pub fn decode_array(buf: &[u8]) -> Result<Array> {
+    let mut r = Reader::new(buf);
+    let a = decode_array_from(&mut r)?;
+    r.done()?;
+    Ok(a)
+}
+
+// ------------------------------------------------------------- appender --
+
+const FRAME_HEADER: usize = 8;
+
+/// Everything salvaged from the log at open time.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Committed groups in append order, each `Begin ..= Commit`.
+    pub groups: Vec<Vec<Record>>,
+    /// Bytes of torn tail (bad frame or uncommitted group) truncated away.
+    pub torn_bytes: u64,
+}
+
+/// The group-commit write-ahead-log appender.
+#[derive(Debug)]
+pub struct Wal {
+    file: std::fs::File,
+    len: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, scans it into
+    /// committed groups, and truncates any torn tail so appends resume at
+    /// the last committed byte.
+    pub fn open(path: &Path) -> Result<(Wal, Recovered)> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut raw = vec![0u8; file_len as usize];
+        file.read_exact_at(&mut raw, 0)?;
+
+        let mut groups = Vec::new();
+        let mut current: Vec<Record> = Vec::new();
+        let mut pos = 0usize;
+        let mut committed_end = 0usize;
+        while pos + FRAME_HEADER <= raw.len() {
+            let len = crate::page::read_le32(&raw[pos..pos + 4]) as usize;
+            let crc = crate::page::read_le32(&raw[pos + 4..pos + 8]);
+            let start = pos + FRAME_HEADER;
+            if start + len > raw.len() {
+                break; // torn: frame runs past end of file
+            }
+            let payload = &raw[start..start + len];
+            if crc32(payload) != crc {
+                break; // torn: checksum mismatch
+            }
+            let rec = match Record::decode(payload) {
+                Ok(r) => r,
+                Err(_) => break, // torn: undecodable payload
+            };
+            pos = start + len;
+            let is_commit = matches!(rec, Record::Commit { .. });
+            current.push(rec);
+            if is_commit {
+                groups.push(std::mem::take(&mut current));
+                committed_end = pos;
+            }
+        }
+        // Truncate everything past the last committed group: a torn frame
+        // and a committed-but-unfinished group are both discarded.
+        let torn_bytes = file_len - committed_end as u64;
+        if torn_bytes > 0 {
+            file.set_len(committed_end as u64)?;
+            file.sync_data()?;
+        }
+        Ok((
+            Wal {
+                file,
+                len: committed_end as u64,
+            },
+            Recovered { groups, torn_bytes },
+        ))
+    }
+
+    /// Appends one committed group atomically: all frames in a single
+    /// write followed by one `fdatasync`. The fsync latency lands in the
+    /// `scidb.storage.wal.fsync_us` histogram.
+    pub fn append_group(&mut self, records: &[Record]) -> Result<()> {
+        let mut buf = Vec::new();
+        for rec in records {
+            let payload = rec.encode();
+            put_u32(&mut buf, payload.len() as u32);
+            put_u32(&mut buf, crc32(&payload));
+            buf.extend_from_slice(&payload);
+        }
+        self.file.write_all_at(&buf, self.len)?;
+        let sw = Stopwatch::start();
+        self.file.sync_data()?;
+        let reg = scidb_obs::global();
+        reg.histogram("scidb.storage.wal.fsync_us")
+            .record(sw.elapsed().as_micros() as u64);
+        reg.counter("scidb.storage.wal.records")
+            .inc(records.len() as u64);
+        reg.counter("scidb.storage.wal.commits").inc(1);
+        reg.counter("scidb.storage.wal.bytes").inc(buf.len() as u64);
+        self.len += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Current byte length of the committed log.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if no group has ever committed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Scans the log at `path` into `(frame_end_offset, record)` pairs,
+/// stopping at the first torn frame. The recovery kill-matrix harness
+/// uses the offsets as its truncation points.
+pub fn scan(path: &Path) -> Result<Vec<(u64, Record)>> {
+    let raw = std::fs::read(path)?;
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + FRAME_HEADER <= raw.len() {
+        let len = crate::page::read_le32(&raw[pos..pos + 4]) as usize;
+        let crc = crate::page::read_le32(&raw[pos + 4..pos + 8]);
+        let start = pos + FRAME_HEADER;
+        if start + len > raw.len() {
+            break;
+        }
+        let payload = &raw[start..start + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(rec) = Record::decode(payload) else {
+            break;
+        };
+        pos = start + len;
+        out.push((pos as u64, rec));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidb_core::schema::SchemaBuilder;
+    use scidb_core::value::record;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("scidb_wal_{}_{name}", std::process::id()))
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Begin { op: 7 },
+            Record::Stmt {
+                aql: "create A as T [4]".into(),
+            },
+            Record::PutArray {
+                name: "A".into(),
+                bytes: vec![1, 2, 3],
+            },
+            Record::PutArrayOnDisk {
+                name: "B".into(),
+                bytes: vec![],
+            },
+            Record::BucketWrite {
+                block: 9,
+                bytes: vec![0xAB; 17],
+            },
+            Record::BucketFree { block: 9 },
+            Record::DeltaAppend {
+                array: "R".into(),
+                through: -3,
+            },
+            Record::Merge {
+                array: "D".into(),
+                factor: 4,
+            },
+            Record::Commit { op: 7 },
+        ]
+    }
+
+    #[test]
+    fn record_codec_roundtrips_every_variant() {
+        for rec in sample_records() {
+            let enc = rec.encode();
+            assert_eq!(Record::decode(&enc).unwrap(), rec, "variant {}", rec.kind());
+        }
+        assert!(Record::decode(&[99]).is_err());
+        assert!(Record::decode(&[0, 1]).is_err(), "truncated Begin");
+    }
+
+    #[test]
+    fn array_codec_roundtrips_schema_and_cells() {
+        let schema = SchemaBuilder::new("wal_rt")
+            .attr("v", ScalarType::Int64)
+            .attr("s", ScalarType::String)
+            .attr("u", ScalarType::UncertainFloat64)
+            .dim("I", 4)
+            .dim("J", 3)
+            .build()
+            .unwrap();
+        let mut a = Array::new(schema);
+        a.set_cell(
+            &[1, 1],
+            record([
+                Value::from(42i64),
+                Value::Scalar(Scalar::String("x".into())),
+                Value::Scalar(Scalar::Uncertain(Uncertain::new(1.5, 0.25))),
+            ]),
+        )
+        .unwrap();
+        a.set_cell(&[4, 3], vec![Value::from(-1i64), Value::Null, Value::Null])
+            .unwrap();
+        let back = decode_array(&encode_array(&a)).unwrap();
+        assert_eq!(back.schema().name(), "wal_rt");
+        assert_eq!(back.cell_count(), 2);
+        assert_eq!(back.get_cell(&[1, 1]), a.get_cell(&[1, 1]));
+        assert_eq!(back.get_cell(&[4, 3]), a.get_cell(&[4, 3]));
+    }
+
+    #[test]
+    fn updatable_schema_flag_survives_the_codec() {
+        let schema = SchemaBuilder::new("upd")
+            .attr("v", ScalarType::Float64)
+            .dim("X", 4)
+            .build()
+            .unwrap()
+            .updatable()
+            .unwrap();
+        let a = Array::new(schema);
+        let back = decode_array(&encode_array(&a)).unwrap();
+        assert!(back.schema().is_updatable());
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "positioned file I/O is exercised natively")]
+    fn append_then_open_recovers_groups() {
+        let path = tmp("groups");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, rec) = Wal::open(&path).unwrap();
+        assert!(rec.groups.is_empty());
+        assert!(wal.is_empty());
+        wal.append_group(&sample_records()).unwrap();
+        wal.append_group(&[Record::Begin { op: 8 }, Record::Commit { op: 8 }])
+            .unwrap();
+        drop(wal);
+        let (wal, rec) = Wal::open(&path).unwrap();
+        assert_eq!(rec.groups.len(), 2);
+        assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(rec.groups[0], sample_records());
+        assert!(!wal.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "positioned file I/O is exercised natively")]
+    fn torn_tail_is_truncated_at_every_cut() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append_group(&sample_records()).unwrap();
+        let committed = wal.len();
+        wal.append_group(&[Record::Begin { op: 8 }, Record::Commit { op: 8 }])
+            .unwrap();
+        let full = wal.len();
+        drop(wal);
+        let image = std::fs::read(&path).unwrap();
+        // Cut the file at every byte inside the second group: recovery
+        // must salvage exactly the first group and truncate the rest.
+        for cut in committed..full {
+            std::fs::write(&path, &image[..cut as usize]).unwrap();
+            let (wal2, rec) = Wal::open(&path).unwrap();
+            assert_eq!(rec.groups.len(), 1, "cut at {cut}");
+            assert_eq!(rec.torn_bytes, cut - committed, "cut at {cut}");
+            assert_eq!(wal2.len(), committed);
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                committed,
+                "file physically truncated at cut {cut}"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "positioned file I/O is exercised natively")]
+    fn bitflip_in_tail_frame_is_discarded() {
+        let path = tmp("bitflip");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append_group(&sample_records()).unwrap();
+        let committed = wal.len();
+        wal.append_group(&[Record::Begin { op: 8 }, Record::Commit { op: 8 }])
+            .unwrap();
+        drop(wal);
+        let mut image = std::fs::read(&path).unwrap();
+        let idx = committed as usize + FRAME_HEADER; // first payload byte of group 2
+        image[idx] ^= 0x40;
+        std::fs::write(&path, &image).unwrap();
+        let (_, rec) = Wal::open(&path).unwrap();
+        assert_eq!(rec.groups.len(), 1);
+        assert!(rec.torn_bytes > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "positioned file I/O is exercised natively")]
+    fn scan_reports_offsets_and_records() {
+        let path = tmp("scan");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append_group(&sample_records()).unwrap();
+        let len = wal.len();
+        drop(wal);
+        let scanned = scan(&path).unwrap();
+        assert_eq!(scanned.len(), sample_records().len());
+        assert_eq!(scanned.last().unwrap().0, len);
+        assert_eq!(
+            scanned.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+            sample_records()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

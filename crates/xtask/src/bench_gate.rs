@@ -1,8 +1,9 @@
 //! `cargo xtask bench-gate` — the benchmark regression gate.
 //!
 //! Compares the metrics emitted by the smoke benchmarks
-//! (`target/chaos-smoke.json` from `chaos_smoke` and
-//! `target/server-load.json` from `server_load`, plus a sanity check
+//! (`target/chaos-smoke.json` from `chaos_smoke`,
+//! `target/server-load.json` from `server_load`, and
+//! `target/storage-smoke.json` from `storage_smoke`, plus a sanity check
 //! that `target/obs-smoke.json` from `obs_smoke` exists and carries its
 //! per-layer totals) against the committed `BENCH_baseline.json`:
 //!
@@ -10,9 +11,9 @@
 //!   re-replicated, lost cells, …) must match the baseline *exactly* — the
 //!   failover path is a pure function of the fault plan, so any drift is a
 //!   behavior change someone must acknowledge with `--update-baseline`.
-//! * **Wall-clock metrics** (`*_us`) may regress at most 20 % over
-//!   baseline, with a small absolute floor so micro-benchmarks on noisy CI
-//!   runners don't flap.
+//! * **Wall-clock metrics** (`*_us`, `*_ms`) may regress at most 20 %
+//!   over baseline, with a small absolute floor per unit so
+//!   micro-benchmarks on noisy CI runners don't flap.
 //! * **`failover_overhead_pct`** (chaotic / healthy wall ratio — machine
 //!   speed largely cancels) may grow at most 20 % relative or 10
 //!   percentage points, whichever is larger.
@@ -45,12 +46,20 @@ pub const OBS_SMOKE_PATH: &str = "target/obs-smoke.json";
 /// Where `server_load` writes its latency quantiles and counters.
 pub const SERVER_LOAD_PATH: &str = "target/server-load.json";
 
+/// Where `storage_smoke` writes its durable-layer metrics.
+pub const STORAGE_SMOKE_PATH: &str = "target/storage-smoke.json";
+
 /// Relative wall-clock regression tolerated before failing (20 %).
 pub const WALL_TOLERANCE: f64 = 0.20;
 
 /// Absolute wall-clock floor in microseconds: regressions smaller than
 /// this are noise, not signal.
 pub const WALL_FLOOR_US: f64 = 2_000.0;
+
+/// Absolute floor for millisecond-resolution wall metrics (`*_ms`):
+/// recovery replay of a small smoke workload legitimately rounds to 0 ms,
+/// so the floor must dominate until the workload is big enough to time.
+pub const WALL_FLOOR_MS: f64 = 50.0;
 
 /// Percentage-point floor for the failover-overhead ratio check.
 pub const OVERHEAD_FLOOR_PP: f64 = 10.0;
@@ -112,12 +121,13 @@ fn lookup(metrics: &[(String, f64)], key: &str) -> Option<f64> {
 }
 
 /// How one metric is gated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Gate {
     /// Deterministic: must equal the baseline exactly.
     Exact,
-    /// Wall clock: may regress ≤ 20 % (with an absolute floor).
-    Wall,
+    /// Wall clock: may regress ≤ 20 % plus the given absolute floor
+    /// (`WALL_FLOOR_US` for `*_us` keys, `WALL_FLOOR_MS` for `*_ms`).
+    Wall { floor: f64, unit: &'static str },
     /// Overhead ratio: ≤ 20 % relative or +10 pp growth.
     Overhead,
     /// Informational: printed, never gated (whole-phase wall sums).
@@ -149,7 +159,14 @@ fn gate_for(key: &str) -> Gate {
     match key {
         "failover_overhead_pct" => Gate::Overhead,
         k if INFO_KEYS.contains(&k) => Gate::Info,
-        k if k.ends_with("_us") => Gate::Wall,
+        k if k.ends_with("_us") => Gate::Wall {
+            floor: WALL_FLOOR_US,
+            unit: "us",
+        },
+        k if k.ends_with("_ms") => Gate::Wall {
+            floor: WALL_FLOOR_MS,
+            unit: "ms",
+        },
         _ => Gate::Exact,
     }
 }
@@ -197,10 +214,10 @@ pub fn compare(baseline: &[(String, f64)], current: &[(String, f64)]) -> Vec<Met
                     )
                 }
             }
-            Gate::Wall => {
-                let allowed = base * (1.0 + WALL_TOLERANCE) + WALL_FLOOR_US;
+            Gate::Wall { floor, unit } => {
+                let allowed = base * (1.0 + WALL_TOLERANCE) + floor;
                 if cur <= allowed {
-                    (true, format!("within 20% (+{WALL_FLOOR_US}us floor)"))
+                    (true, format!("within 20% (+{floor}{unit} floor)"))
                 } else {
                     (
                         false,
@@ -289,6 +306,25 @@ pub fn bench_gate(root: &Path, opts: &Options, out: &mut dyn io::Write) -> io::R
         return Ok(Outcome::Failed);
     }
     current.extend(server_metrics);
+
+    // Durable-layer metrics: buffer-pool hit rate and replayed-op count
+    // pinned exactly, fsync p99 and replay time under the wall gates.
+    let storage_path = root.join(STORAGE_SMOKE_PATH);
+    let storage_raw = std::fs::read_to_string(&storage_path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "{}: {e} (run `cargo run --release -p scidb-bench --bin storage_smoke` first)",
+                storage_path.display()
+            ),
+        )
+    })?;
+    let storage_metrics = parse_flat_json(&storage_raw);
+    if storage_metrics.is_empty() {
+        writeln!(out, "bench-gate: {STORAGE_SMOKE_PATH} has no metrics")?;
+        return Ok(Outcome::Failed);
+    }
+    current.extend(storage_metrics);
 
     // obs_smoke sanity: the telemetry artifact must exist and carry the
     // per-layer totals section the dashboards key on.
@@ -409,6 +445,34 @@ mod tests {
         // Tiny baselines are covered by the absolute floor.
         let tiny = vec![("recovery_wall_us".to_string(), 100.0)];
         assert!(compare(&tiny, &[("recovery_wall_us".to_string(), 1_800.0)])[0].ok);
+    }
+
+    #[test]
+    fn ms_wall_metrics_use_the_millisecond_floor() {
+        // A 0 ms baseline (replay faster than the clock tick) still
+        // admits anything under the 50 ms floor.
+        let base = vec![("recovery_replay_ms".to_string(), 0.0)];
+        assert!(compare(&base, &[("recovery_replay_ms".to_string(), 49.0)])[0].ok);
+        assert!(!compare(&base, &[("recovery_replay_ms".to_string(), 51.0)])[0].ok);
+        // A real baseline gets 20% + floor, not the microsecond floor.
+        let big = vec![("recovery_replay_ms".to_string(), 1_000.0)];
+        assert!(compare(&big, &[("recovery_replay_ms".to_string(), 1_249.0)])[0].ok);
+        assert!(!compare(&big, &[("recovery_replay_ms".to_string(), 1_251.0)])[0].ok);
+    }
+
+    #[test]
+    fn storage_counters_gate_exactly() {
+        let base = vec![
+            ("storage_pool_hit_rate".to_string(), 23.0),
+            ("storage_replayed_ops".to_string(), 69.0),
+        ];
+        let drifted = vec![
+            ("storage_pool_hit_rate".to_string(), 22.0),
+            ("storage_replayed_ops".to_string(), 69.0),
+        ];
+        let checks = compare(&base, &drifted);
+        assert!(!checks[0].ok, "hit-rate drift is a behavior change");
+        assert!(checks[1].ok);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `cargo xtask` — workspace automation for SciDB-rs.
 //!
 //! * `analyze` — a dependency-free static analyzer (no `syn`, no `serde`:
-//!   the build environment is hermetic) enforcing the nine workspace rules
+//!   the build environment is hermetic) enforcing the ten workspace rules
 //!   described in DESIGN.md §"Static analysis" and §13:
 //!   * R1 — panic-free library code,
 //!   * R2 — the parallel-kernel contract,
@@ -16,7 +16,9 @@
 //!     wrappers),
 //!   * R8 — no blocking while a `CATALOG`-or-higher write guard is live,
 //!   * R9 — observable request dispatch (every wire `Request` variant
-//!     handled inside a server span carrying a `request_type` attribute).
+//!     handled inside a server span carrying a `request_type` attribute),
+//!   * R10 — WAL replay coverage (every `wal::Record` variant exercised
+//!     by the kill-matrix recovery harness in `tests/recovery.rs`).
 //!
 //!   Violations are compared against the committed baseline
 //!   (`crates/xtask/analyze.baseline`): new ones fail, grandfathered ones
@@ -96,7 +98,7 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 
 /// Loads every `crates/*/src/**/*.rs` file (the analyzer's own crate
 /// excluded — it is tooling, not library code) plus the serial≡parallel
-/// test file, with paths made workspace-relative.
+/// and kill-matrix test files, with paths made workspace-relative.
 pub fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
     let crates_dir = root.join("crates");
     let mut files = Vec::new();
@@ -119,9 +121,11 @@ pub fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
     }
     files.sort_by(|a, b| a.path.cmp(&b.path));
     let parallel_test = std::fs::read_to_string(root.join("tests/proptest_parallel.rs")).ok();
+    let recovery_test = std::fs::read_to_string(root.join(rules::RECOVERY_TEST_FILE)).ok();
     Ok(Workspace {
         files,
         parallel_test,
+        recovery_test,
     })
 }
 

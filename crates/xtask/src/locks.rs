@@ -773,6 +773,7 @@ pub mod ranks {
                 .map(|(p, s)| SourceFile::new(PathBuf::from(p), s.to_string()))
                 .collect(),
             parallel_test: None,
+            recovery_test: None,
         }
     }
 

@@ -9,7 +9,7 @@ use xtask::{analyze, bench_gate::bench_gate, conformance, find_root, Options, Ou
 const USAGE: &str = "\
 cargo xtask <analyze | bench-gate | conformance> [OPTIONS]
 
-analyze     Static analysis of the SciDB workspace invariants (R1-R9; see
+analyze     Static analysis of the SciDB workspace invariants (R1-R10; see
             DESIGN.md). New violations fail; baseline-grandfathered ones
             warn. Baseline: crates/xtask/analyze.baseline.
 

@@ -1,4 +1,4 @@
-//! The SciDB-specific workspace invariants (R1–R9).
+//! The SciDB-specific workspace invariants (R1–R10).
 //!
 //! * **R1** — no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in
 //!   non-test code of the library crates (`core`, `storage`, `query`,
@@ -44,6 +44,11 @@
 //!   request kind is attributable in server traces and in the
 //!   `system.slow_queries` / Stats surfaces built on them. Escape hatch:
 //!   `// lint: allow(request-span) — justification` on the variant.
+//! * **R10** — WAL replay coverage: every variant of the durable layer's
+//!   `wal::Record` enum must be exercised by the kill-matrix harness
+//!   (`tests/recovery.rs`), so a new log record type cannot ship without a
+//!   crash-replay test proving it recovers. Escape hatch:
+//!   `// lint: allow(wal-replay) — justification` on the variant.
 //!
 //! Every rule accepts both annotation spellings: the legacy
 //! `// lint: allow(token) — why` and `// analyze: allow(Rn, why)`.
@@ -76,11 +81,14 @@ pub enum Rule {
     /// Observable request dispatch: every wire `Request` variant handled
     /// inside a server span carrying a `request_type` attribute.
     R9,
+    /// WAL replay coverage: every `wal::Record` variant exercised by the
+    /// kill-matrix recovery harness.
+    R10,
 }
 
 impl Rule {
     /// Every rule, in code order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 10] = [
         Rule::R1,
         Rule::R2,
         Rule::R3,
@@ -90,6 +98,7 @@ impl Rule {
         Rule::R7,
         Rule::R8,
         Rule::R9,
+        Rule::R10,
     ];
 
     /// The short code used in diagnostics and the baseline file.
@@ -104,6 +113,7 @@ impl Rule {
             Rule::R7 => "R7",
             Rule::R8 => "R8",
             Rule::R9 => "R9",
+            Rule::R10 => "R10",
         }
     }
 
@@ -119,6 +129,7 @@ impl Rule {
             Rule::R7 => "lock-order soundness",
             Rule::R8 => "no blocking while locked",
             Rule::R9 => "observable request dispatch",
+            Rule::R10 => "WAL replay coverage",
         }
     }
 
@@ -135,6 +146,7 @@ impl Rule {
             Rule::R7 => "lock-order",
             Rule::R8 => "blocking",
             Rule::R9 => "request-span",
+            Rule::R10 => "wal-replay",
         }
     }
 }
@@ -172,6 +184,9 @@ pub struct Workspace {
     pub files: Vec<SourceFile>,
     /// Content of `tests/proptest_parallel.rs`, if present.
     pub parallel_test: Option<String>,
+    /// Content of `tests/recovery.rs` (the kill-matrix harness R10
+    /// cross-checks against), if present.
+    pub recovery_test: Option<String>,
 }
 
 /// Crates whose non-test code must be panic-free (R1).
@@ -198,6 +213,12 @@ pub const PROTO_FILE: &str = "crates/server/src/proto.rs";
 
 /// The server dispatch file (R9's coverage target).
 pub const SERVER_FILE: &str = "crates/server/src/server.rs";
+
+/// The write-ahead-log definition (R10 parses its `Record` enum).
+pub const WAL_FILE: &str = "crates/storage/src/wal.rs";
+
+/// The kill-matrix recovery harness (R10's coverage target).
+pub const RECOVERY_TEST_FILE: &str = "tests/recovery.rs";
 
 const PANIC_MARKERS: &[(&str, bool, &str)] = &[
     (".unwrap()", false, "`.unwrap()`"),
@@ -240,6 +261,7 @@ pub fn check_all(ws: &Workspace) -> Vec<Diagnostic> {
     diags.extend(crate::locks::check_r7(ws));
     diags.extend(crate::locks::check_r8(ws));
     diags.extend(check_r9(ws));
+    diags.extend(check_r10(ws));
     diags.sort_by(|a, b| (a.rule, &a.path, a.line, a.col).cmp(&(b.rule, &b.path, b.line, b.col)));
     diags
 }
@@ -711,7 +733,13 @@ pub struct RequestVariant {
 /// the proto file (comments and literal bodies are already blanked, so
 /// only real code survives).
 pub fn parse_request_variants(file: &SourceFile) -> Vec<RequestVariant> {
-    let Some(start) = file.mask.find("pub enum Request") else {
+    parse_enum_variants(file, "pub enum Request")
+}
+
+/// Parses the variant names of the enum declared by `needle` (e.g.
+/// `pub enum Record`) from the masked text of `file`.
+pub fn parse_enum_variants(file: &SourceFile, needle: &str) -> Vec<RequestVariant> {
+    let Some(start) = file.mask.find(needle) else {
         return Vec::new();
     };
     let Some(open) = file.mask[start..].find('{').map(|i| start + i) else {
@@ -849,6 +877,78 @@ pub fn check_r9(ws: &Workspace) -> Vec<Diagnostic> {
     diags
 }
 
+/// R10: WAL replay coverage. Every variant of the durable layer's
+/// `wal::Record` enum must be named (`Record::<Variant>`) by the
+/// kill-matrix recovery harness, so a new log record type cannot ship
+/// without a crash-replay test proving it is recovered. The harness's
+/// `replay_covers_every_record_variant` test asserts at runtime that the
+/// seeded workload actually *emits* each variant; this static check closes
+/// the loop at analysis time.
+pub fn check_r10(ws: &Workspace) -> Vec<Diagnostic> {
+    let wal = ws
+        .files
+        .iter()
+        .find(|f| f.path.as_path() == Path::new(WAL_FILE));
+    let Some(wal) = wal else {
+        return Vec::new(); // no durable layer in this workspace
+    };
+    let variants = parse_enum_variants(wal, "pub enum Record");
+    if variants.is_empty() {
+        return vec![Diagnostic {
+            rule: Rule::R10,
+            path: WAL_FILE.to_string(),
+            line: 1,
+            col: 1,
+            message: "WAL file has no parseable `pub enum Record`".to_string(),
+            snippet: String::new(),
+            help: "declare the log records as `pub enum Record { … }` so the analyzer \
+                   can check kill-matrix coverage"
+                .to_string(),
+        }];
+    }
+
+    let Some(recovery) = &ws.recovery_test else {
+        return vec![Diagnostic {
+            rule: Rule::R10,
+            path: RECOVERY_TEST_FILE.to_string(),
+            line: 1,
+            col: 1,
+            message: "kill-matrix recovery harness not found".to_string(),
+            snippet: String::new(),
+            help: "add `tests/recovery.rs` exercising every `wal::Record` variant \
+                   through crash-and-reopen"
+                .to_string(),
+        }];
+    };
+
+    let mut diags = Vec::new();
+    for v in &variants {
+        // Word-boundary on the right so `Record::Put` would not count as
+        // covering `Record::PutArray` (or vice versa).
+        let pat = format!("Record::{}", v.name);
+        let covered = recovery.match_indices(&pat).any(|(off, _)| {
+            let next = recovery.as_bytes().get(off + pat.len());
+            !next.is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+        });
+        if !covered {
+            diags.extend(marker_diag(
+                wal,
+                Rule::R10,
+                v.offset,
+                format!(
+                    "WAL record variant `{}` is not covered by the kill-matrix \
+                     recovery harness ({RECOVERY_TEST_FILE})",
+                    v.name
+                ),
+                "extend the seeded workload (and `replay_covers_every_record_variant`) \
+                 so a crash before and after this record is replayed, or annotate \
+                 `// lint: allow(wal-replay) — why` on the variant",
+            ));
+        }
+    }
+    diags
+}
+
 /// If `ret` is a `Result` with an explicit error type that is not the crate
 /// error, returns that type.
 fn foreign_error_type(ret: &str) -> Option<String> {
@@ -898,6 +998,7 @@ mod tests {
                 .map(|(p, s)| SourceFile::new(PathBuf::from(p), s.to_string()))
                 .collect(),
             parallel_test: parallel_test.map(String::from),
+            recovery_test: None,
         }
     }
 
@@ -1219,6 +1320,64 @@ pub enum Request {
                       span.set_attr(\"request_type\", name(req));\n\
                       match req { Request::Hello => {} }\n}\n";
         let d = check_r9(&ws(vec![(PROTO_FILE, proto), (SERVER_FILE, server)], None));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    const WAL: &str = "\
+pub enum Record {
+    /// Start of a group.
+    Begin { op: u64 },
+    Commit { op: u64 },
+    BucketWrite { block: u64, bytes: Vec<u8> },
+    BucketFree { block: u64 },
+}
+";
+
+    fn ws_with_recovery(files: Vec<(&str, &str)>, recovery_test: Option<&str>) -> Workspace {
+        let mut w = ws(files, None);
+        w.recovery_test = recovery_test.map(String::from);
+        w
+    }
+
+    #[test]
+    fn r10_accepts_full_coverage_and_flags_missing_variant() {
+        let full = "match rec {\n\
+                    WalRecord::Begin { .. } => (), // Record::Begin\n\
+                    x if is(x, \"Record::Commit\") => (),\n\
+                    _ => { touch(\"Record::BucketWrite\", \"Record::BucketFree\"); }\n\
+                    }\n";
+        let d = check_r10(&ws_with_recovery(vec![(WAL_FILE, WAL)], Some(full)));
+        assert!(d.is_empty(), "{d:?}");
+
+        // `Record::BucketWrite` alone must not satisfy `Record::BucketFree`
+        // (nor vice versa: right word-boundary matching).
+        let partial = "Record::Begin Record::Commit Record::BucketWrites\n";
+        let d = check_r10(&ws_with_recovery(vec![(WAL_FILE, WAL)], Some(partial)));
+        let msgs: Vec<&str> = d.iter().map(|x| x.message.as_str()).collect();
+        assert_eq!(d.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`BucketWrite`")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`BucketFree`")), "{msgs:?}");
+    }
+
+    #[test]
+    fn r10_flags_a_missing_harness() {
+        let d = check_r10(&ws_with_recovery(vec![(WAL_FILE, WAL)], None));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("harness not found"), "{d:?}");
+    }
+
+    #[test]
+    fn r10_is_vacuous_without_a_wal_and_allows_with_justification() {
+        assert!(check_r10(&ws_with_recovery(vec![("crates/core/src/a.rs", "")], None)).is_empty());
+
+        let wal = "pub enum Record {\n\
+                   Begin { op: u64 },\n\
+                   Debug, // lint: allow(wal-replay) — never written to disk\n\
+                   }\n";
+        let d = check_r10(&ws_with_recovery(
+            vec![(WAL_FILE, wal)],
+            Some("Record::Begin"),
+        ));
         assert!(d.is_empty(), "{d:?}");
     }
 
