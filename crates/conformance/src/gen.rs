@@ -427,11 +427,26 @@ pub fn generate(seed: u64) -> Case {
         })
         .collect();
 
+    // ~10% of cases force one attribute all-NULL, so the batch kernels'
+    // null-column handling (all-null aggregate folds, NULL predicate
+    // lanes, null-bitmap scatter) is exercised end to end.
+    let all_null_attr: Option<usize> = if rng.gen_bool(0.1) {
+        Some(rng.gen_range(0..n_attrs))
+    } else {
+        None
+    };
+
     // Sample distinct coordinates inside the (virtual) box; unbounded dims
-    // draw from 1..=6 so high-water marks vary per seed.
+    // draw from 1..=6 so high-water marks vary per seed. A slice of seeds
+    // is pinned to degenerate sizes — empty arrays and single-cell chunks
+    // are where selection-vector and fold edge cases live.
     let extents: Vec<i64> = dims.iter().map(|d| d.upper.unwrap_or(6)).collect();
     let vol: i64 = extents.iter().product::<i64>().min(MAX_CELLS as i64 * 4);
-    let target = rng.gen_range(0..=(vol.min(MAX_CELLS as i64)) as usize);
+    let target = if rng.gen_bool(0.12) {
+        rng.gen_range(0..=1)
+    } else {
+        rng.gen_range(0..=(vol.min(MAX_CELLS as i64)) as usize)
+    };
     let mut coords_set: BTreeSet<Vec<i64>> = BTreeSet::new();
     for _ in 0..target * 2 {
         if coords_set.len() >= target {
@@ -443,7 +458,17 @@ pub fn generate(seed: u64) -> Case {
     let cells: Vec<(Vec<i64>, Vec<CellValue>)> = coords_set
         .into_iter()
         .map(|c| {
-            let rec = attrs.iter().map(|a| gen_value(&mut rng, a.kind)).collect();
+            let rec = attrs
+                .iter()
+                .enumerate()
+                .map(|(ai, a)| {
+                    if Some(ai) == all_null_attr {
+                        CellValue::Null
+                    } else {
+                        gen_value(&mut rng, a.kind)
+                    }
+                })
+                .collect();
             (c, rec)
         })
         .collect();

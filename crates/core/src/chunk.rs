@@ -292,6 +292,23 @@ impl Column {
         }
     }
 
+    /// Marks every set bit of `mask` NULL — one word-level bitmap union
+    /// for scalar columns. The batch filter's selection-vector write-back.
+    pub fn null_out(&mut self, mask: &BitVec) {
+        match self {
+            Column::Int64 { nulls, .. }
+            | Column::Float64 { nulls, .. }
+            | Column::Bool { nulls, .. }
+            | Column::Str { nulls, .. }
+            | Column::Uncertain { nulls, .. } => nulls.union_with(mask),
+            Column::Nested { data } => {
+                for idx in mask.iter_ones() {
+                    data[idx] = None;
+                }
+            }
+        }
+    }
+
     /// Human-readable column type name.
     pub fn type_name(&self) -> &'static str {
         match self {

@@ -36,6 +36,13 @@ pub fn filter_with(
     let null_rec: Record = vec![Value::Null; a.schema().attrs().len()];
     let chunks: Vec<&Chunk> = a.chunks().values().collect();
     let results = ctx.try_par_map(&chunks, |chunk| {
+        // Columnar fast path: evaluate the predicate over whole columns and
+        // null-out failing lanes via a selection mask. Bails (None) on any
+        // form that could error or that the batch evaluator cannot prove
+        // exact, falling through to the per-cell loop below.
+        if let Some(oc) = super::batch::filter_columns(chunk, a.schema(), pred) {
+            return Ok((oc, chunk.present_count() as u64));
+        }
         let mut oc = Chunk::new(chunk.rect().clone(), chunk.attr_types());
         let mut cells = 0u64;
         for (coords, idx) in chunk.iter_present() {
@@ -166,22 +173,28 @@ pub fn aggregate_with(
     let chunks: Vec<&Chunk> = a.chunks().values().collect();
     let partials = ctx.try_par_map(&chunks, |chunk| {
         let mut local: BTreeMap<Vec<i64>, Vec<Box<dyn crate::udf::AggState>>> = BTreeMap::new();
-        let mut cells = 0u64;
-        for (coords, idx) in chunk.iter_present() {
-            cells += 1;
-            let rec = chunk.record_at(idx);
-            let key: Vec<i64> = if gdims.is_empty() {
-                vec![1]
-            } else {
-                gdims.iter().map(|&d| coords[d]).collect()
-            };
-            let states = local
-                .entry(key)
-                .or_insert_with(|| attr_idxs.iter().map(|_| agg.create()).collect());
-            for (si, &ai) in attr_idxs.iter().enumerate() {
-                states[si].update(&rec[ai])?;
+        // Columnar fold: ungrouped aggregates fold each attribute column
+        // end-to-end (one state per column, no per-cell record build);
+        // grouped aggregates still walk cells but read values straight out
+        // of the columns. Both visit values in ascending offset order, so
+        // the partials are bitwise identical to the per-cell loop's.
+        let cells = if gdims.is_empty() {
+            let mut states: Vec<Box<dyn crate::udf::AggState>> =
+                attr_idxs.iter().map(|_| agg.create()).collect();
+            let c = super::batch::fold_ungrouped_columnar(chunk, &attr_idxs, &mut states)?;
+            if c > 0 {
+                local.insert(vec![1], states);
             }
-        }
+            c
+        } else {
+            super::batch::fold_groups_columnar(
+                chunk,
+                &attr_idxs,
+                &*agg,
+                |coords| gdims.iter().map(|&d| coords[d]).collect(),
+                &mut local,
+            )?
+        };
         let exported: super::AggPartials = local
             .into_iter()
             .map(|(k, states)| (k, states.iter().map(|s| s.partial()).collect()))
@@ -315,6 +328,12 @@ pub fn apply_with(
     let out_types: Vec<AttrType> = out_schema.attrs().iter().map(|at| at.ty.clone()).collect();
     let chunks: Vec<&Chunk> = a.chunks().values().collect();
     let results = ctx.try_par_map(&chunks, |chunk| {
+        // Columnar fast path: evaluate the expression over whole columns and
+        // append the result as a new column; bails to the per-cell loop on
+        // anything the batch evaluator cannot prove exact.
+        if let Some(oc) = super::batch::apply_columns(chunk, a.schema(), expr, &out_types) {
+            return Ok((oc, chunk.present_count() as u64));
+        }
         let mut oc = Chunk::new(chunk.rect().clone(), &out_types);
         let mut cells = 0u64;
         for (coords, idx) in chunk.iter_present() {
@@ -369,6 +388,11 @@ pub fn project_with(a: &Array, keep: &[&str], ctx: &ExecContext) -> Result<Array
     let out_types: Vec<AttrType> = out_schema.attrs().iter().map(|at| at.ty.clone()).collect();
     let chunks: Vec<&Chunk> = a.chunks().values().collect();
     let results = ctx.try_par_map(&chunks, |chunk| {
+        // Columnar fast path: projection on a dense chunk is a straight
+        // column subset — no per-cell record materialization at all.
+        if let Some(oc) = super::batch::project_columns(chunk, &idxs, &out_types) {
+            return Ok((oc, chunk.present_count() as u64));
+        }
         let mut oc = Chunk::new(chunk.rect().clone(), &out_types);
         let mut cells = 0u64;
         for (coords, idx) in chunk.iter_present() {

@@ -27,6 +27,7 @@
 //! kernel absent from the serial≡parallel equivalence tests is a build
 //! failure.
 
+pub(crate) mod batch;
 pub mod content;
 pub mod dense;
 pub mod regrid;
@@ -52,11 +53,13 @@ pub use structural::{
 
 /// Contract descriptor for one chunk-parallel kernel.
 ///
-/// Checked statically by `cargo xtask analyze` (rule R2): the `entry`
+/// Checked statically by `cargo xtask analyze` (rules R2/R6): the `entry`
 /// function must exist and be the only place its file calls
 /// `try_par_map`/`par_map`, the `merge` function must be referenced from the
-/// same file, and the entry must appear in `tests/proptest_parallel.rs` (the
-/// serial≡parallel equivalence suite).
+/// same file, the entry must appear in `tests/proptest_parallel.rs` (the
+/// serial≡parallel equivalence suite), and the `batch` function must exist
+/// in `core::ops` and be referenced from the entry's file (the columnar
+/// fast path is actually wired, not just declared).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelSpec {
     /// Operator name as recorded in [`OpMetrics`](crate::exec::OpMetrics).
@@ -65,6 +68,9 @@ pub struct KernelSpec {
     pub entry: &'static str,
     /// The deterministic merge combining per-chunk partial results.
     pub merge: &'static str,
+    /// The columnar batch kernel ([`batch`] module) the entry dispatches
+    /// to for dense chunks.
+    pub batch: &'static str,
 }
 
 /// Every chunk-parallel kernel in the engine, with its merge function.
@@ -73,31 +79,37 @@ pub const PARALLEL_KERNELS: &[KernelSpec] = &[
         name: "subsample",
         entry: "subsample_with",
         merge: "merge_chunk_outputs",
+        batch: "subsample_columns",
     },
     KernelSpec {
         name: "filter",
         entry: "filter_with",
         merge: "merge_chunk_outputs",
+        batch: "filter_columns",
     },
     KernelSpec {
         name: "apply",
         entry: "apply_with",
         merge: "merge_chunk_outputs",
+        batch: "apply_columns",
     },
     KernelSpec {
         name: "project",
         entry: "project_with",
         merge: "merge_chunk_outputs",
+        batch: "project_columns",
     },
     KernelSpec {
         name: "aggregate",
         entry: "aggregate_with",
         merge: "merge_agg_partials",
+        batch: "fold_groups_columnar",
     },
     KernelSpec {
         name: "regrid",
         entry: "regrid_with",
         merge: "merge_agg_partials",
+        batch: "fold_groups_columnar",
     },
 ];
 
@@ -178,6 +190,11 @@ mod tests {
                 k.entry
             );
             assert!(k.merge.starts_with("merge_"));
+            assert!(
+                !k.batch.is_empty(),
+                "kernel '{}' must name its columnar batch function",
+                k.name
+            );
         }
     }
 

@@ -90,24 +90,26 @@ pub fn regrid_with(
 
     let n_attrs = schema.attrs().len();
     let chunks: Vec<&crate::chunk::Chunk> = a.chunks().values().collect();
+    let all_idxs: Vec<usize> = (0..n_attrs).collect();
     let partials = ctx.try_par_map(&chunks, |chunk| {
         let mut local: BTreeMap<Vec<i64>, Vec<Box<dyn crate::udf::AggState>>> = BTreeMap::new();
-        let mut cells = 0u64;
-        for (coords, idx) in chunk.iter_present() {
-            cells += 1;
-            let rec = chunk.record_at(idx);
-            let key: Vec<i64> = coords
-                .iter()
-                .zip(factors)
-                .map(|(&c, &f)| (c - 1) / f + 1)
-                .collect();
-            let states = local
-                .entry(key)
-                .or_insert_with(|| (0..n_attrs).map(|_| agg.create()).collect());
-            for (s, v) in states.iter_mut().zip(&rec) {
-                s.update(v)?;
-            }
-        }
+        // Columnar fold: dense chunks read values straight out of the
+        // per-attribute columns (no record build); the visit order is
+        // ascending cell offset either way, so partials are bitwise
+        // identical to the per-cell loop's.
+        let cells = super::batch::fold_groups_columnar(
+            chunk,
+            &all_idxs,
+            &*agg,
+            |coords| {
+                coords
+                    .iter()
+                    .zip(factors)
+                    .map(|(&c, &f)| (c - 1) / f + 1)
+                    .collect()
+            },
+            &mut local,
+        )?;
         let exported: super::AggPartials = local
             .into_iter()
             .map(|(k, states)| (k, states.iter().map(|s| s.partial()).collect()))

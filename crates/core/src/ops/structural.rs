@@ -182,6 +182,13 @@ pub fn subsample_with(
         .filter(|chunk| pred.narrow_rect(a.schema(), chunk.rect()).is_some())
         .collect();
     let results = ctx.try_par_map(&survivors, |chunk| {
+        // Columnar fast path: a conjunctive dimension predicate over a dense
+        // chunk reduces to per-dimension lookup tables and one pass over the
+        // presence bitmap — no record materialization. Bails (None) on
+        // `DimCond::Fn` (which can error and needs the registry).
+        if let Some((oc, cells)) = super::batch::subsample_columns(chunk, a.schema(), pred) {
+            return Ok((oc, cells));
+        }
         let mut oc = crate::chunk::Chunk::new(chunk.rect().clone(), chunk.attr_types());
         let mut cells = 0u64;
         for (coords, idx) in chunk.iter_present() {

@@ -616,11 +616,8 @@ impl DbCore {
             }
         }
         let schema = Arc::new(array.schema().renamed(name));
-        let mut mgr = StorageManager::new(
-            Arc::new(MemDisk::new()),
-            schema,
-            CodecPolicy::default_policy(),
-        );
+        let mut mgr =
+            StorageManager::new(Arc::new(MemDisk::new()), schema, CodecPolicy::adaptive());
         mgr.store_array(array)?;
         state
             .arrays

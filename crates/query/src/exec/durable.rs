@@ -160,7 +160,7 @@ impl Durability {
                         let mut mgr = StorageManager::new(
                             Arc::clone(&self.disk) as Arc<dyn Disk>,
                             schema,
-                            CodecPolicy::default_policy(),
+                            CodecPolicy::adaptive(),
                         );
                         mgr.store_array(&array)?;
                         core.state
@@ -321,7 +321,7 @@ impl Durability {
         let mut mgr = StorageManager::new(
             Arc::clone(&self.disk) as Arc<dyn Disk>,
             schema,
-            CodecPolicy::default_policy(),
+            CodecPolicy::adaptive(),
         );
         if let Err(e) = mgr.store_array(array) {
             let _ = self.disk.take_journal();
@@ -402,7 +402,7 @@ fn delta_store_for<'a>(
             let ds = DeltaStore::new(
                 Arc::clone(disk) as Arc<dyn Disk>,
                 ua.array().schema(),
-                CodecPolicy::default_policy(),
+                CodecPolicy::adaptive(),
             )?;
             Ok(v.insert(ds))
         }

@@ -12,7 +12,7 @@ use crate::compress::{
     put_varint, unzigzag, zigzag, Codec,
 };
 use scidb_core::bitvec::BitVec;
-use scidb_core::chunk::Chunk;
+use scidb_core::chunk::{Chunk, Column, SigmaStore};
 use scidb_core::error::{Error, Result};
 use scidb_core::geometry::HyperRect;
 use scidb_core::schema::AttrType;
@@ -31,6 +31,12 @@ pub struct CodecPolicy {
     pub floats: Codec,
     /// Codec for byte payloads (bitmaps, strings, bools).
     pub bytes: Codec,
+    /// When set, every section independently picks the smallest encoding
+    /// among the candidates for its payload type (first-wins on ties, so
+    /// the choice is deterministic); the per-type fields above become
+    /// fallbacks. The format already tags each section with its codec, so
+    /// adaptive buckets deserialize with the same reader.
+    pub adaptive: bool,
 }
 
 impl CodecPolicy {
@@ -40,6 +46,7 @@ impl CodecPolicy {
             ints: Codec::DeltaVarint,
             floats: Codec::XorFloat,
             bytes: Codec::Rle,
+            adaptive: false,
         }
     }
 
@@ -49,8 +56,59 @@ impl CodecPolicy {
             ints: Codec::Raw,
             floats: Codec::Raw,
             bytes: Codec::Raw,
+            adaptive: false,
         }
     }
+
+    /// Per-bucket adaptive selection (§2.8 "compress the bucket"): each
+    /// section is encoded with every candidate codec for its payload type
+    /// and the strictly smallest encoding wins.
+    pub fn adaptive() -> Self {
+        CodecPolicy {
+            adaptive: true,
+            ..CodecPolicy::default_policy()
+        }
+    }
+}
+
+/// Candidate codecs per payload type, tried in order under
+/// [`CodecPolicy::adaptive`]; the first strictly-smallest encoding wins.
+const INT_CANDIDATES: [Codec; 3] = [Codec::DeltaVarint, Codec::Rle, Codec::Raw];
+const FLOAT_CANDIDATES: [Codec; 3] = [Codec::XorFloat, Codec::Rle, Codec::Raw];
+const BYTE_CANDIDATES: [Codec; 2] = [Codec::Rle, Codec::Raw];
+
+/// Writes one codec-tagged section: either the policy's fixed codec, or
+/// (adaptive) the candidate producing the smallest encoding.
+fn put_tagged_section<F>(
+    out: &mut Vec<u8>,
+    fixed: Codec,
+    adaptive: bool,
+    candidates: &[Codec],
+    encode: F,
+) -> Result<()>
+where
+    F: Fn(Codec) -> Result<Vec<u8>>,
+{
+    if !adaptive {
+        out.push(fixed.tag());
+        put_section(out, &encode(fixed)?);
+        return Ok(());
+    }
+    let mut best: Option<(Codec, Vec<u8>)> = None;
+    for &codec in candidates {
+        let enc = encode(codec)?;
+        let better = match &best {
+            None => true,
+            Some((_, b)) => enc.len() < b.len(),
+        };
+        if better {
+            best = Some((codec, enc));
+        }
+    }
+    let (codec, enc) = best.ok_or_else(|| Error::storage("no codec candidates"))?;
+    out.push(codec.tag());
+    put_section(out, &enc);
+    Ok(())
 }
 
 fn type_tag(ty: &AttrType) -> Result<u8> {
@@ -108,8 +166,13 @@ pub fn serialize_chunk(chunk: &Chunk, policy: CodecPolicy) -> Result<Vec<u8>> {
 
     // Presence: sorted row-major offsets, delta-varint friendly.
     let offsets: Vec<i64> = chunk.iter_present().map(|(_, idx)| idx as i64).collect();
-    out.push(policy.ints.tag());
-    put_section(&mut out, &encode_i64s(&offsets, policy.ints)?);
+    put_tagged_section(
+        &mut out,
+        policy.ints,
+        policy.adaptive,
+        &INT_CANDIDATES,
+        |c| encode_i64s(&offsets, c),
+    )?;
 
     let attr_types = chunk.attr_types().to_vec();
     put_varint(&mut out, attr_types.len() as u64);
@@ -122,8 +185,13 @@ pub fn serialize_chunk(chunk: &Chunk, policy: CodecPolicy) -> Result<Vec<u8>> {
             nulls.push(chunk.value_at(ai, idx as usize).is_null());
         }
         let null_bytes: Vec<u8> = nulls.words().iter().flat_map(|w| w.to_le_bytes()).collect();
-        out.push(policy.bytes.tag());
-        put_section(&mut out, &encode_bytes(&null_bytes, policy.bytes)?);
+        put_tagged_section(
+            &mut out,
+            policy.bytes,
+            policy.adaptive,
+            &BYTE_CANDIDATES,
+            |c| encode_bytes(&null_bytes, c),
+        )?;
 
         // Values for present cells (placeholders at NULLs).
         match ty {
@@ -132,16 +200,26 @@ pub fn serialize_chunk(chunk: &Chunk, policy: CodecPolicy) -> Result<Vec<u8>> {
                     .iter()
                     .map(|&idx| chunk.value_at(ai, idx as usize).as_i64().unwrap_or(0))
                     .collect();
-                out.push(policy.ints.tag());
-                put_section(&mut out, &encode_i64s(&vals, policy.ints)?);
+                put_tagged_section(
+                    &mut out,
+                    policy.ints,
+                    policy.adaptive,
+                    &INT_CANDIDATES,
+                    |c| encode_i64s(&vals, c),
+                )?;
             }
             AttrType::Scalar(ScalarType::Float64) => {
                 let vals: Vec<f64> = offsets
                     .iter()
                     .map(|&idx| chunk.value_at(ai, idx as usize).as_f64().unwrap_or(0.0))
                     .collect();
-                out.push(policy.floats.tag());
-                put_section(&mut out, &encode_f64s(&vals, policy.floats)?);
+                put_tagged_section(
+                    &mut out,
+                    policy.floats,
+                    policy.adaptive,
+                    &FLOAT_CANDIDATES,
+                    |c| encode_f64s(&vals, c),
+                )?;
             }
             AttrType::Scalar(ScalarType::Bool) => {
                 let mut bits = BitVec::new();
@@ -149,8 +227,13 @@ pub fn serialize_chunk(chunk: &Chunk, policy: CodecPolicy) -> Result<Vec<u8>> {
                     bits.push(chunk.value_at(ai, idx as usize).as_bool().unwrap_or(false));
                 }
                 let bytes: Vec<u8> = bits.words().iter().flat_map(|w| w.to_le_bytes()).collect();
-                out.push(policy.bytes.tag());
-                put_section(&mut out, &encode_bytes(&bytes, policy.bytes)?);
+                put_tagged_section(
+                    &mut out,
+                    policy.bytes,
+                    policy.adaptive,
+                    &BYTE_CANDIDATES,
+                    |c| encode_bytes(&bytes, c),
+                )?;
             }
             AttrType::Scalar(ScalarType::String) => {
                 let mut payload = Vec::new();
@@ -163,8 +246,13 @@ pub fn serialize_chunk(chunk: &Chunk, policy: CodecPolicy) -> Result<Vec<u8>> {
                         _ => put_varint(&mut payload, 0),
                     }
                 }
-                out.push(policy.bytes.tag());
-                put_section(&mut out, &encode_bytes(&payload, policy.bytes)?);
+                put_tagged_section(
+                    &mut out,
+                    policy.bytes,
+                    policy.adaptive,
+                    &BYTE_CANDIDATES,
+                    |c| encode_bytes(&payload, c),
+                )?;
             }
             AttrType::Scalar(ScalarType::UncertainFloat64) => {
                 let mut means = Vec::with_capacity(offsets.len());
@@ -181,8 +269,13 @@ pub fn serialize_chunk(chunk: &Chunk, policy: CodecPolicy) -> Result<Vec<u8>> {
                         }
                     }
                 }
-                out.push(policy.floats.tag());
-                put_section(&mut out, &encode_f64s(&means, policy.floats)?);
+                put_tagged_section(
+                    &mut out,
+                    policy.floats,
+                    policy.adaptive,
+                    &FLOAT_CANDIDATES,
+                    |c| encode_f64s(&means, c),
+                )?;
                 // Constant-sigma fast path (§2.13 "negligible extra space").
                 let constant = sigmas.windows(2).all(|w| w[0] == w[1]);
                 if constant {
@@ -191,8 +284,13 @@ pub fn serialize_chunk(chunk: &Chunk, policy: CodecPolicy) -> Result<Vec<u8>> {
                     out.extend_from_slice(&s0.to_le_bytes());
                 } else {
                     out.push(0);
-                    out.push(policy.floats.tag());
-                    put_section(&mut out, &encode_f64s(&sigmas, policy.floats)?);
+                    put_tagged_section(
+                        &mut out,
+                        policy.floats,
+                        policy.adaptive,
+                        &FLOAT_CANDIDATES,
+                        |c| encode_f64s(&sigmas, c),
+                    )?;
                 }
             }
             AttrType::Nested(_) => unreachable!("rejected by type_tag"),
@@ -249,7 +347,7 @@ pub fn deserialize_chunk(data: &[u8]) -> Result<Chunk> {
         return Err(Error::storage("implausible bucket attribute count"));
     }
     let mut attr_types = Vec::with_capacity(n_attrs);
-    let mut records: Vec<Vec<Value>> = vec![Vec::with_capacity(n_attrs); n_present];
+    let mut decoded: Vec<(BitVec, DecodedCol)> = Vec::with_capacity(n_attrs);
 
     for _ in 0..n_attrs {
         let ttag = *data
@@ -269,30 +367,20 @@ pub fn deserialize_chunk(data: &[u8]) -> Result<Chunk> {
             .collect();
         let nulls = BitVec::from_words(words[..n_present.div_ceil(64)].to_vec(), n_present);
 
-        match &ty {
+        // Column-at-a-time decode: each typed payload is decoded into one
+        // contiguous vector; cell values are never materialized one by one.
+        let col = match &ty {
             AttrType::Scalar(ScalarType::Int64) => {
                 let codec = read_codec(data, &mut pos)?;
                 let vals = decode_i64s(get_section(data, &mut pos)?, codec)?;
                 check_len(vals.len(), n_present)?;
-                for (i, v) in vals.into_iter().enumerate() {
-                    records[i].push(if nulls.get(i) {
-                        Value::Null
-                    } else {
-                        Value::from(v)
-                    });
-                }
+                DecodedCol::I64(vals)
             }
             AttrType::Scalar(ScalarType::Float64) => {
                 let codec = read_codec(data, &mut pos)?;
                 let vals = decode_f64s(get_section(data, &mut pos)?, codec)?;
                 check_len(vals.len(), n_present)?;
-                for (i, v) in vals.into_iter().enumerate() {
-                    records[i].push(if nulls.get(i) {
-                        Value::Null
-                    } else {
-                        Value::from(v)
-                    });
-                }
+                DecodedCol::F64(vals)
             }
             AttrType::Scalar(ScalarType::Bool) => {
                 let codec = read_codec(data, &mut pos)?;
@@ -305,33 +393,29 @@ pub fn deserialize_chunk(data: &[u8]) -> Result<Chunk> {
                     .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
                     .collect();
                 let bits = BitVec::from_words(words[..n_present.div_ceil(64)].to_vec(), n_present);
-                for (i, rec) in records.iter_mut().enumerate().take(n_present) {
-                    rec.push(if nulls.get(i) {
-                        Value::Null
-                    } else {
-                        Value::from(bits.get(i))
-                    });
-                }
+                DecodedCol::Bool(bits)
             }
             AttrType::Scalar(ScalarType::String) => {
                 let codec = read_codec(data, &mut pos)?;
                 let payload = decode_bytes(get_section(data, &mut pos)?, codec)?;
                 let mut p = 0usize;
-                for (i, rec) in records.iter_mut().enumerate().take(n_present) {
+                let mut strs = Vec::with_capacity(n_present);
+                for i in 0..n_present {
                     let len = get_varint(&payload, &mut p)? as usize;
                     let s = payload
                         .get(p..p + len)
                         .ok_or_else(|| Error::storage("string truncated"))?;
                     p += len;
-                    rec.push(if nulls.get(i) {
-                        Value::Null
+                    if nulls.get(i) {
+                        strs.push(String::new());
                     } else {
-                        Value::from(
+                        strs.push(
                             String::from_utf8(s.to_vec())
                                 .map_err(|_| Error::storage("string not utf-8"))?,
-                        )
-                    });
+                        );
+                    }
                 }
+                DecodedCol::Str(strs)
             }
             AttrType::Scalar(ScalarType::UncertainFloat64) => {
                 let codec = read_codec(data, &mut pos)?;
@@ -346,7 +430,7 @@ pub fn deserialize_chunk(data: &[u8]) -> Result<Chunk> {
                         .get(pos..pos + 8)
                         .ok_or_else(|| Error::storage("sigma truncated"))?
                         .try_into()
-                        .unwrap();
+                        .map_err(|_| Error::storage("sigma truncated"))?;
                     pos += 8;
                     SigmaRead::Constant(f64::from_le_bytes(bytes))
                 } else {
@@ -355,37 +439,149 @@ pub fn deserialize_chunk(data: &[u8]) -> Result<Chunk> {
                     check_len(v.len(), n_present)?;
                     SigmaRead::PerCell(v)
                 };
-                for (i, m) in means.into_iter().enumerate() {
-                    let sigma = match &sigmas {
-                        SigmaRead::Constant(s) => *s,
-                        SigmaRead::PerCell(v) => v[i],
-                    };
-                    records[i].push(if nulls.get(i) {
-                        Value::Null
-                    } else {
-                        Value::from(Uncertain::new(m, sigma))
-                    });
-                }
+                DecodedCol::Uncertain { means, sigmas }
             }
             AttrType::Nested(_) => unreachable!(),
-        }
+        };
+        decoded.push((nulls, col));
         attr_types.push(ty);
     }
 
-    let mut chunk = Chunk::new(rect.clone(), &attr_types);
+    // Mostly-full buckets assemble straight into the dense columnar
+    // representation: one presence-bitmap scatter per column, no per-cell
+    // record construction. Sparse buckets keep the per-cell map build.
     if n_present * 2 >= capacity {
-        chunk.densify();
+        let mut present = BitVec::filled(capacity, false);
+        for &off in &offsets {
+            present.set(off as usize, true);
+        }
+        let columns: Vec<Column> = decoded
+            .into_iter()
+            .map(|(nulls, col)| scatter_column(col, &nulls, &offsets, capacity))
+            .collect();
+        return Chunk::from_parts(rect, attr_types, present, columns);
     }
-    for (i, rec) in records.into_iter().enumerate() {
-        let coords = rect.delinearize(offsets[i] as usize);
+    let mut chunk = Chunk::new(rect.clone(), &attr_types);
+    for (i, &off) in offsets.iter().enumerate() {
+        let rec: Vec<Value> = decoded
+            .iter()
+            .map(|(nulls, col)| cell_value(col, nulls, i))
+            .collect();
+        let coords = rect.delinearize(off as usize);
         chunk.set_record(&coords, &rec)?;
     }
     Ok(chunk)
 }
 
+/// One decoded attribute payload: contiguous typed values over the present
+/// cells, in offset order.
+enum DecodedCol {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Bool(BitVec),
+    Str(Vec<String>),
+    Uncertain { means: Vec<f64>, sigmas: SigmaRead },
+}
+
 enum SigmaRead {
     Constant(f64),
     PerCell(Vec<f64>),
+}
+
+/// Reads present-cell `i` of a decoded column as a [`Value`] (sparse path).
+fn cell_value(col: &DecodedCol, nulls: &BitVec, i: usize) -> Value {
+    if nulls.get(i) {
+        return Value::Null;
+    }
+    match col {
+        DecodedCol::I64(v) => Value::from(v[i]),
+        DecodedCol::F64(v) => Value::from(v[i]),
+        DecodedCol::Bool(b) => Value::from(b.get(i)),
+        DecodedCol::Str(s) => Value::from(s[i].clone()),
+        DecodedCol::Uncertain { means, sigmas } => {
+            let sigma = match sigmas {
+                SigmaRead::Constant(s) => *s,
+                SigmaRead::PerCell(v) => v[i],
+            };
+            Value::from(Uncertain::new(means[i], sigma))
+        }
+    }
+}
+
+/// Scatters a decoded column into a full-capacity dense [`Column`]: values
+/// land at their row-major offsets, everything else stays NULL.
+fn scatter_column(col: DecodedCol, nulls: &BitVec, offsets: &[i64], capacity: usize) -> Column {
+    match col {
+        DecodedCol::I64(vals) => {
+            let mut data = vec![0i64; capacity];
+            let mut cn = BitVec::filled(capacity, true);
+            for (i, &off) in offsets.iter().enumerate() {
+                if !nulls.get(i) {
+                    data[off as usize] = vals[i];
+                    cn.set(off as usize, false);
+                }
+            }
+            Column::Int64 { data, nulls: cn }
+        }
+        DecodedCol::F64(vals) => {
+            let mut data = vec![0.0f64; capacity];
+            let mut cn = BitVec::filled(capacity, true);
+            for (i, &off) in offsets.iter().enumerate() {
+                if !nulls.get(i) {
+                    data[off as usize] = vals[i];
+                    cn.set(off as usize, false);
+                }
+            }
+            Column::Float64 { data, nulls: cn }
+        }
+        DecodedCol::Bool(bits) => {
+            let mut data = vec![false; capacity];
+            let mut cn = BitVec::filled(capacity, true);
+            for (i, &off) in offsets.iter().enumerate() {
+                if !nulls.get(i) {
+                    data[off as usize] = bits.get(i);
+                    cn.set(off as usize, false);
+                }
+            }
+            Column::Bool { data, nulls: cn }
+        }
+        DecodedCol::Str(strs) => {
+            let mut data = vec![String::new(); capacity];
+            let mut cn = BitVec::filled(capacity, true);
+            for (i, &off) in offsets.iter().enumerate() {
+                if !nulls.get(i) {
+                    data[off as usize] = strs[i].clone();
+                    cn.set(off as usize, false);
+                }
+            }
+            Column::Str { data, nulls: cn }
+        }
+        DecodedCol::Uncertain { means, sigmas } => {
+            let mut m = vec![0.0f64; capacity];
+            let mut cn = BitVec::filled(capacity, true);
+            let sg = match sigmas {
+                SigmaRead::Constant(s) => SigmaStore::Constant(s),
+                SigmaRead::PerCell(v) => {
+                    let mut full = vec![0.0f64; capacity];
+                    for (i, &off) in offsets.iter().enumerate() {
+                        full[off as usize] = v[i];
+                    }
+                    SigmaStore::PerCell(full)
+                }
+            };
+            for (i, &off) in offsets.iter().enumerate() {
+                if !nulls.get(i) {
+                    m[off as usize] = means[i];
+                    cn.set(off as usize, false);
+                }
+            }
+            Column::Uncertain {
+                means: m,
+                sigmas: sg,
+                nulls: cn,
+            }
+        }
+    }
 }
 
 fn check_len(got: usize, want: usize) -> Result<()> {
@@ -525,6 +721,45 @@ mod tests {
             raw.len()
         );
         assert_eq!(deserialize_chunk(&packed).unwrap(), c);
+    }
+
+    #[test]
+    fn adaptive_policy_roundtrips_and_never_loses_to_raw() {
+        for sparse in [false, true] {
+            let c = sample_chunk(8, sparse);
+            let adaptive = serialize_chunk(&c, CodecPolicy::adaptive()).unwrap();
+            assert_eq!(deserialize_chunk(&adaptive).unwrap(), c);
+            // Raw is always among the candidates, so the per-section
+            // strict-smallest rule can never produce a larger bucket.
+            let raw = serialize_chunk(&c, CodecPolicy::raw()).unwrap();
+            assert!(
+                adaptive.len() <= raw.len(),
+                "adaptive {} vs raw {} (sparse={sparse})",
+                adaptive.len(),
+                raw.len()
+            );
+        }
+    }
+
+    #[test]
+    fn dense_buckets_decode_into_columnar_representation() {
+        // Mostly-full buckets must land in the dense columnar repr (the
+        // batch kernels' input); sparse buckets stay in the cell map.
+        let dense = deserialize_chunk(
+            &serialize_chunk(&sample_chunk(8, false), CodecPolicy::default_policy()).unwrap(),
+        )
+        .unwrap();
+        assert!(dense.is_dense());
+        let mut few = Chunk::new(rect(8), &[AttrType::Scalar(ScalarType::Int64)]);
+        few.set_record(&[1, 1], &record([Value::from(1i64)]))
+            .unwrap();
+        few.set_record(&[8, 8], &record([Value::from(2i64)]))
+            .unwrap();
+        let sparse =
+            deserialize_chunk(&serialize_chunk(&few, CodecPolicy::default_policy()).unwrap())
+                .unwrap();
+        assert!(!sparse.is_dense());
+        assert_eq!(sparse, few);
     }
 
     #[test]

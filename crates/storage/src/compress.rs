@@ -385,6 +385,33 @@ mod tests {
     }
 
     #[test]
+    fn f64_bit_patterns_survive_exactly() {
+        // Adversarial bit patterns: the codecs must be transparent at the
+        // bit level, so the assertion compares `to_bits()`, never values
+        // (NaN != NaN, -0.0 == 0.0 would both lie).
+        let patterns: [u64; 11] = [
+            (-0.0f64).to_bits(),
+            0.0f64.to_bits(),
+            f64::NAN.to_bits(),
+            0x7ff8_0000_0000_0001, // quiet NaN, payload 1
+            0x7ff0_0000_0000_0001, // signaling NaN
+            0xfff8_dead_beef_cafe, // negative NaN, full payload
+            u64::MAX,              // negative NaN, all payload bits set
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            1,                               // smallest subnormal
+            f64::MIN_POSITIVE.to_bits() - 1, // largest subnormal
+        ];
+        let vals: Vec<f64> = patterns.iter().map(|&b| f64::from_bits(b)).collect();
+        for codec in [Codec::Raw, Codec::Rle, Codec::XorFloat] {
+            let enc = encode_f64s(&vals, codec).unwrap();
+            let dec = decode_f64s(&enc, codec).unwrap();
+            let got: Vec<u64> = dec.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, patterns.to_vec(), "{codec:?}");
+        }
+    }
+
+    #[test]
     fn empty_columns() {
         for codec in [Codec::Raw, Codec::Rle, Codec::DeltaVarint] {
             let enc = encode_i64s(&[], codec).unwrap();

@@ -2,8 +2,11 @@
 //!
 //! Compares the metrics emitted by the smoke benchmarks
 //! (`target/chaos-smoke.json` from `chaos_smoke`,
-//! `target/server-load.json` from `server_load`, and
-//! `target/storage-smoke.json` from `storage_smoke`, plus a sanity check
+//! `target/server-load.json` from `server_load`,
+//! `target/storage-smoke.json` from `storage_smoke`, and
+//! `target/kernel-smoke.json` from `kernel_smoke` — per-kernel wall times
+//! plus exactly-pinned cell counters and adaptive-vs-default compressed
+//! bucket footprints — plus a sanity check
 //! that `target/obs-smoke.json` from `obs_smoke` exists and carries its
 //! per-layer totals) against the committed `BENCH_baseline.json`:
 //!
@@ -48,6 +51,9 @@ pub const SERVER_LOAD_PATH: &str = "target/server-load.json";
 
 /// Where `storage_smoke` writes its durable-layer metrics.
 pub const STORAGE_SMOKE_PATH: &str = "target/storage-smoke.json";
+
+/// Where `kernel_smoke` writes its vectorized-kernel metrics.
+pub const KERNEL_SMOKE_PATH: &str = "target/kernel-smoke.json";
 
 /// Relative wall-clock regression tolerated before failing (20 %).
 pub const WALL_TOLERANCE: f64 = 0.20;
@@ -326,6 +332,26 @@ pub fn bench_gate(root: &Path, opts: &Options, out: &mut dyn io::Write) -> io::R
     }
     current.extend(storage_metrics);
 
+    // Vectorized-kernel metrics: smoke cells, filter survivors, and the
+    // compressed bucket footprints pinned exactly; per-kernel wall times
+    // under the ±20 % gate.
+    let kernel_path = root.join(KERNEL_SMOKE_PATH);
+    let kernel_raw = std::fs::read_to_string(&kernel_path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "{}: {e} (run `cargo run --release -p scidb-bench --bin kernel_smoke` first)",
+                kernel_path.display()
+            ),
+        )
+    })?;
+    let kernel_metrics = parse_flat_json(&kernel_raw);
+    if kernel_metrics.is_empty() {
+        writeln!(out, "bench-gate: {KERNEL_SMOKE_PATH} has no metrics")?;
+        return Ok(Outcome::Failed);
+    }
+    current.extend(kernel_metrics);
+
     // obs_smoke sanity: the telemetry artifact must exist and carry the
     // per-layer totals section the dashboards key on.
     let obs_path = root.join(OBS_SMOKE_PATH);
@@ -473,6 +499,34 @@ mod tests {
         let checks = compare(&base, &drifted);
         assert!(!checks[0].ok, "hit-rate drift is a behavior change");
         assert!(checks[1].ok);
+    }
+
+    #[test]
+    fn kernel_metrics_gate_as_expected() {
+        // Compressed-bucket footprints and cell counters are deterministic
+        // (exact); per-kernel wall times ride the ±20 % + floor gate.
+        let base = vec![
+            ("compressed_bytes_int_adaptive".to_string(), 130_000.0),
+            ("kernel_filter_survivors".to_string(), 33_549.0),
+            ("kernel_filter_us".to_string(), 10_000.0),
+        ];
+        let cur = vec![
+            ("compressed_bytes_int_adaptive".to_string(), 129_000.0),
+            ("kernel_filter_survivors".to_string(), 33_549.0),
+            ("kernel_filter_us".to_string(), 13_900.0),
+        ];
+        let checks = compare(&base, &cur);
+        assert!(!checks[0].ok, "codec-selection drift is a behavior change");
+        assert!(checks[1].ok, "survivor count matches exactly");
+        assert!(checks[2].ok, "kernel wall within 20% + floor passes");
+        assert!(
+            !compare(&base, &[("kernel_filter_us".to_string(), 14_100.0)])
+                .iter()
+                .find(|c| c.key == "kernel_filter_us")
+                .unwrap()
+                .ok,
+            "kernel wall beyond 20% + floor fails"
+        );
     }
 
     #[test]

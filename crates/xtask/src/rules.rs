@@ -345,6 +345,9 @@ pub struct ManifestEntry {
     pub entry: String,
     /// Merge function.
     pub merge: String,
+    /// Columnar batch fast path (absent on manifests predating the
+    /// vectorized kernels).
+    pub batch: Option<String>,
     /// 1-based line of the entry in the manifest file.
     pub line: usize,
 }
@@ -386,6 +389,7 @@ pub fn parse_manifest(file: &SourceFile) -> Vec<ManifestEntry> {
                 name,
                 entry,
                 merge,
+                batch: field("batch"),
                 line,
             });
         }
@@ -656,7 +660,10 @@ pub fn parse_optable_kernels(file: &SourceFile) -> Vec<String> {
 }
 
 /// R6: every `PARALLEL_KERNELS` entry appears in the conformance op table,
-/// so the differential harness exercises each chunk-parallel kernel.
+/// so the differential harness exercises each chunk-parallel kernel — and
+/// every declared columnar `batch` fast path resolves to a real function
+/// under `core::ops` that the kernel's entry file actually dispatches to,
+/// so the same differential net covers the vectorized paths too.
 pub fn check_r6(ws: &Workspace) -> Vec<Diagnostic> {
     let manifest_file = ws
         .files
@@ -715,6 +722,57 @@ pub fn check_r6(ws: &Workspace) -> Vec<Diagnostic> {
                    `// lint: allow(conformance) — why`"
                 .to_string(),
         });
+    }
+
+    // Batch-path coverage: a `batch` field that names a nonexistent
+    // function, or one the entry never dispatches to, means the
+    // conformance harness is exercising the per-cell loop while the
+    // manifest claims the columnar path is under test.
+    for e in &entries {
+        let Some(batch) = &e.batch else { continue };
+        let defined = ws.files.iter().any(|f| {
+            f.path.starts_with("crates/core/src/ops") && f.fns().iter().any(|x| x.name == *batch)
+        });
+        if !defined {
+            diags.push(Diagnostic {
+                rule: Rule::R6,
+                path: MANIFEST_FILE.to_string(),
+                line: e.line,
+                col: 1,
+                message: format!(
+                    "kernel `{}` declares missing batch function `{}`",
+                    e.name, batch
+                ),
+                snippet: format!("KernelSpec {{ name: \"{}\", … }}", e.name),
+                help: "the `batch` field must name the columnar fast path defined \
+                       under `crates/core/src/ops`"
+                    .to_string(),
+            });
+            continue;
+        }
+        let entry_file = ws.files.iter().find(|f| {
+            f.path.starts_with("crates/core/src/ops") && f.fns().iter().any(|x| x.name == e.entry)
+        });
+        if let Some(f) = entry_file {
+            if f.find_marker(batch, true).is_empty() {
+                diags.push(Diagnostic {
+                    rule: Rule::R6,
+                    path: MANIFEST_FILE.to_string(),
+                    line: e.line,
+                    col: 1,
+                    message: format!(
+                        "kernel `{}` entry file `{}` never dispatches to batch function `{}`",
+                        e.name,
+                        f.path.display(),
+                        batch
+                    ),
+                    snippet: format!("KernelSpec {{ name: \"{}\", … }}", e.name),
+                    help: "the kernel entry must try the columnar batch path before \
+                           falling back to its per-cell loop"
+                        .to_string(),
+                });
+            }
+        }
     }
     diags
 }
@@ -1389,5 +1447,70 @@ pub enum Record {
         assert_eq!(m[0].name, "filter");
         assert_eq!(m[0].entry, "filter_with");
         assert_eq!(m[0].merge, "merge_chunk_outputs");
+        assert_eq!(m[0].batch, None, "legacy manifests have no batch field");
+    }
+
+    const MANIFEST_BATCH: &str = r#"
+pub const PARALLEL_KERNELS: &[KernelSpec] = &[
+    KernelSpec { name: "filter", entry: "filter_with", merge: "merge_chunk_outputs", batch: "filter_columns" },
+];
+"#;
+
+    #[test]
+    fn manifest_parse_extracts_batch_field() {
+        let f = SourceFile::new(PathBuf::from(MANIFEST_FILE), MANIFEST_BATCH.to_string());
+        let m = parse_manifest(&f);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].batch.as_deref(), Some("filter_columns"));
+    }
+
+    #[test]
+    fn r6_verifies_batch_fn_exists_and_is_dispatched() {
+        let optable = "pub const OP_TABLE: &[OpEntry] = &[\n\
+                       OpEntry { name: \"filter\", kernel: Some(\"filter_with\"), weight: 4 },\n\
+                       ];\n";
+        let batch_mod = "pub(crate) fn filter_columns(c: &Chunk) -> Option<Chunk> { None }\n";
+        let entry_ok = "pub fn filter_with(ctx: &ExecContext) {\n\
+                        let fast = filter_columns(&c);\n}\n";
+        let d = check_r6(&ws(
+            vec![
+                ("crates/core/src/ops/mod.rs", MANIFEST_BATCH),
+                ("crates/core/src/ops/batch.rs", batch_mod),
+                ("crates/core/src/ops/content.rs", entry_ok),
+                ("crates/conformance/src/optable.rs", optable),
+            ],
+            None,
+        ));
+        assert!(d.is_empty(), "{d:?}");
+
+        // Declared batch fn does not exist anywhere under core::ops.
+        let d = check_r6(&ws(
+            vec![
+                ("crates/core/src/ops/mod.rs", MANIFEST_BATCH),
+                ("crates/core/src/ops/content.rs", entry_ok),
+                ("crates/conformance/src/optable.rs", optable),
+            ],
+            None,
+        ));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("missing batch function"), "{d:?}");
+
+        // Batch fn exists but the kernel entry never calls it.
+        let entry_stale = "pub fn filter_with(ctx: &ExecContext) {\n\
+                           let r = per_cell(&c);\n}\n";
+        let d = check_r6(&ws(
+            vec![
+                ("crates/core/src/ops/mod.rs", MANIFEST_BATCH),
+                ("crates/core/src/ops/batch.rs", batch_mod),
+                ("crates/core/src/ops/content.rs", entry_stale),
+                ("crates/conformance/src/optable.rs", optable),
+            ],
+            None,
+        ));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains("never dispatches to batch function"),
+            "{d:?}"
+        );
     }
 }
